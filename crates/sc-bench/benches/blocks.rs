@@ -1,0 +1,100 @@
+//! Criterion benches for function blocks and feature extraction blocks,
+//! including the adder / pooling / activation ablations called out in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_blocks::feature_block::{FeatureBlock, FeatureBlockKind};
+use sc_blocks::inner_product::{ApcInnerProduct, MuxInnerProduct};
+use sc_blocks::pooling::{AveragePooling, HardwareMaxPooling, SoftwareMaxPooling};
+use sc_core::activation::Stanh;
+use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::sng::{Sng, SngKind};
+
+fn random_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_inner_product_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_product_n64_l1024");
+    group.sample_size(15);
+    let inputs = random_values(64, 1);
+    let weights = random_values(64, 2);
+    let length = StreamLength::new(1024);
+    group.bench_function("mux", |b| {
+        let block = MuxInnerProduct::new(3);
+        b.iter(|| block.evaluate(&inputs, &weights, length).unwrap());
+    });
+    group.bench_function("apc", |b| {
+        let block = ApcInnerProduct::new(3);
+        b.iter(|| block.evaluate(&inputs, &weights, length).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_pooling_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_ablation_l1024");
+    group.sample_size(15);
+    let streams: Vec<BitStream> = (0..4)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 40 + i)
+                .generate_bipolar(0.2 * i as f64 - 0.3, StreamLength::new(1024))
+                .unwrap()
+        })
+        .collect();
+    group.bench_function("average", |b| {
+        let pool = AveragePooling::new(7);
+        b.iter(|| pool.pool_streams(&streams).unwrap());
+    });
+    group.bench_function("hardware_max", |b| {
+        let pool = HardwareMaxPooling::new(16).unwrap();
+        b.iter(|| pool.pool_streams(&streams).unwrap());
+    });
+    group.bench_function("software_max", |b| {
+        let pool = SoftwareMaxPooling::new();
+        b.iter(|| pool.pool_streams(&streams).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_stanh_state_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stanh_state_sweep_l8192");
+    group.sample_size(15);
+    let input = Sng::new(SngKind::Lfsr32, 9)
+        .generate_bipolar(0.4, StreamLength::new(8192))
+        .unwrap();
+    for &states in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, &states| {
+            b.iter(|| {
+                let mut fsm = Stanh::new(states).unwrap();
+                fsm.transform(&input)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_block_n25_l1024");
+    group.sample_size(10);
+    let fields: Vec<Vec<f64>> = (0..4).map(|i| random_values(25, 10 + i)).collect();
+    let weights = random_values(25, 99);
+    for kind in FeatureBlockKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let block = FeatureBlock::new(kind, 25, StreamLength::new(1024), 5).unwrap();
+            b.iter(|| block.evaluate(&fields, &weights).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inner_product_ablation,
+    bench_pooling_ablation,
+    bench_stanh_state_sweep,
+    bench_feature_blocks
+);
+criterion_main!(benches);

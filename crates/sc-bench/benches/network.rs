@@ -1,0 +1,93 @@
+//! Criterion benches for the network-level paths: software inference,
+//! error-injection inference, hardware cost roll-up and the design-space
+//! optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_dcnn::config::{table6_configurations, ScNetworkConfig};
+use sc_dcnn::error_model::{ErrorInjection, FebErrorModel};
+use sc_dcnn::mapping::lenet5_cost;
+use sc_dcnn::optimizer::{DesignSpaceOptimizer, OptimizerOptions};
+use sc_nn::dataset::SyntheticDigits;
+use sc_nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_nn::network::TrainingOptions;
+
+fn bench_software_inference(c: &mut Criterion) {
+    let data = SyntheticDigits::generate(4, 3);
+    let mut network = tiny_lenet(1);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions { epochs: 1, ..Default::default() },
+    );
+    let image = data.test_images[0].clone();
+    c.bench_function("software_forward_pass", |b| b.iter(|| network.predict(&image)));
+}
+
+fn bench_error_injection(c: &mut Criterion) {
+    let data = SyntheticDigits::generate(4, 3);
+    let mut network = tiny_lenet(1);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions { epochs: 1, ..Default::default() },
+    );
+    let model = FebErrorModel::new(3, 17);
+    let injection = ErrorInjection::lenet5(&model);
+    let config = ScNetworkConfig::new(
+        "bench",
+        vec![FeatureBlockKind::ApcMaxBtanh; 3],
+        256,
+        PoolingStyle::Max,
+    );
+    // Calibrate once outside the measurement loop.
+    let _ = injection.layer_sigmas(&config);
+    let mut group = c.benchmark_group("error_injection");
+    group.sample_size(10);
+    group.bench_function("sc_error_injected_eval", |b| {
+        b.iter(|| {
+            injection.error_rate(
+                &mut network,
+                &config,
+                &data.test_images,
+                &data.test_labels,
+                5,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_cost_rollup(c: &mut Criterion) {
+    let configs = table6_configurations();
+    c.bench_function("lenet5_cost_rollup_12_configs", |b| {
+        b.iter(|| configs.iter().map(lenet5_cost).collect::<Vec<_>>())
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let optimizer = DesignSpaceOptimizer::new(OptimizerOptions::default());
+    c.bench_function("design_space_search_analytic", |b| {
+        b.iter(|| {
+            optimizer.search(PoolingStyle::Max, |config| {
+                // Analytic accuracy proxy keeps the bench focused on the
+                // search and cost roll-up machinery.
+                let apc_layers = config
+                    .layer_kinds
+                    .iter()
+                    .filter(|k| **k == FeatureBlockKind::ApcMaxBtanh)
+                    .count() as f64;
+                2.0 - 0.5 * apc_layers + 256.0 / config.stream_length as f64
+            })
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_software_inference,
+    bench_error_injection,
+    bench_cost_rollup,
+    bench_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the stochastic-computing primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::add::{Apc, ExactParallelCounter, MuxAdder, OrAdder};
+use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::multiply;
+use sc_core::rng::Lfsr;
+use sc_core::sng::{Sng, SngKind};
+
+fn streams(n: usize, length: usize) -> Vec<BitStream> {
+    (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 100 + i as u64)
+                .generate_bipolar((i as f64 / n as f64) - 0.5, StreamLength::new(length))
+                .expect("value in range")
+        })
+        .collect()
+}
+
+fn bench_sng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sng_generate");
+    group.sample_size(20);
+    for &length in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, &length| {
+            let mut sng = Sng::new(SngKind::Lfsr32, 7);
+            b.iter(|| sng.generate_bipolar(0.37, StreamLength::new(length)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bipolar_multiply");
+    group.sample_size(20);
+    for &length in &[1024usize, 8192] {
+        let pair = streams(2, length);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| multiply::bipolar(&pair[0], &pair[1]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adders_n32_l1024");
+    group.sample_size(20);
+    let inputs = streams(32, 1024);
+    group.bench_function("or", |b| {
+        let adder = OrAdder::new();
+        b.iter(|| adder.sum(&inputs).unwrap());
+    });
+    group.bench_function("mux", |b| {
+        let adder = MuxAdder::new();
+        b.iter(|| {
+            let mut selector = Lfsr::new_32(5);
+            adder.sum(&inputs, &mut selector).unwrap()
+        });
+    });
+    group.bench_function("apc", |b| {
+        let apc = Apc::new();
+        b.iter(|| apc.count(&inputs).unwrap());
+    });
+    group.bench_function("exact_counter", |b| {
+        let counter = ExactParallelCounter::new();
+        b.iter(|| counter.count(&inputs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sng, bench_multiply, bench_adders);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Runs the complete experiment suite (all tables and figures) in one go.
+use sc_bench::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args(std::env::args().skip(1));
+    let _ = sc_bench::run_table1(&settings);
+    let _ = sc_bench::run_table2(&settings);
+    let _ = sc_bench::run_table3(&settings);
+    let _ = sc_bench::run_table4(&settings);
+    let _ = sc_bench::run_table5(&settings);
+    let _ = sc_bench::run_fig9(&settings);
+    let _ = sc_bench::run_fig13(&settings);
+    let _ = sc_bench::run_fig14(&settings);
+    let _ = sc_bench::run_fig15();
+    let _ = sc_bench::run_fig16(&settings);
+    let _ = sc_bench::run_table6(&settings);
+    let _ = sc_bench::run_table7(&settings);
+    let _ = sc_bench::run_weight_storage(&settings);
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 (feature block hardware cost sweep).
+fn main() {
+    let _ = sc_bench::run_fig15();
+}

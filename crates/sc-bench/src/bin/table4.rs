@@ -1,0 +1,7 @@
+//! Regenerates Table 4 (hardware-oriented max pooling) of the SC-DCNN paper.
+use sc_bench::ExperimentSettings;
+
+fn main() {
+    let settings = ExperimentSettings::from_args(std::env::args().skip(1));
+    let _ = sc_bench::run_table4(&settings);
+}

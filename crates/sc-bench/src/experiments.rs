@@ -1,0 +1,578 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! Every function prints a human-readable table to stdout and returns the
+//! raw data so tests (and downstream tooling) can assert on the trends
+//! rather than scrape text.
+
+use crate::settings::ExperimentSettings;
+use sc_blocks::accuracy::{
+    apc_vs_exact_error, feature_block_inaccuracy, hardware_max_pool_deviation,
+    mux_inner_product_error, or_inner_product_error, stanh_inaccuracy, stanh_transfer_point,
+};
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_dcnn::config::table6_configurations;
+use sc_dcnn::error_model::{ErrorInjection, FebErrorModel};
+use sc_dcnn::mapping::lenet5_cost;
+use sc_dcnn::optimizer::CandidateEvaluation;
+use sc_dcnn::platforms::{paper_scdcnn_rows, reference_platforms, PlatformRow};
+use sc_dcnn::report;
+use sc_dcnn::weight_storage::{
+    evaluate_layer_wise_precision, evaluate_single_layer_precision, evaluate_uniform_precision,
+    lenet5_sram_savings,
+};
+use sc_hw::block_cost::{feature_block_report, FeatureBlockCostReport};
+use sc_nn::dataset::SyntheticDigits;
+use sc_nn::lenet::tiny_lenet;
+use sc_nn::network::{Network, TrainingOptions};
+
+/// Input sizes swept by the inner-product tables (Tables 1–3).
+pub const INNER_PRODUCT_SIZES: [usize; 3] = [16, 32, 64];
+
+/// A generic labelled measurement grid: one row label, one value per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRow {
+    /// Row label (e.g. "Unipolar inputs" or an input size).
+    pub label: String,
+    /// One value per swept column.
+    pub values: Vec<f64>,
+}
+
+fn print_grid(title: &str, column_header: &str, columns: &[String], rows: &[GridRow]) {
+    println!("\n=== {title} ===");
+    print!("{column_header:<18}");
+    for column in columns {
+        print!("{column:>12}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<18}", row.label);
+        for value in &row.values {
+            print!("{value:>12.4}");
+        }
+        println!();
+    }
+}
+
+/// Table 1: absolute errors of the OR-gate inner-product block.
+pub fn run_table1(settings: &ExperimentSettings) -> Vec<GridRow> {
+    let stream_length = 1024;
+    let mut rows = Vec::new();
+    for (label, unipolar) in [("Unipolar inputs", true), ("Bipolar inputs", false)] {
+        let values = INNER_PRODUCT_SIZES
+            .iter()
+            .map(|&n| {
+                or_inner_product_error(unipolar, n, stream_length, settings.trials, settings.seed)
+                    .mean_absolute
+            })
+            .collect();
+        rows.push(GridRow { label: label.to_string(), values });
+    }
+    let columns: Vec<String> = INNER_PRODUCT_SIZES.iter().map(|n| n.to_string()).collect();
+    print_grid(
+        "Table 1: absolute error of OR-gate inner product (L = 1024)",
+        "Input size",
+        &columns,
+        &rows,
+    );
+    rows
+}
+
+/// Table 2: absolute errors of the MUX inner-product block.
+pub fn run_table2(settings: &ExperimentSettings) -> Vec<GridRow> {
+    let lengths = [512usize, 1024, 2048, 4096];
+    let mut rows = Vec::new();
+    for &n in &INNER_PRODUCT_SIZES {
+        let values = lengths
+            .iter()
+            .map(|&l| mux_inner_product_error(n, l, settings.trials, settings.seed).mean_absolute)
+            .collect();
+        rows.push(GridRow { label: n.to_string(), values });
+    }
+    let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
+    print_grid(
+        "Table 2: absolute error of MUX inner product vs bit-stream length",
+        "Input size",
+        &columns,
+        &rows,
+    );
+    rows
+}
+
+/// Table 3: relative errors of the APC vs the conventional parallel counter.
+pub fn run_table3(settings: &ExperimentSettings) -> Vec<GridRow> {
+    let lengths = [128usize, 256, 384, 512];
+    let mut rows = Vec::new();
+    for &n in &INNER_PRODUCT_SIZES {
+        let values = lengths
+            .iter()
+            .map(|&l| {
+                apc_vs_exact_error(n, l, settings.trials, settings.seed).mean_relative * 100.0
+            })
+            .collect();
+        rows.push(GridRow { label: n.to_string(), values });
+    }
+    let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
+    print_grid(
+        "Table 3: relative error (%) of APC vs conventional parallel counter",
+        "Input size",
+        &columns,
+        &rows,
+    );
+    rows
+}
+
+/// Table 4: relative deviation of hardware-oriented max pooling.
+pub fn run_table4(settings: &ExperimentSettings) -> Vec<GridRow> {
+    let lengths = [128usize, 256, 384, 512];
+    let pool_sizes = [4usize, 9, 16];
+    let mut rows = Vec::new();
+    for &n in &pool_sizes {
+        let values = lengths
+            .iter()
+            .map(|&l| {
+                hardware_max_pool_deviation(n, l, 16, settings.trials, settings.seed).mean_relative
+            })
+            .collect();
+        rows.push(GridRow { label: n.to_string(), values });
+    }
+    let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
+    print_grid(
+        "Table 4: relative deviation of hardware-oriented max pooling vs software max",
+        "Input size",
+        &columns,
+        &rows,
+    );
+    rows
+}
+
+/// Table 5: Stanh state count versus relative inaccuracy.
+pub fn run_table5(settings: &ExperimentSettings) -> Vec<(usize, f64)> {
+    let stream_length = 8192;
+    let states = [8usize, 10, 12, 14, 16, 18, 20];
+    let points: Vec<(usize, f64)> = states
+        .iter()
+        .map(|&k| {
+            let summary = stanh_inaccuracy(k, stream_length, settings.trials, settings.seed);
+            (k, summary.mean_relative * 100.0)
+        })
+        .collect();
+    println!("\n=== Table 5: Stanh state count vs relative inaccuracy (L = 8192) ===");
+    println!("{:<14}{:>20}", "State number", "Rel. inaccuracy (%)");
+    for (k, inaccuracy) in &points {
+        println!("{k:<14}{inaccuracy:>20.2}");
+    }
+    points
+}
+
+/// Figure 9: the Stanh transfer curve compared to tanh(K·x/2).
+pub fn run_fig9(settings: &ExperimentSettings) -> Vec<(f64, f64, f64)> {
+    let states = 8usize;
+    let stream_length = 8192;
+    let mut points = Vec::new();
+    let steps = 21;
+    for i in 0..steps {
+        let x = -1.0 + 2.0 * i as f64 / (steps - 1) as f64;
+        let measured = stanh_transfer_point(states, stream_length, x, settings.seed + i as u64);
+        let reference = (states as f64 / 2.0 * x).tanh();
+        points.push((x, measured, reference));
+    }
+    println!("\n=== Figure 9: Stanh(8, x) vs tanh(4x) ===");
+    println!("{:<10}{:>14}{:>14}", "x", "Stanh", "tanh(4x)");
+    for (x, measured, reference) in &points {
+        println!("{x:<10.2}{measured:>14.4}{reference:>14.4}");
+    }
+    points
+}
+
+/// Trains the reduced LeNet used by the network-level experiments and
+/// returns it together with its dataset.
+pub fn trained_network(settings: &ExperimentSettings) -> (Network, SyntheticDigits) {
+    let data = SyntheticDigits::generate(settings.train_per_class, settings.seed);
+    let mut network = tiny_lenet(settings.seed);
+    let options = TrainingOptions {
+        epochs: settings.epochs,
+        learning_rate: 0.08,
+        shuffle_seed: settings.seed,
+        learning_rate_decay: 0.9,
+    };
+    network.train(&data.train_images, &data.train_labels, &options);
+    (network, data)
+}
+
+/// Figure 13: network error rate versus weight precision, per layer and for
+/// all layers simultaneously. Returns `(precision, error_rate)` series keyed
+/// by their label.
+pub fn run_fig13(settings: &ExperimentSettings) -> Vec<(String, Vec<(usize, f64)>)> {
+    let (mut network, data) = trained_network(settings);
+    let baseline = network.error_rate(&data.test_images, &data.test_labels);
+    let precisions = [2usize, 3, 4, 5, 6, 7, 8, 10, 12];
+    let mut series = Vec::new();
+    for layer in 0..3 {
+        let points: Vec<(usize, f64)> = precisions
+            .iter()
+            .map(|&bits| {
+                let eval = evaluate_single_layer_precision(
+                    &mut network,
+                    layer,
+                    bits,
+                    &data.test_images,
+                    &data.test_labels,
+                );
+                (bits, eval.error_rate)
+            })
+            .collect();
+        series.push((format!("Layer{layer}"), points));
+    }
+    let all_points: Vec<(usize, f64)> = precisions
+        .iter()
+        .map(|&bits| {
+            let eval =
+                evaluate_uniform_precision(&mut network, bits, &data.test_images, &data.test_labels);
+            (bits, eval.error_rate)
+        })
+        .collect();
+    series.push(("All layers".to_string(), all_points));
+    println!("\n=== Figure 13: network error rate vs weight precision (baseline {:.3}) ===", baseline);
+    print!("{:<12}", "Bits");
+    for (label, _) in &series {
+        print!("{label:>12}");
+    }
+    println!();
+    for (index, &bits) in precisions.iter().enumerate() {
+        print!("{bits:<12}");
+        for (_, points) in &series {
+            print!("{:>12.3}", points[index].1);
+        }
+        println!();
+    }
+    series
+}
+
+/// Figure 14: feature-extraction-block inaccuracy versus input size for the
+/// four configurations and several bit-stream lengths.
+pub fn run_fig14(settings: &ExperimentSettings) -> Vec<(FeatureBlockKind, usize, usize, f64)> {
+    let input_sizes = [16usize, 32, 64, 128, 256];
+    let lengths = [256usize, 512, 1024];
+    let mut points = Vec::new();
+    println!("\n=== Figure 14: feature extraction block inaccuracy vs input size ===");
+    for kind in FeatureBlockKind::ALL {
+        println!("\n-- {} --", kind.name());
+        print!("{:<12}", "Input size");
+        for &l in &lengths {
+            print!("{:>12}", format!("L={l}"));
+        }
+        println!();
+        for &n in &input_sizes {
+            print!("{n:<12}");
+            for &l in &lengths {
+                let summary =
+                    feature_block_inaccuracy(kind, n, l, settings.trials.min(24), settings.seed);
+                print!("{:>12.4}", summary.mean_absolute);
+                points.push((kind, n, l, summary.mean_absolute));
+            }
+            println!();
+        }
+    }
+    points
+}
+
+/// Figure 15: feature-extraction-block area / delay / power / energy versus
+/// input size (bit-stream length fixed at 1024).
+pub fn run_fig15() -> Vec<FeatureBlockCostReport> {
+    let input_sizes = [16usize, 32, 64, 128, 256];
+    let mut reports = Vec::new();
+    println!("\n=== Figure 15: feature extraction block hardware cost vs input size (L = 1024) ===");
+    println!(
+        "{:<16}{:>12}{:>14}{:>14}{:>12}{:>14}",
+        "Design", "Input size", "Area (um2)", "Delay (ns)", "Power (mW)", "Energy (pJ)"
+    );
+    for kind in FeatureBlockKind::ALL {
+        for &n in &input_sizes {
+            let report = feature_block_report(kind, n, 1024);
+            println!(
+                "{:<16}{:>12}{:>14.1}{:>14.3}{:>12.4}{:>14.1}",
+                kind.name(),
+                n,
+                report.area_um2,
+                report.path_delay_ns,
+                report.power_mw,
+                report.energy_pj
+            );
+            reports.push(report);
+        }
+    }
+    reports
+}
+
+/// Figure 16: sensitivity of the network accuracy to inaccuracy injected in
+/// a single layer. Returns `(layer, sigma, error_rate)` points.
+pub fn run_fig16(settings: &ExperimentSettings) -> Vec<(usize, f64, f64)> {
+    let (mut network, data) = trained_network(settings);
+    let sigmas = [0.0f64, 0.1, 0.2, 0.4, 0.6];
+    let mut points = Vec::new();
+    println!("\n=== Figure 16: per-layer sensitivity to injected inaccuracy ===");
+    print!("{:<10}", "Sigma");
+    for layer in 0..3 {
+        print!("{:>12}", format!("Layer{layer}"));
+    }
+    println!();
+    let model = FebErrorModel::new(settings.calibration_trials, settings.seed);
+    let injection = ErrorInjection::lenet5(&model);
+    for &sigma in &sigmas {
+        print!("{sigma:<10.2}");
+        for layer in 0..3 {
+            // Build a synthetic configuration whose calibrated sigmas are
+            // overridden so only one layer sees noise: evaluate directly via
+            // the injection helper by constructing per-layer sigma vectors.
+            let mut layer_sigmas = vec![0.0; 3];
+            layer_sigmas[layer] = sigma;
+            let error = error_rate_with_sigmas(
+                &mut network,
+                &injection,
+                &layer_sigmas,
+                &data,
+                settings.seed + layer as u64,
+            );
+            print!("{error:>12.3}");
+            points.push((layer, sigma, error));
+        }
+        println!();
+    }
+    points
+}
+
+/// Evaluates the trained network with explicit per-layer noise sigmas by
+/// routing through the error-injection machinery with a custom configuration.
+fn error_rate_with_sigmas(
+    network: &mut Network,
+    _injection: &ErrorInjection<'_>,
+    sigmas: &[f64],
+    data: &SyntheticDigits,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors = 0usize;
+    for (image, &label) in data.test_images.iter().zip(data.test_labels.iter()) {
+        let mut current = image.clone();
+        let mut activation_index = 0usize;
+        let layer_count = network.layer_count();
+        for (index, layer) in network.layers_mut().iter_mut().enumerate() {
+            current = layer.forward(&current);
+            let is_last = index + 1 == layer_count;
+            let sigma = if layer.name() == "tanh" {
+                let s = sigmas.get(activation_index).copied().unwrap_or(0.0);
+                activation_index += 1;
+                s
+            } else if is_last {
+                sigmas.last().copied().unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            if sigma > 0.0 {
+                for value in current.as_mut_slice() {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    let noise =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                    *value = (*value + noise * sigma as f32).clamp(-5.0, 5.0);
+                }
+            }
+        }
+        if current.argmax() != label {
+            errors += 1;
+        }
+    }
+    errors as f64 / data.test_images.len() as f64
+}
+
+/// Table 6: the twelve LeNet-5 configurations with accuracy degradation and
+/// hardware cost.
+pub fn run_table6(settings: &ExperimentSettings) -> Vec<CandidateEvaluation> {
+    let (mut network, data) = trained_network(settings);
+    let model = FebErrorModel::new(settings.calibration_trials, settings.seed);
+    let injection = ErrorInjection::lenet5(&model);
+    let mut evaluations = Vec::new();
+    println!("\n=== Table 6: SC-DCNN LeNet-5 configurations ===");
+    println!("{}", report::table6_header());
+    for config in table6_configurations() {
+        let inaccuracy = injection.inaccuracy_percent(
+            &mut network,
+            &config,
+            &data.test_images,
+            &data.test_labels,
+            settings.seed,
+        );
+        let evaluation = CandidateEvaluation {
+            cost: lenet5_cost(&config),
+            inaccuracy_percent: inaccuracy,
+            meets_accuracy: inaccuracy <= 1.5,
+            config,
+        };
+        println!("{}", report::table6_row(&evaluation));
+        evaluations.push(evaluation);
+    }
+    evaluations
+}
+
+/// Table 7: platform comparison. Returns the full set of rows (published
+/// references, the paper's SC-DCNN rows, and this reproduction's measured
+/// No.6 / No.11 rows).
+pub fn run_table7(settings: &ExperimentSettings) -> Vec<PlatformRow> {
+    let (mut network, data) = trained_network(settings);
+    let model = FebErrorModel::new(settings.calibration_trials, settings.seed);
+    let injection = ErrorInjection::lenet5(&model);
+    let baseline_error = network.error_rate(&data.test_images, &data.test_labels);
+    let mut rows = reference_platforms();
+    rows.extend(paper_scdcnn_rows());
+    for config in table6_configurations() {
+        if config.name == "No.6" || config.name == "No.11" {
+            let cost = lenet5_cost(&config);
+            let noisy_error = injection.error_rate(
+                &mut network,
+                &config,
+                &data.test_images,
+                &data.test_labels,
+                settings.seed,
+            );
+            let accuracy = (1.0 - noisy_error.max(baseline_error)) * 100.0;
+            rows.push(PlatformRow {
+                platform: if config.name == "No.6" {
+                    "SC-DCNN (No.6, this repro)"
+                } else {
+                    "SC-DCNN (No.11, this repro)"
+                },
+                dataset: "Synthetic digits",
+                network_type: "CNN",
+                year: 2016,
+                platform_type: "ASIC",
+                area_mm2: Some(cost.area_mm2),
+                power_w: Some(cost.power_w),
+                accuracy_percent: Some(accuracy),
+                throughput_images_per_s: cost.throughput_images_per_s,
+                area_efficiency: Some(cost.area_efficiency),
+                energy_efficiency: cost.energy_efficiency,
+            });
+        }
+    }
+    println!("\n=== Table 7: platform comparison ===");
+    println!("{}", report::table7_header());
+    for row in &rows {
+        println!("{}", report::table7_row(row));
+    }
+    rows
+}
+
+/// Section 5.2 / 5.3: weight-storage savings of low-precision and layer-wise
+/// precision schemes, plus their accuracy impact on the trained network.
+pub fn run_weight_storage(settings: &ExperimentSettings) -> Vec<(String, f64, f64, f64)> {
+    let (mut network, data) = trained_network(settings);
+    let baseline_error = network.error_rate(&data.test_images, &data.test_labels);
+    let mut rows = Vec::new();
+    let uniform7 =
+        evaluate_uniform_precision(&mut network, 7, &data.test_images, &data.test_labels);
+    rows.push((
+        "uniform 7-bit".to_string(),
+        uniform7.area_saving,
+        uniform7.power_saving,
+        uniform7.error_rate,
+    ));
+    let layerwise = evaluate_layer_wise_precision(
+        &mut network,
+        &[7, 7, 6],
+        &data.test_images,
+        &data.test_labels,
+    );
+    rows.push((
+        "layer-wise 7-7-6".to_string(),
+        layerwise.area_saving,
+        layerwise.power_saving,
+        layerwise.error_rate,
+    ));
+    let (area_64, power_64) = lenet5_sram_savings(&[64, 64, 64]);
+    rows.push(("64-bit baseline".to_string(), area_64, power_64, baseline_error));
+    println!("\n=== Section 5: weight storage optimization ===");
+    println!(
+        "{:<20}{:>16}{:>16}{:>14}",
+        "Scheme", "Area saving", "Power saving", "Error rate"
+    );
+    for (label, area, power, error) in &rows {
+        println!("{label:<20}{area:>15.1}x{power:>15.1}x{error:>14.3}");
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> ExperimentSettings {
+        ExperimentSettings {
+            trials: 6,
+            train_per_class: 6,
+            epochs: 1,
+            calibration_trials: 3,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn table1_bipolar_is_worse_than_unipolar() {
+        let rows = run_table1(&tiny_settings());
+        assert_eq!(rows.len(), 2);
+        for (uni, bip) in rows[0].values.iter().zip(rows[1].values.iter()) {
+            assert!(bip > uni, "bipolar OR error should exceed unipolar ({bip} vs {uni})");
+        }
+    }
+
+    #[test]
+    fn table2_error_drops_with_length() {
+        let rows = run_table2(&tiny_settings());
+        for row in rows {
+            assert!(
+                row.values.first().unwrap() > row.values.last().unwrap(),
+                "MUX error should decrease with longer streams"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_errors_are_small_percentages() {
+        let rows = run_table3(&tiny_settings());
+        for row in rows {
+            for value in row.values {
+                assert!(value < 5.0, "APC relative error {value}% unexpectedly large");
+            }
+        }
+    }
+
+    #[test]
+    fn table5_has_a_minimum_in_the_swept_range() {
+        let points = run_table5(&tiny_settings());
+        assert_eq!(points.len(), 7);
+        assert!(points.iter().all(|(_, e)| *e > 0.0));
+    }
+
+    #[test]
+    fn fig15_orders_designs_by_cost() {
+        let reports = run_fig15();
+        let area = |kind: FeatureBlockKind, n: usize| {
+            reports
+                .iter()
+                .find(|r| r.kind == kind && r.input_size == n)
+                .map(|r| r.area_um2)
+                .unwrap()
+        };
+        for &n in &[16usize, 64, 256] {
+            assert!(area(FeatureBlockKind::MuxAvgStanh, n) <= area(FeatureBlockKind::ApcMaxBtanh, n));
+        }
+    }
+
+    #[test]
+    fn weight_storage_savings_match_paper_magnitude() {
+        let rows = run_weight_storage(&tiny_settings());
+        let layerwise = rows.iter().find(|(label, ..)| label.contains("7-7-6")).unwrap();
+        assert!(layerwise.1 > 5.0, "7-7-6 area saving {} too small", layerwise.1);
+    }
+}

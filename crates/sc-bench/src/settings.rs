@@ -1,0 +1,76 @@
+//! Experiment sizing knobs.
+
+/// Controls how much Monte-Carlo / training work each experiment performs.
+///
+/// The paper's experiments average over large input populations; the `full`
+/// preset approximates that, while `quick` shrinks trial counts and the
+/// training set so the complete suite finishes in a couple of minutes on a
+/// laptop (the reported trends are the same, only noisier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentSettings {
+    /// Monte-Carlo trials per table cell.
+    pub trials: usize,
+    /// Training samples per digit class for network-level experiments.
+    pub train_per_class: usize,
+    /// Training epochs for network-level experiments.
+    pub epochs: usize,
+    /// Test samples are `train_per_class / 4` per class (see `sc_nn::dataset`).
+    /// Calibration trials for the feature-block error model.
+    pub calibration_trials: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl ExperimentSettings {
+    /// Fast preset used by default and by the integration tests.
+    pub fn quick() -> Self {
+        Self { trials: 24, train_per_class: 20, epochs: 3, calibration_trials: 8, seed: 20_17 }
+    }
+
+    /// Higher-fidelity preset (longer runtime, smoother numbers).
+    pub fn full() -> Self {
+        Self { trials: 120, train_per_class: 80, epochs: 6, calibration_trials: 24, seed: 20_17 }
+    }
+
+    /// Parses `--quick` / `--full` style command-line arguments, defaulting
+    /// to the quick preset.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut settings = Self::quick();
+        for arg in args {
+            match arg.as_str() {
+                "--full" => settings = Self::full(),
+                "--quick" => settings = Self::quick(),
+                _ => {}
+            }
+        }
+        settings
+    }
+}
+
+impl Default for ExperimentSettings {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_scale() {
+        let quick = ExperimentSettings::quick();
+        let full = ExperimentSettings::full();
+        assert!(full.trials > quick.trials);
+        assert!(full.train_per_class > quick.train_per_class);
+        assert_eq!(quick, ExperimentSettings::default());
+    }
+
+    #[test]
+    fn argument_parsing_selects_preset() {
+        let full = ExperimentSettings::from_args(vec!["--full".to_string()]);
+        assert_eq!(full, ExperimentSettings::full());
+        let quick = ExperimentSettings::from_args(vec!["whatever".to_string()]);
+        assert_eq!(quick, ExperimentSettings::quick());
+    }
+}

@@ -1,0 +1,241 @@
+//! Activation function blocks with jointly-optimized state counts.
+//!
+//! Section 4.4 of the paper stresses that the activation FSM cannot be sized
+//! in isolation: the optimal state count depends on the input size `N`
+//! (because MUX adders scale by `1/N`), the bit-stream length `L`, and which
+//! pooling block precedes it. This module wraps [`sc_core::activation`] with
+//! that joint selection logic so the feature-extraction layer can simply ask
+//! for "the right activation block for this configuration".
+
+use sc_core::activation::{
+    apc_avg_btanh_states, apc_max_btanh_states, mux_avg_stanh_states, mux_max_stanh_states, Btanh,
+    Stanh, StanhMode,
+};
+use sc_core::add::CountStream;
+use sc_core::bitstream::BitStream;
+use sc_core::error::ScError;
+use serde::{Deserialize, Serialize};
+
+/// Which activation implementation a feature extraction block uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// FSM-based Stanh, consuming a (scaled) bit-stream.
+    Stanh,
+    /// Counter-based Btanh, consuming APC binary counts.
+    Btanh,
+}
+
+impl ActivationKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActivationKind::Stanh => "Stanh",
+            ActivationKind::Btanh => "Btanh",
+        }
+    }
+}
+
+/// A Stanh activation block whose state count is derived from the feature
+/// extraction block configuration (Eq. 1 or Eq. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StanhBlock {
+    states: usize,
+    mode: StanhMode,
+}
+
+impl StanhBlock {
+    /// Builds the Stanh block for a MUX-Avg-Stanh feature extraction block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScError::InvalidParameter`] if the derived state count is
+    /// unusable (cannot happen for the supported parameter ranges).
+    pub fn for_mux_avg(input_size: usize, stream_length: usize) -> Result<Self, ScError> {
+        let states = mux_avg_stanh_states(input_size, stream_length);
+        Stanh::new(states)?;
+        Ok(Self { states, mode: StanhMode::Standard })
+    }
+
+    /// Builds the re-designed Stanh block for a MUX-Max-Stanh feature
+    /// extraction block (shifted output threshold, Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScError::InvalidParameter`] if the derived state count is
+    /// unusable (cannot happen for the supported parameter ranges).
+    pub fn for_mux_max(input_size: usize, stream_length: usize) -> Result<Self, ScError> {
+        let states = mux_max_stanh_states(input_size, stream_length);
+        Stanh::new(states)?;
+        Ok(Self { states, mode: StanhMode::ShiftedFifth })
+    }
+
+    /// Builds a Stanh block with an explicit state count (used by ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] unless `states` is an even
+    /// number of at least two.
+    pub fn with_states(states: usize, mode: StanhMode) -> Result<Self, ScError> {
+        Stanh::new(states)?;
+        Ok(Self { states, mode })
+    }
+
+    /// The selected state count `K`.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// The output threshold mode.
+    pub fn mode(&self) -> StanhMode {
+        self.mode
+    }
+
+    /// Applies the activation to a (scaled) input stream.
+    pub fn apply(&self, input: &BitStream) -> BitStream {
+        let mut fsm = Stanh::with_mode(self.states, self.mode)
+            .expect("state count validated at construction");
+        fsm.transform(input)
+    }
+
+    /// The continuous function this block approximates for an *unscaled*
+    /// input `x` that was divided by `input_size` before reaching the FSM.
+    ///
+    /// `Stanh(K, x/N) ≈ tanh(K·x / (2N))`; with `K` chosen by Eq. 1/2 the
+    /// overall block approximates `tanh(x)` up to the empirical fit error.
+    pub fn reference(&self, x: f64) -> f64 {
+        x.tanh()
+    }
+}
+
+/// A Btanh activation block whose state count follows Eq. 3 (average pooling)
+/// or the original Kim et al. sizing (max pooling).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtanhBlock {
+    states: usize,
+}
+
+impl BtanhBlock {
+    /// Builds the Btanh block for an APC-Avg-Btanh feature extraction block
+    /// (Eq. 3: `K ≈ N/2`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScError::InvalidParameter`] if the derived state count is
+    /// unusable (cannot happen for the supported parameter ranges).
+    pub fn for_apc_avg(input_size: usize) -> Result<Self, ScError> {
+        let states = apc_avg_btanh_states(input_size);
+        Btanh::new(states)?;
+        Ok(Self { states })
+    }
+
+    /// Builds the Btanh block for an APC-Max-Btanh feature extraction block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScError::InvalidParameter`] if the derived state count is
+    /// unusable (cannot happen for the supported parameter ranges).
+    pub fn for_apc_max(input_size: usize) -> Result<Self, ScError> {
+        let states = apc_max_btanh_states(input_size);
+        Btanh::new(states)?;
+        Ok(Self { states })
+    }
+
+    /// Builds a Btanh block with an explicit state count (used by ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] unless `states` is an even
+    /// number of at least two.
+    pub fn with_states(states: usize) -> Result<Self, ScError> {
+        Btanh::new(states)?;
+        Ok(Self { states })
+    }
+
+    /// The selected state count `K`.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Applies the activation to a binary count stream.
+    pub fn apply(&self, counts: &CountStream) -> BitStream {
+        let mut counter =
+            Btanh::new(self.states).expect("state count validated at construction");
+        counter.transform(counts)
+    }
+
+    /// The continuous function this block approximates for an unscaled sum `x`.
+    pub fn reference(&self, x: f64) -> f64 {
+        x.tanh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::add::ExactParallelCounter;
+    use sc_core::bitstream::StreamLength;
+    use sc_core::sng::{Sng, SngKind};
+
+    #[test]
+    fn state_counts_follow_formulas() {
+        let block = StanhBlock::for_mux_avg(16, 1024).unwrap();
+        assert_eq!(block.states(), mux_avg_stanh_states(16, 1024));
+        assert_eq!(block.mode(), StanhMode::Standard);
+
+        let block = StanhBlock::for_mux_max(64, 1024).unwrap();
+        assert_eq!(block.states(), mux_max_stanh_states(64, 1024));
+        assert_eq!(block.mode(), StanhMode::ShiftedFifth);
+
+        let block = BtanhBlock::for_apc_avg(64).unwrap();
+        assert_eq!(block.states(), 32);
+
+        let block = BtanhBlock::for_apc_max(16).unwrap();
+        assert_eq!(block.states(), 32);
+    }
+
+    #[test]
+    fn explicit_state_counts_are_validated() {
+        assert!(StanhBlock::with_states(3, StanhMode::Standard).is_err());
+        assert!(BtanhBlock::with_states(0).is_err());
+        assert!(StanhBlock::with_states(8, StanhMode::Standard).is_ok());
+        assert!(BtanhBlock::with_states(8).is_ok());
+    }
+
+    #[test]
+    fn stanh_block_output_has_same_length() {
+        let block = StanhBlock::for_mux_avg(16, 512).unwrap();
+        let mut sng = Sng::new(SngKind::Lfsr32, 2);
+        let input = sng.generate_bipolar(0.2, StreamLength::new(512)).unwrap();
+        let output = block.apply(&input);
+        assert_eq!(output.len(), 512);
+    }
+
+    #[test]
+    fn btanh_block_saturates_on_strong_sums() {
+        let block = BtanhBlock::for_apc_avg(4).unwrap();
+        let streams: Vec<_> = (0..4)
+            .map(|i| {
+                Sng::new(SngKind::Lfsr32, 60 + i)
+                    .generate_bipolar(0.6, StreamLength::new(2048))
+                    .unwrap()
+            })
+            .collect();
+        let counts = ExactParallelCounter::new().count(&streams).unwrap();
+        let output = block.apply(&counts);
+        assert!(output.bipolar_value() > 0.6);
+    }
+
+    #[test]
+    fn references_are_tanh() {
+        let stanh = StanhBlock::for_mux_avg(16, 256).unwrap();
+        let btanh = BtanhBlock::for_apc_avg(16).unwrap();
+        assert!((stanh.reference(0.5) - 0.5f64.tanh()).abs() < 1e-12);
+        assert!((btanh.reference(-0.7) - (-0.7f64).tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_kind_names() {
+        assert_eq!(ActivationKind::Stanh.name(), "Stanh");
+        assert_eq!(ActivationKind::Btanh.name(), "Btanh");
+    }
+}

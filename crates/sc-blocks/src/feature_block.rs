@@ -1,0 +1,546 @@
+//! Feature extraction blocks (FEBs).
+//!
+//! A feature extraction block (Fig. 10 of the paper) cascades four
+//! inner-product blocks, one pooling block and one activation block, and is
+//! the unit the network-level optimizer selects per layer. The paper studies
+//! four jointly-optimized configurations; all of them are exposed behind the
+//! single [`FeatureBlock`] type so the higher layers can treat the choice as
+//! data:
+//!
+//! | Kind | Inner product | Pooling | Activation | Character |
+//! |---|---|---|---|---|
+//! | `MuxAvgStanh` | MUX | average | Stanh (Eq. 1) | smallest/cheapest, worst accuracy |
+//! | `MuxMaxStanh` | MUX | hardware max | re-designed Stanh (Eq. 2) | cheap, medium accuracy |
+//! | `ApcAvgBtanh` | APC | average | Btanh (Eq. 3) | accurate, higher area/energy |
+//! | `ApcMaxBtanh` | APC | hardware max | Btanh | most accurate, most expensive |
+
+use crate::activation_block::{ActivationKind, BtanhBlock, StanhBlock};
+use crate::inner_product::{
+    reference_inner_product, ApcInnerProduct, InnerProductKind, MuxInnerProduct,
+};
+use crate::pooling::{AveragePooling, HardwareMaxPooling, PoolingKind};
+use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::error::ScError;
+use serde::{Deserialize, Serialize};
+
+/// Default segment length (in bits) of the hardware-oriented max pooling.
+pub const DEFAULT_MAX_POOL_SEGMENT: usize = 16;
+
+/// Caps an activation state count at half the bit-stream length (rounded to
+/// an even number, floored at two) so the counter can actually traverse its
+/// range within one stream.
+fn capped_states(states: usize, stream_length: sc_core::bitstream::StreamLength) -> usize {
+    let cap = (stream_length.bits() / 2).max(2) & !1;
+    states.min(cap.max(2))
+}
+
+/// The four feature extraction block configurations studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureBlockKind {
+    /// MUX inner product, average pooling, Stanh activation.
+    MuxAvgStanh,
+    /// MUX inner product, hardware-oriented max pooling, re-designed Stanh.
+    MuxMaxStanh,
+    /// APC inner product, average pooling, Btanh activation.
+    ApcAvgBtanh,
+    /// APC inner product, hardware-oriented max pooling, Btanh activation.
+    ApcMaxBtanh,
+}
+
+impl FeatureBlockKind {
+    /// All four kinds in the paper's order.
+    pub const ALL: [FeatureBlockKind; 4] = [
+        FeatureBlockKind::MuxAvgStanh,
+        FeatureBlockKind::MuxMaxStanh,
+        FeatureBlockKind::ApcAvgBtanh,
+        FeatureBlockKind::ApcMaxBtanh,
+    ];
+
+    /// The two max-pooling configurations.
+    pub const MAX_POOLING: [FeatureBlockKind; 2] =
+        [FeatureBlockKind::MuxMaxStanh, FeatureBlockKind::ApcMaxBtanh];
+
+    /// The two average-pooling configurations.
+    pub const AVG_POOLING: [FeatureBlockKind; 2] =
+        [FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::ApcAvgBtanh];
+
+    /// The paper's name for the configuration (e.g. `"MUX-Avg-Stanh"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureBlockKind::MuxAvgStanh => "MUX-Avg-Stanh",
+            FeatureBlockKind::MuxMaxStanh => "MUX-Max-Stanh",
+            FeatureBlockKind::ApcAvgBtanh => "APC-Avg-Btanh",
+            FeatureBlockKind::ApcMaxBtanh => "APC-Max-Btanh",
+        }
+    }
+
+    /// Short name used in Table 6 ("MUX" / "APC").
+    pub fn short_name(self) -> &'static str {
+        match self.inner_product() {
+            InnerProductKind::Mux => "MUX",
+            _ => "APC",
+        }
+    }
+
+    /// The inner-product block family used by this configuration.
+    pub fn inner_product(self) -> InnerProductKind {
+        match self {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => InnerProductKind::Mux,
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => InnerProductKind::Apc,
+        }
+    }
+
+    /// The pooling block used by this configuration.
+    pub fn pooling(self) -> PoolingKind {
+        match self {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::ApcAvgBtanh => PoolingKind::Average,
+            FeatureBlockKind::MuxMaxStanh | FeatureBlockKind::ApcMaxBtanh => {
+                PoolingKind::HardwareMax
+            }
+        }
+    }
+
+    /// The activation block used by this configuration.
+    pub fn activation(self) -> ActivationKind {
+        match self {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => ActivationKind::Stanh,
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => ActivationKind::Btanh,
+        }
+    }
+
+    /// Whether this configuration uses max pooling.
+    pub fn uses_max_pooling(self) -> bool {
+        self.pooling() == PoolingKind::HardwareMax
+    }
+
+    /// The kind with the same inner product / activation but the other
+    /// pooling strategy (useful when the network-level search is restricted
+    /// to a pooling style).
+    pub fn with_pooling(self, max: bool) -> FeatureBlockKind {
+        match (self.inner_product(), max) {
+            (InnerProductKind::Mux, true) => FeatureBlockKind::MuxMaxStanh,
+            (InnerProductKind::Mux, false) => FeatureBlockKind::MuxAvgStanh,
+            (_, true) => FeatureBlockKind::ApcMaxBtanh,
+            (_, false) => FeatureBlockKind::MuxAvgStanh.pick_apc(false),
+        }
+    }
+
+    fn pick_apc(self, max: bool) -> FeatureBlockKind {
+        if max {
+            FeatureBlockKind::ApcMaxBtanh
+        } else {
+            FeatureBlockKind::ApcAvgBtanh
+        }
+    }
+}
+
+impl std::fmt::Display for FeatureBlockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A configured feature extraction block.
+///
+/// The block is parameterized by the receptive-field size `N` (number of
+/// inputs per inner product), the pooling window size (number of inner
+/// products pooled together, four for the 2×2 windows used by LeNet-5), and
+/// the bit-stream length `L`. The activation state count is derived from the
+/// configuration via the paper's empirical formulas at construction time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureBlock {
+    kind: FeatureBlockKind,
+    input_size: usize,
+    pool_window: usize,
+    stream_length: StreamLength,
+    seed: u64,
+    stanh: Option<StanhBlock>,
+    btanh: Option<BtanhBlock>,
+}
+
+impl FeatureBlock {
+    /// Creates a feature extraction block with a 2×2 pooling window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for a zero `input_size`.
+    pub fn new(
+        kind: FeatureBlockKind,
+        input_size: usize,
+        stream_length: StreamLength,
+        seed: u64,
+    ) -> Result<Self, ScError> {
+        Self::with_pool_window(kind, input_size, 4, stream_length, seed)
+    }
+
+    /// Creates a feature extraction block with an explicit pooling window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for a zero `input_size` or
+    /// `pool_window`.
+    pub fn with_pool_window(
+        kind: FeatureBlockKind,
+        input_size: usize,
+        pool_window: usize,
+        stream_length: StreamLength,
+        seed: u64,
+    ) -> Result<Self, ScError> {
+        if input_size == 0 {
+            return Err(ScError::InvalidParameter {
+                name: "input_size",
+                message: "receptive field must contain at least one element".into(),
+            });
+        }
+        if pool_window == 0 {
+            return Err(ScError::InvalidParameter {
+                name: "pool_window",
+                message: "pooling window must contain at least one inner product".into(),
+            });
+        }
+        let (stanh, btanh) = match kind {
+            FeatureBlockKind::MuxAvgStanh => {
+                (Some(StanhBlock::for_mux_avg(input_size, stream_length.bits())?), None)
+            }
+            FeatureBlockKind::MuxMaxStanh => {
+                (Some(StanhBlock::for_mux_max(input_size, stream_length.bits())?), None)
+            }
+            // The averaging adder merges the pool window's APC outputs, so
+            // the counter effectively sees `pool_window · N` lanes; Eq. 3 is
+            // applied to that effective lane count. The counter is further
+            // capped at half the stream length: a counter with more states
+            // than the stream can traverse never saturates and only adds
+            // latency (the paper's joint optimization makes the same
+            // bit-stream-length/state-count trade).
+            FeatureBlockKind::ApcAvgBtanh => {
+                let states = capped_states(
+                    sc_core::activation::apc_avg_btanh_states(input_size * pool_window),
+                    stream_length,
+                );
+                (None, Some(BtanhBlock::with_states(states)?))
+            }
+            FeatureBlockKind::ApcMaxBtanh => {
+                let states = capped_states(
+                    sc_core::activation::apc_max_btanh_states(input_size),
+                    stream_length,
+                );
+                (None, Some(BtanhBlock::with_states(states)?))
+            }
+        };
+        Ok(Self { kind, input_size, pool_window, stream_length, seed, stanh, btanh })
+    }
+
+    /// The configuration kind.
+    pub fn kind(&self) -> FeatureBlockKind {
+        self.kind
+    }
+
+    /// Receptive-field size `N` per inner product.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of inner products pooled together.
+    pub fn pool_window(&self) -> usize {
+        self.pool_window
+    }
+
+    /// Configured bit-stream length `L`.
+    pub fn stream_length(&self) -> StreamLength {
+        self.stream_length
+    }
+
+    /// The activation state count selected by the joint-optimization formulas.
+    pub fn activation_states(&self) -> usize {
+        match (&self.stanh, &self.btanh) {
+            (Some(block), _) => block.states(),
+            (_, Some(block)) => block.states(),
+            _ => unreachable!("a feature block always has exactly one activation"),
+        }
+    }
+
+    /// Evaluates the block on `pool_window` receptive fields sharing one
+    /// filter, returning the SC output stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] if the number of receptive
+    /// fields differs from the pooling window or any receptive field /
+    /// the filter has the wrong length, and propagates encoding errors for
+    /// values outside `[-1, 1]`.
+    pub fn evaluate_stream(
+        &self,
+        receptive_fields: &[Vec<f64>],
+        weights: &[f64],
+    ) -> Result<BitStream, ScError> {
+        self.validate(receptive_fields, weights)?;
+        match self.kind {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
+                let streams: Vec<BitStream> = receptive_fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, field)| {
+                        MuxInnerProduct::new(self.seed.wrapping_add(1 + i as u64 * 131))
+                            .evaluate_stream(field, weights, self.stream_length)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let pooled = if self.kind == FeatureBlockKind::MuxAvgStanh {
+                    AveragePooling::new(self.seed ^ 0x5151_5151).pool_streams(&streams)?
+                } else {
+                    HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_streams(&streams)?
+                };
+                let stanh = self.stanh.as_ref().expect("MUX blocks carry a Stanh");
+                Ok(stanh.apply(&pooled))
+            }
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
+                let counts: Vec<_> = receptive_fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, field)| {
+                        ApcInnerProduct::new(self.seed.wrapping_add(1 + i as u64 * 131))
+                            .evaluate_counts(field, weights, self.stream_length)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let pooled = if self.kind == FeatureBlockKind::ApcAvgBtanh {
+                    // Average pooling in the binary domain is an adder tree;
+                    // the 1/pool_window division is folded into the Btanh
+                    // state count (see `with_pool_window`).
+                    sc_core::add::CountStream::merge_sum(&counts)?
+                } else {
+                    HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_counts(&counts)?
+                };
+                let btanh = self.btanh.as_ref().expect("APC blocks carry a Btanh");
+                Ok(btanh.apply(&pooled))
+            }
+        }
+    }
+
+    /// Evaluates the block and decodes the output to a bipolar value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FeatureBlock::evaluate_stream`].
+    pub fn evaluate(&self, receptive_fields: &[Vec<f64>], weights: &[f64]) -> Result<f64, ScError> {
+        Ok(self.evaluate_stream(receptive_fields, weights)?.bipolar_value())
+    }
+
+    /// The floating-point reference output: `tanh(pool(⟨xᵢ, w⟩))` with the
+    /// pooling operator matching this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`FeatureBlock::evaluate_stream`].
+    pub fn reference(&self, receptive_fields: &[Vec<f64>], weights: &[f64]) -> Result<f64, ScError> {
+        self.validate(receptive_fields, weights)?;
+        let inner_products: Vec<f64> = receptive_fields
+            .iter()
+            .map(|field| reference_inner_product(field, weights))
+            .collect();
+        let pooled = if self.kind.uses_max_pooling() {
+            inner_products.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        } else {
+            inner_products.iter().sum::<f64>() / inner_products.len() as f64
+        };
+        Ok(pooled.tanh())
+    }
+
+    /// Absolute error of the SC evaluation against the reference for one
+    /// input set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FeatureBlock::evaluate_stream`].
+    pub fn absolute_error(
+        &self,
+        receptive_fields: &[Vec<f64>],
+        weights: &[f64],
+    ) -> Result<f64, ScError> {
+        let sc = self.evaluate(receptive_fields, weights)?;
+        let reference = self.reference(receptive_fields, weights)?;
+        Ok((sc - reference).abs())
+    }
+
+    fn validate(&self, receptive_fields: &[Vec<f64>], weights: &[f64]) -> Result<(), ScError> {
+        if receptive_fields.len() != self.pool_window {
+            return Err(ScError::InvalidParameter {
+                name: "receptive_fields",
+                message: format!(
+                    "expected {} receptive fields, got {}",
+                    self.pool_window,
+                    receptive_fields.len()
+                ),
+            });
+        }
+        if weights.len() != self.input_size {
+            return Err(ScError::InvalidParameter {
+                name: "weights",
+                message: format!("expected {} weights, got {}", self.input_size, weights.len()),
+            });
+        }
+        for (i, field) in receptive_fields.iter().enumerate() {
+            if field.len() != self.input_size {
+                return Err(ScError::InvalidParameter {
+                    name: "receptive_fields",
+                    message: format!(
+                        "receptive field {i} has {} elements, expected {}",
+                        field.len(),
+                        self.input_size
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_case(
+        input_size: usize,
+        pool_window: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (input_size as f64).sqrt();
+        let fields = (0..pool_window)
+            .map(|_| (0..input_size).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let weights = (0..input_size).map(|_| rng.gen_range(-scale..scale)).collect();
+        (fields, weights)
+    }
+
+    #[test]
+    fn kind_component_mapping_is_consistent() {
+        for kind in FeatureBlockKind::ALL {
+            match kind.activation() {
+                ActivationKind::Stanh => assert_eq!(kind.inner_product(), InnerProductKind::Mux),
+                ActivationKind::Btanh => assert_eq!(kind.inner_product(), InnerProductKind::Apc),
+            }
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!(FeatureBlockKind::MuxMaxStanh.uses_max_pooling());
+        assert!(!FeatureBlockKind::ApcAvgBtanh.uses_max_pooling());
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        let len = StreamLength::new(256);
+        assert!(FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 0, len, 1).is_err());
+        assert!(FeatureBlock::with_pool_window(FeatureBlockKind::ApcAvgBtanh, 4, 0, len, 1)
+            .is_err());
+        let block = FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 16, len, 1).unwrap();
+        assert_eq!(block.input_size(), 16);
+        assert_eq!(block.pool_window(), 4);
+        assert_eq!(block.stream_length(), len);
+        assert_eq!(block.activation_states(), 32);
+    }
+
+    #[test]
+    fn evaluation_validates_shapes() {
+        let block =
+            FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 8, StreamLength::new(128), 3).unwrap();
+        let (fields, weights) = random_case(8, 4, 1);
+        assert!(block.evaluate(&fields[..3], &weights).is_err());
+        assert!(block.evaluate(&fields, &weights[..7]).is_err());
+        let mut bad_fields = fields.clone();
+        bad_fields[2].pop();
+        assert!(block.evaluate(&bad_fields, &weights).is_err());
+        assert!(block.evaluate(&fields, &weights).is_ok());
+    }
+
+    #[test]
+    fn apc_blocks_track_reference_closely() {
+        let mut total_error = 0.0;
+        let trials = 6;
+        for trial in 0..trials {
+            let block = FeatureBlock::new(
+                FeatureBlockKind::ApcAvgBtanh,
+                16,
+                StreamLength::new(1024),
+                trial,
+            )
+            .unwrap();
+            let (fields, weights) = random_case(16, 4, 500 + trial);
+            total_error += block.absolute_error(&fields, &weights).unwrap();
+        }
+        let mean_error = total_error / trials as f64;
+        assert!(mean_error < 0.25, "APC-Avg-Btanh mean error {mean_error} too large");
+    }
+
+    #[test]
+    fn apc_max_block_tracks_reference() {
+        let block =
+            FeatureBlock::new(FeatureBlockKind::ApcMaxBtanh, 16, StreamLength::new(1024), 9)
+                .unwrap();
+        let (fields, weights) = random_case(16, 4, 77);
+        let error = block.absolute_error(&fields, &weights).unwrap();
+        assert!(error < 0.4, "APC-Max-Btanh error {error} too large");
+    }
+
+    #[test]
+    fn apc_is_more_accurate_than_mux_avg() {
+        let mut apc_error = 0.0;
+        let mut mux_error = 0.0;
+        let trials = 6;
+        for trial in 0..trials {
+            let (fields, weights) = random_case(32, 4, 900 + trial);
+            let apc = FeatureBlock::new(
+                FeatureBlockKind::ApcAvgBtanh,
+                32,
+                StreamLength::new(1024),
+                trial,
+            )
+            .unwrap();
+            let mux = FeatureBlock::new(
+                FeatureBlockKind::MuxAvgStanh,
+                32,
+                StreamLength::new(1024),
+                trial,
+            )
+            .unwrap();
+            apc_error += apc.absolute_error(&fields, &weights).unwrap();
+            mux_error += mux.absolute_error(&fields, &weights).unwrap();
+        }
+        assert!(
+            apc_error < mux_error,
+            "expected APC ({apc_error}) to be more accurate than MUX-Avg ({mux_error})"
+        );
+    }
+
+    #[test]
+    fn mux_blocks_produce_streams_of_configured_length() {
+        for kind in [FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::MuxMaxStanh] {
+            let block = FeatureBlock::new(kind, 8, StreamLength::new(256), 5).unwrap();
+            let (fields, weights) = random_case(8, 4, 31);
+            let stream = block.evaluate_stream(&fields, &weights).unwrap();
+            assert_eq!(stream.len(), 256);
+        }
+    }
+
+    #[test]
+    fn reference_uses_matching_pooling() {
+        let (fields, weights) = random_case(8, 4, 13);
+        let avg_block =
+            FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 8, StreamLength::new(128), 1).unwrap();
+        let max_block =
+            FeatureBlock::new(FeatureBlockKind::ApcMaxBtanh, 8, StreamLength::new(128), 1).unwrap();
+        let avg_ref = avg_block.reference(&fields, &weights).unwrap();
+        let max_ref = max_block.reference(&fields, &weights).unwrap();
+        assert!(max_ref >= avg_ref - 1e-12, "max pooling reference must dominate average");
+    }
+
+    #[test]
+    fn output_is_within_bipolar_range() {
+        for kind in FeatureBlockKind::ALL {
+            let block = FeatureBlock::new(kind, 16, StreamLength::new(256), 21).unwrap();
+            let (fields, weights) = random_case(16, 4, 321);
+            let value = block.evaluate(&fields, &weights).unwrap();
+            assert!((-1.0..=1.0).contains(&value), "{kind}: output {value} outside [-1, 1]");
+        }
+    }
+}

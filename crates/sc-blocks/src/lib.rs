@@ -1,0 +1,40 @@
+//! # sc-blocks
+//!
+//! SC-DCNN *function blocks* and *feature extraction blocks*.
+//!
+//! The paper decomposes a DCNN layer into three kinds of basic operations —
+//! inner product (convolution), pooling, and activation — and builds an SC
+//! hardware *function block* for each. A *feature extraction block* (FEB)
+//! cascades four inner-product blocks, one pooling block and one activation
+//! block, and is the unit the network-level optimizer reasons about.
+//!
+//! This crate provides:
+//!
+//! * [`inner_product`] — OR-gate, MUX, APC, exact-counter and two-line
+//!   inner-product blocks (Section 4.1, Tables 1–3).
+//! * [`pooling`] — average pooling and the paper's novel hardware-oriented
+//!   max pooling, in both the stream domain and the binary (APC output)
+//!   domain (Section 4.2, Table 4).
+//! * [`activation_block`] — Stanh and Btanh activation blocks with the
+//!   jointly-optimized state-count selection of Section 4.4.
+//! * [`feature_block`] — the four FEB configurations
+//!   (`MUX-Avg-Stanh`, `MUX-Max-Stanh`, `APC-Avg-Btanh`, `APC-Max-Btanh`)
+//!   behind one [`feature_block::FeatureBlock`] type (Figures 14–15).
+//! * [`accuracy`] — Monte-Carlo harnesses measuring block inaccuracy against
+//!   floating-point references, used by the experiment binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accuracy;
+pub mod activation_block;
+pub mod feature_block;
+pub mod inner_product;
+pub mod pooling;
+
+pub use feature_block::{FeatureBlock, FeatureBlockKind};
+pub use inner_product::{
+    ApcInnerProduct, ExactCounterInnerProduct, InnerProductKind, MuxInnerProduct, OrInnerProduct,
+    TwoLineInnerProduct,
+};
+pub use pooling::{AveragePooling, HardwareMaxPooling, PoolingKind, SoftwareMaxPooling};

@@ -1,0 +1,371 @@
+//! Pooling function blocks.
+//!
+//! Average pooling exploits the MUX's inherent `1/n` down-scaling, so it is
+//! nearly free. Max pooling over stochastic streams normally requires the
+//! whole stream to be counted before the maximum is known; the paper's
+//! *hardware-oriented max pooling* instead slices the streams into `c`-bit
+//! segments, counts ones per segment, and forwards the segment of the stream
+//! that *previously* had the largest count — an approximation with near-zero
+//! latency (Fig. 8, Table 4).
+//!
+//! Both pooling operations exist in two domains:
+//!
+//! * stream domain (inputs are [`BitStream`]s) — used after MUX-based inner
+//!   product blocks;
+//! * binary domain (inputs are [`CountStream`]s) — used after APC-based inner
+//!   product blocks, where counters are replaced by accumulators.
+
+use sc_core::add::{CountStream, MuxAdder};
+use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::error::ScError;
+use sc_core::rng::Lfsr;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a pooling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolingKind {
+    /// Average pooling (MUX in the stream domain, adder+divider in binary).
+    Average,
+    /// The paper's hardware-oriented (approximate) max pooling.
+    HardwareMax,
+    /// Exact max pooling that inspects whole streams (software baseline).
+    SoftwareMax,
+}
+
+impl PoolingKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolingKind::Average => "Avg",
+            PoolingKind::HardwareMax => "Max",
+            PoolingKind::SoftwareMax => "SoftMax",
+        }
+    }
+}
+
+/// MUX-based average pooling block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AveragePooling {
+    /// Seed for the MUX selector.
+    pub seed: u64,
+}
+
+impl AveragePooling {
+    /// Creates an average pooling block.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Pools bit-streams by selecting one input per cycle (MUX), producing a
+    /// stream whose value is the mean of the inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn pool_streams(&self, inputs: &[BitStream]) -> Result<BitStream, ScError> {
+        let mut selector = Lfsr::new_32((self.seed as u32) | 1);
+        MuxAdder::new().sum(inputs, &mut selector)
+    }
+
+    /// Pools binary count streams with an adder and truncating divider.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn pool_counts(&self, inputs: &[CountStream]) -> Result<CountStream, ScError> {
+        CountStream::truncating_average(inputs)
+    }
+
+    /// The floating-point reference for this pooling operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn reference(&self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "average of an empty set is undefined");
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The paper's hardware-oriented max pooling block (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareMaxPooling {
+    /// Segment length `c` in bits (the paper uses 16).
+    pub segment_bits: usize,
+}
+
+impl Default for HardwareMaxPooling {
+    fn default() -> Self {
+        Self { segment_bits: 16 }
+    }
+}
+
+impl HardwareMaxPooling {
+    /// Creates a hardware-oriented max pooling block with the given segment
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] if `segment_bits` is zero.
+    pub fn new(segment_bits: usize) -> Result<Self, ScError> {
+        if segment_bits == 0 {
+            return Err(ScError::InvalidParameter {
+                name: "segment_bits",
+                message: "segment length must be non-zero".into(),
+            });
+        }
+        Ok(Self { segment_bits })
+    }
+
+    /// Pools bit-streams: for every segment, the stream that had the largest
+    /// ones-count in the *previous* segment is forwarded (the first segment
+    /// forwards input 0, which the paper describes as a random choice with
+    /// negligible impact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn pool_streams(&self, inputs: &[BitStream]) -> Result<BitStream, ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let len = first.len();
+        for stream in inputs {
+            if stream.len() != len {
+                return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+            }
+        }
+        let mut output = BitStream::zeros(StreamLength::try_new(len)?);
+        let mut selected = 0usize;
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + self.segment_bits).min(len);
+            // Forward the currently selected stream's bits for this segment.
+            for i in start..end {
+                if inputs[selected].get(i) {
+                    output.set(i, true);
+                }
+            }
+            // Count ones in this segment for every candidate; the winner
+            // drives the selection for the *next* segment.
+            let mut best = 0usize;
+            let mut best_count = 0usize;
+            for (lane, stream) in inputs.iter().enumerate() {
+                let count = stream.count_ones_in_range(start, end);
+                if count > best_count {
+                    best_count = count;
+                    best = lane;
+                }
+            }
+            selected = best;
+            start = end;
+        }
+        Ok(output)
+    }
+
+    /// Pools binary count streams: identical control flow, but the per-segment
+    /// counters become accumulators of the binary counts (APC-Max-Btanh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn pool_counts(&self, inputs: &[CountStream]) -> Result<CountStream, ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let len = first.len();
+        let lanes = first.lanes();
+        for stream in inputs {
+            if stream.len() != len {
+                return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+            }
+        }
+        let mut out_counts = Vec::with_capacity(len);
+        let mut selected = 0usize;
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + self.segment_bits).min(len);
+            out_counts.extend_from_slice(&inputs[selected].counts()[start..end]);
+            let mut best = 0usize;
+            let mut best_total = 0u64;
+            for (lane, stream) in inputs.iter().enumerate() {
+                let total: u64 =
+                    stream.counts()[start..end].iter().map(|&c| u64::from(c)).sum();
+                if total > best_total {
+                    best_total = total;
+                    best = lane;
+                }
+            }
+            selected = best;
+            start = end;
+        }
+        CountStream::new(out_counts, lanes)
+    }
+
+    /// The floating-point reference for max pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn reference(&self, values: &[f64]) -> f64 {
+        assert!(!values.is_empty(), "max of an empty set is undefined");
+        values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Software max pooling baseline: counts ones over the whole streams and
+/// returns the stream with the largest total (what a non-hardware-constrained
+/// implementation would do, at the cost of full-stream latency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareMaxPooling;
+
+impl SoftwareMaxPooling {
+    /// Creates a software max pooling baseline.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Returns a clone of the input stream with the largest ones count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice.
+    pub fn pool_streams(&self, inputs: &[BitStream]) -> Result<BitStream, ScError> {
+        inputs
+            .iter()
+            .max_by_key(|s| s.count_ones())
+            .cloned()
+            .ok_or(ScError::EmptyInput)
+    }
+
+    /// Returns a clone of the count stream with the largest total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice.
+    pub fn pool_counts(&self, inputs: &[CountStream]) -> Result<CountStream, ScError> {
+        inputs.iter().max_by_key(|s| s.total()).cloned().ok_or(ScError::EmptyInput)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::sng::{Sng, SngKind};
+
+    fn stream_for(value: f64, len: usize, seed: u64) -> BitStream {
+        Sng::new(SngKind::Lfsr32, seed)
+            .generate_bipolar(value, StreamLength::new(len))
+            .unwrap()
+    }
+
+    #[test]
+    fn average_pooling_tracks_mean() {
+        let values = [0.8, -0.2, 0.4, 0.1];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| stream_for(v, 8192, 10 + i as u64))
+            .collect();
+        let pooled = AveragePooling::new(3).pool_streams(&streams).unwrap();
+        let expected = AveragePooling::new(3).reference(&values);
+        assert!((pooled.bipolar_value() - expected).abs() < 0.06);
+    }
+
+    #[test]
+    fn average_pooling_counts_truncate() {
+        let a = CountStream::new(vec![3, 1], 4).unwrap();
+        let b = CountStream::new(vec![2, 2], 4).unwrap();
+        let pooled = AveragePooling::new(1).pool_counts(&[a, b]).unwrap();
+        assert_eq!(pooled.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn hardware_max_tracks_software_max() {
+        let values = [0.7, -0.3, 0.2, 0.5];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| stream_for(v, 2048, 40 + i as u64))
+            .collect();
+        let hw = HardwareMaxPooling::new(16).unwrap().pool_streams(&streams).unwrap();
+        let sw = SoftwareMaxPooling::new().pool_streams(&streams).unwrap();
+        assert!(
+            (hw.bipolar_value() - sw.bipolar_value()).abs() < 0.15,
+            "hardware max {} deviates from software max {}",
+            hw.bipolar_value(),
+            sw.bipolar_value()
+        );
+    }
+
+    #[test]
+    fn hardware_max_never_exceeds_true_max_by_much() {
+        let values = [0.6, 0.55, -0.1, 0.0];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| stream_for(v, 4096, 90 + i as u64))
+            .collect();
+        let hw = HardwareMaxPooling::default().pool_streams(&streams).unwrap();
+        assert!(hw.bipolar_value() <= 0.7);
+        assert!(hw.bipolar_value() >= 0.4);
+    }
+
+    #[test]
+    fn hardware_max_handles_non_divisible_lengths() {
+        let streams = vec![
+            BitStream::from_binary_str("110110111").unwrap(),
+            BitStream::from_binary_str("000010001").unwrap(),
+        ];
+        let pooled = HardwareMaxPooling::new(4).unwrap().pool_streams(&streams).unwrap();
+        assert_eq!(pooled.len(), 9);
+    }
+
+    #[test]
+    fn hardware_max_on_counts_selects_larger_lane() {
+        let big = CountStream::new(vec![4, 4, 4, 4], 4).unwrap();
+        let small = CountStream::new(vec![0, 0, 0, 0], 4).unwrap();
+        let pooled = HardwareMaxPooling::new(2)
+            .unwrap()
+            .pool_counts(&[small.clone(), big.clone()])
+            .unwrap();
+        // First segment forwards lane 0 (small), afterwards lane 1 (big).
+        assert_eq!(pooled.counts(), &[0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn software_max_picks_largest() {
+        let a = BitStream::from_binary_str("1100").unwrap();
+        let b = BitStream::from_binary_str("1110").unwrap();
+        let max = SoftwareMaxPooling::new().pool_streams(&[a, b.clone()]).unwrap();
+        assert_eq!(max, b);
+    }
+
+    #[test]
+    fn pooling_rejects_empty_and_mismatched_inputs() {
+        assert!(AveragePooling::new(1).pool_streams(&[]).is_err());
+        assert!(SoftwareMaxPooling::new().pool_streams(&[]).is_err());
+        assert!(HardwareMaxPooling::default().pool_streams(&[]).is_err());
+        assert!(HardwareMaxPooling::new(0).is_err());
+        let a = BitStream::from_binary_str("10").unwrap();
+        let b = BitStream::from_binary_str("100").unwrap();
+        assert!(HardwareMaxPooling::default().pool_streams(&[a.clone(), b.clone()]).is_err());
+        assert!(AveragePooling::new(1).pool_streams(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn references_match_expectations() {
+        assert_eq!(AveragePooling::new(1).reference(&[1.0, 2.0, 3.0, 6.0]), 3.0);
+        assert_eq!(HardwareMaxPooling::default().reference(&[1.0, -2.0, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            [PoolingKind::Average, PoolingKind::HardwareMax, PoolingKind::SoftwareMax]
+                .iter()
+                .map(|k| k.name())
+                .collect();
+        assert_eq!(names.len(), 3);
+    }
+}

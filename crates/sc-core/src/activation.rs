@@ -1,0 +1,382 @@
+//! Stochastic activation functions.
+//!
+//! The paper selects the hyperbolic tangent because it maps naturally onto
+//! tiny sequential SC hardware:
+//!
+//! * [`Stanh`] — a `K`-state finite state machine reading a bipolar stream bit
+//!   by bit. `Stanh(K, x) ≈ tanh(K·x/2)`. Two output threshold modes are
+//!   provided: the classic half-way split and the re-designed 1/5 split used
+//!   by the MUX-Max-Stanh feature extraction block (Fig. 11).
+//! * [`Btanh`] — a saturating up/down counter that converts the binary counts
+//!   coming out of an APC-based adder back into a stochastic stream while
+//!   applying a scaled tanh.
+//!
+//! The empirical state-count formulas of Eqs. (1)–(3) are provided as free
+//! functions so the feature-extraction-block layer can pick `K` per
+//! configuration.
+
+use crate::add::CountStream;
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+use serde::{Deserialize, Serialize};
+
+/// Output threshold mode for the [`Stanh`] FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StanhMode {
+    /// Classic Stanh: output 1 when the state is in the upper half.
+    Standard,
+    /// Re-designed Stanh for MUX-Max feature blocks: output 1 when the state
+    /// is beyond the left fifth of the diagram (Fig. 11), compensating the
+    /// systematic under-counting of the hardware-oriented max pooling block.
+    ShiftedFifth,
+}
+
+impl StanhMode {
+    fn threshold(self, states: usize) -> usize {
+        match self {
+            StanhMode::Standard => states / 2,
+            StanhMode::ShiftedFifth => states / 5,
+        }
+    }
+}
+
+/// `K`-state FSM implementing a stochastic hyperbolic tangent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stanh {
+    states: usize,
+    mode: StanhMode,
+    state: usize,
+}
+
+impl Stanh {
+    /// Creates a standard Stanh FSM with `states` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] unless `states` is an even
+    /// number of at least two.
+    pub fn new(states: usize) -> Result<Self, ScError> {
+        Self::with_mode(states, StanhMode::Standard)
+    }
+
+    /// Creates a Stanh FSM with an explicit output threshold mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] unless `states` is an even
+    /// number of at least two.
+    pub fn with_mode(states: usize, mode: StanhMode) -> Result<Self, ScError> {
+        if states < 2 || states % 2 != 0 {
+            return Err(ScError::InvalidParameter {
+                name: "states",
+                message: format!("state count must be an even number >= 2, got {states}"),
+            });
+        }
+        Ok(Self { states, mode, state: states / 2 })
+    }
+
+    /// Number of FSM states `K`.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// The configured output threshold mode.
+    pub fn mode(&self) -> StanhMode {
+        self.mode
+    }
+
+    /// Resets the FSM to its centre state.
+    pub fn reset(&mut self) {
+        self.state = self.states / 2;
+    }
+
+    /// Advances the FSM by one input bit and returns the output bit.
+    pub fn step(&mut self, input: bool) -> bool {
+        if input {
+            if self.state < self.states - 1 {
+                self.state += 1;
+            }
+        } else if self.state > 0 {
+            self.state -= 1;
+        }
+        self.state >= self.mode.threshold(self.states)
+    }
+
+    /// Runs the FSM over a whole input stream, producing the output stream.
+    ///
+    /// The FSM is reset before processing so repeated calls are independent.
+    pub fn transform(&mut self, input: &BitStream) -> BitStream {
+        self.reset();
+        input.iter().map(|bit| self.step(bit)).collect()
+    }
+
+    /// The continuous function this FSM approximates: `tanh(K·x / 2)`.
+    pub fn reference(&self, x: f64) -> f64 {
+        (self.states as f64 / 2.0 * x).tanh()
+    }
+}
+
+/// Saturating up/down counter implementing a binary-input stochastic tanh.
+///
+/// The counter consumes the per-cycle binary counts of an APC-based adder.
+/// Each cycle the state moves up by the number of ones and down by the number
+/// of zeros seen across the `n` lanes (`Δ = 2·count − n`), saturating at the
+/// ends; the output bit is one when the state is in the upper half.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Btanh {
+    states: usize,
+    state: i64,
+}
+
+impl Btanh {
+    /// Creates a Btanh counter with `states` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] unless `states` is an even
+    /// number of at least two.
+    pub fn new(states: usize) -> Result<Self, ScError> {
+        if states < 2 || states % 2 != 0 {
+            return Err(ScError::InvalidParameter {
+                name: "states",
+                message: format!("state count must be an even number >= 2, got {states}"),
+            });
+        }
+        Ok(Self { states, state: states as i64 / 2 })
+    }
+
+    /// Number of counter states `K`.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Resets the counter to its centre state.
+    pub fn reset(&mut self) {
+        self.state = self.states as i64 / 2;
+    }
+
+    /// Advances the counter with one APC count (ones across `lanes` inputs)
+    /// and returns the output bit.
+    pub fn step(&mut self, count: u16, lanes: usize) -> bool {
+        let delta = 2 * i64::from(count) - lanes as i64;
+        self.state = (self.state + delta).clamp(0, self.states as i64 - 1);
+        self.state >= self.states as i64 / 2
+    }
+
+    /// Runs the counter over an entire [`CountStream`], producing the output
+    /// bit-stream. The counter is reset before processing.
+    pub fn transform(&mut self, counts: &CountStream) -> BitStream {
+        self.reset();
+        counts.counts().iter().map(|&c| self.step(c, counts.lanes())).collect()
+    }
+
+    /// The continuous function the counter approximates for `n` input lanes:
+    /// `tanh(n·x / 2)` where `x` is the mean of the summed bipolar inputs.
+    pub fn reference(&self, lanes: usize, mean_input: f64) -> f64 {
+        (lanes as f64 * mean_input / 2.0).tanh()
+    }
+}
+
+/// Rounds a floating-point state count to the nearest even integer, flooring
+/// at two (every FSM/counter in the paper uses an even state count).
+pub fn nearest_even_state(value: f64) -> usize {
+    let rounded = value.round() as i64;
+    let even = if rounded % 2 == 0 { rounded } else { rounded + 1 };
+    even.max(2) as usize
+}
+
+/// Eq. (1): optimal Stanh state count for the MUX-Avg-Stanh block.
+///
+/// `K ≈ 2·log2(N) + log2(L)·N / (α·log2(N))` with `α = 33.27`, where `N` is
+/// the input size and `L` the bit-stream length.
+pub fn mux_avg_stanh_states(input_size: usize, stream_length: usize) -> usize {
+    let n = input_size.max(2) as f64;
+    let l = stream_length.max(2) as f64;
+    let alpha = 33.27;
+    let k = 2.0 * n.log2() + (l.log2() * n) / (alpha * n.log2());
+    nearest_even_state(k)
+}
+
+/// Eq. (2): optimal Stanh state count for the MUX-Max-Stanh block.
+///
+/// `K ≈ 2·(log2 N + log2 L) − α/log2(N) − β/log5(L)` with `α = 37` and
+/// `β = 16.5`.
+pub fn mux_max_stanh_states(input_size: usize, stream_length: usize) -> usize {
+    let n = input_size.max(2) as f64;
+    let l = stream_length.max(2) as f64;
+    let alpha = 37.0;
+    let beta = 16.5;
+    let k = 2.0 * (n.log2() + l.log2()) - alpha / n.log2() - beta / (l.ln() / 5f64.ln());
+    nearest_even_state(k)
+}
+
+/// Eq. (3): optimal Btanh state count for the APC-Avg-Btanh block: `K ≈ N/2`.
+pub fn apc_avg_btanh_states(input_size: usize) -> usize {
+    nearest_even_state(input_size as f64 / 2.0)
+}
+
+/// Btanh state count for the APC-Max-Btanh block.
+///
+/// The paper reuses the original Btanh sizing (Kim et al., DAC'16) without
+/// adjustment. For a counter fed by a single (un-averaged) APC the per-cycle
+/// step has variance ≈ `N`, so matching the `tanh` gain requires `K ≈ 2·N`
+/// (the four-way averaging in APC-Avg reduces that variance by four, which is
+/// where Eq. 3's `N/2` comes from).
+pub fn apc_max_btanh_states(input_size: usize) -> usize {
+    nearest_even_state(2.0 * input_size as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::add::ExactParallelCounter;
+    use crate::bitstream::StreamLength;
+    use crate::sng::{Sng, SngKind};
+
+    #[test]
+    fn stanh_rejects_bad_state_counts() {
+        assert!(Stanh::new(0).is_err());
+        assert!(Stanh::new(3).is_err());
+        assert!(Stanh::new(2).is_ok());
+        assert!(Btanh::new(0).is_err());
+        assert!(Btanh::new(5).is_err());
+    }
+
+    #[test]
+    fn stanh_tracks_tanh() {
+        let len = StreamLength::new(8192);
+        for &x in &[-0.8f64, -0.4, 0.0, 0.4, 0.8] {
+            let mut sng = Sng::new(SngKind::Lfsr32, (x.to_bits() & 0xFFFF) as u64 + 17);
+            let input = sng.generate_bipolar(x, len).unwrap();
+            let mut stanh = Stanh::new(8).unwrap();
+            let output = stanh.transform(&input);
+            let expected = stanh.reference(x);
+            assert!(
+                (output.bipolar_value() - expected).abs() < 0.25,
+                "Stanh(8, {x}) = {} but tanh(4x) = {expected}",
+                output.bipolar_value()
+            );
+        }
+    }
+
+    #[test]
+    fn stanh_saturates_at_extremes() {
+        let len = StreamLength::new(2048);
+        let mut sng = Sng::new(SngKind::Lfsr32, 5);
+        let input = sng.generate_bipolar(0.95, len).unwrap();
+        let mut stanh = Stanh::new(16).unwrap();
+        let output = stanh.transform(&input);
+        assert!(output.bipolar_value() > 0.9);
+    }
+
+    #[test]
+    fn stanh_is_antisymmetric_statistically() {
+        let len = StreamLength::new(8192);
+        let mut sng_pos = Sng::new(SngKind::Lfsr32, 42);
+        let mut sng_neg = Sng::new(SngKind::Lfsr32, 42);
+        let pos = sng_pos.generate_bipolar(0.5, len).unwrap();
+        let neg = sng_neg.generate_bipolar(-0.5, len).unwrap();
+        let mut stanh = Stanh::new(10).unwrap();
+        let out_pos = stanh.transform(&pos).bipolar_value();
+        let out_neg = stanh.transform(&neg).bipolar_value();
+        assert!((out_pos + out_neg).abs() < 0.2);
+    }
+
+    #[test]
+    fn shifted_mode_biases_output_upward() {
+        let len = StreamLength::new(4096);
+        let mut sng = Sng::new(SngKind::Lfsr32, 9);
+        let input = sng.generate_bipolar(-0.2, len).unwrap();
+        let mut standard = Stanh::with_mode(20, StanhMode::Standard).unwrap();
+        let mut shifted = Stanh::with_mode(20, StanhMode::ShiftedFifth).unwrap();
+        let standard_out = standard.transform(&input).bipolar_value();
+        let shifted_out = shifted.transform(&input).bipolar_value();
+        assert!(shifted_out > standard_out);
+    }
+
+    #[test]
+    fn stanh_reset_between_transforms() {
+        let a = BitStream::from_binary_str("1111111100000000").unwrap();
+        let mut stanh = Stanh::new(4).unwrap();
+        let first = stanh.transform(&a);
+        let second = stanh.transform(&a);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn btanh_tracks_scaled_tanh() {
+        let len = StreamLength::new(4096);
+        let values = [0.3, 0.3, 0.3, 0.3];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Sng::new(SngKind::Lfsr32, 300 + i as u64)
+                    .generate_bipolar(v, len)
+                    .unwrap()
+            })
+            .collect();
+        let counts = ExactParallelCounter::new().count(&streams).unwrap();
+        let mut btanh = Btanh::new(apc_avg_btanh_states(values.len())).unwrap();
+        let output = btanh.transform(&counts);
+        // The sum is 1.2; Btanh saturates towards +1 for clearly positive sums.
+        assert!(output.bipolar_value() > 0.5);
+    }
+
+    #[test]
+    fn btanh_is_negative_for_negative_sums() {
+        let len = StreamLength::new(4096);
+        let values = [-0.4, -0.3, -0.5, -0.2];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Sng::new(SngKind::Lfsr32, 400 + i as u64)
+                    .generate_bipolar(v, len)
+                    .unwrap()
+            })
+            .collect();
+        let counts = ExactParallelCounter::new().count(&streams).unwrap();
+        let mut btanh = Btanh::new(4).unwrap();
+        let output = btanh.transform(&counts);
+        assert!(output.bipolar_value() < -0.5);
+    }
+
+    #[test]
+    fn nearest_even_state_rounds_correctly() {
+        assert_eq!(nearest_even_state(7.2), 8);
+        assert_eq!(nearest_even_state(8.0), 8);
+        assert_eq!(nearest_even_state(8.9), 10);
+        assert_eq!(nearest_even_state(0.3), 2);
+        assert_eq!(nearest_even_state(-3.0), 2);
+    }
+
+    #[test]
+    fn state_formulas_are_even_and_positive() {
+        for &n in &[4usize, 16, 25, 64, 256] {
+            for &l in &[128usize, 256, 1024, 4096] {
+                for k in [
+                    mux_avg_stanh_states(n, l),
+                    mux_max_stanh_states(n, l),
+                    apc_avg_btanh_states(n),
+                    apc_max_btanh_states(n),
+                ] {
+                    assert!(k >= 2);
+                    assert_eq!(k % 2, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_matches_paper_magnitude() {
+        // For N = 16, L = 1024 the formula gives roughly K ≈ 2*4 + 10*16/(33.27*4) ≈ 9.2 → 10.
+        assert_eq!(mux_avg_stanh_states(16, 1024), 10);
+    }
+
+    #[test]
+    fn eq3_is_half_input_size() {
+        assert_eq!(apc_avg_btanh_states(16), 8);
+        assert_eq!(apc_avg_btanh_states(64), 32);
+    }
+}

@@ -1,0 +1,572 @@
+//! Packed stochastic bit-streams.
+//!
+//! A [`BitStream`] stores its bits packed into `u64` words so that logical
+//! operations (AND, OR, XNOR, …) and population counts run 64 bits at a time.
+//! The length of a stream is tracked separately from its storage so streams
+//! whose length is not a multiple of 64 behave correctly: bits beyond the
+//! logical length are always kept at zero.
+
+use crate::error::ScError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A validated stochastic bit-stream length.
+///
+/// The paper sweeps lengths between 128 and 8192 bits; any non-zero length is
+/// accepted here. Wrapping the length in a newtype keeps call-sites explicit
+/// about which integer is the stream length versus e.g. the input size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamLength(usize);
+
+impl StreamLength {
+    /// Creates a stream length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero; use [`StreamLength::try_new`] for a fallible
+    /// constructor.
+    pub fn new(bits: usize) -> Self {
+        Self::try_new(bits).expect("stream length must be non-zero")
+    }
+
+    /// Fallible constructor returning an error for a zero length.
+    pub fn try_new(bits: usize) -> Result<Self, ScError> {
+        if bits == 0 {
+            Err(ScError::InvalidLength(bits))
+        } else {
+            Ok(Self(bits))
+        }
+    }
+
+    /// The number of bits in the stream.
+    pub fn bits(self) -> usize {
+        self.0
+    }
+
+    /// The number of 64-bit words needed to store the stream.
+    pub fn words(self) -> usize {
+        self.0.div_ceil(64)
+    }
+
+    /// Halves the length, flooring at one bit (used by the bit-stream-length
+    /// reduction loop of the Table 6 optimization procedure).
+    pub fn halved(self) -> Self {
+        Self((self.0 / 2).max(1))
+    }
+}
+
+impl fmt::Display for StreamLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bits", self.0)
+    }
+}
+
+impl From<StreamLength> for usize {
+    fn from(value: StreamLength) -> Self {
+        value.0
+    }
+}
+
+impl TryFrom<usize> for StreamLength {
+    type Error = ScError;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        Self::try_new(value)
+    }
+}
+
+/// A stochastic bit-stream packed into 64-bit words.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitStream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStream {
+    /// Creates an all-zeros stream of the given length.
+    pub fn zeros(len: StreamLength) -> Self {
+        Self { words: vec![0; len.words()], len: len.bits() }
+    }
+
+    /// Creates an all-ones stream of the given length.
+    pub fn ones(len: StreamLength) -> Self {
+        let mut stream = Self::zeros(len);
+        for word in &mut stream.words {
+            *word = u64::MAX;
+        }
+        stream.mask_tail();
+        stream
+    }
+
+    /// Builds a stream from an iterator of booleans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidLength`] if the iterator is empty.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Result<Self, ScError> {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        let mut current = 0u64;
+        for (i, bit) in bits.into_iter().enumerate() {
+            let offset = i % 64;
+            if offset == 0 && i != 0 {
+                words.push(current);
+                current = 0;
+            }
+            if bit {
+                current |= 1u64 << offset;
+            }
+            len = i + 1;
+        }
+        if len == 0 {
+            return Err(ScError::InvalidLength(0));
+        }
+        words.push(current);
+        Ok(Self { words, len })
+    }
+
+    /// Parses a stream from a string of `'0'` / `'1'` characters.
+    ///
+    /// Any other character is rejected. This is mainly useful in tests and
+    /// documentation examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for non-binary characters and
+    /// [`ScError::InvalidLength`] for the empty string.
+    pub fn from_binary_str(text: &str) -> Result<Self, ScError> {
+        let mut bits = Vec::with_capacity(text.len());
+        for ch in text.chars() {
+            match ch {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                other => {
+                    return Err(ScError::InvalidParameter {
+                        name: "binary string",
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+        Self::from_bits(bits)
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream has zero length (never true for constructed streams).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stream length as a [`StreamLength`].
+    pub fn stream_length(&self) -> StreamLength {
+        StreamLength(self.len)
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range for stream of {}", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range for stream of {}", self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of ones in the stream.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of zeros in the stream.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Probability of a one, i.e. the unipolar value of the stream.
+    pub fn unipolar_value(&self) -> f64 {
+        self.count_ones() as f64 / self.len as f64
+    }
+
+    /// Bipolar value of the stream: `2p − 1` where `p` is the density of ones.
+    pub fn bipolar_value(&self) -> f64 {
+        2.0 * self.unipolar_value() - 1.0
+    }
+
+    /// Iterator over the bits of the stream, in stream order.
+    pub fn iter(&self) -> Bits<'_> {
+        Bits { stream: self, index: 0 }
+    }
+
+    /// Access to the packed words (trailing bits beyond `len` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Splits the stream into contiguous segments of `segment_len` bits.
+    ///
+    /// The final segment may be shorter if the length does not divide evenly.
+    /// Used by the hardware-oriented max-pooling block, which operates on
+    /// bit-stream segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero.
+    pub fn segments(&self, segment_len: usize) -> Vec<BitStream> {
+        assert!(segment_len > 0, "segment length must be non-zero");
+        let mut out = Vec::with_capacity(self.len.div_ceil(segment_len));
+        let mut start = 0;
+        while start < self.len {
+            let end = (start + segment_len).min(self.len);
+            let bits: Vec<bool> = (start..end).map(|i| self.get(i)).collect();
+            out.push(BitStream::from_bits(bits).expect("non-empty segment"));
+            start = end;
+        }
+        out
+    }
+
+    /// Counts ones within the half-open bit range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn count_ones_in_range(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "invalid range {start}..{end}");
+        (start..end).filter(|&i| self.get(i)).count()
+    }
+
+    /// Concatenates two streams.
+    pub fn concat(&self, other: &BitStream) -> BitStream {
+        let bits: Vec<bool> = self.iter().chain(other.iter()).collect();
+        BitStream::from_bits(bits).expect("concatenation of non-empty streams")
+    }
+
+    /// Clears any bits stored beyond the logical length.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Applies a binary word-wise operation, checking lengths.
+    fn zip_words(&self, other: &BitStream, op: impl Fn(u64, u64) -> u64) -> BitStream {
+        assert_eq!(
+            self.len, other.len,
+            "bit-stream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        let words =
+            self.words.iter().zip(other.words.iter()).map(|(&a, &b)| op(a, b)).collect();
+        let mut out = BitStream { words, len: self.len };
+        out.mask_tail();
+        out
+    }
+
+    /// Bit-wise XNOR — the bipolar stochastic multiplier.
+    pub fn xnor(&self, other: &BitStream) -> BitStream {
+        self.zip_words(other, |a, b| !(a ^ b))
+    }
+
+    /// Checked version of [`BitStream::xnor`] that reports a length mismatch
+    /// as an error instead of panicking.
+    pub fn try_xnor(&self, other: &BitStream) -> Result<BitStream, ScError> {
+        self.check_len(other)?;
+        Ok(self.xnor(other))
+    }
+
+    fn check_len(&self, other: &BitStream) -> Result<(), ScError> {
+        if self.len != other.len {
+            Err(ScError::LengthMismatch { left: self.len, right: other.len })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Debug for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: String = self
+            .iter()
+            .take(32)
+            .map(|bit| if bit { '1' } else { '0' })
+            .collect();
+        let ellipsis = if self.len > 32 { "…" } else { "" };
+        write!(
+            f,
+            "BitStream(len={}, ones={}, bits={}{})",
+            self.len,
+            self.count_ones(),
+            preview,
+            ellipsis
+        )
+    }
+}
+
+impl fmt::Display for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Iterator over the bits of a [`BitStream`].
+#[derive(Debug, Clone)]
+pub struct Bits<'a> {
+    stream: &'a BitStream,
+    index: usize,
+}
+
+impl Iterator for Bits<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.index < self.stream.len() {
+            let bit = self.stream.get(self.index);
+            self.index += 1;
+            Some(bit)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.stream.len() - self.index;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Bits<'_> {}
+
+impl<'a> IntoIterator for &'a BitStream {
+    type Item = bool;
+    type IntoIter = Bits<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<bool> for BitStream {
+    /// Collects bits into a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty; use [`BitStream::from_bits`] for a
+    /// fallible alternative.
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitStream::from_bits(iter).expect("cannot collect an empty bit-stream")
+    }
+}
+
+impl BitAnd for &BitStream {
+    type Output = BitStream;
+
+    fn bitand(self, rhs: &BitStream) -> BitStream {
+        self.zip_words(rhs, |a, b| a & b)
+    }
+}
+
+impl BitOr for &BitStream {
+    type Output = BitStream;
+
+    fn bitor(self, rhs: &BitStream) -> BitStream {
+        self.zip_words(rhs, |a, b| a | b)
+    }
+}
+
+impl BitXor for &BitStream {
+    type Output = BitStream;
+
+    fn bitxor(self, rhs: &BitStream) -> BitStream {
+        self.zip_words(rhs, |a, b| a ^ b)
+    }
+}
+
+impl Not for &BitStream {
+    type Output = BitStream;
+
+    fn not(self) -> BitStream {
+        let words = self.words.iter().map(|&w| !w).collect();
+        let mut out = BitStream { words, len: self.len };
+        out.mask_tail();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_length_words() {
+        assert_eq!(StreamLength::new(1).words(), 1);
+        assert_eq!(StreamLength::new(64).words(), 1);
+        assert_eq!(StreamLength::new(65).words(), 2);
+        assert_eq!(StreamLength::new(1024).words(), 16);
+    }
+
+    #[test]
+    fn stream_length_rejects_zero() {
+        assert_eq!(StreamLength::try_new(0), Err(ScError::InvalidLength(0)));
+    }
+
+    #[test]
+    fn stream_length_halved_floors_at_one() {
+        assert_eq!(StreamLength::new(1024).halved().bits(), 512);
+        assert_eq!(StreamLength::new(1).halved().bits(), 1);
+    }
+
+    #[test]
+    fn zeros_and_ones_counts() {
+        let len = StreamLength::new(130);
+        assert_eq!(BitStream::zeros(len).count_ones(), 0);
+        assert_eq!(BitStream::ones(len).count_ones(), 130);
+        assert_eq!(BitStream::ones(len).count_zeros(), 0);
+    }
+
+    #[test]
+    fn from_binary_str_round_trip() {
+        let stream = BitStream::from_binary_str("0100110100").unwrap();
+        assert_eq!(stream.len(), 10);
+        assert_eq!(stream.count_ones(), 4);
+        assert!((stream.unipolar_value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_binary_str_rejects_garbage() {
+        assert!(BitStream::from_binary_str("01x0").is_err());
+        assert!(BitStream::from_binary_str("").is_err());
+    }
+
+    #[test]
+    fn paper_bipolar_example() {
+        // The paper encodes 0.4 in bipolar form as a stream with 7 ones in 10 bits.
+        let stream = BitStream::from_binary_str("1011011101").unwrap();
+        assert!((stream.bipolar_value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut stream = BitStream::zeros(StreamLength::new(100));
+        stream.set(0, true);
+        stream.set(63, true);
+        stream.set(64, true);
+        stream.set(99, true);
+        assert!(stream.get(0) && stream.get(63) && stream.get(64) && stream.get(99));
+        assert_eq!(stream.count_ones(), 4);
+        stream.set(63, false);
+        assert_eq!(stream.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let stream = BitStream::zeros(StreamLength::new(8));
+        let _ = stream.get(8);
+    }
+
+    #[test]
+    fn logical_ops_match_bitwise_semantics() {
+        let a = BitStream::from_binary_str("11001010").unwrap();
+        let b = BitStream::from_binary_str("10101100").unwrap();
+        let and = &a & &b;
+        let or = &a | &b;
+        let xor = &a ^ &b;
+        let xnor = a.xnor(&b);
+        for i in 0..8 {
+            assert_eq!(and.get(i), a.get(i) & b.get(i));
+            assert_eq!(or.get(i), a.get(i) | b.get(i));
+            assert_eq!(xor.get(i), a.get(i) ^ b.get(i));
+            assert_eq!(xnor.get(i), !(a.get(i) ^ b.get(i)));
+        }
+    }
+
+    #[test]
+    fn not_respects_tail_mask() {
+        let stream = BitStream::zeros(StreamLength::new(70));
+        let inverted = !&stream;
+        assert_eq!(inverted.count_ones(), 70);
+    }
+
+    #[test]
+    fn paper_or_gate_example() {
+        // "00100101 OR 11001010" generates "11101111" (7/8) per Section 4.1.
+        let a = BitStream::from_binary_str("00100101").unwrap();
+        let b = BitStream::from_binary_str("11001010").unwrap();
+        let or = &a | &b;
+        assert_eq!(or.count_ones(), 7);
+    }
+
+    #[test]
+    fn segments_cover_stream() {
+        let stream = BitStream::from_binary_str("110010101110001").unwrap();
+        let segments = stream.segments(4);
+        assert_eq!(segments.len(), 4);
+        assert_eq!(segments[3].len(), 3);
+        let total: usize = segments.iter().map(|s| s.count_ones()).sum();
+        assert_eq!(total, stream.count_ones());
+    }
+
+    #[test]
+    fn count_ones_in_range_matches_segments() {
+        let stream = BitStream::from_binary_str("1101110001110101").unwrap();
+        assert_eq!(stream.count_ones_in_range(0, 16), stream.count_ones());
+        assert_eq!(stream.count_ones_in_range(4, 8), 2);
+        assert_eq!(stream.count_ones_in_range(8, 8), 0);
+    }
+
+    #[test]
+    fn concat_preserves_bits() {
+        let a = BitStream::from_binary_str("101").unwrap();
+        let b = BitStream::from_binary_str("0110").unwrap();
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 7);
+        assert_eq!(joined.count_ones(), 4);
+        assert!(joined.get(0) && !joined.get(1) && joined.get(2));
+        assert!(!joined.get(3) && joined.get(4) && joined.get(5) && !joined.get(6));
+    }
+
+    #[test]
+    fn try_xnor_reports_length_mismatch() {
+        let a = BitStream::zeros(StreamLength::new(8));
+        let b = BitStream::zeros(StreamLength::new(16));
+        assert_eq!(a.try_xnor(&b), Err(ScError::LengthMismatch { left: 8, right: 16 }));
+    }
+
+    #[test]
+    fn iterator_round_trip() {
+        let original = BitStream::from_binary_str("100110").unwrap();
+        let collected: BitStream = original.iter().collect();
+        assert_eq!(original, collected);
+        assert_eq!(original.iter().len(), 6);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let stream = BitStream::zeros(StreamLength::new(4));
+        assert!(!format!("{stream:?}").is_empty());
+        assert!(!format!("{stream}").is_empty());
+    }
+}

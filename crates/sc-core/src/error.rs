@@ -1,0 +1,86 @@
+//! Error type shared by the `sc-core` public API.
+
+use std::fmt;
+
+/// Errors produced by stochastic-computing primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScError {
+    /// A value was outside the representable range of the requested encoding.
+    ///
+    /// Unipolar encoding represents `[0, 1]`; bipolar encoding represents
+    /// `[-1, 1]`. Values outside the range must be pre-scaled first (see
+    /// [`crate::encoding::prescale`]).
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the representable range.
+        min: f64,
+        /// Upper bound of the representable range.
+        max: f64,
+    },
+    /// Two streams that must have equal length had different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A stream length of zero (or otherwise unusable) was requested.
+    InvalidLength(usize),
+    /// An operation required a non-empty set of inputs but none were given.
+    EmptyInput,
+    /// A configuration parameter was invalid (for example a zero-state FSM).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::ValueOutOfRange { value, min, max } => {
+                write!(f, "value {value} is outside the representable range [{min}, {max}]")
+            }
+            ScError::LengthMismatch { left, right } => {
+                write!(f, "bit-stream length mismatch: {left} vs {right}")
+            }
+            ScError::InvalidLength(len) => write!(f, "invalid bit-stream length {len}"),
+            ScError::EmptyInput => write!(f, "operation requires at least one input"),
+            ScError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            ScError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
+            ScError::LengthMismatch { left: 8, right: 16 },
+            ScError::InvalidLength(0),
+            ScError::EmptyInput,
+            ScError::InvalidParameter { name: "states", message: "must be even".into() },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScError>();
+    }
+}

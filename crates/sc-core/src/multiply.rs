@@ -1,0 +1,161 @@
+//! Stochastic multiplication.
+//!
+//! * Unipolar multiplication is a single AND gate:
+//!   `P(A·B = 1) = P(A = 1)·P(B = 1)` when the streams are independent.
+//! * Bipolar multiplication is a single XNOR gate:
+//!   `c = 2P(C=1) − 1 = (2P(A=1) − 1)(2P(B=1) − 1) = a·b`.
+//!
+//! Both identities only hold when the operand streams are uncorrelated, which
+//! is why the SNG seeding strategy matters (see [`crate::sng`]).
+
+use crate::bitstream::BitStream;
+use crate::error::ScError;
+
+/// Multiplies two unipolar streams with an AND gate.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths; use [`try_unipolar`] for a
+/// fallible variant.
+pub fn unipolar(a: &BitStream, b: &BitStream) -> BitStream {
+    a & b
+}
+
+/// Multiplies two bipolar streams with an XNOR gate.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths; use [`try_bipolar`] for a
+/// fallible variant.
+pub fn bipolar(a: &BitStream, b: &BitStream) -> BitStream {
+    a.xnor(b)
+}
+
+/// Fallible version of [`unipolar`].
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if the stream lengths differ.
+pub fn try_unipolar(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
+    check(a, b)?;
+    Ok(unipolar(a, b))
+}
+
+/// Fallible version of [`bipolar`].
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if the stream lengths differ.
+pub fn try_bipolar(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
+    check(a, b)?;
+    Ok(bipolar(a, b))
+}
+
+fn check(a: &BitStream, b: &BitStream) -> Result<(), ScError> {
+    if a.len() != b.len() {
+        Err(ScError::LengthMismatch { left: a.len(), right: b.len() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Multiplies each element pair of two bipolar stream slices.
+///
+/// This is the XNOR array at the front of every inner-product block.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if the slices have different element
+/// counts or any stream pair has different lengths, and
+/// [`ScError::EmptyInput`] for empty slices.
+pub fn bipolar_products(inputs: &[BitStream], weights: &[BitStream]) -> Result<Vec<BitStream>, ScError> {
+    if inputs.is_empty() || weights.is_empty() {
+        return Err(ScError::EmptyInput);
+    }
+    if inputs.len() != weights.len() {
+        return Err(ScError::LengthMismatch { left: inputs.len(), right: weights.len() });
+    }
+    inputs.iter().zip(weights.iter()).map(|(x, w)| try_bipolar(x, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::StreamLength;
+    use crate::sng::{Sng, SngKind};
+
+    #[test]
+    fn paper_unipolar_example() {
+        // Figure 4 (a): 1,1,1,1,0,0,0,0 (4/8) AND 1,1,0,1,1,1,1,0 (6/8) = 1,1,0,1,0,0,0,0 (3/8)
+        let a = BitStream::from_binary_str("11110000").unwrap();
+        let b = BitStream::from_binary_str("11011110").unwrap();
+        let z = unipolar(&a, &b);
+        assert_eq!(z.count_ones(), 3);
+    }
+
+    #[test]
+    fn paper_bipolar_example() {
+        // Figure 4 (b): streams representing 0 and 0 multiply to a stream representing 0.
+        let a = BitStream::from_binary_str("11010010").unwrap();
+        let b = BitStream::from_binary_str("10111110").unwrap();
+        let z = bipolar(&a, &b);
+        assert!((a.bipolar_value()).abs() < 1e-9);
+        assert!((z.bipolar_value()).abs() < 0.26);
+    }
+
+    #[test]
+    fn bipolar_multiplication_is_accurate_statistically() {
+        let len = StreamLength::new(4096);
+        let cases = [(0.5, 0.5), (-0.5, 0.5), (0.8, -0.7), (-0.9, -0.9), (0.0, 0.3)];
+        for (i, &(x, w)) in cases.iter().enumerate() {
+            let mut sa = Sng::new(SngKind::Lfsr32, 100 + i as u64);
+            let mut sb = Sng::new(SngKind::Lfsr32, 200 + i as u64);
+            let a = sa.generate_bipolar(x, len).unwrap();
+            let b = sb.generate_bipolar(w, len).unwrap();
+            let z = bipolar(&a, &b);
+            assert!(
+                (z.bipolar_value() - x * w).abs() < 0.08,
+                "{x} * {w} decoded as {}",
+                z.bipolar_value()
+            );
+        }
+    }
+
+    #[test]
+    fn unipolar_multiplication_is_accurate_statistically() {
+        let len = StreamLength::new(4096);
+        let mut sa = Sng::new(SngKind::Lfsr32, 1);
+        let mut sb = Sng::new(SngKind::Lfsr32, 2);
+        let a = sa.generate_unipolar(0.6, len).unwrap();
+        let b = sb.generate_unipolar(0.5, len).unwrap();
+        let z = unipolar(&a, &b);
+        assert!((z.unipolar_value() - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn correlated_streams_break_multiplication() {
+        // Multiplying a bipolar stream by itself with XNOR yields +1, not x².
+        let len = StreamLength::new(1024);
+        let mut sng = Sng::new(SngKind::Lfsr32, 3);
+        let a = sng.generate_bipolar(0.5, len).unwrap();
+        let z = bipolar(&a, &a);
+        assert!((z.bipolar_value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let a = BitStream::from_binary_str("1010").unwrap();
+        let b = BitStream::from_binary_str("10100").unwrap();
+        assert!(try_unipolar(&a, &b).is_err());
+        assert!(try_bipolar(&a, &b).is_err());
+    }
+
+    #[test]
+    fn products_validate_inputs() {
+        let a = BitStream::from_binary_str("1010").unwrap();
+        assert_eq!(bipolar_products(&[], &[]), Err(ScError::EmptyInput));
+        assert!(bipolar_products(&[a.clone()], &[a.clone(), a.clone()]).is_err());
+        let products = bipolar_products(&[a.clone()], &[a.clone()]).unwrap();
+        assert_eq!(products.len(), 1);
+    }
+}

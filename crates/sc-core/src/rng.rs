@@ -1,0 +1,239 @@
+//! Random number sources for stochastic number generation.
+//!
+//! Real SC hardware uses compact pseudo-random sources — typically linear
+//! feedback shift registers (LFSRs) — to drive the comparator of a stochastic
+//! number generator. The paper's peripheral circuitry follows Kim et al.
+//! (ASP-DAC'16), an LFSR-based energy-efficient RNG. This module provides
+//! LFSRs of several widths with maximal-length taps, plus a thin adapter so
+//! software-quality RNGs from the `rand` crate can be swapped in when the
+//! experiment calls for "ideal" randomness.
+
+use serde::{Deserialize, Serialize};
+
+/// A source of pseudo-random machine words used to drive SNG comparators.
+pub trait RandomSource {
+    /// Returns the next raw sample.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns a sample uniformly distributed in `[0, modulus)`.
+    ///
+    /// The default implementation uses rejection-free modulo reduction, which
+    /// is what cheap SC hardware does (the slight modulo bias is part of the
+    /// hardware behaviour being modelled).
+    fn next_below(&mut self, modulus: u32) -> u32 {
+        debug_assert!(modulus > 0, "modulus must be non-zero");
+        self.next_u32() % modulus
+    }
+}
+
+/// Maximal-length LFSR widths supported by [`Lfsr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LfsrWidth {
+    /// 8-bit register, period 255.
+    W8,
+    /// 16-bit register, period 65 535.
+    W16,
+    /// 24-bit register, period ~16.7 M.
+    W24,
+    /// 32-bit register, period ~4.29 G.
+    W32,
+}
+
+impl LfsrWidth {
+    /// Number of state bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            LfsrWidth::W8 => 8,
+            LfsrWidth::W16 => 16,
+            LfsrWidth::W24 => 24,
+            LfsrWidth::W32 => 32,
+        }
+    }
+
+    /// Fibonacci-form feedback tap mask (maximal-length polynomials).
+    fn taps(self) -> u32 {
+        match self {
+            // x^8 + x^6 + x^5 + x^4 + 1
+            LfsrWidth::W8 => 0b1011_1000 << 0,
+            // x^16 + x^15 + x^13 + x^4 + 1
+            LfsrWidth::W16 => 0xD008,
+            // x^24 + x^23 + x^22 + x^17 + 1
+            LfsrWidth::W24 => 0xE1_0000,
+            // x^32 + x^22 + x^2 + x^1 + 1
+            LfsrWidth::W32 => 0x8020_0003,
+        }
+    }
+
+    /// Mask selecting the state bits.
+    fn mask(self) -> u32 {
+        if self.bits() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits()) - 1
+        }
+    }
+}
+
+/// A Fibonacci linear feedback shift register.
+///
+/// The register never enters the all-zeros lock-up state: seeds of zero are
+/// remapped to one, matching the reset behaviour of hardware LFSRs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lfsr {
+    state: u32,
+    width: LfsrWidth,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with the given width and seed.
+    pub fn new(width: LfsrWidth, seed: u32) -> Self {
+        let state = (seed & width.mask()).max(1);
+        Self { state, width }
+    }
+
+    /// Creates the 32-bit LFSR used as the default hardware RNG model.
+    pub fn new_32(seed: u32) -> Self {
+        Self::new(LfsrWidth::W32, seed)
+    }
+
+    /// Width of the register.
+    pub fn width(&self) -> LfsrWidth {
+        self.width
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances the register by one step and returns the new state.
+    pub fn step(&mut self) -> u32 {
+        let taps = self.width.taps();
+        let feedback = (self.state & taps).count_ones() & 1;
+        self.state = ((self.state << 1) | feedback) & self.width.mask();
+        if self.state == 0 {
+            self.state = 1;
+        }
+        self.state
+    }
+
+    /// The period of a maximal-length register of this width.
+    pub fn period(&self) -> u64 {
+        (1u64 << self.width.bits()) - 1
+    }
+}
+
+impl RandomSource for Lfsr {
+    fn next_u32(&mut self) -> u32 {
+        self.step()
+    }
+}
+
+/// Adapter exposing any [`rand::RngCore`] as a [`RandomSource`].
+///
+/// Used when an experiment wants "ideal" randomness to separate encoding
+/// error from correlation error.
+#[derive(Debug, Clone)]
+pub struct SoftwareRng<R> {
+    inner: R,
+}
+
+impl<R: rand::RngCore> SoftwareRng<R> {
+    /// Wraps a `rand` RNG.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Consumes the adapter and returns the wrapped RNG.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: rand::RngCore> RandomSource for SoftwareRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lfsr_zero_seed_is_remapped() {
+        let lfsr = Lfsr::new(LfsrWidth::W8, 0);
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn lfsr8_is_maximal_length() {
+        let mut lfsr = Lfsr::new(LfsrWidth::W8, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..255 {
+            assert!(seen.insert(lfsr.step()), "state repeated before full period");
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0), "all-zeros state must never occur");
+    }
+
+    #[test]
+    fn lfsr16_has_long_period() {
+        let mut lfsr = Lfsr::new(LfsrWidth::W16, 0xACE1);
+        let first = lfsr.state();
+        let mut period = 0u64;
+        loop {
+            lfsr.step();
+            period += 1;
+            if lfsr.state() == first || period > 70_000 {
+                break;
+            }
+        }
+        assert_eq!(period, 65_535);
+    }
+
+    #[test]
+    fn lfsr_states_stay_within_mask() {
+        let mut lfsr = Lfsr::new(LfsrWidth::W24, 12345);
+        for _ in 0..1000 {
+            assert!(lfsr.step() <= LfsrWidth::W24.mask());
+        }
+    }
+
+    #[test]
+    fn lfsr_is_deterministic_for_equal_seeds() {
+        let mut a = Lfsr::new_32(42);
+        let mut b = Lfsr::new_32(42);
+        for _ in 0..100 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn next_below_respects_modulus() {
+        let mut lfsr = Lfsr::new_32(7);
+        for _ in 0..1000 {
+            assert!(lfsr.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn lfsr_bits_are_roughly_balanced() {
+        let mut lfsr = Lfsr::new_32(0xDEADBEEF);
+        let samples = 4096;
+        let ones: u32 = (0..samples).map(|_| lfsr.step() & 1).sum();
+        let ratio = ones as f64 / samples as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "LSB density {ratio} too far from 0.5");
+    }
+
+    #[test]
+    fn software_rng_adapter_works() {
+        use rand::SeedableRng;
+        let mut rng = SoftwareRng::new(rand::rngs::StdRng::seed_from_u64(1));
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        assert_ne!(a, b);
+        let _inner = rng.into_inner();
+    }
+}

@@ -1,0 +1,313 @@
+//! Stochastic number generators (SNGs).
+//!
+//! An SNG converts a binary-encoded probability into a stochastic bit-stream:
+//! at every cycle the probability (as a fixed-point threshold) is compared
+//! against a fresh pseudo-random value; the comparator output is the stream
+//! bit. The randomness source and how it is shared across SNGs dominate both
+//! the correlation error and the peripheral hardware cost, so the generator
+//! kind is an explicit configuration knob throughout this reproduction.
+
+use crate::bitstream::{BitStream, StreamLength};
+use crate::encoding::{Bipolar, Encoding, Unipolar};
+use crate::error::ScError;
+use crate::rng::{Lfsr, LfsrWidth, RandomSource, SoftwareRng};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Resolution (in bits) of the comparator threshold inside the SNG.
+///
+/// 16 bits comfortably exceeds the longest stream length the paper uses
+/// (8192), so quantization of the threshold itself never dominates the error.
+const THRESHOLD_BITS: u32 = 16;
+
+/// The randomness source driving an SNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SngKind {
+    /// 16-bit maximal-length LFSR (cheapest hardware, visible correlation).
+    Lfsr16,
+    /// 32-bit maximal-length LFSR (the default hardware model).
+    Lfsr32,
+    /// Software Mersenne-quality RNG (ideal randomness reference).
+    Ideal,
+}
+
+enum Source {
+    Lfsr(Lfsr),
+    Ideal(SoftwareRng<StdRng>),
+}
+
+impl Source {
+    fn next_threshold_sample(&mut self) -> u32 {
+        let raw = match self {
+            Source::Lfsr(lfsr) => lfsr.next_u32(),
+            Source::Ideal(rng) => rng.next_u32(),
+        };
+        raw & ((1u32 << THRESHOLD_BITS) - 1)
+    }
+}
+
+/// A comparator-based stochastic number generator.
+///
+/// Each [`Sng`] owns one randomness source. Generating several streams from
+/// the *same* generator models hardware that shares one LFSR across several
+/// comparators (cheap, but the streams become correlated); use separate
+/// generators with different seeds to model independent LFSRs.
+pub struct Sng {
+    source: Source,
+    kind: SngKind,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Sng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sng").field("kind", &self.kind).field("seed", &self.seed).finish()
+    }
+}
+
+impl Sng {
+    /// Creates a generator of the given kind seeded with `seed`.
+    pub fn new(kind: SngKind, seed: u64) -> Self {
+        let source = match kind {
+            SngKind::Lfsr16 => Source::Lfsr(Lfsr::new(LfsrWidth::W16, seed as u32)),
+            SngKind::Lfsr32 => Source::Lfsr(Lfsr::new(LfsrWidth::W32, seed as u32 ^ 0x9E37_79B9)),
+            SngKind::Ideal => Source::Ideal(SoftwareRng::new(StdRng::seed_from_u64(seed))),
+        };
+        Self { source, kind, seed }
+    }
+
+    /// The generator kind.
+    pub fn kind(&self) -> SngKind {
+        self.kind
+    }
+
+    /// The seed the generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates a stream whose one-density approximates `probability`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `probability` is not within
+    /// `[0, 1]`.
+    pub fn generate_probability(
+        &mut self,
+        probability: f64,
+        length: StreamLength,
+    ) -> Result<BitStream, ScError> {
+        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+            return Err(ScError::ValueOutOfRange { value: probability, min: 0.0, max: 1.0 });
+        }
+        let threshold = (probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32;
+        let mut stream = BitStream::zeros(length);
+        for i in 0..length.bits() {
+            let sample = self.source.next_threshold_sample();
+            if sample < threshold {
+                stream.set(i, true);
+            }
+        }
+        Ok(stream)
+    }
+
+    /// Generates a unipolar stream encoding `value ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[0, 1]`.
+    pub fn generate_unipolar(
+        &mut self,
+        value: f64,
+        length: StreamLength,
+    ) -> Result<BitStream, ScError> {
+        let p = Unipolar::to_probability(value)?;
+        self.generate_probability(p, length)
+    }
+
+    /// Generates a bipolar stream encoding `value ∈ [-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[-1, 1]`.
+    pub fn generate_bipolar(
+        &mut self,
+        value: f64,
+        length: StreamLength,
+    ) -> Result<BitStream, ScError> {
+        let p = Bipolar::to_probability(value)?;
+        self.generate_probability(p, length)
+    }
+
+    /// Generates one bipolar stream per input value, reusing this generator's
+    /// randomness source for all of them (shared-LFSR hardware model).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any value is outside `[-1, 1]` or `values` is empty.
+    pub fn generate_bipolar_batch(
+        &mut self,
+        values: &[f64],
+        length: StreamLength,
+    ) -> Result<Vec<BitStream>, ScError> {
+        if values.is_empty() {
+            return Err(ScError::EmptyInput);
+        }
+        values.iter().map(|&v| self.generate_bipolar(v, length)).collect()
+    }
+}
+
+/// A bank of independent SNGs, one per input lane.
+///
+/// This is the faithful model for an inner-product block where every input
+/// and every weight has its own generator (or a rotated/offset share of a
+/// larger one) so that streams entering a multiplier are uncorrelated.
+#[derive(Debug)]
+pub struct SngBank {
+    generators: Vec<Sng>,
+}
+
+impl SngBank {
+    /// Creates a bank of `lanes` generators, each seeded differently from
+    /// `base_seed`.
+    pub fn new(kind: SngKind, lanes: usize, base_seed: u64) -> Self {
+        let generators = (0..lanes)
+            .map(|lane| Sng::new(kind, base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1))))
+            .collect();
+        Self { generators }
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lanes(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Generates one bipolar stream per value, each from its own lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] if `values` is empty,
+    /// [`ScError::InvalidParameter`] if there are more values than lanes, and
+    /// [`ScError::ValueOutOfRange`] for values outside `[-1, 1]`.
+    pub fn generate_bipolar(
+        &mut self,
+        values: &[f64],
+        length: StreamLength,
+    ) -> Result<Vec<BitStream>, ScError> {
+        if values.is_empty() {
+            return Err(ScError::EmptyInput);
+        }
+        if values.len() > self.generators.len() {
+            return Err(ScError::InvalidParameter {
+                name: "values",
+                message: format!(
+                    "{} values exceed the {} available SNG lanes",
+                    values.len(),
+                    self.generators.len()
+                ),
+            });
+        }
+        values
+            .iter()
+            .zip(self.generators.iter_mut())
+            .map(|(&v, sng)| sng.generate_bipolar(v, length))
+            .collect()
+    }
+
+    /// Mutable access to an individual lane.
+    pub fn lane_mut(&mut self, lane: usize) -> Option<&mut Sng> {
+        self.generators.get_mut(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn length() -> StreamLength {
+        StreamLength::new(2048)
+    }
+
+    #[test]
+    fn unipolar_density_tracks_value() {
+        let mut sng = Sng::new(SngKind::Lfsr32, 11);
+        for &value in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            let stream = sng.generate_unipolar(value, length()).unwrap();
+            assert!(
+                (stream.unipolar_value() - value).abs() < 0.05,
+                "value {value} decoded as {}",
+                stream.unipolar_value()
+            );
+        }
+    }
+
+    #[test]
+    fn bipolar_density_tracks_value() {
+        let mut sng = Sng::new(SngKind::Lfsr32, 13);
+        for &value in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let stream = sng.generate_bipolar(value, length()).unwrap();
+            assert!(
+                (stream.bipolar_value() - value).abs() < 0.08,
+                "value {value} decoded as {}",
+                stream.bipolar_value()
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_source_also_tracks_value() {
+        let mut sng = Sng::new(SngKind::Ideal, 5);
+        let stream = sng.generate_bipolar(0.3, length()).unwrap();
+        assert!((stream.bipolar_value() - 0.3).abs() < 0.08);
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let mut sng = Sng::new(SngKind::Lfsr32, 1);
+        assert!(sng.generate_unipolar(1.5, length()).is_err());
+        assert!(sng.generate_bipolar(-1.5, length()).is_err());
+        assert!(sng.generate_probability(f64::NAN, length()).is_err());
+    }
+
+    #[test]
+    fn same_seed_reproduces_streams() {
+        let mut a = Sng::new(SngKind::Lfsr32, 99);
+        let mut b = Sng::new(SngKind::Lfsr32, 99);
+        let sa = a.generate_bipolar(0.25, length()).unwrap();
+        let sb = b.generate_bipolar(0.25, length()).unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_streams() {
+        let mut a = Sng::new(SngKind::Lfsr32, 1);
+        let mut b = Sng::new(SngKind::Lfsr32, 2);
+        let sa = a.generate_bipolar(0.5, length()).unwrap();
+        let sb = b.generate_bipolar(0.5, length()).unwrap();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn bank_rejects_too_many_values() {
+        let mut bank = SngBank::new(SngKind::Lfsr32, 2, 7);
+        assert_eq!(bank.lanes(), 2);
+        let err = bank.generate_bipolar(&[0.1, 0.2, 0.3], length());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bank_lanes_are_independent() {
+        let mut bank = SngBank::new(SngKind::Lfsr32, 3, 7);
+        let streams = bank.generate_bipolar(&[0.5, 0.5, 0.5], length()).unwrap();
+        assert_ne!(streams[0], streams[1]);
+        assert_ne!(streams[1], streams[2]);
+        assert!(bank.lane_mut(0).is_some());
+        assert!(bank.lane_mut(3).is_none());
+    }
+
+    #[test]
+    fn batch_requires_values() {
+        let mut sng = Sng::new(SngKind::Lfsr32, 3);
+        assert_eq!(sng.generate_bipolar_batch(&[], length()), Err(ScError::EmptyInput));
+    }
+}

@@ -1,0 +1,206 @@
+//! Monte-Carlo error-measurement helpers.
+//!
+//! Every accuracy table in the paper is an average of absolute or relative
+//! errors over randomly drawn inputs. This module centralizes those error
+//! metrics plus a small deterministic Monte-Carlo runner so each experiment
+//! binary reports numbers that are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mean absolute error between paired observations and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_absolute_error(observed: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
+    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    observed
+        .iter()
+        .zip(reference.iter())
+        .map(|(o, r)| (o - r).abs())
+        .sum::<f64>()
+        / observed.len() as f64
+}
+
+/// Mean relative error `|o − r| / |r|`, skipping reference values that are
+/// numerically zero (they would make the ratio meaningless).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_relative_error(observed: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
+    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (o, r) in observed.iter().zip(reference.iter()) {
+        if r.abs() > 1e-9 {
+            total += (o - r).abs() / r.abs();
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Root-mean-square error between paired observations and references.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(observed: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
+    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    let mse = observed
+        .iter()
+        .zip(reference.iter())
+        .map(|(o, r)| (o - r).powi(2))
+        .sum::<f64>()
+        / observed.len() as f64;
+    mse.sqrt()
+}
+
+/// Summary statistics of an error sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Mean absolute error.
+    pub mean_absolute: f64,
+    /// Mean relative error.
+    pub mean_relative: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Largest absolute error in the sample.
+    pub max_absolute: f64,
+    /// Number of Monte-Carlo trials aggregated.
+    pub trials: usize,
+}
+
+impl ErrorSummary {
+    /// Builds a summary from paired observation/reference samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn from_pairs(observed: &[f64], reference: &[f64]) -> Self {
+        let max_absolute = observed
+            .iter()
+            .zip(reference.iter())
+            .map(|(o, r)| (o - r).abs())
+            .fold(0.0f64, f64::max);
+        Self {
+            mean_absolute: mean_absolute_error(observed, reference),
+            mean_relative: mean_relative_error(observed, reference),
+            rmse: rmse(observed, reference),
+            max_absolute,
+            trials: observed.len(),
+        }
+    }
+}
+
+/// Deterministic Monte-Carlo runner.
+///
+/// Calls `trial` once per iteration with a fresh seeded RNG and an index; the
+/// closure returns an `(observed, reference)` pair. All experiment binaries
+/// use this so their reported numbers are stable across runs.
+pub fn monte_carlo<F>(trials: usize, seed: u64, mut trial: F) -> ErrorSummary
+where
+    F: FnMut(usize, &mut StdRng) -> (f64, f64),
+{
+    assert!(trials > 0, "at least one trial is required");
+    let mut observed = Vec::with_capacity(trials);
+    let mut reference = Vec::with_capacity(trials);
+    for index in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64 * 0x9E37_79B9));
+        let (o, r) = trial(index, &mut rng);
+        observed.push(o);
+        reference.push(r);
+    }
+    ErrorSummary::from_pairs(&observed, &reference)
+}
+
+/// Draws `count` uniform values in `[min, max]` from the provided RNG.
+pub fn uniform_values(rng: &mut StdRng, count: usize, min: f64, max: f64) -> Vec<f64> {
+    (0..count).map(|_| rng.gen_range(min..=max)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_identical_samples_is_zero() {
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(mean_absolute_error(&v, &v), 0.0);
+        assert_eq!(rmse(&v, &v), 0.0);
+        assert_eq!(mean_relative_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mae_matches_hand_computation() {
+        let observed = [1.0, 2.0, 3.0];
+        let reference = [1.5, 1.5, 3.5];
+        assert!((mean_absolute_error(&observed, &reference) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_references() {
+        let observed = [1.0, 5.0];
+        let reference = [0.0, 4.0];
+        assert!((mean_relative_error(&observed, &reference) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_all_zero_references_is_zero() {
+        assert_eq!(mean_relative_error(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let observed = [0.0, 2.0];
+        let reference = [0.0, 0.0];
+        assert!((rmse(&observed, &reference) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn summary_reports_max_error() {
+        let observed = [1.0, 4.0];
+        let reference = [1.0, 2.0];
+        let summary = ErrorSummary::from_pairs(&observed, &reference);
+        assert_eq!(summary.max_absolute, 2.0);
+        assert_eq!(summary.trials, 2);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic() {
+        let run = |seed| {
+            monte_carlo(32, seed, |_, rng| {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                (x + 0.01, x)
+            })
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        assert!((a.mean_absolute - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_values_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values = uniform_values(&mut rng, 100, -0.5, 0.5);
+        assert_eq!(values.len(), 100);
+        assert!(values.iter().all(|v| (-0.5..=0.5).contains(v)));
+    }
+}

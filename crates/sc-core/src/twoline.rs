@@ -1,0 +1,278 @@
+//! Two-line representation of stochastic numbers (Toral et al., ISCAS 2000).
+//!
+//! A two-line stochastic number consists of a magnitude stream `M(X)` and a
+//! sign stream `S(X)` (1 = negative). Its value is
+//! `x = (1/L)·Σ (1 − 2·S(Xᵢ))·M(Xᵢ)`, i.e. every cycle contributes −1, 0 or
+//! +1. The representation supports a *non-scaled* adder: two trits are summed
+//! together with a saturating ±1 carry counter. The paper evaluates it as an
+//! inner-product adder and rejects it because of overflow with many inputs
+//! and a large area overhead; both behaviours are reproduced here.
+
+use crate::bitstream::{BitStream, StreamLength};
+use crate::error::ScError;
+use crate::rng::RandomSource;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic number in two-line (sign + magnitude) representation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoLineStream {
+    magnitude: BitStream,
+    sign: BitStream,
+}
+
+impl TwoLineStream {
+    /// Creates a two-line stream from its magnitude and sign streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn new(magnitude: BitStream, sign: BitStream) -> Result<Self, ScError> {
+        if magnitude.len() != sign.len() {
+            return Err(ScError::LengthMismatch { left: magnitude.len(), right: sign.len() });
+        }
+        Ok(Self { magnitude, sign })
+    }
+
+    /// Encodes a real value in `[-1, 1]` as a two-line stream, drawing the
+    /// magnitude bits from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[-1, 1]`.
+    pub fn encode<R: RandomSource>(
+        value: f64,
+        length: StreamLength,
+        rng: &mut R,
+    ) -> Result<Self, ScError> {
+        if !(-1.0..=1.0).contains(&value) || value.is_nan() {
+            return Err(ScError::ValueOutOfRange { value, min: -1.0, max: 1.0 });
+        }
+        let magnitude_probability = value.abs();
+        let threshold = (magnitude_probability * 65536.0).round() as u32;
+        let mut magnitude = BitStream::zeros(length);
+        for i in 0..length.bits() {
+            if (rng.next_u32() & 0xFFFF) < threshold {
+                magnitude.set(i, true);
+            }
+        }
+        let sign = if value < 0.0 {
+            BitStream::ones(length)
+        } else {
+            BitStream::zeros(length)
+        };
+        Ok(Self { magnitude, sign })
+    }
+
+    /// The magnitude stream `M(X)`.
+    pub fn magnitude(&self) -> &BitStream {
+        &self.magnitude
+    }
+
+    /// The sign stream `S(X)` (1 = negative).
+    pub fn sign(&self) -> &BitStream {
+        &self.sign
+    }
+
+    /// Stream length in bits.
+    pub fn len(&self) -> usize {
+        self.magnitude.len()
+    }
+
+    /// Whether the stream is empty (never true for constructed streams).
+    pub fn is_empty(&self) -> bool {
+        self.magnitude.is_empty()
+    }
+
+    /// Decodes the represented value `(1/L)·Σ (1 − 2·Sᵢ)·Mᵢ`.
+    pub fn value(&self) -> f64 {
+        let mut total = 0i64;
+        for i in 0..self.len() {
+            if self.magnitude.get(i) {
+                total += if self.sign.get(i) { -1 } else { 1 };
+            }
+        }
+        total as f64 / self.len() as f64
+    }
+
+    /// The trit (−1, 0, +1) at cycle `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn trit(&self, index: usize) -> i8 {
+        if !self.magnitude.get(index) {
+            0
+        } else if self.sign.get(index) {
+            -1
+        } else {
+            1
+        }
+    }
+}
+
+/// Non-scaled adder over two-line streams with a saturating ±1 carry counter.
+///
+/// Each cycle the adder sums the two input trits plus the stored carry. The
+/// output trit is clamped to `[-1, 1]`; any residue is stored in the carry
+/// counter, which itself saturates at ±1 (a three-state counter in hardware).
+/// Saturation of either the output or the carry is how overflow manifests,
+/// and the adder records how many cycles saturated so the experiment harness
+/// can report the overflow rate the paper warns about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoLineAdder;
+
+/// Outcome of a two-line addition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoLineSum {
+    /// The output stream.
+    pub stream: TwoLineStream,
+    /// Number of cycles in which the carry counter or output saturated.
+    pub saturated_cycles: usize,
+}
+
+impl TwoLineAdder {
+    /// Creates a two-line adder.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Adds two two-line streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::LengthMismatch`] if the streams differ in length.
+    pub fn add(&self, a: &TwoLineStream, b: &TwoLineStream) -> Result<TwoLineSum, ScError> {
+        if a.len() != b.len() {
+            return Err(ScError::LengthMismatch { left: a.len(), right: b.len() });
+        }
+        let length = StreamLength::try_new(a.len())?;
+        let mut magnitude = BitStream::zeros(length);
+        let mut sign = BitStream::zeros(length);
+        let mut carry: i32 = 0;
+        let mut saturated = 0usize;
+        for i in 0..a.len() {
+            let total = i32::from(a.trit(i)) + i32::from(b.trit(i)) + carry;
+            let out = total.clamp(-1, 1);
+            let mut residue = total - out;
+            if residue > 1 {
+                residue = 1;
+                saturated += 1;
+            } else if residue < -1 {
+                residue = -1;
+                saturated += 1;
+            }
+            carry = residue;
+            if out != 0 {
+                magnitude.set(i, true);
+                if out < 0 {
+                    sign.set(i, true);
+                }
+            }
+        }
+        Ok(TwoLineSum { stream: TwoLineStream::new(magnitude, sign)?, saturated_cycles: saturated })
+    }
+
+    /// Adds an arbitrary number of streams by chaining pairwise additions,
+    /// accumulating the saturation count (this is how a multi-input inner
+    /// product block would cascade the two-line adders).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] on length mismatch.
+    pub fn sum(&self, inputs: &[TwoLineStream]) -> Result<TwoLineSum, ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let mut acc = TwoLineSum { stream: first.clone(), saturated_cycles: 0 };
+        for stream in &inputs[1..] {
+            let next = self.add(&acc.stream, stream)?;
+            acc = TwoLineSum {
+                stream: next.stream,
+                saturated_cycles: acc.saturated_cycles + next.saturated_cycles,
+            };
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Lfsr;
+
+    #[test]
+    fn paper_example_negative_half() {
+        // M(-0.5): 10110001, S(-0.5): 11111111 represents -0.5 (4 ones in 8 bits, all negative).
+        let magnitude = BitStream::from_binary_str("10110001").unwrap();
+        let sign = BitStream::from_binary_str("11111111").unwrap();
+        let stream = TwoLineStream::new(magnitude, sign).unwrap();
+        assert!((stream.value() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let length = StreamLength::new(4096);
+        for &value in &[-0.9f64, -0.3, 0.0, 0.4, 0.8] {
+            let mut rng = Lfsr::new_32(7 + (value.to_bits() & 0xFF) as u32);
+            let stream = TwoLineStream::encode(value, length, &mut rng).unwrap();
+            assert!((stream.value() - value).abs() < 0.05, "value {value} decoded as {}", stream.value());
+        }
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let mut rng = Lfsr::new_32(1);
+        assert!(TwoLineStream::encode(1.5, StreamLength::new(16), &mut rng).is_err());
+        assert!(TwoLineStream::encode(f64::NAN, StreamLength::new(16), &mut rng).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let m = BitStream::from_binary_str("1010").unwrap();
+        let s = BitStream::from_binary_str("10100").unwrap();
+        assert!(TwoLineStream::new(m, s).is_err());
+    }
+
+    #[test]
+    fn addition_is_non_scaled_for_small_sums() {
+        let length = StreamLength::new(8192);
+        let mut rng_a = Lfsr::new_32(11);
+        let mut rng_b = Lfsr::new_32(23);
+        let a = TwoLineStream::encode(0.3, length, &mut rng_a).unwrap();
+        let b = TwoLineStream::encode(0.25, length, &mut rng_b).unwrap();
+        let sum = TwoLineAdder::new().add(&a, &b).unwrap();
+        // Non-scaled: the output represents 0.55, not 0.275.
+        assert!((sum.stream.value() - 0.55).abs() < 0.06);
+    }
+
+    #[test]
+    fn addition_overflows_for_large_sums() {
+        let length = StreamLength::new(4096);
+        let streams: Vec<TwoLineStream> = (0..6)
+            .map(|i| {
+                let mut rng = Lfsr::new_32(100 + i);
+                TwoLineStream::encode(0.8, length, &mut rng).unwrap()
+            })
+            .collect();
+        let sum = TwoLineAdder::new().sum(&streams).unwrap();
+        // The true sum is 4.8 but the representation saturates near 1.
+        assert!(sum.stream.value() < 1.01);
+        assert!(sum.saturated_cycles > 0, "expected overflow cycles for a sum of 4.8");
+    }
+
+    #[test]
+    fn sum_requires_inputs() {
+        assert!(TwoLineAdder::new().sum(&[]).is_err());
+    }
+
+    #[test]
+    fn trit_values() {
+        let magnitude = BitStream::from_binary_str("110").unwrap();
+        let sign = BitStream::from_binary_str("010").unwrap();
+        let stream = TwoLineStream::new(magnitude, sign).unwrap();
+        assert_eq!(stream.trit(0), 1);
+        assert_eq!(stream.trit(1), -1);
+        assert_eq!(stream.trit(2), 0);
+        assert_eq!(stream.len(), 3);
+        assert!(!stream.is_empty());
+    }
+}

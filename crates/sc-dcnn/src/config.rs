@@ -1,0 +1,214 @@
+//! SC network configurations.
+
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_nn::lenet::PoolingStyle;
+use serde::{Deserialize, Serialize};
+
+/// Default per-layer weight precisions (the 7-7-6 scheme of Section 5.3).
+pub const DEFAULT_WEIGHT_BITS: [usize; 3] = [7, 7, 6];
+
+/// A complete SC-DCNN configuration for a three-layer (paper-style) network.
+///
+/// The paper's LeNet-5 is grouped into Layer0 (conv1 + pool1), Layer1
+/// (conv2 + pool2) and Layer2 (the fully-connected layers); each gets its
+/// own feature-extraction-block kind and weight precision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScNetworkConfig {
+    /// Label used in reports (e.g. `"No.11"`).
+    pub name: String,
+    /// Feature-extraction-block kind per paper layer.
+    pub layer_kinds: Vec<FeatureBlockKind>,
+    /// Bit-stream length `L`.
+    pub stream_length: usize,
+    /// Pooling style of the underlying DCNN (max or average).
+    pub pooling: PoolingStyle,
+    /// Stored weight precision per paper layer, in bits.
+    pub weight_bits: Vec<usize>,
+}
+
+impl ScNetworkConfig {
+    /// Creates a configuration, defaulting the weight precisions to 7-7-6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_kinds` is empty or the kinds' pooling style does not
+    /// match `pooling` for the pooling layers.
+    pub fn new(
+        name: impl Into<String>,
+        layer_kinds: Vec<FeatureBlockKind>,
+        stream_length: usize,
+        pooling: PoolingStyle,
+    ) -> Self {
+        assert!(!layer_kinds.is_empty(), "a configuration needs at least one layer");
+        let weight_bits = DEFAULT_WEIGHT_BITS
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(*DEFAULT_WEIGHT_BITS.last().unwrap()))
+            .take(layer_kinds.len())
+            .collect();
+        Self { name: name.into(), layer_kinds, stream_length, pooling, weight_bits }
+    }
+
+    /// Builder-style override of the per-layer weight precisions.
+    pub fn with_weight_bits(mut self, weight_bits: Vec<usize>) -> Self {
+        self.weight_bits = weight_bits;
+        self
+    }
+
+    /// The inner-product family per layer, in Table 6's "MUX"/"APC" notation.
+    pub fn layer_summary(&self) -> String {
+        self.layer_kinds
+            .iter()
+            .map(|k| k.short_name())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Number of paper-style layers.
+    pub fn layer_count(&self) -> usize {
+        self.layer_kinds.len()
+    }
+
+    /// Returns a copy with the bit-stream length halved (the Table 6
+    /// optimization loop's energy-reduction move).
+    pub fn with_halved_stream(&self) -> Self {
+        let mut copy = self.clone();
+        copy.stream_length = (copy.stream_length / 2).max(1);
+        copy
+    }
+
+    /// Whether every layer kind is consistent with the configured pooling
+    /// style (max-pooling configurations must use max-pooling FEBs).
+    pub fn is_pooling_consistent(&self) -> bool {
+        self.layer_kinds.iter().enumerate().all(|(index, kind)| {
+            // The fully-connected layer (last) carries no pooling block, so
+            // its kind only selects the inner product / activation pair.
+            if index + 1 == self.layer_kinds.len() {
+                true
+            } else {
+                kind.uses_max_pooling() == (self.pooling == PoolingStyle::Max)
+            }
+        })
+    }
+}
+
+/// The twelve Table 6 configurations of the paper (No.1–No.6 max pooling,
+/// No.7–No.12 average pooling).
+pub fn table6_configurations() -> Vec<ScNetworkConfig> {
+    use FeatureBlockKind::{ApcAvgBtanh, ApcMaxBtanh, MuxAvgStanh, MuxMaxStanh};
+    let mut configs = Vec::new();
+    let max_rows: [(usize, [FeatureBlockKind; 3]); 6] = [
+        (1024, [MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh]),
+        (1024, [MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh]),
+        (512, [ApcMaxBtanh, MuxMaxStanh, ApcMaxBtanh]),
+        (512, [ApcMaxBtanh, ApcMaxBtanh, ApcMaxBtanh]),
+        (256, [ApcMaxBtanh, MuxMaxStanh, ApcMaxBtanh]),
+        (256, [ApcMaxBtanh, ApcMaxBtanh, ApcMaxBtanh]),
+    ];
+    let avg_rows: [(usize, [FeatureBlockKind; 3]); 6] = [
+        (1024, [MuxAvgStanh, ApcAvgBtanh, ApcAvgBtanh]),
+        (1024, [ApcAvgBtanh, ApcAvgBtanh, ApcAvgBtanh]),
+        (512, [MuxAvgStanh, ApcAvgBtanh, ApcAvgBtanh]),
+        (512, [ApcAvgBtanh, ApcAvgBtanh, ApcAvgBtanh]),
+        (256, [MuxAvgStanh, ApcAvgBtanh, ApcAvgBtanh]),
+        (256, [ApcAvgBtanh, ApcAvgBtanh, ApcAvgBtanh]),
+    ];
+    for (index, (length, kinds)) in max_rows.into_iter().enumerate() {
+        configs.push(ScNetworkConfig::new(
+            format!("No.{}", index + 1),
+            kinds.to_vec(),
+            length,
+            PoolingStyle::Max,
+        ));
+    }
+    for (index, (length, kinds)) in avg_rows.into_iter().enumerate() {
+        configs.push(ScNetworkConfig::new(
+            format!("No.{}", index + 7),
+            kinds.to_vec(),
+            length,
+            PoolingStyle::Average,
+        ));
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weight_bits_follow_paper_scheme() {
+        let config = ScNetworkConfig::new(
+            "test",
+            vec![FeatureBlockKind::MuxMaxStanh; 3],
+            1024,
+            PoolingStyle::Max,
+        );
+        assert_eq!(config.weight_bits, vec![7, 7, 6]);
+        assert_eq!(config.layer_count(), 3);
+    }
+
+    #[test]
+    fn layer_summary_uses_table6_notation() {
+        let config = ScNetworkConfig::new(
+            "row",
+            vec![
+                FeatureBlockKind::MuxMaxStanh,
+                FeatureBlockKind::ApcMaxBtanh,
+                FeatureBlockKind::ApcMaxBtanh,
+            ],
+            1024,
+            PoolingStyle::Max,
+        );
+        assert_eq!(config.layer_summary(), "MUX-APC-APC");
+    }
+
+    #[test]
+    fn halving_stream_length_floors_at_one() {
+        let config = ScNetworkConfig::new(
+            "h",
+            vec![FeatureBlockKind::ApcAvgBtanh],
+            2,
+            PoolingStyle::Average,
+        );
+        assert_eq!(config.with_halved_stream().stream_length, 1);
+        assert_eq!(config.with_halved_stream().with_halved_stream().stream_length, 1);
+    }
+
+    #[test]
+    fn table6_has_twelve_rows_matching_the_paper() {
+        let configs = table6_configurations();
+        assert_eq!(configs.len(), 12);
+        assert!(configs[..6].iter().all(|c| c.pooling == PoolingStyle::Max));
+        assert!(configs[6..].iter().all(|c| c.pooling == PoolingStyle::Average));
+        assert_eq!(configs[0].stream_length, 1024);
+        assert_eq!(configs[10].stream_length, 256);
+        assert_eq!(configs[10].layer_summary(), "MUX-APC-APC");
+        for config in &configs {
+            assert!(config.is_pooling_consistent(), "{} mixes pooling styles", config.name);
+        }
+    }
+
+    #[test]
+    fn pooling_consistency_detects_mismatch() {
+        let config = ScNetworkConfig::new(
+            "bad",
+            vec![FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::MuxMaxStanh],
+            512,
+            PoolingStyle::Max,
+        );
+        assert!(!config.is_pooling_consistent());
+    }
+
+    #[test]
+    fn weight_bits_override() {
+        let config = ScNetworkConfig::new(
+            "w",
+            vec![FeatureBlockKind::ApcMaxBtanh; 3],
+            512,
+            PoolingStyle::Max,
+        )
+        .with_weight_bits(vec![8, 8, 8]);
+        assert_eq!(config.weight_bits, vec![8, 8, 8]);
+    }
+}

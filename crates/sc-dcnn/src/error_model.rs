@@ -1,0 +1,362 @@
+//! Hardware-inaccuracy calibration and error-injection evaluation.
+//!
+//! Bit-exact simulation of every stochastic stream in LeNet-5 would take
+//! `O(neurons × inputs × stream length)` bit operations per image — far too
+//! slow to sweep twelve configurations. The paper itself evaluates network
+//! accuracy in software with the hardware inaccuracy modelled; this module
+//! does the same in two steps:
+//!
+//! 1. **Calibration** ([`FebErrorModel`]): the bit-level feature extraction
+//!    blocks of [`sc_blocks`] are Monte-Carlo sampled at the layer's actual
+//!    input size and stream length, yielding the bias and standard deviation
+//!    of the block output error relative to the floating-point reference.
+//! 2. **Injection** ([`ErrorInjection`]): during a forward pass of the
+//!    trained network, Gaussian noise with the calibrated moments is added
+//!    after each paper layer's activation (and the result re-clamped to the
+//!    bipolar range), and the classification error rate is measured.
+//!
+//! Calibrations are cached per (kind, input size, stream length) so repeated
+//! evaluations (the optimizer sweeps many configurations) stay cheap.
+
+use crate::config::ScNetworkConfig;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sc_blocks::accuracy::feature_block_inaccuracy;
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_nn::network::Network;
+use sc_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Calibrated error moments for one feature-extraction-block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedError {
+    /// Mean absolute output error against the floating-point reference.
+    pub mean_absolute: f64,
+    /// Standard deviation proxy (root-mean-square error).
+    pub rmse: f64,
+}
+
+/// Key identifying one calibration point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct CalibrationKey {
+    kind: FeatureBlockKind,
+    input_size: usize,
+    stream_length: usize,
+}
+
+/// A cache of bit-level feature-extraction-block calibrations.
+#[derive(Debug, Default)]
+pub struct FebErrorModel {
+    cache: Mutex<HashMap<CalibrationKey, CalibratedError>>,
+    trials: usize,
+    seed: u64,
+}
+
+impl FebErrorModel {
+    /// Creates a model that calibrates each point with the given number of
+    /// Monte-Carlo trials.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        Self { cache: Mutex::new(HashMap::new()), trials: trials.max(1), seed }
+    }
+
+    /// A fast model for tests and examples (few trials per point).
+    pub fn fast() -> Self {
+        Self::new(6, 2024)
+    }
+
+    /// Calibrated error moments for a feature extraction block of the given
+    /// kind, input size and stream length. Results are cached.
+    ///
+    /// Large input sizes are bucketed (calibrated at a capped size) because
+    /// the measured error varies slowly with `N` once the activation
+    /// saturates, while the bit-level simulation cost grows linearly.
+    pub fn calibrate(
+        &self,
+        kind: FeatureBlockKind,
+        input_size: usize,
+        stream_length: usize,
+    ) -> CalibratedError {
+        let bucketed_input = bucket_input_size(input_size);
+        let key = CalibrationKey { kind, input_size: bucketed_input, stream_length };
+        if let Some(&hit) = self.cache.lock().get(&key) {
+            return hit;
+        }
+        let summary = feature_block_inaccuracy(
+            kind,
+            bucketed_input,
+            stream_length,
+            self.trials,
+            self.seed ^ (bucketed_input as u64) << 16 ^ stream_length as u64,
+        );
+        let calibrated =
+            CalibratedError { mean_absolute: summary.mean_absolute, rmse: summary.rmse };
+        self.cache.lock().insert(key, calibrated);
+        calibrated
+    }
+
+    /// Number of cached calibration points.
+    pub fn cached_points(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+/// Caps the calibration input size so bit-level Monte-Carlo stays tractable
+/// for the 500/800-input layers of LeNet-5.
+fn bucket_input_size(input_size: usize) -> usize {
+    const BUCKETS: [usize; 6] = [16, 25, 32, 64, 128, 256];
+    for &bucket in &BUCKETS {
+        if input_size <= bucket {
+            return bucket;
+        }
+    }
+    *BUCKETS.last().expect("bucket list is non-empty")
+}
+
+/// Error-injection evaluation of a trained network under an SC configuration.
+#[derive(Debug)]
+pub struct ErrorInjection<'a> {
+    model: &'a FebErrorModel,
+    /// Per paper-layer receptive-field sizes (LeNet-5: 25, 500, 800).
+    layer_input_sizes: Vec<usize>,
+}
+
+impl<'a> ErrorInjection<'a> {
+    /// Creates an injection evaluator for a network whose paper layers have
+    /// the given receptive-field sizes.
+    pub fn new(model: &'a FebErrorModel, layer_input_sizes: Vec<usize>) -> Self {
+        Self { model, layer_input_sizes }
+    }
+
+    /// The standard LeNet-5 receptive-field sizes (25, 500, 800).
+    pub fn lenet5(model: &'a FebErrorModel) -> Self {
+        Self::new(model, vec![25, 500, 800])
+    }
+
+    /// Per-layer noise sigmas for a configuration.
+    pub fn layer_sigmas(&self, config: &ScNetworkConfig) -> Vec<f64> {
+        config
+            .layer_kinds
+            .iter()
+            .enumerate()
+            .map(|(layer, &kind)| {
+                let input_size =
+                    self.layer_input_sizes.get(layer).copied().unwrap_or(64);
+                self.model.calibrate(kind, input_size, config.stream_length).rmse
+            })
+            .collect()
+    }
+
+    /// Classification error rate of `network` under the configuration's
+    /// injected hardware noise.
+    ///
+    /// Noise with the calibrated standard deviation is added after every
+    /// activation layer (each activation layer corresponds to one paper
+    /// layer) and after the final output layer, then clamped to `[-1, 1]`
+    /// where applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` differ in length or are empty.
+    pub fn error_rate(
+        &self,
+        network: &mut Network,
+        config: &ScNetworkConfig,
+        images: &[Tensor],
+        labels: &[usize],
+        seed: u64,
+    ) -> f64 {
+        assert_eq!(images.len(), labels.len(), "each image needs a label");
+        assert!(!images.is_empty(), "evaluation set is empty");
+        let sigmas = self.layer_sigmas(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut errors = 0usize;
+        for (image, &label) in images.iter().zip(labels.iter()) {
+            let prediction = self.predict_with_noise(network, image, &sigmas, &mut rng);
+            if prediction != label {
+                errors += 1;
+            }
+        }
+        errors as f64 / images.len() as f64
+    }
+
+    /// Degradation of the error rate relative to the noise-free network, in
+    /// percentage points (the "Inaccuracy (%)" column of Table 6).
+    pub fn inaccuracy_percent(
+        &self,
+        network: &mut Network,
+        config: &ScNetworkConfig,
+        images: &[Tensor],
+        labels: &[usize],
+        seed: u64,
+    ) -> f64 {
+        let baseline = network.error_rate(images, labels);
+        let noisy = self.error_rate(network, config, images, labels, seed);
+        (noisy - baseline).max(0.0) * 100.0
+    }
+
+    fn predict_with_noise(
+        &self,
+        network: &mut Network,
+        image: &Tensor,
+        sigmas: &[f64],
+        rng: &mut StdRng,
+    ) -> usize {
+        let mut current = image.clone();
+        let mut activation_index = 0usize;
+        let layer_count = network.layer_count();
+        for (index, layer) in network.layers_mut().iter_mut().enumerate() {
+            current = layer.forward(&current);
+            let is_last = index + 1 == layer_count;
+            let inject_for = if layer.name() == "tanh" {
+                let sigma = sigmas.get(activation_index).copied();
+                activation_index += 1;
+                sigma
+            } else if is_last {
+                sigmas.last().copied()
+            } else {
+                None
+            };
+            if let Some(sigma) = inject_for {
+                if sigma > 0.0 {
+                    let clamp = layer.name() == "tanh";
+                    for value in current.as_mut_slice() {
+                        let noise = gaussian(rng) * sigma as f32;
+                        *value += noise;
+                        if clamp {
+                            *value = value.clamp(-1.0, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+        current.argmax()
+    }
+}
+
+/// Standard normal sample via Box-Muller (avoids pulling in rand_distr).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_nn::dataset::SyntheticDigits;
+    use sc_nn::lenet::{tiny_lenet, PoolingStyle};
+    use sc_nn::network::TrainingOptions;
+
+    fn trained_tiny() -> (Network, SyntheticDigits) {
+        let data = SyntheticDigits::generate(10, 5);
+        let mut network = tiny_lenet(3);
+        let options = TrainingOptions {
+            epochs: 3,
+            learning_rate: 0.08,
+            shuffle_seed: 2,
+            learning_rate_decay: 0.9,
+        };
+        network.train(&data.train_images, &data.train_labels, &options);
+        (network, data)
+    }
+
+    fn config(kind: FeatureBlockKind, length: usize) -> ScNetworkConfig {
+        ScNetworkConfig::new("test", vec![kind; 3], length, PoolingStyle::Max)
+    }
+
+    #[test]
+    fn bucketing_caps_large_sizes() {
+        assert_eq!(bucket_input_size(10), 16);
+        assert_eq!(bucket_input_size(25), 25);
+        assert_eq!(bucket_input_size(100), 128);
+        assert_eq!(bucket_input_size(800), 256);
+    }
+
+    #[test]
+    fn calibration_is_cached() {
+        let model = FebErrorModel::fast();
+        let a = model.calibrate(FeatureBlockKind::ApcAvgBtanh, 16, 128);
+        let b = model.calibrate(FeatureBlockKind::ApcAvgBtanh, 16, 128);
+        assert_eq!(a, b);
+        assert_eq!(model.cached_points(), 1);
+        let _ = model.calibrate(FeatureBlockKind::MuxAvgStanh, 16, 128);
+        assert_eq!(model.cached_points(), 2);
+    }
+
+    #[test]
+    fn apc_calibration_has_smaller_error_than_mux_avg() {
+        let model = FebErrorModel::fast();
+        let apc = model.calibrate(FeatureBlockKind::ApcAvgBtanh, 25, 256);
+        let mux = model.calibrate(FeatureBlockKind::MuxAvgStanh, 25, 256);
+        assert!(apc.rmse < mux.rmse, "APC rmse {} vs MUX rmse {}", apc.rmse, mux.rmse);
+        assert!(apc.mean_absolute > 0.0);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f32> = (0..4000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.1);
+        assert!((var - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn zero_noise_matches_baseline() {
+        let (mut network, data) = trained_tiny();
+        let model = FebErrorModel::fast();
+        let injection = ErrorInjection::new(&model, vec![25, 200, 128]);
+        let baseline = network.error_rate(&data.test_images, &data.test_labels);
+        // A configuration with zero sigma everywhere is simulated by checking
+        // that sigmas drive the evaluation: manually verify via layer_sigmas.
+        let cfg = config(FeatureBlockKind::ApcMaxBtanh, 1024);
+        let sigmas = injection.layer_sigmas(&cfg);
+        assert_eq!(sigmas.len(), 3);
+        // The noisy error rate is at least the baseline minus statistical
+        // fluctuation (injection can only hurt on average).
+        let noisy = injection.error_rate(&mut network, &cfg, &data.test_images, &data.test_labels, 1);
+        assert!(noisy + 0.2 >= baseline);
+    }
+
+    #[test]
+    fn heavier_noise_hurts_more() {
+        let (mut network, data) = trained_tiny();
+        let model = FebErrorModel::fast();
+        let injection = ErrorInjection::lenet5(&model);
+        let accurate = config(FeatureBlockKind::ApcMaxBtanh, 1024);
+        let sloppy = config(FeatureBlockKind::MuxAvgStanh, 256);
+        let accurate_err = injection.error_rate(
+            &mut network,
+            &accurate,
+            &data.test_images,
+            &data.test_labels,
+            7,
+        );
+        let sloppy_err =
+            injection.error_rate(&mut network, &sloppy, &data.test_images, &data.test_labels, 7);
+        assert!(
+            sloppy_err >= accurate_err,
+            "MUX-Avg at L=256 ({sloppy_err}) should not beat APC-Max at L=1024 ({accurate_err})"
+        );
+    }
+
+    #[test]
+    fn inaccuracy_percent_is_non_negative() {
+        let (mut network, data) = trained_tiny();
+        let model = FebErrorModel::fast();
+        let injection = ErrorInjection::lenet5(&model);
+        let cfg = config(FeatureBlockKind::ApcMaxBtanh, 512);
+        let degradation = injection.inaccuracy_percent(
+            &mut network,
+            &cfg,
+            &data.test_images,
+            &data.test_labels,
+            3,
+        );
+        assert!(degradation >= 0.0);
+        assert!(degradation <= 100.0);
+    }
+}

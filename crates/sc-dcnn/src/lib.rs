@@ -1,0 +1,41 @@
+//! # sc-dcnn
+//!
+//! The paper's primary contribution: a design and optimization framework that
+//! maps software-trained deep convolutional neural networks onto
+//! stochastic-computing (SC) hardware built from the feature extraction
+//! blocks of [`sc_blocks`], costed with [`sc_hw`], and trained with
+//! [`sc_nn`].
+//!
+//! The crate is organized around the paper's Section 5–6 flow:
+//!
+//! * [`config`] — an SC network configuration: which feature extraction
+//!   block each layer uses, the bit-stream length, the pooling style, and
+//!   the per-layer weight precisions.
+//! * [`error_model`] — per-block hardware-inaccuracy calibration (bit-level
+//!   Monte-Carlo) and the error-injection evaluation of full networks, which
+//!   is how network-level accuracy under SC noise is estimated.
+//! * [`mapping`] — turns a configuration plus the LeNet-5 layer shapes into
+//!   the [`sc_hw::NetworkConfig`] used for area/power/energy roll-ups.
+//! * [`weight_storage`] — the Section 5 weight-storage optimizations
+//!   (filter-aware sharing, low precision, layer-wise precision).
+//! * [`optimizer`] — the Section 6.3 pruning search over configurations
+//!   under a network-accuracy constraint (Table 6).
+//! * [`platforms`] — published reference platforms for Table 7.
+//! * [`report`] — plain-text table formatting shared by the experiment
+//!   binaries and examples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error_model;
+pub mod mapping;
+pub mod optimizer;
+pub mod platforms;
+pub mod report;
+pub mod weight_storage;
+
+pub use config::ScNetworkConfig;
+pub use error_model::{ErrorInjection, FebErrorModel};
+pub use mapping::lenet5_network_config;
+pub use optimizer::{CandidateEvaluation, DesignSpaceOptimizer, OptimizerOptions};

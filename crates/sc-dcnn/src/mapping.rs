@@ -1,0 +1,162 @@
+//! Mapping SC network configurations onto the hardware cost model.
+
+use crate::config::ScNetworkConfig;
+use sc_hw::network_cost::{LayerSpec, NetworkConfig, NetworkCost};
+use sc_nn::lenet::lenet5_layer_shapes;
+
+/// Builds the [`sc_hw::NetworkConfig`] corresponding to an SC-DCNN
+/// configuration of the paper's LeNet-5 (784-11520-2880-3200-800-500-10).
+///
+/// Each paper layer becomes one [`LayerSpec`]: its unit count and
+/// receptive-field size come from the LeNet-5 structure, its
+/// feature-extraction-block kind and weight precision from the
+/// configuration. Filter-aware SRAM sharing applies to the convolutional
+/// layers (every inner-product block of a feature map shares the filter),
+/// while fully-connected weights are used once and cannot be shared.
+pub fn lenet5_network_config(config: &ScNetworkConfig) -> NetworkConfig {
+    let shapes = lenet5_layer_shapes();
+    let layers: Vec<LayerSpec> = shapes
+        .iter()
+        .map(|shape| {
+            let kind = config
+                .layer_kinds
+                .get(shape.index)
+                .copied()
+                .unwrap_or(*config.layer_kinds.last().expect("configurations are non-empty"));
+            let weight_bits = config
+                .weight_bits
+                .get(shape.index)
+                .copied()
+                .unwrap_or(*config.weight_bits.last().unwrap_or(&7));
+            // Convolutional layers share one filter across all the inner
+            // product blocks of a feature map; the sharing factor is the
+            // number of pooled output positions per feature map.
+            let sharing_factor = if shape.has_pooling {
+                (shape.unit_count / filters_for_layer(shape.index)).max(1)
+            } else {
+                1
+            };
+            LayerSpec {
+                name: format!("Layer{}", shape.index),
+                unit_count: shape.unit_count,
+                input_size: shape.input_size,
+                kind,
+                has_pooling: shape.has_pooling,
+                weight_count: shape.weight_count,
+                weight_bits,
+                sharing_factor,
+                input_count: shape.input_count,
+            }
+        })
+        .collect();
+    NetworkConfig::new(config.name.clone(), layers, config.stream_length)
+}
+
+/// Number of filters (feature maps) in each convolutional paper layer.
+fn filters_for_layer(index: usize) -> usize {
+    match index {
+        0 => sc_nn::lenet::CONV1_FILTERS,
+        1 => sc_nn::lenet::CONV2_FILTERS,
+        _ => 1,
+    }
+}
+
+/// Convenience: the Table 6 cost row for a configuration.
+pub fn lenet5_cost(config: &ScNetworkConfig) -> NetworkCost {
+    lenet5_network_config(config).cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::table6_configurations;
+    use sc_blocks::feature_block::FeatureBlockKind;
+    use sc_nn::lenet::PoolingStyle;
+
+    fn all_apc(stream_length: usize) -> ScNetworkConfig {
+        ScNetworkConfig::new(
+            "apc",
+            vec![FeatureBlockKind::ApcMaxBtanh; 3],
+            stream_length,
+            PoolingStyle::Max,
+        )
+    }
+
+    fn all_mux(stream_length: usize) -> ScNetworkConfig {
+        ScNetworkConfig::new(
+            "mux",
+            vec![FeatureBlockKind::MuxMaxStanh; 3],
+            stream_length,
+            PoolingStyle::Max,
+        )
+    }
+
+    #[test]
+    fn mapping_produces_three_layers_with_paper_shapes() {
+        let network = lenet5_network_config(&all_apc(1024));
+        assert_eq!(network.layers.len(), 3);
+        assert_eq!(network.layers[0].unit_count, 2880);
+        assert_eq!(network.layers[0].input_size, 25);
+        assert_eq!(network.layers[1].unit_count, 800);
+        assert_eq!(network.layers[2].has_pooling, false);
+        assert_eq!(network.stream_length, 1024);
+    }
+
+    #[test]
+    fn area_lands_in_the_papers_ballpark() {
+        // Table 6 reports 17-37 mm^2 for the twelve LeNet-5 configurations.
+        for config in table6_configurations() {
+            let cost = lenet5_cost(&config);
+            assert!(
+                (5.0..120.0).contains(&cost.area_mm2),
+                "{}: area {:.1} mm^2 outside the plausible range",
+                config.name,
+                cost.area_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn power_lands_in_the_papers_ballpark() {
+        for config in table6_configurations() {
+            let cost = lenet5_cost(&config);
+            assert!(
+                (0.2..25.0).contains(&cost.power_w),
+                "{}: power {:.2} W outside the plausible range",
+                config.name,
+                cost.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn delay_matches_the_stream_length_convention() {
+        let cost = lenet5_cost(&all_apc(1024));
+        assert_eq!(cost.delay_ns, 5120.0);
+        let cost = lenet5_cost(&all_apc(256));
+        assert_eq!(cost.delay_ns, 1280.0);
+    }
+
+    #[test]
+    fn apc_heavy_configurations_cost_more_than_mux_heavy() {
+        let apc = lenet5_cost(&all_apc(1024));
+        let mux = lenet5_cost(&all_mux(1024));
+        assert!(apc.area_mm2 > mux.area_mm2);
+        assert!(apc.power_w > mux.power_w);
+    }
+
+    #[test]
+    fn shorter_streams_reduce_energy_not_area() {
+        let long = lenet5_cost(&all_apc(1024));
+        let short = lenet5_cost(&all_apc(256));
+        assert!(short.energy_uj < long.energy_uj);
+        assert!((short.area_mm2 - long.area_mm2).abs() < 1e-9);
+        assert!(short.throughput_images_per_s > long.throughput_images_per_s);
+    }
+
+    #[test]
+    fn throughput_matches_paper_at_256_bits() {
+        let cost = lenet5_cost(&all_apc(256));
+        assert!((cost.throughput_images_per_s - 781_250.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Design-space optimization (Section 6.3 of the paper).
+//!
+//! The paper's overall optimization procedure is a pruning search: starting
+//! from candidate layer-wise feature-extraction-block assignments at the
+//! maximum bit-stream length, any configuration whose network-accuracy
+//! degradation stays within the threshold (1.5 %) has its bit-stream length
+//! halved to save energy; configurations that miss the accuracy target are
+//! removed. The process iterates until no configuration is left, and the
+//! surviving evaluations form Table 6, from which the most area-, power- and
+//! energy-efficient designs are picked.
+
+use crate::config::ScNetworkConfig;
+use crate::mapping::lenet5_cost;
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_hw::network_cost::NetworkCost;
+use sc_nn::lenet::PoolingStyle;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the design-space search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerOptions {
+    /// Maximum allowed network-accuracy degradation in percentage points
+    /// (the paper uses 1.5 %).
+    pub accuracy_threshold_percent: f64,
+    /// Maximum bit-stream length to start from (the paper uses 1024).
+    pub max_stream_length: usize,
+    /// Minimum bit-stream length to consider.
+    pub min_stream_length: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        Self { accuracy_threshold_percent: 1.5, max_stream_length: 1024, min_stream_length: 128 }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEvaluation {
+    /// The configuration that was evaluated.
+    pub config: ScNetworkConfig,
+    /// Network accuracy degradation in percentage points.
+    pub inaccuracy_percent: f64,
+    /// Hardware cost roll-up for the configuration.
+    pub cost: NetworkCost,
+    /// Whether the configuration met the accuracy threshold.
+    pub meets_accuracy: bool,
+}
+
+/// The Section 6.3 pruning optimizer.
+///
+/// The accuracy of a candidate is supplied by a caller-provided closure so
+/// the search can run against the full error-injection evaluation (the
+/// Table 6 binary), a trained reduced network (tests), or an analytic proxy.
+#[derive(Debug)]
+pub struct DesignSpaceOptimizer {
+    options: OptimizerOptions,
+}
+
+impl DesignSpaceOptimizer {
+    /// Creates an optimizer with the given options.
+    pub fn new(options: OptimizerOptions) -> Self {
+        Self { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// Enumerates the candidate layer-kind assignments for a pooling style:
+    /// every combination of MUX/APC inner products across the three paper
+    /// layers, with the pooling blocks fixed by the style.
+    pub fn candidate_assignments(pooling: PoolingStyle) -> Vec<Vec<FeatureBlockKind>> {
+        let (mux, apc) = match pooling {
+            PoolingStyle::Max => (FeatureBlockKind::MuxMaxStanh, FeatureBlockKind::ApcMaxBtanh),
+            PoolingStyle::Average => {
+                (FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::ApcAvgBtanh)
+            }
+        };
+        let mut assignments = Vec::new();
+        for layer0 in [mux, apc] {
+            for layer1 in [mux, apc] {
+                for layer2 in [mux, apc] {
+                    assignments.push(vec![layer0, layer1, layer2]);
+                }
+            }
+        }
+        assignments
+    }
+
+    /// Runs the pruning search for one pooling style.
+    ///
+    /// `evaluate_accuracy` maps a configuration to its network-accuracy
+    /// degradation in percentage points. Every configuration/length pair
+    /// that was evaluated is returned (both surviving and pruned ones) so
+    /// Table 6 can show the interesting rows.
+    pub fn search(
+        &self,
+        pooling: PoolingStyle,
+        mut evaluate_accuracy: impl FnMut(&ScNetworkConfig) -> f64,
+    ) -> Vec<CandidateEvaluation> {
+        let mut evaluations = Vec::new();
+        let mut active: Vec<ScNetworkConfig> = Self::candidate_assignments(pooling)
+            .into_iter()
+            .enumerate()
+            .map(|(index, kinds)| {
+                ScNetworkConfig::new(
+                    format!("{}-{}", pooling.name(), index),
+                    kinds,
+                    self.options.max_stream_length,
+                    pooling,
+                )
+            })
+            .collect();
+        while !active.is_empty() {
+            let mut survivors = Vec::new();
+            for config in active {
+                let inaccuracy = evaluate_accuracy(&config);
+                let meets = inaccuracy <= self.options.accuracy_threshold_percent;
+                evaluations.push(CandidateEvaluation {
+                    cost: lenet5_cost(&config),
+                    inaccuracy_percent: inaccuracy,
+                    meets_accuracy: meets,
+                    config: config.clone(),
+                });
+                if meets && config.stream_length / 2 >= self.options.min_stream_length {
+                    survivors.push(config.with_halved_stream());
+                }
+            }
+            active = survivors;
+        }
+        evaluations
+    }
+
+    /// The most area-efficient configuration among those meeting the
+    /// accuracy threshold.
+    pub fn most_area_efficient(evaluations: &[CandidateEvaluation]) -> Option<&CandidateEvaluation> {
+        evaluations
+            .iter()
+            .filter(|e| e.meets_accuracy)
+            .max_by(|a, b| {
+                a.cost
+                    .area_efficiency
+                    .partial_cmp(&b.cost.area_efficiency)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The most energy-efficient configuration among those meeting the
+    /// accuracy threshold.
+    pub fn most_energy_efficient(
+        evaluations: &[CandidateEvaluation],
+    ) -> Option<&CandidateEvaluation> {
+        evaluations
+            .iter()
+            .filter(|e| e.meets_accuracy)
+            .min_by(|a, b| {
+                a.cost
+                    .energy_uj
+                    .partial_cmp(&b.cost.energy_uj)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic accuracy model: APC layers and longer streams help, the
+    /// fully-connected layer matters most. Mirrors the qualitative findings
+    /// of Figures 14 and 16 without bit-level simulation.
+    fn synthetic_accuracy(config: &ScNetworkConfig) -> f64 {
+        let mut degradation: f64 = 0.0;
+        let layer_weight = [0.4, 0.6, 1.2];
+        for (layer, kind) in config.layer_kinds.iter().enumerate() {
+            let base = match kind {
+                FeatureBlockKind::MuxAvgStanh => 2.0,
+                FeatureBlockKind::MuxMaxStanh => 1.2,
+                FeatureBlockKind::ApcAvgBtanh => 0.35,
+                FeatureBlockKind::ApcMaxBtanh => 0.25,
+            };
+            degradation += base * layer_weight[layer.min(2)];
+        }
+        let length_factor = 1024.0 / config.stream_length as f64;
+        degradation * (0.55 + 0.45 * length_factor.log2().max(0.0) * 0.5 + 0.45)
+    }
+
+    #[test]
+    fn candidate_assignments_cover_all_combinations() {
+        let max = DesignSpaceOptimizer::candidate_assignments(PoolingStyle::Max);
+        assert_eq!(max.len(), 8);
+        assert!(max.iter().all(|kinds| kinds.len() == 3));
+        assert!(max
+            .iter()
+            .all(|kinds| kinds.iter().all(|k| k.uses_max_pooling())));
+        let avg = DesignSpaceOptimizer::candidate_assignments(PoolingStyle::Average);
+        assert!(avg.iter().all(|kinds| kinds.iter().all(|k| !k.uses_max_pooling())));
+    }
+
+    #[test]
+    fn search_prunes_and_halves() {
+        let optimizer = DesignSpaceOptimizer::new(OptimizerOptions {
+            accuracy_threshold_percent: 1.5,
+            max_stream_length: 1024,
+            min_stream_length: 256,
+        });
+        let evaluations = optimizer.search(PoolingStyle::Max, synthetic_accuracy);
+        assert!(!evaluations.is_empty());
+        // Some configurations must survive at least one halving step.
+        assert!(evaluations.iter().any(|e| e.config.stream_length < 1024));
+        // Pruned configurations are recorded too.
+        assert!(evaluations.iter().any(|e| !e.meets_accuracy));
+        // No configuration is evaluated below the minimum stream length.
+        assert!(evaluations.iter().all(|e| e.config.stream_length >= 256));
+    }
+
+    #[test]
+    fn accuracy_threshold_controls_survivors() {
+        let strict = DesignSpaceOptimizer::new(OptimizerOptions {
+            accuracy_threshold_percent: 0.1,
+            ..Default::default()
+        });
+        let lenient = DesignSpaceOptimizer::new(OptimizerOptions {
+            accuracy_threshold_percent: 5.0,
+            ..Default::default()
+        });
+        let strict_count = strict
+            .search(PoolingStyle::Max, synthetic_accuracy)
+            .iter()
+            .filter(|e| e.meets_accuracy)
+            .count();
+        let lenient_count = lenient
+            .search(PoolingStyle::Max, synthetic_accuracy)
+            .iter()
+            .filter(|e| e.meets_accuracy)
+            .count();
+        assert!(lenient_count > strict_count);
+    }
+
+    #[test]
+    fn best_designs_meet_accuracy_and_prefer_short_streams() {
+        let optimizer = DesignSpaceOptimizer::new(OptimizerOptions::default());
+        let evaluations = optimizer.search(PoolingStyle::Average, synthetic_accuracy);
+        if let Some(best_energy) = DesignSpaceOptimizer::most_energy_efficient(&evaluations) {
+            assert!(best_energy.meets_accuracy);
+            // Energy-optimal designs use the shortest surviving stream.
+            assert!(best_energy.config.stream_length <= 512);
+        }
+        if let Some(best_area) = DesignSpaceOptimizer::most_area_efficient(&evaluations) {
+            assert!(best_area.meets_accuracy);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Reference platforms for the Table 7 comparison.
+//!
+//! These are the published figures the paper compares against (CPU, GPU and
+//! prior hardware neural-network platforms). They are constants taken from
+//! Table 7 of the paper, not measurements of this reproduction; SC-DCNN rows
+//! are generated from the cost model at runtime and appended by the Table 7
+//! experiment binary.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the platform-comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformRow {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Dataset the published figure refers to.
+    pub dataset: &'static str,
+    /// Network type (CNN, DBN, SNN, …).
+    pub network_type: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Platform type (CPU, GPU, FPGA, ASIC, ARM).
+    pub platform_type: &'static str,
+    /// Die / board area in mm² (None when not reported).
+    pub area_mm2: Option<f64>,
+    /// Power in W (None when not reported).
+    pub power_w: Option<f64>,
+    /// Reported accuracy in percent (None when not reported).
+    pub accuracy_percent: Option<f64>,
+    /// Throughput in images per second.
+    pub throughput_images_per_s: f64,
+    /// Area efficiency in images/s/mm² (None when not derivable).
+    pub area_efficiency: Option<f64>,
+    /// Energy efficiency in images/J.
+    pub energy_efficiency: f64,
+}
+
+/// The published reference platforms of Table 7.
+pub fn reference_platforms() -> Vec<PlatformRow> {
+    vec![
+        PlatformRow {
+            platform: "2x Intel Xeon W5580",
+            dataset: "MNIST",
+            network_type: "CNN",
+            year: 2009,
+            platform_type: "CPU",
+            area_mm2: Some(263.0),
+            power_w: Some(156.0),
+            accuracy_percent: Some(98.46),
+            throughput_images_per_s: 656.0,
+            area_efficiency: Some(2.5),
+            energy_efficiency: 4.2,
+        },
+        PlatformRow {
+            platform: "Nvidia Tesla C2075",
+            dataset: "MNIST",
+            network_type: "CNN",
+            year: 2011,
+            platform_type: "GPU",
+            area_mm2: Some(520.0),
+            power_w: Some(202.5),
+            accuracy_percent: Some(98.46),
+            throughput_images_per_s: 2333.0,
+            area_efficiency: Some(4.5),
+            energy_efficiency: 3.2,
+        },
+        PlatformRow {
+            platform: "Minitaur",
+            dataset: "MNIST",
+            network_type: "ANN",
+            year: 2014,
+            platform_type: "FPGA",
+            area_mm2: None,
+            power_w: Some(1.5),
+            accuracy_percent: Some(92.00),
+            throughput_images_per_s: 4880.0,
+            area_efficiency: None,
+            energy_efficiency: 3253.0,
+        },
+        PlatformRow {
+            platform: "SpiNNaker",
+            dataset: "MNIST",
+            network_type: "DBN",
+            year: 2015,
+            platform_type: "ARM",
+            area_mm2: None,
+            power_w: Some(0.3),
+            accuracy_percent: Some(95.00),
+            throughput_images_per_s: 50.0,
+            area_efficiency: None,
+            energy_efficiency: 166.7,
+        },
+        PlatformRow {
+            platform: "TrueNorth",
+            dataset: "MNIST",
+            network_type: "SNN",
+            year: 2015,
+            platform_type: "ASIC",
+            area_mm2: Some(430.0),
+            power_w: Some(0.18),
+            accuracy_percent: Some(99.42),
+            throughput_images_per_s: 1000.0,
+            area_efficiency: Some(2.3),
+            energy_efficiency: 9259.0,
+        },
+        PlatformRow {
+            platform: "DaDianNao",
+            dataset: "ImageNet",
+            network_type: "CNN",
+            year: 2014,
+            platform_type: "ASIC",
+            area_mm2: Some(67.7),
+            power_w: Some(15.97),
+            accuracy_percent: None,
+            throughput_images_per_s: 147_938.0,
+            area_efficiency: Some(2185.0),
+            energy_efficiency: 9263.0,
+        },
+        PlatformRow {
+            platform: "EIE-64PE",
+            dataset: "CNN layer",
+            network_type: "CNN",
+            year: 2016,
+            platform_type: "ASIC",
+            area_mm2: Some(40.8),
+            power_w: Some(0.59),
+            accuracy_percent: None,
+            throughput_images_per_s: 81_967.0,
+            area_efficiency: Some(2009.0),
+            energy_efficiency: 138_927.0,
+        },
+    ]
+}
+
+/// The paper's reported figures for the two highlighted SC-DCNN
+/// configurations (used to sanity-check the reproduction's ordering).
+pub fn paper_scdcnn_rows() -> Vec<PlatformRow> {
+    vec![
+        PlatformRow {
+            platform: "SC-DCNN (No.6, paper)",
+            dataset: "MNIST",
+            network_type: "CNN",
+            year: 2016,
+            platform_type: "ASIC",
+            area_mm2: Some(36.4),
+            power_w: Some(3.53),
+            accuracy_percent: Some(98.26),
+            throughput_images_per_s: 781_250.0,
+            area_efficiency: Some(21_439.0),
+            energy_efficiency: 221_287.0,
+        },
+        PlatformRow {
+            platform: "SC-DCNN (No.11, paper)",
+            dataset: "MNIST",
+            network_type: "CNN",
+            year: 2016,
+            platform_type: "ASIC",
+            area_mm2: Some(17.0),
+            power_w: Some(1.53),
+            accuracy_percent: Some(96.64),
+            throughput_images_per_s: 781_250.0,
+            area_efficiency: Some(45_946.0),
+            energy_efficiency: 510_734.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_table_has_seven_platforms() {
+        let rows = reference_platforms();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|r| r.platform.contains("TrueNorth")));
+        assert!(rows.iter().any(|r| r.platform_type == "GPU"));
+    }
+
+    #[test]
+    fn paper_rows_match_headline_numbers() {
+        let rows = paper_scdcnn_rows();
+        assert_eq!(rows.len(), 2);
+        let no11 = &rows[1];
+        assert_eq!(no11.area_mm2, Some(17.0));
+        assert_eq!(no11.energy_efficiency, 510_734.0);
+        assert_eq!(no11.throughput_images_per_s, 781_250.0);
+    }
+
+    #[test]
+    fn scdcnn_beats_cpu_and_gpu_on_efficiency_in_the_paper() {
+        let reference = reference_platforms();
+        let gpu = reference.iter().find(|r| r.platform_type == "GPU").unwrap();
+        let paper = paper_scdcnn_rows();
+        for row in &paper {
+            assert!(row.energy_efficiency > gpu.energy_efficiency);
+            assert!(row.area_efficiency.unwrap() > gpu.area_efficiency.unwrap());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text table formatting shared by the experiment binaries.
+
+use crate::optimizer::CandidateEvaluation;
+use crate::platforms::PlatformRow;
+
+/// Formats a number with a fixed precision, right-aligned to `width`.
+pub fn cell(value: f64, precision: usize, width: usize) -> String {
+    format!("{value:>width$.precision$}")
+}
+
+/// Formats an optional number, rendering `None` as `N/A`.
+pub fn optional_cell(value: Option<f64>, precision: usize, width: usize) -> String {
+    match value {
+        Some(v) => cell(v, precision, width),
+        None => format!("{:>width$}", "N/A"),
+    }
+}
+
+/// Renders a Table 6-style row for one evaluated configuration.
+pub fn table6_row(evaluation: &CandidateEvaluation) -> String {
+    let config = &evaluation.config;
+    let cost = &evaluation.cost;
+    format!(
+        "{:<10} {:<8} {:>6} {:<16} {:>10.2} {:>10.1} {:>9.2} {:>10.0} {:>10.1}",
+        config.name,
+        config.pooling.name(),
+        config.stream_length,
+        config.layer_summary(),
+        evaluation.inaccuracy_percent,
+        cost.area_mm2,
+        cost.power_w,
+        cost.delay_ns,
+        cost.energy_uj,
+    )
+}
+
+/// Header matching [`table6_row`].
+pub fn table6_header() -> String {
+    format!(
+        "{:<10} {:<8} {:>6} {:<16} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "Config", "Pooling", "L", "Layers", "Inacc(%)", "Area(mm2)", "Power(W)", "Delay(ns)", "Energy(uJ)"
+    )
+}
+
+/// Renders a Table 7-style row for one platform.
+pub fn table7_row(row: &PlatformRow) -> String {
+    format!(
+        "{:<24} {:<10} {:<5} {:>5} {:<5} {:>9} {:>8} {:>8} {:>12.0} {:>12} {:>12.0}",
+        row.platform,
+        row.dataset,
+        row.network_type,
+        row.year,
+        row.platform_type,
+        optional_cell(row.area_mm2, 1, 9),
+        optional_cell(row.power_w, 2, 8),
+        optional_cell(row.accuracy_percent, 2, 8),
+        row.throughput_images_per_s,
+        optional_cell(row.area_efficiency, 0, 12),
+        row.energy_efficiency,
+    )
+}
+
+/// Header matching [`table7_row`].
+pub fn table7_header() -> String {
+    format!(
+        "{:<24} {:<10} {:<5} {:>5} {:<5} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "Platform",
+        "Dataset",
+        "Net",
+        "Year",
+        "Type",
+        "Area",
+        "Power",
+        "Acc(%)",
+        "Images/s",
+        "Img/s/mm2",
+        "Images/J"
+    )
+}
+
+/// Renders a simple two-column sweep (x, y) as aligned text lines.
+pub fn sweep_lines(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n{:<12} {:>14}\n", x_label, y_label);
+    for (x, y) in points {
+        out.push_str(&format!("{:<12} {:>14.6}\n", x, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScNetworkConfig;
+    use crate::mapping::lenet5_cost;
+    use crate::platforms::reference_platforms;
+    use sc_blocks::feature_block::FeatureBlockKind;
+    use sc_nn::lenet::PoolingStyle;
+
+    #[test]
+    fn cells_align_and_handle_missing_values() {
+        assert_eq!(cell(1.5, 2, 8), "    1.50");
+        assert_eq!(optional_cell(None, 2, 5), "  N/A");
+        assert_eq!(optional_cell(Some(2.0), 1, 5), "  2.0");
+    }
+
+    #[test]
+    fn table6_rows_have_matching_headers() {
+        let config = ScNetworkConfig::new(
+            "No.X",
+            vec![FeatureBlockKind::ApcMaxBtanh; 3],
+            512,
+            PoolingStyle::Max,
+        );
+        let evaluation = CandidateEvaluation {
+            cost: lenet5_cost(&config),
+            inaccuracy_percent: 1.0,
+            meets_accuracy: true,
+            config,
+        };
+        let header = table6_header();
+        let row = table6_row(&evaluation);
+        assert!(row.contains("No.X"));
+        assert!(row.contains("APC-APC-APC"));
+        assert!(header.contains("Energy"));
+    }
+
+    #[test]
+    fn table7_rows_render_reference_platforms() {
+        let header = table7_header();
+        assert!(header.contains("Images/J"));
+        for platform in reference_platforms() {
+            let row = table7_row(&platform);
+            assert!(row.contains(platform.platform));
+        }
+    }
+
+    #[test]
+    fn sweep_lines_contain_all_points() {
+        let text = sweep_lines("Fig. 9", "x", "Stanh(x)", &[(0.0, 0.0), (0.5, 0.46)]);
+        assert!(text.contains("Fig. 9"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

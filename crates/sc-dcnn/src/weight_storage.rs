@@ -1,0 +1,242 @@
+//! Weight-storage optimization (Section 5 of the paper).
+//!
+//! Three levers reduce the weight-storage cost of the SC-DCNN:
+//!
+//! 1. filter-aware SRAM sharing (modelled in [`sc_hw::sram`] and applied by
+//!    the LeNet-5 mapping),
+//! 2. low-precision storage for all layers (Fig. 13, ~10.3× area saving),
+//! 3. layer-wise precision such as the 7-7-6 scheme (12× area, 11.9× power
+//!    savings versus the 64-bit baseline).
+//!
+//! This module evaluates the accuracy impact of precision schemes on a
+//! trained network and the corresponding SRAM savings, producing the data
+//! behind Fig. 13 and the Section 5.2/5.3 claims.
+
+use sc_hw::sram::{sram_cost, SramConfig, BASELINE_WEIGHT_BITS};
+use sc_nn::lenet::lenet5_layer_shapes;
+use sc_nn::network::Network;
+use sc_nn::quantize::{quantize_network, quantize_single_layer, PrecisionScheme};
+use sc_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating one weight-precision configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionEvaluation {
+    /// Description of the precision assignment (e.g. `"all layers @ 7"`).
+    pub description: String,
+    /// Weight precision(s) applied.
+    pub bits: Vec<usize>,
+    /// Network error rate after quantization (fraction misclassified).
+    pub error_rate: f64,
+    /// SRAM area saving versus the 64-bit baseline.
+    pub area_saving: f64,
+    /// SRAM (leakage) power saving versus the 64-bit baseline.
+    pub power_saving: f64,
+}
+
+/// Evaluates a uniform precision across all layers on a clone of the
+/// network's weights: the network is quantized, evaluated, and the result
+/// reported together with the modelled SRAM savings for LeNet-5's weight
+/// counts.
+pub fn evaluate_uniform_precision(
+    network: &mut Network,
+    bits: usize,
+    images: &[Tensor],
+    labels: &[usize],
+) -> PrecisionEvaluation {
+    let snapshot = network.weight_snapshots();
+    let scheme = PrecisionScheme::uniform(bits, snapshot.len());
+    quantize_network(network, &scheme);
+    let error_rate = network.error_rate(images, labels);
+    restore_weights(network, &snapshot);
+    let (area_saving, power_saving) = lenet5_sram_savings(&vec![bits; 3]);
+    PrecisionEvaluation {
+        description: format!("all layers @ {bits} bits"),
+        bits: vec![bits],
+        error_rate,
+        area_saving,
+        power_saving,
+    }
+}
+
+/// Evaluates reducing the precision of a single paper layer while the others
+/// stay at full precision (the per-layer curves of Fig. 13).
+pub fn evaluate_single_layer_precision(
+    network: &mut Network,
+    layer_index: usize,
+    bits: usize,
+    images: &[Tensor],
+    labels: &[usize],
+) -> PrecisionEvaluation {
+    let snapshot = network.weight_snapshots();
+    let applied = quantize_single_layer(network, layer_index, bits);
+    let error_rate = network.error_rate(images, labels);
+    restore_weights(network, &snapshot);
+    assert!(applied, "layer index {layer_index} has no weights to quantize");
+    PrecisionEvaluation {
+        description: format!("layer {layer_index} @ {bits} bits"),
+        bits: vec![bits],
+        error_rate,
+        area_saving: 1.0,
+        power_saving: 1.0,
+    }
+}
+
+/// Evaluates a layer-wise precision scheme (e.g. 7-7-6) on the network and
+/// reports the LeNet-5 SRAM savings.
+pub fn evaluate_layer_wise_precision(
+    network: &mut Network,
+    bits: &[usize],
+    images: &[Tensor],
+    labels: &[usize],
+) -> PrecisionEvaluation {
+    let snapshot = network.weight_snapshots();
+    let scheme = layerwise_scheme_for_network(network, bits);
+    quantize_network(network, &scheme);
+    let error_rate = network.error_rate(images, labels);
+    restore_weights(network, &snapshot);
+    let (area_saving, power_saving) = lenet5_sram_savings(bits);
+    PrecisionEvaluation {
+        description: format!("layer-wise {bits:?}"),
+        bits: bits.to_vec(),
+        error_rate,
+        area_saving,
+        power_saving,
+    }
+}
+
+/// Expands a paper-layer precision assignment (3 entries for LeNet-5) to the
+/// network's parameterized layers (4 for LeNet-5: conv1, conv2, fc1, fc2 —
+/// the two fully-connected layers share the "Layer2" precision).
+fn layerwise_scheme_for_network(network: &Network, bits: &[usize]) -> PrecisionScheme {
+    let parameterized =
+        network.layers().iter().filter(|l| l.weights().is_some()).count();
+    let mut expanded = Vec::with_capacity(parameterized);
+    for index in 0..parameterized {
+        let paper_layer = index.min(bits.len().saturating_sub(1));
+        expanded.push(bits[paper_layer.min(bits.len() - 1)]);
+    }
+    PrecisionScheme::per_layer(expanded)
+}
+
+/// SRAM area and power savings of a layer-wise precision scheme on LeNet-5
+/// versus the 64-bit baseline, aggregated over the paper's three layers.
+pub fn lenet5_sram_savings(bits: &[usize]) -> (f64, f64) {
+    let shapes = lenet5_layer_shapes();
+    let mut reduced_area = 0.0;
+    let mut baseline_area = 0.0;
+    let mut reduced_power = 0.0;
+    let mut baseline_power = 0.0;
+    for shape in &shapes {
+        let layer_bits = bits.get(shape.index).copied().unwrap_or(*bits.last().unwrap_or(&7));
+        let reduced = sram_cost(&SramConfig::unshared(shape.weight_count, layer_bits));
+        let baseline =
+            sram_cost(&SramConfig::unshared(shape.weight_count, BASELINE_WEIGHT_BITS));
+        reduced_area += reduced.area_um2;
+        baseline_area += baseline.area_um2;
+        reduced_power += reduced.leakage_mw;
+        baseline_power += baseline.leakage_mw;
+    }
+    (baseline_area / reduced_area, baseline_power / reduced_power)
+}
+
+fn restore_weights(network: &mut Network, snapshot: &[Tensor]) {
+    let mut index = 0usize;
+    for layer in network.layers_mut() {
+        if let Some(weights) = layer.weights_mut() {
+            *weights = snapshot[index].clone();
+            index += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_nn::dataset::SyntheticDigits;
+    use sc_nn::lenet::tiny_lenet;
+    use sc_nn::network::TrainingOptions;
+
+    fn trained() -> (Network, SyntheticDigits) {
+        let data = SyntheticDigits::generate(10, 21);
+        let mut network = tiny_lenet(4);
+        network.train(
+            &data.train_images,
+            &data.train_labels,
+            &TrainingOptions { epochs: 3, learning_rate: 0.08, ..Default::default() },
+        );
+        (network, data)
+    }
+
+    #[test]
+    fn lenet5_776_savings_match_paper_magnitude() {
+        let (area, power) = lenet5_sram_savings(&[7, 7, 6]);
+        // The paper reports 12x area and 11.9x power for the 7-7-6 scheme.
+        assert!((7.0..=14.0).contains(&area), "area saving {area:.1}x out of range");
+        assert!((7.0..=14.0).contains(&power), "power saving {power:.1}x out of range");
+    }
+
+    #[test]
+    fn savings_grow_as_precision_drops() {
+        let (high, _) = lenet5_sram_savings(&[12, 12, 12]);
+        let (low, _) = lenet5_sram_savings(&[4, 4, 4]);
+        assert!(low > high);
+    }
+
+    #[test]
+    fn uniform_precision_evaluation_restores_weights() {
+        let (mut network, data) = trained();
+        let before = network.weight_snapshots();
+        let report = evaluate_uniform_precision(
+            &mut network,
+            3,
+            &data.test_images,
+            &data.test_labels,
+        );
+        let after = network.weight_snapshots();
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice(), "weights must be restored after evaluation");
+        }
+        assert!(report.error_rate >= 0.0 && report.error_rate <= 1.0);
+        assert!(report.area_saving > 1.0);
+    }
+
+    #[test]
+    fn very_low_precision_hurts_accuracy() {
+        let (mut network, data) = trained();
+        let baseline = network.error_rate(&data.test_images, &data.test_labels);
+        let coarse =
+            evaluate_uniform_precision(&mut network, 1, &data.test_images, &data.test_labels);
+        let fine =
+            evaluate_uniform_precision(&mut network, 10, &data.test_images, &data.test_labels);
+        assert!(coarse.error_rate >= fine.error_rate);
+        assert!(fine.error_rate <= baseline + 0.1);
+    }
+
+    #[test]
+    fn single_layer_evaluation_touches_one_layer_only() {
+        let (mut network, data) = trained();
+        let report = evaluate_single_layer_precision(
+            &mut network,
+            0,
+            2,
+            &data.test_images,
+            &data.test_labels,
+        );
+        assert!(report.error_rate <= 1.0);
+        assert!(report.description.contains("layer 0"));
+    }
+
+    #[test]
+    fn layer_wise_scheme_evaluates() {
+        let (mut network, data) = trained();
+        let report = evaluate_layer_wise_precision(
+            &mut network,
+            &[7, 7, 6],
+            &data.test_images,
+            &data.test_labels,
+        );
+        assert!(report.area_saving > 5.0);
+        assert_eq!(report.bits, vec![7, 7, 6]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Feature-extraction-block hardware costs (Fig. 15).
+//!
+//! A feature extraction block contains four inner-product blocks, one pooling
+//! block and one activation block. This module assembles their gate
+//! inventories per configuration and reports the area / path-delay / power /
+//! energy numbers the paper sweeps against input size in Fig. 15.
+
+use crate::components::{
+    approximate_parallel_counter, average_pooling_binary, average_pooling_stream, btanh_counter,
+    hardware_max_pooling_binary, hardware_max_pooling_stream, mux_adder, stanh_fsm, xnor_array,
+};
+use crate::cost::HardwareCost;
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_core::activation::{
+    apc_avg_btanh_states, apc_max_btanh_states, mux_avg_stanh_states, mux_max_stanh_states,
+};
+use serde::{Deserialize, Serialize};
+
+/// Number of inner-product blocks pooled by one feature extraction block
+/// (2×2 pooling windows throughout the paper).
+pub const POOL_WINDOW: usize = 4;
+
+/// Clock period assumed when converting per-cycle figures into power/energy.
+/// 5 ns matches the paper's delay figures (a 1024-bit stream takes 5120 ns).
+pub const CLOCK_NS: f64 = 5.0;
+
+fn log2_ceil(n: usize) -> usize {
+    (usize::BITS - n.max(1).saturating_sub(1).leading_zeros()) as usize
+}
+
+/// Hardware cost of one inner-product block of the given family.
+pub fn inner_product_cost(kind: FeatureBlockKind, input_size: usize) -> HardwareCost {
+    let multipliers = xnor_array(input_size);
+    match kind {
+        FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
+            multipliers.in_series_with(&mux_adder(input_size))
+        }
+        FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
+            multipliers.in_series_with(&approximate_parallel_counter(input_size))
+        }
+    }
+}
+
+/// Hardware cost of the pooling block of the given configuration.
+pub fn pooling_cost(kind: FeatureBlockKind, input_size: usize) -> HardwareCost {
+    let count_bits = log2_ceil(input_size + 1);
+    match kind {
+        FeatureBlockKind::MuxAvgStanh => average_pooling_stream(POOL_WINDOW),
+        FeatureBlockKind::MuxMaxStanh => hardware_max_pooling_stream(POOL_WINDOW, 5),
+        FeatureBlockKind::ApcAvgBtanh => average_pooling_binary(POOL_WINDOW, count_bits),
+        FeatureBlockKind::ApcMaxBtanh => {
+            hardware_max_pooling_binary(POOL_WINDOW, count_bits + 4)
+        }
+    }
+}
+
+/// Hardware cost of the activation block of the given configuration.
+pub fn activation_cost(
+    kind: FeatureBlockKind,
+    input_size: usize,
+    stream_length: usize,
+) -> HardwareCost {
+    let count_bits = log2_ceil(input_size + 1);
+    match kind {
+        FeatureBlockKind::MuxAvgStanh => {
+            stanh_fsm(mux_avg_stanh_states(input_size, stream_length))
+        }
+        FeatureBlockKind::MuxMaxStanh => {
+            stanh_fsm(mux_max_stanh_states(input_size, stream_length))
+        }
+        FeatureBlockKind::ApcAvgBtanh => {
+            btanh_counter(apc_avg_btanh_states(input_size * POOL_WINDOW), count_bits + 2)
+        }
+        FeatureBlockKind::ApcMaxBtanh => {
+            btanh_counter(apc_max_btanh_states(input_size), count_bits)
+        }
+    }
+}
+
+/// Hardware cost of a complete feature extraction block.
+///
+/// The four inner-product blocks operate in parallel; the pooling and
+/// activation blocks follow in series.
+pub fn feature_block_cost(
+    kind: FeatureBlockKind,
+    input_size: usize,
+    stream_length: usize,
+) -> HardwareCost {
+    let inner = inner_product_cost(kind, input_size).replicated(POOL_WINDOW);
+    let pool = pooling_cost(kind, input_size);
+    let act = activation_cost(kind, input_size, stream_length);
+    inner.in_series_with(&pool).in_series_with(&act)
+}
+
+/// The Fig. 15 report row for one feature extraction block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureBlockCostReport {
+    /// Configuration the row describes.
+    pub kind: FeatureBlockKind,
+    /// Receptive-field size `N`.
+    pub input_size: usize,
+    /// Bit-stream length `L`.
+    pub stream_length: usize,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Critical combinational path in ns.
+    pub path_delay_ns: f64,
+    /// Total power in mW at the model clock.
+    pub power_mw: f64,
+    /// Energy to process one stream of `L` bits, in pJ.
+    pub energy_pj: f64,
+}
+
+/// Builds the Fig. 15 report row for one configuration.
+pub fn feature_block_report(
+    kind: FeatureBlockKind,
+    input_size: usize,
+    stream_length: usize,
+) -> FeatureBlockCostReport {
+    let cost = feature_block_cost(kind, input_size, stream_length);
+    let power_mw = cost.power_mw(CLOCK_NS);
+    let energy_pj = cost.energy_uj(stream_length, CLOCK_NS) * 1e6;
+    FeatureBlockCostReport {
+        kind,
+        input_size,
+        stream_length,
+        area_um2: cost.area_um2,
+        path_delay_ns: cost.critical_path_ps / 1000.0,
+        power_mw,
+        energy_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mux_avg_is_the_cheapest_design() {
+        for n in [16usize, 64, 256] {
+            let mux_avg = feature_block_cost(FeatureBlockKind::MuxAvgStanh, n, 1024);
+            for kind in [
+                FeatureBlockKind::MuxMaxStanh,
+                FeatureBlockKind::ApcAvgBtanh,
+                FeatureBlockKind::ApcMaxBtanh,
+            ] {
+                let other = feature_block_cost(kind, n, 1024);
+                assert!(
+                    mux_avg.area_um2 <= other.area_um2,
+                    "MUX-Avg should have the smallest area at n={n} (vs {kind:?})"
+                );
+                assert!(mux_avg.critical_path_ps <= other.critical_path_ps);
+            }
+        }
+    }
+
+    #[test]
+    fn apc_max_has_the_highest_area() {
+        for n in [16usize, 64, 256] {
+            let apc_max = feature_block_cost(FeatureBlockKind::ApcMaxBtanh, n, 1024);
+            for kind in [
+                FeatureBlockKind::MuxAvgStanh,
+                FeatureBlockKind::MuxMaxStanh,
+                FeatureBlockKind::ApcAvgBtanh,
+            ] {
+                let other = feature_block_cost(kind, n, 1024);
+                assert!(
+                    apc_max.area_um2 >= other.area_um2,
+                    "APC-Max should have the largest area at n={n} (vs {kind:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_grows_with_input_size() {
+        for kind in FeatureBlockKind::ALL {
+            let small = feature_block_cost(kind, 16, 1024);
+            let large = feature_block_cost(kind, 256, 1024);
+            assert!(large.area_um2 > small.area_um2, "{kind:?} area must grow with N");
+        }
+    }
+
+    #[test]
+    fn apc_paths_are_longer_than_mux_paths() {
+        let mux = feature_block_cost(FeatureBlockKind::MuxMaxStanh, 64, 1024);
+        let apc = feature_block_cost(FeatureBlockKind::ApcAvgBtanh, 64, 1024);
+        assert!(apc.critical_path_ps > mux.critical_path_ps);
+    }
+
+    #[test]
+    fn energy_grows_with_stream_length() {
+        let short = feature_block_report(FeatureBlockKind::ApcAvgBtanh, 64, 256);
+        let long = feature_block_report(FeatureBlockKind::ApcAvgBtanh, 64, 1024);
+        assert!(long.energy_pj > short.energy_pj);
+        assert_eq!(short.area_um2, long.area_um2);
+    }
+
+    #[test]
+    fn report_fields_are_consistent_with_cost() {
+        let report = feature_block_report(FeatureBlockKind::MuxMaxStanh, 32, 512);
+        let cost = feature_block_cost(FeatureBlockKind::MuxMaxStanh, 32, 512);
+        assert_eq!(report.area_um2, cost.area_um2);
+        assert!(report.power_mw > 0.0);
+        assert!(report.path_delay_ns > 0.0);
+    }
+}

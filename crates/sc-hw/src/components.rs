@@ -1,0 +1,241 @@
+//! Gate inventories for the SC components used by SC-DCNN.
+//!
+//! Each function returns the [`GateCounts`] of one hardware component plus a
+//! critical-path estimate, mirroring how the paper's blocks would be
+//! assembled from standard cells before synthesis. The inventories follow the
+//! structures described in Sections 3–4 of the paper (XNOR multiplier arrays,
+//! MUX trees, approximate parallel counters built from full-adder trees,
+//! FSM/counter-based activations, the segment-counter max pooling unit, and
+//! LFSR+comparator SNGs).
+
+use crate::cost::{HardwareCost, DEFAULT_ACTIVITY};
+use crate::gates::{Gate, GateCounts};
+
+fn log2_ceil(n: usize) -> usize {
+    (usize::BITS - n.max(1).saturating_sub(1).leading_zeros()) as usize
+}
+
+/// XNOR multiplier array for `n` bipolar input/weight pairs.
+pub fn xnor_array(n: usize) -> HardwareCost {
+    let gates = GateCounts::new().with(Gate::Xnor2, n as f64);
+    HardwareCost::from_gates(&gates, Gate::Xnor2.delay_ps(), DEFAULT_ACTIVITY)
+}
+
+/// n-to-1 MUX adder: `n − 1` two-input multiplexers arranged as a tree plus
+/// the selector distribution buffers.
+pub fn mux_adder(n: usize) -> HardwareCost {
+    let n = n.max(2);
+    let depth = log2_ceil(n);
+    let gates = GateCounts::new()
+        .with(Gate::Mux2, (n - 1) as f64)
+        .with(Gate::Inv, depth as f64); // selector buffering
+    let path = depth as f64 * Gate::Mux2.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// OR-gate adder over `n` streams (a tree of 2-input ORs).
+pub fn or_adder(n: usize) -> HardwareCost {
+    let n = n.max(2);
+    let gates = GateCounts::new().with(Gate::Or2, (n - 1) as f64);
+    let path = log2_ceil(n) as f64 * Gate::Or2.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Exact (conventional accumulative) parallel counter over `n` inputs:
+/// a full-adder tree with `n − log2(n)` adders plus an output register.
+pub fn exact_parallel_counter(n: usize) -> HardwareCost {
+    let n = n.max(2);
+    let out_bits = log2_ceil(n + 1);
+    let adders = (n as f64 - out_bits as f64).max(1.0);
+    let gates = GateCounts::new()
+        .with(Gate::FullAdder, adders)
+        .with(Gate::Dff, out_bits as f64);
+    let path = log2_ceil(n) as f64 * Gate::FullAdder.delay_ps() + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Approximate parallel counter: the paper's reference reports ~40 % fewer
+/// gates than the exact counter at the same depth.
+pub fn approximate_parallel_counter(n: usize) -> HardwareCost {
+    let exact = exact_parallel_counter(n);
+    HardwareCost {
+        area_um2: exact.area_um2 * 0.6,
+        critical_path_ps: exact.critical_path_ps * 0.9,
+        energy_per_cycle_fj: exact.energy_per_cycle_fj * 0.6,
+        leakage_nw: exact.leakage_nw * 0.6,
+    }
+}
+
+/// `K`-state Stanh FSM: a log2(K)-bit saturating up/down counter plus output
+/// threshold compare.
+pub fn stanh_fsm(states: usize) -> HardwareCost {
+    let bits = log2_ceil(states.max(2));
+    let gates = GateCounts::new()
+        .with(Gate::Dff, bits as f64)
+        .with(Gate::HalfAdder, bits as f64)
+        .with(Gate::And2, bits as f64)
+        .with(Gate::Or2, bits as f64)
+        .with(Gate::Inv, 2.0);
+    let path = bits as f64 * Gate::HalfAdder.delay_ps() + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Btanh saturating counter for `states` states fed by a `count_bits`-wide
+/// binary count: an adder/subtractor plus the state register and threshold.
+pub fn btanh_counter(states: usize, count_bits: usize) -> HardwareCost {
+    let state_bits = log2_ceil(states.max(2));
+    let adder_bits = state_bits.max(count_bits) + 1;
+    let gates = GateCounts::new()
+        .with(Gate::FullAdder, adder_bits as f64)
+        .with(Gate::Dff, state_bits as f64)
+        .with(Gate::And2, state_bits as f64)
+        .with(Gate::Or2, state_bits as f64);
+    let path = adder_bits as f64 * Gate::FullAdder.delay_ps() * 0.35 + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Stream-domain average pooling: a `window`-to-1 MUX.
+pub fn average_pooling_stream(window: usize) -> HardwareCost {
+    mux_adder(window.max(2))
+}
+
+/// Binary-domain average pooling: an adder tree over `window` counts of
+/// `count_bits` bits each.
+pub fn average_pooling_binary(window: usize, count_bits: usize) -> HardwareCost {
+    let window = window.max(2);
+    let gates = GateCounts::new()
+        .with(Gate::FullAdder, ((window - 1) * (count_bits + 1)) as f64)
+        .with(Gate::Dff, (count_bits + 2) as f64);
+    let path = log2_ceil(window) as f64 * Gate::FullAdder.delay_ps() + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Hardware-oriented max pooling over `window` stream candidates with
+/// `counter_bits`-bit segment counters (Fig. 8): per-candidate counters, a
+/// comparator tree, and the output MUX.
+pub fn hardware_max_pooling_stream(window: usize, counter_bits: usize) -> HardwareCost {
+    let window = window.max(2);
+    let per_counter = GateCounts::new()
+        .with(Gate::Dff, counter_bits as f64)
+        .with(Gate::HalfAdder, counter_bits as f64);
+    let comparators = GateCounts::new()
+        .with(Gate::Xor2, ((window - 1) * counter_bits) as f64)
+        .with(Gate::And2, ((window - 1) * counter_bits) as f64)
+        .with(Gate::Or2, ((window - 1) * counter_bits) as f64);
+    let mux = GateCounts::new().with(Gate::Mux2, (window - 1) as f64);
+    let controller = GateCounts::new().with(Gate::Dff, log2_ceil(window) as f64);
+    let mut gates = per_counter.scaled(window as f64);
+    gates.merge(&comparators).merge(&mux).merge(&controller);
+    let path = counter_bits as f64 * Gate::Xor2.delay_ps()
+        + log2_ceil(window) as f64 * Gate::Mux2.delay_ps()
+        + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// Hardware-oriented max pooling in the binary domain: the counters become
+/// `accumulator_bits`-bit accumulators of the APC outputs.
+pub fn hardware_max_pooling_binary(window: usize, accumulator_bits: usize) -> HardwareCost {
+    let window = window.max(2);
+    let per_accumulator = GateCounts::new()
+        .with(Gate::Dff, accumulator_bits as f64)
+        .with(Gate::FullAdder, accumulator_bits as f64);
+    let comparators = GateCounts::new()
+        .with(Gate::Xor2, ((window - 1) * accumulator_bits) as f64)
+        .with(Gate::And2, ((window - 1) * accumulator_bits) as f64)
+        .with(Gate::Or2, ((window - 1) * accumulator_bits) as f64);
+    let mux = GateCounts::new().with(Gate::Mux2, ((window - 1) * accumulator_bits) as f64);
+    let mut gates = per_accumulator.scaled(window as f64);
+    gates.merge(&comparators).merge(&mux);
+    let path = accumulator_bits as f64 * Gate::FullAdder.delay_ps() * 0.4
+        + log2_ceil(window) as f64 * Gate::Mux2.delay_ps()
+        + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// A stochastic number generator: an LFSR of `width` bits shared-ready plus a
+/// `width`-bit comparator (Kim et al., ASP-DAC'16 style).
+pub fn sng(width: usize) -> HardwareCost {
+    let gates = GateCounts::new()
+        .with(Gate::Dff, width as f64)
+        .with(Gate::Xor2, (width / 4).max(1) as f64)
+        .with(Gate::Xnor2, width as f64) // comparator bit-equality stage
+        .with(Gate::And2, width as f64)
+        .with(Gate::Or2, (width - 1) as f64);
+    let path = Gate::Xnor2.delay_ps() + log2_ceil(width) as f64 * Gate::Or2.delay_ps()
+        + Gate::Dff.delay_ps();
+    HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
+}
+
+/// The default SNG precision (bits) used when rolling up network costs.
+pub const DEFAULT_SNG_BITS: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+    }
+
+    #[test]
+    fn xnor_array_scales_linearly() {
+        let small = xnor_array(16);
+        let large = xnor_array(64);
+        assert!((large.area_um2 / small.area_um2 - 4.0).abs() < 1e-9);
+        assert_eq!(small.critical_path_ps, large.critical_path_ps);
+    }
+
+    #[test]
+    fn mux_adder_is_smaller_than_apc() {
+        for n in [16usize, 32, 64, 128, 256] {
+            let mux = mux_adder(n);
+            let apc = approximate_parallel_counter(n);
+            assert!(mux.area_um2 < apc.area_um2, "MUX should be smaller than APC at n={n}");
+            assert!(mux.critical_path_ps < apc.critical_path_ps);
+        }
+    }
+
+    #[test]
+    fn apc_saves_area_over_exact_counter() {
+        for n in [16usize, 64, 256] {
+            let apc = approximate_parallel_counter(n);
+            let exact = exact_parallel_counter(n);
+            let saving = 1.0 - apc.area_um2 / exact.area_um2;
+            assert!((saving - 0.4).abs() < 1e-9, "expected 40% saving, got {saving}");
+        }
+    }
+
+    #[test]
+    fn or_adder_is_cheapest() {
+        let or = or_adder(64);
+        let mux = mux_adder(64);
+        assert!(or.area_um2 < mux.area_um2);
+    }
+
+    #[test]
+    fn activation_blocks_grow_with_state_count() {
+        assert!(stanh_fsm(32).area_um2 >= stanh_fsm(8).area_um2);
+        assert!(btanh_counter(64, 7).area_um2 >= btanh_counter(8, 4).area_um2);
+    }
+
+    #[test]
+    fn max_pooling_costs_more_than_average_pooling() {
+        let avg = average_pooling_stream(4);
+        let max = hardware_max_pooling_stream(4, 5);
+        assert!(max.area_um2 > avg.area_um2);
+        let avg_b = average_pooling_binary(4, 5);
+        let max_b = hardware_max_pooling_binary(4, 8);
+        assert!(max_b.area_um2 > avg_b.area_um2);
+    }
+
+    #[test]
+    fn sng_cost_is_positive_and_grows_with_width() {
+        assert!(sng(4).area_um2 > 0.0);
+        assert!(sng(16).area_um2 > sng(8).area_um2);
+    }
+}

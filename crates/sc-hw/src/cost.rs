@@ -1,0 +1,160 @@
+//! Aggregated hardware cost figures.
+
+use crate::gates::GateCounts;
+use serde::{Deserialize, Serialize};
+
+/// Default stochastic-logic switching activity used when converting gate
+/// inventories to dynamic energy (SC datapaths toggle roughly every other
+/// cycle because the streams are near 50 % density).
+pub const DEFAULT_ACTIVITY: f64 = 0.5;
+
+/// Aggregated cost of a hardware component or subsystem.
+///
+/// * `area_um2` — cell area in µm².
+/// * `critical_path_ps` — longest combinational path through the component.
+/// * `energy_per_cycle_fj` — dynamic switching energy per clock cycle.
+/// * `leakage_nw` — static leakage power.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Critical combinational path in ps.
+    pub critical_path_ps: f64,
+    /// Dynamic energy per clock cycle in fJ.
+    pub energy_per_cycle_fj: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+impl HardwareCost {
+    /// A zero cost (identity for composition).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Builds a cost from a gate inventory, a path depth expressed as the sum
+    /// of gate delays along the critical path, and a switching activity.
+    pub fn from_gates(gates: &GateCounts, critical_path_ps: f64, activity: f64) -> Self {
+        Self {
+            area_um2: gates.area_um2(),
+            critical_path_ps,
+            energy_per_cycle_fj: gates.switching_energy_fj(activity),
+            leakage_nw: gates.leakage_nw(),
+        }
+    }
+
+    /// Parallel composition: areas, energies and leakage add; the critical
+    /// path is the maximum of the two (the components operate side by side).
+    pub fn in_parallel_with(&self, other: &HardwareCost) -> HardwareCost {
+        HardwareCost {
+            area_um2: self.area_um2 + other.area_um2,
+            critical_path_ps: self.critical_path_ps.max(other.critical_path_ps),
+            energy_per_cycle_fj: self.energy_per_cycle_fj + other.energy_per_cycle_fj,
+            leakage_nw: self.leakage_nw + other.leakage_nw,
+        }
+    }
+
+    /// Serial composition: areas, energies and leakage add and the critical
+    /// paths add (the second component consumes the first one's output in the
+    /// same cycle).
+    pub fn in_series_with(&self, other: &HardwareCost) -> HardwareCost {
+        HardwareCost {
+            area_um2: self.area_um2 + other.area_um2,
+            critical_path_ps: self.critical_path_ps + other.critical_path_ps,
+            energy_per_cycle_fj: self.energy_per_cycle_fj + other.energy_per_cycle_fj,
+            leakage_nw: self.leakage_nw + other.leakage_nw,
+        }
+    }
+
+    /// Replicates the component `count` times in parallel.
+    pub fn replicated(&self, count: usize) -> HardwareCost {
+        HardwareCost {
+            area_um2: self.area_um2 * count as f64,
+            critical_path_ps: self.critical_path_ps,
+            energy_per_cycle_fj: self.energy_per_cycle_fj * count as f64,
+            leakage_nw: self.leakage_nw * count as f64,
+        }
+    }
+
+    /// Total power in mW when clocked with the given period.
+    pub fn power_mw(&self, clock_ns: f64) -> f64 {
+        // fJ per ns is a µW; divide by 1000 to express it in mW.
+        let dynamic_mw = self.energy_per_cycle_fj / clock_ns * 1e-3;
+        let leakage_mw = self.leakage_nw * 1e-6;
+        dynamic_mw + leakage_mw
+    }
+
+    /// Energy in µJ to run for `cycles` cycles at the given clock period.
+    pub fn energy_uj(&self, cycles: usize, clock_ns: f64) -> f64 {
+        let dynamic_uj = self.energy_per_cycle_fj * cycles as f64 * 1e-9;
+        let leakage_uj = self.leakage_nw * 1e-6 * (cycles as f64 * clock_ns) * 1e-9 * 1e3;
+        dynamic_uj + leakage_uj
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::Gate;
+
+    fn sample() -> HardwareCost {
+        HardwareCost {
+            area_um2: 100.0,
+            critical_path_ps: 200.0,
+            energy_per_cycle_fj: 50.0,
+            leakage_nw: 500.0,
+        }
+    }
+
+    #[test]
+    fn zero_is_identity_for_parallel_composition() {
+        let cost = sample();
+        let combined = cost.in_parallel_with(&HardwareCost::zero());
+        assert_eq!(combined, cost);
+    }
+
+    #[test]
+    fn parallel_takes_max_path_serial_adds() {
+        let a = sample();
+        let b = HardwareCost { critical_path_ps: 300.0, ..sample() };
+        assert_eq!(a.in_parallel_with(&b).critical_path_ps, 300.0);
+        assert_eq!(a.in_series_with(&b).critical_path_ps, 500.0);
+        assert_eq!(a.in_series_with(&b).area_um2, 200.0);
+    }
+
+    #[test]
+    fn replication_scales_area_and_energy_not_delay() {
+        let cost = sample().replicated(4);
+        assert_eq!(cost.area_um2, 400.0);
+        assert_eq!(cost.energy_per_cycle_fj, 200.0);
+        assert_eq!(cost.critical_path_ps, 200.0);
+    }
+
+    #[test]
+    fn power_and_energy_scale_with_clock_and_cycles() {
+        let cost = sample();
+        assert!(cost.power_mw(2.0) < cost.power_mw(1.0));
+        assert!(cost.energy_uj(2048, 5.0) > cost.energy_uj(1024, 5.0));
+        assert!(cost.energy_uj(1024, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn from_gates_uses_library_constants() {
+        let gates = crate::gates::GateCounts::new().with(Gate::Xnor2, 10.0);
+        let cost = HardwareCost::from_gates(&gates, 60.0, 0.5);
+        assert!((cost.area_um2 - 15.96).abs() < 1e-9);
+        assert!((cost.energy_per_cycle_fj - 6.0).abs() < 1e-9);
+        assert_eq!(cost.critical_path_ps, 60.0);
+    }
+
+    #[test]
+    fn area_mm2_conversion() {
+        let cost = HardwareCost { area_um2: 2_000_000.0, ..HardwareCost::zero() };
+        assert!((cost.area_mm2() - 2.0).abs() < 1e-12);
+    }
+}

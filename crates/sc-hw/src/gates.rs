@@ -1,0 +1,249 @@
+//! A 45 nm-style standard-cell library.
+//!
+//! The per-gate constants approximate the Nangate 45 nm Open Cell Library
+//! figures the paper synthesizes against: areas are in µm², switching
+//! energies in fJ per output toggle, leakage in nW per instance, and delays
+//! in ps per stage. What matters for reproducing the paper's comparisons is
+//! that all blocks are costed from the *same* library, so relative orderings
+//! carry over even if the absolute values differ from a signoff flow.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A standard cell used by the SC component inventories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR (the bipolar multiplier).
+    Xnor2,
+    /// 2-to-1 multiplexer.
+    Mux2,
+    /// D flip-flop with clock enable.
+    Dff,
+    /// Full adder cell.
+    FullAdder,
+    /// Half adder cell.
+    HalfAdder,
+}
+
+impl Gate {
+    /// Every gate in the library.
+    pub const ALL: [Gate; 11] = [
+        Gate::Inv,
+        Gate::Nand2,
+        Gate::Nor2,
+        Gate::And2,
+        Gate::Or2,
+        Gate::Xor2,
+        Gate::Xnor2,
+        Gate::Mux2,
+        Gate::Dff,
+        Gate::FullAdder,
+        Gate::HalfAdder,
+    ];
+
+    /// Cell area in µm².
+    pub fn area_um2(self) -> f64 {
+        match self {
+            Gate::Inv => 0.532,
+            Gate::Nand2 => 0.798,
+            Gate::Nor2 => 0.798,
+            Gate::And2 => 1.064,
+            Gate::Or2 => 1.064,
+            Gate::Xor2 => 1.596,
+            Gate::Xnor2 => 1.596,
+            Gate::Mux2 => 1.862,
+            Gate::Dff => 4.522,
+            Gate::FullAdder => 6.384,
+            Gate::HalfAdder => 3.192,
+        }
+    }
+
+    /// Energy per output toggle in fJ.
+    pub fn switching_energy_fj(self) -> f64 {
+        match self {
+            Gate::Inv => 0.35,
+            Gate::Nand2 => 0.55,
+            Gate::Nor2 => 0.55,
+            Gate::And2 => 0.80,
+            Gate::Or2 => 0.80,
+            Gate::Xor2 => 1.20,
+            Gate::Xnor2 => 1.20,
+            Gate::Mux2 => 1.00,
+            Gate::Dff => 1.80,
+            Gate::FullAdder => 2.40,
+            Gate::HalfAdder => 1.30,
+        }
+    }
+
+    /// Leakage power in nW per instance.
+    pub fn leakage_nw(self) -> f64 {
+        match self {
+            Gate::Inv => 9.0,
+            Gate::Nand2 => 12.0,
+            Gate::Nor2 => 12.0,
+            Gate::And2 => 16.0,
+            Gate::Or2 => 16.0,
+            Gate::Xor2 => 24.0,
+            Gate::Xnor2 => 24.0,
+            Gate::Mux2 => 22.0,
+            Gate::Dff => 55.0,
+            Gate::FullAdder => 70.0,
+            Gate::HalfAdder => 36.0,
+        }
+    }
+
+    /// Propagation delay in ps per stage.
+    pub fn delay_ps(self) -> f64 {
+        match self {
+            Gate::Inv => 18.0,
+            Gate::Nand2 => 28.0,
+            Gate::Nor2 => 30.0,
+            Gate::And2 => 40.0,
+            Gate::Or2 => 40.0,
+            Gate::Xor2 => 60.0,
+            Gate::Xnor2 => 60.0,
+            Gate::Mux2 => 52.0,
+            Gate::Dff => 95.0,
+            Gate::FullAdder => 90.0,
+            Gate::HalfAdder => 55.0,
+        }
+    }
+}
+
+/// A bag of gate counts describing a synthesized component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GateCounts {
+    counts: BTreeMap<Gate, f64>,
+}
+
+impl GateCounts {
+    /// Creates an empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` instances of `gate`.
+    pub fn add(&mut self, gate: Gate, count: f64) -> &mut Self {
+        *self.counts.entry(gate).or_insert(0.0) += count;
+        self
+    }
+
+    /// Builder-style variant of [`GateCounts::add`].
+    pub fn with(mut self, gate: Gate, count: f64) -> Self {
+        self.add(gate, count);
+        self
+    }
+
+    /// Merges another inventory into this one.
+    pub fn merge(&mut self, other: &GateCounts) -> &mut Self {
+        for (&gate, &count) in &other.counts {
+            self.add(gate, count);
+        }
+        self
+    }
+
+    /// Multiplies every count by `factor` (e.g. replicating a block).
+    pub fn scaled(&self, factor: f64) -> GateCounts {
+        let counts = self.counts.iter().map(|(&g, &c)| (g, c * factor)).collect();
+        GateCounts { counts }
+    }
+
+    /// Number of instances of a particular gate.
+    pub fn count(&self, gate: Gate) -> f64 {
+        self.counts.get(&gate).copied().unwrap_or(0.0)
+    }
+
+    /// Total number of gate instances.
+    pub fn total_gates(&self) -> f64 {
+        self.counts.values().sum()
+    }
+
+    /// Total cell area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.counts.iter().map(|(g, c)| g.area_um2() * c).sum()
+    }
+
+    /// Total switching energy per cycle in fJ, assuming `activity` of the
+    /// gates toggle each cycle (SC logic has high activity; 0.5 is typical).
+    pub fn switching_energy_fj(&self, activity: f64) -> f64 {
+        self.counts.iter().map(|(g, c)| g.switching_energy_fj() * c).sum::<f64>() * activity
+    }
+
+    /// Total leakage power in nW.
+    pub fn leakage_nw(&self) -> f64 {
+        self.counts.iter().map(|(g, c)| g.leakage_nw() * c).sum()
+    }
+
+    /// Iterator over `(gate, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Gate, f64)> + '_ {
+        self.counts.iter().map(|(&g, &c)| (g, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_constants_are_positive() {
+        for gate in Gate::ALL {
+            assert!(gate.area_um2() > 0.0);
+            assert!(gate.switching_energy_fj() > 0.0);
+            assert!(gate.leakage_nw() > 0.0);
+            assert!(gate.delay_ps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sequential_cells_are_larger_than_combinational() {
+        assert!(Gate::Dff.area_um2() > Gate::Xnor2.area_um2());
+        assert!(Gate::FullAdder.area_um2() > Gate::HalfAdder.area_um2());
+        assert!(Gate::Xnor2.area_um2() > Gate::Nand2.area_um2());
+    }
+
+    #[test]
+    fn gate_counts_accumulate() {
+        let mut counts = GateCounts::new();
+        counts.add(Gate::Xnor2, 16.0).add(Gate::Xnor2, 4.0).add(Gate::Dff, 2.0);
+        assert_eq!(counts.count(Gate::Xnor2), 20.0);
+        assert_eq!(counts.total_gates(), 22.0);
+        assert!((counts.area_um2() - (20.0 * 1.596 + 2.0 * 4.522)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_scale_compose() {
+        let a = GateCounts::new().with(Gate::FullAdder, 3.0);
+        let mut b = GateCounts::new().with(Gate::FullAdder, 1.0).with(Gate::Inv, 2.0);
+        b.merge(&a);
+        assert_eq!(b.count(Gate::FullAdder), 4.0);
+        let doubled = b.scaled(2.0);
+        assert_eq!(doubled.count(Gate::FullAdder), 8.0);
+        assert_eq!(doubled.count(Gate::Inv), 4.0);
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let counts = GateCounts::new().with(Gate::Xnor2, 10.0);
+        assert!(counts.switching_energy_fj(1.0) > counts.switching_energy_fj(0.25));
+        assert_eq!(counts.switching_energy_fj(0.0), 0.0);
+    }
+
+    #[test]
+    fn iter_is_stable_and_complete() {
+        let counts = GateCounts::new().with(Gate::Inv, 1.0).with(Gate::Dff, 2.0);
+        let collected: Vec<_> = counts.iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+}

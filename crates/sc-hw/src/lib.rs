@@ -1,0 +1,43 @@
+//! # sc-hw
+//!
+//! Hardware cost model for SC-DCNN designs.
+//!
+//! The paper obtains area, path delay, power and energy by synthesizing each
+//! block with Synopsys Design Compiler against the Nangate 45 nm open cell
+//! library and by estimating SRAM with CACTI 5.3. Neither tool is available
+//! to this reproduction, so this crate substitutes an analytic model that is
+//! built the same way a synthesis netlist would be:
+//!
+//! 1. [`gates`] — a small standard-cell library with per-gate area, switching
+//!    energy, leakage and delay constants calibrated to public 45 nm figures.
+//! 2. [`components`] — gate inventories for every SC component the paper
+//!    uses (XNOR arrays, MUX trees, approximate parallel counters, Stanh
+//!    FSMs, Btanh counters, pooling units, SNGs).
+//! 3. [`block_cost`] — feature-extraction-block costs as a function of input
+//!    size and stream length (Fig. 15).
+//! 4. [`sram`] — a CACTI-like SRAM area/power/energy model with the paper's
+//!    weight-storage optimizations (Section 5).
+//! 5. [`network_cost`] — roll-up of a full network configuration into the
+//!    Table 6 / Table 7 metrics (area, power, delay, energy, throughput, area
+//!    efficiency, energy efficiency).
+//!
+//! Absolute numbers from an analytic model will not match a signoff flow, but
+//! the *relative* ordering of designs — which is all the paper's conclusions
+//! rest on — is preserved because every block is costed from the same gate
+//! inventory.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block_cost;
+pub mod components;
+pub mod cost;
+pub mod gates;
+pub mod network_cost;
+pub mod sram;
+
+pub use block_cost::feature_block_cost;
+pub use cost::HardwareCost;
+pub use gates::{Gate, GateCounts};
+pub use network_cost::{LayerSpec, NetworkConfig, NetworkCost};
+pub use sram::{SramConfig, SramCost};

@@ -1,0 +1,260 @@
+//! Network-level cost roll-up (Tables 6 and 7).
+//!
+//! A full SC-DCNN is described by a list of [`LayerSpec`]s — how many feature
+//! extraction blocks (or fully-connected neurons) each layer instantiates,
+//! their receptive-field size and configuration — plus the weight-storage
+//! configuration and the shared random-number-generation overhead. The
+//! roll-up produces the metrics the paper reports per design point: area,
+//! power, per-image delay, per-image energy, throughput, area efficiency and
+//! energy efficiency.
+
+use crate::block_cost::{activation_cost, inner_product_cost, pooling_cost, CLOCK_NS};
+use crate::components::{sng, DEFAULT_SNG_BITS};
+use crate::cost::HardwareCost;
+use crate::sram::{sram_cost, SramConfig};
+use sc_blocks::feature_block::FeatureBlockKind;
+use serde::{Deserialize, Serialize};
+
+/// How aggressively stochastic number generators are shared across blocks.
+///
+/// The paper's peripheral circuitry shares RNGs between SNGs and re-uses
+/// weight streams across the inner-product blocks of a feature map; a
+/// sharing factor of `k` means one SNG serves `k` stream consumers.
+pub const DEFAULT_SNG_SHARING: usize = 8;
+
+/// Description of one SC-DCNN layer for cost purposes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human-readable layer name (e.g. `"Layer0"`).
+    pub name: String,
+    /// Number of feature extraction blocks (pooling layers) or neurons
+    /// (fully-connected layers) instantiated in parallel.
+    pub unit_count: usize,
+    /// Receptive-field size `N` of each inner-product block.
+    pub input_size: usize,
+    /// Feature-extraction-block configuration used by this layer.
+    pub kind: FeatureBlockKind,
+    /// Whether the layer pools 4 inner products per unit (convolution +
+    /// pooling layers) or computes a single inner product per unit
+    /// (fully-connected layers).
+    pub has_pooling: bool,
+    /// Number of distinct trained weights the layer must store.
+    pub weight_count: usize,
+    /// Stored weight precision in bits.
+    pub weight_bits: usize,
+    /// Filter-aware SRAM sharing factor (how many inner-product blocks share
+    /// one stored filter).
+    pub sharing_factor: usize,
+    /// Number of distinct input signals entering the layer (drives SNG count).
+    pub input_count: usize,
+}
+
+impl LayerSpec {
+    /// Logic cost of the layer (inner products + pooling + activation),
+    /// excluding SRAM and SNGs.
+    pub fn logic_cost(&self, stream_length: usize) -> HardwareCost {
+        let per_unit_inner = inner_product_cost(self.kind, self.input_size);
+        let inner = if self.has_pooling {
+            per_unit_inner.replicated(4)
+        } else {
+            per_unit_inner
+        };
+        let mut unit = inner;
+        if self.has_pooling {
+            unit = unit.in_series_with(&pooling_cost(self.kind, self.input_size));
+        }
+        unit = unit.in_series_with(&activation_cost(self.kind, self.input_size, stream_length));
+        unit.replicated(self.unit_count)
+    }
+
+    /// SRAM cost of the layer's weight storage.
+    pub fn sram_cost(&self) -> crate::sram::SramCost {
+        sram_cost(&SramConfig::shared(self.weight_count, self.weight_bits, self.sharing_factor))
+    }
+
+    /// Cost of the stochastic number generators feeding the layer.
+    pub fn sng_cost(&self, sng_sharing: usize) -> HardwareCost {
+        let consumers = self.input_count + self.weight_count;
+        let generators = consumers.div_ceil(sng_sharing.max(1));
+        sng(DEFAULT_SNG_BITS).replicated(generators)
+    }
+}
+
+/// A full SC-DCNN configuration (one row of Table 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Configuration label (e.g. `"No.11"`).
+    pub name: String,
+    /// Per-layer specifications.
+    pub layers: Vec<LayerSpec>,
+    /// Bit-stream length `L`.
+    pub stream_length: usize,
+    /// Clock period in ns (5 ns matches the paper's delay figures).
+    pub clock_ns: f64,
+    /// SNG sharing factor.
+    pub sng_sharing: usize,
+}
+
+impl NetworkConfig {
+    /// Creates a configuration with the default clock and SNG sharing.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerSpec>, stream_length: usize) -> Self {
+        Self {
+            name: name.into(),
+            layers,
+            stream_length,
+            clock_ns: CLOCK_NS,
+            sng_sharing: DEFAULT_SNG_SHARING,
+        }
+    }
+
+    /// Rolls the configuration up into the Table 6 / Table 7 metrics.
+    pub fn cost(&self) -> NetworkCost {
+        let mut logic = HardwareCost::zero();
+        let mut sram_area_um2 = 0.0;
+        let mut sram_leakage_mw = 0.0;
+        let mut sram_read_nj = 0.0;
+        for layer in &self.layers {
+            logic = logic.in_parallel_with(&layer.logic_cost(self.stream_length));
+            logic = logic.in_parallel_with(&layer.sng_cost(self.sng_sharing));
+            let sram = layer.sram_cost();
+            sram_area_um2 += sram.area_um2;
+            sram_leakage_mw += sram.leakage_mw;
+            sram_read_nj += sram.read_energy_nj;
+        }
+        let area_mm2 = (logic.area_um2 + sram_area_um2) * 1e-6;
+        let logic_power_w = logic.power_mw(self.clock_ns) * 1e-3;
+        let power_w = logic_power_w + sram_leakage_mw * 1e-3;
+        let delay_ns = self.stream_length as f64 * self.clock_ns;
+        let logic_energy_uj = logic.energy_uj(self.stream_length, self.clock_ns);
+        let energy_uj = logic_energy_uj + sram_read_nj * 1e-3;
+        let throughput = 1e9 / delay_ns;
+        NetworkCost {
+            name: self.name.clone(),
+            area_mm2,
+            power_w,
+            delay_ns,
+            energy_uj,
+            throughput_images_per_s: throughput,
+            area_efficiency: throughput / area_mm2,
+            energy_efficiency: throughput / power_w,
+        }
+    }
+}
+
+/// The Table 6 / Table 7 metrics for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Configuration label.
+    pub name: String,
+    /// Total area in mm² (logic + SNGs + SRAM).
+    pub area_mm2: f64,
+    /// Total power in W.
+    pub power_w: f64,
+    /// Per-image delay in ns (stream length × clock period).
+    pub delay_ns: f64,
+    /// Per-image energy in µJ.
+    pub energy_uj: f64,
+    /// Throughput in images per second (pipelined, one image per stream).
+    pub throughput_images_per_s: f64,
+    /// Area efficiency in images/s/mm².
+    pub area_efficiency: f64,
+    /// Energy efficiency in images/J.
+    pub energy_efficiency: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_layer(kind: FeatureBlockKind, units: usize, n: usize) -> LayerSpec {
+        LayerSpec {
+            name: "test".to_string(),
+            unit_count: units,
+            input_size: n,
+            kind,
+            has_pooling: true,
+            weight_count: units * n / 4,
+            weight_bits: 7,
+            sharing_factor: 4,
+            input_count: units,
+        }
+    }
+
+    #[test]
+    fn layer_logic_cost_scales_with_units() {
+        let small = simple_layer(FeatureBlockKind::ApcAvgBtanh, 100, 25);
+        let large = simple_layer(FeatureBlockKind::ApcAvgBtanh, 200, 25);
+        let ratio = large.logic_cost(1024).area_um2 / small.logic_cost(1024).area_um2;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_connected_layer_is_cheaper_than_pooling_layer() {
+        let mut fc = simple_layer(FeatureBlockKind::ApcAvgBtanh, 100, 25);
+        fc.has_pooling = false;
+        let pooled = simple_layer(FeatureBlockKind::ApcAvgBtanh, 100, 25);
+        assert!(fc.logic_cost(1024).area_um2 < pooled.logic_cost(1024).area_um2);
+    }
+
+    #[test]
+    fn sng_sharing_reduces_cost() {
+        let layer = simple_layer(FeatureBlockKind::MuxAvgStanh, 100, 25);
+        assert!(layer.sng_cost(16).area_um2 < layer.sng_cost(2).area_um2);
+    }
+
+    #[test]
+    fn mux_network_is_cheaper_than_apc_network() {
+        let mux = NetworkConfig::new(
+            "mux",
+            vec![simple_layer(FeatureBlockKind::MuxAvgStanh, 1000, 25)],
+            1024,
+        );
+        let apc = NetworkConfig::new(
+            "apc",
+            vec![simple_layer(FeatureBlockKind::ApcAvgBtanh, 1000, 25)],
+            1024,
+        );
+        let mux_cost = mux.cost();
+        let apc_cost = apc.cost();
+        assert!(mux_cost.area_mm2 < apc_cost.area_mm2);
+        assert!(mux_cost.power_w < apc_cost.power_w);
+        assert_eq!(mux_cost.delay_ns, apc_cost.delay_ns);
+    }
+
+    #[test]
+    fn halving_stream_length_halves_delay_and_energy() {
+        let layers = vec![simple_layer(FeatureBlockKind::ApcAvgBtanh, 500, 25)];
+        let long = NetworkConfig::new("long", layers.clone(), 1024).cost();
+        let short = NetworkConfig::new("short", layers, 512).cost();
+        assert!((long.delay_ns / short.delay_ns - 2.0).abs() < 1e-9);
+        assert!(long.energy_uj > short.energy_uj);
+        assert!((short.throughput_images_per_s / long.throughput_images_per_s - 2.0).abs() < 1e-9);
+        assert_eq!(long.area_mm2, short.area_mm2);
+    }
+
+    #[test]
+    fn efficiency_metrics_are_consistent() {
+        let config = NetworkConfig::new(
+            "check",
+            vec![simple_layer(FeatureBlockKind::ApcMaxBtanh, 800, 100)],
+            256,
+        );
+        let cost = config.cost();
+        assert!((cost.area_efficiency - cost.throughput_images_per_s / cost.area_mm2).abs() < 1e-6);
+        assert!(
+            (cost.energy_efficiency - cost.throughput_images_per_s / cost.power_w).abs() < 1e-6
+        );
+        assert!(cost.power_w > 0.0);
+        assert!(cost.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn paper_delay_convention_holds() {
+        let config = NetworkConfig::new(
+            "delay",
+            vec![simple_layer(FeatureBlockKind::MuxAvgStanh, 10, 16)],
+            1024,
+        );
+        assert_eq!(config.cost().delay_ns, 5120.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! CACTI-style SRAM model and the paper's weight-storage optimizations.
+//!
+//! Section 5 of the paper reduces weight-storage cost three ways:
+//!
+//! 1. **Filter-aware SRAM sharing** — one local SRAM block per filter, shared
+//!    by every inner-product block of the corresponding feature map, instead
+//!    of per-block copies. Modelled by the `sharing_factor` of
+//!    [`SramConfig`].
+//! 2. **Low-precision weight storage** — storing `w`-bit fixed-point weights
+//!    instead of 64-bit values (Fig. 13; ~10.3× area saving at `w = 7`).
+//! 3. **Layer-wise precision** — e.g. 7-7-6 bits across LeNet-5's layers
+//!    (12× area, 11.9× power savings versus the 64-bit baseline).
+//!
+//! The model is analytic: a per-bit cell area plus peripheral overhead that
+//! grows with the square root of capacity, which is the same first-order
+//! behaviour CACTI exhibits for small SRAM arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Bit width used by the high-precision weight-storage baseline.
+pub const BASELINE_WEIGHT_BITS: usize = 64;
+
+/// Per-bit SRAM cell area in µm² (6T cell in a 45 nm-class process).
+const CELL_AREA_UM2: f64 = 0.35;
+
+/// Peripheral (decoder / sense-amp / IO) area coefficient in µm² per √bit.
+const PERIPHERY_AREA_UM2_PER_SQRT_BIT: f64 = 18.0;
+
+/// Leakage per bit in nW.
+const LEAKAGE_NW_PER_BIT: f64 = 0.012;
+
+/// Dynamic read energy: a fixed word overhead plus a per-bit term, in fJ.
+const READ_ENERGY_FJ_PER_BIT: f64 = 1.1;
+const READ_ENERGY_FJ_FIXED: f64 = 45.0;
+
+/// Configuration of a weight-storage subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Number of weights that must be stored.
+    pub weight_count: usize,
+    /// Fixed-point precision (bits per weight).
+    pub weight_bits: usize,
+    /// How many inner-product blocks share each stored copy (filter-aware
+    /// sharing). A factor of 1 means every block keeps its own copy.
+    pub sharing_factor: usize,
+}
+
+impl SramConfig {
+    /// Creates a configuration with no sharing (one copy per consumer).
+    pub fn unshared(weight_count: usize, weight_bits: usize) -> Self {
+        Self { weight_count, weight_bits, sharing_factor: 1 }
+    }
+
+    /// Creates a filter-aware shared configuration.
+    pub fn shared(weight_count: usize, weight_bits: usize, sharing_factor: usize) -> Self {
+        Self { weight_count, weight_bits, sharing_factor: sharing_factor.max(1) }
+    }
+
+    /// Total number of bits that must be physically stored.
+    pub fn stored_bits(&self) -> f64 {
+        (self.weight_count * self.weight_bits) as f64 / self.sharing_factor.max(1) as f64
+    }
+}
+
+/// Cost of a weight-storage subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramCost {
+    /// Total macro area in µm².
+    pub area_um2: f64,
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+    /// Energy per full-network weight read sweep in nJ.
+    pub read_energy_nj: f64,
+}
+
+impl SramCost {
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 * 1e-6
+    }
+}
+
+/// Evaluates the SRAM model for a configuration.
+pub fn sram_cost(config: &SramConfig) -> SramCost {
+    let bits = config.stored_bits().max(1.0);
+    let area_um2 = bits * CELL_AREA_UM2 + bits.sqrt() * PERIPHERY_AREA_UM2_PER_SQRT_BIT;
+    let leakage_mw = bits * LEAKAGE_NW_PER_BIT * 1e-6;
+    let words = bits / config.weight_bits.max(1) as f64;
+    let read_energy_nj =
+        words * (READ_ENERGY_FJ_FIXED + config.weight_bits as f64 * READ_ENERGY_FJ_PER_BIT) * 1e-6;
+    SramCost { area_um2, leakage_mw, read_energy_nj }
+}
+
+/// The quantized value stored for a real-valued weight `x` at precision `w`:
+/// `y = Int((x + 1)/2 · 2^w) / 2^w`, mapped back to `[-1, 1]` (Section 5.2).
+pub fn quantize_weight(x: f64, bits: usize) -> f64 {
+    let bits = bits.min(52);
+    let scale = (1u64 << bits) as f64;
+    let clamped = x.clamp(-1.0, 1.0);
+    let stored = ((clamped + 1.0) / 2.0 * scale).floor() / scale;
+    stored * 2.0 - 1.0
+}
+
+/// Area saving of a reduced-precision configuration relative to the 64-bit
+/// baseline with identical sharing.
+pub fn area_saving_vs_baseline(config: &SramConfig) -> f64 {
+    let baseline = SramConfig { weight_bits: BASELINE_WEIGHT_BITS, ..*config };
+    sram_cost(&baseline).area_um2 / sram_cost(config).area_um2
+}
+
+/// Power (leakage) saving of a reduced-precision configuration relative to
+/// the 64-bit baseline with identical sharing.
+pub fn power_saving_vs_baseline(config: &SramConfig) -> f64 {
+    let baseline = SramConfig { weight_bits: BASELINE_WEIGHT_BITS, ..*config };
+    sram_cost(&baseline).leakage_mw / sram_cost(config).leakage_mw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_bits_account_for_sharing() {
+        let unshared = SramConfig::unshared(1000, 8);
+        let shared = SramConfig::shared(1000, 8, 4);
+        assert_eq!(unshared.stored_bits(), 8000.0);
+        assert_eq!(shared.stored_bits(), 2000.0);
+    }
+
+    #[test]
+    fn sharing_reduces_area() {
+        let unshared = sram_cost(&SramConfig::unshared(10_000, 8));
+        let shared = sram_cost(&SramConfig::shared(10_000, 8, 16));
+        assert!(shared.area_um2 < unshared.area_um2);
+        assert!(shared.leakage_mw < unshared.leakage_mw);
+    }
+
+    #[test]
+    fn precision_reduction_saves_roughly_an_order_of_magnitude() {
+        // The paper reports 10.3x area savings going from the 64-bit baseline
+        // to 7-bit storage; the analytic model should land in that region.
+        let config = SramConfig::unshared(430_500, 7);
+        let saving = area_saving_vs_baseline(&config);
+        assert!(
+            (6.0..=12.0).contains(&saving),
+            "expected roughly an order of magnitude, got {saving:.2}x"
+        );
+    }
+
+    #[test]
+    fn power_saving_tracks_bit_reduction() {
+        let config = SramConfig::unshared(430_500, 7);
+        let saving = power_saving_vs_baseline(&config);
+        assert!(saving > 8.0, "leakage saving {saving:.2}x too small");
+    }
+
+    #[test]
+    fn quantization_matches_formula() {
+        // w = 2 bits: (0.3 + 1)/2 = 0.65 -> floor(0.65 * 4)/4 = 0.5 -> 0.0.
+        assert!((quantize_weight(0.3, 2) - 0.0).abs() < 1e-12);
+        // High precision reproduces the value closely.
+        assert!((quantize_weight(0.3, 16) - 0.3).abs() < 1e-3);
+        // Values outside [-1, 1] are clamped first.
+        assert!(quantize_weight(2.0, 8) <= 1.0);
+        assert!(quantize_weight(-2.0, 8) >= -1.0);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_precision() {
+        let value = 0.123_456;
+        let coarse = (quantize_weight(value, 3) - value).abs();
+        let fine = (quantize_weight(value, 10) - value).abs();
+        assert!(fine < coarse);
+    }
+
+    #[test]
+    fn read_energy_positive_and_monotone_in_bits() {
+        let low = sram_cost(&SramConfig::unshared(1000, 4));
+        let high = sram_cost(&SramConfig::unshared(1000, 16));
+        assert!(low.read_energy_nj > 0.0);
+        assert!(high.read_energy_nj > low.read_energy_nj);
+        assert!(high.area_mm2() > 0.0);
+    }
+}

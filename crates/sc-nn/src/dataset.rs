@@ -1,0 +1,200 @@
+//! Deterministic synthetic MNIST-like digit dataset.
+//!
+//! The paper evaluates LeNet-5 on MNIST. The MNIST files are not
+//! redistributable inside this repository and no network access is assumed,
+//! so this module procedurally renders 28×28 grey-scale digits instead: each
+//! class is drawn from a 7×5 seed glyph, scaled up, randomly translated,
+//! thickness-jittered and corrupted with pixel noise. The generator is fully
+//! deterministic for a given seed, which keeps every experiment reproducible.
+//!
+//! The substitution preserves what the experiments need: a 10-class image
+//! classification task of the same input geometry, hard enough that accuracy
+//! degrades when weights are quantized or stochastic-computing noise is
+//! injected, yet learnable by LeNet-5 in a few epochs on a CPU.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Image side length (matching MNIST's 28×28).
+pub const IMAGE_SIZE: usize = 28;
+
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// 7×5 seed glyphs for the ten digits.
+const GLYPHS: [[&str; 7]; 10] = [
+    ["01110", "10001", "10011", "10101", "11001", "10001", "01110"], // 0
+    ["00100", "01100", "00100", "00100", "00100", "00100", "01110"], // 1
+    ["01110", "10001", "00001", "00110", "01000", "10000", "11111"], // 2
+    ["01110", "10001", "00001", "00110", "00001", "10001", "01110"], // 3
+    ["00010", "00110", "01010", "10010", "11111", "00010", "00010"], // 4
+    ["11111", "10000", "11110", "00001", "00001", "10001", "01110"], // 5
+    ["00110", "01000", "10000", "11110", "10001", "10001", "01110"], // 6
+    ["11111", "00001", "00010", "00100", "01000", "01000", "01000"], // 7
+    ["01110", "10001", "10001", "01110", "10001", "10001", "01110"], // 8
+    ["01110", "10001", "10001", "01111", "00001", "00010", "01100"], // 9
+];
+
+/// A generated train/test split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticDigits {
+    /// Training images, each a `(1, 28, 28)` tensor with values in `[0, 1]`.
+    pub train_images: Vec<Tensor>,
+    /// Training labels (0–9).
+    pub train_labels: Vec<usize>,
+    /// Test images.
+    pub test_images: Vec<Tensor>,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+}
+
+impl SyntheticDigits {
+    /// Generates a balanced dataset with `train_per_class` training samples
+    /// per digit and one quarter as many test samples per digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_per_class` is zero.
+    pub fn generate(train_per_class: usize, seed: u64) -> Self {
+        assert!(train_per_class > 0, "need at least one training sample per class");
+        let test_per_class = (train_per_class / 4).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train_images = Vec::new();
+        let mut train_labels = Vec::new();
+        let mut test_images = Vec::new();
+        let mut test_labels = Vec::new();
+        for digit in 0..CLASSES {
+            for _ in 0..train_per_class {
+                train_images.push(render_digit(digit, &mut rng));
+                train_labels.push(digit);
+            }
+            for _ in 0..test_per_class {
+                test_images.push(render_digit(digit, &mut rng));
+                test_labels.push(digit);
+            }
+        }
+        Self { train_images, train_labels, test_images, test_labels }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_images.len()
+    }
+
+    /// Number of test samples.
+    pub fn test_len(&self) -> usize {
+        self.test_images.len()
+    }
+}
+
+/// Renders one noisy digit image as a `(1, 28, 28)` tensor in `[0, 1]`.
+pub fn render_digit(digit: usize, rng: &mut StdRng) -> Tensor {
+    assert!(digit < CLASSES, "digit {digit} out of range");
+    let glyph = &GLYPHS[digit];
+    let mut image = Tensor::zeros(&[1, IMAGE_SIZE, IMAGE_SIZE]);
+    // Random placement and per-sample stroke intensity.
+    let scale = rng.gen_range(2.6..3.4);
+    let offset_x = rng.gen_range(3.0..9.0);
+    let offset_y = rng.gen_range(2.0..6.0);
+    let intensity = rng.gen_range(0.75..1.0);
+    let thickness = rng.gen_range(0.9..1.5);
+    for y in 0..IMAGE_SIZE {
+        for x in 0..IMAGE_SIZE {
+            // Map the image pixel back into glyph coordinates.
+            let gy = (y as f32 - offset_y) / scale;
+            let gx = (x as f32 - offset_x) / scale;
+            let mut value: f32 = 0.0;
+            if gy >= -0.5 && gx >= -0.5 && gy < 7.5 && gx < 5.5 {
+                // Soft-sample the glyph with a small neighbourhood so strokes
+                // have anti-aliased edges whose width depends on `thickness`.
+                for (dy, dx) in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3), (-0.3, 0.0), (0.0, -0.3)] {
+                    let sy = (gy + dy * thickness).round();
+                    let sx = (gx + dx * thickness).round();
+                    if (0.0..7.0).contains(&sy) && (0.0..5.0).contains(&sx) {
+                        let row = glyph[sy as usize].as_bytes();
+                        if row[sx as usize] == b'1' {
+                            value += 0.25;
+                        }
+                    }
+                }
+            }
+            let noise = rng.gen_range(-0.06..0.06);
+            *image.at3_mut(0, y, x) = (value.min(1.0) * intensity + noise).clamp(0.0, 1.0);
+        }
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticDigits::generate(5, 42);
+        let b = SyntheticDigits::generate(5, 42);
+        assert_eq!(a.train_images[0].as_slice(), b.train_images[0].as_slice());
+        assert_eq!(a.train_labels, b.train_labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticDigits::generate(2, 1);
+        let b = SyntheticDigits::generate(2, 2);
+        assert_ne!(a.train_images[0].as_slice(), b.train_images[0].as_slice());
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_sized() {
+        let data = SyntheticDigits::generate(8, 3);
+        assert_eq!(data.train_len(), 80);
+        assert_eq!(data.test_len(), 20);
+        for digit in 0..CLASSES {
+            assert_eq!(data.train_labels.iter().filter(|&&l| l == digit).count(), 8);
+            assert_eq!(data.test_labels.iter().filter(|&&l| l == digit).count(), 2);
+        }
+    }
+
+    #[test]
+    fn images_are_normalized_and_shaped() {
+        let data = SyntheticDigits::generate(2, 9);
+        for image in &data.train_images {
+            assert_eq!(image.shape(), &[1, IMAGE_SIZE, IMAGE_SIZE]);
+            assert!(image.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn digits_have_visible_strokes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for digit in 0..CLASSES {
+            let image = render_digit(digit, &mut rng);
+            let bright = image.as_slice().iter().filter(|&&v| v > 0.5).count();
+            assert!(bright > 20, "digit {digit} renders only {bright} bright pixels");
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Average images of different digits should differ noticeably.
+        let mut rng = StdRng::seed_from_u64(11);
+        let zero = render_digit(0, &mut rng);
+        let one = render_digit(1, &mut rng);
+        let diff: f32 = zero
+            .as_slice()
+            .iter()
+            .zip(one.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 10.0, "digits 0 and 1 are nearly identical (diff {diff})");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_digit_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = render_digit(10, &mut rng);
+    }
+}

@@ -1,0 +1,79 @@
+//! Hyperbolic-tangent activation layer.
+//!
+//! The paper replaces ReLU/sigmoid with tanh throughout because tanh maps
+//! directly onto the Stanh/Btanh stochastic hardware without accuracy loss;
+//! the software substrate therefore trains with tanh as well.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Element-wise `tanh` activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let output = input.map(|v| v.tanh());
+        self.cached_output = Some(output.clone());
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let output = self.cached_output.clone().expect("forward must run before backward");
+        assert_eq!(output.len(), grad_output.len(), "gradient shape mismatch");
+        let data = output
+            .as_slice()
+            .iter()
+            .zip(grad_output.as_slice().iter())
+            .map(|(&y, &g)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(data, grad_output.shape())
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_tanh() {
+        let mut layer = Tanh::new();
+        let input = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]);
+        let output = layer.forward(&input);
+        assert!((output.as_slice()[0]).abs() < 1e-6);
+        assert!((output.as_slice()[1] - 1.0f32.tanh()).abs() < 1e-6);
+        assert!((output.as_slice()[2] + 1.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_uses_derivative() {
+        let mut layer = Tanh::new();
+        let input = Tensor::from_vec(vec![0.0], &[1]);
+        let _ = layer.forward(&input);
+        let grad = layer.backward(&Tensor::from_vec(vec![1.0], &[1]));
+        // d/dx tanh(0) = 1.
+        assert!((grad.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let mut layer = Tanh::new();
+        let input = Tensor::from_vec(vec![100.0, -100.0], &[2]);
+        let output = layer.forward(&input);
+        assert!(output.as_slice().iter().all(|v| v.abs() <= 1.0));
+        assert_eq!(layer.name(), "tanh");
+    }
+}

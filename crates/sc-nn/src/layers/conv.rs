@@ -1,0 +1,232 @@
+//! Valid-padding 2-D convolution layer.
+
+use super::{xavier_bound, Layer};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D convolution with square kernels, unit stride and valid padding.
+///
+/// Weights have shape `(out_channels, in_channels, kernel, kernel)`; inputs
+/// are `(in_channels, height, width)` feature maps.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    weights: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let bound = xavier_bound(fan_in, fan_out);
+        let weights = Tensor::from_fn(&[out_channels, in_channels, kernel, kernel], |_| {
+            rng.gen_range(-bound..bound)
+        });
+        let bias = Tensor::zeros(&[out_channels]);
+        let weight_grad = Tensor::zeros(weights.shape());
+        let bias_grad = Tensor::zeros(bias.shape());
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            weights,
+            bias,
+            weight_grad,
+            bias_grad,
+            cached_input: None,
+        }
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn weight_at(&self, o: usize, i: usize, ky: usize, kx: usize) -> f32 {
+        let k = self.kernel;
+        self.weights.as_slice()[((o * self.in_channels + i) * k + ky) * k + kx]
+    }
+
+    fn weight_grad_at_mut(&mut self, o: usize, i: usize, ky: usize, kx: usize) -> &mut f32 {
+        let k = self.kernel;
+        let idx = ((o * self.in_channels + i) * k + ky) * k + kx;
+        &mut self.weight_grad.as_mut_slice()[idx]
+    }
+
+    fn output_dims(&self, input: &Tensor) -> (usize, usize) {
+        let (_, height, width) = input.dims3();
+        assert!(
+            height >= self.kernel && width >= self.kernel,
+            "input {height}x{width} smaller than kernel {}",
+            self.kernel
+        );
+        (height - self.kernel + 1, width - self.kernel + 1)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (channels, _, _) = input.dims3();
+        assert_eq!(channels, self.in_channels, "input channel count mismatch");
+        let (out_h, out_w) = self.output_dims(input);
+        let mut output = Tensor::zeros(&[self.out_channels, out_h, out_w]);
+        for o in 0..self.out_channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let mut acc = self.bias.as_slice()[o];
+                    for i in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                acc += self.weight_at(o, i, ky, kx)
+                                    * input.at3(i, y + ky, x + kx);
+                            }
+                        }
+                    }
+                    *output.at3_mut(o, y, x) = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.clone().expect("forward must run before backward");
+        let (out_c, out_h, out_w) = grad_output.dims3();
+        assert_eq!(out_c, self.out_channels, "gradient channel count mismatch");
+        let mut grad_input = Tensor::zeros(input.shape());
+        for o in 0..self.out_channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let g = grad_output.at3(o, y, x);
+                    self.bias_grad.as_mut_slice()[o] += g;
+                    for i in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                *self.weight_grad_at_mut(o, i, ky, kx) +=
+                                    g * input.at3(i, y + ky, x + kx);
+                                *grad_input.at3_mut(i, y + ky, x + kx) +=
+                                    g * self.weight_at(o, i, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn apply_gradients(&mut self, learning_rate: f32) {
+        for (w, g) in
+            self.weights.as_mut_slice().iter_mut().zip(self.weight_grad.as_mut_slice().iter_mut())
+        {
+            *w -= learning_rate * *g;
+            *g = 0.0;
+        }
+        for (b, g) in
+            self.bias.as_mut_slice().iter_mut().zip(self.bias_grad.as_mut_slice().iter_mut())
+        {
+            *b -= learning_rate * *g;
+            *g = 0.0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv"
+    }
+
+    fn weights(&self) -> Option<&Tensor> {
+        Some(&self.weights)
+    }
+
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weights)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_is_valid_convolution() {
+        let mut conv = Conv2d::new(1, 3, 5, 1);
+        let input = Tensor::zeros(&[1, 28, 28]);
+        let output = conv.forward(&input);
+        assert_eq!(output.shape(), &[3, 24, 24]);
+        assert_eq!(conv.kernel(), 5);
+        assert_eq!(conv.in_channels(), 1);
+        assert_eq!(conv.out_channels(), 3);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = Conv2d::new(1, 1, 1, 2);
+        conv.weights_mut().unwrap().as_mut_slice()[0] = 1.0;
+        let input = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let output = conv.forward(&input);
+        assert_eq!(output.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut conv = Conv2d::new(1, 1, 2, 3);
+        {
+            let w = conv.weights_mut().unwrap().as_mut_slice();
+            w.copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        }
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let output = conv.forward(&input);
+        assert_eq!(output.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_clear() {
+        let mut conv = Conv2d::new(1, 1, 2, 4);
+        let input = Tensor::from_fn(&[1, 3, 3], |i| i as f32 * 0.1);
+        let output = conv.forward(&input);
+        let before = conv.weights().unwrap().clone();
+        let grad = Tensor::from_vec(vec![1.0; output.len()], output.shape());
+        conv.backward(&grad);
+        conv.apply_gradients(0.1);
+        let after = conv.weights().unwrap();
+        assert_ne!(before.as_slice(), after.as_slice());
+        assert_eq!(conv.parameter_count(), 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn wrong_channel_count_panics() {
+        let mut conv = Conv2d::new(2, 1, 3, 5);
+        let input = Tensor::zeros(&[1, 8, 8]);
+        let _ = conv.forward(&input);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fully-connected (dense) layer.
+
+use super::{xavier_bound, Layer};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-connected layer `y = W·x + b`.
+///
+/// The input may have any shape; it is flattened to a vector of
+/// `input_size` elements.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    input_size: usize,
+    output_size: usize,
+    weights: Tensor,
+    bias: Tensor,
+    weight_grad: Tensor,
+    bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_size: usize, output_size: usize, seed: u64) -> Self {
+        assert!(input_size > 0 && output_size > 0, "dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = xavier_bound(input_size, output_size);
+        let weights =
+            Tensor::from_fn(&[output_size, input_size], |_| rng.gen_range(-bound..bound));
+        Self {
+            input_size,
+            output_size,
+            weight_grad: Tensor::zeros(weights.shape()),
+            weights,
+            bias: Tensor::zeros(&[output_size]),
+            bias_grad: Tensor::zeros(&[output_size]),
+            cached_input: None,
+        }
+    }
+
+    /// Number of inputs the layer expects after flattening.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Number of outputs the layer produces.
+    pub fn output_size(&self) -> usize {
+        self.output_size
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.input_size, "dense layer input size mismatch");
+        let x = input.as_slice();
+        let w = self.weights.as_slice();
+        let mut output = Tensor::zeros(&[self.output_size]);
+        for o in 0..self.output_size {
+            let row = &w[o * self.input_size..(o + 1) * self.input_size];
+            let mut acc = self.bias.as_slice()[o];
+            for (weight, value) in row.iter().zip(x.iter()) {
+                acc += weight * value;
+            }
+            output.as_mut_slice()[o] = acc;
+        }
+        self.cached_input = Some(Tensor::from_vec(x.to_vec(), &[self.input_size]));
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert_eq!(grad_output.len(), self.output_size, "dense layer gradient size mismatch");
+        let input = self.cached_input.clone().expect("forward must run before backward");
+        let x = input.as_slice();
+        let w = self.weights.as_slice();
+        let mut grad_input = Tensor::zeros(&[self.input_size]);
+        for o in 0..self.output_size {
+            let g = grad_output.as_slice()[o];
+            self.bias_grad.as_mut_slice()[o] += g;
+            let weight_grad_row =
+                &mut self.weight_grad.as_mut_slice()[o * self.input_size..(o + 1) * self.input_size];
+            for i in 0..self.input_size {
+                weight_grad_row[i] += g * x[i];
+                grad_input.as_mut_slice()[i] += g * w[o * self.input_size + i];
+            }
+        }
+        grad_input
+    }
+
+    fn apply_gradients(&mut self, learning_rate: f32) {
+        for (w, g) in
+            self.weights.as_mut_slice().iter_mut().zip(self.weight_grad.as_mut_slice().iter_mut())
+        {
+            *w -= learning_rate * *g;
+            *g = 0.0;
+        }
+        for (b, g) in
+            self.bias.as_mut_slice().iter_mut().zip(self.bias_grad.as_mut_slice().iter_mut())
+        {
+            *b -= learning_rate * *g;
+            *g = 0.0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn weights(&self) -> Option<&Tensor> {
+        Some(&self.weights)
+    }
+
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weights)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut dense = Dense::new(2, 2, 1);
+        {
+            let w = dense.weights_mut().unwrap().as_mut_slice();
+            w.copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
+        }
+        let input = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let output = dense.forward(&input);
+        assert_eq!(output.as_slice(), &[11.0, -1.0]);
+        assert_eq!(dense.input_size(), 2);
+        assert_eq!(dense.output_size(), 2);
+    }
+
+    #[test]
+    fn flattens_multidimensional_input() {
+        let mut dense = Dense::new(8, 3, 2);
+        let input = Tensor::zeros(&[2, 2, 2]);
+        let output = dense.forward(&input);
+        assert_eq!(output.shape(), &[3]);
+    }
+
+    #[test]
+    fn training_reduces_simple_regression_loss() {
+        let mut dense = Dense::new(1, 1, 3);
+        // Learn y = 2x from a handful of points.
+        let mut last_loss = f32::MAX;
+        for _ in 0..200 {
+            let mut loss = 0.0;
+            for x in [-1.0f32, -0.5, 0.5, 1.0] {
+                let input = Tensor::from_vec(vec![x], &[1]);
+                let out = dense.forward(&input);
+                let error = out.as_slice()[0] - 2.0 * x;
+                loss += error * error;
+                dense.backward(&Tensor::from_vec(vec![2.0 * error], &[1]));
+                dense.apply_gradients(0.05);
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.01, "regression did not converge: {last_loss}");
+    }
+
+    #[test]
+    fn parameter_count_includes_bias() {
+        let dense = Dense::new(10, 4, 5);
+        assert_eq!(dense.parameter_count(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let mut dense = Dense::new(4, 2, 6);
+        let _ = dense.forward(&Tensor::zeros(&[5]));
+    }
+}

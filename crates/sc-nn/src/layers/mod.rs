@@ -1,0 +1,145 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! The layer set is exactly what LeNet-5 needs: valid-padding convolution,
+//! 2×2 pooling (average and max), fully-connected layers and the hyperbolic
+//! tangent activation the paper standardizes on.
+
+mod activation;
+mod conv;
+mod dense;
+mod pool;
+
+pub use activation::Tanh;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use pool::{AvgPool2, MaxPool2};
+
+use crate::tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] so that
+/// [`Layer::backward`] can compute gradients; [`Layer::apply_gradients`]
+/// performs the SGD update and clears accumulated gradients.
+pub trait Layer {
+    /// Computes the layer output for `input`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Back-propagates `grad_output` (gradient w.r.t. this layer's output)
+    /// and returns the gradient w.r.t. the layer's input. Parameter
+    /// gradients are accumulated internally.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Applies accumulated parameter gradients with the given learning rate
+    /// and clears them. Layers without parameters do nothing.
+    fn apply_gradients(&mut self, _learning_rate: f32) {}
+
+    /// A short human-readable layer name ("conv", "dense", …).
+    fn name(&self) -> &'static str;
+
+    /// The layer's trainable weights, if any (excluding biases).
+    fn weights(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// Mutable access to the layer's trainable weights, if any.
+    fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        None
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Xavier-style uniform initialisation bound for a layer with the given
+/// fan-in and fan-out.
+pub(crate) fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Finite-difference gradient check helper shared by the layer tests.
+    pub(crate) fn numeric_input_gradient(
+        layer: &mut dyn Layer,
+        input: &Tensor,
+        index: usize,
+        epsilon: f32,
+    ) -> f32 {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[index] += epsilon;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[index] -= epsilon;
+        let out_plus: f32 = layer.forward(&plus).as_slice().iter().sum();
+        let out_minus: f32 = layer.forward(&minus).as_slice().iter().sum();
+        (out_plus - out_minus) / (2.0 * epsilon)
+    }
+
+    fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    fn check_input_gradients(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) {
+        let output = layer.forward(input);
+        let grad_out = Tensor::from_vec(vec![1.0; output.len()], output.shape());
+        let analytic = layer.backward(&grad_out);
+        for index in 0..input.len().min(12) {
+            let numeric = numeric_input_gradient(layer, input, index, 1e-3);
+            let delta = (analytic.as_slice()[index] - numeric).abs();
+            assert!(
+                delta < tolerance,
+                "gradient mismatch at {index}: analytic {} vs numeric {numeric}",
+                analytic.as_slice()[index]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradients_match_finite_differences() {
+        let mut layer = Conv2d::new(1, 2, 3, 42);
+        let input = random_tensor(&[1, 6, 6], 1);
+        check_input_gradients(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn dense_input_gradients_match_finite_differences() {
+        let mut layer = Dense::new(12, 4, 43);
+        let input = random_tensor(&[12], 2);
+        check_input_gradients(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn tanh_input_gradients_match_finite_differences() {
+        let mut layer = Tanh::new();
+        let input = random_tensor(&[10], 3);
+        check_input_gradients(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn avg_pool_gradients_match_finite_differences() {
+        let mut layer = AvgPool2::new();
+        let input = random_tensor(&[2, 4, 4], 4);
+        check_input_gradients(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn max_pool_gradients_match_finite_differences() {
+        let mut layer = MaxPool2::new();
+        // Use well-separated values so the argmax is stable under perturbation.
+        let input = Tensor::from_fn(&[1, 4, 4], |i| (i as f32) * 0.37 - 2.0);
+        check_input_gradients(&mut layer, &input, 1e-2);
+    }
+
+    #[test]
+    fn xavier_bound_is_reasonable() {
+        let bound = xavier_bound(100, 100);
+        assert!(bound > 0.0 && bound < 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! 2×2 pooling layers (average and max) with stride 2.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+fn pooled_dims(input: &Tensor) -> (usize, usize, usize) {
+    let (channels, height, width) = input.dims3();
+    assert!(height >= 2 && width >= 2, "input too small for 2x2 pooling");
+    (channels, height / 2, width / 2)
+}
+
+/// 2×2 average pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2 {
+    /// Creates an average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (channels, out_h, out_w) = pooled_dims(input);
+        let mut output = Tensor::zeros(&[channels, out_h, out_w]);
+        for c in 0..channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let sum = input.at3(c, 2 * y, 2 * x)
+                        + input.at3(c, 2 * y, 2 * x + 1)
+                        + input.at3(c, 2 * y + 1, 2 * x)
+                        + input.at3(c, 2 * y + 1, 2 * x + 1);
+                    *output.at3_mut(c, y, x) = sum / 4.0;
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape =
+            self.cached_input_shape.clone().expect("forward must run before backward");
+        let mut grad_input = Tensor::zeros(&shape);
+        let (channels, out_h, out_w) = grad_output.dims3();
+        for c in 0..channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let g = grad_output.at3(c, y, x) / 4.0;
+                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        *grad_input.at3_mut(c, 2 * y + dy, 2 * x + dx) += g;
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool"
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    cached_input_shape: Option<Vec<usize>>,
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates a max pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (channels, out_h, out_w) = pooled_dims(input);
+        let (_, in_h, in_w) = input.dims3();
+        let mut output = Tensor::zeros(&[channels, out_h, out_w]);
+        self.cached_argmax = vec![0; channels * out_h * out_w];
+        for c in 0..channels {
+            for y in 0..out_h {
+                for x in 0..out_w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_index = 0;
+                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let (iy, ix) = (2 * y + dy, 2 * x + dx);
+                        let value = input.at3(c, iy, ix);
+                        if value > best {
+                            best = value;
+                            best_index = (c * in_h + iy) * in_w + ix;
+                        }
+                    }
+                    *output.at3_mut(c, y, x) = best;
+                    self.cached_argmax[(c * out_h + y) * out_w + x] = best_index;
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape =
+            self.cached_input_shape.clone().expect("forward must run before backward");
+        let mut grad_input = Tensor::zeros(&shape);
+        for (flat_index, &source) in self.cached_argmax.iter().enumerate() {
+            grad_input.as_mut_slice()[source] += grad_output.as_slice()[flat_index];
+        }
+        grad_input
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_pooling_computes_means() {
+        let mut pool = AvgPool2::new();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let output = pool.forward(&input);
+        assert_eq!(output.as_slice(), &[2.5]);
+        assert_eq!(output.shape(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn max_pooling_picks_maximum() {
+        let mut pool = MaxPool2::new();
+        let input = Tensor::from_vec(vec![1.0, 7.0, 3.0, 4.0], &[1, 2, 2]);
+        let output = pool.forward(&input);
+        assert_eq!(output.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2::new();
+        let input = Tensor::from_vec(vec![1.0, 7.0, 3.0, 4.0], &[1, 2, 2]);
+        let _ = pool.forward(&input);
+        let grad = pool.backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1]));
+        assert_eq!(grad.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_evenly() {
+        let mut pool = AvgPool2::new();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let _ = pool.forward(&input);
+        let grad = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1]));
+        assert_eq!(grad.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let mut pool = MaxPool2::new();
+        let input = Tensor::zeros(&[2, 5, 5]);
+        let output = pool.forward(&input);
+        assert_eq!(output.shape(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(AvgPool2::new().name(), "avg_pool");
+        assert_eq!(MaxPool2::new().name(), "max_pool");
+    }
+}

@@ -1,0 +1,200 @@
+//! LeNet-5 network builders.
+//!
+//! The paper evaluates the widely-used LeNet-5 structure with configuration
+//! 784-11520-2880-3200-800-500-10: a 28×28 input, a 20-filter 5×5
+//! convolution (→ 20×24×24 = 11520), 2×2 pooling (→ 2880), a 50-filter 5×5
+//! convolution (→ 50×8×8 = 3200), 2×2 pooling (→ 800), a 500-unit
+//! fully-connected layer and a 10-way output layer. Pooling is either max or
+//! average; the activation is tanh throughout (Section 6.3).
+
+use crate::layers::{AvgPool2, Conv2d, Dense, MaxPool2, Tanh};
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Pooling strategy used by a LeNet-5 instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolingStyle {
+    /// Max pooling (baseline software error rate 1.53 % in the paper).
+    Max,
+    /// Average pooling (baseline software error rate 2.24 % in the paper).
+    Average,
+}
+
+impl PoolingStyle {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolingStyle::Max => "max",
+            PoolingStyle::Average => "average",
+        }
+    }
+}
+
+/// Per-layer structural description of LeNet-5 used by the cost model and
+/// the SC mapping (receptive-field sizes and unit counts per paper layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LenetLayerShape {
+    /// Paper-style layer index (Layer0 = conv1+pool1, Layer1 = conv2+pool2,
+    /// Layer2 = fully connected).
+    pub index: usize,
+    /// Number of feature-extraction blocks / neurons operating in parallel.
+    pub unit_count: usize,
+    /// Receptive-field size per inner product.
+    pub input_size: usize,
+    /// Whether the layer pools four inner products per unit.
+    pub has_pooling: bool,
+    /// Number of trainable weights in the layer.
+    pub weight_count: usize,
+    /// Number of distinct input signals entering the layer.
+    pub input_count: usize,
+}
+
+/// The paper's LeNet-5 structural parameters (20 and 50 convolution filters,
+/// 500 hidden units, 10 classes).
+pub const CONV1_FILTERS: usize = 20;
+/// Second convolution's filter count.
+pub const CONV2_FILTERS: usize = 50;
+/// Hidden fully-connected layer width.
+pub const HIDDEN_UNITS: usize = 500;
+/// Number of output classes.
+pub const OUTPUT_CLASSES: usize = 10;
+
+/// Builds the full LeNet-5 the paper evaluates.
+///
+/// Layer structure: conv(1→20, 5×5) → pool → tanh → conv(20→50, 5×5) → pool
+/// → tanh → dense(800→500) → tanh → dense(500→10).
+pub fn lenet5(pooling: PoolingStyle, seed: u64) -> Network {
+    build_lenet(CONV1_FILTERS, CONV2_FILTERS, HIDDEN_UNITS, pooling, seed, "lenet5")
+}
+
+/// A reduced LeNet (8/16 filters, 64 hidden units) with the same topology,
+/// used by tests and quick experiments where full LeNet-5 training time is
+/// not warranted.
+pub fn tiny_lenet(seed: u64) -> Network {
+    build_lenet(8, 16, 64, PoolingStyle::Max, seed, "tiny-lenet")
+}
+
+fn build_lenet(
+    conv1: usize,
+    conv2: usize,
+    hidden: usize,
+    pooling: PoolingStyle,
+    seed: u64,
+    name: &str,
+) -> Network {
+    let mut network = Network::new(name);
+    network.push(Box::new(Conv2d::new(1, conv1, 5, seed)));
+    push_pool(&mut network, pooling);
+    network.push(Box::new(Tanh::new()));
+    network.push(Box::new(Conv2d::new(conv1, conv2, 5, seed.wrapping_add(1))));
+    push_pool(&mut network, pooling);
+    network.push(Box::new(Tanh::new()));
+    network.push(Box::new(Dense::new(conv2 * 4 * 4, hidden, seed.wrapping_add(2))));
+    network.push(Box::new(Tanh::new()));
+    network.push(Box::new(Dense::new(hidden, OUTPUT_CLASSES, seed.wrapping_add(3))));
+    network
+}
+
+fn push_pool(network: &mut Network, pooling: PoolingStyle) {
+    match pooling {
+        PoolingStyle::Max => network.push(Box::new(MaxPool2::new())),
+        PoolingStyle::Average => network.push(Box::new(AvgPool2::new())),
+    };
+}
+
+/// The paper-style three-layer structural breakdown of the full LeNet-5
+/// (Layer0 = conv1+pool1, Layer1 = conv2+pool2, Layer2 = fully connected
+/// including the output layer).
+pub fn lenet5_layer_shapes() -> Vec<LenetLayerShape> {
+    vec![
+        LenetLayerShape {
+            index: 0,
+            // 20 feature maps of 12x12 pooled outputs.
+            unit_count: CONV1_FILTERS * 12 * 12,
+            input_size: 25,
+            has_pooling: true,
+            weight_count: CONV1_FILTERS * 25,
+            input_count: 28 * 28,
+        },
+        LenetLayerShape {
+            index: 1,
+            // 50 feature maps of 4x4 pooled outputs.
+            unit_count: CONV2_FILTERS * 4 * 4,
+            input_size: 25 * CONV1_FILTERS,
+            has_pooling: true,
+            weight_count: CONV2_FILTERS * CONV1_FILTERS * 25,
+            input_count: CONV1_FILTERS * 12 * 12,
+        },
+        LenetLayerShape {
+            index: 2,
+            unit_count: HIDDEN_UNITS + OUTPUT_CLASSES,
+            input_size: CONV2_FILTERS * 4 * 4,
+            has_pooling: false,
+            weight_count: CONV2_FILTERS * 4 * 4 * HIDDEN_UNITS + HIDDEN_UNITS * OUTPUT_CLASSES,
+            input_count: CONV2_FILTERS * 4 * 4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDigits;
+    use crate::network::TrainingOptions;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn lenet5_has_the_paper_configuration() {
+        let mut network = lenet5(PoolingStyle::Max, 1);
+        // 784-11520-2880-3200-800-500-10: check the characteristic sizes by
+        // walking a forward pass shape-wise.
+        let input = Tensor::zeros(&[1, 28, 28]);
+        let output = network.forward(&input);
+        assert_eq!(output.len(), OUTPUT_CLASSES);
+        // conv1 (20·24·24) + bias, conv2, fc1 (800·500), fc2 (500·10).
+        let expected_parameters = (20 * 25 + 20)
+            + (50 * 20 * 25 + 50)
+            + (800 * 500 + 500)
+            + (500 * 10 + 10);
+        assert_eq!(network.parameter_count(), expected_parameters);
+    }
+
+    #[test]
+    fn both_pooling_styles_build() {
+        for pooling in [PoolingStyle::Max, PoolingStyle::Average] {
+            let mut network = lenet5(pooling, 2);
+            let output = network.forward(&Tensor::zeros(&[1, 28, 28]));
+            assert_eq!(output.len(), 10);
+            assert!(!pooling.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn layer_shapes_match_paper_configuration() {
+        let shapes = lenet5_layer_shapes();
+        assert_eq!(shapes.len(), 3);
+        // 11520 conv outputs pool down to 2880 feature extraction blocks.
+        assert_eq!(shapes[0].unit_count, 2880);
+        // 3200 conv outputs pool down to 800.
+        assert_eq!(shapes[1].unit_count, 800);
+        assert_eq!(shapes[2].input_size, 800);
+        let total_weights: usize = shapes.iter().map(|s| s.weight_count).sum();
+        assert_eq!(total_weights, 500 + 25_000 + 400_000 + 5_000);
+    }
+
+    #[test]
+    fn tiny_lenet_learns_synthetic_digits() {
+        let data = SyntheticDigits::generate(12, 3);
+        let mut network = tiny_lenet(5);
+        let options = TrainingOptions {
+            epochs: 4,
+            learning_rate: 0.08,
+            shuffle_seed: 1,
+            learning_rate_decay: 0.9,
+        };
+        let stats = network.train(&data.train_images, &data.train_labels, &options);
+        assert!(stats.last().unwrap().error_rate < stats.first().unwrap().error_rate * 1.01);
+        let error = network.error_rate(&data.test_images, &data.test_labels);
+        assert!(error < 0.6, "tiny LeNet should beat chance by a wide margin, got {error}");
+    }
+}

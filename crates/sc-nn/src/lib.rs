@@ -1,0 +1,48 @@
+//! # sc-nn
+//!
+//! A from-scratch convolutional neural network substrate.
+//!
+//! The SC-DCNN paper maps a *software-trained* LeNet-5 onto stochastic
+//! computing hardware. This crate is that software side: a small,
+//! dependency-free CNN framework with
+//!
+//! * [`tensor`] — a dense row-major tensor with shape tracking,
+//! * [`layers`] — convolution, pooling (average/max), fully-connected and
+//!   tanh activation layers, each with forward and backward passes,
+//! * [`network`] — a sequential container with SGD training,
+//! * [`lenet`] — builders for the LeNet-5 structure the paper evaluates
+//!   (784-11520-2880-3200-800-500-10) and a reduced variant for fast tests,
+//! * [`dataset`] — a deterministic synthetic MNIST-like digit generator
+//!   (MNIST itself is not redistributable inside this repository; the
+//!   generator exercises the identical pipeline),
+//! * [`quantize`] — the fixed-point weight quantization of Section 5.2,
+//! * [`loss`] — softmax cross-entropy.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use sc_nn::dataset::SyntheticDigits;
+//! use sc_nn::lenet::tiny_lenet;
+//! use sc_nn::network::TrainingOptions;
+//!
+//! let data = SyntheticDigits::generate(200, 7);
+//! let mut network = tiny_lenet(11);
+//! let options = TrainingOptions { epochs: 1, learning_rate: 0.05, ..Default::default() };
+//! network.train(&data.train_images, &data.train_labels, &options);
+//! let error = network.error_rate(&data.test_images, &data.test_labels);
+//! assert!(error <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod layers;
+pub mod lenet;
+pub mod loss;
+pub mod network;
+pub mod quantize;
+pub mod tensor;
+
+pub use network::Network;
+pub use tensor::Tensor;

@@ -1,0 +1,76 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a logit vector.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.into_iter().map(|v| v / sum).collect(), logits.shape())
+}
+
+/// Softmax cross-entropy loss and its gradient with respect to the logits.
+///
+/// Returns `(loss, gradient)` for a single sample with integer class label.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range for the logit vector.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    assert!(label < logits.len(), "label {label} out of range for {} classes", logits.len());
+    let probabilities = softmax(logits);
+    let p_label = probabilities.as_slice()[label].max(1e-12);
+    let loss = -p_label.ln();
+    let mut grad = probabilities;
+    grad.as_mut_slice()[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let probs = softmax(&logits);
+        let sum: f32 = probs.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(probs.as_slice()[2] > probs.as_slice()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = softmax(&Tensor::from_vec(vec![101.0, 102.0], &[2]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn correct_prediction_has_low_loss() {
+        let confident = Tensor::from_vec(vec![10.0, -10.0], &[2]);
+        let (loss, _) = softmax_cross_entropy(&confident, 0);
+        assert!(loss < 0.01);
+        let (wrong_loss, _) = softmax_cross_entropy(&confident, 1);
+        assert!(wrong_loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 1.0], &[3]);
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(grad.as_slice()[1] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_label_panics() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let _ = softmax_cross_entropy(&logits, 5);
+    }
+}

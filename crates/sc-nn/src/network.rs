@@ -1,0 +1,243 @@
+//! Sequential network container with SGD training.
+
+use crate::layers::Layer;
+use crate::loss::softmax_cross_entropy;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Options controlling [`Network::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingOptions {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Shuffle seed (training is deterministic for a fixed seed).
+    pub shuffle_seed: u64,
+    /// Learning-rate decay applied after each epoch (multiplicative).
+    pub learning_rate_decay: f32,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        Self { epochs: 3, learning_rate: 0.05, shuffle_seed: 7, learning_rate_decay: 0.85 }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean cross-entropy loss over the epoch.
+    pub mean_loss: f32,
+    /// Training error rate over the epoch (fraction misclassified).
+    pub error_rate: f32,
+}
+
+/// A sequential stack of layers trained with plain SGD.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    name: String,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let layer_names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Network")
+            .field("name", &self.name)
+            .field("layers", &layer_names)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { layers: Vec::new(), name: name.into() }
+    }
+
+    /// Appends a layer to the network.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access to the layers (for inspection and weight extraction).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for quantization and error injection).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Runs a forward pass, returning the output logits.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current);
+        }
+        current
+    }
+
+    /// Predicts the class of a single input.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// Trains the network with SGD and returns per-epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` have different lengths or are empty.
+    pub fn train(
+        &mut self,
+        images: &[Tensor],
+        labels: &[usize],
+        options: &TrainingOptions,
+    ) -> Vec<EpochStats> {
+        assert_eq!(images.len(), labels.len(), "each image needs a label");
+        assert!(!images.is_empty(), "training set is empty");
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        let mut rng = StdRng::seed_from_u64(options.shuffle_seed);
+        let mut stats = Vec::with_capacity(options.epochs);
+        let mut learning_rate = options.learning_rate;
+        for epoch in 0..options.epochs {
+            order.shuffle(&mut rng);
+            let mut total_loss = 0.0;
+            let mut errors = 0usize;
+            for &index in &order {
+                let logits = self.forward(&images[index]);
+                if logits.argmax() != labels[index] {
+                    errors += 1;
+                }
+                let (loss, grad) = softmax_cross_entropy(&logits, labels[index]);
+                total_loss += loss;
+                let mut grad = grad;
+                for layer in self.layers.iter_mut().rev() {
+                    grad = layer.backward(&grad);
+                }
+                for layer in &mut self.layers {
+                    layer.apply_gradients(learning_rate);
+                }
+            }
+            stats.push(EpochStats {
+                epoch,
+                mean_loss: total_loss / images.len() as f32,
+                error_rate: errors as f32 / images.len() as f32,
+            });
+            learning_rate *= options.learning_rate_decay;
+        }
+        stats
+    }
+
+    /// Classification error rate (fraction misclassified) over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` have different lengths or are empty.
+    pub fn error_rate(&mut self, images: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(images.len(), labels.len(), "each image needs a label");
+        assert!(!images.is_empty(), "evaluation set is empty");
+        let errors = images
+            .iter()
+            .zip(labels.iter())
+            .filter(|(image, &label)| self.predict(image) != label)
+            .count();
+        errors as f64 / images.len() as f64
+    }
+
+    /// Extracts a clone of every parameterized layer's weights, in layer
+    /// order (used by the SC mapping and the weight-storage experiments).
+    pub fn weight_snapshots(&self) -> Vec<Tensor> {
+        self.layers.iter().filter_map(|l| l.weights().cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Tanh};
+
+    fn xor_network() -> Network {
+        let mut network = Network::new("xor");
+        network.push(Box::new(Dense::new(2, 8, 1)));
+        network.push(Box::new(Tanh::new()));
+        network.push(Box::new(Dense::new(8, 2, 2)));
+        network
+    }
+
+    fn xor_data() -> (Vec<Tensor>, Vec<usize>) {
+        let images = vec![
+            Tensor::from_vec(vec![0.0, 0.0], &[2]),
+            Tensor::from_vec(vec![0.0, 1.0], &[2]),
+            Tensor::from_vec(vec![1.0, 0.0], &[2]),
+            Tensor::from_vec(vec![1.0, 1.0], &[2]),
+        ];
+        let labels = vec![0, 1, 1, 0];
+        (images, labels)
+    }
+
+    #[test]
+    fn network_learns_xor() {
+        let mut network = xor_network();
+        let (images, labels) = xor_data();
+        let options = TrainingOptions {
+            epochs: 400,
+            learning_rate: 0.1,
+            shuffle_seed: 3,
+            learning_rate_decay: 1.0,
+        };
+        let stats = network.train(&images, &labels, &options);
+        assert_eq!(stats.len(), 400);
+        assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
+        assert_eq!(network.error_rate(&images, &labels), 0.0, "XOR should be learned exactly");
+    }
+
+    #[test]
+    fn parameter_count_sums_layers() {
+        let network = xor_network();
+        assert_eq!(network.parameter_count(), (2 * 8 + 8) + (8 * 2 + 2));
+        assert_eq!(network.layer_count(), 3);
+        assert_eq!(network.name(), "xor");
+    }
+
+    #[test]
+    fn weight_snapshots_skip_parameterless_layers() {
+        let network = xor_network();
+        assert_eq!(network.weight_snapshots().len(), 2);
+    }
+
+    #[test]
+    fn debug_output_lists_layers() {
+        let network = xor_network();
+        let text = format!("{network:?}");
+        assert!(text.contains("dense") && text.contains("tanh"));
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_set_panics() {
+        let mut network = xor_network();
+        let _ = network.train(&[], &[], &TrainingOptions::default());
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixed-point weight quantization (Section 5.2 of the paper).
+//!
+//! The stored value for a weight `x` at precision `w` bits is
+//! `y = Int((x + 1)/2 · 2^w) / 2^w`, mapped back to the bipolar range. This
+//! module applies that quantization to whole networks, either with one
+//! precision everywhere or with per-layer precisions (the 7-7-6 scheme of
+//! Section 5.3).
+
+use crate::network::Network;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Quantizes one weight value to `bits` of precision (Section 5.2 formula).
+///
+/// Values outside `[-1, 1]` are clamped first, mirroring the bipolar range
+/// restriction of the stochastic representation.
+pub fn quantize_value(x: f32, bits: usize) -> f32 {
+    let bits = bits.min(23);
+    let scale = (1u32 << bits) as f32;
+    let clamped = x.clamp(-1.0, 1.0);
+    let stored = ((clamped + 1.0) / 2.0 * scale).floor() / scale;
+    stored * 2.0 - 1.0
+}
+
+/// Quantizes every element of a tensor.
+pub fn quantize_tensor(tensor: &Tensor, bits: usize) -> Tensor {
+    tensor.map(|v| quantize_value(v, bits))
+}
+
+/// A per-layer precision assignment for the parameterized layers of a
+/// network, in layer order (e.g. `[7, 7, 6]` groups the two fully-connected
+/// layers of LeNet-5 into the last entry, matching the paper's "Layer2").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionScheme {
+    bits: Vec<usize>,
+}
+
+impl PrecisionScheme {
+    /// Uniform precision for every parameterized layer.
+    pub fn uniform(bits: usize, layer_count: usize) -> Self {
+        Self { bits: vec![bits; layer_count] }
+    }
+
+    /// Explicit per-layer precisions.
+    pub fn per_layer(bits: Vec<usize>) -> Self {
+        Self { bits }
+    }
+
+    /// Precision for the `index`-th parameterized layer (the last entry is
+    /// reused if the scheme is shorter than the network).
+    pub fn bits_for(&self, index: usize) -> usize {
+        self.bits
+            .get(index)
+            .or_else(|| self.bits.last())
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// The per-layer precisions.
+    pub fn bits(&self) -> &[usize] {
+        &self.bits
+    }
+}
+
+/// Applies weight quantization in place to every parameterized layer of a
+/// network and returns how many layers were touched.
+pub fn quantize_network(network: &mut Network, scheme: &PrecisionScheme) -> usize {
+    let mut parameterized = 0usize;
+    for layer in network.layers_mut() {
+        let bits = scheme.bits_for(parameterized);
+        if let Some(weights) = layer.weights_mut() {
+            let quantized = quantize_tensor(weights, bits);
+            *weights = quantized;
+            parameterized += 1;
+        }
+    }
+    parameterized
+}
+
+/// Quantizes only one parameterized layer (all others keep full precision),
+/// reproducing the per-layer sensitivity sweep of Fig. 13.
+pub fn quantize_single_layer(network: &mut Network, layer_index: usize, bits: usize) -> bool {
+    let mut parameterized = 0usize;
+    for layer in network.layers_mut() {
+        if layer.weights().is_some() {
+            if parameterized == layer_index {
+                if let Some(weights) = layer.weights_mut() {
+                    *weights = quantize_tensor(weights, bits);
+                }
+                return true;
+            }
+            parameterized += 1;
+        }
+    }
+    false
+}
+
+/// Counts the parameterized layers of a network (layers that own weights).
+pub fn parameterized_layer_count(network: &Network) -> usize {
+    network.layers().iter().filter(|l| l.weights().is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Tanh};
+
+    fn two_layer_network() -> Network {
+        let mut network = Network::new("q");
+        network.push(Box::new(Dense::new(4, 4, 1)));
+        network.push(Box::new(Tanh::new()));
+        network.push(Box::new(Dense::new(4, 2, 2)));
+        network
+    }
+
+    #[test]
+    fn quantize_value_matches_paper_formula() {
+        // w = 2: (0.3 + 1)/2 = 0.65 -> floor(2.6)/4 = 0.5 -> 0.0.
+        assert!((quantize_value(0.3, 2) - 0.0).abs() < 1e-6);
+        assert!((quantize_value(0.3, 16) - 0.3).abs() < 1e-3);
+        assert!(quantize_value(5.0, 8) <= 1.0);
+        assert!(quantize_value(-5.0, 8) >= -1.0);
+    }
+
+    #[test]
+    fn quantization_error_decreases_with_bits() {
+        let tensor = Tensor::from_vec(vec![0.123, -0.456, 0.789], &[3]);
+        let coarse = quantize_tensor(&tensor, 3);
+        let fine = quantize_tensor(&tensor, 10);
+        let err = |q: &Tensor| -> f32 {
+            q.as_slice()
+                .iter()
+                .zip(tensor.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        assert!(err(&fine) < err(&coarse));
+    }
+
+    #[test]
+    fn scheme_reuses_last_entry() {
+        let scheme = PrecisionScheme::per_layer(vec![7, 6]);
+        assert_eq!(scheme.bits_for(0), 7);
+        assert_eq!(scheme.bits_for(1), 6);
+        assert_eq!(scheme.bits_for(5), 6);
+        assert_eq!(scheme.bits(), &[7, 6]);
+        let uniform = PrecisionScheme::uniform(8, 3);
+        assert_eq!(uniform.bits_for(2), 8);
+    }
+
+    #[test]
+    fn quantize_network_touches_all_parameterized_layers() {
+        let mut network = two_layer_network();
+        assert_eq!(parameterized_layer_count(&network), 2);
+        let touched = quantize_network(&mut network, &PrecisionScheme::uniform(2, 2));
+        assert_eq!(touched, 2);
+        for weights in network.weight_snapshots() {
+            for &w in weights.as_slice() {
+                // With 2 bits the stored values live on a coarse grid.
+                let grid = (w + 1.0) / 2.0 * 4.0;
+                assert!((grid - grid.round()).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_single_layer_leaves_others_untouched() {
+        let mut network = two_layer_network();
+        let original = network.weight_snapshots();
+        assert!(quantize_single_layer(&mut network, 1, 2));
+        let after = network.weight_snapshots();
+        assert_eq!(original[0].as_slice(), after[0].as_slice());
+        assert_ne!(original[1].as_slice(), after[1].as_slice());
+        assert!(!quantize_single_layer(&mut network, 9, 2));
+    }
+}

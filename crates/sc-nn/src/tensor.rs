@@ -1,0 +1,240 @@
+//! A dense row-major tensor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor with an explicit shape.
+///
+/// Shapes follow the `(channels, height, width)` convention for feature maps
+/// and `(outputs, inputs)` for fully-connected weight matrices.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match the shape"
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Creates a tensor filled with values drawn from `f(index)`.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let mut tensor = Self::zeros(shape);
+        for (i, value) in tensor.data.iter_mut().enumerate() {
+            *value = f(i);
+        }
+        tensor
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Element at a `(channel, row, column)` coordinate of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the coordinate is out of range.
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        let (channels, height, width) = self.dims3();
+        assert!(c < channels && y < height && x < width, "index out of range");
+        self.data[(c * height + y) * width + x]
+    }
+
+    /// Mutable element access for a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D or the coordinate is out of range.
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        let (channels, height, width) = self.dims3();
+        assert!(c < channels && y < height && x < width, "index out of range");
+        &mut self.data[(c * height + y) * width + x]
+    }
+
+    /// The `(channels, height, width)` dimensions of a 3-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 3-D.
+    pub fn dims3(&self) -> (usize, usize, usize) {
+        assert_eq!(self.shape.len(), 3, "expected a 3-D tensor, got shape {:?}", self.shape);
+        (self.shape[0], self.shape[1], self.shape[2])
+    }
+
+    /// Index of the largest element (ties resolved to the first).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The largest absolute value in the tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Applies a function to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Adds another tensor element-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, factor: f32) {
+        for value in &mut self.data {
+            *value *= factor;
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, len={})", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shapes() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.dims3(), (2, 3, 4));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the shape")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 3]);
+        *t.at3_mut(1, 2, 0) = 5.0;
+        assert_eq!(t.at3(1, 2, 0), 5.0);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn argmax_and_max_abs() {
+        let t = Tensor::from_vec(vec![0.5, -2.0, 1.5], &[3]);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(t.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn map_and_scale_and_add() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.as_slice(), &[2.0, 4.0]);
+        t.scale(3.0);
+        assert_eq!(t.as_slice(), &[3.0, 6.0]);
+        t.add_assign(&doubled);
+        assert_eq!(t.as_slice(), &[5.0, 10.0]);
+        assert!((t.mean() - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        let r = t.reshaped(&[2, 2]);
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn from_fn_fills_by_index() {
+        let t = Tensor::from_fn(&[3], |i| i as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Section 6.3 design-space exploration.
+//!
+//! Runs the pruning optimizer over all layer-wise feature-extraction-block
+//! assignments for both pooling styles, using the calibrated error-injection
+//! model for network accuracy, and reports the surviving configurations plus
+//! the most area- and energy-efficient designs.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use sc_dcnn_repro::dcnn::error_model::{ErrorInjection, FebErrorModel};
+use sc_dcnn_repro::dcnn::optimizer::{DesignSpaceOptimizer, OptimizerOptions};
+use sc_dcnn_repro::dcnn::report;
+use sc_dcnn_repro::nn::dataset::SyntheticDigits;
+use sc_dcnn_repro::nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_dcnn_repro::nn::network::TrainingOptions;
+
+fn main() {
+    let data = SyntheticDigits::generate(20, 11);
+    let mut network = tiny_lenet(11);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions { epochs: 3, learning_rate: 0.08, ..Default::default() },
+    );
+    let baseline = network.error_rate(&data.test_images, &data.test_labels);
+    println!("software baseline error rate: {:.2} %", baseline * 100.0);
+
+    let model = FebErrorModel::new(6, 99);
+    let injection = ErrorInjection::lenet5(&model);
+    let optimizer = DesignSpaceOptimizer::new(OptimizerOptions {
+        accuracy_threshold_percent: 1.5,
+        max_stream_length: 1024,
+        min_stream_length: 256,
+    });
+
+    for pooling in [PoolingStyle::Max, PoolingStyle::Average] {
+        println!("\n### {} pooling ###", pooling.name());
+        println!("{}", report::table6_header());
+        let evaluations = optimizer.search(pooling, |config| {
+            injection.inaccuracy_percent(
+                &mut network,
+                config,
+                &data.test_images,
+                &data.test_labels,
+                3,
+            )
+        });
+        for evaluation in &evaluations {
+            println!("{}", report::table6_row(evaluation));
+        }
+        if let Some(best) = DesignSpaceOptimizer::most_area_efficient(&evaluations) {
+            println!(
+                "most area-efficient surviving design : {} ({}, L = {}) at {:.0} images/s/mm^2",
+                best.config.name,
+                best.config.layer_summary(),
+                best.config.stream_length,
+                best.cost.area_efficiency
+            );
+        }
+        if let Some(best) = DesignSpaceOptimizer::most_energy_efficient(&evaluations) {
+            println!(
+                "most energy-efficient surviving design: {} ({}, L = {}) at {:.2} uJ/image",
+                best.config.name,
+                best.config.layer_summary(),
+                best.config.stream_length,
+                best.cost.energy_uj
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end SC-DCNN pipeline on LeNet-5.
+//!
+//! Trains the software network on the synthetic digit dataset, quantizes the
+//! weights with the 7-7-6 layer-wise scheme, evaluates the network accuracy
+//! under the calibrated stochastic-computing error model for two
+//! configurations from Table 6, and reports their hardware cost.
+//!
+//! Run with: `cargo run --release --example lenet5_pipeline`
+//! (pass `--full` for the full-size LeNet-5; the default uses the reduced
+//! network so the example finishes in well under a minute).
+
+use sc_dcnn_repro::dcnn::config::table6_configurations;
+use sc_dcnn_repro::dcnn::error_model::{ErrorInjection, FebErrorModel};
+use sc_dcnn_repro::dcnn::mapping::lenet5_cost;
+use sc_dcnn_repro::dcnn::weight_storage::evaluate_layer_wise_precision;
+use sc_dcnn_repro::nn::dataset::SyntheticDigits;
+use sc_dcnn_repro::nn::lenet::{lenet5, tiny_lenet, PoolingStyle};
+use sc_dcnn_repro::nn::network::TrainingOptions;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (mut network, data) = if full {
+        let data = SyntheticDigits::generate(60, 17);
+        let mut network = lenet5(PoolingStyle::Max, 17);
+        println!("training full LeNet-5 ({} parameters)...", network.parameter_count());
+        network.train(
+            &data.train_images,
+            &data.train_labels,
+            &TrainingOptions { epochs: 3, learning_rate: 0.05, ..Default::default() },
+        );
+        (network, data)
+    } else {
+        let data = SyntheticDigits::generate(30, 17);
+        let mut network = tiny_lenet(17);
+        println!("training reduced LeNet ({} parameters)...", network.parameter_count());
+        network.train(
+            &data.train_images,
+            &data.train_labels,
+            &TrainingOptions { epochs: 4, learning_rate: 0.08, ..Default::default() },
+        );
+        (network, data)
+    };
+
+    let baseline_error = network.error_rate(&data.test_images, &data.test_labels);
+    println!("software baseline error rate: {:.2} %", baseline_error * 100.0);
+
+    // Weight storage optimization (Section 5).
+    let precision = evaluate_layer_wise_precision(
+        &mut network,
+        &[7, 7, 6],
+        &data.test_images,
+        &data.test_labels,
+    );
+    println!(
+        "7-7-6 weight storage: error rate {:.2} %, SRAM area saving {:.1}x, power saving {:.1}x",
+        precision.error_rate * 100.0,
+        precision.area_saving,
+        precision.power_saving
+    );
+
+    // SC evaluation of the two highlighted Table 6 configurations.
+    let model = FebErrorModel::new(8, 2017);
+    let injection = ErrorInjection::lenet5(&model);
+    for config in table6_configurations() {
+        if config.name != "No.6" && config.name != "No.11" {
+            continue;
+        }
+        let degradation = injection.inaccuracy_percent(
+            &mut network,
+            &config,
+            &data.test_images,
+            &data.test_labels,
+            7,
+        );
+        let cost = lenet5_cost(&config);
+        println!(
+            "\n{} ({}, L = {}):",
+            config.name,
+            config.layer_summary(),
+            config.stream_length
+        );
+        println!("  accuracy degradation : {degradation:.2} %");
+        println!("  area                 : {:.1} mm^2", cost.area_mm2);
+        println!("  power                : {:.2} W", cost.power_w);
+        println!("  delay per image      : {:.0} ns", cost.delay_ns);
+        println!("  energy per image     : {:.2} uJ", cost.energy_uj);
+        println!("  throughput           : {:.0} images/s", cost.throughput_images_per_s);
+        println!("  area efficiency      : {:.0} images/s/mm^2", cost.area_efficiency);
+        println!("  energy efficiency    : {:.0} images/J", cost.energy_efficiency);
+    }
+}

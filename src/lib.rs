@@ -1,0 +1,13 @@
+//! Umbrella crate for the SC-DCNN reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the full
+//! public API from a single dependency. Library users should depend on the
+//! individual crates (`sc-core`, `sc-blocks`, `sc-hw`, `sc-nn`, `sc-dcnn`)
+//! directly.
+
+pub use sc_blocks as blocks;
+pub use sc_core as core;
+pub use sc_dcnn as dcnn;
+pub use sc_hw as hw;
+pub use sc_nn as nn;

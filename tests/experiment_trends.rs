@@ -1,0 +1,99 @@
+//! Integration tests asserting that the regenerated experiments reproduce
+//! the *trends* the paper reports (who wins, what grows with what), using
+//! reduced trial counts so the suite stays fast.
+
+use sc_bench_harness::*;
+
+/// The sc-bench crate is not a dependency of the umbrella crate; re-exercise
+/// the same experiment code paths through the underlying libraries instead.
+mod sc_bench_harness {
+    pub use sc_dcnn_repro::blocks::accuracy::{
+        feature_block_inaccuracy, hardware_max_pool_deviation, mux_inner_product_error,
+        or_inner_product_error,
+    };
+    pub use sc_dcnn_repro::blocks::feature_block::FeatureBlockKind;
+    pub use sc_dcnn_repro::dcnn::weight_storage::lenet5_sram_savings;
+    pub use sc_dcnn_repro::hw::block_cost::feature_block_report;
+}
+
+#[test]
+fn table1_trend_bipolar_or_gate_is_unusable() {
+    // Table 1: the bipolar OR-gate inner product error is far larger than the
+    // unipolar one and grows with input size.
+    let uni_16 = or_inner_product_error(true, 16, 1024, 12, 1).mean_absolute;
+    let bip_16 = or_inner_product_error(false, 16, 1024, 12, 1).mean_absolute;
+    let bip_64 = or_inner_product_error(false, 64, 1024, 12, 1).mean_absolute;
+    assert!(bip_16 > uni_16);
+    assert!(bip_64 > bip_16 * 0.8, "bipolar error should not shrink much with size");
+}
+
+#[test]
+fn table2_trend_longer_streams_help_mux() {
+    // Table 2: for every input size, error decreases monotonically-ish from
+    // L=512 to L=4096 and grows with the input size at fixed L.
+    let e_16_512 = mux_inner_product_error(16, 512, 16, 3).mean_absolute;
+    let e_16_4096 = mux_inner_product_error(16, 4096, 16, 3).mean_absolute;
+    let e_64_512 = mux_inner_product_error(64, 512, 16, 3).mean_absolute;
+    assert!(e_16_4096 < e_16_512);
+    assert!(e_64_512 > e_16_512);
+}
+
+#[test]
+fn table4_trend_max_pool_deviation_shrinks_with_length() {
+    let short = hardware_max_pool_deviation(4, 128, 16, 16, 5).mean_relative;
+    let long = hardware_max_pool_deviation(4, 512, 16, 16, 5).mean_relative;
+    assert!(long <= short + 0.02, "deviation should not grow with stream length");
+    assert!(short < 0.35, "short-stream deviation {short} unexpectedly large");
+}
+
+#[test]
+fn fig14_trend_apc_blocks_dominate_mux_blocks() {
+    // APC-Avg-Btanh beats MUX-Avg-Stanh at every size, and the MUX-Avg
+    // inaccuracy grows with the input size (why it only suits small
+    // receptive fields).
+    let mut previous_mux = 0.0;
+    for &n in &[16usize, 64] {
+        let apc = feature_block_inaccuracy(FeatureBlockKind::ApcAvgBtanh, n, 512, 10, 7);
+        let mux = feature_block_inaccuracy(FeatureBlockKind::MuxAvgStanh, n, 512, 10, 7);
+        assert!(
+            apc.mean_absolute < mux.mean_absolute,
+            "at N={n}: APC-Avg {} should beat MUX-Avg {}",
+            apc.mean_absolute,
+            mux.mean_absolute
+        );
+        assert!(mux.mean_absolute > previous_mux * 0.8);
+        previous_mux = mux.mean_absolute;
+    }
+}
+
+#[test]
+fn fig15_trend_cost_ordering_and_growth() {
+    // Area order: MUX-Avg <= MUX-Max <= APC-Avg <= APC-Max at every size.
+    for &n in &[16usize, 64, 256] {
+        let mux_avg = feature_block_report(FeatureBlockKind::MuxAvgStanh, n, 1024);
+        let mux_max = feature_block_report(FeatureBlockKind::MuxMaxStanh, n, 1024);
+        let apc_avg = feature_block_report(FeatureBlockKind::ApcAvgBtanh, n, 1024);
+        let apc_max = feature_block_report(FeatureBlockKind::ApcMaxBtanh, n, 1024);
+        assert!(mux_avg.area_um2 <= mux_max.area_um2);
+        assert!(mux_max.area_um2 <= apc_avg.area_um2 * 1.05);
+        assert!(apc_avg.area_um2 <= apc_max.area_um2);
+        assert!(mux_avg.path_delay_ns <= apc_avg.path_delay_ns);
+    }
+    // Energy grows with input size for every design.
+    for kind in FeatureBlockKind::ALL {
+        let small = feature_block_report(kind, 16, 1024);
+        let large = feature_block_report(kind, 256, 1024);
+        assert!(large.energy_pj > small.energy_pj);
+    }
+}
+
+#[test]
+fn weight_storage_trend_matches_section5() {
+    let (area_776, power_776) = lenet5_sram_savings(&[7, 7, 6]);
+    let (area_777, _) = lenet5_sram_savings(&[7, 7, 7]);
+    // The paper reports 12x / 11.9x for 7-7-6; the analytic model should be
+    // within a factor of ~1.5 and 7-7-6 must beat uniform 7-bit storage.
+    assert!((7.0..=16.0).contains(&area_776));
+    assert!((7.0..=16.0).contains(&power_776));
+    assert!(area_776 >= area_777);
+}

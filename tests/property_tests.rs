@@ -1,0 +1,143 @@
+//! Property-based tests on the core stochastic-computing invariants.
+
+use proptest::prelude::*;
+use sc_dcnn_repro::core::add::{Apc, CountStream, ExactParallelCounter};
+use sc_dcnn_repro::core::encoding::{prescale, Bipolar, Encoding, Unipolar};
+use sc_dcnn_repro::core::prelude::*;
+use sc_dcnn_repro::hw::sram::quantize_weight;
+use sc_dcnn_repro::nn::quantize::quantize_value;
+use sc_dcnn_repro::nn::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding then decoding a bipolar value is accurate to the stream's
+    /// quantization limit plus stochastic noise.
+    #[test]
+    fn bipolar_round_trip_is_accurate(value in -1.0f64..1.0, seed in 0u64..1000) {
+        let mut sng = Sng::new(SngKind::Lfsr32, seed);
+        let stream = sng.generate_bipolar(value, StreamLength::new(4096)).unwrap();
+        prop_assert!((stream.bipolar_value() - value).abs() < 0.08);
+    }
+
+    /// The unipolar and bipolar probability mappings are exact inverses.
+    #[test]
+    fn probability_mappings_invert(value in -1.0f64..1.0) {
+        let p = Bipolar::to_probability(value).unwrap();
+        prop_assert!((Bipolar::from_probability(p) - value).abs() < 1e-12);
+        let u = (value + 1.0) / 2.0;
+        let q = Unipolar::to_probability(u).unwrap();
+        prop_assert!((Unipolar::from_probability(q) - u).abs() < 1e-12);
+    }
+
+    /// Pre-scaling always lands every value inside the bipolar range and is
+    /// exactly invertible through `scale_back`.
+    #[test]
+    fn prescale_is_invertible(values in proptest::collection::vec(-64.0f64..64.0, 1..16)) {
+        let scaled = prescale(&values).unwrap();
+        for (original, v) in values.iter().zip(scaled.values.iter()) {
+            prop_assert!(v.abs() <= 1.0 + 1e-12);
+            prop_assert!((scaled.scale_back(*v) - original).abs() < 1e-9);
+        }
+    }
+
+    /// Logical operations preserve stream length and obey popcount algebra:
+    /// |a AND b| + |a OR b| = |a| + |b|.
+    #[test]
+    fn and_or_popcount_identity(bits_a in proptest::collection::vec(any::<bool>(), 1..256),
+                                bits_b_seed in 0u64..1000) {
+        let a = BitStream::from_bits(bits_a.clone()).unwrap();
+        let mut lfsr = Lfsr::new_32(bits_b_seed as u32 | 1);
+        let bits_b: Vec<bool> = (0..bits_a.len()).map(|_| lfsr.step() & 1 == 1).collect();
+        let b = BitStream::from_bits(bits_b).unwrap();
+        let and = &a & &b;
+        let or = &a | &b;
+        prop_assert_eq!(and.len(), a.len());
+        prop_assert_eq!(and.count_ones() + or.count_ones(), a.count_ones() + b.count_ones());
+    }
+
+    /// XNOR multiplication is commutative and bounded to the bipolar range.
+    #[test]
+    fn xnor_multiplication_is_commutative(seed_a in 0u64..500, seed_b in 500u64..1000,
+                                          x in -1.0f64..1.0, w in -1.0f64..1.0) {
+        let length = StreamLength::new(512);
+        let a = Sng::new(SngKind::Lfsr32, seed_a).generate_bipolar(x, length).unwrap();
+        let b = Sng::new(SngKind::Lfsr32, seed_b).generate_bipolar(w, length).unwrap();
+        let ab = multiply::bipolar(&a, &b);
+        let ba = multiply::bipolar(&b, &a);
+        prop_assert_eq!(ab.clone(), ba);
+        prop_assert!(ab.bipolar_value() >= -1.0 && ab.bipolar_value() <= 1.0);
+    }
+
+    /// The approximate parallel counter never deviates from the exact counter
+    /// by more than one per cycle, and its accumulated total stays within
+    /// half a count per cycle of the exact total.
+    #[test]
+    fn apc_is_close_to_exact_counter(seeds in proptest::collection::vec(0u64..10_000, 4..12),
+                                     length_exp in 6u32..10) {
+        let length = StreamLength::new(1usize << length_exp);
+        let streams: Vec<BitStream> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let value = (i as f64 / seeds.len() as f64) - 0.5;
+                Sng::new(SngKind::Lfsr32, seed).generate_bipolar(value, length).unwrap()
+            })
+            .collect();
+        let exact = ExactParallelCounter::new().count(&streams).unwrap();
+        let approx = Apc::new().count(&streams).unwrap();
+        for (a, e) in approx.counts().iter().zip(exact.counts().iter()) {
+            prop_assert!((i32::from(*a) - i32::from(*e)).abs() <= 1);
+        }
+        let drift = (approx.total() as f64 - exact.total() as f64).abs();
+        prop_assert!(drift <= length.bits() as f64 * 0.5 + 1.0);
+    }
+
+    /// Merging count streams preserves the total count and lane arithmetic.
+    #[test]
+    fn count_stream_merge_preserves_totals(counts_a in proptest::collection::vec(0u16..8, 4..64),
+                                           counts_b in proptest::collection::vec(0u16..8, 4..64)) {
+        let len = counts_a.len().min(counts_b.len());
+        let a = CountStream::new(counts_a[..len].to_vec(), 8).unwrap();
+        let b = CountStream::new(counts_b[..len].to_vec(), 8).unwrap();
+        let merged = CountStream::merge_sum(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(merged.total(), a.total() + b.total());
+        prop_assert_eq!(merged.lanes(), 16);
+    }
+
+    /// Stanh output is a valid stochastic stream of the same length and its
+    /// decoded value stays inside the bipolar range.
+    #[test]
+    fn stanh_output_is_well_formed(states in 1usize..12, value in -1.0f64..1.0, seed in 0u64..100) {
+        let states = states * 2; // even state counts only
+        let length = StreamLength::new(1024);
+        let input = Sng::new(SngKind::Lfsr32, seed).generate_bipolar(value, length).unwrap();
+        let mut fsm = Stanh::new(states).unwrap();
+        let output = fsm.transform(&input);
+        prop_assert_eq!(output.len(), 1024);
+        prop_assert!(output.bipolar_value() >= -1.0 && output.bipolar_value() <= 1.0);
+    }
+
+    /// The two weight-quantization implementations (hardware model and
+    /// network substrate) agree and are monotone in the input.
+    #[test]
+    fn weight_quantizers_agree(x in -1.0f64..1.0, bits in 1usize..16) {
+        let hardware = quantize_weight(x, bits);
+        let software = f64::from(quantize_value(x as f32, bits));
+        prop_assert!((hardware - software).abs() < 2e-3);
+        prop_assert!((hardware - x).abs() <= 2.0 / (1u64 << bits) as f64 + 1e-9);
+    }
+
+    /// Tensor map/scale obey basic algebraic identities.
+    #[test]
+    fn tensor_scale_matches_map(values in proptest::collection::vec(-10.0f32..10.0, 1..64),
+                                factor in -4.0f32..4.0) {
+        let tensor = Tensor::from_vec(values.clone(), &[values.len()]);
+        let mapped = tensor.map(|v| v * factor);
+        let mut scaled = tensor.clone();
+        scaled.scale(factor);
+        for (a, b) in mapped.as_slice().iter().zip(scaled.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

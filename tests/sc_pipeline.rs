@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: SC primitives → function blocks → feature
+//! extraction blocks → network-level evaluation.
+
+use sc_dcnn_repro::blocks::feature_block::{FeatureBlock, FeatureBlockKind};
+use sc_dcnn_repro::blocks::inner_product::{reference_inner_product, ApcInnerProduct, MuxInnerProduct};
+use sc_dcnn_repro::core::prelude::*;
+use sc_dcnn_repro::dcnn::config::{table6_configurations, ScNetworkConfig};
+use sc_dcnn_repro::dcnn::error_model::{ErrorInjection, FebErrorModel};
+use sc_dcnn_repro::dcnn::mapping::lenet5_cost;
+use sc_dcnn_repro::nn::dataset::SyntheticDigits;
+use sc_dcnn_repro::nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_dcnn_repro::nn::network::TrainingOptions;
+
+fn random_vector(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+#[test]
+fn sc_inner_products_track_floating_point_across_block_families() {
+    let inputs = random_vector(32, 1, 1.0);
+    let weights = random_vector(32, 2, 0.3);
+    let reference = reference_inner_product(&inputs, &weights);
+    let length = StreamLength::new(2048);
+    let apc = ApcInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
+    let mux = MuxInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
+    assert!((apc - reference).abs() < 0.5, "APC {apc} vs reference {reference}");
+    assert!((mux - reference).abs() < 1.5, "MUX {mux} vs reference {reference}");
+    assert!((apc - reference).abs() <= (mux - reference).abs() + 0.5);
+}
+
+#[test]
+fn feature_blocks_order_by_accuracy_as_in_the_paper() {
+    // APC-based designs must beat MUX-Avg on identical inputs (Fig. 14).
+    let mut apc_total = 0.0;
+    let mut mux_total = 0.0;
+    for trial in 0..4u64 {
+        let fields: Vec<Vec<f64>> =
+            (0..4).map(|i| random_vector(25, 100 + trial * 10 + i, 1.0)).collect();
+        let weights = random_vector(25, 500 + trial, 0.2);
+        let length = StreamLength::new(512);
+        let apc = FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 25, length, trial).unwrap();
+        let mux = FeatureBlock::new(FeatureBlockKind::MuxAvgStanh, 25, length, trial).unwrap();
+        apc_total += apc.absolute_error(&fields, &weights).unwrap();
+        mux_total += mux.absolute_error(&fields, &weights).unwrap();
+    }
+    assert!(
+        apc_total < mux_total,
+        "APC-Avg total error {apc_total} should be below MUX-Avg {mux_total}"
+    );
+}
+
+#[test]
+fn end_to_end_sc_evaluation_stays_close_to_software_for_accurate_configs() {
+    let data = SyntheticDigits::generate(8, 31);
+    let mut network = tiny_lenet(31);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions { epochs: 2, learning_rate: 0.08, ..Default::default() },
+    );
+    let baseline = network.error_rate(&data.test_images, &data.test_labels);
+    let model = FebErrorModel::new(4, 7);
+    let injection = ErrorInjection::lenet5(&model);
+    let config = ScNetworkConfig::new(
+        "accurate",
+        vec![FeatureBlockKind::ApcMaxBtanh; 3],
+        1024,
+        PoolingStyle::Max,
+    );
+    let sc_error = injection.error_rate(
+        &mut network,
+        &config,
+        &data.test_images,
+        &data.test_labels,
+        11,
+    );
+    assert!(
+        sc_error <= baseline + 0.35,
+        "APC-Max at L=1024 degraded too much: {sc_error} vs baseline {baseline}"
+    );
+}
+
+#[test]
+fn table6_cost_trends_match_the_paper() {
+    let costs: Vec<_> = table6_configurations()
+        .into_iter()
+        .map(|config| (config.clone(), lenet5_cost(&config)))
+        .collect();
+    // Delay is proportional to the stream length (5 ns clock).
+    for (config, cost) in &costs {
+        assert!((cost.delay_ns - config.stream_length as f64 * 5.0).abs() < 1e-9);
+        assert!(cost.area_mm2 > 0.0 && cost.power_w > 0.0 && cost.energy_uj > 0.0);
+    }
+    // MUX-heavier configurations are cheaper in area than all-APC ones at the
+    // same stream length (e.g. No.1 vs No.2, No.7 vs No.8).
+    let area = |name: &str| {
+        costs
+            .iter()
+            .find(|(config, _)| config.name == name)
+            .map(|(_, cost)| cost.area_mm2)
+            .unwrap()
+    };
+    assert!(area("No.1") < area("No.2"));
+    assert!(area("No.7") < area("No.8"));
+    // Shorter streams mean lower energy for the same layer assignment
+    // (No.8 -> No.10 -> No.12 all use APC-APC-APC).
+    let energy = |name: &str| {
+        costs
+            .iter()
+            .find(|(config, _)| config.name == name)
+            .map(|(_, cost)| cost.energy_uj)
+            .unwrap()
+    };
+    assert!(energy("No.12") < energy("No.10"));
+    assert!(energy("No.10") < energy("No.8"));
+}
+
+#[test]
+fn sc_dcnn_outperforms_cpu_and_gpu_reference_platforms() {
+    use sc_dcnn_repro::dcnn::platforms::reference_platforms;
+    let config = table6_configurations()
+        .into_iter()
+        .find(|c| c.name == "No.11")
+        .expect("No.11 exists");
+    let cost = lenet5_cost(&config);
+    let references = reference_platforms();
+    let cpu = references.iter().find(|r| r.platform_type == "CPU").unwrap();
+    let gpu = references.iter().find(|r| r.platform_type == "GPU").unwrap();
+    assert!(cost.throughput_images_per_s > gpu.throughput_images_per_s * 100.0);
+    assert!(cost.area_efficiency > cpu.area_efficiency.unwrap() * 100.0);
+    assert!(cost.energy_efficiency > gpu.energy_efficiency * 100.0);
+}
