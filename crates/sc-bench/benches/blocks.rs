@@ -66,12 +66,16 @@ fn bench_stanh_state_sweep(c: &mut Criterion) {
         .generate_bipolar(0.4, StreamLength::new(8192))
         .unwrap();
     for &states in &[8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, &states| {
-            b.iter(|| {
-                let mut fsm = Stanh::new(states).unwrap();
-                fsm.transform(&input)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(states),
+            &states,
+            |b, &states| {
+                b.iter(|| {
+                    let mut fsm = Stanh::new(states).unwrap();
+                    fsm.transform(&input)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -82,10 +86,14 @@ fn bench_feature_blocks(c: &mut Criterion) {
     let fields: Vec<Vec<f64>> = (0..4).map(|i| random_values(25, 10 + i)).collect();
     let weights = random_values(25, 99);
     for kind in FeatureBlockKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let block = FeatureBlock::new(kind, 25, StreamLength::new(1024), 5).unwrap();
-            b.iter(|| block.evaluate(&fields, &weights).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let block = FeatureBlock::new(kind, 25, StreamLength::new(1024), 5).unwrap();
+                b.iter(|| block.evaluate(&fields, &weights).unwrap());
+            },
+        );
     }
     group.finish();
 }

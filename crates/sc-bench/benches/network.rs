@@ -18,10 +18,15 @@ fn bench_software_inference(c: &mut Criterion) {
     network.train(
         &data.train_images,
         &data.train_labels,
-        &TrainingOptions { epochs: 1, ..Default::default() },
+        &TrainingOptions {
+            epochs: 1,
+            ..Default::default()
+        },
     );
     let image = data.test_images[0].clone();
-    c.bench_function("software_forward_pass", |b| b.iter(|| network.predict(&image)));
+    c.bench_function("software_forward_pass", |b| {
+        b.iter(|| network.predict(&image))
+    });
 }
 
 fn bench_error_injection(c: &mut Criterion) {
@@ -30,7 +35,10 @@ fn bench_error_injection(c: &mut Criterion) {
     network.train(
         &data.train_images,
         &data.train_labels,
-        &TrainingOptions { epochs: 1, ..Default::default() },
+        &TrainingOptions {
+            epochs: 1,
+            ..Default::default()
+        },
     );
     let model = FebErrorModel::new(3, 17);
     let injection = ErrorInjection::lenet5(&model);

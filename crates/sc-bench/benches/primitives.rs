@@ -1,7 +1,14 @@
 //! Criterion benches for the stochastic-computing primitives.
+//!
+//! The `*_bitwise` / `*_materialized` entries are the per-bit baselines the
+//! word-parallel kernels replaced; they are kept runnable so regressions and
+//! speedups stay measurable (see also `cargo run --release -p sc-bench --bin
+//! bench_kernels`, which records the same comparisons in
+//! `BENCH_kernels.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sc_core::add::{Apc, ExactParallelCounter, MuxAdder, OrAdder};
+use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::multiply;
 use sc_core::rng::Lfsr;
@@ -21,10 +28,37 @@ fn bench_sng(c: &mut Criterion) {
     let mut group = c.benchmark_group("sng_generate");
     group.sample_size(20);
     for &length in &[256usize, 1024, 4096] {
-        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, &length| {
-            let mut sng = Sng::new(SngKind::Lfsr32, 7);
-            b.iter(|| sng.generate_bipolar(0.37, StreamLength::new(length)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("word_parallel", length),
+            &length,
+            |b, &length| {
+                let mut sng = Sng::new(SngKind::Lfsr32, 7);
+                b.iter(|| {
+                    sng.generate_probability(0.685, StreamLength::new(length))
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitwise", length),
+            &length,
+            |b, &length| {
+                let mut sng = Sng::new(SngKind::Lfsr32, 7);
+                b.iter(|| {
+                    sng.generate_probability_bitwise(0.685, StreamLength::new(length))
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("word_parallel_into", length),
+            &length,
+            |b, &length| {
+                let mut sng = Sng::new(SngKind::Lfsr32, 7);
+                let mut stream = BitStream::zeros(StreamLength::new(length));
+                b.iter(|| sng.generate_probability_into(0.685, &mut stream).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -34,8 +68,11 @@ fn bench_multiply(c: &mut Criterion) {
     group.sample_size(20);
     for &length in &[1024usize, 8192] {
         let pair = streams(2, length);
-        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+        group.bench_with_input(BenchmarkId::new("materialized", length), &length, |b, _| {
             b.iter(|| multiply::bipolar(&pair[0], &pair[1]));
+        });
+        group.bench_with_input(BenchmarkId::new("fused_count", length), &length, |b, _| {
+            b.iter(|| multiply::bipolar_count(&pair[0], &pair[1]));
         });
     }
     group.finish();
@@ -67,5 +104,67 @@ fn bench_adders(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sng, bench_multiply, bench_adders);
+fn bench_inner_product_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_product_n32_l1024");
+    group.sample_size(20);
+    let xs = streams(32, 1024);
+    let ws = {
+        let mut w = streams(32, 1024);
+        w.rotate_left(5);
+        w
+    };
+    group.bench_function("materialized_products_then_count", |b| {
+        let counter = ExactParallelCounter::new();
+        b.iter(|| {
+            let products = multiply::bipolar_products(&xs, &ws).unwrap();
+            counter.count(&products).unwrap()
+        });
+    });
+    group.bench_function("fused_count_products", |b| {
+        let counter = ExactParallelCounter::new();
+        b.iter(|| counter.count_products(&xs, &ws).unwrap());
+    });
+    group.bench_function("fused_mux_sum_products", |b| {
+        let adder = MuxAdder::new();
+        b.iter(|| {
+            let mut selector = Lfsr::new_32(5);
+            adder.sum_products(&xs, &ws, &mut selector).unwrap()
+        });
+    });
+    group.bench_function("fused_bipolar_dot", |b| {
+        b.iter(|| multiply::bipolar_dot(&xs, &ws).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_arena");
+    group.sample_size(20);
+    let length = StreamLength::new(1024);
+    group.bench_function("alloc_per_stream", |b| {
+        let mut sng = Sng::new(SngKind::Lfsr32, 3);
+        b.iter(|| sng.generate_probability(0.5, length).unwrap());
+    });
+    group.bench_function("arena_reuse", |b| {
+        let mut sng = Sng::new(SngKind::Lfsr32, 3);
+        let mut arena = StreamArena::new();
+        b.iter(|| {
+            let mut stream = arena.take_zeroed(length);
+            sng.generate_probability_into(0.5, &mut stream).unwrap();
+            let ones = stream.count_ones();
+            arena.recycle(stream);
+            ones
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sng,
+    bench_multiply,
+    bench_adders,
+    bench_inner_product_kernels,
+    bench_arena
+);
 criterion_main!(benches);

@@ -1,0 +1,373 @@
+//! Before/after benchmark of the word-parallel SC kernel engine.
+//!
+//! Re-runs the seed implementation's per-bit pipelines (kept as reference
+//! code paths) against the word-parallel / fused kernels that replaced them,
+//! verifies the outputs are bit-identical, and records the measured
+//! throughput in `BENCH_kernels.json` at the repository root.
+//!
+//! Run with: `cargo run --release -p sc-bench --bin bench_kernels`
+
+use sc_core::add::{Apc, ExactParallelCounter, MuxAdder};
+use sc_core::arena::StreamArena;
+use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::multiply;
+use sc_core::rng::Lfsr;
+use sc_core::sng::{Sng, SngBank, SngKind};
+use std::time::Instant;
+
+/// Frozen copy of the seed revision's 32-bit LFSR step (popcount parity),
+/// kept verbatim so the "before" timings measure the code this PR replaced
+/// rather than the since-optimized shared primitives. Produces the same
+/// state sequence as [`sc_core::rng::Lfsr`].
+struct SeedLfsr32 {
+    state: u32,
+}
+
+impl SeedLfsr32 {
+    fn new(seed: u32) -> Self {
+        Self { state: seed.max(1) }
+    }
+
+    fn step(&mut self) -> u32 {
+        const TAPS: u32 = 0x8020_0003;
+        let feedback = (self.state & TAPS).count_ones() & 1;
+        self.state = (self.state << 1) | feedback;
+        if self.state == 0 {
+            self.state = 1;
+        }
+        self.state
+    }
+}
+
+/// Frozen copy of the seed revision's per-bit SNG loop: one comparator
+/// sample per `BitStream::set` call.
+fn seed_generate_probability(
+    lfsr: &mut SeedLfsr32,
+    probability: f64,
+    len: StreamLength,
+) -> BitStream {
+    let threshold = (probability * f64::from(1u32 << 16)).round() as u32;
+    let mut stream = BitStream::zeros(len);
+    for i in 0..len.bits() {
+        let sample = lfsr.step() & 0xFFFF;
+        if sample < threshold {
+            stream.set(i, true);
+        }
+    }
+    stream
+}
+
+/// Median nanoseconds per call over `samples` timed samples of `iters`
+/// iterations each.
+fn measure<R>(samples: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.total_cmp(b));
+    timings[timings.len() / 2]
+}
+
+struct Comparison {
+    name: &'static str,
+    description: &'static str,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+/// The seed implementation of the exact parallel counter: one bounds-checked
+/// `get` per lane per cycle.
+fn per_bit_column_count(inputs: &[BitStream]) -> Vec<u16> {
+    let len = inputs[0].len();
+    (0..len)
+        .map(|i| inputs.iter().filter(|s| s.get(i)).count() as u16)
+        .collect()
+}
+
+fn bench_sng(length: usize, samples: usize, iters: usize) -> Comparison {
+    let len = StreamLength::new(length);
+    // Verify bit-exactness of all three implementations before timing: the
+    // frozen seed loop, the library's per-bit reference, and the
+    // word-parallel fill must emit identical streams. The seed used by
+    // `Sng::new(SngKind::Lfsr32, s)` is `s ^ 0x9E37_79B9` (see sc-core).
+    let word = Sng::new(SngKind::Lfsr32, 7)
+        .generate_probability(0.685, len)
+        .unwrap();
+    let bit = Sng::new(SngKind::Lfsr32, 7)
+        .generate_probability_bitwise(0.685, len)
+        .unwrap();
+    let seed_impl = seed_generate_probability(&mut SeedLfsr32::new(7u32 ^ 0x9E37_79B9), 0.685, len);
+    assert_eq!(
+        word, bit,
+        "word-parallel SNG must match the per-bit reference"
+    );
+    assert_eq!(
+        word, seed_impl,
+        "word-parallel SNG must match the frozen seed implementation"
+    );
+
+    let mut lfsr = SeedLfsr32::new(7u32 ^ 0x9E37_79B9);
+    let baseline_ns = measure(samples, iters, || {
+        seed_generate_probability(&mut lfsr, 0.685, len)
+    });
+    let mut sng = Sng::new(SngKind::Lfsr32, 7);
+    let mut stream = BitStream::zeros(len);
+    let optimized_ns = measure(samples, iters, || {
+        sng.generate_probability_into(0.685, &mut stream).unwrap()
+    });
+    Comparison {
+        name: if length == 1024 {
+            "sng_generate_1024"
+        } else {
+            "sng_generate_8192"
+        },
+        description: "SNG stream generation (LFSR32): seed per-bit comparator \
+                      loop vs batched sequence generation + bit-sliced \
+                      comparator into a reused buffer",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn operand_values(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let inputs: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) - 0.5).collect();
+    let weights: Vec<f64> = (0..n).map(|i| 0.5 - (i as f64 / n as f64)).collect();
+    (inputs, weights)
+}
+
+/// Reproduces the lane seeding of `SngBank` (the splitmix stride) and the
+/// `Sng` LFSR32 seed whitening so the frozen baseline generates the exact
+/// streams the library produces.
+fn seed_lane_lfsr(base_seed: u64, lane: usize) -> SeedLfsr32 {
+    let lane_seed = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1));
+    SeedLfsr32::new(lane_seed as u32 ^ 0x9E37_79B9)
+}
+
+/// The seed implementation of the APC inner-product block: per-bit SNG fill,
+/// materialized XNOR product streams, per-bit column count.
+fn baseline_inner_product(inputs: &[f64], weights: &[f64], len: StreamLength, seed: u64) -> u64 {
+    let input_streams: Vec<BitStream> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            seed_generate_probability(&mut seed_lane_lfsr(seed, i), (v + 1.0) / 2.0, len)
+        })
+        .collect();
+    let weight_streams: Vec<BitStream> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            seed_generate_probability(
+                &mut seed_lane_lfsr(seed ^ 0xABCD_EF01_2345_6789, i),
+                (v + 1.0) / 2.0,
+                len,
+            )
+        })
+        .collect();
+    let products = multiply::bipolar_products(&input_streams, &weight_streams).unwrap();
+    per_bit_column_count(&products)
+        .iter()
+        .map(|&c| u64::from(c))
+        .sum()
+}
+
+/// The word-parallel pipeline doing the same work: arena-backed SNG fill and
+/// the fused XNOR + column-count kernel.
+fn fused_inner_product(
+    inputs: &[f64],
+    weights: &[f64],
+    len: StreamLength,
+    seed: u64,
+    arena: &mut StreamArena,
+) -> u64 {
+    let mut input_bank = SngBank::new(SngKind::Lfsr32, inputs.len(), seed);
+    let mut weight_bank =
+        SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ 0xABCD_EF01_2345_6789);
+    let xs = input_bank
+        .generate_bipolar_with(inputs, len, arena)
+        .unwrap();
+    let ws = weight_bank
+        .generate_bipolar_with(weights, len, arena)
+        .unwrap();
+    let counts = ExactParallelCounter::new()
+        .count_products(&xs, &ws)
+        .unwrap();
+    let total = counts.total();
+    arena.recycle_all(xs);
+    arena.recycle_all(ws);
+    total
+}
+
+fn bench_inner_product(samples: usize, iters: usize) -> Comparison {
+    let len = StreamLength::new(1024);
+    let (inputs, weights) = operand_values(32);
+    // Both pipelines must accumulate the identical total.
+    let mut check_arena = StreamArena::new();
+    assert_eq!(
+        baseline_inner_product(&inputs, &weights, len, 42),
+        fused_inner_product(&inputs, &weights, len, 42, &mut check_arena),
+        "fused inner product must match the per-bit baseline"
+    );
+    let baseline_ns = measure(samples, iters, || {
+        baseline_inner_product(&inputs, &weights, len, 42)
+    });
+    let mut arena = StreamArena::new();
+    let optimized_ns = measure(samples, iters, || {
+        fused_inner_product(&inputs, &weights, len, 42, &mut arena)
+    });
+    Comparison {
+        name: "bipolar_inner_product_n32_l1024",
+        description: "APC-style bipolar inner product (32 lanes, 1024 bits): \
+                      per-bit SNG + materialized XNOR streams + per-bit column \
+                      count vs arena-backed word-parallel SNG + fused \
+                      XNOR/popcount kernel",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn bench_mux_block(samples: usize, iters: usize) -> Comparison {
+    let len = StreamLength::new(1024);
+    let n = 32usize;
+    let xs: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 100 + i as u64)
+                .generate_bipolar((i as f64 / n as f64) - 0.5, len)
+                .unwrap()
+        })
+        .collect();
+    let ws: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 500 + i as u64)
+                .generate_bipolar(0.5 - (i as f64 / n as f64), len)
+                .unwrap()
+        })
+        .collect();
+    // Verify bit-exactness of the fused path.
+    let products = multiply::bipolar_products(&xs, &ws).unwrap();
+    let mut sel_a = Lfsr::new_32(5);
+    let mut sel_b = Lfsr::new_32(5);
+    assert_eq!(
+        MuxAdder::new().sum_products(&xs, &ws, &mut sel_b).unwrap(),
+        MuxAdder::new().sum(&products, &mut sel_a).unwrap(),
+        "fused MUX must match materialize-then-sum"
+    );
+
+    let baseline_ns = measure(samples, iters, || {
+        let products = multiply::bipolar_products(&xs, &ws).unwrap();
+        let mut selector = Lfsr::new_32(5);
+        MuxAdder::new().sum(&products, &mut selector).unwrap()
+    });
+    let optimized_ns = measure(samples, iters, || {
+        let mut selector = Lfsr::new_32(5);
+        MuxAdder::new()
+            .sum_products(&xs, &ws, &mut selector)
+            .unwrap()
+    });
+    Comparison {
+        name: "mux_inner_product_n32_l1024",
+        description: "MUX bipolar inner product (32 lanes, 1024 bits): \
+                      materialized XNOR streams + per-bit MUX vs fused \
+                      multiply-select",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn bench_apc_counts(samples: usize, iters: usize) -> Comparison {
+    let len = 1024usize;
+    let n = 32usize;
+    let streams: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 300 + i as u64)
+                .generate_bipolar((i as f64 / n as f64) - 0.5, StreamLength::new(len))
+                .unwrap()
+        })
+        .collect();
+    let baseline_ns = measure(samples, iters, || per_bit_column_count(&streams));
+    let optimized_ns = measure(samples, iters, || Apc::new().count(&streams).unwrap());
+    Comparison {
+        name: "column_count_n32_l1024",
+        description: "Parallel-counter column counts (32 lanes, 1024 bits): \
+                      per-bit get() loop vs word-unpacked accumulation",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (samples, iters) = if quick { (5, 20) } else { (15, 200) };
+
+    println!("Measuring word-parallel kernels against per-bit baselines ...\n");
+    let comparisons = vec![
+        bench_sng(1024, samples, iters * 4),
+        bench_sng(8192, samples, iters),
+        bench_inner_product(samples, iters.div_ceil(4)),
+        bench_mux_block(samples, iters),
+        bench_apc_counts(samples, iters),
+    ];
+
+    println!(
+        "{:<34}{:>16}{:>16}{:>10}",
+        "benchmark", "baseline", "optimized", "speedup"
+    );
+    for c in &comparisons {
+        println!(
+            "{:<34}{:>13.0} ns{:>13.0} ns{:>9.1}x",
+            c.name,
+            c.baseline_ns,
+            c.optimized_ns,
+            c.speedup()
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p sc-bench --bin bench_kernels\",\n");
+    json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str("  \"unit\": \"nanoseconds per evaluation (median)\",\n");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", json_escape(c.name)));
+        json.push_str(&format!(
+            "      \"description\": \"{}\",\n",
+            json_escape(c.description)
+        ));
+        json.push_str(&format!("      \"baseline_ns\": {:.1},\n", c.baseline_ns));
+        json.push_str(&format!("      \"optimized_ns\": {:.1},\n", c.optimized_ns));
+        json.push_str(&format!("      \"speedup\": {:.2}\n", c.speedup()));
+        json.push_str(if i + 1 == comparisons.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {}", path.display());
+}

@@ -65,7 +65,10 @@ pub fn run_table1(settings: &ExperimentSettings) -> Vec<GridRow> {
                     .mean_absolute
             })
             .collect();
-        rows.push(GridRow { label: label.to_string(), values });
+        rows.push(GridRow {
+            label: label.to_string(),
+            values,
+        });
     }
     let columns: Vec<String> = INNER_PRODUCT_SIZES.iter().map(|n| n.to_string()).collect();
     print_grid(
@@ -86,7 +89,10 @@ pub fn run_table2(settings: &ExperimentSettings) -> Vec<GridRow> {
             .iter()
             .map(|&l| mux_inner_product_error(n, l, settings.trials, settings.seed).mean_absolute)
             .collect();
-        rows.push(GridRow { label: n.to_string(), values });
+        rows.push(GridRow {
+            label: n.to_string(),
+            values,
+        });
     }
     let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
     print_grid(
@@ -109,7 +115,10 @@ pub fn run_table3(settings: &ExperimentSettings) -> Vec<GridRow> {
                 apc_vs_exact_error(n, l, settings.trials, settings.seed).mean_relative * 100.0
             })
             .collect();
-        rows.push(GridRow { label: n.to_string(), values });
+        rows.push(GridRow {
+            label: n.to_string(),
+            values,
+        });
     }
     let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
     print_grid(
@@ -133,7 +142,10 @@ pub fn run_table4(settings: &ExperimentSettings) -> Vec<GridRow> {
                 hardware_max_pool_deviation(n, l, 16, settings.trials, settings.seed).mean_relative
             })
             .collect();
-        rows.push(GridRow { label: n.to_string(), values });
+        rows.push(GridRow {
+            label: n.to_string(),
+            values,
+        });
     }
     let columns: Vec<String> = lengths.iter().map(|l| l.to_string()).collect();
     print_grid(
@@ -226,13 +238,20 @@ pub fn run_fig13(settings: &ExperimentSettings) -> Vec<(String, Vec<(usize, f64)
     let all_points: Vec<(usize, f64)> = precisions
         .iter()
         .map(|&bits| {
-            let eval =
-                evaluate_uniform_precision(&mut network, bits, &data.test_images, &data.test_labels);
+            let eval = evaluate_uniform_precision(
+                &mut network,
+                bits,
+                &data.test_images,
+                &data.test_labels,
+            );
             (bits, eval.error_rate)
         })
         .collect();
     series.push(("All layers".to_string(), all_points));
-    println!("\n=== Figure 13: network error rate vs weight precision (baseline {:.3}) ===", baseline);
+    println!(
+        "\n=== Figure 13: network error rate vs weight precision (baseline {:.3}) ===",
+        baseline
+    );
     print!("{:<12}", "Bits");
     for (label, _) in &series {
         print!("{label:>12}");
@@ -253,8 +272,26 @@ pub fn run_fig13(settings: &ExperimentSettings) -> Vec<(String, Vec<(usize, f64)
 pub fn run_fig14(settings: &ExperimentSettings) -> Vec<(FeatureBlockKind, usize, usize, f64)> {
     let input_sizes = [16usize, 32, 64, 128, 256];
     let lengths = [256usize, 512, 1024];
-    let mut points = Vec::new();
+    // The 60 (kind × N × L) design points are independent simulations, so
+    // they fan out across threads; results are collected in sweep order and
+    // printed afterwards, keeping the output (and the returned series)
+    // bit-identical to a serial run.
+    let design_points: Vec<(FeatureBlockKind, usize, usize)> = FeatureBlockKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            input_sizes
+                .into_iter()
+                .flat_map(move |n| lengths.into_iter().map(move |l| (kind, n, l)))
+        })
+        .collect();
+    let points: Vec<(FeatureBlockKind, usize, usize, f64)> =
+        sc_core::parallel::parallel_map(&design_points, |_, &(kind, n, l)| {
+            let summary =
+                feature_block_inaccuracy(kind, n, l, settings.trials.min(24), settings.seed);
+            (kind, n, l, summary.mean_absolute)
+        });
     println!("\n=== Figure 14: feature extraction block inaccuracy vs input size ===");
+    let mut cursor = points.iter();
     for kind in FeatureBlockKind::ALL {
         println!("\n-- {} --", kind.name());
         print!("{:<12}", "Input size");
@@ -264,11 +301,9 @@ pub fn run_fig14(settings: &ExperimentSettings) -> Vec<(FeatureBlockKind, usize,
         println!();
         for &n in &input_sizes {
             print!("{n:<12}");
-            for &l in &lengths {
-                let summary =
-                    feature_block_inaccuracy(kind, n, l, settings.trials.min(24), settings.seed);
-                print!("{:>12.4}", summary.mean_absolute);
-                points.push((kind, n, l, summary.mean_absolute));
+            for _ in &lengths {
+                let &(_, _, _, mean_absolute) = cursor.next().expect("one result per design point");
+                print!("{mean_absolute:>12.4}");
             }
             println!();
         }
@@ -281,7 +316,9 @@ pub fn run_fig14(settings: &ExperimentSettings) -> Vec<(FeatureBlockKind, usize,
 pub fn run_fig15() -> Vec<FeatureBlockCostReport> {
     let input_sizes = [16usize, 32, 64, 128, 256];
     let mut reports = Vec::new();
-    println!("\n=== Figure 15: feature extraction block hardware cost vs input size (L = 1024) ===");
+    println!(
+        "\n=== Figure 15: feature extraction block hardware cost vs input size (L = 1024) ==="
+    );
     println!(
         "{:<16}{:>12}{:>14}{:>14}{:>12}{:>14}",
         "Design", "Input size", "Area (um2)", "Delay (ns)", "Power (mW)", "Energy (pJ)"
@@ -374,8 +411,7 @@ fn error_rate_with_sigmas(
                 for value in current.as_mut_slice() {
                     let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                     let u2: f32 = rng.gen_range(0.0..1.0);
-                    let noise =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                    let noise = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
                     *value = (*value + noise * sigma as f32).clamp(-5.0, 5.0);
                 }
             }
@@ -491,7 +527,12 @@ pub fn run_weight_storage(settings: &ExperimentSettings) -> Vec<(String, f64, f6
         layerwise.error_rate,
     ));
     let (area_64, power_64) = lenet5_sram_savings(&[64, 64, 64]);
-    rows.push(("64-bit baseline".to_string(), area_64, power_64, baseline_error));
+    rows.push((
+        "64-bit baseline".to_string(),
+        area_64,
+        power_64,
+        baseline_error,
+    ));
     println!("\n=== Section 5: weight storage optimization ===");
     println!(
         "{:<20}{:>16}{:>16}{:>14}",
@@ -522,7 +563,10 @@ mod tests {
         let rows = run_table1(&tiny_settings());
         assert_eq!(rows.len(), 2);
         for (uni, bip) in rows[0].values.iter().zip(rows[1].values.iter()) {
-            assert!(bip > uni, "bipolar OR error should exceed unipolar ({bip} vs {uni})");
+            assert!(
+                bip > uni,
+                "bipolar OR error should exceed unipolar ({bip} vs {uni})"
+            );
         }
     }
 
@@ -542,7 +586,10 @@ mod tests {
         let rows = run_table3(&tiny_settings());
         for row in rows {
             for value in row.values {
-                assert!(value < 5.0, "APC relative error {value}% unexpectedly large");
+                assert!(
+                    value < 5.0,
+                    "APC relative error {value}% unexpectedly large"
+                );
             }
         }
     }
@@ -565,14 +612,23 @@ mod tests {
                 .unwrap()
         };
         for &n in &[16usize, 64, 256] {
-            assert!(area(FeatureBlockKind::MuxAvgStanh, n) <= area(FeatureBlockKind::ApcMaxBtanh, n));
+            assert!(
+                area(FeatureBlockKind::MuxAvgStanh, n) <= area(FeatureBlockKind::ApcMaxBtanh, n)
+            );
         }
     }
 
     #[test]
     fn weight_storage_savings_match_paper_magnitude() {
         let rows = run_weight_storage(&tiny_settings());
-        let layerwise = rows.iter().find(|(label, ..)| label.contains("7-7-6")).unwrap();
-        assert!(layerwise.1 > 5.0, "7-7-6 area saving {} too small", layerwise.1);
+        let layerwise = rows
+            .iter()
+            .find(|(label, ..)| label.contains("7-7-6"))
+            .unwrap();
+        assert!(
+            layerwise.1 > 5.0,
+            "7-7-6 area saving {} too small",
+            layerwise.1
+        );
     }
 }

@@ -24,12 +24,24 @@ pub struct ExperimentSettings {
 impl ExperimentSettings {
     /// Fast preset used by default and by the integration tests.
     pub fn quick() -> Self {
-        Self { trials: 24, train_per_class: 20, epochs: 3, calibration_trials: 8, seed: 20_17 }
+        Self {
+            trials: 24,
+            train_per_class: 20,
+            epochs: 3,
+            calibration_trials: 8,
+            seed: 20_17,
+        }
     }
 
     /// Higher-fidelity preset (longer runtime, smoother numbers).
     pub fn full() -> Self {
-        Self { trials: 120, train_per_class: 80, epochs: 6, calibration_trials: 24, seed: 20_17 }
+        Self {
+            trials: 120,
+            train_per_class: 80,
+            epochs: 6,
+            calibration_trials: 24,
+            seed: 20_17,
+        }
     }
 
     /// Parses `--quick` / `--full` style command-line arguments, defaulting

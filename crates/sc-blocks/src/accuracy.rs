@@ -25,6 +25,10 @@ use sc_core::stats::ErrorSummary;
 /// Runs `trials` independent trials of `f` across threads and summarizes the
 /// `(observed, reference)` pairs.
 ///
+/// Every trial seeds its RNG from its own index, so the summary is identical
+/// whatever the thread count (including the serial fallback when the
+/// `parallel` feature is disabled).
+///
 /// # Panics
 ///
 /// Panics if `trials` is zero or a worker thread panics.
@@ -33,44 +37,12 @@ where
     F: Fn(usize, &mut StdRng) -> (f64, f64) + Sync,
 {
     assert!(trials > 0, "at least one trial is required");
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(trials);
-    let mut observed = vec![0.0f64; trials];
-    let mut reference = vec![0.0f64; trials];
-    let chunk = trials.div_ceil(workers);
-    let chunks: Vec<(usize, &mut [f64], &mut [f64])> = {
-        let mut result = Vec::new();
-        let mut obs_rest: &mut [f64] = &mut observed;
-        let mut ref_rest: &mut [f64] = &mut reference;
-        let mut start = 0usize;
-        while !obs_rest.is_empty() {
-            let take = chunk.min(obs_rest.len());
-            let (obs_head, obs_tail) = obs_rest.split_at_mut(take);
-            let (ref_head, ref_tail) = ref_rest.split_at_mut(take);
-            result.push((start, obs_head, ref_head));
-            obs_rest = obs_tail;
-            ref_rest = ref_tail;
-            start += take;
-        }
-        result
-    };
-    crossbeam::scope(|scope| {
-        for (start, obs_chunk, ref_chunk) in chunks {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (offset, (obs, reference)) in
-                    obs_chunk.iter_mut().zip(ref_chunk.iter_mut()).enumerate()
-                {
-                    let index = start + offset;
-                    let mut rng =
-                        StdRng::seed_from_u64(seed.wrapping_add(index as u64 * 0x9E37_79B9));
-                    let (o, r) = f(index, &mut rng);
-                    *obs = o;
-                    *reference = r;
-                }
-            });
-        }
-    })
-    .expect("accuracy worker thread panicked");
+    let pairs = sc_core::parallel::parallel_map_range(trials, |index| {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64 * 0x9E37_79B9));
+        f(index, &mut rng)
+    });
+    let observed: Vec<f64> = pairs.iter().map(|&(o, _)| o).collect();
+    let reference: Vec<f64> = pairs.iter().map(|&(_, r)| r).collect();
     ErrorSummary::from_pairs(&observed, &reference)
 }
 
@@ -97,7 +69,10 @@ pub fn or_inner_product_error(
                 (0..input_size).map(|_| rng.gen_range(0.0..1.0)).collect(),
             )
         } else {
-            (draw_values(rng, input_size, 1.0), draw_values(rng, input_size, 1.0))
+            (
+                draw_values(rng, input_size, 1.0),
+                draw_values(rng, input_size, 1.0),
+            )
         };
         let block = OrInnerProduct::new(unipolar, seed ^ (index as u64) << 1);
         let observed = block
@@ -180,7 +155,9 @@ pub fn hardware_max_pool_deviation(
             .expect("segment length > 0")
             .pool_streams(&streams)
             .expect("non-empty");
-        let sw = SoftwareMaxPooling::new().pool_streams(&streams).expect("non-empty");
+        let sw = SoftwareMaxPooling::new()
+            .pool_streams(&streams)
+            .expect("non-empty");
         // Deviations are reported relative to the unipolar (count) domain to
         // avoid dividing by near-zero bipolar values.
         (hw.unipolar_value(), sw.unipolar_value())
@@ -296,7 +273,11 @@ mod tests {
     #[test]
     fn apc_relative_error_is_small() {
         let summary = apc_vs_exact_error(32, 256, 16, 5);
-        assert!(summary.mean_relative < 0.05, "APC relative error {}", summary.mean_relative);
+        assert!(
+            summary.mean_relative < 0.05,
+            "APC relative error {}",
+            summary.mean_relative
+        );
     }
 
     #[test]
@@ -309,7 +290,11 @@ mod tests {
     #[test]
     fn max_pool_deviation_is_moderate() {
         let summary = hardware_max_pool_deviation(4, 256, 16, 16, 3);
-        assert!(summary.mean_relative < 0.3, "deviation {}", summary.mean_relative);
+        assert!(
+            summary.mean_relative < 0.3,
+            "deviation {}",
+            summary.mean_relative
+        );
     }
 
     #[test]

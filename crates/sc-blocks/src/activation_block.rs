@@ -53,7 +53,10 @@ impl StanhBlock {
     pub fn for_mux_avg(input_size: usize, stream_length: usize) -> Result<Self, ScError> {
         let states = mux_avg_stanh_states(input_size, stream_length);
         Stanh::new(states)?;
-        Ok(Self { states, mode: StanhMode::Standard })
+        Ok(Self {
+            states,
+            mode: StanhMode::Standard,
+        })
     }
 
     /// Builds the re-designed Stanh block for a MUX-Max-Stanh feature
@@ -66,7 +69,10 @@ impl StanhBlock {
     pub fn for_mux_max(input_size: usize, stream_length: usize) -> Result<Self, ScError> {
         let states = mux_max_stanh_states(input_size, stream_length);
         Stanh::new(states)?;
-        Ok(Self { states, mode: StanhMode::ShiftedFifth })
+        Ok(Self {
+            states,
+            mode: StanhMode::ShiftedFifth,
+        })
     }
 
     /// Builds a Stanh block with an explicit state count (used by ablations).
@@ -158,8 +164,7 @@ impl BtanhBlock {
 
     /// Applies the activation to a binary count stream.
     pub fn apply(&self, counts: &CountStream) -> BitStream {
-        let mut counter =
-            Btanh::new(self.states).expect("state count validated at construction");
+        let mut counter = Btanh::new(self.states).expect("state count validated at construction");
         counter.transform(counts)
     }
 

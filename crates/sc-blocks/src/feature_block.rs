@@ -19,8 +19,10 @@ use crate::inner_product::{
     reference_inner_product, ApcInnerProduct, InnerProductKind, MuxInnerProduct,
 };
 use crate::pooling::{AveragePooling, HardwareMaxPooling, PoolingKind};
+use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::error::ScError;
+use sc_core::parallel::parallel_map_with;
 use serde::{Deserialize, Serialize};
 
 /// Default segment length (in bits) of the hardware-oriented max pooling.
@@ -199,12 +201,14 @@ impl FeatureBlock {
             });
         }
         let (stanh, btanh) = match kind {
-            FeatureBlockKind::MuxAvgStanh => {
-                (Some(StanhBlock::for_mux_avg(input_size, stream_length.bits())?), None)
-            }
-            FeatureBlockKind::MuxMaxStanh => {
-                (Some(StanhBlock::for_mux_max(input_size, stream_length.bits())?), None)
-            }
+            FeatureBlockKind::MuxAvgStanh => (
+                Some(StanhBlock::for_mux_avg(input_size, stream_length.bits())?),
+                None,
+            ),
+            FeatureBlockKind::MuxMaxStanh => (
+                Some(StanhBlock::for_mux_max(input_size, stream_length.bits())?),
+                None,
+            ),
             // The averaging adder merges the pool window's APC outputs, so
             // the counter effectively sees `pool_window · N` lanes; Eq. 3 is
             // applied to that effective lane count. The counter is further
@@ -227,7 +231,15 @@ impl FeatureBlock {
                 (None, Some(BtanhBlock::with_states(states)?))
             }
         };
-        Ok(Self { kind, input_size, pool_window, stream_length, seed, stanh, btanh })
+        Ok(Self {
+            kind,
+            input_size,
+            pool_window,
+            stream_length,
+            seed,
+            stanh,
+            btanh,
+        })
     }
 
     /// The configuration kind.
@@ -274,15 +286,19 @@ impl FeatureBlock {
         weights: &[f64],
     ) -> Result<BitStream, ScError> {
         self.validate(receptive_fields, weights)?;
+        // The pool window's inner products are independent hardware blocks
+        // with per-field seeds, so they fan out across threads; each worker
+        // reuses one stream arena so the per-field evaluations stay
+        // allocation-free. Seeds derive from the field index, never from the
+        // thread schedule, so parallel and serial runs are bit-identical.
         match self.kind {
             FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
-                let streams: Vec<BitStream> = receptive_fields
-                    .iter()
-                    .enumerate()
-                    .map(|(i, field)| {
+                let streams: Vec<BitStream> =
+                    parallel_map_with(receptive_fields, StreamArena::new, |arena, i, field| {
                         MuxInnerProduct::new(self.seed.wrapping_add(1 + i as u64 * 131))
-                            .evaluate_stream(field, weights, self.stream_length)
+                            .evaluate_stream_with(field, weights, self.stream_length, arena)
                     })
+                    .into_iter()
                     .collect::<Result<_, _>>()?;
                 let pooled = if self.kind == FeatureBlockKind::MuxAvgStanh {
                     AveragePooling::new(self.seed ^ 0x5151_5151).pool_streams(&streams)?
@@ -293,14 +309,13 @@ impl FeatureBlock {
                 Ok(stanh.apply(&pooled))
             }
             FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
-                let counts: Vec<_> = receptive_fields
-                    .iter()
-                    .enumerate()
-                    .map(|(i, field)| {
+                let counts: Vec<_> =
+                    parallel_map_with(receptive_fields, StreamArena::new, |arena, i, field| {
                         ApcInnerProduct::new(self.seed.wrapping_add(1 + i as u64 * 131))
-                            .evaluate_counts(field, weights, self.stream_length)
+                            .evaluate_counts_with(field, weights, self.stream_length, arena)
                     })
-                    .collect::<Result<_, _>>()?;
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?;
                 let pooled = if self.kind == FeatureBlockKind::ApcAvgBtanh {
                     // Average pooling in the binary domain is an adder tree;
                     // the 1/pool_window division is folded into the Btanh
@@ -321,7 +336,9 @@ impl FeatureBlock {
     ///
     /// Same conditions as [`FeatureBlock::evaluate_stream`].
     pub fn evaluate(&self, receptive_fields: &[Vec<f64>], weights: &[f64]) -> Result<f64, ScError> {
-        Ok(self.evaluate_stream(receptive_fields, weights)?.bipolar_value())
+        Ok(self
+            .evaluate_stream(receptive_fields, weights)?
+            .bipolar_value())
     }
 
     /// The floating-point reference output: `tanh(pool(⟨xᵢ, w⟩))` with the
@@ -330,14 +347,21 @@ impl FeatureBlock {
     /// # Errors
     ///
     /// Same validation as [`FeatureBlock::evaluate_stream`].
-    pub fn reference(&self, receptive_fields: &[Vec<f64>], weights: &[f64]) -> Result<f64, ScError> {
+    pub fn reference(
+        &self,
+        receptive_fields: &[Vec<f64>],
+        weights: &[f64],
+    ) -> Result<f64, ScError> {
         self.validate(receptive_fields, weights)?;
         let inner_products: Vec<f64> = receptive_fields
             .iter()
             .map(|field| reference_inner_product(field, weights))
             .collect();
         let pooled = if self.kind.uses_max_pooling() {
-            inner_products.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            inner_products
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         } else {
             inner_products.iter().sum::<f64>() / inner_products.len() as f64
         };
@@ -374,7 +398,11 @@ impl FeatureBlock {
         if weights.len() != self.input_size {
             return Err(ScError::InvalidParameter {
                 name: "weights",
-                message: format!("expected {} weights, got {}", self.input_size, weights.len()),
+                message: format!(
+                    "expected {} weights, got {}",
+                    self.input_size,
+                    weights.len()
+                ),
             });
         }
         for (i, field) in receptive_fields.iter().enumerate() {
@@ -399,17 +427,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_case(
-        input_size: usize,
-        pool_window: usize,
-        seed: u64,
-    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn random_case(input_size: usize, pool_window: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = 1.0 / (input_size as f64).sqrt();
         let fields = (0..pool_window)
             .map(|_| (0..input_size).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
-        let weights = (0..input_size).map(|_| rng.gen_range(-scale..scale)).collect();
+        let weights = (0..input_size)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         (fields, weights)
     }
 
@@ -431,8 +457,9 @@ mod tests {
     fn construction_validates_parameters() {
         let len = StreamLength::new(256);
         assert!(FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 0, len, 1).is_err());
-        assert!(FeatureBlock::with_pool_window(FeatureBlockKind::ApcAvgBtanh, 4, 0, len, 1)
-            .is_err());
+        assert!(
+            FeatureBlock::with_pool_window(FeatureBlockKind::ApcAvgBtanh, 4, 0, len, 1).is_err()
+        );
         let block = FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 16, len, 1).unwrap();
         assert_eq!(block.input_size(), 16);
         assert_eq!(block.pool_window(), 4);
@@ -469,14 +496,21 @@ mod tests {
             total_error += block.absolute_error(&fields, &weights).unwrap();
         }
         let mean_error = total_error / trials as f64;
-        assert!(mean_error < 0.25, "APC-Avg-Btanh mean error {mean_error} too large");
+        assert!(
+            mean_error < 0.25,
+            "APC-Avg-Btanh mean error {mean_error} too large"
+        );
     }
 
     #[test]
     fn apc_max_block_tracks_reference() {
-        let block =
-            FeatureBlock::new(FeatureBlockKind::ApcMaxBtanh, 16, StreamLength::new(1024), 9)
-                .unwrap();
+        let block = FeatureBlock::new(
+            FeatureBlockKind::ApcMaxBtanh,
+            16,
+            StreamLength::new(1024),
+            9,
+        )
+        .unwrap();
         let (fields, weights) = random_case(16, 4, 77);
         let error = block.absolute_error(&fields, &weights).unwrap();
         assert!(error < 0.4, "APC-Max-Btanh error {error} too large");
@@ -531,7 +565,10 @@ mod tests {
             FeatureBlock::new(FeatureBlockKind::ApcMaxBtanh, 8, StreamLength::new(128), 1).unwrap();
         let avg_ref = avg_block.reference(&fields, &weights).unwrap();
         let max_ref = max_block.reference(&fields, &weights).unwrap();
-        assert!(max_ref >= avg_ref - 1e-12, "max pooling reference must dominate average");
+        assert!(
+            max_ref >= avg_ref - 1e-12,
+            "max pooling reference must dominate average"
+        );
     }
 
     #[test]
@@ -540,7 +577,10 @@ mod tests {
             let block = FeatureBlock::new(kind, 16, StreamLength::new(256), 21).unwrap();
             let (fields, weights) = random_case(16, 4, 321);
             let value = block.evaluate(&fields, &weights).unwrap();
-            assert!((-1.0..=1.0).contains(&value), "{kind}: output {value} outside [-1, 1]");
+            assert!(
+                (-1.0..=1.0).contains(&value),
+                "{kind}: output {value} outside [-1, 1]"
+            );
         }
     }
 }

@@ -16,11 +16,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sc_core::add::{Apc, CountStream, ExactParallelCounter, MuxAdder, OrAdder};
+use sc_core::add::{Apc, CountStream, ExactParallelCounter, MuxAdder};
+use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::encoding::prescale;
 use sc_core::error::ScError;
-use sc_core::multiply;
 use sc_core::rng::Lfsr;
 use sc_core::sng::{SngBank, SngKind};
 use sc_core::twoline::{TwoLineAdder, TwoLineStream, TwoLineSum};
@@ -69,27 +69,49 @@ impl InnerProductKind {
 ///
 /// Panics if the slices differ in length.
 pub fn reference_inner_product(inputs: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(inputs.len(), weights.len(), "inputs and weights must pair up");
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "inputs and weights must pair up"
+    );
     inputs.iter().zip(weights.iter()).map(|(x, w)| x * w).sum()
 }
 
-fn generate_product_streams(
+/// Generates the per-lane input and weight streams of an inner-product
+/// block. The XNOR products are *not* materialized here: every consumer
+/// fuses the multiply into its accumulation kernel
+/// ([`Apc::count_products`], [`ExactParallelCounter::count_products`],
+/// [`MuxAdder::sum_products`]), which halves the stream traffic and removes
+/// one allocation per lane. Stream buffers come from `arena` and should be
+/// recycled into it after use.
+fn generate_operand_streams(
     inputs: &[f64],
     weights: &[f64],
     length: StreamLength,
     seed: u64,
-) -> Result<Vec<BitStream>, ScError> {
+    arena: &mut StreamArena,
+) -> Result<(Vec<BitStream>, Vec<BitStream>), ScError> {
     if inputs.is_empty() {
         return Err(ScError::EmptyInput);
     }
     if inputs.len() != weights.len() {
-        return Err(ScError::LengthMismatch { left: inputs.len(), right: weights.len() });
+        return Err(ScError::LengthMismatch {
+            left: inputs.len(),
+            right: weights.len(),
+        });
     }
     let mut input_bank = SngBank::new(SngKind::Lfsr32, inputs.len(), seed);
-    let mut weight_bank = SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ 0xABCD_EF01_2345_6789);
-    let input_streams = input_bank.generate_bipolar(inputs, length)?;
-    let weight_streams = weight_bank.generate_bipolar(weights, length)?;
-    multiply::bipolar_products(&input_streams, &weight_streams)
+    let mut weight_bank =
+        SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ 0xABCD_EF01_2345_6789);
+    let input_streams = input_bank.generate_bipolar_with(inputs, length, arena)?;
+    let weight_streams = match weight_bank.generate_bipolar_with(weights, length, arena) {
+        Ok(streams) => streams,
+        Err(error) => {
+            arena.recycle_all(input_streams);
+            return Err(error);
+        }
+    };
+    Ok((input_streams, weight_streams))
 }
 
 /// OR-gate based inner-product block (the paper's strawman, Table 1).
@@ -128,37 +150,50 @@ impl OrInnerProduct {
             return Err(ScError::EmptyInput);
         }
         if inputs.len() != weights.len() {
-            return Err(ScError::LengthMismatch { left: inputs.len(), right: weights.len() });
+            return Err(ScError::LengthMismatch {
+                left: inputs.len(),
+                right: weights.len(),
+            });
         }
         let n = inputs.len();
         // Pre-scale so that each product stream carries few ones. The paper
         // notes the most suitable pre-scaling is applied before OR-ing; for a
         // sum of n terms each term is additionally divided by n so the ideal
         // OR output stays well below saturation.
-        let products: Vec<f64> =
-            inputs.iter().zip(weights.iter()).map(|(x, w)| x * w).collect();
+        let products: Vec<f64> = inputs
+            .iter()
+            .zip(weights.iter())
+            .map(|(x, w)| x * w)
+            .collect();
         let scaled = prescale(&products)?;
         // Each encoded term is products[i] / (scale * n); the decoded OR
         // output therefore has to be multiplied back by scale * n.
         let per_term_scale = scaled.scale * n as f64;
 
         let mut bank = SngBank::new(SngKind::Lfsr32, n, self.seed);
-        let streams: Vec<BitStream> = scaled
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                let lane = bank.lane_mut(i).expect("lane exists");
-                if self.unipolar {
-                    lane.generate_unipolar((p / n as f64).clamp(0.0, 1.0), length)
-                } else {
-                    lane.generate_bipolar((p / n as f64).clamp(-1.0, 1.0), length)
-                }
-            })
-            .collect::<Result<_, _>>()?;
-        let sum = OrAdder::new().sum(&streams)?;
-        let decoded =
-            if self.unipolar { sum.unipolar_value() } else { sum.bipolar_value() };
+        let mut arena = StreamArena::new();
+        // OR-accumulate in place as each lane stream is generated: only two
+        // stream buffers (the accumulator and a reused scratch) ever exist.
+        let mut acc: Option<BitStream> = None;
+        let mut scratch = arena.take_zeroed(length);
+        for (i, &p) in scaled.values.iter().enumerate() {
+            let lane = bank.lane_mut(i).expect("lane exists");
+            if self.unipolar {
+                lane.generate_unipolar_into((p / n as f64).clamp(0.0, 1.0), &mut scratch)?;
+            } else {
+                lane.generate_bipolar_into((p / n as f64).clamp(-1.0, 1.0), &mut scratch)?;
+            }
+            match &mut acc {
+                Some(acc) => scratch.or_into(acc),
+                None => acc = Some(std::mem::replace(&mut scratch, arena.take_zeroed(length))),
+            }
+        }
+        let sum = acc.expect("n >= 1 lanes were accumulated");
+        let decoded = if self.unipolar {
+            sum.unipolar_value()
+        } else {
+            sum.bipolar_value()
+        };
         Ok(decoded * per_term_scale)
     }
 }
@@ -192,9 +227,30 @@ impl MuxInnerProduct {
         weights: &[f64],
         length: StreamLength,
     ) -> Result<BitStream, ScError> {
-        let products = generate_product_streams(inputs, weights, length, self.seed)?;
+        self.evaluate_stream_with(inputs, weights, length, &mut StreamArena::new())
+    }
+
+    /// Arena-backed variant of [`MuxInnerProduct::evaluate_stream`]: operand
+    /// stream buffers are taken from and recycled into `arena`, so repeated
+    /// evaluations (e.g. across the receptive fields of a feature block)
+    /// allocate nothing in steady state. Output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MuxInnerProduct::evaluate_stream`].
+    pub fn evaluate_stream_with(
+        &self,
+        inputs: &[f64],
+        weights: &[f64],
+        length: StreamLength,
+        arena: &mut StreamArena,
+    ) -> Result<BitStream, ScError> {
+        let (xs, ws) = generate_operand_streams(inputs, weights, length, self.seed, arena)?;
         let mut selector = Lfsr::new_32((self.seed as u32).wrapping_mul(2_654_435_761) | 1);
-        MuxAdder::new().sum(&products, &mut selector)
+        let sum = MuxAdder::new().sum_products(&xs, &ws, &mut selector);
+        arena.recycle_all(xs);
+        arena.recycle_all(ws);
+        sum
     }
 
     /// Evaluates the inner product and scales the decoded value back up by
@@ -242,8 +298,27 @@ impl ApcInnerProduct {
         weights: &[f64],
         length: StreamLength,
     ) -> Result<CountStream, ScError> {
-        let products = generate_product_streams(inputs, weights, length, self.seed)?;
-        Apc::new().count(&products)
+        self.evaluate_counts_with(inputs, weights, length, &mut StreamArena::new())
+    }
+
+    /// Arena-backed variant of [`ApcInnerProduct::evaluate_counts`] using the
+    /// fused XNOR + column-count kernel. Output is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ApcInnerProduct::evaluate_counts`].
+    pub fn evaluate_counts_with(
+        &self,
+        inputs: &[f64],
+        weights: &[f64],
+        length: StreamLength,
+        arena: &mut StreamArena,
+    ) -> Result<CountStream, ScError> {
+        let (xs, ws) = generate_operand_streams(inputs, weights, length, self.seed, arena)?;
+        let counts = Apc::new().count_products(&xs, &ws);
+        arena.recycle_all(xs);
+        arena.recycle_all(ws);
+        counts
     }
 
     /// Evaluates the inner product and decodes it to an estimate of `Σ xᵢwᵢ`.
@@ -288,8 +363,9 @@ impl ExactCounterInnerProduct {
         weights: &[f64],
         length: StreamLength,
     ) -> Result<CountStream, ScError> {
-        let products = generate_product_streams(inputs, weights, length, self.seed)?;
-        ExactParallelCounter::new().count(&products)
+        let mut arena = StreamArena::new();
+        let (xs, ws) = generate_operand_streams(inputs, weights, length, self.seed, &mut arena)?;
+        ExactParallelCounter::new().count_products(&xs, &ws)
     }
 
     /// Evaluates the inner product and decodes it to an estimate of `Σ xᵢwᵢ`.
@@ -338,7 +414,10 @@ impl TwoLineInnerProduct {
             return Err(ScError::EmptyInput);
         }
         if inputs.len() != weights.len() {
-            return Err(ScError::LengthMismatch { left: inputs.len(), right: weights.len() });
+            return Err(ScError::LengthMismatch {
+                left: inputs.len(),
+                right: weights.len(),
+            });
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let products: Result<Vec<TwoLineStream>, ScError> = inputs
@@ -394,7 +473,9 @@ mod tests {
         let (inputs, weights) = test_vectors(16, 1);
         let reference = reference_inner_product(&inputs, &weights);
         let block = MuxInnerProduct::new(7);
-        let value = block.evaluate(&inputs, &weights, StreamLength::new(4096)).unwrap();
+        let value = block
+            .evaluate(&inputs, &weights, StreamLength::new(4096))
+            .unwrap();
         assert!(
             (value - reference).abs() < 0.9,
             "MUX estimate {value} too far from reference {reference}"
@@ -405,7 +486,9 @@ mod tests {
     fn mux_stream_is_scaled_down() {
         let (inputs, weights) = test_vectors(16, 2);
         let block = MuxInnerProduct::new(3);
-        let stream = block.evaluate_stream(&inputs, &weights, StreamLength::new(2048)).unwrap();
+        let stream = block
+            .evaluate_stream(&inputs, &weights, StreamLength::new(2048))
+            .unwrap();
         let reference = reference_inner_product(&inputs, &weights) / 16.0;
         assert!((stream.bipolar_value() - reference).abs() < 0.1);
     }
@@ -436,8 +519,12 @@ mod tests {
     fn apc_tracks_exact_counter_closely() {
         let (inputs, weights) = test_vectors(64, 11);
         let length = StreamLength::new(512);
-        let apc = ApcInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
-        let exact = ExactCounterInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
+        let apc = ApcInnerProduct::new(5)
+            .evaluate(&inputs, &weights, length)
+            .unwrap();
+        let exact = ExactCounterInnerProduct::new(5)
+            .evaluate(&inputs, &weights, length)
+            .unwrap();
         assert!((apc - exact).abs() < 1.0, "APC {apc} vs exact {exact}");
     }
 
@@ -447,7 +534,9 @@ mod tests {
         let weights = vec![0.5, 0.25, 0.4, 0.3, 0.2, 0.35, 0.3, 0.25];
         let reference = reference_inner_product(&inputs, &weights);
         let block = OrInnerProduct::new(true, 3);
-        let value = block.evaluate(&inputs, &weights, StreamLength::new(1024)).unwrap();
+        let value = block
+            .evaluate(&inputs, &weights, StreamLength::new(1024))
+            .unwrap();
         // Table 1 reports absolute errors around 0.5 for unipolar inputs.
         assert!((value - reference).abs() < 1.0);
     }
@@ -457,7 +546,9 @@ mod tests {
         let (inputs, weights) = test_vectors(32, 17);
         let reference = reference_inner_product(&inputs, &weights);
         let block = OrInnerProduct::new(false, 3);
-        let value = block.evaluate(&inputs, &weights, StreamLength::new(1024)).unwrap();
+        let value = block
+            .evaluate(&inputs, &weights, StreamLength::new(1024))
+            .unwrap();
         // The bipolar OR-gate block is expected to be badly wrong (Table 1
         // reports errors > 1.5); we only check it runs and returns a finite value.
         assert!(value.is_finite());
@@ -480,10 +571,18 @@ mod tests {
     fn blocks_reject_empty_and_mismatched_inputs() {
         let length = StreamLength::new(64);
         assert!(MuxInnerProduct::new(1).evaluate(&[], &[], length).is_err());
-        assert!(ApcInnerProduct::new(1).evaluate(&[0.1], &[0.1, 0.2], length).is_err());
-        assert!(ExactCounterInnerProduct::new(1).evaluate(&[], &[], length).is_err());
-        assert!(OrInnerProduct::new(false, 1).evaluate(&[0.1], &[], length).is_err());
-        assert!(TwoLineInnerProduct::new(1).evaluate(&[], &[], length).is_err());
+        assert!(ApcInnerProduct::new(1)
+            .evaluate(&[0.1], &[0.1, 0.2], length)
+            .is_err());
+        assert!(ExactCounterInnerProduct::new(1)
+            .evaluate(&[], &[], length)
+            .is_err());
+        assert!(OrInnerProduct::new(false, 1)
+            .evaluate(&[0.1], &[], length)
+            .is_err());
+        assert!(TwoLineInnerProduct::new(1)
+            .evaluate(&[], &[], length)
+            .is_err());
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl HardwareMaxPooling {
         let len = first.len();
         for stream in inputs {
             if stream.len() != len {
-                return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: stream.len(),
+                });
             }
         }
         let mut output = BitStream::zeros(StreamLength::try_new(len)?);
@@ -141,12 +144,9 @@ impl HardwareMaxPooling {
         let mut start = 0usize;
         while start < len {
             let end = (start + self.segment_bits).min(len);
-            // Forward the currently selected stream's bits for this segment.
-            for i in start..end {
-                if inputs[selected].get(i) {
-                    output.set(i, true);
-                }
-            }
+            // Forward the currently selected stream's bits for this segment
+            // (word-level masked copy, no per-bit get/set).
+            output.copy_range_from(&inputs[selected], start, end);
             // Count ones in this segment for every candidate; the winner
             // drives the selection for the *next* segment.
             let mut best = 0usize;
@@ -177,7 +177,10 @@ impl HardwareMaxPooling {
         let lanes = first.lanes();
         for stream in inputs {
             if stream.len() != len {
-                return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: stream.len(),
+                });
             }
         }
         let mut out_counts = Vec::with_capacity(len);
@@ -189,8 +192,10 @@ impl HardwareMaxPooling {
             let mut best = 0usize;
             let mut best_total = 0u64;
             for (lane, stream) in inputs.iter().enumerate() {
-                let total: u64 =
-                    stream.counts()[start..end].iter().map(|&c| u64::from(c)).sum();
+                let total: u64 = stream.counts()[start..end]
+                    .iter()
+                    .map(|&c| u64::from(c))
+                    .sum();
                 if total > best_total {
                     best_total = total;
                     best = lane;
@@ -244,7 +249,11 @@ impl SoftwareMaxPooling {
     ///
     /// Returns [`ScError::EmptyInput`] for an empty slice.
     pub fn pool_counts(&self, inputs: &[CountStream]) -> Result<CountStream, ScError> {
-        inputs.iter().max_by_key(|s| s.total()).cloned().ok_or(ScError::EmptyInput)
+        inputs
+            .iter()
+            .max_by_key(|s| s.total())
+            .cloned()
+            .ok_or(ScError::EmptyInput)
     }
 }
 
@@ -288,7 +297,10 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| stream_for(v, 2048, 40 + i as u64))
             .collect();
-        let hw = HardwareMaxPooling::new(16).unwrap().pool_streams(&streams).unwrap();
+        let hw = HardwareMaxPooling::new(16)
+            .unwrap()
+            .pool_streams(&streams)
+            .unwrap();
         let sw = SoftwareMaxPooling::new().pool_streams(&streams).unwrap();
         assert!(
             (hw.bipolar_value() - sw.bipolar_value()).abs() < 0.15,
@@ -306,7 +318,9 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| stream_for(v, 4096, 90 + i as u64))
             .collect();
-        let hw = HardwareMaxPooling::default().pool_streams(&streams).unwrap();
+        let hw = HardwareMaxPooling::default()
+            .pool_streams(&streams)
+            .unwrap();
         assert!(hw.bipolar_value() <= 0.7);
         assert!(hw.bipolar_value() >= 0.4);
     }
@@ -317,7 +331,10 @@ mod tests {
             BitStream::from_binary_str("110110111").unwrap(),
             BitStream::from_binary_str("000010001").unwrap(),
         ];
-        let pooled = HardwareMaxPooling::new(4).unwrap().pool_streams(&streams).unwrap();
+        let pooled = HardwareMaxPooling::new(4)
+            .unwrap()
+            .pool_streams(&streams)
+            .unwrap();
         assert_eq!(pooled.len(), 9);
     }
 
@@ -337,7 +354,9 @@ mod tests {
     fn software_max_picks_largest() {
         let a = BitStream::from_binary_str("1100").unwrap();
         let b = BitStream::from_binary_str("1110").unwrap();
-        let max = SoftwareMaxPooling::new().pool_streams(&[a, b.clone()]).unwrap();
+        let max = SoftwareMaxPooling::new()
+            .pool_streams(&[a, b.clone()])
+            .unwrap();
         assert_eq!(max, b);
     }
 
@@ -349,23 +368,31 @@ mod tests {
         assert!(HardwareMaxPooling::new(0).is_err());
         let a = BitStream::from_binary_str("10").unwrap();
         let b = BitStream::from_binary_str("100").unwrap();
-        assert!(HardwareMaxPooling::default().pool_streams(&[a.clone(), b.clone()]).is_err());
+        assert!(HardwareMaxPooling::default()
+            .pool_streams(&[a.clone(), b.clone()])
+            .is_err());
         assert!(AveragePooling::new(1).pool_streams(&[a, b]).is_err());
     }
 
     #[test]
     fn references_match_expectations() {
         assert_eq!(AveragePooling::new(1).reference(&[1.0, 2.0, 3.0, 6.0]), 3.0);
-        assert_eq!(HardwareMaxPooling::default().reference(&[1.0, -2.0, 0.5]), 1.0);
+        assert_eq!(
+            HardwareMaxPooling::default().reference(&[1.0, -2.0, 0.5]),
+            1.0
+        );
     }
 
     #[test]
     fn kind_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            [PoolingKind::Average, PoolingKind::HardwareMax, PoolingKind::SoftwareMax]
-                .iter()
-                .map(|k| k.name())
-                .collect();
+        let names: std::collections::HashSet<_> = [
+            PoolingKind::Average,
+            PoolingKind::HardwareMax,
+            PoolingKind::SoftwareMax,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
         assert_eq!(names.len(), 3);
     }
 }

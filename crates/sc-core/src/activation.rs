@@ -66,13 +66,17 @@ impl Stanh {
     /// Returns [`ScError::InvalidParameter`] unless `states` is an even
     /// number of at least two.
     pub fn with_mode(states: usize, mode: StanhMode) -> Result<Self, ScError> {
-        if states < 2 || states % 2 != 0 {
+        if states < 2 || !states.is_multiple_of(2) {
             return Err(ScError::InvalidParameter {
                 name: "states",
                 message: format!("state count must be an even number >= 2, got {states}"),
             });
         }
-        Ok(Self { states, mode, state: states / 2 })
+        Ok(Self {
+            states,
+            mode,
+            state: states / 2,
+        })
     }
 
     /// Number of FSM states `K`.
@@ -136,13 +140,16 @@ impl Btanh {
     /// Returns [`ScError::InvalidParameter`] unless `states` is an even
     /// number of at least two.
     pub fn new(states: usize) -> Result<Self, ScError> {
-        if states < 2 || states % 2 != 0 {
+        if states < 2 || !states.is_multiple_of(2) {
             return Err(ScError::InvalidParameter {
                 name: "states",
                 message: format!("state count must be an even number >= 2, got {states}"),
             });
         }
-        Ok(Self { states, state: states as i64 / 2 })
+        Ok(Self {
+            states,
+            state: states as i64 / 2,
+        })
     }
 
     /// Number of counter states `K`.
@@ -167,7 +174,11 @@ impl Btanh {
     /// bit-stream. The counter is reset before processing.
     pub fn transform(&mut self, counts: &CountStream) -> BitStream {
         self.reset();
-        counts.counts().iter().map(|&c| self.step(c, counts.lanes())).collect()
+        counts
+            .counts()
+            .iter()
+            .map(|&c| self.step(c, counts.lanes()))
+            .collect()
     }
 
     /// The continuous function the counter approximates for `n` input lanes:
@@ -181,7 +192,11 @@ impl Btanh {
 /// at two (every FSM/counter in the paper uses an even state count).
 pub fn nearest_even_state(value: f64) -> usize {
     let rounded = value.round() as i64;
-    let even = if rounded % 2 == 0 { rounded } else { rounded + 1 };
+    let even = if rounded % 2 == 0 {
+        rounded
+    } else {
+        rounded + 1
+    };
     even.max(2) as usize
 }
 
@@ -246,7 +261,7 @@ mod tests {
     fn stanh_tracks_tanh() {
         let len = StreamLength::new(8192);
         for &x in &[-0.8f64, -0.4, 0.0, 0.4, 0.8] {
-            let mut sng = Sng::new(SngKind::Lfsr32, (x.to_bits() & 0xFFFF) as u64 + 17);
+            let mut sng = Sng::new(SngKind::Lfsr32, (x.to_bits() & 0xFFFF) + 17);
             let input = sng.generate_bipolar(x, len).unwrap();
             let mut stanh = Stanh::new(8).unwrap();
             let output = stanh.transform(&input);

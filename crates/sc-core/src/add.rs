@@ -44,9 +44,12 @@ impl OrAdder {
         let mut acc = first.clone();
         for stream in &inputs[1..] {
             if stream.len() != acc.len() {
-                return Err(ScError::LengthMismatch { left: acc.len(), right: stream.len() });
+                return Err(ScError::LengthMismatch {
+                    left: acc.len(),
+                    right: stream.len(),
+                });
             }
-            acc = &acc | stream;
+            acc |= stream;
         }
         Ok(acc)
     }
@@ -81,16 +84,62 @@ impl MuxAdder {
         let len = first.len();
         for stream in inputs {
             if stream.len() != len {
-                return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: stream.len(),
+                });
             }
         }
         let n = inputs.len() as u32;
         let mut out = BitStream::zeros(StreamLength::try_new(len)?);
-        for i in 0..len {
-            let selected = selector_rng.next_below(n) as usize;
-            if inputs[selected].get(i) {
-                out.set(i, true);
+        // One selector draw per cycle (same order as the per-bit reference),
+        // but the output is packed word-by-word instead of via per-bit sets.
+        let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+            let bits = (len - w * 64).min(64);
+            let mut packed = 0u64;
+            for bit in 0..bits {
+                let selected = selector_rng.next_below(n) as usize;
+                packed |= ((words[selected][w] >> bit) & 1) << bit;
             }
+            *out_word = packed;
+        }
+        Ok(out)
+    }
+
+    /// Fused multiply-select: sums the *element-wise XNOR products* of
+    /// `inputs` and `weights` without materializing the product streams.
+    ///
+    /// Bit-exact with forming `inputs[i].xnor(&weights[i])` for every lane
+    /// and then calling [`MuxAdder::sum`]: the selector is drawn once per
+    /// cycle in the same order, and the forwarded bit is the product bit of
+    /// the selected lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for empty slices and
+    /// [`ScError::LengthMismatch`] for mismatched element counts or stream
+    /// lengths.
+    pub fn sum_products<R: RandomSource>(
+        &self,
+        inputs: &[BitStream],
+        weights: &[BitStream],
+        selector_rng: &mut R,
+    ) -> Result<BitStream, ScError> {
+        let len = common_product_length(inputs, weights)?;
+        let n = inputs.len() as u32;
+        let mut out = BitStream::zeros(StreamLength::try_new(len)?);
+        let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
+        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+            let bits = (len - w * 64).min(64);
+            let mut packed = 0u64;
+            for bit in 0..bits {
+                let lane = selector_rng.next_below(n) as usize;
+                let product = !(xs[lane][w] ^ ws[lane][w]);
+                packed |= ((product >> bit) & 1) << bit;
+            }
+            *out_word = packed;
         }
         Ok(out)
     }
@@ -182,7 +231,10 @@ impl CountStream {
         let len = first.len();
         for s in streams {
             if s.len() != len {
-                return Err(ScError::LengthMismatch { left: len, right: s.len() });
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: s.len(),
+                });
             }
         }
         let lanes = streams.iter().map(|s| s.lanes).sum();
@@ -206,7 +258,10 @@ impl CountStream {
         let lanes = first.lanes;
         for s in streams {
             if s.len() != len {
-                return Err(ScError::LengthMismatch { left: len, right: s.len() });
+                return Err(ScError::LengthMismatch {
+                    left: len,
+                    right: s.len(),
+                });
             }
         }
         let k = streams.len() as u32;
@@ -241,11 +296,101 @@ impl ExactParallelCounter {
     /// [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn count(&self, inputs: &[BitStream]) -> Result<CountStream, ScError> {
         let len = common_length(inputs)?;
-        let counts = (0..len)
-            .map(|i| inputs.iter().filter(|s| s.get(i)).count() as u16)
-            .collect();
+        let mut counts = vec![0u16; len];
+        for stream in inputs {
+            accumulate_columns(stream.as_words(), &mut counts);
+        }
         CountStream::new(counts, inputs.len())
     }
+
+    /// Fused multiply-count: per-cycle column counts of the element-wise
+    /// XNOR products of `inputs` and `weights`, without materializing the
+    /// product streams. This is the inner-product hot kernel: one XOR, one
+    /// NOT and a bit-unpack per 64 cycles per lane.
+    ///
+    /// Bit-exact with multiplying each lane via `xnor` and counting with
+    /// [`ExactParallelCounter::count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for empty slices and
+    /// [`ScError::LengthMismatch`] for mismatched element counts or stream
+    /// lengths.
+    pub fn count_products(
+        &self,
+        inputs: &[BitStream],
+        weights: &[BitStream],
+    ) -> Result<CountStream, ScError> {
+        let len = common_product_length(inputs, weights)?;
+        let mut counts = vec![0u16; len];
+        accumulate_product_columns(inputs, weights, len, &mut counts);
+        CountStream::new(counts, inputs.len())
+    }
+}
+
+/// Adds each set bit of `words` into its column counter.
+///
+/// Words are visited sequentially and bits extracted with `trailing_zeros`,
+/// so sparse streams cost proportional to their popcount, and no per-bit
+/// bounds-checked `get` is involved.
+fn accumulate_columns(words: &[u64], counts: &mut [u16]) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        let base = w * 64;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            counts[base + j] += 1;
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Accumulates XNOR-product columns for every lane pair into `counts`.
+fn accumulate_product_columns(
+    inputs: &[BitStream],
+    weights: &[BitStream],
+    len: usize,
+    counts: &mut [u16],
+) {
+    let tail_bits = len % 64;
+    let last = len.div_ceil(64) - 1;
+    for (x, wt) in inputs.iter().zip(weights.iter()) {
+        for (w, (&a, &b)) in x.as_words().iter().zip(wt.as_words().iter()).enumerate() {
+            let mut product = !(a ^ b);
+            if w == last && tail_bits != 0 {
+                product &= (1u64 << tail_bits) - 1;
+            }
+            let base = w * 64;
+            while product != 0 {
+                let j = product.trailing_zeros() as usize;
+                counts[base + j] += 1;
+                product &= product - 1;
+            }
+        }
+    }
+}
+
+/// Validates a paired product operand set and returns the common length.
+fn common_product_length(inputs: &[BitStream], weights: &[BitStream]) -> Result<usize, ScError> {
+    if inputs.is_empty() || weights.is_empty() {
+        return Err(ScError::EmptyInput);
+    }
+    if inputs.len() != weights.len() {
+        return Err(ScError::LengthMismatch {
+            left: inputs.len(),
+            right: weights.len(),
+        });
+    }
+    let len = common_length(inputs)?;
+    for stream in weights {
+        if stream.len() != len {
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: stream.len(),
+            });
+        }
+    }
+    Ok(len)
 }
 
 /// Approximate parallel counter (APC), after Kim et al. (ISOCC'15).
@@ -276,19 +421,35 @@ impl Apc {
     /// [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn count(&self, inputs: &[BitStream]) -> Result<CountStream, ScError> {
         let len = common_length(inputs)?;
-        let n = inputs.len();
-        let counts = (0..len)
-            .map(|i| {
-                let exact = inputs.iter().filter(|s| s.get(i)).count() as u16;
-                if n < 2 {
-                    exact
-                } else {
-                    let dither = (i & 1) as u16;
-                    ((exact & !1) + dither).min(n as u16)
-                }
-            })
-            .collect();
-        CountStream::new(counts, n)
+        let mut counts = vec![0u16; len];
+        for stream in inputs {
+            accumulate_columns(stream.as_words(), &mut counts);
+        }
+        apply_apc_lsb(&mut counts, inputs.len());
+        CountStream::new(counts, inputs.len())
+    }
+
+    /// Fused multiply-count with the approximate LSB: APC column counts of
+    /// the element-wise XNOR products without materializing them.
+    ///
+    /// Bit-exact with multiplying each lane via `xnor` and counting with
+    /// [`Apc::count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for empty slices and
+    /// [`ScError::LengthMismatch`] for mismatched element counts or stream
+    /// lengths.
+    pub fn count_products(
+        &self,
+        inputs: &[BitStream],
+        weights: &[BitStream],
+    ) -> Result<CountStream, ScError> {
+        let len = common_product_length(inputs, weights)?;
+        let mut counts = vec![0u16; len];
+        accumulate_product_columns(inputs, weights, len, &mut counts);
+        apply_apc_lsb(&mut counts, inputs.len());
+        CountStream::new(counts, inputs.len())
     }
 
     /// Gate-count reduction relative to the exact accumulative parallel
@@ -298,12 +459,29 @@ impl Apc {
     }
 }
 
+/// Replaces exact column counts with the APC approximation: the LSB is
+/// dropped and a toggling dither bit substituted (see [`Apc`]). Single-lane
+/// counters stay exact.
+fn apply_apc_lsb(counts: &mut [u16], lanes: usize) {
+    if lanes < 2 {
+        return;
+    }
+    let cap = lanes as u16;
+    for (i, count) in counts.iter_mut().enumerate() {
+        let dither = (i & 1) as u16;
+        *count = ((*count & !1) + dither).min(cap);
+    }
+}
+
 fn common_length(inputs: &[BitStream]) -> Result<usize, ScError> {
     let first = inputs.first().ok_or(ScError::EmptyInput)?;
     let len = first.len();
     for stream in inputs {
         if stream.len() != len {
-            return Err(ScError::LengthMismatch { left: len, right: stream.len() });
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: stream.len(),
+            });
         }
     }
     Ok(len)
@@ -367,7 +545,10 @@ mod tests {
     #[test]
     fn mux_adder_validates_inputs() {
         let mut selector = Lfsr::new_32(1);
-        assert_eq!(MuxAdder::new().sum(&[], &mut selector), Err(ScError::EmptyInput));
+        assert_eq!(
+            MuxAdder::new().sum(&[], &mut selector),
+            Err(ScError::EmptyInput)
+        );
     }
 
     #[test]
@@ -387,8 +568,7 @@ mod tests {
         let inputs = streams_for(&values, 1024, 3);
         let exact = ExactParallelCounter::new().count(&inputs).unwrap();
         let approx = Apc::new().count(&inputs).unwrap();
-        let relative =
-            (exact.total() as f64 - approx.total() as f64).abs() / exact.total() as f64;
+        let relative = (exact.total() as f64 - approx.total() as f64).abs() / exact.total() as f64;
         assert!(relative < 0.02, "APC deviates {relative} from exact");
         // Per-cycle deviation is bounded by the dropped LSB.
         for (a, e) in approx.counts().iter().zip(exact.counts().iter()) {
@@ -410,6 +590,64 @@ mod tests {
         let counts = ExactParallelCounter::new().count(&inputs).unwrap();
         let expected: f64 = values.iter().sum();
         assert!((counts.bipolar_sum() - expected).abs() < 0.15);
+    }
+
+    #[test]
+    fn fused_count_products_matches_materialized_pipeline() {
+        use crate::multiply;
+        for len in [100usize, 127, 512] {
+            let xs = streams_for(&[0.5, -0.25, 0.75, 0.0, -0.6], len, 5);
+            let ws = streams_for(&[-0.5, 0.25, 0.1, 0.9, 0.3], len, 900);
+            let products = multiply::bipolar_products(&xs, &ws).unwrap();
+            let exact_fused = ExactParallelCounter::new()
+                .count_products(&xs, &ws)
+                .unwrap();
+            let exact_naive = ExactParallelCounter::new().count(&products).unwrap();
+            assert_eq!(
+                exact_fused, exact_naive,
+                "exact counter mismatch at len {len}"
+            );
+            let apc_fused = Apc::new().count_products(&xs, &ws).unwrap();
+            let apc_naive = Apc::new().count(&products).unwrap();
+            assert_eq!(apc_fused, apc_naive, "APC mismatch at len {len}");
+        }
+    }
+
+    #[test]
+    fn fused_mux_products_match_materialized_pipeline() {
+        use crate::multiply;
+        for len in [100usize, 127, 1024] {
+            let xs = streams_for(&[0.5, -0.25, 0.75, 0.0], len, 11);
+            let ws = streams_for(&[-0.5, 0.25, 0.1, 0.9], len, 1200);
+            let products = multiply::bipolar_products(&xs, &ws).unwrap();
+            let mut selector_a = Lfsr::new_32(33);
+            let mut selector_b = Lfsr::new_32(33);
+            let naive = MuxAdder::new().sum(&products, &mut selector_a).unwrap();
+            let fused = MuxAdder::new()
+                .sum_products(&xs, &ws, &mut selector_b)
+                .unwrap();
+            assert_eq!(fused, naive, "MUX mismatch at len {len}");
+        }
+    }
+
+    #[test]
+    fn fused_kernels_validate_inputs() {
+        let a = vec![BitStream::from_binary_str("1010").unwrap()];
+        let b = vec![BitStream::from_binary_str("10100").unwrap()];
+        let paired = vec![a[0].clone(), a[0].clone()];
+        let mut selector = Lfsr::new_32(1);
+        assert!(ExactParallelCounter::new()
+            .count_products(&[], &[])
+            .is_err());
+        assert!(ExactParallelCounter::new()
+            .count_products(&a, &paired)
+            .is_err());
+        assert!(ExactParallelCounter::new().count_products(&a, &b).is_err());
+        assert!(Apc::new().count_products(&a, &b).is_err());
+        assert!(MuxAdder::new().sum_products(&a, &b, &mut selector).is_err());
+        assert!(MuxAdder::new()
+            .sum_products(&[], &[], &mut selector)
+            .is_err());
     }
 
     #[test]

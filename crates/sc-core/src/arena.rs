@@ -1,0 +1,101 @@
+//! Reusable bit-stream buffers.
+//!
+//! Hot loops (feature-extraction blocks evaluating four receptive fields,
+//! Monte-Carlo trials regenerating operand streams every iteration) used to
+//! allocate a fresh `Vec<u64>` per stream per iteration. A [`StreamArena`]
+//! keeps the word buffers of recycled streams and hands them back out, so
+//! steady-state evaluation performs no heap allocation.
+//!
+//! The arena is deliberately dumb: it is a LIFO stack of word buffers with
+//! no size classes. All streams inside one evaluation share a single length,
+//! so the buffer on top of the stack is almost always the right capacity.
+
+use crate::bitstream::{BitStream, StreamLength};
+
+/// A pool of reusable bit-stream word buffers.
+#[derive(Debug, Default)]
+pub struct StreamArena {
+    pool: Vec<Vec<u64>>,
+}
+
+impl StreamArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an all-zeros stream of the given length, reusing a pooled
+    /// buffer when one is available.
+    pub fn take_zeroed(&mut self, length: StreamLength) -> BitStream {
+        match self.pool.pop() {
+            Some(mut words) => {
+                words.clear();
+                words.resize(length.words(), 0);
+                BitStream::from_raw_words(words, length.bits())
+            }
+            None => BitStream::zeros(length),
+        }
+    }
+
+    /// Returns a stream's buffer to the pool for reuse.
+    pub fn recycle(&mut self, stream: BitStream) {
+        self.pool.push(stream.into_raw_words());
+    }
+
+    /// Recycles every stream in an iterator.
+    pub fn recycle_all<I: IntoIterator<Item = BitStream>>(&mut self, streams: I) {
+        for stream in streams {
+            self.recycle(stream);
+        }
+    }
+
+    /// Number of pooled buffers currently held.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_round_trip() {
+        let mut arena = StreamArena::new();
+        let len = StreamLength::new(130);
+        let a = arena.take_zeroed(len);
+        assert_eq!(a.len(), 130);
+        assert_eq!(a.count_ones(), 0);
+        arena.recycle(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.take_zeroed(len);
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_are_rezeroed() {
+        let mut arena = StreamArena::new();
+        let len = StreamLength::new(70);
+        let mut a = arena.take_zeroed(len);
+        a.set(0, true);
+        a.set(69, true);
+        arena.recycle(a);
+        let b = arena.take_zeroed(len);
+        assert_eq!(b.count_ones(), 0, "recycled buffer leaked bits");
+    }
+
+    #[test]
+    fn length_changes_are_handled() {
+        let mut arena = StreamArena::new();
+        let a = arena.take_zeroed(StreamLength::new(1024));
+        arena.recycle(a);
+        let b = arena.take_zeroed(StreamLength::new(65));
+        assert_eq!(b.len(), 65);
+        assert_eq!(b.count_ones(), 0);
+        arena.recycle(b);
+        let c = arena.take_zeroed(StreamLength::new(4096));
+        assert_eq!(c.len(), 4096);
+        assert_eq!(c.count_ones(), 0);
+    }
+}

@@ -9,7 +9,7 @@
 use crate::error::ScError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
 
 /// A validated stochastic bit-stream length.
 ///
@@ -86,7 +86,10 @@ pub struct BitStream {
 impl BitStream {
     /// Creates an all-zeros stream of the given length.
     pub fn zeros(len: StreamLength) -> Self {
-        Self { words: vec![0; len.words()], len: len.bits() }
+        Self {
+            words: vec![0; len.words()],
+            len: len.bits(),
+        }
     }
 
     /// Creates an all-ones stream of the given length.
@@ -173,7 +176,11 @@ impl BitStream {
     ///
     /// Panics if `index >= self.len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range for stream of {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for stream of {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -183,7 +190,11 @@ impl BitStream {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range for stream of {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for stream of {}",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         if value {
@@ -215,12 +226,37 @@ impl BitStream {
 
     /// Iterator over the bits of the stream, in stream order.
     pub fn iter(&self) -> Bits<'_> {
-        Bits { stream: self, index: 0 }
+        Bits {
+            stream: self,
+            index: 0,
+        }
     }
 
     /// Access to the packed words (trailing bits beyond `len` are zero).
     pub fn as_words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Mutable access to the packed words for in-crate word-parallel fills.
+    ///
+    /// Callers must keep bits beyond the logical length at zero (or call
+    /// [`BitStream::mask_tail`] afterwards).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Builds a stream directly from packed words; the caller guarantees
+    /// `words.len() == len.div_ceil(64)`. The tail is re-masked defensively.
+    pub(crate) fn from_raw_words(words: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        let mut stream = Self { words, len };
+        stream.mask_tail();
+        stream
+    }
+
+    /// Consumes the stream and returns its word buffer (for arena reuse).
+    pub(crate) fn into_raw_words(self) -> Vec<u64> {
+        self.words
     }
 
     /// Splits the stream into contiguous segments of `segment_len` bits.
@@ -238,21 +274,185 @@ impl BitStream {
         let mut start = 0;
         while start < self.len {
             let end = (start + segment_len).min(self.len);
-            let bits: Vec<bool> = (start..end).map(|i| self.get(i)).collect();
-            out.push(BitStream::from_bits(bits).expect("non-empty segment"));
+            out.push(self.slice_range(start, end));
             start = end;
         }
         out
     }
 
+    /// Extracts the bits of the half-open range `[start, end)` as a new
+    /// stream, shifting word-by-word rather than bit-by-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, reversed, or out of bounds.
+    pub fn slice_range(&self, start: usize, end: usize) -> BitStream {
+        assert!(
+            start < end && end <= self.len,
+            "invalid slice range {start}..{end} for stream of {}",
+            self.len
+        );
+        let out_len = end - start;
+        let mut words = vec![0u64; out_len.div_ceil(64)];
+        let shift = start % 64;
+        let base = start / 64;
+        for (i, word) in words.iter_mut().enumerate() {
+            let lo = self.words[base + i] >> shift;
+            let hi = if shift > 0 && base + i + 1 < self.words.len() {
+                self.words[base + i + 1] << (64 - shift)
+            } else {
+                0
+            };
+            *word = lo | hi;
+        }
+        let mut out = BitStream {
+            words,
+            len: out_len,
+        };
+        out.mask_tail();
+        out
+    }
+
     /// Counts ones within the half-open bit range `[start, end)`.
+    ///
+    /// Runs at word granularity: interior words use a single popcount, and
+    /// only the two boundary words are masked.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn count_ones_in_range(&self, start: usize, end: usize) -> usize {
-        assert!(start <= end && end <= self.len, "invalid range {start}..{end}");
-        (start..end).filter(|&i| self.get(i)).count()
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end}"
+        );
+        if start == end {
+            return 0;
+        }
+        let (start_word, start_bit) = (start / 64, start % 64);
+        let (end_word, end_bit) = (end / 64, end % 64);
+        if start_word == end_word {
+            // Both endpoints inside one word: end_bit > start_bit >= 0 and
+            // end_bit - start_bit < 64, so the mask shift cannot overflow.
+            let mask = ((1u64 << (end_bit - start_bit)) - 1) << start_bit;
+            return (self.words[start_word] & mask).count_ones() as usize;
+        }
+        let mut total = (self.words[start_word] >> start_bit).count_ones() as usize;
+        for &word in &self.words[start_word + 1..end_word] {
+            total += word.count_ones() as usize;
+        }
+        if end_bit != 0 {
+            total += (self.words[end_word] & ((1u64 << end_bit) - 1)).count_ones() as usize;
+        }
+        total
+    }
+
+    /// Overwrites the bits of `[start, end)` with the same range of `src`,
+    /// leaving all other bits untouched. Used by the hardware-oriented max
+    /// pooling block to forward the selected lane's segment word-by-word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length or the range is invalid.
+    pub fn copy_range_from(&mut self, src: &BitStream, start: usize, end: usize) {
+        assert_eq!(
+            self.len, src.len,
+            "bit-stream length mismatch: {} vs {}",
+            self.len, src.len
+        );
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end}"
+        );
+        if start == end {
+            return;
+        }
+        let start_word = start / 64;
+        let end_word = (end - 1) / 64;
+        for w in start_word..=end_word {
+            let mut mask = u64::MAX;
+            if w == start_word {
+                mask &= u64::MAX << (start % 64);
+            }
+            if w == end_word {
+                let end_bit = end - w * 64;
+                if end_bit < 64 {
+                    mask &= (1u64 << end_bit) - 1;
+                }
+            }
+            self.words[w] = (self.words[w] & !mask) | (src.words[w] & mask);
+        }
+    }
+
+    /// Fused AND + popcount: the number of cycles where both streams are one,
+    /// without materializing the product stream. This is the unipolar
+    /// multiplier-accumulator kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length.
+    pub fn and_count(&self, other: &BitStream) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "bit-stream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Fused XNOR + popcount: the number of cycles where the streams agree,
+    /// without materializing the product stream. This is the bipolar
+    /// multiplier-accumulator kernel: for independent bipolar streams `a`
+    /// and `b`, `2 * xnor_count / len - 1 ≈ a * b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length.
+    pub fn xnor_count(&self, other: &BitStream) -> usize {
+        assert_eq!(
+            self.len, other.len,
+            "bit-stream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        // XNOR turns the (zero) tail bits into ones, so count XOR instead
+        // and subtract: |XNOR| = len - |XOR|, and XOR keeps the tail zeroed.
+        let differing: usize = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
+            .sum();
+        self.len - differing
+    }
+
+    /// In-place OR into `acc`: `acc |= self`, allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length.
+    pub fn or_into(&self, acc: &mut BitStream) {
+        *acc |= self;
+    }
+
+    /// In-place XNOR with `other` (the bipolar multiplier), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams differ in length.
+    pub fn xnor_assign(&mut self, other: &BitStream) {
+        assert_eq!(
+            self.len, other.len,
+            "bit-stream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a = !(*a ^ b);
+        }
+        self.mask_tail();
     }
 
     /// Concatenates two streams.
@@ -278,9 +478,16 @@ impl BitStream {
             "bit-stream length mismatch: {} vs {}",
             self.len, other.len
         );
-        let words =
-            self.words.iter().zip(other.words.iter()).map(|(&a, &b)| op(a, b)).collect();
-        let mut out = BitStream { words, len: self.len };
+        let words = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| op(a, b))
+            .collect();
+        let mut out = BitStream {
+            words,
+            len: self.len,
+        };
         out.mask_tail();
         out
     }
@@ -299,7 +506,10 @@ impl BitStream {
 
     fn check_len(&self, other: &BitStream) -> Result<(), ScError> {
         if self.len != other.len {
-            Err(ScError::LengthMismatch { left: self.len, right: other.len })
+            Err(ScError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            })
         } else {
             Ok(())
         }
@@ -409,9 +619,44 @@ impl Not for &BitStream {
 
     fn not(self) -> BitStream {
         let words = self.words.iter().map(|&w| !w).collect();
-        let mut out = BitStream { words, len: self.len };
+        let mut out = BitStream {
+            words,
+            len: self.len,
+        };
         out.mask_tail();
         out
+    }
+}
+
+/// Applies a binary word-wise operation in place, checking lengths and
+/// re-masking the tail word afterwards.
+fn zip_words_assign(lhs: &mut BitStream, rhs: &BitStream, op: impl Fn(u64, u64) -> u64) {
+    assert_eq!(
+        lhs.len, rhs.len,
+        "bit-stream length mismatch: {} vs {}",
+        lhs.len, rhs.len
+    );
+    for (a, &b) in lhs.words.iter_mut().zip(rhs.words.iter()) {
+        *a = op(*a, b);
+    }
+    lhs.mask_tail();
+}
+
+impl BitAndAssign<&BitStream> for BitStream {
+    fn bitand_assign(&mut self, rhs: &BitStream) {
+        zip_words_assign(self, rhs, |a, b| a & b);
+    }
+}
+
+impl BitOrAssign<&BitStream> for BitStream {
+    fn bitor_assign(&mut self, rhs: &BitStream) {
+        zip_words_assign(self, rhs, |a, b| a | b);
+    }
+}
+
+impl BitXorAssign<&BitStream> for BitStream {
+    fn bitxor_assign(&mut self, rhs: &BitStream) {
+        zip_words_assign(self, rhs, |a, b| a ^ b);
     }
 }
 
@@ -552,7 +797,10 @@ mod tests {
     fn try_xnor_reports_length_mismatch() {
         let a = BitStream::zeros(StreamLength::new(8));
         let b = BitStream::zeros(StreamLength::new(16));
-        assert_eq!(a.try_xnor(&b), Err(ScError::LengthMismatch { left: 8, right: 16 }));
+        assert_eq!(
+            a.try_xnor(&b),
+            Err(ScError::LengthMismatch { left: 8, right: 16 })
+        );
     }
 
     #[test]
@@ -561,6 +809,116 @@ mod tests {
         let collected: BitStream = original.iter().collect();
         assert_eq!(original, collected);
         assert_eq!(original.iter().len(), 6);
+    }
+
+    #[test]
+    fn fused_counts_match_materialized_ops() {
+        for len in [1usize, 63, 64, 65, 100, 127, 128, 300] {
+            let mut lfsr_a = crate::rng::Lfsr::new_32(11);
+            let mut lfsr_b = crate::rng::Lfsr::new_32(22);
+            let a: BitStream = (0..len).map(|_| lfsr_a.step() & 1 == 1).collect();
+            let b: BitStream = (0..len).map(|_| lfsr_b.step() & 1 == 1).collect();
+            assert_eq!(
+                a.and_count(&b),
+                (&a & &b).count_ones(),
+                "AND mismatch at len {len}"
+            );
+            assert_eq!(
+                a.xnor_count(&b),
+                a.xnor(&b).count_ones(),
+                "XNOR mismatch at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops_and_mask_tail() {
+        for len in [7usize, 64, 65, 127, 130] {
+            let mut lfsr = crate::rng::Lfsr::new_32(5);
+            let a: BitStream = (0..len).map(|_| lfsr.step() & 1 == 1).collect();
+            let b: BitStream = (0..len).map(|_| lfsr.step() & 1 == 1).collect();
+            let mut and = a.clone();
+            and &= &b;
+            assert_eq!(and, &a & &b);
+            let mut or = a.clone();
+            or |= &b;
+            assert_eq!(or, &a | &b);
+            let mut xor = a.clone();
+            xor ^= &b;
+            assert_eq!(xor, &a ^ &b);
+            let mut xnor = a.clone();
+            xnor.xnor_assign(&b);
+            assert_eq!(xnor, a.xnor(&b));
+            // The tail invariant must hold after every in-place op.
+            assert_eq!(xnor.count_ones(), xnor.iter().filter(|&bit| bit).count());
+            let mut acc = BitStream::zeros(StreamLength::new(len));
+            a.or_into(&mut acc);
+            assert_eq!(acc, a);
+        }
+    }
+
+    #[test]
+    fn slice_range_matches_bitwise_extraction() {
+        let mut lfsr = crate::rng::Lfsr::new_32(77);
+        let stream: BitStream = (0..300).map(|_| lfsr.step() & 1 == 1).collect();
+        for (start, end) in [(0, 300), (0, 64), (1, 65), (63, 129), (250, 300), (64, 128)] {
+            let slice = stream.slice_range(start, end);
+            assert_eq!(slice.len(), end - start);
+            for i in 0..slice.len() {
+                assert_eq!(
+                    slice.get(i),
+                    stream.get(start + i),
+                    "bit {i} of {start}..{end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_in_range_word_boundaries() {
+        let mut lfsr = crate::rng::Lfsr::new_32(31);
+        let stream: BitStream = (0..200).map(|_| lfsr.step() & 1 == 1).collect();
+        for (start, end) in [
+            (0, 200),
+            (0, 0),
+            (200, 200),
+            (0, 64),
+            (64, 128),
+            (1, 63),
+            (63, 65),
+            (100, 137),
+        ] {
+            let expected = (start..end).filter(|&i| stream.get(i)).count();
+            assert_eq!(
+                stream.count_ones_in_range(start, end),
+                expected,
+                "range {start}..{end}"
+            );
+        }
+    }
+
+    #[test]
+    fn copy_range_from_touches_only_the_range() {
+        let len = StreamLength::new(200);
+        let src = BitStream::ones(len);
+        for (start, end) in [
+            (0, 200),
+            (3, 67),
+            (64, 128),
+            (65, 66),
+            (190, 200),
+            (100, 100),
+        ] {
+            let mut dst = BitStream::zeros(len);
+            dst.copy_range_from(&src, start, end);
+            for i in 0..200 {
+                assert_eq!(
+                    dst.get(i),
+                    (start..end).contains(&i),
+                    "bit {i} of {start}..{end}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -122,7 +122,10 @@ pub fn prescale(values: &[f64]) -> Result<Prescaled, ScError> {
     while max_abs / scale > 1.0 {
         scale *= 2.0;
     }
-    Ok(Prescaled { values: values.iter().map(|v| v / scale).collect(), scale })
+    Ok(Prescaled {
+        values: values.iter().map(|v| v / scale).collect(),
+        scale,
+    })
 }
 
 /// Clamps a value into the bipolar range `[-1, 1]`.

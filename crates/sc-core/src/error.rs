@@ -42,7 +42,10 @@ impl fmt::Display for ScError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScError::ValueOutOfRange { value, min, max } => {
-                write!(f, "value {value} is outside the representable range [{min}, {max}]")
+                write!(
+                    f,
+                    "value {value} is outside the representable range [{min}, {max}]"
+                )
             }
             ScError::LengthMismatch { left, right } => {
                 write!(f, "bit-stream length mismatch: {left} vs {right}")
@@ -65,11 +68,18 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            ScError::ValueOutOfRange { value: 2.0, min: -1.0, max: 1.0 },
+            ScError::ValueOutOfRange {
+                value: 2.0,
+                min: -1.0,
+                max: 1.0,
+            },
             ScError::LengthMismatch { left: 8, right: 16 },
             ScError::InvalidLength(0),
             ScError::EmptyInput,
-            ScError::InvalidParameter { name: "states", message: "must be even".into() },
+            ScError::InvalidParameter {
+                name: "states",
+                message: "must be even".into(),
+            },
         ];
         for err in errors {
             let text = err.to_string();

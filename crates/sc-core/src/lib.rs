@@ -45,15 +45,18 @@
 
 pub mod activation;
 pub mod add;
+pub mod arena;
 pub mod bitstream;
 pub mod encoding;
 pub mod error;
 pub mod multiply;
+pub mod parallel;
 pub mod rng;
 pub mod sng;
 pub mod stats;
 pub mod twoline;
 
+pub use arena::StreamArena;
 pub use bitstream::{BitStream, StreamLength};
 pub use error::ScError;
 
@@ -61,10 +64,12 @@ pub use error::ScError;
 pub mod prelude {
     pub use crate::activation::{Btanh, Stanh, StanhMode};
     pub use crate::add::{Apc, ExactParallelCounter, MuxAdder, OrAdder};
+    pub use crate::arena::StreamArena;
     pub use crate::bitstream::{BitStream, StreamLength};
     pub use crate::encoding::{Bipolar, Encoding, Unipolar};
     pub use crate::error::ScError;
     pub use crate::multiply;
+    pub use crate::parallel;
     pub use crate::rng::Lfsr;
     pub use crate::sng::{Sng, SngKind};
     pub use crate::stats;

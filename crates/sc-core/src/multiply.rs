@@ -53,10 +53,62 @@ pub fn try_bipolar(a: &BitStream, b: &BitStream) -> Result<BitStream, ScError> {
 
 fn check(a: &BitStream, b: &BitStream) -> Result<(), ScError> {
     if a.len() != b.len() {
-        Err(ScError::LengthMismatch { left: a.len(), right: b.len() })
+        Err(ScError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        })
     } else {
         Ok(())
     }
+}
+
+/// Fused unipolar multiply-accumulate: the ones count of `a AND b` without
+/// materializing the product stream. `unipolar_count / len` is the decoded
+/// product value.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths.
+pub fn unipolar_count(a: &BitStream, b: &BitStream) -> usize {
+    a.and_count(b)
+}
+
+/// Fused bipolar multiply-accumulate: the ones count of `a XNOR b` without
+/// materializing the product stream. `2 * bipolar_count / len - 1` is the
+/// decoded product value.
+///
+/// # Panics
+///
+/// Panics if the streams have different lengths.
+pub fn bipolar_count(a: &BitStream, b: &BitStream) -> usize {
+    a.xnor_count(b)
+}
+
+/// Fused bipolar dot product of paired stream slices: decodes
+/// `Σ (2·|xᵢ XNOR wᵢ| / L − 1)` lane by lane without materializing any
+/// product stream. This equals summing `bipolar(xᵢ, wᵢ).bipolar_value()`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] for mismatched slice lengths or
+/// stream lengths and [`ScError::EmptyInput`] for empty slices.
+pub fn bipolar_dot(inputs: &[BitStream], weights: &[BitStream]) -> Result<f64, ScError> {
+    if inputs.is_empty() || weights.is_empty() {
+        return Err(ScError::EmptyInput);
+    }
+    if inputs.len() != weights.len() {
+        return Err(ScError::LengthMismatch {
+            left: inputs.len(),
+            right: weights.len(),
+        });
+    }
+    let mut total = 0.0f64;
+    for (x, w) in inputs.iter().zip(weights.iter()) {
+        check(x, w)?;
+        let agree = x.xnor_count(w) as f64;
+        total += 2.0 * agree / x.len() as f64 - 1.0;
+    }
+    Ok(total)
 }
 
 /// Multiplies each element pair of two bipolar stream slices.
@@ -68,14 +120,24 @@ fn check(a: &BitStream, b: &BitStream) -> Result<(), ScError> {
 /// Returns [`ScError::LengthMismatch`] if the slices have different element
 /// counts or any stream pair has different lengths, and
 /// [`ScError::EmptyInput`] for empty slices.
-pub fn bipolar_products(inputs: &[BitStream], weights: &[BitStream]) -> Result<Vec<BitStream>, ScError> {
+pub fn bipolar_products(
+    inputs: &[BitStream],
+    weights: &[BitStream],
+) -> Result<Vec<BitStream>, ScError> {
     if inputs.is_empty() || weights.is_empty() {
         return Err(ScError::EmptyInput);
     }
     if inputs.len() != weights.len() {
-        return Err(ScError::LengthMismatch { left: inputs.len(), right: weights.len() });
+        return Err(ScError::LengthMismatch {
+            left: inputs.len(),
+            right: weights.len(),
+        });
     }
-    inputs.iter().zip(weights.iter()).map(|(x, w)| try_bipolar(x, w)).collect()
+    inputs
+        .iter()
+        .zip(weights.iter())
+        .map(|(x, w)| try_bipolar(x, w))
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,7 +168,13 @@ mod tests {
     #[test]
     fn bipolar_multiplication_is_accurate_statistically() {
         let len = StreamLength::new(4096);
-        let cases = [(0.5, 0.5), (-0.5, 0.5), (0.8, -0.7), (-0.9, -0.9), (0.0, 0.3)];
+        let cases = [
+            (0.5, 0.5),
+            (-0.5, 0.5),
+            (0.8, -0.7),
+            (-0.9, -0.9),
+            (0.0, 0.3),
+        ];
         for (i, &(x, w)) in cases.iter().enumerate() {
             let mut sa = Sng::new(SngKind::Lfsr32, 100 + i as u64);
             let mut sb = Sng::new(SngKind::Lfsr32, 200 + i as u64);
@@ -151,11 +219,60 @@ mod tests {
     }
 
     #[test]
+    fn fused_counts_match_materialized_products() {
+        let len = StreamLength::new(127);
+        let mut sa = Sng::new(SngKind::Lfsr32, 8);
+        let mut sb = Sng::new(SngKind::Lfsr32, 9);
+        let a = sa.generate_bipolar(0.4, len).unwrap();
+        let b = sb.generate_bipolar(-0.6, len).unwrap();
+        assert_eq!(unipolar_count(&a, &b), unipolar(&a, &b).count_ones());
+        assert_eq!(bipolar_count(&a, &b), bipolar(&a, &b).count_ones());
+    }
+
+    #[test]
+    fn fused_dot_matches_materialized_sum() {
+        let len = StreamLength::new(1000);
+        let values = [(0.5, -0.5), (0.8, 0.7), (-0.9, 0.2), (0.0, 0.3)];
+        let mut xs = Vec::new();
+        let mut ws = Vec::new();
+        for (i, &(x, w)) in values.iter().enumerate() {
+            xs.push(
+                Sng::new(SngKind::Lfsr32, 50 + i as u64)
+                    .generate_bipolar(x, len)
+                    .unwrap(),
+            );
+            ws.push(
+                Sng::new(SngKind::Lfsr32, 150 + i as u64)
+                    .generate_bipolar(w, len)
+                    .unwrap(),
+            );
+        }
+        let fused = bipolar_dot(&xs, &ws).unwrap();
+        let materialized: f64 = bipolar_products(&xs, &ws)
+            .unwrap()
+            .iter()
+            .map(|p| p.bipolar_value())
+            .sum();
+        assert!((fused - materialized).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_dot_validates_inputs() {
+        let a = vec![BitStream::from_binary_str("1010").unwrap()];
+        let b = vec![BitStream::from_binary_str("10100").unwrap()];
+        let paired = vec![a[0].clone(), a[0].clone()];
+        assert_eq!(bipolar_dot(&[], &[]), Err(ScError::EmptyInput));
+        assert!(bipolar_dot(&a, &paired).is_err());
+        assert!(bipolar_dot(&a, &b).is_err());
+    }
+
+    #[test]
     fn products_validate_inputs() {
-        let a = BitStream::from_binary_str("1010").unwrap();
+        let a = vec![BitStream::from_binary_str("1010").unwrap()];
+        let paired = vec![a[0].clone(), a[0].clone()];
         assert_eq!(bipolar_products(&[], &[]), Err(ScError::EmptyInput));
-        assert!(bipolar_products(&[a.clone()], &[a.clone(), a.clone()]).is_err());
-        let products = bipolar_products(&[a.clone()], &[a.clone()]).unwrap();
+        assert!(bipolar_products(&a, &paired).is_err());
+        let products = bipolar_products(&a, &a).unwrap();
         assert_eq!(products.len(), 1);
     }
 }

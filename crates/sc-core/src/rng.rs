@@ -51,10 +51,14 @@ impl LfsrWidth {
     }
 
     /// Fibonacci-form feedback tap mask (maximal-length polynomials).
+    /// Only referenced by tests since `Lfsr::step` switched to explicit
+    /// shifted-XOR feedback; kept as the authoritative tap documentation
+    /// and the oracle for `step_parity_matches_tap_mask_popcount`.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn taps(self) -> u32 {
         match self {
             // x^8 + x^6 + x^5 + x^4 + 1
-            LfsrWidth::W8 => 0b1011_1000 << 0,
+            LfsrWidth::W8 => 0b1011_1000,
             // x^16 + x^15 + x^13 + x^4 + 1
             LfsrWidth::W16 => 0xD008,
             // x^24 + x^23 + x^22 + x^17 + 1
@@ -106,10 +110,26 @@ impl Lfsr {
         self.state
     }
 
+    /// Overwrites the register contents (used by the word-parallel SNG fill
+    /// to resynchronize after generating the same sequence out-of-band).
+    pub(crate) fn set_state(&mut self, state: u32) {
+        self.state = (state & self.width.mask()).max(1);
+    }
+
     /// Advances the register by one step and returns the new state.
     pub fn step(&mut self) -> u32 {
-        let taps = self.width.taps();
-        let feedback = (self.state & taps).count_ones() & 1;
+        // Every maximal-length polynomial used here has exactly four taps,
+        // so the feedback parity is three XORs of shifted state copies —
+        // cheaper than a (software) popcount of `state & taps` and
+        // identical in value.
+        let s = self.state;
+        let feedback = match self.width {
+            // Tap bit positions of the masks in `LfsrWidth::taps`.
+            LfsrWidth::W8 => (s >> 3) ^ (s >> 4) ^ (s >> 5) ^ (s >> 7),
+            LfsrWidth::W16 => (s >> 3) ^ (s >> 12) ^ (s >> 14) ^ (s >> 15),
+            LfsrWidth::W24 => (s >> 16) ^ (s >> 21) ^ (s >> 22) ^ (s >> 23),
+            LfsrWidth::W32 => s ^ (s >> 1) ^ (s >> 21) ^ (s >> 31),
+        } & 1;
         self.state = ((self.state << 1) | feedback) & self.width.mask();
         if self.state == 0 {
             self.state = 1;
@@ -162,6 +182,27 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
+    fn step_parity_matches_tap_mask_popcount() {
+        // The shifted-XOR feedback must equal the popcount parity of
+        // `state & taps` for every width (guards the tap positions).
+        for width in [
+            LfsrWidth::W8,
+            LfsrWidth::W16,
+            LfsrWidth::W24,
+            LfsrWidth::W32,
+        ] {
+            let mut lfsr = Lfsr::new(width, 0xBEEF_CAFE);
+            for _ in 0..4096 {
+                let state = lfsr.state();
+                let expected = (state & width.taps()).count_ones() & 1;
+                let next = lfsr.step();
+                let inserted = next & 1;
+                assert_eq!(inserted, expected, "width {width:?} state {state:#x}");
+            }
+        }
+    }
+
+    #[test]
     fn lfsr_zero_seed_is_remapped() {
         let lfsr = Lfsr::new(LfsrWidth::W8, 0);
         assert_ne!(lfsr.state(), 0);
@@ -172,7 +213,10 @@ mod tests {
         let mut lfsr = Lfsr::new(LfsrWidth::W8, 1);
         let mut seen = HashSet::new();
         for _ in 0..255 {
-            assert!(seen.insert(lfsr.step()), "state repeated before full period");
+            assert!(
+                seen.insert(lfsr.step()),
+                "state repeated before full period"
+            );
         }
         assert_eq!(seen.len(), 255);
         assert!(!seen.contains(&0), "all-zeros state must never occur");
@@ -224,7 +268,10 @@ mod tests {
         let samples = 4096;
         let ones: u32 = (0..samples).map(|_| lfsr.step() & 1).sum();
         let ratio = ones as f64 / samples as f64;
-        assert!((ratio - 0.5).abs() < 0.05, "LSB density {ratio} too far from 0.5");
+        assert!(
+            (ratio - 0.5).abs() < 0.05,
+            "LSB density {ratio} too far from 0.5"
+        );
     }
 
     #[test]

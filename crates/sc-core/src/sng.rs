@@ -45,6 +45,228 @@ impl Source {
         };
         raw & ((1u32 << THRESHOLD_BITS) - 1)
     }
+
+    /// Fills `words` with comparator outputs 64 bits at a time.
+    ///
+    /// The enum dispatch is hoisted out of the per-bit loop: each source
+    /// runs a tight word-filling loop over its own state. The default
+    /// 32-bit LFSR additionally takes a batched path that generates the
+    /// register's bit-sequence a byte at a time and evaluates the threshold
+    /// comparator bit-sliced, 64 samples per iteration. Sample order is
+    /// identical to calling [`Source::next_threshold_sample`] once per bit,
+    /// so the output is bit-exact with the per-bit reference path.
+    fn fill_words(
+        &mut self,
+        threshold: u32,
+        words: &mut [u64],
+        bits: usize,
+        scratch: &mut Vec<u8>,
+    ) {
+        match self {
+            Source::Lfsr(lfsr) if lfsr.width() == LfsrWidth::W32 => {
+                fill_words_lfsr32_batched(lfsr, threshold, words, bits, scratch)
+            }
+            Source::Lfsr(lfsr) => fill_words_with(|| lfsr.next_u32(), threshold, words, bits),
+            Source::Ideal(rng) => fill_words_with(|| rng.next_u32(), threshold, words, bits),
+        }
+    }
+}
+
+/// Comparator outputs emitted by the serial bootstrap of the batched LFSR32
+/// path (one 64-bit word); outputs from bit 64 onwards come out of the
+/// bit-sliced comparator.
+const LFSR32_SERIAL_OUT_BITS: usize = 64;
+
+/// Register bits generated serially before the staged recurrences take
+/// over: the nibble recurrence (`p(D)^4`) is valid from sequence bit 96,
+/// the byte recurrence (`p(D)^8`) from sequence bit 224.
+const LFSR32_SERIAL_SEQ_BITS: usize = 96;
+
+/// First sequence bit produced by the byte-level recurrence.
+const LFSR32_BYTE_STAGE_BITS: usize = 224;
+
+/// One step of the width-32 register as a pure function (the all-zeros
+/// lock-up check is provably unreachable for this tap set: the only state
+/// that could shift to zero is `0x8000_0000`, whose feedback bit is one).
+#[inline]
+fn lfsr32_step(state: u32) -> u32 {
+    let feedback = (state ^ (state >> 1) ^ (state >> 21) ^ (state >> 31)) & 1;
+    (state << 1) | feedback
+}
+
+/// Batched comparator fill for the width-32 LFSR (the default hardware RNG).
+///
+/// The Fibonacci register with taps `0x8020_0003` inserts the bit-sequence
+/// `c` satisfying `c_n = c_{n-1} ^ c_{n-2} ^ c_{n-22} ^ c_{n-32}` at bit 0,
+/// and the comparator reads `state & 0xFFFF`, i.e. the 16-bit window
+/// `c_{n-15..n}`. Squaring the characteristic polynomial over GF(2) scales
+/// every lag (`p(D)^{2^k} = p(D^{2^k})`), so after a 96-bit serial bootstrap
+/// the sequence extends *nibble*-wise from bit 96 (`p(D)^4`) and *byte*-wise
+/// from bit 224 (`p(D)^8`: `b_k = b_{k-1} ^ b_{k-2} ^ b_{k-22} ^ b_{k-32}`)
+/// at three XORs per eight register steps; the lag-32 terms reach back into
+/// the register's own seed bits, stored as virtual history. The threshold
+/// comparison is then evaluated bit-sliced — 16 shifted bit-planes of the
+/// sequence against the threshold's bits — yielding 64 comparator outputs
+/// per iteration with no serial dependence.
+///
+/// Bit-exact with the per-bit loop: the same `c` sequence is produced (it is
+/// the unique solution of the recurrence from the register seed) and the
+/// register state is resynchronized at the end, so subsequent draws continue
+/// the identical stream.
+fn fill_words_lfsr32_batched(
+    lfsr: &mut Lfsr,
+    threshold: u32,
+    words: &mut [u64],
+    bits: usize,
+    seq: &mut Vec<u8>,
+) {
+    if bits < LFSR32_SERIAL_OUT_BITS + 64 {
+        fill_words_with(|| lfsr.next_u32(), threshold, words, bits);
+        return;
+    }
+    let batch_words = (bits - LFSR32_SERIAL_OUT_BITS) / 64;
+    let batch_bits = batch_words * 64;
+    let tail_bits = bits - LFSR32_SERIAL_OUT_BITS - batch_bits;
+    // Sequence bits generated (serially or by recurrence), excluding the 32
+    // virtual seed bits; always a multiple of 64 and at least 256.
+    let total_seq_bits = LFSR32_SERIAL_OUT_BITS + batch_bits;
+
+    // Buffer layout: 4 bytes of virtual history (the register's seed bits,
+    // oldest first) followed by the generated sequence, byte-packed
+    // LSB-first, plus 16 zero padding bytes so the 128-bit window loads
+    // below stay in bounds (the padding is never selected by the shifts).
+    let seq_bytes = total_seq_bits / 8;
+    seq.clear();
+    seq.resize(4 + seq_bytes + 16, 0);
+    seq[0..4].copy_from_slice(&lfsr.state().reverse_bits().to_le_bytes());
+
+    // Phase A: serial bootstrap in a register-local loop — 64 comparator
+    // outputs and 96 sequence bits.
+    let mut state = lfsr.state();
+    {
+        let mut out_word = 0u64;
+        let mut seq_word = 0u64;
+        for bit in 0..64 {
+            state = lfsr32_step(state);
+            seq_word |= u64::from(state & 1) << bit;
+            out_word |= u64::from((state & 0xFFFF) < threshold) << bit;
+        }
+        words[0] = out_word;
+        seq[4..12].copy_from_slice(&seq_word.to_le_bytes());
+    }
+    let mut seq_word = 0u32;
+    for bit in 0..(LFSR32_SERIAL_SEQ_BITS - LFSR32_SERIAL_OUT_BITS) {
+        state = lfsr32_step(state);
+        seq_word |= (state & 1) << bit;
+    }
+    seq[4 + LFSR32_SERIAL_OUT_BITS / 8..4 + LFSR32_SERIAL_SEQ_BITS / 8]
+        .copy_from_slice(&seq_word.to_le_bytes());
+
+    // Phase B1: nibble-level recurrence (`p(D)^4`: lags 4/8/88/128 bits)
+    // extends the sequence from bit 96 to bit 224, 4 register steps per
+    // three XORs. Buffer nibble index = sequence nibble index + 8 (the 32
+    // virtual bits); the lag-32-nibble term reaches the virtual seed bits.
+    let nibble_end = (32 + total_seq_bits.min(LFSR32_BYTE_STAGE_BITS)) / 4;
+    for nk in (32 + LFSR32_SERIAL_SEQ_BITS) / 4..nibble_end {
+        let nib = |i: usize| (seq[i / 2] >> (4 * (i & 1))) & 0xF;
+        let value = nib(nk - 1) ^ nib(nk - 2) ^ nib(nk - 22) ^ nib(nk - 32);
+        seq[nk / 2] |= value << (4 * (nk & 1));
+    }
+
+    // Phase B2: byte-level recurrence (`p(D)^8`: lags 8/16/176/256 bits)
+    // from sequence bit 224 (= buffer byte 32) onwards, 8 register steps
+    // per three XORs.
+    for k in (32 + LFSR32_BYTE_STAGE_BITS) / 8..4 + seq_bytes {
+        seq[k] = seq[k - 1] ^ seq[k - 2] ^ seq[k - 22] ^ seq[k - 32];
+    }
+
+    // Phase C: bit-sliced threshold comparison, 64 samples per iteration.
+    if threshold > 0xFFFF {
+        // p == 1.0: every sample satisfies `sample < threshold`.
+        for word in words
+            .iter_mut()
+            .skip(LFSR32_SERIAL_OUT_BITS / 64)
+            .take(batch_words)
+        {
+            *word = u64::MAX;
+        }
+    } else if threshold == 0 {
+        for word in words
+            .iter_mut()
+            .skip(LFSR32_SERIAL_OUT_BITS / 64)
+            .take(batch_words)
+        {
+            *word = 0;
+        }
+    } else {
+        for w in 0..batch_words {
+            let t0 = LFSR32_SERIAL_OUT_BITS + w * 64;
+            // One 128-bit window covers sequence bits `t0-15 .. t0+63`
+            // (buffer bit offset `t0+17`); plane `j` — sample bit `j` of
+            // the 64 samples — is that window shifted so its bit `i`
+            // equals sequence bit `t0+i-j`.
+            let base = t0 + 32 - 15;
+            let byte = base / 8;
+            let shift = (base % 8) as u32;
+            let window =
+                u128::from_le_bytes(seq[byte..byte + 16].try_into().expect("16 bytes")) >> shift;
+            let mut lt = 0u64;
+            let mut eq = u64::MAX;
+            // `lt` is final once the threshold's lowest set bit has been
+            // processed: below it every threshold bit is zero, which only
+            // narrows `eq`.
+            for j in (threshold.trailing_zeros()..16).rev() {
+                let plane = (window >> (15 - j)) as u64;
+                if (threshold >> j) & 1 == 1 {
+                    lt |= eq & !plane;
+                    eq &= plane;
+                } else {
+                    eq &= !plane;
+                }
+            }
+            words[t0 / 64] = lt;
+        }
+    }
+
+    // Resynchronize the register: its state is the last 32 sequence bits in
+    // reverse order (state bit j = c_{N-1-j}).
+    let last = u32::from_le_bytes(seq[seq_bytes..seq_bytes + 4].try_into().expect("4 bytes"));
+    lfsr.set_state(last.reverse_bits());
+
+    // Tail: remaining bits (< 64) run serially from the resynced state.
+    if tail_bits > 0 {
+        let mut state = lfsr.state();
+        let mut out_word = 0u64;
+        for bit in 0..tail_bits {
+            state = lfsr32_step(state);
+            out_word |= u64::from((state & 0xFFFF) < threshold) << bit;
+        }
+        words[total_seq_bits / 64] = out_word;
+        lfsr.set_state(state);
+    }
+}
+
+/// Word-at-a-time comparator fill: draws one 16-bit threshold sample per bit
+/// and packs the comparator outputs into `u64` words directly, eliminating
+/// the per-bit `BitStream::set` bounds check / read-modify-write.
+fn fill_words_with(mut raw: impl FnMut() -> u32, threshold: u32, words: &mut [u64], bits: usize) {
+    let mask = (1u32 << THRESHOLD_BITS) - 1;
+    let full_words = bits / 64;
+    for word in words.iter_mut().take(full_words) {
+        let mut packed = 0u64;
+        for bit in 0..64 {
+            packed |= u64::from((raw() & mask) < threshold) << bit;
+        }
+        *word = packed;
+    }
+    let tail_bits = bits % 64;
+    if tail_bits != 0 {
+        let mut packed = 0u64;
+        for bit in 0..tail_bits {
+            packed |= u64::from((raw() & mask) < threshold) << bit;
+        }
+        words[full_words] = packed;
+    }
 }
 
 /// A comparator-based stochastic number generator.
@@ -57,11 +279,16 @@ pub struct Sng {
     source: Source,
     kind: SngKind,
     seed: u64,
+    /// Reusable byte buffer for the batched LFSR32 fill path.
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Sng {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sng").field("kind", &self.kind).field("seed", &self.seed).finish()
+        f.debug_struct("Sng")
+            .field("kind", &self.kind)
+            .field("seed", &self.seed)
+            .finish()
     }
 }
 
@@ -73,7 +300,12 @@ impl Sng {
             SngKind::Lfsr32 => Source::Lfsr(Lfsr::new(LfsrWidth::W32, seed as u32 ^ 0x9E37_79B9)),
             SngKind::Ideal => Source::Ideal(SoftwareRng::new(StdRng::seed_from_u64(seed))),
         };
-        Self { source, kind, seed }
+        Self {
+            source,
+            kind,
+            seed,
+            scratch: Vec::new(),
+        }
     }
 
     /// The generator kind.
@@ -97,8 +329,63 @@ impl Sng {
         probability: f64,
         length: StreamLength,
     ) -> Result<BitStream, ScError> {
+        let mut stream = BitStream::zeros(length);
+        self.generate_probability_into(probability, &mut stream)?;
+        Ok(stream)
+    }
+
+    /// Fills an existing stream with a fresh encoding of `probability`,
+    /// word-parallel and without allocating. Every word of `stream` is
+    /// overwritten; the stream keeps its length.
+    ///
+    /// Output is bit-exact with [`Sng::generate_probability_bitwise`] for the
+    /// same generator state: both consume one threshold sample per bit in
+    /// stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `probability` is not within
+    /// `[0, 1]`.
+    pub fn generate_probability_into(
+        &mut self,
+        probability: f64,
+        stream: &mut BitStream,
+    ) -> Result<(), ScError> {
         if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
-            return Err(ScError::ValueOutOfRange { value: probability, min: 0.0, max: 1.0 });
+            return Err(ScError::ValueOutOfRange {
+                value: probability,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        let threshold = (probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32;
+        let bits = stream.len();
+        self.source
+            .fill_words(threshold, stream.words_mut(), bits, &mut self.scratch);
+        Ok(())
+    }
+
+    /// Per-bit reference implementation of [`Sng::generate_probability`].
+    ///
+    /// This is the original comparator loop (one `BitStream::set` per bit),
+    /// kept as the baseline the word-parallel fill is property-tested and
+    /// benchmarked against. Not for production use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `probability` is not within
+    /// `[0, 1]`.
+    pub fn generate_probability_bitwise(
+        &mut self,
+        probability: f64,
+        length: StreamLength,
+    ) -> Result<BitStream, ScError> {
+        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+            return Err(ScError::ValueOutOfRange {
+                value: probability,
+                min: 0.0,
+                max: 1.0,
+            });
         }
         let threshold = (probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32;
         let mut stream = BitStream::zeros(length);
@@ -139,6 +426,36 @@ impl Sng {
         self.generate_probability(p, length)
     }
 
+    /// Fills an existing stream with a unipolar encoding of `value ∈ [0, 1]`
+    /// (allocation-free variant of [`Sng::generate_unipolar`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[0, 1]`.
+    pub fn generate_unipolar_into(
+        &mut self,
+        value: f64,
+        stream: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let p = Unipolar::to_probability(value)?;
+        self.generate_probability_into(p, stream)
+    }
+
+    /// Fills an existing stream with a bipolar encoding of `value ∈ [-1, 1]`
+    /// (allocation-free variant of [`Sng::generate_bipolar`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[-1, 1]`.
+    pub fn generate_bipolar_into(
+        &mut self,
+        value: f64,
+        stream: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let p = Bipolar::to_probability(value)?;
+        self.generate_probability_into(p, stream)
+    }
+
     /// Generates one bipolar stream per input value, reusing this generator's
     /// randomness source for all of them (shared-LFSR hardware model).
     ///
@@ -153,7 +470,10 @@ impl Sng {
         if values.is_empty() {
             return Err(ScError::EmptyInput);
         }
-        values.iter().map(|&v| self.generate_bipolar(v, length)).collect()
+        values
+            .iter()
+            .map(|&v| self.generate_bipolar(v, length))
+            .collect()
     }
 }
 
@@ -172,7 +492,12 @@ impl SngBank {
     /// `base_seed`.
     pub fn new(kind: SngKind, lanes: usize, base_seed: u64) -> Self {
         let generators = (0..lanes)
-            .map(|lane| Sng::new(kind, base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1))))
+            .map(|lane| {
+                Sng::new(
+                    kind,
+                    base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1)),
+                )
+            })
             .collect();
         Self { generators }
     }
@@ -212,6 +537,48 @@ impl SngBank {
             .zip(self.generators.iter_mut())
             .map(|(&v, sng)| sng.generate_bipolar(v, length))
             .collect()
+    }
+
+    /// Arena-backed variant of [`SngBank::generate_bipolar`]: stream buffers
+    /// come from (and should later be recycled into) `arena`, so repeated
+    /// evaluations allocate nothing in steady state. Output is bit-identical
+    /// to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SngBank::generate_bipolar`].
+    pub fn generate_bipolar_with(
+        &mut self,
+        values: &[f64],
+        length: StreamLength,
+        arena: &mut crate::arena::StreamArena,
+    ) -> Result<Vec<BitStream>, ScError> {
+        if values.is_empty() {
+            return Err(ScError::EmptyInput);
+        }
+        if values.len() > self.generators.len() {
+            return Err(ScError::InvalidParameter {
+                name: "values",
+                message: format!(
+                    "{} values exceed the {} available SNG lanes",
+                    values.len(),
+                    self.generators.len()
+                ),
+            });
+        }
+        let mut streams = Vec::with_capacity(values.len());
+        for (&value, sng) in values.iter().zip(self.generators.iter_mut()) {
+            let mut stream = arena.take_zeroed(length);
+            match sng.generate_bipolar_into(value, &mut stream) {
+                Ok(()) => streams.push(stream),
+                Err(error) => {
+                    arena.recycle(stream);
+                    arena.recycle_all(streams);
+                    return Err(error);
+                }
+            }
+        }
+        Ok(streams)
     }
 
     /// Mutable access to an individual lane.
@@ -308,6 +675,69 @@ mod tests {
     #[test]
     fn batch_requires_values() {
         let mut sng = Sng::new(SngKind::Lfsr32, 3);
-        assert_eq!(sng.generate_bipolar_batch(&[], length()), Err(ScError::EmptyInput));
+        assert_eq!(
+            sng.generate_bipolar_batch(&[], length()),
+            Err(ScError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn word_fill_is_bit_exact_with_bitwise_reference() {
+        for kind in [SngKind::Lfsr16, SngKind::Lfsr32, SngKind::Ideal] {
+            for bits in [1usize, 63, 64, 65, 100, 127, 1024] {
+                for &p in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+                    let len = StreamLength::new(bits);
+                    let mut fast = Sng::new(kind, 42);
+                    let mut reference = Sng::new(kind, 42);
+                    let a = fast.generate_probability(p, len).unwrap();
+                    let b = reference.generate_probability_bitwise(p, len).unwrap();
+                    assert_eq!(a, b, "{kind:?} p={p} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_into_reuses_buffer_and_matches() {
+        let len = StreamLength::new(777);
+        let mut a = Sng::new(SngKind::Lfsr32, 9);
+        let mut b = Sng::new(SngKind::Lfsr32, 9);
+        let mut reused = BitStream::zeros(len);
+        // Fill the buffer twice; the second fill must fully overwrite the first.
+        a.generate_bipolar_into(0.9, &mut reused).unwrap();
+        a.generate_bipolar_into(-0.3, &mut reused).unwrap();
+        let fresh_first = b.generate_bipolar(0.9, len).unwrap();
+        let fresh_second = b.generate_bipolar(-0.3, len).unwrap();
+        assert_ne!(reused, fresh_first);
+        assert_eq!(reused, fresh_second);
+    }
+
+    #[test]
+    fn generate_into_rejects_bad_values() {
+        let mut sng = Sng::new(SngKind::Lfsr32, 1);
+        let mut stream = BitStream::zeros(length());
+        assert!(sng.generate_probability_into(1.5, &mut stream).is_err());
+        assert!(sng.generate_bipolar_into(-2.0, &mut stream).is_err());
+        assert!(sng.generate_unipolar_into(-0.1, &mut stream).is_err());
+    }
+
+    #[test]
+    fn arena_bank_generation_matches_allocating_bank() {
+        let mut arena = crate::arena::StreamArena::new();
+        let values = [0.25, -0.5, 0.75];
+        let mut plain = SngBank::new(SngKind::Lfsr32, 3, 7);
+        let mut pooled = SngBank::new(SngKind::Lfsr32, 3, 7);
+        let expected = plain.generate_bipolar(&values, length()).unwrap();
+        let streams = pooled
+            .generate_bipolar_with(&values, length(), &mut arena)
+            .unwrap();
+        assert_eq!(streams, expected);
+        arena.recycle_all(streams);
+        // Second round reuses the recycled buffers and must still match.
+        let expected = plain.generate_bipolar(&values, length()).unwrap();
+        let streams = pooled
+            .generate_bipolar_with(&values, length(), &mut arena)
+            .unwrap();
+        assert_eq!(streams, expected);
     }
 }

@@ -15,8 +15,15 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn mean_absolute_error(observed: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
-    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    assert_eq!(
+        observed.len(),
+        reference.len(),
+        "paired slices must have equal length"
+    );
+    assert!(
+        !observed.is_empty(),
+        "error over an empty sample is undefined"
+    );
     observed
         .iter()
         .zip(reference.iter())
@@ -32,8 +39,15 @@ pub fn mean_absolute_error(observed: &[f64], reference: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn mean_relative_error(observed: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
-    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    assert_eq!(
+        observed.len(),
+        reference.len(),
+        "paired slices must have equal length"
+    );
+    assert!(
+        !observed.is_empty(),
+        "error over an empty sample is undefined"
+    );
     let mut total = 0.0;
     let mut counted = 0usize;
     for (o, r) in observed.iter().zip(reference.iter()) {
@@ -55,8 +69,15 @@ pub fn mean_relative_error(observed: &[f64], reference: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn rmse(observed: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(observed.len(), reference.len(), "paired slices must have equal length");
-    assert!(!observed.is_empty(), "error over an empty sample is undefined");
+    assert_eq!(
+        observed.len(),
+        reference.len(),
+        "paired slices must have equal length"
+    );
+    assert!(
+        !observed.is_empty(),
+        "error over an empty sample is undefined"
+    );
     let mse = observed
         .iter()
         .zip(reference.iter())

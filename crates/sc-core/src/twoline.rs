@@ -28,7 +28,10 @@ impl TwoLineStream {
     /// Returns [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn new(magnitude: BitStream, sign: BitStream) -> Result<Self, ScError> {
         if magnitude.len() != sign.len() {
-            return Err(ScError::LengthMismatch { left: magnitude.len(), right: sign.len() });
+            return Err(ScError::LengthMismatch {
+                left: magnitude.len(),
+                right: sign.len(),
+            });
         }
         Ok(Self { magnitude, sign })
     }
@@ -45,7 +48,11 @@ impl TwoLineStream {
         rng: &mut R,
     ) -> Result<Self, ScError> {
         if !(-1.0..=1.0).contains(&value) || value.is_nan() {
-            return Err(ScError::ValueOutOfRange { value, min: -1.0, max: 1.0 });
+            return Err(ScError::ValueOutOfRange {
+                value,
+                min: -1.0,
+                max: 1.0,
+            });
         }
         let magnitude_probability = value.abs();
         let threshold = (magnitude_probability * 65536.0).round() as u32;
@@ -143,7 +150,10 @@ impl TwoLineAdder {
     /// Returns [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn add(&self, a: &TwoLineStream, b: &TwoLineStream) -> Result<TwoLineSum, ScError> {
         if a.len() != b.len() {
-            return Err(ScError::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(ScError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         let length = StreamLength::try_new(a.len())?;
         let mut magnitude = BitStream::zeros(length);
@@ -169,7 +179,10 @@ impl TwoLineAdder {
                 }
             }
         }
-        Ok(TwoLineSum { stream: TwoLineStream::new(magnitude, sign)?, saturated_cycles: saturated })
+        Ok(TwoLineSum {
+            stream: TwoLineStream::new(magnitude, sign)?,
+            saturated_cycles: saturated,
+        })
     }
 
     /// Adds an arbitrary number of streams by chaining pairwise additions,
@@ -182,7 +195,10 @@ impl TwoLineAdder {
     /// [`ScError::LengthMismatch`] on length mismatch.
     pub fn sum(&self, inputs: &[TwoLineStream]) -> Result<TwoLineSum, ScError> {
         let first = inputs.first().ok_or(ScError::EmptyInput)?;
-        let mut acc = TwoLineSum { stream: first.clone(), saturated_cycles: 0 };
+        let mut acc = TwoLineSum {
+            stream: first.clone(),
+            saturated_cycles: 0,
+        };
         for stream in &inputs[1..] {
             let next = self.add(&acc.stream, stream)?;
             acc = TwoLineSum {
@@ -214,7 +230,11 @@ mod tests {
         for &value in &[-0.9f64, -0.3, 0.0, 0.4, 0.8] {
             let mut rng = Lfsr::new_32(7 + (value.to_bits() & 0xFF) as u32);
             let stream = TwoLineStream::encode(value, length, &mut rng).unwrap();
-            assert!((stream.value() - value).abs() < 0.05, "value {value} decoded as {}", stream.value());
+            assert!(
+                (stream.value() - value).abs() < 0.05,
+                "value {value} decoded as {}",
+                stream.value()
+            );
         }
     }
 
@@ -256,7 +276,10 @@ mod tests {
         let sum = TwoLineAdder::new().sum(&streams).unwrap();
         // The true sum is 4.8 but the representation saturates near 1.
         assert!(sum.stream.value() < 1.01);
-        assert!(sum.saturated_cycles > 0, "expected overflow cycles for a sum of 4.8");
+        assert!(
+            sum.saturated_cycles > 0,
+            "expected overflow cycles for a sum of 4.8"
+        );
     }
 
     #[test]

@@ -39,14 +39,23 @@ impl ScNetworkConfig {
         stream_length: usize,
         pooling: PoolingStyle,
     ) -> Self {
-        assert!(!layer_kinds.is_empty(), "a configuration needs at least one layer");
+        assert!(
+            !layer_kinds.is_empty(),
+            "a configuration needs at least one layer"
+        );
         let weight_bits = DEFAULT_WEIGHT_BITS
             .iter()
             .copied()
             .chain(std::iter::repeat(*DEFAULT_WEIGHT_BITS.last().unwrap()))
             .take(layer_kinds.len())
             .collect();
-        Self { name: name.into(), layer_kinds, stream_length, pooling, weight_bits }
+        Self {
+            name: name.into(),
+            layer_kinds,
+            stream_length,
+            pooling,
+            weight_bits,
+        }
     }
 
     /// Builder-style override of the per-layer weight precisions.
@@ -172,7 +181,13 @@ mod tests {
             PoolingStyle::Average,
         );
         assert_eq!(config.with_halved_stream().stream_length, 1);
-        assert_eq!(config.with_halved_stream().with_halved_stream().stream_length, 1);
+        assert_eq!(
+            config
+                .with_halved_stream()
+                .with_halved_stream()
+                .stream_length,
+            1
+        );
     }
 
     #[test]
@@ -180,12 +195,18 @@ mod tests {
         let configs = table6_configurations();
         assert_eq!(configs.len(), 12);
         assert!(configs[..6].iter().all(|c| c.pooling == PoolingStyle::Max));
-        assert!(configs[6..].iter().all(|c| c.pooling == PoolingStyle::Average));
+        assert!(configs[6..]
+            .iter()
+            .all(|c| c.pooling == PoolingStyle::Average));
         assert_eq!(configs[0].stream_length, 1024);
         assert_eq!(configs[10].stream_length, 256);
         assert_eq!(configs[10].layer_summary(), "MUX-APC-APC");
         for config in &configs {
-            assert!(config.is_pooling_consistent(), "{} mixes pooling styles", config.name);
+            assert!(
+                config.is_pooling_consistent(),
+                "{} mixes pooling styles",
+                config.name
+            );
         }
     }
 

@@ -58,7 +58,11 @@ impl FebErrorModel {
     /// Creates a model that calibrates each point with the given number of
     /// Monte-Carlo trials.
     pub fn new(trials: usize, seed: u64) -> Self {
-        Self { cache: Mutex::new(HashMap::new()), trials: trials.max(1), seed }
+        Self {
+            cache: Mutex::new(HashMap::new()),
+            trials: trials.max(1),
+            seed,
+        }
     }
 
     /// A fast model for tests and examples (few trials per point).
@@ -79,7 +83,11 @@ impl FebErrorModel {
         stream_length: usize,
     ) -> CalibratedError {
         let bucketed_input = bucket_input_size(input_size);
-        let key = CalibrationKey { kind, input_size: bucketed_input, stream_length };
+        let key = CalibrationKey {
+            kind,
+            input_size: bucketed_input,
+            stream_length,
+        };
         if let Some(&hit) = self.cache.lock().get(&key) {
             return hit;
         }
@@ -90,8 +98,10 @@ impl FebErrorModel {
             self.trials,
             self.seed ^ (bucketed_input as u64) << 16 ^ stream_length as u64,
         );
-        let calibrated =
-            CalibratedError { mean_absolute: summary.mean_absolute, rmse: summary.rmse };
+        let calibrated = CalibratedError {
+            mean_absolute: summary.mean_absolute,
+            rmse: summary.rmse,
+        };
         self.cache.lock().insert(key, calibrated);
         calibrated
     }
@@ -126,7 +136,10 @@ impl<'a> ErrorInjection<'a> {
     /// Creates an injection evaluator for a network whose paper layers have
     /// the given receptive-field sizes.
     pub fn new(model: &'a FebErrorModel, layer_input_sizes: Vec<usize>) -> Self {
-        Self { model, layer_input_sizes }
+        Self {
+            model,
+            layer_input_sizes,
+        }
     }
 
     /// The standard LeNet-5 receptive-field sizes (25, 500, 800).
@@ -135,15 +148,36 @@ impl<'a> ErrorInjection<'a> {
     }
 
     /// Per-layer noise sigmas for a configuration.
+    ///
+    /// Uncached calibration points run in parallel (each is a bit-level
+    /// Monte-Carlo of its feature extraction block); the calibration per
+    /// (kind, size, length) key is deterministic, so the sigmas are
+    /// identical whatever the thread count.
     pub fn layer_sigmas(&self, config: &ScNetworkConfig) -> Vec<f64> {
+        // Layers that bucket to the same calibration key are deduplicated
+        // before the parallel warm-up so a cold cache computes each point
+        // exactly once (LeNet-5's 500- and 800-input layers share a bucket).
+        let mut unique: Vec<(FeatureBlockKind, usize)> = Vec::new();
+        for (layer, &kind) in config.layer_kinds.iter().enumerate() {
+            let input_size = self.layer_input_sizes.get(layer).copied().unwrap_or(64);
+            let key = (kind, bucket_input_size(input_size));
+            if !unique.contains(&key) {
+                unique.push(key);
+            }
+        }
+        sc_core::parallel::parallel_map(&unique, |_, &(kind, input_size)| {
+            self.model.calibrate(kind, input_size, config.stream_length)
+        });
+        // Every key is now cached; assemble the per-layer sigmas from it.
         config
             .layer_kinds
             .iter()
             .enumerate()
             .map(|(layer, &kind)| {
-                let input_size =
-                    self.layer_input_sizes.get(layer).copied().unwrap_or(64);
-                self.model.calibrate(kind, input_size, config.stream_length).rmse
+                let input_size = self.layer_input_sizes.get(layer).copied().unwrap_or(64);
+                self.model
+                    .calibrate(kind, input_size, config.stream_length)
+                    .rmse
             })
             .collect()
     }
@@ -290,7 +324,12 @@ mod tests {
         let model = FebErrorModel::fast();
         let apc = model.calibrate(FeatureBlockKind::ApcAvgBtanh, 25, 256);
         let mux = model.calibrate(FeatureBlockKind::MuxAvgStanh, 25, 256);
-        assert!(apc.rmse < mux.rmse, "APC rmse {} vs MUX rmse {}", apc.rmse, mux.rmse);
+        assert!(
+            apc.rmse < mux.rmse,
+            "APC rmse {} vs MUX rmse {}",
+            apc.rmse,
+            mux.rmse
+        );
         assert!(apc.mean_absolute > 0.0);
     }
 
@@ -317,7 +356,8 @@ mod tests {
         assert_eq!(sigmas.len(), 3);
         // The noisy error rate is at least the baseline minus statistical
         // fluctuation (injection can only hurt on average).
-        let noisy = injection.error_rate(&mut network, &cfg, &data.test_images, &data.test_labels, 1);
+        let noisy =
+            injection.error_rate(&mut network, &cfg, &data.test_images, &data.test_labels, 1);
         assert!(noisy + 0.2 >= baseline);
     }
 
@@ -335,8 +375,13 @@ mod tests {
             &data.test_labels,
             7,
         );
-        let sloppy_err =
-            injection.error_rate(&mut network, &sloppy, &data.test_images, &data.test_labels, 7);
+        let sloppy_err = injection.error_rate(
+            &mut network,
+            &sloppy,
+            &data.test_images,
+            &data.test_labels,
+            7,
+        );
         assert!(
             sloppy_err >= accurate_err,
             "MUX-Avg at L=256 ({sloppy_err}) should not beat APC-Max at L=1024 ({accurate_err})"

@@ -18,11 +18,12 @@ pub fn lenet5_network_config(config: &ScNetworkConfig) -> NetworkConfig {
     let layers: Vec<LayerSpec> = shapes
         .iter()
         .map(|shape| {
-            let kind = config
-                .layer_kinds
-                .get(shape.index)
-                .copied()
-                .unwrap_or(*config.layer_kinds.last().expect("configurations are non-empty"));
+            let kind = config.layer_kinds.get(shape.index).copied().unwrap_or(
+                *config
+                    .layer_kinds
+                    .last()
+                    .expect("configurations are non-empty"),
+            );
             let weight_bits = config
                 .weight_bits
                 .get(shape.index)
@@ -98,7 +99,7 @@ mod tests {
         assert_eq!(network.layers[0].unit_count, 2880);
         assert_eq!(network.layers[0].input_size, 25);
         assert_eq!(network.layers[1].unit_count, 800);
-        assert_eq!(network.layers[2].has_pooling, false);
+        assert!(!network.layers[2].has_pooling);
         assert_eq!(network.stream_length, 1024);
     }
 

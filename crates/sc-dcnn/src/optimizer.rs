@@ -30,7 +30,11 @@ pub struct OptimizerOptions {
 
 impl Default for OptimizerOptions {
     fn default() -> Self {
-        Self { accuracy_threshold_percent: 1.5, max_stream_length: 1024, min_stream_length: 128 }
+        Self {
+            accuracy_threshold_percent: 1.5,
+            max_stream_length: 1024,
+            min_stream_length: 128,
+        }
     }
 }
 
@@ -74,9 +78,7 @@ impl DesignSpaceOptimizer {
     pub fn candidate_assignments(pooling: PoolingStyle) -> Vec<Vec<FeatureBlockKind>> {
         let (mux, apc) = match pooling {
             PoolingStyle::Max => (FeatureBlockKind::MuxMaxStanh, FeatureBlockKind::ApcMaxBtanh),
-            PoolingStyle::Average => {
-                (FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::ApcAvgBtanh)
-            }
+            PoolingStyle::Average => (FeatureBlockKind::MuxAvgStanh, FeatureBlockKind::ApcAvgBtanh),
         };
         let mut assignments = Vec::new();
         for layer0 in [mux, apc] {
@@ -135,7 +137,9 @@ impl DesignSpaceOptimizer {
 
     /// The most area-efficient configuration among those meeting the
     /// accuracy threshold.
-    pub fn most_area_efficient(evaluations: &[CandidateEvaluation]) -> Option<&CandidateEvaluation> {
+    pub fn most_area_efficient(
+        evaluations: &[CandidateEvaluation],
+    ) -> Option<&CandidateEvaluation> {
         evaluations
             .iter()
             .filter(|e| e.meets_accuracy)
@@ -196,7 +200,9 @@ mod tests {
             .iter()
             .all(|kinds| kinds.iter().all(|k| k.uses_max_pooling())));
         let avg = DesignSpaceOptimizer::candidate_assignments(PoolingStyle::Average);
-        assert!(avg.iter().all(|kinds| kinds.iter().all(|k| !k.uses_max_pooling())));
+        assert!(avg
+            .iter()
+            .all(|kinds| kinds.iter().all(|k| !k.uses_max_pooling())));
     }
 
     #[test]

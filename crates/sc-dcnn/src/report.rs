@@ -38,7 +38,15 @@ pub fn table6_row(evaluation: &CandidateEvaluation) -> String {
 pub fn table6_header() -> String {
     format!(
         "{:<10} {:<8} {:>6} {:<16} {:>10} {:>10} {:>9} {:>10} {:>10}",
-        "Config", "Pooling", "L", "Layers", "Inacc(%)", "Area(mm2)", "Power(W)", "Delay(ns)", "Energy(uJ)"
+        "Config",
+        "Pooling",
+        "L",
+        "Layers",
+        "Inacc(%)",
+        "Area(mm2)",
+        "Power(W)",
+        "Delay(ns)",
+        "Energy(uJ)"
     )
 }
 

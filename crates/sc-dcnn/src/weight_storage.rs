@@ -49,7 +49,7 @@ pub fn evaluate_uniform_precision(
     quantize_network(network, &scheme);
     let error_rate = network.error_rate(images, labels);
     restore_weights(network, &snapshot);
-    let (area_saving, power_saving) = lenet5_sram_savings(&vec![bits; 3]);
+    let (area_saving, power_saving) = lenet5_sram_savings(&[bits; 3]);
     PrecisionEvaluation {
         description: format!("all layers @ {bits} bits"),
         bits: vec![bits],
@@ -72,7 +72,10 @@ pub fn evaluate_single_layer_precision(
     let applied = quantize_single_layer(network, layer_index, bits);
     let error_rate = network.error_rate(images, labels);
     restore_weights(network, &snapshot);
-    assert!(applied, "layer index {layer_index} has no weights to quantize");
+    assert!(
+        applied,
+        "layer index {layer_index} has no weights to quantize"
+    );
     PrecisionEvaluation {
         description: format!("layer {layer_index} @ {bits} bits"),
         bits: vec![bits],
@@ -109,8 +112,11 @@ pub fn evaluate_layer_wise_precision(
 /// network's parameterized layers (4 for LeNet-5: conv1, conv2, fc1, fc2 —
 /// the two fully-connected layers share the "Layer2" precision).
 fn layerwise_scheme_for_network(network: &Network, bits: &[usize]) -> PrecisionScheme {
-    let parameterized =
-        network.layers().iter().filter(|l| l.weights().is_some()).count();
+    let parameterized = network
+        .layers()
+        .iter()
+        .filter(|l| l.weights().is_some())
+        .count();
     let mut expanded = Vec::with_capacity(parameterized);
     for index in 0..parameterized {
         let paper_layer = index.min(bits.len().saturating_sub(1));
@@ -128,10 +134,15 @@ pub fn lenet5_sram_savings(bits: &[usize]) -> (f64, f64) {
     let mut reduced_power = 0.0;
     let mut baseline_power = 0.0;
     for shape in &shapes {
-        let layer_bits = bits.get(shape.index).copied().unwrap_or(*bits.last().unwrap_or(&7));
+        let layer_bits = bits
+            .get(shape.index)
+            .copied()
+            .unwrap_or(*bits.last().unwrap_or(&7));
         let reduced = sram_cost(&SramConfig::unshared(shape.weight_count, layer_bits));
-        let baseline =
-            sram_cost(&SramConfig::unshared(shape.weight_count, BASELINE_WEIGHT_BITS));
+        let baseline = sram_cost(&SramConfig::unshared(
+            shape.weight_count,
+            BASELINE_WEIGHT_BITS,
+        ));
         reduced_area += reduced.area_um2;
         baseline_area += baseline.area_um2;
         reduced_power += reduced.leakage_mw;
@@ -163,7 +174,11 @@ mod tests {
         network.train(
             &data.train_images,
             &data.train_labels,
-            &TrainingOptions { epochs: 3, learning_rate: 0.08, ..Default::default() },
+            &TrainingOptions {
+                epochs: 3,
+                learning_rate: 0.08,
+                ..Default::default()
+            },
         );
         (network, data)
     }
@@ -172,8 +187,14 @@ mod tests {
     fn lenet5_776_savings_match_paper_magnitude() {
         let (area, power) = lenet5_sram_savings(&[7, 7, 6]);
         // The paper reports 12x area and 11.9x power for the 7-7-6 scheme.
-        assert!((7.0..=14.0).contains(&area), "area saving {area:.1}x out of range");
-        assert!((7.0..=14.0).contains(&power), "power saving {power:.1}x out of range");
+        assert!(
+            (7.0..=14.0).contains(&area),
+            "area saving {area:.1}x out of range"
+        );
+        assert!(
+            (7.0..=14.0).contains(&power),
+            "power saving {power:.1}x out of range"
+        );
     }
 
     #[test]
@@ -187,15 +208,15 @@ mod tests {
     fn uniform_precision_evaluation_restores_weights() {
         let (mut network, data) = trained();
         let before = network.weight_snapshots();
-        let report = evaluate_uniform_precision(
-            &mut network,
-            3,
-            &data.test_images,
-            &data.test_labels,
-        );
+        let report =
+            evaluate_uniform_precision(&mut network, 3, &data.test_images, &data.test_labels);
         let after = network.weight_snapshots();
         for (a, b) in before.iter().zip(after.iter()) {
-            assert_eq!(a.as_slice(), b.as_slice(), "weights must be restored after evaluation");
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "weights must be restored after evaluation"
+            );
         }
         assert!(report.error_rate >= 0.0 && report.error_rate <= 1.0);
         assert!(report.area_saving > 1.0);

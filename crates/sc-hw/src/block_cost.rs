@@ -48,9 +48,7 @@ pub fn pooling_cost(kind: FeatureBlockKind, input_size: usize) -> HardwareCost {
         FeatureBlockKind::MuxAvgStanh => average_pooling_stream(POOL_WINDOW),
         FeatureBlockKind::MuxMaxStanh => hardware_max_pooling_stream(POOL_WINDOW, 5),
         FeatureBlockKind::ApcAvgBtanh => average_pooling_binary(POOL_WINDOW, count_bits),
-        FeatureBlockKind::ApcMaxBtanh => {
-            hardware_max_pooling_binary(POOL_WINDOW, count_bits + 4)
-        }
+        FeatureBlockKind::ApcMaxBtanh => hardware_max_pooling_binary(POOL_WINDOW, count_bits + 4),
     }
 }
 
@@ -62,15 +60,12 @@ pub fn activation_cost(
 ) -> HardwareCost {
     let count_bits = log2_ceil(input_size + 1);
     match kind {
-        FeatureBlockKind::MuxAvgStanh => {
-            stanh_fsm(mux_avg_stanh_states(input_size, stream_length))
-        }
-        FeatureBlockKind::MuxMaxStanh => {
-            stanh_fsm(mux_max_stanh_states(input_size, stream_length))
-        }
-        FeatureBlockKind::ApcAvgBtanh => {
-            btanh_counter(apc_avg_btanh_states(input_size * POOL_WINDOW), count_bits + 2)
-        }
+        FeatureBlockKind::MuxAvgStanh => stanh_fsm(mux_avg_stanh_states(input_size, stream_length)),
+        FeatureBlockKind::MuxMaxStanh => stanh_fsm(mux_max_stanh_states(input_size, stream_length)),
+        FeatureBlockKind::ApcAvgBtanh => btanh_counter(
+            apc_avg_btanh_states(input_size * POOL_WINDOW),
+            count_bits + 2,
+        ),
         FeatureBlockKind::ApcMaxBtanh => {
             btanh_counter(apc_max_btanh_states(input_size), count_bits)
         }
@@ -177,7 +172,10 @@ mod tests {
         for kind in FeatureBlockKind::ALL {
             let small = feature_block_cost(kind, 16, 1024);
             let large = feature_block_cost(kind, 256, 1024);
-            assert!(large.area_um2 > small.area_um2, "{kind:?} area must grow with N");
+            assert!(
+                large.area_um2 > small.area_um2,
+                "{kind:?} area must grow with N"
+            );
         }
     }
 

@@ -161,7 +161,8 @@ pub fn sng(width: usize) -> HardwareCost {
         .with(Gate::Xnor2, width as f64) // comparator bit-equality stage
         .with(Gate::And2, width as f64)
         .with(Gate::Or2, (width - 1) as f64);
-    let path = Gate::Xnor2.delay_ps() + log2_ceil(width) as f64 * Gate::Or2.delay_ps()
+    let path = Gate::Xnor2.delay_ps()
+        + log2_ceil(width) as f64 * Gate::Or2.delay_ps()
         + Gate::Dff.delay_ps();
     HardwareCost::from_gates(&gates, path, DEFAULT_ACTIVITY)
 }
@@ -195,7 +196,10 @@ mod tests {
         for n in [16usize, 32, 64, 128, 256] {
             let mux = mux_adder(n);
             let apc = approximate_parallel_counter(n);
-            assert!(mux.area_um2 < apc.area_um2, "MUX should be smaller than APC at n={n}");
+            assert!(
+                mux.area_um2 < apc.area_um2,
+                "MUX should be smaller than APC at n={n}"
+            );
             assert!(mux.critical_path_ps < apc.critical_path_ps);
         }
     }
@@ -206,7 +210,10 @@ mod tests {
             let apc = approximate_parallel_counter(n);
             let exact = exact_parallel_counter(n);
             let saving = 1.0 - apc.area_um2 / exact.area_um2;
-            assert!((saving - 0.4).abs() < 1e-9, "expected 40% saving, got {saving}");
+            assert!(
+                (saving - 0.4).abs() < 1e-9,
+                "expected 40% saving, got {saving}"
+            );
         }
     }
 

@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn parallel_takes_max_path_serial_adds() {
         let a = sample();
-        let b = HardwareCost { critical_path_ps: 300.0, ..sample() };
+        let b = HardwareCost {
+            critical_path_ps: 300.0,
+            ..sample()
+        };
         assert_eq!(a.in_parallel_with(&b).critical_path_ps, 300.0);
         assert_eq!(a.in_series_with(&b).critical_path_ps, 500.0);
         assert_eq!(a.in_series_with(&b).area_um2, 200.0);
@@ -154,7 +157,10 @@ mod tests {
 
     #[test]
     fn area_mm2_conversion() {
-        let cost = HardwareCost { area_um2: 2_000_000.0, ..HardwareCost::zero() };
+        let cost = HardwareCost {
+            area_um2: 2_000_000.0,
+            ..HardwareCost::zero()
+        };
         assert!((cost.area_mm2() - 2.0).abs() < 1e-12);
     }
 }

@@ -178,7 +178,11 @@ impl GateCounts {
     /// Total switching energy per cycle in fJ, assuming `activity` of the
     /// gates toggle each cycle (SC logic has high activity; 0.5 is typical).
     pub fn switching_energy_fj(&self, activity: f64) -> f64 {
-        self.counts.iter().map(|(g, c)| g.switching_energy_fj() * c).sum::<f64>() * activity
+        self.counts
+            .iter()
+            .map(|(g, c)| g.switching_energy_fj() * c)
+            .sum::<f64>()
+            * activity
     }
 
     /// Total leakage power in nW.
@@ -216,7 +220,10 @@ mod tests {
     #[test]
     fn gate_counts_accumulate() {
         let mut counts = GateCounts::new();
-        counts.add(Gate::Xnor2, 16.0).add(Gate::Xnor2, 4.0).add(Gate::Dff, 2.0);
+        counts
+            .add(Gate::Xnor2, 16.0)
+            .add(Gate::Xnor2, 4.0)
+            .add(Gate::Dff, 2.0);
         assert_eq!(counts.count(Gate::Xnor2), 20.0);
         assert_eq!(counts.total_gates(), 22.0);
         assert!((counts.area_um2() - (20.0 * 1.596 + 2.0 * 4.522)).abs() < 1e-9);
@@ -225,7 +232,9 @@ mod tests {
     #[test]
     fn merge_and_scale_compose() {
         let a = GateCounts::new().with(Gate::FullAdder, 3.0);
-        let mut b = GateCounts::new().with(Gate::FullAdder, 1.0).with(Gate::Inv, 2.0);
+        let mut b = GateCounts::new()
+            .with(Gate::FullAdder, 1.0)
+            .with(Gate::Inv, 2.0);
         b.merge(&a);
         assert_eq!(b.count(Gate::FullAdder), 4.0);
         let doubled = b.scaled(2.0);

@@ -69,7 +69,11 @@ impl LayerSpec {
 
     /// SRAM cost of the layer's weight storage.
     pub fn sram_cost(&self) -> crate::sram::SramCost {
-        sram_cost(&SramConfig::shared(self.weight_count, self.weight_bits, self.sharing_factor))
+        sram_cost(&SramConfig::shared(
+            self.weight_count,
+            self.weight_bits,
+            self.sharing_factor,
+        ))
     }
 
     /// Cost of the stochastic number generators feeding the layer.

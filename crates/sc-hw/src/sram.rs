@@ -48,12 +48,20 @@ pub struct SramConfig {
 impl SramConfig {
     /// Creates a configuration with no sharing (one copy per consumer).
     pub fn unshared(weight_count: usize, weight_bits: usize) -> Self {
-        Self { weight_count, weight_bits, sharing_factor: 1 }
+        Self {
+            weight_count,
+            weight_bits,
+            sharing_factor: 1,
+        }
     }
 
     /// Creates a filter-aware shared configuration.
     pub fn shared(weight_count: usize, weight_bits: usize, sharing_factor: usize) -> Self {
-        Self { weight_count, weight_bits, sharing_factor: sharing_factor.max(1) }
+        Self {
+            weight_count,
+            weight_bits,
+            sharing_factor: sharing_factor.max(1),
+        }
     }
 
     /// Total number of bits that must be physically stored.
@@ -88,7 +96,11 @@ pub fn sram_cost(config: &SramConfig) -> SramCost {
     let words = bits / config.weight_bits.max(1) as f64;
     let read_energy_nj =
         words * (READ_ENERGY_FJ_FIXED + config.weight_bits as f64 * READ_ENERGY_FJ_PER_BIT) * 1e-6;
-    SramCost { area_um2, leakage_mw, read_energy_nj }
+    SramCost {
+        area_um2,
+        leakage_mw,
+        read_energy_nj,
+    }
 }
 
 /// The quantized value stored for a real-valued weight `x` at precision `w`:
@@ -104,14 +116,20 @@ pub fn quantize_weight(x: f64, bits: usize) -> f64 {
 /// Area saving of a reduced-precision configuration relative to the 64-bit
 /// baseline with identical sharing.
 pub fn area_saving_vs_baseline(config: &SramConfig) -> f64 {
-    let baseline = SramConfig { weight_bits: BASELINE_WEIGHT_BITS, ..*config };
+    let baseline = SramConfig {
+        weight_bits: BASELINE_WEIGHT_BITS,
+        ..*config
+    };
     sram_cost(&baseline).area_um2 / sram_cost(config).area_um2
 }
 
 /// Power (leakage) saving of a reduced-precision configuration relative to
 /// the 64-bit baseline with identical sharing.
 pub fn power_saving_vs_baseline(config: &SramConfig) -> f64 {
-    let baseline = SramConfig { weight_bits: BASELINE_WEIGHT_BITS, ..*config };
+    let baseline = SramConfig {
+        weight_bits: BASELINE_WEIGHT_BITS,
+        ..*config
+    };
     sram_cost(&baseline).leakage_mw / sram_cost(config).leakage_mw
 }
 

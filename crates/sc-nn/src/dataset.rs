@@ -25,16 +25,36 @@ pub const CLASSES: usize = 10;
 
 /// 7×5 seed glyphs for the ten digits.
 const GLYPHS: [[&str; 7]; 10] = [
-    ["01110", "10001", "10011", "10101", "11001", "10001", "01110"], // 0
-    ["00100", "01100", "00100", "00100", "00100", "00100", "01110"], // 1
-    ["01110", "10001", "00001", "00110", "01000", "10000", "11111"], // 2
-    ["01110", "10001", "00001", "00110", "00001", "10001", "01110"], // 3
-    ["00010", "00110", "01010", "10010", "11111", "00010", "00010"], // 4
-    ["11111", "10000", "11110", "00001", "00001", "10001", "01110"], // 5
-    ["00110", "01000", "10000", "11110", "10001", "10001", "01110"], // 6
-    ["11111", "00001", "00010", "00100", "01000", "01000", "01000"], // 7
-    ["01110", "10001", "10001", "01110", "10001", "10001", "01110"], // 8
-    ["01110", "10001", "10001", "01111", "00001", "00010", "01100"], // 9
+    [
+        "01110", "10001", "10011", "10101", "11001", "10001", "01110",
+    ], // 0
+    [
+        "00100", "01100", "00100", "00100", "00100", "00100", "01110",
+    ], // 1
+    [
+        "01110", "10001", "00001", "00110", "01000", "10000", "11111",
+    ], // 2
+    [
+        "01110", "10001", "00001", "00110", "00001", "10001", "01110",
+    ], // 3
+    [
+        "00010", "00110", "01010", "10010", "11111", "00010", "00010",
+    ], // 4
+    [
+        "11111", "10000", "11110", "00001", "00001", "10001", "01110",
+    ], // 5
+    [
+        "00110", "01000", "10000", "11110", "10001", "10001", "01110",
+    ], // 6
+    [
+        "11111", "00001", "00010", "00100", "01000", "01000", "01000",
+    ], // 7
+    [
+        "01110", "10001", "10001", "01110", "10001", "10001", "01110",
+    ], // 8
+    [
+        "01110", "10001", "10001", "01111", "00001", "00010", "01100",
+    ], // 9
 ];
 
 /// A generated train/test split.
@@ -58,7 +78,10 @@ impl SyntheticDigits {
     ///
     /// Panics if `train_per_class` is zero.
     pub fn generate(train_per_class: usize, seed: u64) -> Self {
-        assert!(train_per_class > 0, "need at least one training sample per class");
+        assert!(
+            train_per_class > 0,
+            "need at least one training sample per class"
+        );
         let test_per_class = (train_per_class / 4).max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut train_images = Vec::new();
@@ -75,7 +98,12 @@ impl SyntheticDigits {
                 test_labels.push(digit);
             }
         }
-        Self { train_images, train_labels, test_images, test_labels }
+        Self {
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
     }
 
     /// Number of training samples.
@@ -95,11 +123,11 @@ pub fn render_digit(digit: usize, rng: &mut StdRng) -> Tensor {
     let glyph = &GLYPHS[digit];
     let mut image = Tensor::zeros(&[1, IMAGE_SIZE, IMAGE_SIZE]);
     // Random placement and per-sample stroke intensity.
-    let scale = rng.gen_range(2.6..3.4);
-    let offset_x = rng.gen_range(3.0..9.0);
-    let offset_y = rng.gen_range(2.0..6.0);
-    let intensity = rng.gen_range(0.75..1.0);
-    let thickness = rng.gen_range(0.9..1.5);
+    let scale: f32 = rng.gen_range(2.6..3.4);
+    let offset_x: f32 = rng.gen_range(3.0..9.0);
+    let offset_y: f32 = rng.gen_range(2.0..6.0);
+    let intensity: f32 = rng.gen_range(0.75..1.0);
+    let thickness: f32 = rng.gen_range(0.9..1.5);
     for y in 0..IMAGE_SIZE {
         for x in 0..IMAGE_SIZE {
             // Map the image pixel back into glyph coordinates.
@@ -120,7 +148,7 @@ pub fn render_digit(digit: usize, rng: &mut StdRng) -> Tensor {
                     }
                 }
             }
-            let noise = rng.gen_range(-0.06..0.06);
+            let noise: f32 = rng.gen_range(-0.06..0.06);
             *image.at3_mut(0, y, x) = (value.min(1.0) * intensity + noise).clamp(0.0, 1.0);
         }
     }
@@ -172,7 +200,10 @@ mod tests {
         for digit in 0..CLASSES {
             let image = render_digit(digit, &mut rng);
             let bright = image.as_slice().iter().filter(|&&v| v > 0.5).count();
-            assert!(bright > 20, "digit {digit} renders only {bright} bright pixels");
+            assert!(
+                bright > 20,
+                "digit {digit} renders only {bright} bright pixels"
+            );
         }
     }
 
@@ -188,7 +219,10 @@ mod tests {
             .zip(one.as_slice())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 10.0, "digits 0 and 1 are nearly identical (diff {diff})");
+        assert!(
+            diff > 10.0,
+            "digits 0 and 1 are nearly identical (diff {diff})"
+        );
     }
 
     #[test]

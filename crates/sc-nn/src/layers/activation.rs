@@ -28,7 +28,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let output = self.cached_output.clone().expect("forward must run before backward");
+        let output = self
+            .cached_output
+            .clone()
+            .expect("forward must run before backward");
         assert_eq!(output.len(), grad_output.len(), "gradient shape mismatch");
         let data = output
             .as_slice()

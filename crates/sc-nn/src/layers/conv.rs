@@ -28,7 +28,10 @@ impl Conv2d {
     ///
     /// Panics if any dimension is zero.
     pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
-        assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "dimensions must be non-zero");
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "dimensions must be non-zero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let fan_in = in_channels * kernel * kernel;
         let fan_out = out_channels * kernel * kernel;
@@ -93,29 +96,40 @@ impl Layer for Conv2d {
         let (channels, _, _) = input.dims3();
         assert_eq!(channels, self.in_channels, "input channel count mismatch");
         let (out_h, out_w) = self.output_dims(input);
-        let mut output = Tensor::zeros(&[self.out_channels, out_h, out_w]);
-        for o in 0..self.out_channels {
+        // Output channels are independent filter units (the "layer units" of
+        // the SC hardware mapping), so they fan out across threads; each
+        // produces its own plane and the planes are concatenated in channel
+        // order, so the result is bit-identical to the serial loop.
+        let this = &*self;
+        let channel_indices: Vec<usize> = (0..self.out_channels).collect();
+        let planes = sc_core::parallel::parallel_map(&channel_indices, |_, &o| {
+            let mut plane = vec![0.0f32; out_h * out_w];
             for y in 0..out_h {
                 for x in 0..out_w {
-                    let mut acc = self.bias.as_slice()[o];
-                    for i in 0..self.in_channels {
-                        for ky in 0..self.kernel {
-                            for kx in 0..self.kernel {
-                                acc += self.weight_at(o, i, ky, kx)
-                                    * input.at3(i, y + ky, x + kx);
+                    let mut acc = this.bias.as_slice()[o];
+                    for i in 0..this.in_channels {
+                        for ky in 0..this.kernel {
+                            for kx in 0..this.kernel {
+                                acc += this.weight_at(o, i, ky, kx) * input.at3(i, y + ky, x + kx);
                             }
                         }
                     }
-                    *output.at3_mut(o, y, x) = acc;
+                    plane[y * out_w + x] = acc;
                 }
             }
-        }
+            plane
+        });
+        let data: Vec<f32> = planes.into_iter().flatten().collect();
+        let output = Tensor::from_vec(data, &[self.out_channels, out_h, out_w]);
         self.cached_input = Some(input.clone());
         output
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.clone().expect("forward must run before backward");
+        let input = self
+            .cached_input
+            .clone()
+            .expect("forward must run before backward");
         let (out_c, out_h, out_w) = grad_output.dims3();
         assert_eq!(out_c, self.out_channels, "gradient channel count mismatch");
         let mut grad_input = Tensor::zeros(input.shape());
@@ -141,14 +155,20 @@ impl Layer for Conv2d {
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
-        for (w, g) in
-            self.weights.as_mut_slice().iter_mut().zip(self.weight_grad.as_mut_slice().iter_mut())
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.weight_grad.as_mut_slice().iter_mut())
         {
             *w -= learning_rate * *g;
             *g = 0.0;
         }
-        for (b, g) in
-            self.bias.as_mut_slice().iter_mut().zip(self.bias_grad.as_mut_slice().iter_mut())
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.bias_grad.as_mut_slice().iter_mut())
         {
             *b -= learning_rate * *g;
             *g = 0.0;

@@ -27,11 +27,13 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new(input_size: usize, output_size: usize, seed: u64) -> Self {
-        assert!(input_size > 0 && output_size > 0, "dimensions must be non-zero");
+        assert!(
+            input_size > 0 && output_size > 0,
+            "dimensions must be non-zero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = xavier_bound(input_size, output_size);
-        let weights =
-            Tensor::from_fn(&[output_size, input_size], |_| rng.gen_range(-bound..bound));
+        let weights = Tensor::from_fn(&[output_size, input_size], |_| rng.gen_range(-bound..bound));
         Self {
             input_size,
             output_size,
@@ -56,7 +58,11 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.len(), self.input_size, "dense layer input size mismatch");
+        assert_eq!(
+            input.len(),
+            self.input_size,
+            "dense layer input size mismatch"
+        );
         let x = input.as_slice();
         let w = self.weights.as_slice();
         let mut output = Tensor::zeros(&[self.output_size]);
@@ -73,16 +79,23 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert_eq!(grad_output.len(), self.output_size, "dense layer gradient size mismatch");
-        let input = self.cached_input.clone().expect("forward must run before backward");
+        assert_eq!(
+            grad_output.len(),
+            self.output_size,
+            "dense layer gradient size mismatch"
+        );
+        let input = self
+            .cached_input
+            .clone()
+            .expect("forward must run before backward");
         let x = input.as_slice();
         let w = self.weights.as_slice();
         let mut grad_input = Tensor::zeros(&[self.input_size]);
         for o in 0..self.output_size {
             let g = grad_output.as_slice()[o];
             self.bias_grad.as_mut_slice()[o] += g;
-            let weight_grad_row =
-                &mut self.weight_grad.as_mut_slice()[o * self.input_size..(o + 1) * self.input_size];
+            let weight_grad_row = &mut self.weight_grad.as_mut_slice()
+                [o * self.input_size..(o + 1) * self.input_size];
             for i in 0..self.input_size {
                 weight_grad_row[i] += g * x[i];
                 grad_input.as_mut_slice()[i] += g * w[o * self.input_size + i];
@@ -92,14 +105,20 @@ impl Layer for Dense {
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
-        for (w, g) in
-            self.weights.as_mut_slice().iter_mut().zip(self.weight_grad.as_mut_slice().iter_mut())
+        for (w, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.weight_grad.as_mut_slice().iter_mut())
         {
             *w -= learning_rate * *g;
             *g = 0.0;
         }
-        for (b, g) in
-            self.bias.as_mut_slice().iter_mut().zip(self.bias_grad.as_mut_slice().iter_mut())
+        for (b, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.bias_grad.as_mut_slice().iter_mut())
         {
             *b -= learning_rate * *g;
             *g = 0.0;

@@ -42,8 +42,10 @@ impl Layer for AvgPool2 {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape =
-            self.cached_input_shape.clone().expect("forward must run before backward");
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .expect("forward must run before backward");
         let mut grad_input = Tensor::zeros(&shape);
         let (channels, out_h, out_w) = grad_output.dims3();
         for c in 0..channels {
@@ -107,8 +109,10 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape =
-            self.cached_input_shape.clone().expect("forward must run before backward");
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .expect("forward must run before backward");
         let mut grad_input = Tensor::zeros(&shape);
         for (flat_index, &source) in self.cached_argmax.iter().enumerate() {
             grad_input.as_mut_slice()[source] += grad_output.as_slice()[flat_index];

@@ -64,7 +64,14 @@ pub const OUTPUT_CLASSES: usize = 10;
 /// Layer structure: conv(1→20, 5×5) → pool → tanh → conv(20→50, 5×5) → pool
 /// → tanh → dense(800→500) → tanh → dense(500→10).
 pub fn lenet5(pooling: PoolingStyle, seed: u64) -> Network {
-    build_lenet(CONV1_FILTERS, CONV2_FILTERS, HIDDEN_UNITS, pooling, seed, "lenet5")
+    build_lenet(
+        CONV1_FILTERS,
+        CONV2_FILTERS,
+        HIDDEN_UNITS,
+        pooling,
+        seed,
+        "lenet5",
+    )
 }
 
 /// A reduced LeNet (8/16 filters, 64 hidden units) with the same topology,
@@ -89,9 +96,17 @@ fn build_lenet(
     network.push(Box::new(Conv2d::new(conv1, conv2, 5, seed.wrapping_add(1))));
     push_pool(&mut network, pooling);
     network.push(Box::new(Tanh::new()));
-    network.push(Box::new(Dense::new(conv2 * 4 * 4, hidden, seed.wrapping_add(2))));
+    network.push(Box::new(Dense::new(
+        conv2 * 4 * 4,
+        hidden,
+        seed.wrapping_add(2),
+    )));
     network.push(Box::new(Tanh::new()));
-    network.push(Box::new(Dense::new(hidden, OUTPUT_CLASSES, seed.wrapping_add(3))));
+    network.push(Box::new(Dense::new(
+        hidden,
+        OUTPUT_CLASSES,
+        seed.wrapping_add(3),
+    )));
     network
 }
 
@@ -152,10 +167,8 @@ mod tests {
         let output = network.forward(&input);
         assert_eq!(output.len(), OUTPUT_CLASSES);
         // conv1 (20·24·24) + bias, conv2, fc1 (800·500), fc2 (500·10).
-        let expected_parameters = (20 * 25 + 20)
-            + (50 * 20 * 25 + 50)
-            + (800 * 500 + 500)
-            + (500 * 10 + 10);
+        let expected_parameters =
+            (20 * 25 + 20) + (50 * 20 * 25 + 50) + (800 * 500 + 500) + (500 * 10 + 10);
         assert_eq!(network.parameter_count(), expected_parameters);
     }
 
@@ -195,6 +208,9 @@ mod tests {
         let stats = network.train(&data.train_images, &data.train_labels, &options);
         assert!(stats.last().unwrap().error_rate < stats.first().unwrap().error_rate * 1.01);
         let error = network.error_rate(&data.test_images, &data.test_labels);
-        assert!(error < 0.6, "tiny LeNet should beat chance by a wide margin, got {error}");
+        assert!(
+            error < 0.6,
+            "tiny LeNet should beat chance by a wide margin, got {error}"
+        );
     }
 }

@@ -4,7 +4,11 @@ use crate::tensor::Tensor;
 
 /// Numerically stable softmax of a logit vector.
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let max = logits.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.as_slice().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(exps.into_iter().map(|v| v / sum).collect(), logits.shape())
@@ -18,7 +22,11 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 ///
 /// Panics if `label` is out of range for the logit vector.
 pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
-    assert!(label < logits.len(), "label {label} out of range for {} classes", logits.len());
+    assert!(
+        label < logits.len(),
+        "label {label} out of range for {} classes",
+        logits.len()
+    );
     let probabilities = softmax(logits);
     let p_label = probabilities.as_slice()[label].max(1e-12);
     let loss = -p_label.ln();

@@ -22,7 +22,12 @@ pub struct TrainingOptions {
 
 impl Default for TrainingOptions {
     fn default() -> Self {
-        Self { epochs: 3, learning_rate: 0.05, shuffle_seed: 7, learning_rate_decay: 0.85 }
+        Self {
+            epochs: 3,
+            learning_rate: 0.05,
+            shuffle_seed: 7,
+            learning_rate_decay: 0.85,
+        }
     }
 }
 
@@ -56,7 +61,10 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Creates an empty network with a descriptive name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { layers: Vec::new(), name: name.into() }
+        Self {
+            layers: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Appends a layer to the network.
@@ -169,7 +177,10 @@ impl Network {
     /// Extracts a clone of every parameterized layer's weights, in layer
     /// order (used by the SC mapping and the weight-storage experiments).
     pub fn weight_snapshots(&self) -> Vec<Tensor> {
-        self.layers.iter().filter_map(|l| l.weights().cloned()).collect()
+        self.layers
+            .iter()
+            .filter_map(|l| l.weights().cloned())
+            .collect()
     }
 }
 
@@ -210,7 +221,11 @@ mod tests {
         let stats = network.train(&images, &labels, &options);
         assert_eq!(stats.len(), 400);
         assert!(stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss);
-        assert_eq!(network.error_rate(&images, &labels), 0.0, "XOR should be learned exactly");
+        assert_eq!(
+            network.error_rate(&images, &labels),
+            0.0,
+            "XOR should be learned exactly"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub struct PrecisionScheme {
 impl PrecisionScheme {
     /// Uniform precision for every parameterized layer.
     pub fn uniform(bits: usize, layer_count: usize) -> Self {
-        Self { bits: vec![bits; layer_count] }
+        Self {
+            bits: vec![bits; layer_count],
+        }
     }
 
     /// Explicit per-layer precisions.
@@ -97,7 +99,11 @@ pub fn quantize_single_layer(network: &mut Network, layer_index: usize, bits: us
 
 /// Counts the parameterized layers of a network (layers that own weights).
 pub fn parameterized_layer_count(network: &Network) -> usize {
-    network.layers().iter().filter(|l| l.weights().is_some()).count()
+    network
+        .layers()
+        .iter()
+        .filter(|l| l.weights().is_some())
+        .count()
 }
 
 #[cfg(test)]

@@ -21,8 +21,14 @@ impl Tensor {
     /// Panics if the shape is empty or has a zero dimension.
     pub fn zeros(shape: &[usize]) -> Self {
         assert!(!shape.is_empty(), "tensor shape cannot be empty");
-        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be non-zero"
+        );
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -36,7 +42,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "data length must match the shape"
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Creates a tensor filled with values drawn from `f(index)`.
@@ -89,7 +98,10 @@ impl Tensor {
     /// Panics if the tensor is not 3-D or the coordinate is out of range.
     pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
         let (channels, height, width) = self.dims3();
-        assert!(c < channels && y < height && x < width, "index out of range");
+        assert!(
+            c < channels && y < height && x < width,
+            "index out of range"
+        );
         self.data[(c * height + y) * width + x]
     }
 
@@ -100,7 +112,10 @@ impl Tensor {
     /// Panics if the tensor is not 3-D or the coordinate is out of range.
     pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
         let (channels, height, width) = self.dims3();
-        assert!(c < channels && y < height && x < width, "index out of range");
+        assert!(
+            c < channels && y < height && x < width,
+            "index out of range"
+        );
         &mut self.data[(c * height + y) * width + x]
     }
 
@@ -110,7 +125,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 3-D.
     pub fn dims3(&self) -> (usize, usize, usize) {
-        assert_eq!(self.shape.len(), 3, "expected a 3-D tensor, got shape {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            3,
+            "expected a 3-D tensor, got shape {:?}",
+            self.shape
+        );
         (self.shape[0], self.shape[1], self.shape[2])
     }
 

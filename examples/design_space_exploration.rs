@@ -20,7 +20,11 @@ fn main() {
     network.train(
         &data.train_images,
         &data.train_labels,
-        &TrainingOptions { epochs: 3, learning_rate: 0.08, ..Default::default() },
+        &TrainingOptions {
+            epochs: 3,
+            learning_rate: 0.08,
+            ..Default::default()
+        },
     );
     let baseline = network.error_rate(&data.test_images, &data.test_labels);
     println!("software baseline error rate: {:.2} %", baseline * 100.0);

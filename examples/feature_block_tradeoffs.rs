@@ -21,8 +21,7 @@ fn main() {
     );
     for kind in FeatureBlockKind::ALL {
         for &input_size in &[16usize, 64, 256] {
-            let accuracy =
-                feature_block_inaccuracy(kind, input_size, stream_length, trials, 2017);
+            let accuracy = feature_block_inaccuracy(kind, input_size, stream_length, trials, 2017);
             let cost = feature_block_report(kind, input_size, stream_length);
             println!(
                 "{:<16}{:>12}{:>16.4}{:>14.1}{:>14.3}{:>16.1}",

@@ -22,27 +22,44 @@ fn main() {
     let (mut network, data) = if full {
         let data = SyntheticDigits::generate(60, 17);
         let mut network = lenet5(PoolingStyle::Max, 17);
-        println!("training full LeNet-5 ({} parameters)...", network.parameter_count());
+        println!(
+            "training full LeNet-5 ({} parameters)...",
+            network.parameter_count()
+        );
         network.train(
             &data.train_images,
             &data.train_labels,
-            &TrainingOptions { epochs: 3, learning_rate: 0.05, ..Default::default() },
+            &TrainingOptions {
+                epochs: 3,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
         );
         (network, data)
     } else {
         let data = SyntheticDigits::generate(30, 17);
         let mut network = tiny_lenet(17);
-        println!("training reduced LeNet ({} parameters)...", network.parameter_count());
+        println!(
+            "training reduced LeNet ({} parameters)...",
+            network.parameter_count()
+        );
         network.train(
             &data.train_images,
             &data.train_labels,
-            &TrainingOptions { epochs: 4, learning_rate: 0.08, ..Default::default() },
+            &TrainingOptions {
+                epochs: 4,
+                learning_rate: 0.08,
+                ..Default::default()
+            },
         );
         (network, data)
     };
 
     let baseline_error = network.error_rate(&data.test_images, &data.test_labels);
-    println!("software baseline error rate: {:.2} %", baseline_error * 100.0);
+    println!(
+        "software baseline error rate: {:.2} %",
+        baseline_error * 100.0
+    );
 
     // Weight storage optimization (Section 5).
     let precision = evaluate_layer_wise_precision(
@@ -84,8 +101,17 @@ fn main() {
         println!("  power                : {:.2} W", cost.power_w);
         println!("  delay per image      : {:.0} ns", cost.delay_ns);
         println!("  energy per image     : {:.2} uJ", cost.energy_uj);
-        println!("  throughput           : {:.0} images/s", cost.throughput_images_per_s);
-        println!("  area efficiency      : {:.0} images/s/mm^2", cost.area_efficiency);
-        println!("  energy efficiency    : {:.0} images/J", cost.energy_efficiency);
+        println!(
+            "  throughput           : {:.0} images/s",
+            cost.throughput_images_per_s
+        );
+        println!(
+            "  area efficiency      : {:.0} images/s/mm^2",
+            cost.area_efficiency
+        );
+        println!(
+            "  energy efficiency    : {:.0} images/J",
+            cost.energy_efficiency
+        );
     }
 }

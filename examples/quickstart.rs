@@ -16,12 +16,22 @@ fn main() -> Result<(), ScError> {
     let mut sng_b = Sng::new(SngKind::Lfsr32, 2);
     let a = sng_a.generate_bipolar(0.5, length)?;
     let b = sng_b.generate_bipolar(-0.4, length)?;
-    println!("encoded  0.5 as a stream decoding to {:+.3}", a.bipolar_value());
-    println!("encoded -0.4 as a stream decoding to {:+.3}", b.bipolar_value());
+    println!(
+        "encoded  0.5 as a stream decoding to {:+.3}",
+        a.bipolar_value()
+    );
+    println!(
+        "encoded -0.4 as a stream decoding to {:+.3}",
+        b.bipolar_value()
+    );
 
     // 2. Multiplication is a single XNOR gate per bit.
     let product = multiply::bipolar(&a, &b);
-    println!("XNOR product decodes to {:+.3} (exact: {:+.3})", product.bipolar_value(), 0.5 * -0.4);
+    println!(
+        "XNOR product decodes to {:+.3} (exact: {:+.3})",
+        product.bipolar_value(),
+        0.5 * -0.4
+    );
 
     // 3. Scaled addition is an n-to-1 multiplexer.
     let mut selector = Lfsr::new_32(7);
@@ -34,14 +44,23 @@ fn main() -> Result<(), ScError> {
 
     // 4. Non-scaled accumulation uses an approximate parallel counter.
     let counts = Apc::new().count(&[a, b])?;
-    println!("APC sum decodes to {:+.3} (exact: {:+.3})", counts.bipolar_sum(), 0.5 - 0.4);
+    println!(
+        "APC sum decodes to {:+.3} (exact: {:+.3})",
+        counts.bipolar_sum(),
+        0.5 - 0.4
+    );
 
     // 5. A complete feature extraction block: 4 receptive fields of 16
     //    elements share one filter; the block approximates
     //    tanh(max(inner products)).
     let block = FeatureBlock::new(FeatureBlockKind::ApcMaxBtanh, 16, length, 11)?;
-    let fields: Vec<Vec<f64>> =
-        (0..4).map(|f| (0..16).map(|i| ((i + f) as f64 * 0.37).sin() * 0.8).collect()).collect();
+    let fields: Vec<Vec<f64>> = (0..4)
+        .map(|f| {
+            (0..16)
+                .map(|i| ((i + f) as f64 * 0.37).sin() * 0.8)
+                .collect()
+        })
+        .collect();
     let weights: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.21).cos() * 0.2).collect();
     let sc_output = block.evaluate(&fields, &weights)?;
     let reference = block.reference(&fields, &weights)?;

@@ -24,7 +24,10 @@ fn table1_trend_bipolar_or_gate_is_unusable() {
     let bip_16 = or_inner_product_error(false, 16, 1024, 12, 1).mean_absolute;
     let bip_64 = or_inner_product_error(false, 64, 1024, 12, 1).mean_absolute;
     assert!(bip_16 > uni_16);
-    assert!(bip_64 > bip_16 * 0.8, "bipolar error should not shrink much with size");
+    assert!(
+        bip_64 > bip_16 * 0.8,
+        "bipolar error should not shrink much with size"
+    );
 }
 
 #[test]
@@ -42,8 +45,14 @@ fn table2_trend_longer_streams_help_mux() {
 fn table4_trend_max_pool_deviation_shrinks_with_length() {
     let short = hardware_max_pool_deviation(4, 128, 16, 16, 5).mean_relative;
     let long = hardware_max_pool_deviation(4, 512, 16, 16, 5).mean_relative;
-    assert!(long <= short + 0.02, "deviation should not grow with stream length");
-    assert!(short < 0.35, "short-stream deviation {short} unexpectedly large");
+    assert!(
+        long <= short + 0.02,
+        "deviation should not grow with stream length"
+    );
+    assert!(
+        short < 0.35,
+        "short-stream deviation {short} unexpectedly large"
+    );
 }
 
 #[test]

@@ -128,6 +128,142 @@ proptest! {
         prop_assert!((hardware - x).abs() <= 2.0 / (1u64 << bits) as f64 + 1e-9);
     }
 
+    /// The word-parallel SNG fill is bit-exact against the per-bit reference
+    /// loop for every source kind, including non-multiple-of-64 tails.
+    #[test]
+    fn word_parallel_sng_matches_bitwise_reference(seed in 0u64..10_000,
+                                                   p in 0.0f64..1.0,
+                                                   length_index in 0usize..5,
+                                                   kind_index in 0usize..3) {
+        let length = StreamLength::new([100usize, 127, 1024, 8191, 65][length_index]);
+        let kind = [SngKind::Lfsr16, SngKind::Lfsr32, SngKind::Ideal][kind_index];
+        let word_parallel = Sng::new(kind, seed).generate_probability(p, length).unwrap();
+        let bitwise = Sng::new(kind, seed).generate_probability_bitwise(p, length).unwrap();
+        prop_assert_eq!(word_parallel, bitwise);
+    }
+
+    /// The fused AND/XNOR popcount kernels agree with materializing the
+    /// product stream and counting it, at awkward tail lengths.
+    #[test]
+    fn fused_counts_match_materialized(seed_a in 0u64..5_000, seed_b in 5_000u64..10_000,
+                                       x in -1.0f64..1.0, w in -1.0f64..1.0,
+                                       length_index in 0usize..3) {
+        let length = StreamLength::new([100usize, 127, 8191][length_index]);
+        let a = Sng::new(SngKind::Lfsr32, seed_a).generate_bipolar(x, length).unwrap();
+        let b = Sng::new(SngKind::Lfsr32, seed_b).generate_bipolar(w, length).unwrap();
+        prop_assert_eq!(a.xnor_count(&b), a.xnor(&b).count_ones());
+        prop_assert_eq!(a.and_count(&b), (&a & &b).count_ones());
+        let fused = multiply::bipolar_count(&a, &b);
+        prop_assert_eq!(fused, multiply::bipolar(&a, &b).count_ones());
+    }
+
+    /// The fused XNOR + column-count inner-product kernel (exact and APC)
+    /// is bit-exact with the materializing pipeline, and so is the fused
+    /// MUX multiply-select.
+    #[test]
+    fn fused_inner_product_kernels_match(seeds in proptest::collection::vec(0u64..10_000, 2..9),
+                                         length_index in 0usize..3) {
+        let length = StreamLength::new([100usize, 127, 8191][length_index]);
+        let lanes = seeds.len();
+        let xs: Vec<BitStream> = (0..lanes)
+            .map(|i| {
+                let value = (i as f64 / lanes as f64) - 0.5;
+                Sng::new(SngKind::Lfsr32, seeds[i]).generate_bipolar(value, length).unwrap()
+            })
+            .collect();
+        let ws: Vec<BitStream> = (0..lanes)
+            .map(|i| {
+                let value = 0.5 - (i as f64 / lanes as f64);
+                Sng::new(SngKind::Lfsr32, seeds[i] ^ 0xABCD).generate_bipolar(value, length).unwrap()
+            })
+            .collect();
+        let products = multiply::bipolar_products(&xs, &ws).unwrap();
+
+        let exact = ExactParallelCounter::new();
+        prop_assert_eq!(
+            exact.count_products(&xs, &ws).unwrap(),
+            exact.count(&products).unwrap()
+        );
+        let apc = Apc::new();
+        prop_assert_eq!(apc.count_products(&xs, &ws).unwrap(), apc.count(&products).unwrap());
+
+        let mut selector_fused = Lfsr::new_32(seeds[0] as u32 | 1);
+        let mut selector_naive = Lfsr::new_32(seeds[0] as u32 | 1);
+        let fused = MuxAdder::new().sum_products(&xs, &ws, &mut selector_fused).unwrap();
+        let naive = MuxAdder::new().sum(&products, &mut selector_naive).unwrap();
+        prop_assert_eq!(fused, naive);
+
+        let dot = multiply::bipolar_dot(&xs, &ws).unwrap();
+        let reference: f64 = products.iter().map(|p| p.bipolar_value()).sum();
+        prop_assert!((dot - reference).abs() < 1e-9);
+    }
+
+    /// Word-level range popcount and segment slicing agree with per-bit
+    /// evaluation across word boundaries.
+    #[test]
+    fn range_kernels_match_bitwise(seed in 0u64..10_000, length_index in 0usize..3,
+                                   segment in 1usize..70) {
+        let bits = [100usize, 127, 513][length_index];
+        let length = StreamLength::new(bits);
+        let stream = Sng::new(SngKind::Lfsr32, seed).generate_probability(0.5, length).unwrap();
+        let mut start = 0usize;
+        while start < bits {
+            let end = (start + segment).min(bits);
+            let expected = (start..end).filter(|&i| stream.get(i)).count();
+            prop_assert_eq!(stream.count_ones_in_range(start, end), expected);
+            start = end;
+        }
+        let segments = stream.segments(segment);
+        let total: usize = segments.iter().map(|s| s.count_ones()).sum();
+        prop_assert_eq!(total, stream.count_ones());
+    }
+
+    /// In-place logic ops match their allocating counterparts and keep the
+    /// tail-word invariant (count via words equals count via iteration).
+    #[test]
+    fn in_place_ops_preserve_tail_invariant(seed_a in 0u64..5_000, seed_b in 5_000u64..10_000,
+                                            length_index in 0usize..3) {
+        let length = StreamLength::new([100usize, 127, 8191][length_index]);
+        let a = Sng::new(SngKind::Lfsr32, seed_a).generate_probability(0.5, length).unwrap();
+        let b = Sng::new(SngKind::Lfsr32, seed_b).generate_probability(0.5, length).unwrap();
+        let mut xnor = a.clone();
+        xnor.xnor_assign(&b);
+        prop_assert_eq!(xnor.clone(), a.xnor(&b));
+        prop_assert_eq!(xnor.count_ones(), xnor.iter().filter(|&bit| bit).count());
+        let mut or = a.clone();
+        or |= &b;
+        prop_assert_eq!(or, &a | &b);
+        let mut and = a.clone();
+        and &= &b;
+        prop_assert_eq!(and, &a & &b);
+        let mut xor = a.clone();
+        xor ^= &b;
+        prop_assert_eq!(xor, &a ^ &b);
+    }
+
+    /// Feature blocks produce bit-identical outputs however many threads the
+    /// fan-out uses (`SC_THREADS` only changes the schedule, never seeds).
+    #[test]
+    fn feature_block_output_is_schedule_independent(seed in 0u64..500, kind_index in 0usize..4) {
+        use sc_dcnn_repro::blocks::feature_block::{FeatureBlock, FeatureBlockKind};
+        let kind = FeatureBlockKind::ALL[kind_index];
+        let block = FeatureBlock::new(kind, 8, StreamLength::new(128), seed).unwrap();
+        let fields: Vec<Vec<f64>> = (0..4u64)
+            .map(|f| {
+                (0..8u64).map(|i| (((seed + f * 8 + i) % 19) as f64) / 9.5 - 1.0).collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..8).map(|i| ((i as f64) - 3.5) / 8.0).collect();
+        let serial = {
+            sc_dcnn_repro::core::parallel::set_thread_limit(1);
+            let out = block.evaluate_stream(&fields, &weights).unwrap();
+            sc_dcnn_repro::core::parallel::set_thread_limit(0);
+            out
+        };
+        let parallel = block.evaluate_stream(&fields, &weights).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// Tensor map/scale obey basic algebraic identities.
     #[test]
     fn tensor_scale_matches_map(values in proptest::collection::vec(-10.0f32..10.0, 1..64),

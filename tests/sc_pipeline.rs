@@ -2,7 +2,9 @@
 //! extraction blocks → network-level evaluation.
 
 use sc_dcnn_repro::blocks::feature_block::{FeatureBlock, FeatureBlockKind};
-use sc_dcnn_repro::blocks::inner_product::{reference_inner_product, ApcInnerProduct, MuxInnerProduct};
+use sc_dcnn_repro::blocks::inner_product::{
+    reference_inner_product, ApcInnerProduct, MuxInnerProduct,
+};
 use sc_dcnn_repro::core::prelude::*;
 use sc_dcnn_repro::dcnn::config::{table6_configurations, ScNetworkConfig};
 use sc_dcnn_repro::dcnn::error_model::{ErrorInjection, FebErrorModel};
@@ -24,10 +26,20 @@ fn sc_inner_products_track_floating_point_across_block_families() {
     let weights = random_vector(32, 2, 0.3);
     let reference = reference_inner_product(&inputs, &weights);
     let length = StreamLength::new(2048);
-    let apc = ApcInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
-    let mux = MuxInnerProduct::new(5).evaluate(&inputs, &weights, length).unwrap();
-    assert!((apc - reference).abs() < 0.5, "APC {apc} vs reference {reference}");
-    assert!((mux - reference).abs() < 1.5, "MUX {mux} vs reference {reference}");
+    let apc = ApcInnerProduct::new(5)
+        .evaluate(&inputs, &weights, length)
+        .unwrap();
+    let mux = MuxInnerProduct::new(5)
+        .evaluate(&inputs, &weights, length)
+        .unwrap();
+    assert!(
+        (apc - reference).abs() < 0.5,
+        "APC {apc} vs reference {reference}"
+    );
+    assert!(
+        (mux - reference).abs() < 1.5,
+        "MUX {mux} vs reference {reference}"
+    );
     assert!((apc - reference).abs() <= (mux - reference).abs() + 0.5);
 }
 
@@ -37,8 +49,9 @@ fn feature_blocks_order_by_accuracy_as_in_the_paper() {
     let mut apc_total = 0.0;
     let mut mux_total = 0.0;
     for trial in 0..4u64 {
-        let fields: Vec<Vec<f64>> =
-            (0..4).map(|i| random_vector(25, 100 + trial * 10 + i, 1.0)).collect();
+        let fields: Vec<Vec<f64>> = (0..4)
+            .map(|i| random_vector(25, 100 + trial * 10 + i, 1.0))
+            .collect();
         let weights = random_vector(25, 500 + trial, 0.2);
         let length = StreamLength::new(512);
         let apc = FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 25, length, trial).unwrap();
@@ -59,7 +72,11 @@ fn end_to_end_sc_evaluation_stays_close_to_software_for_accurate_configs() {
     network.train(
         &data.train_images,
         &data.train_labels,
-        &TrainingOptions { epochs: 2, learning_rate: 0.08, ..Default::default() },
+        &TrainingOptions {
+            epochs: 2,
+            learning_rate: 0.08,
+            ..Default::default()
+        },
     );
     let baseline = network.error_rate(&data.test_images, &data.test_labels);
     let model = FebErrorModel::new(4, 7);
@@ -127,8 +144,14 @@ fn sc_dcnn_outperforms_cpu_and_gpu_reference_platforms() {
         .expect("No.11 exists");
     let cost = lenet5_cost(&config);
     let references = reference_platforms();
-    let cpu = references.iter().find(|r| r.platform_type == "CPU").unwrap();
-    let gpu = references.iter().find(|r| r.platform_type == "GPU").unwrap();
+    let cpu = references
+        .iter()
+        .find(|r| r.platform_type == "CPU")
+        .unwrap();
+    let gpu = references
+        .iter()
+        .find(|r| r.platform_type == "GPU")
+        .unwrap();
     assert!(cost.throughput_images_per_s > gpu.throughput_images_per_s * 100.0);
     assert!(cost.area_efficiency > cpu.area_efficiency.unwrap() * 100.0);
     assert!(cost.energy_efficiency > gpu.energy_efficiency * 100.0);

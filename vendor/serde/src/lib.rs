@@ -1,0 +1,13 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! Re-exports the no-op derives and defines the two marker traits so that
+//! generic bounds (if any are ever written) keep compiling. Nothing in the
+//! workspace serializes at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in this shim).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in this shim).
+pub trait DeserializeMarker {}

@@ -1,0 +1,19 @@
+//! Offline no-op shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types for API
+//! compatibility but never serializes at runtime, so these derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
