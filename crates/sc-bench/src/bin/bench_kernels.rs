@@ -285,6 +285,78 @@ fn bench_mux_block(samples: usize, iters: usize) -> Comparison {
     }
 }
 
+/// Frozen copy of the selector-serial fused MUX loop (the pre-bit-slicing
+/// implementation): one selector draw and one per-bit extract/insert pair
+/// per cycle.
+fn selector_serial_sum_products(
+    inputs: &[BitStream],
+    weights: &[BitStream],
+    selector_rng: &mut Lfsr,
+) -> BitStream {
+    let len = inputs[0].len();
+    let n = inputs.len() as u32;
+    let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+    let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
+    let mut out = BitStream::zeros(StreamLength::new(len));
+    for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+        let bits = (len - w * 64).min(64);
+        let mut packed = 0u64;
+        for bit in 0..bits {
+            let lane = sc_core::rng::RandomSource::next_below(selector_rng, n) as usize;
+            let product = !(xs[lane][w] ^ ws[lane][w]);
+            packed |= ((product >> bit) & 1) << bit;
+        }
+        *out_word = packed;
+    }
+    out
+}
+
+/// The bit-sliced selector (this PR) against the frozen selector-serial loop
+/// it replaced — both on the fused multiply-select path.
+fn bench_mux_selector(samples: usize, iters: usize) -> Comparison {
+    let len = StreamLength::new(1024);
+    let n = 32usize;
+    let xs: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 700 + i as u64)
+                .generate_bipolar((i as f64 / n as f64) - 0.5, len)
+                .unwrap()
+        })
+        .collect();
+    let ws: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 900 + i as u64)
+                .generate_bipolar(0.5 - (i as f64 / n as f64), len)
+                .unwrap()
+        })
+        .collect();
+    let mut sel_a = Lfsr::new_32(77);
+    let mut sel_b = Lfsr::new_32(77);
+    assert_eq!(
+        MuxAdder::new().sum_products(&xs, &ws, &mut sel_b).unwrap(),
+        selector_serial_sum_products(&xs, &ws, &mut sel_a),
+        "bit-sliced selector must match the selector-serial loop"
+    );
+    let baseline_ns = measure(samples, iters, || {
+        let mut selector = Lfsr::new_32(77);
+        selector_serial_sum_products(&xs, &ws, &mut selector)
+    });
+    let optimized_ns = measure(samples, iters, || {
+        let mut selector = Lfsr::new_32(77);
+        MuxAdder::new()
+            .sum_products(&xs, &ws, &mut selector)
+            .unwrap()
+    });
+    Comparison {
+        name: "mux_selector_bitsliced_n32_l1024",
+        description: "Fused MUX multiply-select (32 lanes, 1024 bits): \
+                      selector-serial per-bit extract/insert loop vs \
+                      bit-sliced per-lane selection masks",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
 fn bench_apc_counts(samples: usize, iters: usize) -> Comparison {
     let len = 1024usize;
     let n = 32usize;
@@ -320,6 +392,7 @@ fn main() {
         bench_sng(8192, samples, iters),
         bench_inner_product(samples, iters.div_ceil(4)),
         bench_mux_block(samples, iters),
+        bench_mux_selector(samples, iters),
         bench_apc_counts(samples, iters),
     ];
 

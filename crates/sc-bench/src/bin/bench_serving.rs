@@ -1,0 +1,274 @@
+//! Serving-path benchmark: per-call interpreter vs compiled engine.
+//!
+//! Measures, on the reduced LeNet (`tiny_lenet`):
+//!
+//! * **interpreter single-request** throughput — the per-call evaluation
+//!   path (every operand stream regenerated per block call), one request at
+//!   a time. This is the pre-`sc-serve` baseline.
+//! * **engine single-request** throughput — compiled plan, pre-generated
+//!   weight streams, warm stream cache, still one request at a time.
+//! * **engine batched** throughput — the same engine fed through
+//!   [`Engine::infer_batch`] with a warm session, the shape the serving
+//!   runtime uses (per-request latency percentiles are recorded from the
+//!   batched run).
+//!
+//! Bit-exactness between the engine and the interpreter is verified before
+//! anything is timed. Results land in `BENCH_serving.json` at the repo root.
+//!
+//! Run with: `cargo run --release -p sc-bench --bin bench_serving`
+//! (`--quick` shrinks stream lengths and request counts for CI smoke runs).
+
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_dcnn::config::ScNetworkConfig;
+use sc_nn::dataset::SyntheticDigits;
+use sc_nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_nn::tensor::Tensor;
+use sc_serve::engine::{Engine, EngineOptions};
+use sc_serve::interpreter::Inference;
+use std::time::Instant;
+
+struct ServingRun {
+    name: String,
+    layer_summary: String,
+    stream_length: usize,
+    interpreter_requests: usize,
+    batched_requests: usize,
+    interpreter_rps: f64,
+    engine_single_rps: f64,
+    engine_batched_rps: f64,
+    batched_p50_ms: f64,
+    batched_p95_ms: f64,
+    batched_p99_ms: f64,
+    cache_hit_rate: f64,
+}
+
+impl ServingRun {
+    fn speedup_single(&self) -> f64 {
+        self.engine_single_rps / self.interpreter_rps
+    }
+
+    fn speedup_batched(&self) -> f64 {
+        self.engine_batched_rps / self.interpreter_rps
+    }
+}
+
+fn percentile(sorted: &[f64], percentile: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((percentile / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn bench_config(
+    name: &str,
+    kinds: Vec<FeatureBlockKind>,
+    stream_length: usize,
+    interpreter_requests: usize,
+    batched_requests: usize,
+) -> ServingRun {
+    let config = ScNetworkConfig::new(name, kinds, stream_length, PoolingStyle::Max);
+    let network = tiny_lenet(17);
+    let engine =
+        Engine::compile(&network, &config, EngineOptions::default()).expect("engine compiles");
+    let data = SyntheticDigits::generate(2, 23);
+    let images: Vec<Tensor> = data
+        .train_images
+        .iter()
+        .cycle()
+        .take(batched_requests.max(interpreter_requests))
+        .cloned()
+        .collect();
+
+    // Prove bit-exactness before timing anything.
+    let mut session = engine.new_session();
+    engine
+        .verify(&mut session, &images[..1])
+        .expect("engine must match the interpreter bit-for-bit");
+
+    // Interpreter, one request at a time (the pre-serving baseline).
+    let interpreter = engine.interpreter();
+    let start = Instant::now();
+    let mut interpreter_results: Vec<Inference> = Vec::new();
+    for image in &images[..interpreter_requests] {
+        interpreter_results.push(interpreter.infer(image).expect("interpreter inference"));
+    }
+    let interpreter_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
+
+    // Compiled engine, one request at a time, warm session.
+    let mut session = engine.new_session();
+    let start = Instant::now();
+    for image in &images[..interpreter_requests] {
+        let result = engine.infer(&mut session, image).expect("engine inference");
+        std::hint::black_box(result);
+    }
+    let engine_single_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
+
+    // Compiled + batched: warm session, per-request latencies recorded.
+    let mut session = engine.new_session();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(batched_requests);
+    let start = Instant::now();
+    for image in &images[..batched_requests] {
+        let begin = Instant::now();
+        let result = engine.infer(&mut session, image).expect("engine inference");
+        latencies_ms.push(begin.elapsed().as_secs_f64() * 1000.0);
+        std::hint::black_box(result);
+    }
+    let batched_elapsed = start.elapsed().as_secs_f64();
+    let engine_batched_rps = batched_requests as f64 / batched_elapsed;
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    ServingRun {
+        name: name.to_string(),
+        layer_summary: config.layer_summary(),
+        stream_length,
+        interpreter_requests,
+        batched_requests,
+        interpreter_rps,
+        engine_single_rps,
+        engine_batched_rps,
+        batched_p50_ms: percentile(&latencies_ms, 50.0),
+        batched_p95_ms: percentile(&latencies_ms, 95.0),
+        batched_p99_ms: percentile(&latencies_ms, 99.0),
+        cache_hit_rate: session.cache_stats().hit_rate(),
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
+    let runs = if quick {
+        vec![bench_config(
+            "no1_style_l128_quick",
+            vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+            128,
+            2,
+            4,
+        )]
+    } else {
+        vec![
+            // The acceptance configuration: tiny-LeNet at 1024-bit streams.
+            bench_config(
+                "no1_style_l1024",
+                vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+                1024,
+                3,
+                6,
+            ),
+            bench_config("apc_max_l1024", vec![ApcMaxBtanh; 4], 1024, 3, 6),
+            bench_config(
+                "no1_style_l256",
+                vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+                256,
+                4,
+                12,
+            ),
+        ]
+    };
+
+    println!(
+        "\n{:<22}{:>14}{:>14}{:>14}{:>9}{:>9}",
+        "configuration", "interp rps", "single rps", "batched rps", "1-req x", "batch x"
+    );
+    for run in &runs {
+        println!(
+            "{:<22}{:>14.3}{:>14.3}{:>14.3}{:>8.1}x{:>8.1}x",
+            run.name,
+            run.interpreter_rps,
+            run.engine_single_rps,
+            run.engine_batched_rps,
+            run.speedup_single(),
+            run.speedup_batched()
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p sc-bench --bin bench_serving\",\n");
+    json.push_str("  \"network\": \"tiny-lenet (8/16 filters, 64 hidden units)\",\n");
+    json.push_str(&format!(
+        "  \"threads_available\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str(
+        "  \"note\": \"engine outputs verified bit-identical to the per-call interpreter \
+         before timing; rps = requests/second\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            json_escape(&run.name)
+        ));
+        json.push_str(&format!(
+            "      \"layers\": \"{}\",\n",
+            json_escape(&run.layer_summary)
+        ));
+        json.push_str(&format!(
+            "      \"stream_length\": {},\n",
+            run.stream_length
+        ));
+        json.push_str(&format!(
+            "      \"interpreter_requests\": {},\n",
+            run.interpreter_requests
+        ));
+        json.push_str(&format!(
+            "      \"batched_requests\": {},\n",
+            run.batched_requests
+        ));
+        json.push_str(&format!(
+            "      \"interpreter_single_request_rps\": {:.4},\n",
+            run.interpreter_rps
+        ));
+        json.push_str(&format!(
+            "      \"engine_single_request_rps\": {:.4},\n",
+            run.engine_single_rps
+        ));
+        json.push_str(&format!(
+            "      \"engine_batched_rps\": {:.4},\n",
+            run.engine_batched_rps
+        ));
+        json.push_str(&format!(
+            "      \"speedup_single_vs_interpreter\": {:.2},\n",
+            run.speedup_single()
+        ));
+        json.push_str(&format!(
+            "      \"speedup_batched_vs_interpreter\": {:.2},\n",
+            run.speedup_batched()
+        ));
+        json.push_str(&format!(
+            "      \"batched_latency_p50_ms\": {:.2},\n",
+            run.batched_p50_ms
+        ));
+        json.push_str(&format!(
+            "      \"batched_latency_p95_ms\": {:.2},\n",
+            run.batched_p95_ms
+        ));
+        json.push_str(&format!(
+            "      \"batched_latency_p99_ms\": {:.2},\n",
+            run.batched_p99_ms
+        ));
+        json.push_str(&format!(
+            "      \"input_stream_cache_hit_rate\": {:.4}\n",
+            run.cache_hit_rate
+        ));
+        json.push_str(if i + 1 == runs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    std::fs::write(&path, &json).expect("write BENCH_serving.json");
+    println!("\nwrote {}", path.display());
+}

@@ -6,7 +6,7 @@
 //! one measurement routine per experiment so the `sc-bench` binaries contain
 //! only formatting code. Every routine takes an explicit seed and trial
 //! count, runs the trials across threads, and returns an
-//! [`ErrorSummary`](sc_core::stats::ErrorSummary) so the numbers are
+//! [`sc_core::stats::ErrorSummary`] so the numbers are
 //! reproducible run to run.
 
 use crate::feature_block::{FeatureBlock, FeatureBlockKind};

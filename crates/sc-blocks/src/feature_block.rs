@@ -16,13 +16,16 @@
 
 use crate::activation_block::{ActivationKind, BtanhBlock, StanhBlock};
 use crate::inner_product::{
-    reference_inner_product, ApcInnerProduct, InnerProductKind, MuxInnerProduct,
+    mux_selector, reference_inner_product, ApcInnerProduct, InnerProductKind, MuxInnerProduct,
+    WEIGHT_BANK_SEED_XOR,
 };
 use crate::pooling::{AveragePooling, HardwareMaxPooling, PoolingKind};
+use sc_core::add::{Apc, CountStream, MuxAdder};
 use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::error::ScError;
 use sc_core::parallel::parallel_map_with;
+use sc_core::sng::{SngBank, SngKind};
 use serde::{Deserialize, Serialize};
 
 /// Default segment length (in bits) of the hardware-oriented max pooling.
@@ -330,6 +333,134 @@ impl FeatureBlock {
         }
     }
 
+    /// Seed of the inner-product block evaluating pool-window field
+    /// `field_index` (the per-field seed derivation of
+    /// [`FeatureBlock::evaluate_stream`]).
+    pub fn field_seed(&self, field_index: usize) -> u64 {
+        self.seed.wrapping_add(1 + field_index as u64 * 131)
+    }
+
+    /// Base seeds `(input_bank, weight_bank)` of the SNG banks feeding the
+    /// inner product at pool-window index `field_index`. Individual lane
+    /// seeds follow via [`SngBank::lane_seed`].
+    pub fn operand_bank_seeds(&self, field_index: usize) -> (u64, u64) {
+        let seed = self.field_seed(field_index);
+        (seed, seed ^ WEIGHT_BANK_SEED_XOR)
+    }
+
+    /// Generates, for every pool-window field, the weight streams that
+    /// [`FeatureBlock::evaluate_stream`] would generate internally for
+    /// `weights` (outer index: field, inner index: lane).
+    ///
+    /// The per-call path re-derives these streams on every evaluation even
+    /// though they only depend on the filter; a compiled engine generates
+    /// them once per filter and feeds them back through
+    /// [`FeatureBlock::evaluate_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for a wrong weight count and
+    /// propagates encoding errors for values outside `[-1, 1]`.
+    pub fn weight_streams(&self, weights: &[f64]) -> Result<Vec<Vec<BitStream>>, ScError> {
+        if weights.len() != self.input_size {
+            return Err(ScError::InvalidParameter {
+                name: "weights",
+                message: format!(
+                    "expected {} weights, got {}",
+                    self.input_size,
+                    weights.len()
+                ),
+            });
+        }
+        (0..self.pool_window)
+            .map(|field| {
+                let (_, weight_seed) = self.operand_bank_seeds(field);
+                SngBank::new(SngKind::Lfsr32, weights.len(), weight_seed)
+                    .generate_bipolar(weights, self.stream_length)
+            })
+            .collect()
+    }
+
+    /// Evaluates the block from pre-generated operand streams.
+    ///
+    /// `inputs[i]` / `weights[i]` are the per-lane input and weight streams
+    /// of pool-window field `i`, as produced by the SNG banks seeded with
+    /// [`FeatureBlock::operand_bank_seeds`] (for the weights, exactly what
+    /// [`FeatureBlock::weight_streams`] returns). The result is bit-identical
+    /// to [`FeatureBlock::evaluate_stream`] on the corresponding values: the
+    /// fused multiply-accumulate kernels, the per-field MUX selectors, the
+    /// pooling block and the activation are applied in the same order with
+    /// the same seeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for mismatched field or lane
+    /// counts and propagates kernel errors for mismatched stream lengths.
+    pub fn evaluate_prepared(
+        &self,
+        inputs: &[Vec<BitStream>],
+        weights: &[Vec<BitStream>],
+    ) -> Result<BitStream, ScError> {
+        if inputs.len() != self.pool_window || weights.len() != self.pool_window {
+            return Err(ScError::InvalidParameter {
+                name: "inputs",
+                message: format!(
+                    "expected {} prepared fields, got {} input / {} weight fields",
+                    self.pool_window,
+                    inputs.len(),
+                    weights.len()
+                ),
+            });
+        }
+        for (field, (xs, ws)) in inputs.iter().zip(weights.iter()).enumerate() {
+            if xs.len() != self.input_size || ws.len() != self.input_size {
+                return Err(ScError::InvalidParameter {
+                    name: "inputs",
+                    message: format!(
+                        "field {field} has {} input / {} weight lanes, expected {}",
+                        xs.len(),
+                        ws.len(),
+                        self.input_size
+                    ),
+                });
+            }
+        }
+        match self.kind {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
+                let streams: Vec<BitStream> = inputs
+                    .iter()
+                    .zip(weights.iter())
+                    .enumerate()
+                    .map(|(field, (xs, ws))| {
+                        let mut selector = mux_selector(self.field_seed(field));
+                        MuxAdder::new().sum_products(xs, ws, &mut selector)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let pooled = if self.kind == FeatureBlockKind::MuxAvgStanh {
+                    AveragePooling::new(self.seed ^ 0x5151_5151).pool_streams(&streams)?
+                } else {
+                    HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_streams(&streams)?
+                };
+                let stanh = self.stanh.as_ref().expect("MUX blocks carry a Stanh");
+                Ok(stanh.apply(&pooled))
+            }
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
+                let counts: Vec<CountStream> = inputs
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(xs, ws)| Apc::new().count_products(xs, ws))
+                    .collect::<Result<_, _>>()?;
+                let pooled = if self.kind == FeatureBlockKind::ApcAvgBtanh {
+                    CountStream::merge_sum(&counts)?
+                } else {
+                    HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_counts(&counts)?
+                };
+                let btanh = self.btanh.as_ref().expect("APC blocks carry a Btanh");
+                Ok(btanh.apply(&pooled))
+            }
+        }
+    }
+
     /// Evaluates the block and decodes the output to a bipolar value.
     ///
     /// # Errors
@@ -569,6 +700,66 @@ mod tests {
             max_ref >= avg_ref - 1e-12,
             "max pooling reference must dominate average"
         );
+    }
+
+    #[test]
+    fn prepared_evaluation_is_bit_exact_with_per_call_path() {
+        for kind in FeatureBlockKind::ALL {
+            for len in [100usize, 127, 256] {
+                let block = FeatureBlock::new(kind, 8, StreamLength::new(len), 77).unwrap();
+                let (fields, weights) = random_case(8, 4, 1234 + len as u64);
+                let per_call = block.evaluate_stream(&fields, &weights).unwrap();
+                // Re-create the operand streams through the published seed
+                // scheme and evaluate from streams.
+                let weight_streams = block.weight_streams(&weights).unwrap();
+                let input_streams: Vec<Vec<_>> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, field)| {
+                        let (input_seed, _) = block.operand_bank_seeds(i);
+                        sc_core::sng::SngBank::new(
+                            sc_core::sng::SngKind::Lfsr32,
+                            field.len(),
+                            input_seed,
+                        )
+                        .generate_bipolar(field, block.stream_length())
+                        .unwrap()
+                    })
+                    .collect();
+                let prepared = block
+                    .evaluate_prepared(&input_streams, &weight_streams)
+                    .unwrap();
+                assert_eq!(prepared, per_call, "{kind} at length {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_evaluation_validates_shapes() {
+        let block =
+            FeatureBlock::new(FeatureBlockKind::ApcAvgBtanh, 4, StreamLength::new(64), 3).unwrap();
+        let (fields, weights) = random_case(4, 4, 9);
+        let weight_streams = block.weight_streams(&weights).unwrap();
+        let input_streams: Vec<Vec<_>> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, field)| {
+                let (input_seed, _) = block.operand_bank_seeds(i);
+                sc_core::sng::SngBank::new(sc_core::sng::SngKind::Lfsr32, field.len(), input_seed)
+                    .generate_bipolar(field, block.stream_length())
+                    .unwrap()
+            })
+            .collect();
+        assert!(block
+            .evaluate_prepared(&input_streams[..3], &weight_streams)
+            .is_err());
+        let mut short = input_streams.clone();
+        short[1].pop();
+        assert!(block.evaluate_prepared(&short, &weight_streams).is_err());
+        assert!(block.weight_streams(&weights[..3]).is_err());
+        assert!(block
+            .evaluate_prepared(&input_streams, &weight_streams)
+            .is_ok());
     }
 
     #[test]

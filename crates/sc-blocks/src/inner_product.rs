@@ -77,6 +77,20 @@ pub fn reference_inner_product(inputs: &[f64], weights: &[f64]) -> f64 {
     inputs.iter().zip(weights.iter()).map(|(x, w)| x * w).sum()
 }
 
+/// XOR applied to an inner-product block's seed to derive its *weight* SNG
+/// bank's base seed (the input bank uses the block seed directly). Exposed so
+/// compiled engines can pre-generate or cache individual operand streams that
+/// are bit-identical to what the per-call path generates.
+pub const WEIGHT_BANK_SEED_XOR: u64 = 0xABCD_EF01_2345_6789;
+
+/// The selector LFSR a MUX inner-product block with `seed` draws from.
+///
+/// Exposed (alongside [`WEIGHT_BANK_SEED_XOR`]) so stream-level re-creations
+/// of the per-call pipeline can reproduce its bits exactly.
+pub fn mux_selector(seed: u64) -> Lfsr {
+    Lfsr::new_32((seed as u32).wrapping_mul(2_654_435_761) | 1)
+}
+
 /// Generates the per-lane input and weight streams of an inner-product
 /// block. The XNOR products are *not* materialized here: every consumer
 /// fuses the multiply into its accumulation kernel
@@ -101,8 +115,7 @@ fn generate_operand_streams(
         });
     }
     let mut input_bank = SngBank::new(SngKind::Lfsr32, inputs.len(), seed);
-    let mut weight_bank =
-        SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ 0xABCD_EF01_2345_6789);
+    let mut weight_bank = SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ WEIGHT_BANK_SEED_XOR);
     let input_streams = input_bank.generate_bipolar_with(inputs, length, arena)?;
     let weight_streams = match weight_bank.generate_bipolar_with(weights, length, arena) {
         Ok(streams) => streams,
@@ -246,7 +259,7 @@ impl MuxInnerProduct {
         arena: &mut StreamArena,
     ) -> Result<BitStream, ScError> {
         let (xs, ws) = generate_operand_streams(inputs, weights, length, self.seed, arena)?;
-        let mut selector = Lfsr::new_32((self.seed as u32).wrapping_mul(2_654_435_761) | 1);
+        let mut selector = mux_selector(self.seed);
         let sum = MuxAdder::new().sum_products(&xs, &ws, &mut selector);
         arena.recycle_all(xs);
         arena.recycle_all(ws);

@@ -71,6 +71,12 @@ impl MuxAdder {
 
     /// Sums the input streams, driving the selector from `selector_rng`.
     ///
+    /// The selector consumes one raw [`RandomSource::next_u32`] sample per
+    /// cycle (batched via [`RandomSource::fill_u32`]) and reduces it modulo
+    /// the lane count — the trait's rejection-free default reduction.
+    /// Sources that override [`RandomSource::next_below`] with a different
+    /// reduction are not honored here.
+    ///
     /// # Errors
     ///
     /// Returns [`ScError::EmptyInput`] for an empty slice and
@@ -90,19 +96,16 @@ impl MuxAdder {
                 });
             }
         }
-        let n = inputs.len() as u32;
         let mut out = BitStream::zeros(StreamLength::try_new(len)?);
         // One selector draw per cycle (same order as the per-bit reference),
-        // but the output is packed word-by-word instead of via per-bit sets.
+        // drawn in batch and bit-sliced into per-lane selection masks so the
+        // data movement is a handful of masked word ORs instead of 64
+        // per-bit extract/insert pairs (see `SelectorSlicer`).
         let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        let mut slicer = SelectorSlicer::new(inputs.len(), len, selector_rng);
         for (w, out_word) in out.words_mut().iter_mut().enumerate() {
             let bits = (len - w * 64).min(64);
-            let mut packed = 0u64;
-            for bit in 0..bits {
-                let selected = selector_rng.next_below(n) as usize;
-                packed |= ((words[selected][w] >> bit) & 1) << bit;
-            }
-            *out_word = packed;
+            *out_word = slicer.select_word(w, bits, |lane| words[lane][w]);
         }
         Ok(out)
     }
@@ -127,19 +130,13 @@ impl MuxAdder {
         selector_rng: &mut R,
     ) -> Result<BitStream, ScError> {
         let len = common_product_length(inputs, weights)?;
-        let n = inputs.len() as u32;
         let mut out = BitStream::zeros(StreamLength::try_new(len)?);
         let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
         let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
+        let mut slicer = SelectorSlicer::new(inputs.len(), len, selector_rng);
         for (w, out_word) in out.words_mut().iter_mut().enumerate() {
             let bits = (len - w * 64).min(64);
-            let mut packed = 0u64;
-            for bit in 0..bits {
-                let lane = selector_rng.next_below(n) as usize;
-                let product = !(xs[lane][w] ^ ws[lane][w]);
-                packed |= ((product >> bit) & 1) << bit;
-            }
-            *out_word = packed;
+            *out_word = slicer.select_word(w, bits, |lane| !(xs[lane][w] ^ ws[lane][w]));
         }
         Ok(out)
     }
@@ -148,6 +145,120 @@ impl MuxAdder {
     /// true sum (equal to the number of inputs).
     pub fn scale_factor(&self, input_count: usize) -> f64 {
         input_count as f64
+    }
+}
+
+/// Exact strength-reduced modulo (Lemire's fastmod): `rem(x) == x % d` for
+/// every 32-bit `x`, replacing the hardware divide in the selector hot loop
+/// with two multiplies. The divide moves to construction, paid once per MUX
+/// evaluation instead of once per cycle.
+struct FastMod {
+    d: u32,
+    m: u64,
+    /// `Some(d - 1)` when `d` is a power of two: the reduction is one AND.
+    pow2_mask: Option<u32>,
+}
+
+impl FastMod {
+    fn new(d: u32) -> Self {
+        debug_assert!(d > 0, "modulus must be non-zero");
+        Self {
+            d,
+            // For d == 1 this wraps to 0 and rem() correctly returns 0.
+            m: (u64::MAX / u64::from(d)).wrapping_add(1),
+            pow2_mask: d.is_power_of_two().then(|| d - 1),
+        }
+    }
+
+    #[inline]
+    fn rem(&self, x: u32) -> u32 {
+        if let Some(mask) = self.pow2_mask {
+            return x & mask;
+        }
+        let low = self.m.wrapping_mul(u64::from(x));
+        ((u128::from(low) * u128::from(self.d)) >> 64) as u32
+    }
+}
+
+/// Bit-sliced MUX selector.
+///
+/// Three changes over the selector-serial reference loop, none of which
+/// alter a single output bit:
+///
+/// 1. the raw selector samples for the whole stream are drawn up front via
+///    [`RandomSource::fill_u32`], which the default 32-bit LFSR services
+///    through its staged GF(2) sequence recurrences — removing the
+///    per-cycle serial register dependency that dominates the loop;
+/// 2. the modulo reduction (`sample % lanes`, the trait's rejection-free
+///    default) is strength-reduced to two multiplies (Lemire's exact
+///    fastmod), paying the divide once per evaluation instead of per cycle;
+/// 3. the 64 draws of an output word are sliced into per-lane selection
+///    masks, assembling the word from masked ORs of whole lane words
+///    instead of 64 per-bit extract/insert pairs.
+///
+/// The sample order is exactly the per-bit reference order, so the output
+/// is bit-identical to the selector-serial loop it replaces.
+struct SelectorSlicer {
+    /// Raw selector samples, one per stream cycle.
+    samples: Vec<u32>,
+    /// Per-lane mask of the cycles (bits of the current word) that selected
+    /// the lane. Only the entries listed in `touched` are non-zero (for the
+    /// many-lane variant; the ≤64-lane variant scans all lanes instead).
+    masks: Vec<u64>,
+    /// Lanes with a non-zero mask for the current word (at most 64).
+    touched: Vec<u32>,
+    modulo: FastMod,
+}
+
+impl SelectorSlicer {
+    fn new<R: RandomSource>(lanes: usize, stream_bits: usize, rng: &mut R) -> Self {
+        let mut samples = vec![0u32; stream_bits];
+        rng.fill_u32(&mut samples);
+        Self {
+            samples,
+            masks: vec![0u64; lanes],
+            touched: Vec::with_capacity(64),
+            modulo: FastMod::new(lanes as u32),
+        }
+    }
+
+    /// Consumes the `bits` selector samples of output word `word` (reference
+    /// order) and returns the word whose bit `b` is bit `b` of
+    /// `lane_word(selected_b)`.
+    fn select_word(&mut self, word: usize, bits: usize, lane_word: impl Fn(usize) -> u64) -> u64 {
+        let samples = &self.samples[word * 64..word * 64 + bits];
+        let mut out = 0u64;
+        if self.masks.len() <= 64 {
+            // Few lanes: branch-free slicing pass, then scan every lane.
+            for (bit, &sample) in samples.iter().enumerate() {
+                let lane = self.modulo.rem(sample) as usize;
+                self.masks[lane] |= 1u64 << bit;
+            }
+            for lane in 0..self.masks.len() {
+                let mask = self.masks[lane];
+                if mask != 0 {
+                    out |= lane_word(lane) & mask;
+                    self.masks[lane] = 0;
+                }
+            }
+        } else {
+            // Many lanes: track the (at most 64) touched lanes so the
+            // combine pass does not scan hundreds of idle ones.
+            for (bit, &sample) in samples.iter().enumerate() {
+                let lane = self.modulo.rem(sample) as usize;
+                if self.masks[lane] == 0 {
+                    self.touched.push(lane as u32);
+                }
+                self.masks[lane] |= 1u64 << bit;
+            }
+            for &lane in &self.touched {
+                let lane = lane as usize;
+                out |= lane_word(lane) & self.masks[lane];
+                self.masks[lane] = 0;
+            }
+            self.touched.clear();
+        }
+        out
     }
 }
 
@@ -627,6 +738,70 @@ mod tests {
                 .sum_products(&xs, &ws, &mut selector_b)
                 .unwrap();
             assert_eq!(fused, naive, "MUX mismatch at len {len}");
+        }
+    }
+
+    /// Frozen selector-serial reference of the MUX sum (the pre-bit-slicing
+    /// implementation), kept to pin the `SelectorSlicer` output bit-for-bit.
+    fn mux_sum_selector_serial<R: crate::rng::RandomSource>(
+        inputs: &[BitStream],
+        selector_rng: &mut R,
+    ) -> BitStream {
+        let len = inputs[0].len();
+        let n = inputs.len() as u32;
+        let mut out = BitStream::zeros(StreamLength::new(len));
+        let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+            let bits = (len - w * 64).min(64);
+            let mut packed = 0u64;
+            for bit in 0..bits {
+                let selected = selector_rng.next_below(n) as usize;
+                packed |= ((words[selected][w] >> bit) & 1) << bit;
+            }
+            *out_word = packed;
+        }
+        out
+    }
+
+    #[test]
+    fn fastmod_is_exact_for_all_divisors_of_interest() {
+        for d in [1u32, 2, 3, 4, 5, 7, 16, 25, 63, 64, 65, 200, 800, u32::MAX] {
+            let fm = FastMod::new(d);
+            for x in [
+                0u32,
+                1,
+                d.saturating_sub(1),
+                d,
+                d.saturating_add(1),
+                12345,
+                0x8000_0000,
+                u32::MAX,
+            ] {
+                assert_eq!(fm.rem(x), x % d, "fastmod({x}, {d})");
+            }
+            // A pseudo-random sweep.
+            let mut lfsr = Lfsr::new_32(d ^ 0xBEEF);
+            for _ in 0..2000 {
+                let x = lfsr.step();
+                assert_eq!(fm.rem(x), x % d, "fastmod({x}, {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_sliced_selector_matches_serial_reference() {
+        for (lanes, len) in [(2usize, 64usize), (4, 100), (25, 127), (80, 1024)] {
+            let values: Vec<f64> = (0..lanes)
+                .map(|i| (i as f64 / lanes as f64) - 0.5)
+                .collect();
+            let inputs = streams_for(&values, len, 7 + lanes as u64);
+            let mut serial_rng = Lfsr::new_32(99);
+            let mut sliced_rng = Lfsr::new_32(99);
+            let serial = mux_sum_selector_serial(&inputs, &mut serial_rng);
+            let sliced = MuxAdder::new().sum(&inputs, &mut sliced_rng).unwrap();
+            assert_eq!(sliced, serial, "lanes {lanes} len {len}");
+            // The RNG must be left in the same state (same number of draws).
+            assert_eq!(serial_rng.state(), sliced_rng.state());
         }
     }
 

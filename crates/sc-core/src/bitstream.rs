@@ -237,11 +237,13 @@ impl BitStream {
         &self.words
     }
 
-    /// Mutable access to the packed words for in-crate word-parallel fills.
+    /// Mutable access to the packed words for word-parallel fills (used by
+    /// the SNG fill paths and external word-level kernels such as the
+    /// serving engine's benchmarks).
     ///
-    /// Callers must keep bits beyond the logical length at zero (or call
-    /// [`BitStream::mask_tail`] afterwards).
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+    /// Callers must keep bits beyond the logical length at zero: every
+    /// counting and comparison operation assumes a zeroed tail.
+    pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
 

@@ -1,0 +1,226 @@
+//! Memoization of generated stochastic streams.
+//!
+//! A comparator-based SNG is a pure function of its lane seed and its
+//! comparator threshold: the same `(seed, threshold)` pair always yields the
+//! same bit-stream (see [`crate::sng`]). Network inference re-encodes the
+//! same values over and over — background pixels repeat within an image, and
+//! every decoded layer output is quantized to one of `L + 1` bipolar levels —
+//! so a compiled inference engine can skip most SNG work by caching streams
+//! under that key. [`StreamCache`] is that cache: a bounded map from
+//! `(lane_seed, threshold)` to the generated stream, with arena-backed
+//! hand-out so steady-state hits allocate nothing.
+//!
+//! Correctness does not depend on any cache policy: an entry is only ever a
+//! copy of what the generator would produce for the same key, so hits and
+//! misses (and evictions) are observationally identical to always
+//! regenerating.
+
+use crate::arena::StreamArena;
+use crate::bitstream::BitStream;
+use std::collections::HashMap;
+
+/// Cache key: the SNG lane seed and the 16-bit comparator threshold the
+/// stream was generated with (see [`crate::sng::probability_threshold`]).
+pub type StreamKey = (u64, u32);
+
+/// Running hit/miss counters of a [`StreamCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to generate a fresh stream.
+    pub misses: u64,
+    /// Number of times the cache was flushed after reaching capacity.
+    pub flushes: u64,
+    /// Streams currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the cache (zero when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded `(lane_seed, threshold) → BitStream` memo table.
+///
+/// Eviction is epoch-based: when the table reaches capacity it is cleared
+/// wholesale and refills with whatever keys are hot next. This keeps the
+/// bookkeeping at a single `HashMap` operation per lookup — hot keys
+/// (saturated activations, background pixels) re-enter within a handful of
+/// evaluations, and a flush can never change any result.
+#[derive(Debug)]
+pub struct StreamCache {
+    map: HashMap<StreamKey, BitStream>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+impl StreamCache {
+    /// Creates a cache holding at most `capacity` streams (minimum one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Returns the stream for `key` at the given `length`, generating it
+    /// with `fill` on a miss.
+    ///
+    /// The length is part of the lookup: a cached entry of a different
+    /// length (possible when one cache is shared across engines with
+    /// different stream lengths) counts as a miss and is replaced, so a hit
+    /// can never hand back a wrong-length stream.
+    ///
+    /// The returned stream is an arena-backed copy owned by the caller
+    /// (recycle it into `arena` when done); the cache keeps its own master
+    /// copy. `fill` receives the arena so generation itself can reuse pooled
+    /// buffers and must produce a stream of `length` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error `fill` returns; the cache is unchanged in
+    /// that case.
+    pub fn get_or_generate<E>(
+        &mut self,
+        key: StreamKey,
+        length: crate::bitstream::StreamLength,
+        arena: &mut StreamArena,
+        fill: impl FnOnce(&mut StreamArena) -> Result<BitStream, E>,
+    ) -> Result<BitStream, E> {
+        if let Some(master) = self.map.get(&key) {
+            if master.stream_length() == length {
+                self.hits += 1;
+                let mut copy = arena.take_zeroed(length);
+                copy.copy_range_from(master, 0, master.len());
+                return Ok(copy);
+            }
+        }
+        self.misses += 1;
+        let stream = fill(arena)?;
+        debug_assert_eq!(stream.len(), length.bits(), "fill produced a wrong length");
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.flushes += 1;
+        }
+        self.map.insert(key, stream.clone());
+        Ok(stream)
+    }
+
+    /// Drops all cached streams (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            flushes: self.flushes,
+            entries: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::StreamLength;
+    use crate::sng::{Sng, SngKind};
+
+    fn generate(seed: u64, value: f64, len: usize) -> BitStream {
+        Sng::new(SngKind::Lfsr32, seed)
+            .generate_bipolar(value, StreamLength::new(len))
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_identical_stream() {
+        let mut cache = StreamCache::new(16);
+        let mut arena = StreamArena::new();
+        let expected = generate(5, 0.25, 130);
+        let length = StreamLength::new(130);
+        let first = cache
+            .get_or_generate::<()>((5, 100), length, &mut arena, |_| Ok(generate(5, 0.25, 130)))
+            .unwrap();
+        assert_eq!(first, expected);
+        arena.recycle(first);
+        // Second request must be served from the cache and still match.
+        let second = cache
+            .get_or_generate::<()>((5, 100), length, &mut arena, |_| {
+                panic!("cache must not regenerate on a hit")
+            })
+            .unwrap();
+        assert_eq!(second, expected);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_flush_keeps_results_correct() {
+        let mut cache = StreamCache::new(2);
+        let mut arena = StreamArena::new();
+        for round in 0..3u64 {
+            for key in 0..4u64 {
+                let got = cache
+                    .get_or_generate::<()>((key, 0), StreamLength::new(64), &mut arena, |_| {
+                        Ok(generate(key, 0.5, 64))
+                    })
+                    .unwrap();
+                assert_eq!(got, generate(key, 0.5, 64), "round {round} key {key}");
+                arena.recycle(got);
+            }
+        }
+        assert!(cache.stats().flushes > 0);
+        assert!(cache.stats().entries <= 2);
+    }
+
+    #[test]
+    fn mismatched_length_is_a_miss_not_a_wrong_stream() {
+        let mut cache = StreamCache::new(16);
+        let mut arena = StreamArena::new();
+        let long = cache
+            .get_or_generate::<()>((9, 9), StreamLength::new(256), &mut arena, |_| {
+                Ok(generate(9, 0.25, 256))
+            })
+            .unwrap();
+        assert_eq!(long.len(), 256);
+        // Same key, different length: must regenerate, never return the
+        // 256-bit master.
+        let short = cache
+            .get_or_generate::<()>((9, 9), StreamLength::new(64), &mut arena, |_| {
+                Ok(generate(9, 0.25, 64))
+            })
+            .unwrap();
+        assert_eq!(short, generate(9, 0.25, 64));
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn errors_propagate_and_do_not_insert() {
+        let mut cache = StreamCache::new(4);
+        let mut arena = StreamArena::new();
+        let result =
+            cache
+                .get_or_generate::<&str>((1, 1), StreamLength::new(8), &mut arena, |_| Err("boom"));
+        assert_eq!(result.unwrap_err(), "boom");
+        assert_eq!(cache.stats().entries, 0);
+        cache.clear();
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

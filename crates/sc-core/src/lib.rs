@@ -47,6 +47,7 @@ pub mod activation;
 pub mod add;
 pub mod arena;
 pub mod bitstream;
+pub mod cache;
 pub mod encoding;
 pub mod error;
 pub mod multiply;
@@ -58,6 +59,7 @@ pub mod twoline;
 
 pub use arena::StreamArena;
 pub use bitstream::{BitStream, StreamLength};
+pub use cache::StreamCache;
 pub use error::ScError;
 
 /// Convenient glob-import of the most commonly used items.
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::add::{Apc, ExactParallelCounter, MuxAdder, OrAdder};
     pub use crate::arena::StreamArena;
     pub use crate::bitstream::{BitStream, StreamLength};
+    pub use crate::cache::StreamCache;
     pub use crate::encoding::{Bipolar, Encoding, Unipolar};
     pub use crate::error::ScError;
     pub use crate::multiply;

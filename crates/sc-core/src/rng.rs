@@ -24,6 +24,19 @@ pub trait RandomSource {
         debug_assert!(modulus > 0, "modulus must be non-zero");
         self.next_u32() % modulus
     }
+
+    /// Fills `out` with consecutive raw samples, exactly as that many
+    /// [`RandomSource::next_u32`] calls would.
+    ///
+    /// Implementations may batch: the default 32-bit LFSR generates its
+    /// bit-sequence through staged GF(2) recurrences and reconstructs the
+    /// register states from it, removing the per-sample serial dependency
+    /// that dominates selector-driven kernels.
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_u32();
+        }
+    }
 }
 
 /// Maximal-length LFSR widths supported by [`Lfsr`].
@@ -141,11 +154,141 @@ impl Lfsr {
     pub fn period(&self) -> u64 {
         (1u64 << self.width.bits()) - 1
     }
+
+    /// Generates `total_bits` sequence bits of the width-32 register through
+    /// the staged GF(2) recurrences and resynchronizes the register to the
+    /// state after `total_bits` steps.
+    ///
+    /// Buffer layout on return: 4 bytes of virtual history (the register's
+    /// seed bits, oldest first) followed by the generated sequence,
+    /// byte-packed LSB-first, plus 16 zero padding bytes so 128-bit window
+    /// loads over the sequence stay in bounds. Buffer bit `b` is sequence
+    /// bit `c_{b-32}` (negative indices being the seed history); the state
+    /// after `s ≥ 1` steps is the 32-bit window at buffer bit `s`, bit
+    /// reversed.
+    ///
+    /// The Fibonacci register with taps `0x8020_0003` inserts the
+    /// bit-sequence `c` satisfying `c_n = c_{n-1} ^ c_{n-2} ^ c_{n-22} ^
+    /// c_{n-32}` at bit 0. Squaring the characteristic polynomial over GF(2)
+    /// scales every lag (`p(D)^{2^k} = p(D^{2^k})`), so after a 96-bit
+    /// serial bootstrap the sequence extends *nibble*-wise from bit 96
+    /// (`p(D)^4`) and *byte*-wise from bit 224 (`p(D)^8`) at three XORs per
+    /// eight register steps; the lag-32 terms reach back into the register's
+    /// seed bits, stored as the virtual history.
+    ///
+    /// Requires `total_bits % 64 == 0` and `total_bits >= 128`; only valid
+    /// for [`LfsrWidth::W32`].
+    pub(crate) fn w32_sequence_into(&mut self, total_bits: usize, seq: &mut Vec<u8>) {
+        debug_assert_eq!(self.width, LfsrWidth::W32);
+        debug_assert!(total_bits >= 128 && total_bits.is_multiple_of(64));
+        let seq_bytes = total_bits / 8;
+        seq.clear();
+        seq.resize(4 + seq_bytes + 16, 0);
+        seq[0..4].copy_from_slice(&self.state.reverse_bits().to_le_bytes());
+
+        // Serial bootstrap: the first 96 sequence bits in a register-local
+        // loop (the nibble recurrence is valid from bit 96 onwards).
+        let mut state = self.state;
+        let mut low = 0u64;
+        for bit in 0..64 {
+            state = lfsr32_step(state);
+            low |= u64::from(state & 1) << bit;
+        }
+        seq[4..12].copy_from_slice(&low.to_le_bytes());
+        let mut mid = 0u32;
+        for bit in 0..32 {
+            state = lfsr32_step(state);
+            mid |= (state & 1) << bit;
+        }
+        seq[12..16].copy_from_slice(&mid.to_le_bytes());
+
+        // Nibble-level recurrence (`p(D)^4`: lags 4/8/88/128 bits) extends
+        // the sequence from bit 96 to bit 224. Buffer nibble index =
+        // sequence nibble index + 8 (the 32 virtual bits); the lag-32-nibble
+        // term reaches the virtual seed bits.
+        let nibble_end = (32 + total_bits.min(224)) / 4;
+        for nk in (32 + 96) / 4..nibble_end {
+            let nib = |i: usize| (seq[i / 2] >> (4 * (i & 1))) & 0xF;
+            let value = nib(nk - 1) ^ nib(nk - 2) ^ nib(nk - 22) ^ nib(nk - 32);
+            seq[nk / 2] |= value << (4 * (nk & 1));
+        }
+
+        // Byte-level recurrence (`p(D)^8`: lags 8/16/176/256 bits) from
+        // sequence bit 224 (= buffer byte 32) onwards.
+        for k in (32 + 224) / 8..4 + seq_bytes {
+            seq[k] = seq[k - 1] ^ seq[k - 2] ^ seq[k - 22] ^ seq[k - 32];
+        }
+
+        // Resynchronize: the state after `total_bits` steps is the last 32
+        // sequence bits in reverse order (state bit j = c_{N-1-j}).
+        let last = u32::from_le_bytes(seq[seq_bytes..seq_bytes + 4].try_into().expect("4 bytes"));
+        self.set_state(last.reverse_bits());
+    }
+}
+
+/// One step of the width-32 register as a pure function (the all-zeros
+/// lock-up check is provably unreachable for this tap set: the only state
+/// that could shift to zero is `0x8000_0000`, whose feedback bit is one).
+#[inline]
+pub(crate) fn lfsr32_step(state: u32) -> u32 {
+    let feedback = (state ^ (state >> 1) ^ (state >> 21) ^ (state >> 31)) & 1;
+    (state << 1) | feedback
 }
 
 impl RandomSource for Lfsr {
     fn next_u32(&mut self) -> u32 {
         self.step()
+    }
+
+    /// Batched draw for the width-32 register: the bit-sequence is produced
+    /// by the staged recurrences (no per-sample serial dependency), a
+    /// bit-reversed copy is made once, and every sample is then an
+    /// independent unaligned 32-bit window load. Sample values and the final
+    /// register state are identical to repeated [`Lfsr::step`] calls.
+    fn fill_u32(&mut self, out: &mut [u32]) {
+        if self.width != LfsrWidth::W32 || out.len() < 128 {
+            for slot in out.iter_mut() {
+                *slot = self.step();
+            }
+            return;
+        }
+        // Per-thread scratch: the sequence and reversed buffers are tiny
+        // (~L/8 bytes) but this path runs once per MUX evaluation, so fresh
+        // allocations here would undo the arena discipline of the rest of
+        // the hot path.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Vec<u8>, Vec<u8>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+        }
+        let batch = out.len() / 64 * 64;
+        SCRATCH.with(|cell| {
+            let (seq, reversed) = &mut *cell.borrow_mut();
+            self.w32_sequence_into(batch, seq);
+            // Reverse the buffer bit-wise (reversed bytes in reversed
+            // order), so the per-sample bit reversal becomes part of one
+            // linear pass: in the reversed buffer, bit `r` is original
+            // buffer bit `total_bits - 1 - r`, and the state after `s`
+            // steps is the plain 32-bit load at reversed bit offset
+            // `total_bits - 32 - s`.
+            let buffer_bytes = 4 + batch / 8;
+            let total_bits = buffer_bytes * 8;
+            reversed.clear();
+            reversed.resize(buffer_bytes + 8, 0);
+            for (index, &byte) in seq[..buffer_bytes].iter().enumerate() {
+                reversed[buffer_bytes - 1 - index] = byte.reverse_bits();
+            }
+            for (draw, slot) in out[..batch].iter_mut().enumerate() {
+                let offset = total_bits - 32 - (draw + 1);
+                let byte = offset / 8;
+                let shift = (offset % 8) as u32;
+                let window =
+                    u64::from_le_bytes(reversed[byte..byte + 8].try_into().expect("8 bytes"));
+                *slot = (window >> shift) as u32;
+            }
+        });
+        for slot in out[batch..].iter_mut() {
+            *slot = self.step();
+        }
     }
 }
 
@@ -252,6 +395,31 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.step(), b.step());
         }
+    }
+
+    #[test]
+    fn batched_fill_matches_serial_draws_and_state() {
+        // The batched W32 fill must produce exactly the samples (and final
+        // register state) of repeated `next_u32` calls, for aligned and
+        // unaligned lengths on both sides of the batching threshold.
+        for count in [1usize, 64, 127, 128, 129, 191, 192, 200, 1024, 1037] {
+            let mut serial = Lfsr::new_32(0xC0FFEE);
+            let mut batched = Lfsr::new_32(0xC0FFEE);
+            let expected: Vec<u32> = (0..count).map(|_| serial.next_u32()).collect();
+            let mut out = vec![0u32; count];
+            batched.fill_u32(&mut out);
+            assert_eq!(out, expected, "count {count}");
+            assert_eq!(serial.state(), batched.state(), "state after {count}");
+            // Subsequent draws continue identically.
+            assert_eq!(serial.next_u32(), batched.next_u32());
+        }
+        // Non-W32 widths use the serial path.
+        let mut serial = Lfsr::new(LfsrWidth::W16, 0xACE1);
+        let mut batched = Lfsr::new(LfsrWidth::W16, 0xACE1);
+        let expected: Vec<u32> = (0..256).map(|_| serial.next_u32()).collect();
+        let mut out = vec![0u32; 256];
+        batched.fill_u32(&mut out);
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -21,6 +21,28 @@ use serde::{Deserialize, Serialize};
 /// (8192), so quantization of the threshold itself never dominates the error.
 const THRESHOLD_BITS: u32 = 16;
 
+/// The comparator threshold an SNG uses for a one-density of `probability`.
+///
+/// A generated stream is a pure function of the lane seed and this
+/// threshold, which is exactly the key a [`crate::cache::StreamCache`] is
+/// indexed by: two values mapping to the same threshold produce identical
+/// streams from the same generator.
+///
+/// # Errors
+///
+/// Returns [`ScError::ValueOutOfRange`] if `probability` is not within
+/// `[0, 1]`.
+pub fn probability_threshold(probability: f64) -> Result<u32, ScError> {
+    if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
+        return Err(ScError::ValueOutOfRange {
+            value: probability,
+            min: 0.0,
+            max: 1.0,
+        });
+    }
+    Ok((probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32)
+}
+
 /// The randomness source driving an SNG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SngKind {
@@ -72,42 +94,14 @@ impl Source {
     }
 }
 
-/// Comparator outputs emitted by the serial bootstrap of the batched LFSR32
-/// path (one 64-bit word); outputs from bit 64 onwards come out of the
-/// bit-sliced comparator.
-const LFSR32_SERIAL_OUT_BITS: usize = 64;
-
-/// Register bits generated serially before the staged recurrences take
-/// over: the nibble recurrence (`p(D)^4`) is valid from sequence bit 96,
-/// the byte recurrence (`p(D)^8`) from sequence bit 224.
-const LFSR32_SERIAL_SEQ_BITS: usize = 96;
-
-/// First sequence bit produced by the byte-level recurrence.
-const LFSR32_BYTE_STAGE_BITS: usize = 224;
-
-/// One step of the width-32 register as a pure function (the all-zeros
-/// lock-up check is provably unreachable for this tap set: the only state
-/// that could shift to zero is `0x8000_0000`, whose feedback bit is one).
-#[inline]
-fn lfsr32_step(state: u32) -> u32 {
-    let feedback = (state ^ (state >> 1) ^ (state >> 21) ^ (state >> 31)) & 1;
-    (state << 1) | feedback
-}
-
 /// Batched comparator fill for the width-32 LFSR (the default hardware RNG).
 ///
-/// The Fibonacci register with taps `0x8020_0003` inserts the bit-sequence
-/// `c` satisfying `c_n = c_{n-1} ^ c_{n-2} ^ c_{n-22} ^ c_{n-32}` at bit 0,
-/// and the comparator reads `state & 0xFFFF`, i.e. the 16-bit window
-/// `c_{n-15..n}`. Squaring the characteristic polynomial over GF(2) scales
-/// every lag (`p(D)^{2^k} = p(D^{2^k})`), so after a 96-bit serial bootstrap
-/// the sequence extends *nibble*-wise from bit 96 (`p(D)^4`) and *byte*-wise
-/// from bit 224 (`p(D)^8`: `b_k = b_{k-1} ^ b_{k-2} ^ b_{k-22} ^ b_{k-32}`)
-/// at three XORs per eight register steps; the lag-32 terms reach back into
-/// the register's own seed bits, stored as virtual history. The threshold
-/// comparison is then evaluated bit-sliced — 16 shifted bit-planes of the
-/// sequence against the threshold's bits — yielding 64 comparator outputs
-/// per iteration with no serial dependence.
+/// The register's bit-sequence is produced by [`Lfsr::w32_sequence_into`]
+/// (staged GF(2) recurrences, no per-bit serial dependency), and the
+/// comparator reads `state & 0xFFFF`, i.e. the 16-bit window `c_{n-15..n}`.
+/// The threshold comparison is evaluated bit-sliced — 16 shifted bit-planes
+/// of the sequence against the threshold's bits — yielding 64 comparator
+/// outputs per iteration.
 ///
 /// Bit-exact with the per-bit loop: the same `c` sequence is produced (it is
 /// the unique solution of the recurrence from the register seed) and the
@@ -120,91 +114,33 @@ fn fill_words_lfsr32_batched(
     bits: usize,
     seq: &mut Vec<u8>,
 ) {
-    if bits < LFSR32_SERIAL_OUT_BITS + 64 {
+    if bits < 128 {
         fill_words_with(|| lfsr.next_u32(), threshold, words, bits);
         return;
     }
-    let batch_words = (bits - LFSR32_SERIAL_OUT_BITS) / 64;
-    let batch_bits = batch_words * 64;
-    let tail_bits = bits - LFSR32_SERIAL_OUT_BITS - batch_bits;
-    // Sequence bits generated (serially or by recurrence), excluding the 32
-    // virtual seed bits; always a multiple of 64 and at least 256.
-    let total_seq_bits = LFSR32_SERIAL_OUT_BITS + batch_bits;
+    let batch_bits = bits / 64 * 64;
+    let batch_words = batch_bits / 64;
+    let tail_bits = bits - batch_bits;
+    lfsr.w32_sequence_into(batch_bits, seq);
 
-    // Buffer layout: 4 bytes of virtual history (the register's seed bits,
-    // oldest first) followed by the generated sequence, byte-packed
-    // LSB-first, plus 16 zero padding bytes so the 128-bit window loads
-    // below stay in bounds (the padding is never selected by the shifts).
-    let seq_bytes = total_seq_bits / 8;
-    seq.clear();
-    seq.resize(4 + seq_bytes + 16, 0);
-    seq[0..4].copy_from_slice(&lfsr.state().reverse_bits().to_le_bytes());
-
-    // Phase A: serial bootstrap in a register-local loop — 64 comparator
-    // outputs and 96 sequence bits.
-    let mut state = lfsr.state();
-    {
-        let mut out_word = 0u64;
-        let mut seq_word = 0u64;
-        for bit in 0..64 {
-            state = lfsr32_step(state);
-            seq_word |= u64::from(state & 1) << bit;
-            out_word |= u64::from((state & 0xFFFF) < threshold) << bit;
-        }
-        words[0] = out_word;
-        seq[4..12].copy_from_slice(&seq_word.to_le_bytes());
-    }
-    let mut seq_word = 0u32;
-    for bit in 0..(LFSR32_SERIAL_SEQ_BITS - LFSR32_SERIAL_OUT_BITS) {
-        state = lfsr32_step(state);
-        seq_word |= (state & 1) << bit;
-    }
-    seq[4 + LFSR32_SERIAL_OUT_BITS / 8..4 + LFSR32_SERIAL_SEQ_BITS / 8]
-        .copy_from_slice(&seq_word.to_le_bytes());
-
-    // Phase B1: nibble-level recurrence (`p(D)^4`: lags 4/8/88/128 bits)
-    // extends the sequence from bit 96 to bit 224, 4 register steps per
-    // three XORs. Buffer nibble index = sequence nibble index + 8 (the 32
-    // virtual bits); the lag-32-nibble term reaches the virtual seed bits.
-    let nibble_end = (32 + total_seq_bits.min(LFSR32_BYTE_STAGE_BITS)) / 4;
-    for nk in (32 + LFSR32_SERIAL_SEQ_BITS) / 4..nibble_end {
-        let nib = |i: usize| (seq[i / 2] >> (4 * (i & 1))) & 0xF;
-        let value = nib(nk - 1) ^ nib(nk - 2) ^ nib(nk - 22) ^ nib(nk - 32);
-        seq[nk / 2] |= value << (4 * (nk & 1));
-    }
-
-    // Phase B2: byte-level recurrence (`p(D)^8`: lags 8/16/176/256 bits)
-    // from sequence bit 224 (= buffer byte 32) onwards, 8 register steps
-    // per three XORs.
-    for k in (32 + LFSR32_BYTE_STAGE_BITS) / 8..4 + seq_bytes {
-        seq[k] = seq[k - 1] ^ seq[k - 2] ^ seq[k - 22] ^ seq[k - 32];
-    }
-
-    // Phase C: bit-sliced threshold comparison, 64 samples per iteration.
+    // Bit-sliced threshold comparison, 64 samples per iteration.
     if threshold > 0xFFFF {
         // p == 1.0: every sample satisfies `sample < threshold`.
-        for word in words
-            .iter_mut()
-            .skip(LFSR32_SERIAL_OUT_BITS / 64)
-            .take(batch_words)
-        {
+        for word in words.iter_mut().take(batch_words) {
             *word = u64::MAX;
         }
     } else if threshold == 0 {
-        for word in words
-            .iter_mut()
-            .skip(LFSR32_SERIAL_OUT_BITS / 64)
-            .take(batch_words)
-        {
+        for word in words.iter_mut().take(batch_words) {
             *word = 0;
         }
     } else {
-        for w in 0..batch_words {
-            let t0 = LFSR32_SERIAL_OUT_BITS + w * 64;
+        for (w, out_word) in words.iter_mut().enumerate().take(batch_words) {
+            let t0 = w * 64;
             // One 128-bit window covers sequence bits `t0-15 .. t0+63`
             // (buffer bit offset `t0+17`); plane `j` — sample bit `j` of
             // the 64 samples — is that window shifted so its bit `i`
-            // equals sequence bit `t0+i-j`.
+            // equals sequence bit `t0+i-j`. For the first word the plane
+            // reads reach into the 32 virtual seed bits of the buffer.
             let base = t0 + 32 - 15;
             let byte = base / 8;
             let shift = (base % 8) as u32;
@@ -224,25 +160,18 @@ fn fill_words_lfsr32_batched(
                     eq &= !plane;
                 }
             }
-            words[t0 / 64] = lt;
+            *out_word = lt;
         }
     }
 
-    // Resynchronize the register: its state is the last 32 sequence bits in
-    // reverse order (state bit j = c_{N-1-j}).
-    let last = u32::from_le_bytes(seq[seq_bytes..seq_bytes + 4].try_into().expect("4 bytes"));
-    lfsr.set_state(last.reverse_bits());
-
     // Tail: remaining bits (< 64) run serially from the resynced state.
     if tail_bits > 0 {
-        let mut state = lfsr.state();
-        let mut out_word = 0u64;
+        let mut tail_word = 0u64;
         for bit in 0..tail_bits {
-            state = lfsr32_step(state);
-            out_word |= u64::from((state & 0xFFFF) < threshold) << bit;
+            let sample = lfsr.step();
+            tail_word |= u64::from((sample & 0xFFFF) < threshold) << bit;
         }
-        words[total_seq_bits / 64] = out_word;
-        lfsr.set_state(state);
+        words[batch_words] = tail_word;
     }
 }
 
@@ -351,14 +280,7 @@ impl Sng {
         probability: f64,
         stream: &mut BitStream,
     ) -> Result<(), ScError> {
-        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
-            return Err(ScError::ValueOutOfRange {
-                value: probability,
-                min: 0.0,
-                max: 1.0,
-            });
-        }
-        let threshold = (probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32;
+        let threshold = probability_threshold(probability)?;
         let bits = stream.len();
         self.source
             .fill_words(threshold, stream.words_mut(), bits, &mut self.scratch);
@@ -380,14 +302,7 @@ impl Sng {
         probability: f64,
         length: StreamLength,
     ) -> Result<BitStream, ScError> {
-        if !(0.0..=1.0).contains(&probability) || probability.is_nan() {
-            return Err(ScError::ValueOutOfRange {
-                value: probability,
-                min: 0.0,
-                max: 1.0,
-            });
-        }
-        let threshold = (probability * f64::from(1u32 << THRESHOLD_BITS)).round() as u32;
+        let threshold = probability_threshold(probability)?;
         let mut stream = BitStream::zeros(length);
         for i in 0..length.bits() {
             let sample = self.source.next_threshold_sample();
@@ -492,14 +407,18 @@ impl SngBank {
     /// `base_seed`.
     pub fn new(kind: SngKind, lanes: usize, base_seed: u64) -> Self {
         let generators = (0..lanes)
-            .map(|lane| {
-                Sng::new(
-                    kind,
-                    base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1)),
-                )
-            })
+            .map(|lane| Sng::new(kind, Self::lane_seed(base_seed, lane)))
             .collect();
         Self { generators }
+    }
+
+    /// The seed of lane `lane` in a bank created from `base_seed` (the
+    /// splitmix stride). A fresh `Sng::new(kind, lane_seed(base, l))`
+    /// reproduces exactly the stream lane `l` of a fresh bank generates, so
+    /// compiled engines can regenerate or cache individual lane streams
+    /// without constructing whole banks.
+    pub fn lane_seed(base_seed: u64, lane: usize) -> u64 {
+        base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1))
     }
 
     /// Number of lanes in the bank.

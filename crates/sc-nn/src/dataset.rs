@@ -115,6 +115,177 @@ impl SyntheticDigits {
     pub fn test_len(&self) -> usize {
         self.test_images.len()
     }
+
+    /// Loads the real MNIST dataset from `SC_MNIST_DIR` when the `mnist`
+    /// feature is enabled and the IDX files are present, otherwise generates
+    /// the synthetic dataset (always the case without the feature).
+    ///
+    /// The MNIST split is truncated to `train_per_class` training and
+    /// `max(train_per_class / 4, 1)` test samples per class so the two
+    /// sources are interchangeable in experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_per_class` is zero.
+    pub fn load_or_generate(train_per_class: usize, seed: u64) -> Self {
+        #[cfg(feature = "mnist")]
+        {
+            if let Some(dir) = std::env::var_os("SC_MNIST_DIR") {
+                match mnist::load_from_dir(std::path::Path::new(&dir), train_per_class) {
+                    Ok(data) => return data,
+                    Err(error) => {
+                        eprintln!(
+                            "SC_MNIST_DIR set but MNIST load failed ({error}); \
+                             falling back to SyntheticDigits"
+                        );
+                    }
+                }
+            }
+        }
+        Self::generate(train_per_class, seed)
+    }
+}
+
+/// Loader for the real MNIST IDX files (enabled by the `mnist` feature).
+///
+/// Parses the classic `train-images-idx3-ubyte` / `train-labels-idx1-ubyte`
+/// (and `t10k-…`) files with plain `std` I/O — no decompression, no network
+/// access. Pixels are normalized to `[0, 1]` and shaped `(1, 28, 28)`, so
+/// the loaded dataset is a drop-in replacement for [`SyntheticDigits`].
+#[cfg(feature = "mnist")]
+pub mod mnist {
+    use super::{SyntheticDigits, CLASSES};
+    use crate::tensor::Tensor;
+    use std::io::{self, Read};
+    use std::path::Path;
+
+    /// IDX magic for unsigned-byte rank-3 image files.
+    const IMAGES_MAGIC: u32 = 0x0000_0803;
+    /// IDX magic for unsigned-byte rank-1 label files.
+    const LABELS_MAGIC: u32 = 0x0000_0801;
+
+    fn read_u32(reader: &mut impl Read) -> io::Result<u32> {
+        let mut buf = [0u8; 4];
+        reader.read_exact(&mut buf)?;
+        Ok(u32::from_be_bytes(buf))
+    }
+
+    fn bad_data(message: String) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, message)
+    }
+
+    /// Parses an IDX image file into `(1, rows, cols)` tensors in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files and `InvalidData` for a
+    /// wrong magic or a truncated payload.
+    pub fn read_idx_images(path: &Path) -> io::Result<Vec<Tensor>> {
+        let mut reader = io::BufReader::new(std::fs::File::open(path)?);
+        let magic = read_u32(&mut reader)?;
+        if magic != IMAGES_MAGIC {
+            return Err(bad_data(format!(
+                "{}: image magic {magic:#010x}, expected {IMAGES_MAGIC:#010x}",
+                path.display()
+            )));
+        }
+        let count = read_u32(&mut reader)? as usize;
+        let rows = read_u32(&mut reader)? as usize;
+        let cols = read_u32(&mut reader)? as usize;
+        let mut pixels = vec![0u8; rows * cols];
+        let mut images = Vec::with_capacity(count);
+        for _ in 0..count {
+            reader.read_exact(&mut pixels)?;
+            let data: Vec<f32> = pixels.iter().map(|&p| f32::from(p) / 255.0).collect();
+            images.push(Tensor::from_vec(data, &[1, rows, cols]));
+        }
+        Ok(images)
+    }
+
+    /// Parses an IDX label file into class indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files and `InvalidData` for a
+    /// wrong magic, a truncated payload, or an out-of-range label.
+    pub fn read_idx_labels(path: &Path) -> io::Result<Vec<usize>> {
+        let mut reader = io::BufReader::new(std::fs::File::open(path)?);
+        let magic = read_u32(&mut reader)?;
+        if magic != LABELS_MAGIC {
+            return Err(bad_data(format!(
+                "{}: label magic {magic:#010x}, expected {LABELS_MAGIC:#010x}",
+                path.display()
+            )));
+        }
+        let count = read_u32(&mut reader)? as usize;
+        let mut bytes = vec![0u8; count];
+        reader.read_exact(&mut bytes)?;
+        bytes
+            .into_iter()
+            .map(|label| {
+                let label = label as usize;
+                if label < CLASSES {
+                    Ok(label)
+                } else {
+                    Err(bad_data(format!("label {label} out of range")))
+                }
+            })
+            .collect()
+    }
+
+    /// Takes a class-balanced prefix of `per_class` samples per digit.
+    fn balanced_subset(
+        images: &[Tensor],
+        labels: &[usize],
+        per_class: usize,
+    ) -> (Vec<Tensor>, Vec<usize>) {
+        let mut taken = [0usize; CLASSES];
+        let mut out_images = Vec::with_capacity(per_class * CLASSES);
+        let mut out_labels = Vec::with_capacity(per_class * CLASSES);
+        for (image, &label) in images.iter().zip(labels.iter()) {
+            if taken[label] < per_class {
+                taken[label] += 1;
+                out_images.push(image.clone());
+                out_labels.push(label);
+            }
+        }
+        (out_images, out_labels)
+    }
+
+    /// Loads MNIST from a directory holding the four classic IDX files and
+    /// truncates it to a class-balanced split matching
+    /// [`SyntheticDigits::generate`]'s sizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any file is missing or malformed, or if
+    /// image/label counts disagree.
+    pub fn load_from_dir(dir: &Path, train_per_class: usize) -> io::Result<SyntheticDigits> {
+        let train_images = read_idx_images(&dir.join("train-images-idx3-ubyte"))?;
+        let train_labels = read_idx_labels(&dir.join("train-labels-idx1-ubyte"))?;
+        let test_images = read_idx_images(&dir.join("t10k-images-idx3-ubyte"))?;
+        let test_labels = read_idx_labels(&dir.join("t10k-labels-idx1-ubyte"))?;
+        if train_images.len() != train_labels.len() || test_images.len() != test_labels.len() {
+            return Err(bad_data(format!(
+                "image/label count mismatch: {}/{} train, {}/{} test",
+                train_images.len(),
+                train_labels.len(),
+                test_images.len(),
+                test_labels.len()
+            )));
+        }
+        let test_per_class = (train_per_class / 4).max(1);
+        let (train_images, train_labels) =
+            balanced_subset(&train_images, &train_labels, train_per_class);
+        let (test_images, test_labels) =
+            balanced_subset(&test_images, &test_labels, test_per_class);
+        Ok(SyntheticDigits {
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        })
+    }
 }
 
 /// Renders one noisy digit image as a `(1, 28, 28)` tensor in `[0, 1]`.
@@ -230,5 +401,90 @@ mod tests {
     fn invalid_digit_panics() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = render_digit(10, &mut rng);
+    }
+
+    #[test]
+    fn load_or_generate_falls_back_to_synthetic() {
+        // Without SC_MNIST_DIR (or without the feature) this must be the
+        // synthetic generator, bit-for-bit.
+        let loaded = SyntheticDigits::load_or_generate(3, 42);
+        let generated = SyntheticDigits::generate(3, 42);
+        assert_eq!(
+            loaded.train_images[0].as_slice(),
+            generated.train_images[0].as_slice()
+        );
+        assert_eq!(loaded.train_labels, generated.train_labels);
+    }
+}
+
+#[cfg(all(test, feature = "mnist"))]
+mod mnist_tests {
+    use super::mnist::{load_from_dir, read_idx_images, read_idx_labels};
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Writes a minimal IDX pair (images + labels) and returns the dir.
+    fn write_fixture(name: &str, samples_per_class: usize) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sc-mnist-fixture-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (images_name, labels_name) in [
+            ("train-images-idx3-ubyte", "train-labels-idx1-ubyte"),
+            ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"),
+        ] {
+            let count = samples_per_class * CLASSES;
+            let mut images = std::fs::File::create(dir.join(images_name)).unwrap();
+            images.write_all(&0x0000_0803u32.to_be_bytes()).unwrap();
+            images.write_all(&(count as u32).to_be_bytes()).unwrap();
+            images.write_all(&28u32.to_be_bytes()).unwrap();
+            images.write_all(&28u32.to_be_bytes()).unwrap();
+            let mut labels = std::fs::File::create(dir.join(labels_name)).unwrap();
+            labels.write_all(&0x0000_0801u32.to_be_bytes()).unwrap();
+            labels.write_all(&(count as u32).to_be_bytes()).unwrap();
+            for sample in 0..count {
+                let digit = (sample % CLASSES) as u8;
+                // Constant plane whose intensity encodes the digit, so the
+                // parsed pixel values are checkable.
+                images.write_all(&[digit * 20; 28 * 28]).unwrap();
+                labels.write_all(&[digit]).unwrap();
+            }
+        }
+        dir
+    }
+
+    #[test]
+    fn idx_round_trip_parses_shapes_and_values() {
+        let dir = write_fixture("roundtrip", 2);
+        let images = read_idx_images(&dir.join("train-images-idx3-ubyte")).unwrap();
+        let labels = read_idx_labels(&dir.join("train-labels-idx1-ubyte")).unwrap();
+        assert_eq!(images.len(), 20);
+        assert_eq!(labels[..3], [0, 1, 2]);
+        assert_eq!(images[0].shape(), &[1, 28, 28]);
+        assert!((images[3].as_slice()[0] - 60.0 / 255.0).abs() < 1e-6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_from_dir_produces_balanced_split() {
+        let dir = write_fixture("balanced", 5);
+        let data = load_from_dir(&dir, 4).unwrap();
+        assert_eq!(data.train_len(), 40);
+        assert_eq!(data.test_len(), 10);
+        for digit in 0..CLASSES {
+            assert_eq!(data.train_labels.iter().filter(|&&l| l == digit).count(), 4);
+            assert_eq!(data.test_labels.iter().filter(|&&l| l == digit).count(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let dir = write_fixture("magic", 1);
+        // Labels parsed as images must fail on the magic number.
+        assert!(read_idx_images(&dir.join("train-labels-idx1-ubyte")).is_err());
+        assert!(read_idx_labels(&dir.join("train-images-idx3-ubyte")).is_err());
+        assert!(load_from_dir(&dir.join("missing"), 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

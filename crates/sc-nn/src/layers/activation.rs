@@ -45,6 +45,10 @@ impl Layer for Tanh {
     fn name(&self) -> &'static str {
         "tanh"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -74,12 +74,6 @@ impl Conv2d {
         self.weights.as_slice()[((o * self.in_channels + i) * k + ky) * k + kx]
     }
 
-    fn weight_grad_at_mut(&mut self, o: usize, i: usize, ky: usize, kx: usize) -> &mut f32 {
-        let k = self.kernel;
-        let idx = ((o * self.in_channels + i) * k + ky) * k + kx;
-        &mut self.weight_grad.as_mut_slice()[idx]
-    }
-
     fn output_dims(&self, input: &Tensor) -> (usize, usize) {
         let (_, height, width) = input.dims3();
         assert!(
@@ -101,8 +95,7 @@ impl Layer for Conv2d {
         // produces its own plane and the planes are concatenated in channel
         // order, so the result is bit-identical to the serial loop.
         let this = &*self;
-        let channel_indices: Vec<usize> = (0..self.out_channels).collect();
-        let planes = sc_core::parallel::parallel_map(&channel_indices, |_, &o| {
+        let planes = sc_core::parallel::parallel_map_range(self.out_channels, |o| {
             let mut plane = vec![0.0f32; out_h * out_w];
             for y in 0..out_h {
                 for x in 0..out_w {
@@ -132,26 +125,67 @@ impl Layer for Conv2d {
             .expect("forward must run before backward");
         let (out_c, out_h, out_w) = grad_output.dims3();
         assert_eq!(out_c, self.out_channels, "gradient channel count mismatch");
-        let mut grad_input = Tensor::zeros(input.shape());
-        for o in 0..self.out_channels {
+        let (_, in_h, in_w) = input.dims3();
+        let k = self.kernel;
+        let in_channels = self.in_channels;
+        let row = in_channels * k * k;
+
+        // Weight and bias gradients partition cleanly by output channel: the
+        // serial loop only ever touches channel `o`'s slots from its own
+        // `o` iteration, so each worker accumulates its channel's row —
+        // starting from the currently accumulated value, in the serial inner
+        // order — and the result is bit-identical to the serial loop.
+        let this = &*self;
+        let weight_grad = &self.weight_grad;
+        let bias_grad = &self.bias_grad;
+        let per_channel = sc_core::parallel::parallel_map_range(self.out_channels, |o| {
+            let mut wg = weight_grad.as_slice()[o * row..(o + 1) * row].to_vec();
+            let mut bg = bias_grad.as_slice()[o];
             for y in 0..out_h {
                 for x in 0..out_w {
                     let g = grad_output.at3(o, y, x);
-                    self.bias_grad.as_mut_slice()[o] += g;
-                    for i in 0..self.in_channels {
-                        for ky in 0..self.kernel {
-                            for kx in 0..self.kernel {
-                                *self.weight_grad_at_mut(o, i, ky, kx) +=
-                                    g * input.at3(i, y + ky, x + kx);
-                                *grad_input.at3_mut(i, y + ky, x + kx) +=
-                                    g * self.weight_at(o, i, ky, kx);
+                    bg += g;
+                    for i in 0..in_channels {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                wg[(i * k + ky) * k + kx] += g * input.at3(i, y + ky, x + kx);
                             }
                         }
                     }
                 }
             }
+            (wg, bg)
+        });
+
+        // The input gradient partitions by *input* channel: every slot of
+        // plane `i` only receives contributions from workers' fixed `i`, and
+        // each worker visits them in the serial `(o, y, x, ky, kx)` order,
+        // so per-slot accumulation order (and hence the float result) is
+        // unchanged.
+        let planes = sc_core::parallel::parallel_map_range(in_channels, |i| {
+            let mut plane = vec![0.0f32; in_h * in_w];
+            for o in 0..this.out_channels {
+                for y in 0..out_h {
+                    for x in 0..out_w {
+                        let g = grad_output.at3(o, y, x);
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                plane[(y + ky) * in_w + (x + kx)] +=
+                                    g * this.weight_at(o, i, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+            plane
+        });
+
+        for (o, (wg, bg)) in per_channel.into_iter().enumerate() {
+            self.weight_grad.as_mut_slice()[o * row..(o + 1) * row].copy_from_slice(&wg);
+            self.bias_grad.as_mut_slice()[o] = bg;
         }
-        grad_input
+        let data: Vec<f32> = planes.into_iter().flatten().collect();
+        Tensor::from_vec(data, input.shape())
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
@@ -177,6 +211,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn weights(&self) -> Option<&Tensor> {

@@ -90,18 +90,41 @@ impl Layer for Dense {
             .expect("forward must run before backward");
         let x = input.as_slice();
         let w = self.weights.as_slice();
-        let mut grad_input = Tensor::zeros(&[self.input_size]);
-        for o in 0..self.output_size {
-            let g = grad_output.as_slice()[o];
-            self.bias_grad.as_mut_slice()[o] += g;
-            let weight_grad_row = &mut self.weight_grad.as_mut_slice()
-                [o * self.input_size..(o + 1) * self.input_size];
-            for i in 0..self.input_size {
-                weight_grad_row[i] += g * x[i];
-                grad_input.as_mut_slice()[i] += g * w[o * self.input_size + i];
-            }
+        let g = grad_output.as_slice();
+        let input_size = self.input_size;
+
+        // Weight-gradient rows and bias slots belong to exactly one output
+        // unit, so fanning out over `o` keeps every slot's accumulation
+        // order identical to the serial loop: each worker starts from the
+        // currently accumulated row and adds its unit's contribution.
+        let updated_rows = {
+            let wg = self.weight_grad.as_slice();
+            sc_core::parallel::parallel_map_range(self.output_size, |o| {
+                let mut row = wg[o * input_size..(o + 1) * input_size].to_vec();
+                let go = g[o];
+                for (slot, &xv) in row.iter_mut().zip(x.iter()) {
+                    *slot += go * xv;
+                }
+                row
+            })
+        };
+        for (o, row) in updated_rows.into_iter().enumerate() {
+            self.weight_grad.as_mut_slice()[o * input_size..(o + 1) * input_size]
+                .copy_from_slice(&row);
+            self.bias_grad.as_mut_slice()[o] += g[o];
         }
-        grad_input
+
+        // The input gradient partitions by input index: slot `i` receives
+        // its contributions in ascending `o` (the serial outer-loop order),
+        // regardless of how the `i` range is chunked across workers.
+        let grad_input = sc_core::parallel::parallel_map_range(input_size, |i| {
+            let mut acc = 0.0f32;
+            for o in 0..g.len() {
+                acc += g[o] * w[o * input_size + i];
+            }
+            acc
+        });
+        Tensor::from_vec(grad_input, &[input_size])
     }
 
     fn apply_gradients(&mut self, learning_rate: f32) {
@@ -127,6 +150,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn weights(&self) -> Option<&Tensor> {

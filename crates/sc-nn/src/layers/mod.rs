@@ -37,6 +37,11 @@ pub trait Layer {
     /// A short human-readable layer name ("conv", "dense", …).
     fn name(&self) -> &'static str;
 
+    /// The layer as `Any`, so structure-aware consumers (e.g. the SC
+    /// compilation pass in `sc-serve`) can downcast to the concrete layer
+    /// type and read its shape parameters.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// The layer's trainable weights, if any (excluding biases).
     fn weights(&self) -> Option<&Tensor> {
         None

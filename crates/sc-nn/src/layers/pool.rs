@@ -64,6 +64,10 @@ impl Layer for AvgPool2 {
     fn name(&self) -> &'static str {
         "avg_pool"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// 2×2 max pooling with stride 2.
@@ -122,6 +126,10 @@ impl Layer for MaxPool2 {
 
     fn name(&self) -> &'static str {
         "max_pool"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -255,4 +255,39 @@ mod tests {
         let mut network = xor_network();
         let _ = network.train(&[], &[], &TrainingOptions::default());
     }
+
+    #[test]
+    fn parallel_backward_is_bit_identical_to_serial() {
+        use crate::dataset::SyntheticDigits;
+        use crate::lenet::tiny_lenet;
+
+        let data = SyntheticDigits::generate(2, 31);
+        let options = TrainingOptions {
+            epochs: 1,
+            learning_rate: 0.08,
+            shuffle_seed: 5,
+            learning_rate_decay: 1.0,
+        };
+        let train = |threads: usize| {
+            sc_core::parallel::set_thread_limit(threads);
+            let mut network = tiny_lenet(9);
+            let stats = network.train(&data.train_images, &data.train_labels, &options);
+            sc_core::parallel::set_thread_limit(0);
+            (network.weight_snapshots(), stats)
+        };
+        let (serial_weights, serial_stats) = train(1);
+        let (parallel_weights, parallel_stats) = train(8);
+        assert_eq!(serial_stats, parallel_stats);
+        for (layer, (a, b)) in serial_weights
+            .iter()
+            .zip(parallel_weights.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "layer {layer} weights diverge between serial and parallel training"
+            );
+        }
+    }
 }

@@ -1,0 +1,207 @@
+//! Micro-batching request queue.
+//!
+//! Requests arrive one at a time from connection handlers; SC inference
+//! throughput is maximized when workers pull *batches* (the engine's stream
+//! cache stays warm across a batch and, with multiple workers, whole batches
+//! fan out in parallel). [`BatchQueue`] implements the classic micro-batching
+//! trade-off: a worker popping the queue receives up to `max_batch` requests,
+//! waiting at most `max_linger` after the first pending request for more to
+//! accumulate.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum time a pending request waits for company.
+    pub max_linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_linger: Duration::from_millis(2),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue handing out micro-batches.
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    policy: BatchPolicy,
+}
+
+impl<T> BatchQueue<T> {
+    /// Creates a queue with the given batching policy (`max_batch` is
+    /// floored at one).
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            policy: BatchPolicy {
+                max_batch: policy.max_batch.max(1),
+                max_linger: policy.max_linger,
+            },
+        }
+    }
+
+    /// The queue's batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Enqueues a request. Returns `false` (dropping the request) if the
+    /// queue has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        true
+    }
+
+    /// Number of requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pushes start failing, and blocked `pop_batch`
+    /// callers drain the remaining items, then receive `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until at least one request is available, then returns a batch
+    /// of up to `max_batch` requests, lingering up to `max_linger` for the
+    /// batch to fill. Returns `None` once the queue is closed and drained.
+    pub fn pop_batch(&self) -> Option<Vec<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        // Wait for the first request (or shutdown).
+        while state.items.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+        let mut batch = Vec::with_capacity(self.policy.max_batch.min(state.items.len()));
+        let deadline = Instant::now() + self.policy.max_linger;
+        loop {
+            while batch.len() < self.policy.max_batch {
+                match state.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= self.policy.max_batch || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock");
+            state = next;
+            if timeout.timed_out() && state.items.is_empty() {
+                break;
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn queue(max_batch: usize, linger_ms: u64) -> BatchQueue<u32> {
+        BatchQueue::new(BatchPolicy {
+            max_batch,
+            max_linger: Duration::from_millis(linger_ms),
+        })
+    }
+
+    #[test]
+    fn full_batch_returns_without_lingering() {
+        let q = queue(3, 10_000);
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        let start = Instant::now();
+        assert_eq!(q.pop_batch().unwrap(), vec![0, 1, 2]);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(q.pop_batch().unwrap(), vec![3, 4]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn linger_caps_the_wait_for_a_partial_batch() {
+        let q = queue(8, 20);
+        q.push(7);
+        let start = Instant::now();
+        let batch = q.pop_batch().unwrap();
+        assert_eq!(batch, vec![7]);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = queue(4, 1);
+        q.push(1);
+        q.close();
+        assert!(!q.push(2), "closed queue must reject pushes");
+        assert_eq!(q.pop_batch().unwrap(), vec![1]);
+        assert!(q.pop_batch().is_none());
+    }
+
+    #[test]
+    fn producers_wake_blocked_consumer() {
+        let q = Arc::new(queue(2, 50));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(9);
+        q.push(10);
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch, vec![9, 10]);
+    }
+
+    #[test]
+    fn is_empty_reflects_queue_state() {
+        let q = queue(1, 1);
+        assert!(q.is_empty());
+        q.push(1);
+        assert!(!q.is_empty());
+        assert_eq!(q.policy().max_batch, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! `client`: send synthetic digit images to a running `serve` instance.
+//!
+//! ```text
+//! cargo run --release -p sc-serve --bin client -- \
+//!     --addr 127.0.0.1:7878 --count 20 --seed 3
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_nn::dataset::render_digit;
+use sc_serve::proto::{read_response, write_request, Response};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Instant;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut count = 10usize;
+    let mut seed = 1u64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--count" => count = value("--count").parse().expect("count"),
+            "--seed" => seed = value("--seed").parse().expect("seed"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0usize;
+    for id in 0..count as u64 {
+        let digit = (id % 10) as usize;
+        let image = render_digit(digit, &mut rng);
+        let start = Instant::now();
+        write_request(&mut writer, id, [1, 28, 28], image.as_slice()).expect("send request");
+        match read_response(&mut reader).expect("read response") {
+            Some(Response::Ok { argmax, logits, .. }) => {
+                let rtt = start.elapsed();
+                let hit = usize::from(argmax) == digit;
+                correct += usize::from(hit);
+                println!(
+                    "#{id}: digit {digit} -> predicted {argmax} ({}) in {:.2}ms, top logit {:.3}",
+                    if hit { "ok" } else { "miss" },
+                    rtt.as_secs_f64() * 1000.0,
+                    logits.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                );
+            }
+            Some(Response::Err { message, .. }) => println!("#{id}: server error: {message}"),
+            None => {
+                println!("server closed the connection");
+                break;
+            }
+        }
+    }
+    println!(
+        "{correct}/{count} predictions matched the rendered digit (SC accuracy depends on the \
+         configuration and training budget)"
+    );
+}

@@ -1,0 +1,150 @@
+//! `serve`: compile an SC network and serve it over TCP.
+//!
+//! ```text
+//! cargo run --release -p sc-serve --bin serve -- \
+//!     --addr 127.0.0.1:7878 --config no1 --stream-length 1024 \
+//!     --max-batch 32 --linger-us 2000 --train-per-class 20 --epochs 2
+//! ```
+//!
+//! Trains the reduced LeNet on the synthetic digit dataset (or real MNIST
+//! when built with `--features mnist` and `SC_MNIST_DIR` is set), compiles
+//! it for the chosen Table-6-style configuration, and serves inference
+//! requests, printing a metrics report every few seconds.
+
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_dcnn::config::ScNetworkConfig;
+use sc_nn::dataset::SyntheticDigits;
+use sc_nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_nn::network::TrainingOptions;
+use sc_serve::batch::BatchPolicy;
+use sc_serve::engine::{Engine, EngineOptions};
+use sc_serve::server::{spawn, ServerOptions};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    config: String,
+    stream_length: usize,
+    max_batch: usize,
+    linger_us: u64,
+    workers: usize,
+    train_per_class: usize,
+    epochs: usize,
+    verify: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        config: "no1".into(),
+        stream_length: 1024,
+        max_batch: 32,
+        linger_us: 2000,
+        workers: 0,
+        train_per_class: 20,
+        epochs: 2,
+        verify: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--config" => args.config = value("--config"),
+            "--stream-length" => {
+                args.stream_length = value("--stream-length").parse().expect("stream length")
+            }
+            "--max-batch" => args.max_batch = value("--max-batch").parse().expect("max batch"),
+            "--linger-us" => args.linger_us = value("--linger-us").parse().expect("linger"),
+            "--workers" => args.workers = value("--workers").parse().expect("workers"),
+            "--train-per-class" => {
+                args.train_per_class = value("--train-per-class").parse().expect("count")
+            }
+            "--epochs" => args.epochs = value("--epochs").parse().expect("epochs"),
+            "--verify" => args.verify = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Named serving configurations (`no1`/`no6` follow Table 6 rows, the rest
+/// are uniform block assignments).
+fn config_for(name: &str, stream_length: usize) -> ScNetworkConfig {
+    use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
+    let kinds = match name {
+        "no1" | "mux-mux-apc" => vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+        "no6" | "apc" | "apc-max" => vec![ApcMaxBtanh; 4],
+        "mux" | "mux-max" => vec![MuxMaxStanh; 4],
+        other => panic!("unknown --config {other} (use no1, no6, mux)"),
+    };
+    ScNetworkConfig::new(name, kinds, stream_length, PoolingStyle::Max)
+}
+
+fn main() {
+    let args = parse_args();
+    let config = config_for(&args.config, args.stream_length);
+
+    println!(
+        "training reduced LeNet ({} samples/class, {} epochs)...",
+        args.train_per_class, args.epochs
+    );
+    let data = SyntheticDigits::load_or_generate(args.train_per_class, 17);
+    let mut network = tiny_lenet(17);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions {
+            epochs: args.epochs,
+            learning_rate: 0.08,
+            ..Default::default()
+        },
+    );
+
+    println!(
+        "compiling engine for {} (L = {})...",
+        config.layer_summary(),
+        config.stream_length
+    );
+    let engine = Engine::compile(
+        &network,
+        &config,
+        EngineOptions {
+            verify_against_interpreter: args.verify,
+            ..EngineOptions::default()
+        },
+    )
+    .expect("engine compilation");
+    println!(
+        "engine ready: {} layers, {} FEB evaluations/request, {} cached weight streams",
+        engine.plan().layers.len(),
+        engine.plan().total_units(),
+        engine.cached_weight_streams()
+    );
+
+    let listener = TcpListener::bind(&args.addr).expect("bind listener");
+    let handle = spawn(
+        Arc::new(engine),
+        listener,
+        ServerOptions {
+            policy: BatchPolicy {
+                max_batch: args.max_batch,
+                max_linger: Duration::from_micros(args.linger_us),
+            },
+            workers: args.workers,
+        },
+    )
+    .expect("spawn server");
+    println!("listening on {}", handle.addr());
+
+    let metrics = handle.metrics();
+    loop {
+        std::thread::sleep(Duration::from_secs(5));
+        println!("{}", metrics.report());
+    }
+}

@@ -1,0 +1,447 @@
+//! The compiled SC inference engine.
+//!
+//! [`Engine::compile`] lowers a trained network plus an SC configuration
+//! into an immutable execution plan and pre-generates everything that does
+//! not depend on the input:
+//!
+//! * **Weight bit-streams** are generated once per filter (convolution) or
+//!   per unit (fully-connected) through the batched SNG and cached for the
+//!   engine's lifetime. The per-call path regenerates them on every single
+//!   block evaluation; the filter-aware sharing the paper applies to SRAM
+//!   (one filter serves every inner-product block of a feature map, see
+//!   `sc_dcnn::weight_storage`) maps directly onto this cache: one set of
+//!   streams per filter serves all of its pooled positions.
+//! * **Input bit-streams** are memoized in a per-session
+//!   [`sc_core::cache::StreamCache`]: a stream is a pure function of its
+//!   `(lane seed, comparator threshold)` pair, all units of a layer share
+//!   their SNG wiring, and decoded layer outputs are quantized to `L + 1`
+//!   levels, so the same keys recur constantly — across the units of a
+//!   fully-connected layer, across pooling windows, and across the requests
+//!   of a batch.
+//!
+//! Evaluation then runs [`FeatureBlock::evaluate_prepared`], the stream-level
+//! twin of the per-call path, which applies the same fused kernels with the
+//! same seeds. The engine is therefore **bit-exact** with the
+//! [`crate::interpreter::Interpreter`]; `verify_against_interpreter`
+//! (an [`EngineOptions`] flag or the standalone [`Engine::verify`] call)
+//! proves it at runtime.
+//!
+//! [`FeatureBlock::evaluate_prepared`]: sc_blocks::feature_block::FeatureBlock::evaluate_prepared
+
+use crate::error::ServeError;
+use crate::interpreter::{Inference, Interpreter};
+use crate::plan::{lower, Plan, PlanLayer, PlanOptions};
+use sc_blocks::feature_block::FeatureBlock;
+use sc_core::arena::StreamArena;
+use sc_core::bitstream::BitStream;
+use sc_core::cache::{CacheStats, StreamCache};
+use sc_core::encoding::{Bipolar, Encoding};
+use sc_core::parallel::parallel_map_with;
+use sc_core::sng::{probability_threshold, Sng, SngBank, SngKind};
+use sc_core::ScError;
+use sc_dcnn::config::ScNetworkConfig;
+use sc_nn::network::Network;
+use sc_nn::tensor::Tensor;
+use std::sync::Arc;
+
+/// Options controlling compilation and engine behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Lowering options (input shape, seed scheme).
+    pub plan: PlanOptions,
+    /// Maximum number of memoized input streams per session.
+    pub cache_capacity: usize,
+    /// When set, every [`Engine::infer`] also runs the per-call interpreter
+    /// and fails loudly unless the logits are bit-identical. Expensive —
+    /// meant for tests, bring-up, and canary replicas.
+    pub verify_against_interpreter: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            plan: PlanOptions::default(),
+            cache_capacity: 1 << 16,
+            verify_against_interpreter: false,
+        }
+    }
+}
+
+/// Per-worker mutable state: the stream arena and the input-stream memo.
+///
+/// Sessions are cheap to create but profit from living long: a warm cache
+/// carries hit rates across requests. The serving runtime keeps one session
+/// per worker thread.
+#[derive(Debug)]
+pub struct Session {
+    arena: StreamArena,
+    cache: StreamCache,
+}
+
+impl Session {
+    /// Input-stream cache counters of this session.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Pre-generated weight streams of one layer: `[row][field][lane]`, where a
+/// row is a convolution filter or a fully-connected unit.
+type LayerWeightStreams = Vec<Vec<Vec<BitStream>>>;
+
+/// A compiled, immutable SC inference engine.
+///
+/// The engine itself is `Sync`: all mutable state lives in [`Session`]s, so
+/// one engine can be shared by any number of worker threads.
+#[derive(Debug)]
+pub struct Engine {
+    plan: Arc<Plan>,
+    weights: Vec<LayerWeightStreams>,
+    interpreter: Interpreter,
+    options: EngineOptions,
+}
+
+impl Engine {
+    /// Compiles a trained network and an SC configuration into an engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors (see [`lower`]) and encoding errors from
+    /// weight-stream pre-generation.
+    pub fn compile(
+        network: &Network,
+        config: &ScNetworkConfig,
+        options: EngineOptions,
+    ) -> Result<Self, ServeError> {
+        let plan = Arc::new(lower(network, config, &options.plan)?);
+        let weights = plan
+            .layers
+            .iter()
+            .map(|layer| match layer {
+                PlanLayer::Conv(conv) => conv
+                    .filters
+                    .iter()
+                    .map(|filter| conv.block.weight_streams(filter))
+                    .collect::<Result<LayerWeightStreams, _>>(),
+                PlanLayer::Dense(dense) => dense
+                    .units
+                    .iter()
+                    .map(|unit| dense.block.weight_streams(unit))
+                    .collect::<Result<LayerWeightStreams, _>>(),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            interpreter: Interpreter::new(Arc::clone(&plan)),
+            plan,
+            weights,
+            options,
+        })
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Total number of pre-generated weight streams held by the engine.
+    pub fn cached_weight_streams(&self) -> usize {
+        self.weights
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .map(|row| row.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Creates a fresh per-worker session.
+    pub fn new_session(&self) -> Session {
+        Session {
+            arena: StreamArena::new(),
+            cache: StreamCache::new(self.options.cache_capacity),
+        }
+    }
+
+    /// Runs one compiled SC inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invalid`] for a wrong input size, propagates
+    /// kernel errors, and — with `verify_against_interpreter` set — fails if
+    /// the compiled output ever deviates from the per-call path.
+    pub fn infer(&self, session: &mut Session, image: &Tensor) -> Result<Inference, ServeError> {
+        self.plan.validate_input(image)?;
+        let mut values = self.plan.input_values(image);
+        for (layer, weights) in self.plan.layers.iter().zip(self.weights.iter()) {
+            values = self.eval_layer(session, layer, weights, &values)?;
+        }
+        let result = Inference::from_logits(values);
+        if self.options.verify_against_interpreter {
+            let reference = self.interpreter.infer(image)?;
+            if reference != result {
+                return Err(ServeError::Invalid(format!(
+                    "compiled engine diverged from the interpreter: {:?} vs {:?}",
+                    result.logits, reference.logits
+                )));
+            }
+        }
+        Ok(result)
+    }
+
+    /// Runs a batch of inferences, fanning the requests across
+    /// `sc_core::parallel` workers (each worker gets its own session). With
+    /// one worker the provided session is used for the whole batch, keeping
+    /// its cache warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::infer`]; the first error wins.
+    pub fn infer_batch(
+        &self,
+        session: &mut Session,
+        images: &[Tensor],
+    ) -> Result<Vec<Inference>, ServeError> {
+        if sc_core::parallel::max_threads() <= 1 || images.len() <= 1 {
+            return images
+                .iter()
+                .map(|image| self.infer(session, image))
+                .collect();
+        }
+        parallel_map_with(
+            images,
+            || self.new_session(),
+            |session, _, image| self.infer(session, image),
+        )
+        .into_iter()
+        .collect()
+    }
+
+    /// Proves bit-exactness against the per-call interpreter on a set of
+    /// images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invalid`] naming the first diverging image, or
+    /// propagates evaluation errors.
+    pub fn verify(&self, session: &mut Session, images: &[Tensor]) -> Result<(), ServeError> {
+        for (index, image) in images.iter().enumerate() {
+            let compiled = self.infer(session, image)?;
+            let reference = self.interpreter.infer(image)?;
+            if compiled != reference {
+                return Err(ServeError::Invalid(format!(
+                    "image {index}: compiled logits {:?} != interpreter logits {:?}",
+                    compiled.logits, reference.logits
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-call interpreter over the same plan (the verification and
+    /// benchmarking baseline).
+    pub fn interpreter(&self) -> &Interpreter {
+        &self.interpreter
+    }
+
+    fn eval_layer(
+        &self,
+        session: &mut Session,
+        layer: &PlanLayer,
+        weights: &LayerWeightStreams,
+        values: &[f64],
+    ) -> Result<Vec<f64>, ServeError> {
+        match layer {
+            PlanLayer::Conv(conv) => {
+                let [filters, pooled_h, pooled_w] = conv.out_shape;
+                let positions = pooled_h * pooled_w;
+                let mut outputs = Vec::with_capacity(filters * positions);
+                for filter_weights in weights.iter().take(filters) {
+                    for position in 0..positions {
+                        let (py, px) = (position / pooled_w, position % pooled_w);
+                        let fields = conv.gather_fields(values, py, px);
+                        outputs.push(self.eval_unit(
+                            session,
+                            &conv.block,
+                            &fields,
+                            filter_weights,
+                        )?);
+                    }
+                }
+                Ok(outputs)
+            }
+            PlanLayer::Dense(dense) => {
+                let field = vec![values.to_vec()];
+                (0..dense.units.len())
+                    .map(|unit| self.eval_unit(session, &dense.block, &field, &weights[unit]))
+                    .collect()
+            }
+        }
+    }
+
+    /// Evaluates one feature-extraction block: cached input streams plus
+    /// pre-generated weight streams through the prepared (fused) pipeline.
+    fn eval_unit(
+        &self,
+        session: &mut Session,
+        block: &FeatureBlock,
+        fields: &[Vec<f64>],
+        weight_streams: &[Vec<BitStream>],
+    ) -> Result<f64, ServeError> {
+        let length = self.plan.stream_length;
+        let mut inputs: Vec<Vec<BitStream>> = Vec::with_capacity(fields.len());
+        for (field_index, field) in fields.iter().enumerate() {
+            let (input_base, _) = block.operand_bank_seeds(field_index);
+            let mut streams = Vec::with_capacity(field.len());
+            for (lane, &value) in field.iter().enumerate() {
+                let lane_seed = SngBank::lane_seed(input_base, lane);
+                let probability = Bipolar::to_probability(value)?;
+                let threshold = probability_threshold(probability)?;
+                let stream = session.cache.get_or_generate(
+                    (lane_seed, threshold),
+                    length,
+                    &mut session.arena,
+                    |arena| {
+                        let mut fresh = arena.take_zeroed(length);
+                        Sng::new(SngKind::Lfsr32, lane_seed)
+                            .generate_probability_into(probability, &mut fresh)?;
+                        Ok::<_, ScError>(fresh)
+                    },
+                )?;
+                streams.push(stream);
+            }
+            inputs.push(streams);
+        }
+        let output = block.evaluate_prepared(&inputs, weight_streams);
+        for field in inputs {
+            session.arena.recycle_all(field);
+        }
+        Ok(output?.bipolar_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_blocks::feature_block::FeatureBlockKind;
+    use sc_nn::lenet::PoolingStyle;
+
+    fn small_network(seed: u64) -> Network {
+        let mut network = Network::new("small");
+        network.push(Box::new(sc_nn::layers::Conv2d::new(1, 2, 3, seed)));
+        network.push(Box::new(sc_nn::layers::MaxPool2::new()));
+        network.push(Box::new(sc_nn::layers::Tanh::new()));
+        network.push(Box::new(sc_nn::layers::Dense::new(2 * 3 * 3, 4, seed + 1)));
+        network
+    }
+
+    fn options() -> EngineOptions {
+        EngineOptions {
+            plan: PlanOptions {
+                input_shape: [1, 8, 8],
+                base_seed: 21,
+            },
+            ..EngineOptions::default()
+        }
+    }
+
+    fn image(seed: u32) -> Tensor {
+        Tensor::from_fn(&[1, 8, 8], |i| {
+            (((i as u32).wrapping_mul(seed.wrapping_mul(2_654_435_761) | 1) >> 16) % 255) as f32
+                / 255.0
+        })
+    }
+
+    #[test]
+    fn engine_matches_interpreter_bit_for_bit() {
+        let network = small_network(3);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcMaxBtanh; 2],
+            128,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(&network, &config, options()).unwrap();
+        let mut session = engine.new_session();
+        let images: Vec<Tensor> = (1..4).map(image).collect();
+        engine.verify(&mut session, &images).unwrap();
+        assert!(engine.cached_weight_streams() > 0);
+        // The dense layer guarantees cache hits (shared inputs across units).
+        assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn verify_flag_checks_every_inference() {
+        let network = small_network(5);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::MuxMaxStanh; 2],
+            100,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(
+            &network,
+            &config,
+            EngineOptions {
+                verify_against_interpreter: true,
+                ..options()
+            },
+        )
+        .unwrap();
+        let mut session = engine.new_session();
+        let result = engine.infer(&mut session, &image(7)).unwrap();
+        assert_eq!(result.logits.len(), 4);
+    }
+
+    #[test]
+    fn batch_matches_sequential_inference() {
+        let network = small_network(9);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcAvgBtanh; 2],
+            64,
+            PoolingStyle::Average,
+        );
+        // Average pooling network variant.
+        let mut network_avg = Network::new("small-avg");
+        network_avg.push(Box::new(sc_nn::layers::Conv2d::new(1, 2, 3, 1)));
+        network_avg.push(Box::new(sc_nn::layers::AvgPool2::new()));
+        network_avg.push(Box::new(sc_nn::layers::Dense::new(2 * 3 * 3, 4, 2)));
+        let _ = network;
+        let engine = Engine::compile(&network_avg, &config, options()).unwrap();
+        let mut session = engine.new_session();
+        let images: Vec<Tensor> = (1..5).map(image).collect();
+        let batched = engine.infer_batch(&mut session, &images).unwrap();
+        let sequential: Vec<_> = images
+            .iter()
+            .map(|img| engine.infer(&mut session, img).unwrap())
+            .collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn tiny_cache_capacity_stays_correct() {
+        let network = small_network(11);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcMaxBtanh; 2],
+            64,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(
+            &network,
+            &config,
+            EngineOptions {
+                cache_capacity: 8,
+                ..options()
+            },
+        )
+        .unwrap();
+        let mut session = engine.new_session();
+        let images: Vec<Tensor> = (1..3).map(image).collect();
+        engine.verify(&mut session, &images).unwrap();
+        assert!(session.cache_stats().flushes > 0);
+    }
+}

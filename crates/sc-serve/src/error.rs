@@ -1,0 +1,70 @@
+//! Error type of the serving crate.
+
+use sc_core::ScError;
+use std::fmt;
+
+/// Errors produced while compiling or serving an SC network.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying stochastic-computing primitive rejected its inputs.
+    Sc(ScError),
+    /// The network contains a structure the SC lowering does not support.
+    Unsupported(String),
+    /// A request or configuration was malformed.
+    Invalid(String),
+    /// An I/O failure in the serving runtime.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sc(error) => write!(f, "stochastic-computing error: {error}"),
+            ServeError::Unsupported(message) => write!(f, "unsupported network: {message}"),
+            ServeError::Invalid(message) => write!(f, "invalid request: {message}"),
+            ServeError::Io(error) => write!(f, "i/o error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sc(error) => Some(error),
+            ServeError::Io(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScError> for ServeError {
+    fn from(error: ScError) -> Self {
+        ServeError::Sc(error)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(error: std::io::Error) -> Self {
+        ServeError::Io(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let sc = ServeError::from(ScError::EmptyInput);
+        assert!(sc.to_string().contains("stochastic"));
+        assert!(std::error::Error::source(&sc).is_some());
+        let io = ServeError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("i/o"));
+        assert!(ServeError::Unsupported("layer".into())
+            .to_string()
+            .contains("unsupported"));
+        assert!(ServeError::Invalid("bad".into())
+            .to_string()
+            .contains("invalid"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # sc-serve
+//!
+//! Compiled SC inference engine and batched request-serving runtime for the
+//! SC-DCNN reproduction.
+//!
+//! The experiment harness evaluates SC networks one feature-extraction block
+//! call at a time, regenerating every operand bit-stream per call. That is
+//! the right shape for accuracy studies and the wrong shape for serving
+//! traffic. This crate adds the production path on top of the same
+//! primitives:
+//!
+//! * [`plan`] — lowers a trained [`sc_nn::network::Network`] plus an
+//!   [`sc_dcnn::config::ScNetworkConfig`] into an immutable SC execution
+//!   plan (the config→deployment step of the paper's optimization story).
+//! * [`interpreter`] — the reference executor: walks the plan through the
+//!   existing per-call `FeatureBlock::evaluate_stream` path.
+//! * [`engine`] — the compiled executor: weight bit-streams pre-generated
+//!   once per filter (filter-aware sharing), input streams memoized in a
+//!   [`sc_core::cache::StreamCache`], fused stream-level kernels. Bit-exact
+//!   with the interpreter (property-tested, and enforceable at runtime via
+//!   `verify_against_interpreter`).
+//! * [`batch`] / [`server`] / [`proto`] / [`metrics`] — the serving runtime:
+//!   a micro-batching scheduler, a std-only length-prefixed TCP protocol
+//!   (`serve` / `client` binaries), and throughput / latency-percentile
+//!   metrics.
+//!
+//! ## Quick example
+//!
+//! ```rust
+//! use sc_dcnn::config::ScNetworkConfig;
+//! use sc_blocks::feature_block::FeatureBlockKind;
+//! use sc_nn::lenet::PoolingStyle;
+//! use sc_nn::network::Network;
+//! use sc_nn::layers::Dense;
+//! use sc_nn::tensor::Tensor;
+//! use sc_serve::engine::{Engine, EngineOptions};
+//! use sc_serve::plan::PlanOptions;
+//!
+//! let mut network = Network::new("probe");
+//! network.push(Box::new(Dense::new(9, 3, 1)));
+//! let config = ScNetworkConfig::new(
+//!     "demo",
+//!     vec![FeatureBlockKind::ApcMaxBtanh],
+//!     64,
+//!     PoolingStyle::Max,
+//! );
+//! let options = EngineOptions {
+//!     plan: PlanOptions { input_shape: [1, 3, 3], base_seed: 7 },
+//!     ..EngineOptions::default()
+//! };
+//! let engine = Engine::compile(&network, &config, options)?;
+//! let mut session = engine.new_session();
+//! let result = engine.infer(&mut session, &Tensor::zeros(&[1, 3, 3]))?;
+//! assert_eq!(result.logits.len(), 3);
+//! # Ok::<(), sc_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod engine;
+pub mod error;
+pub mod interpreter;
+pub mod metrics;
+pub mod plan;
+pub mod proto;
+pub mod server;
+
+pub use engine::{Engine, EngineOptions, Session};
+pub use error::ServeError;
+pub use interpreter::{Inference, Interpreter};
+pub use plan::{Plan, PlanOptions};
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::batch::{BatchPolicy, BatchQueue};
+    pub use crate::engine::{Engine, EngineOptions, Session};
+    pub use crate::error::ServeError;
+    pub use crate::interpreter::{Inference, Interpreter};
+    pub use crate::metrics::{Metrics, MetricsReport};
+    pub use crate::plan::{lower, Plan, PlanOptions};
+    pub use crate::server::{spawn, ServerHandle, ServerOptions};
+}

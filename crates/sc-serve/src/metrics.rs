@@ -1,0 +1,198 @@
+//! Serving metrics: throughput and latency percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of most-recent latency samples kept for percentile estimation.
+///
+/// The window bounds both memory and the cost of the sort in
+/// [`Metrics::report`] regardless of how long the server runs; 64k samples
+/// is plenty for stable p99 estimates.
+pub const LATENCY_WINDOW: usize = 1 << 16;
+
+/// Fixed-size ring of the most recent latency samples (microseconds).
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, value: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next] = value;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Thread-safe recorder of per-request latencies and completion counts.
+///
+/// Counters cover the recorder's whole lifetime; latency percentiles are
+/// computed over the most recent [`LATENCY_WINDOW`] samples, so a
+/// long-running server neither grows memory nor slows its reports.
+#[derive(Debug)]
+pub struct Metrics {
+    latencies_us: Mutex<LatencyRing>,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty recorder; throughput is measured from this instant.
+    pub fn new() -> Self {
+        Self {
+            latencies_us: Mutex::new(LatencyRing::default()),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one successfully served request.
+    pub fn record(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_us
+            .lock()
+            .expect("metrics lock")
+            .push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one failed request.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Produces a snapshot report: lifetime counters/throughput, latency
+    /// percentiles over the most recent [`LATENCY_WINDOW`] samples.
+    pub fn report(&self) -> MetricsReport {
+        let mut latencies = self
+            .latencies_us
+            .lock()
+            .expect("metrics lock")
+            .samples
+            .clone();
+        latencies.sort_unstable();
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let completed = self.completed.load(Ordering::Relaxed);
+        MetricsReport {
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            elapsed_s: elapsed,
+            throughput_rps: completed as f64 / elapsed,
+            mean_ms: mean_ms(&latencies),
+            p50_ms: percentile_ms(&latencies, 50.0),
+            p95_ms: percentile_ms(&latencies, 95.0),
+            p99_ms: percentile_ms(&latencies, 99.0),
+        }
+    }
+}
+
+/// A point-in-time metrics summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsReport {
+    /// Requests served successfully.
+    pub completed: u64,
+    /// Requests that failed.
+    pub failed: u64,
+    /// Seconds since the recorder was created.
+    pub elapsed_s: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ok / {} failed in {:.2}s — {:.1} req/s, latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+            self.completed,
+            self.failed,
+            self.elapsed_s,
+            self.throughput_rps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms
+        )
+    }
+}
+
+fn mean_ms(sorted_us: &[u64]) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = sorted_us.iter().sum();
+    total as f64 / sorted_us.len() as f64 / 1000.0
+}
+
+/// Nearest-rank percentile over an ascending latency list, in milliseconds.
+fn percentile_ms(sorted_us: &[u64], percentile: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((percentile / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    let index = rank.clamp(1, sorted_us.len()) - 1;
+    sorted_us[index] as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&us, 50.0), 50.0);
+        assert_eq!(percentile_ms(&us, 95.0), 95.0);
+        assert_eq!(percentile_ms(&us, 99.0), 99.0);
+        assert_eq!(percentile_ms(&us, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let ring = Mutex::new(LatencyRing::default());
+        for i in 0..(LATENCY_WINDOW as u64 + 100) {
+            ring.lock().unwrap().push(i);
+        }
+        let state = ring.lock().unwrap();
+        assert_eq!(state.samples.len(), LATENCY_WINDOW);
+        // The oldest samples were overwritten by the newest.
+        assert_eq!(state.samples[0], LATENCY_WINDOW as u64);
+        assert_eq!(state.samples[99], LATENCY_WINDOW as u64 + 99);
+        assert_eq!(state.samples[100], 100);
+    }
+
+    #[test]
+    fn report_aggregates_recordings() {
+        let metrics = Metrics::new();
+        for ms in [1u64, 2, 3, 4] {
+            metrics.record(Duration::from_millis(ms));
+        }
+        metrics.record_failure();
+        let report = metrics.report();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.failed, 1);
+        assert!((report.mean_ms - 2.5).abs() < 0.01);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.to_string().contains("4 ok"));
+    }
+}

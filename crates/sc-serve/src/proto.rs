@@ -1,0 +1,356 @@
+//! Length-prefixed TCP wire protocol (std-only).
+//!
+//! The environment is offline, so the protocol is deliberately boring: every
+//! frame is a little-endian `u32` payload length followed by the payload.
+//!
+//! ```text
+//! request  := 0x01 id:u64 c:u16 h:u16 w:u16 pixels:[f32; c*h*w]
+//! response := 0x02 id:u64 status:u8(0=ok) argmax:u16 n:u32 logits:[f64; n]
+//!           | 0x02 id:u64 status:u8(1=err) len:u32 message:[u8; len]
+//! ```
+//!
+//! All integers and floats are little-endian. Frames are capped at 16 MiB.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame payload (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+const TAG_REQUEST: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+
+/// An inference request: a request id chosen by the client plus the image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Image shape `(channels, height, width)`.
+    pub shape: [usize; 3],
+    /// Row-major pixel data, `shape` elements.
+    pub pixels: Vec<f32>,
+}
+
+/// An inference response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful inference.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// Predicted class.
+        argmax: u16,
+        /// Decoded logits.
+        logits: Vec<f64>,
+    },
+    /// Server-side failure for this request.
+    Err {
+        /// Echoed request id.
+        id: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Err { id, .. } => *id,
+        }
+    }
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(invalid(format!(
+            "frame of {} bytes too large",
+            payload.len()
+        )));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame payload; `Ok(None)` on a clean EOF at a frame boundary.
+fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match reader.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(error) if error.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(error) => return Err(error),
+    }
+    let length = u32::from_le_bytes(header) as usize;
+    if length > MAX_FRAME_BYTES {
+        return Err(invalid(format!("frame of {length} bytes exceeds the cap")));
+    }
+    let mut payload = vec![0u8; length];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serializes and sends a request frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects shape/pixel mismatches.
+pub fn write_request(
+    writer: &mut impl Write,
+    id: u64,
+    shape: [usize; 3],
+    pixels: &[f32],
+) -> io::Result<()> {
+    let expected: usize = shape.iter().product();
+    if pixels.len() != expected || shape.iter().any(|&d| d > usize::from(u16::MAX)) {
+        return Err(invalid(format!(
+            "shape {shape:?} does not describe {} pixels",
+            pixels.len()
+        )));
+    }
+    let mut payload = Vec::with_capacity(1 + 8 + 6 + pixels.len() * 4);
+    payload.push(TAG_REQUEST);
+    payload.extend_from_slice(&id.to_le_bytes());
+    for dim in shape {
+        payload.extend_from_slice(&(dim as u16).to_le_bytes());
+    }
+    for pixel in pixels {
+        payload.extend_from_slice(&pixel.to_le_bytes());
+    }
+    write_frame(writer, &payload)
+}
+
+/// Reads one request; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed frames.
+pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor::new(&payload);
+    if cursor.u8()? != TAG_REQUEST {
+        return Err(invalid("expected a request frame"));
+    }
+    let id = cursor.u64()?;
+    let shape = [
+        cursor.u16()? as usize,
+        cursor.u16()? as usize,
+        cursor.u16()? as usize,
+    ];
+    let count: usize = shape.iter().product();
+    // Bound the allocation by what the (already size-capped) frame actually
+    // carries before trusting the declared shape: a 19-byte frame claiming a
+    // 65535³-pixel image must not drive a petabyte `Vec` reservation.
+    if count != cursor.remaining() / 4 {
+        return Err(invalid(format!(
+            "shape {shape:?} declares {count} pixels but the frame carries {}",
+            cursor.remaining() / 4
+        )));
+    }
+    let mut pixels = Vec::with_capacity(count);
+    for _ in 0..count {
+        pixels.push(f32::from_le_bytes(cursor.array::<4>()?));
+    }
+    cursor.finish()?;
+    Ok(Some(Request { id, shape, pixels }))
+}
+
+/// Serializes and sends a response frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut payload = Vec::new();
+    payload.push(TAG_RESPONSE);
+    payload.extend_from_slice(&response.id().to_le_bytes());
+    match response {
+        Response::Ok { argmax, logits, .. } => {
+            payload.push(0);
+            payload.extend_from_slice(&argmax.to_le_bytes());
+            payload.extend_from_slice(&(logits.len() as u32).to_le_bytes());
+            for logit in logits {
+                payload.extend_from_slice(&logit.to_le_bytes());
+            }
+        }
+        Response::Err { message, .. } => {
+            payload.push(1);
+            payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            payload.extend_from_slice(message.as_bytes());
+        }
+    }
+    write_frame(writer, &payload)
+}
+
+/// Reads one response; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed frames.
+pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor::new(&payload);
+    if cursor.u8()? != TAG_RESPONSE {
+        return Err(invalid("expected a response frame"));
+    }
+    let id = cursor.u64()?;
+    let response = match cursor.u8()? {
+        0 => {
+            let argmax = cursor.u16()?;
+            let count = cursor.u32()? as usize;
+            if count > MAX_FRAME_BYTES / 8 {
+                return Err(invalid("logit count exceeds the frame cap"));
+            }
+            let mut logits = Vec::with_capacity(count);
+            for _ in 0..count {
+                logits.push(f64::from_le_bytes(cursor.array::<8>()?));
+            }
+            Response::Ok { id, argmax, logits }
+        }
+        1 => {
+            let length = cursor.u32()? as usize;
+            let bytes = cursor.bytes(length)?;
+            let message = String::from_utf8(bytes.to_vec())
+                .map_err(|_| invalid("error message is not UTF-8"))?;
+            Response::Err { id, message }
+        }
+        other => return Err(invalid(format!("unknown response status {other}"))),
+    };
+    cursor.finish()?;
+    Ok(Some(response))
+}
+
+/// Minimal slice cursor (keeps the parsers allocation-light and bounded).
+struct Cursor<'a> {
+    data: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, offset: 0 }
+    }
+
+    fn bytes(&mut self, count: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .offset
+            .checked_add(count)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| invalid("truncated frame"))?;
+        let slice = &self.data[self.offset..end];
+        self.offset = end;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        Ok(self.bytes(N)?.try_into().expect("exact length"))
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.array::<2>()?))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.array::<8>()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.offset == self.data.len() {
+            Ok(())
+        } else {
+            Err(invalid("trailing bytes in frame"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        let pixels: Vec<f32> = (0..12).map(|i| i as f32 / 12.0).collect();
+        write_request(&mut wire, 42, [1, 3, 4], &pixels).unwrap();
+        let parsed = read_request(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(parsed.id, 42);
+        assert_eq!(parsed.shape, [1, 3, 4]);
+        assert_eq!(parsed.pixels, pixels);
+        // EOF after the frame.
+        let mut reader = wire.as_slice();
+        let _ = read_request(&mut reader).unwrap();
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trips_ok_and_err() {
+        let ok = Response::Ok {
+            id: 7,
+            argmax: 3,
+            logits: vec![0.25, -0.5, 0.125],
+        };
+        let err = Response::Err {
+            id: 8,
+            message: "bad shape".into(),
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &ok).unwrap();
+        write_response(&mut wire, &err).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_response(&mut reader).unwrap().unwrap(), ok);
+        assert_eq!(read_response(&mut reader).unwrap().unwrap(), err);
+        assert!(read_response(&mut reader).unwrap().is_none());
+        assert_eq!(ok.id(), 7);
+    }
+
+    #[test]
+    fn huge_declared_shape_is_rejected_without_allocating() {
+        // A tiny frame claiming a 65535^3-pixel image must be rejected by
+        // the payload-size cross-check, not by an allocation attempt.
+        let mut payload = vec![TAG_REQUEST];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        for _ in 0..3 {
+            payload.extend_from_slice(&u16::MAX.to_le_bytes());
+        }
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let error = read_request(&mut wire.as_slice()).unwrap_err();
+        assert!(error.to_string().contains("declares"), "{error}");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Shape mismatch on the writer side.
+        let mut wire = Vec::new();
+        assert!(write_request(&mut wire, 1, [1, 2, 2], &[0.0; 3]).is_err());
+        // Oversized frame header.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(read_request(&mut huge.as_slice()).is_err());
+        // Truncated payload.
+        let mut ok_wire = Vec::new();
+        write_request(&mut ok_wire, 1, [1, 1, 1], &[0.5]).unwrap();
+        let truncated = &ok_wire[..ok_wire.len() - 2];
+        assert!(read_request(&mut &truncated[..]).is_err());
+        // Request parsed as response.
+        assert!(read_response(&mut ok_wire.as_slice()).is_err());
+    }
+}

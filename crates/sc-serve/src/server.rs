@@ -1,0 +1,213 @@
+//! TCP serving runtime: connections → micro-batches → engine workers.
+//!
+//! Architecture (all std threads, no external dependencies):
+//!
+//! ```text
+//! accept thread ──► per-connection reader ──► BatchQueue ──► worker 0..N
+//!                        │                                      │
+//!                        └── per-connection writer ◄── reply channel
+//! ```
+//!
+//! Each worker owns a long-lived engine [`Session`], so the input-stream
+//! cache stays warm across batches; requests are answered on their
+//! connection's writer thread, so slow clients never block inference.
+//!
+//! [`Session`]: crate::engine::Session
+
+use crate::batch::{BatchPolicy, BatchQueue};
+use crate::engine::Engine;
+use crate::metrics::Metrics;
+use crate::proto::{read_request, write_response, Request, Response};
+use sc_nn::tensor::Tensor;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Serving-runtime options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Micro-batch formation policy.
+    pub policy: BatchPolicy,
+    /// Number of inference workers (`0` = `sc_core::parallel::max_threads()`).
+    pub workers: usize,
+}
+
+/// One queued request with its arrival time and reply path.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<BatchQueue<Job>>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared serving metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains the queue, and joins the worker threads.
+    /// Connection threads exit as their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Starts serving `engine` on `listener` and returns immediately.
+///
+/// # Errors
+///
+/// Returns an I/O error if the listener's local address cannot be read.
+pub fn spawn(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    options: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    let queue = Arc::new(BatchQueue::<Job>::new(options.policy));
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let worker_count = if options.workers == 0 {
+        sc_core::parallel::max_threads()
+    } else {
+        options.workers
+    };
+    let workers: Vec<JoinHandle<()>> = (0..worker_count.max(1))
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || worker_loop(&engine, &queue, &metrics))
+        })
+        .collect();
+
+    let accept_thread = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let queue = Arc::clone(&queue);
+                        std::thread::spawn(move || connection_loop(stream, &queue));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        queue,
+        metrics,
+        stop,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Per-connection loop: reads request frames, enqueues jobs, and ships
+/// responses back through a dedicated writer thread so inference results
+/// never wait on the socket.
+fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let mut write_half = write_half;
+        while let Ok(response) = reply_rx.recv() {
+            if write_response(&mut write_half, &response).is_err() {
+                break;
+            }
+        }
+    });
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(request)) = read_request(&mut reader) {
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: reply_tx.clone(),
+        };
+        if !queue.push(job) {
+            break; // server shutting down
+        }
+    }
+    // Dropping the last sender ends the writer thread once pending replies
+    // (still held by queued jobs) are delivered or dropped.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Worker loop: pulls micro-batches and runs them through a warm session.
+fn worker_loop(engine: &Engine, queue: &BatchQueue<Job>, metrics: &Metrics) {
+    let mut session = engine.new_session();
+    while let Some(batch) = queue.pop_batch() {
+        for job in batch {
+            let response = serve_one(engine, &mut session, &job.request);
+            if matches!(response, Response::Err { .. }) {
+                metrics.record_failure();
+            } else {
+                metrics.record(job.enqueued.elapsed());
+            }
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+fn serve_one(engine: &Engine, session: &mut crate::engine::Session, request: &Request) -> Response {
+    let expected: usize = request.shape.iter().product();
+    if request.pixels.len() != expected {
+        return Response::Err {
+            id: request.id,
+            message: format!(
+                "shape {:?} does not match {} pixels",
+                request.shape,
+                request.pixels.len()
+            ),
+        };
+    }
+    let image = Tensor::from_vec(request.pixels.clone(), &request.shape);
+    match engine.infer(session, &image) {
+        Ok(inference) => Response::Ok {
+            id: request.id,
+            argmax: inference.argmax.min(usize::from(u16::MAX)) as u16,
+            logits: inference.logits,
+        },
+        Err(error) => Response::Err {
+            id: request.id,
+            message: error.to_string(),
+        },
+    }
+}

@@ -1,0 +1,113 @@
+//! Serving smoke test: start the TCP server on a loopback port, send
+//! requests through the wire protocol, and check the replies against a
+//! direct engine call.
+
+use sc_blocks::feature_block::FeatureBlockKind;
+use sc_dcnn::config::ScNetworkConfig;
+use sc_nn::layers::Dense;
+use sc_nn::lenet::PoolingStyle;
+use sc_nn::network::Network;
+use sc_nn::tensor::Tensor;
+use sc_serve::batch::BatchPolicy;
+use sc_serve::engine::{Engine, EngineOptions};
+use sc_serve::plan::PlanOptions;
+use sc_serve::proto::{read_response, write_request, Response};
+use sc_serve::server::{spawn, ServerOptions};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick_engine() -> Engine {
+    let mut network = Network::new("loopback");
+    network.push(Box::new(Dense::new(16, 4, 3)));
+    let config = ScNetworkConfig::new(
+        "loopback",
+        vec![FeatureBlockKind::ApcMaxBtanh],
+        64,
+        PoolingStyle::Max,
+    );
+    Engine::compile(
+        &network,
+        &config,
+        EngineOptions {
+            plan: PlanOptions {
+                input_shape: [1, 4, 4],
+                base_seed: 44,
+            },
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn test_image(seed: u32) -> Tensor {
+    Tensor::from_fn(&[1, 4, 4], |i| {
+        (((i as u32 + seed).wrapping_mul(97) % 100) as f32) / 100.0
+    })
+}
+
+#[test]
+fn loopback_round_trip_matches_direct_inference() {
+    let engine = Arc::new(quick_engine());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = spawn(
+        Arc::clone(&engine),
+        listener,
+        ServerOptions {
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_millis(1),
+            },
+            workers: 2,
+        },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Pipeline several requests, then read all replies.
+    let images: Vec<Tensor> = (0..5).map(test_image).collect();
+    for (id, image) in images.iter().enumerate() {
+        write_request(&mut writer, id as u64, [1, 4, 4], image.as_slice()).unwrap();
+    }
+    let mut responses = Vec::new();
+    for _ in 0..images.len() {
+        responses.push(read_response(&mut reader).unwrap().expect("response"));
+    }
+    // Replies can arrive out of submission order (two workers); match by id.
+    responses.sort_by_key(Response::id);
+    let mut session = engine.new_session();
+    for (id, image) in images.iter().enumerate() {
+        let expected = engine.infer(&mut session, image).unwrap();
+        match &responses[id] {
+            Response::Ok { argmax, logits, .. } => {
+                assert_eq!(usize::from(*argmax), expected.argmax, "request {id}");
+                assert_eq!(logits, &expected.logits, "request {id}");
+            }
+            Response::Err { message, .. } => panic!("request {id} failed: {message}"),
+        }
+    }
+
+    // A malformed request (wrong element count for the plan) gets an error
+    // reply instead of killing the connection.
+    write_request(&mut writer, 99, [1, 2, 2], &[0.0; 4]).unwrap();
+    match read_response(&mut reader).unwrap().expect("error response") {
+        Response::Err { id, message } => {
+            assert_eq!(id, 99);
+            assert!(message.contains("expects"), "unexpected message: {message}");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    let report = handle.metrics().report();
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.failed, 1);
+    assert!(report.p99_ms >= report.p50_ms);
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+}

@@ -11,3 +11,4 @@ pub use sc_core as core;
 pub use sc_dcnn as dcnn;
 pub use sc_hw as hw;
 pub use sc_nn as nn;
+pub use sc_serve as serve;
