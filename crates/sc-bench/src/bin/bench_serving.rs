@@ -5,18 +5,29 @@
 //! * **interpreter single-request** throughput — the per-call evaluation
 //!   path (every operand stream regenerated per block call), one request at
 //!   a time. This is the pre-`sc-serve` baseline.
-//! * **engine single-request** throughput — compiled plan, pre-generated
-//!   weight streams, warm stream cache, still one request at a time.
-//! * **engine batched** throughput — the same engine fed through
-//!   [`Engine::infer_batch`] with a warm session, the shape the serving
-//!   runtime uses (per-request latency percentiles are recorded from the
-//!   batched run).
+//! * **engine (per-unit) single-request** throughput — compiled plan,
+//!   pre-generated weight streams, warm stream cache, units evaluated one
+//!   at a time (`fuse_layers: false`, the PR-2 engine).
+//! * **engine (fused) single-request** throughput — the layer-fused path:
+//!   shared operand streams, reusable MUX selector plans, shared-input APC
+//!   popcounts, batched activation walks.
+//! * **engine fused + unit fan-out** latency — the fused engine with
+//!   `parallel_units` enabled, measuring single-request latency when one
+//!   request's units spread across `sc_core::parallel` workers (equals the
+//!   serial number on a single-core box; `threads` records the budget).
+//! * **engine batched** throughput — the fused engine fed request-by-request
+//!   through a warm session, the shape the serving runtime uses
+//!   (per-request latency percentiles are recorded from this run).
 //!
-//! Bit-exactness between the engine and the interpreter is verified before
-//! anything is timed. Results land in `BENCH_serving.json` at the repo root.
+//! Bit-exactness (fused engine vs per-unit engine vs interpreter) is
+//! verified before anything is timed. Results land in `BENCH_serving.json`
+//! at the repo root.
 //!
 //! Run with: `cargo run --release -p sc-bench --bin bench_serving`
-//! (`--quick` shrinks stream lengths and request counts for CI smoke runs).
+//! (`--quick` shrinks stream lengths and request counts for CI smoke runs;
+//! `--verify` additionally re-checks every fused inference against the
+//! interpreter while it is being timed — the CI smoke job runs
+//! `--quick --verify`).
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_dcnn::config::ScNetworkConfig;
@@ -34,7 +45,10 @@ struct ServingRun {
     interpreter_requests: usize,
     batched_requests: usize,
     interpreter_rps: f64,
+    engine_per_unit_rps: f64,
     engine_single_rps: f64,
+    parallel_single_latency_ms: f64,
+    parallel_threads: usize,
     engine_batched_rps: f64,
     batched_p50_ms: f64,
     batched_p95_ms: f64,
@@ -47,17 +61,22 @@ impl ServingRun {
         self.engine_single_rps / self.interpreter_rps
     }
 
+    fn speedup_fused(&self) -> f64 {
+        self.engine_single_rps / self.engine_per_unit_rps
+    }
+
     fn speedup_batched(&self) -> f64 {
         self.engine_batched_rps / self.interpreter_rps
     }
 }
 
+/// Nearest-rank percentile over ascending samples (indexing shared with the
+/// serving metrics so the logic exists exactly once).
 fn percentile(sorted: &[f64], percentile: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((percentile / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    sorted[sc_serve::metrics::nearest_rank_index(sorted.len(), percentile)]
 }
 
 fn bench_config(
@@ -66,11 +85,29 @@ fn bench_config(
     stream_length: usize,
     interpreter_requests: usize,
     batched_requests: usize,
+    verify_every_inference: bool,
 ) -> ServingRun {
     let config = ScNetworkConfig::new(name, kinds, stream_length, PoolingStyle::Max);
     let network = tiny_lenet(17);
-    let engine =
-        Engine::compile(&network, &config, EngineOptions::default()).expect("engine compiles");
+    // Fused engine (serving default) and the unit-at-a-time baseline. With
+    // `--verify`, every fused inference of the run re-checks itself against
+    // the per-call interpreter (the CI smoke configuration).
+    let engine = Engine::compile(
+        &network,
+        &config,
+        EngineOptions {
+            verify_against_interpreter: verify_every_inference,
+            ..EngineOptions::default()
+        },
+    )
+    .expect("engine compiles");
+    let per_unit_options = EngineOptions {
+        fuse_layers: false,
+        parallel_units: false,
+        ..EngineOptions::default()
+    };
+    let per_unit_engine =
+        Engine::compile(&network, &config, per_unit_options).expect("engine compiles");
     let data = SyntheticDigits::generate(2, 23);
     let images: Vec<Tensor> = data
         .train_images
@@ -80,11 +117,20 @@ fn bench_config(
         .cloned()
         .collect();
 
-    // Prove bit-exactness before timing anything.
+    // Prove bit-exactness before timing anything: fused engine vs the
+    // interpreter, and fused vs per-unit engine.
     let mut session = engine.new_session();
     engine
         .verify(&mut session, &images[..1])
-        .expect("engine must match the interpreter bit-for-bit");
+        .expect("fused engine must match the interpreter bit-for-bit");
+    let mut per_unit_session = per_unit_engine.new_session();
+    assert_eq!(
+        engine.infer(&mut session, &images[0]).expect("fused"),
+        per_unit_engine
+            .infer(&mut per_unit_session, &images[0])
+            .expect("per-unit"),
+        "fused engine must match the per-unit engine bit-for-bit"
+    );
 
     // Interpreter, one request at a time (the pre-serving baseline).
     let interpreter = engine.interpreter();
@@ -95,7 +141,19 @@ fn bench_config(
     }
     let interpreter_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
 
-    // Compiled engine, one request at a time, warm session.
+    // Per-unit compiled engine, one request at a time, warm session.
+    let mut session = per_unit_engine.new_session();
+    let start = Instant::now();
+    for image in &images[..interpreter_requests] {
+        let result = per_unit_engine
+            .infer(&mut session, image)
+            .expect("engine inference");
+        std::hint::black_box(result);
+    }
+    let engine_per_unit_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
+
+    // Fused engine, serial units, one request at a time, warm session.
+    sc_core::parallel::set_thread_limit(1);
     let mut session = engine.new_session();
     let start = Instant::now();
     for image in &images[..interpreter_requests] {
@@ -103,8 +161,28 @@ fn bench_config(
         std::hint::black_box(result);
     }
     let engine_single_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
+    sc_core::parallel::set_thread_limit(0);
 
-    // Compiled + batched: warm session, per-request latencies recorded.
+    // Fused engine with single-request unit fan-out: median latency of one
+    // request when its layer units spread across all available workers. The
+    // session (and its pool of warm fan-out worker sessions) persists
+    // across requests, matching the warm-session regime of the serial
+    // number above so the two are comparable.
+    let parallel_threads = sc_core::parallel::max_threads();
+    let mut fan_session = engine.new_session();
+    let mut parallel_latencies_ms: Vec<f64> = Vec::with_capacity(interpreter_requests);
+    for image in &images[..interpreter_requests] {
+        let begin = Instant::now();
+        let result = engine
+            .infer(&mut fan_session, image)
+            .expect("engine inference");
+        parallel_latencies_ms.push(begin.elapsed().as_secs_f64() * 1000.0);
+        std::hint::black_box(result);
+    }
+    parallel_latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let parallel_single_latency_ms = percentile(&parallel_latencies_ms, 50.0);
+
+    // Fused + batched: warm session, per-request latencies recorded.
     let mut session = engine.new_session();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(batched_requests);
     let start = Instant::now();
@@ -125,7 +203,10 @@ fn bench_config(
         interpreter_requests,
         batched_requests,
         interpreter_rps,
+        engine_per_unit_rps,
         engine_single_rps,
+        parallel_single_latency_ms,
+        parallel_threads,
         engine_batched_rps,
         batched_p50_ms: percentile(&latencies_ms, 50.0),
         batched_p95_ms: percentile(&latencies_ms, 95.0),
@@ -140,6 +221,7 @@ fn json_escape(text: &str) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let verify = std::env::args().any(|a| a == "--verify");
     use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
     let runs = if quick {
         vec![bench_config(
@@ -148,6 +230,7 @@ fn main() {
             128,
             2,
             4,
+            verify,
         )]
     } else {
         vec![
@@ -158,31 +241,42 @@ fn main() {
                 1024,
                 3,
                 6,
+                verify,
             ),
-            bench_config("apc_max_l1024", vec![ApcMaxBtanh; 4], 1024, 3, 6),
+            bench_config("apc_max_l1024", vec![ApcMaxBtanh; 4], 1024, 3, 6, verify),
             bench_config(
                 "no1_style_l256",
                 vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
                 256,
                 4,
                 12,
+                verify,
             ),
         ]
     };
 
     println!(
-        "\n{:<22}{:>14}{:>14}{:>14}{:>9}{:>9}",
-        "configuration", "interp rps", "single rps", "batched rps", "1-req x", "batch x"
+        "\n{:<22}{:>12}{:>12}{:>11}{:>12}{:>9}{:>9}{:>13}",
+        "configuration",
+        "interp rps",
+        "perunit rps",
+        "fused rps",
+        "batched rps",
+        "1-req x",
+        "fused x",
+        "par p50 ms"
     );
     for run in &runs {
         println!(
-            "{:<22}{:>14.3}{:>14.3}{:>14.3}{:>8.1}x{:>8.1}x",
+            "{:<22}{:>12.3}{:>12.3}{:>11.3}{:>12.3}{:>8.1}x{:>8.2}x{:>13.2}",
             run.name,
             run.interpreter_rps,
+            run.engine_per_unit_rps,
             run.engine_single_rps,
             run.engine_batched_rps,
             run.speedup_single(),
-            run.speedup_batched()
+            run.speedup_fused(),
+            run.parallel_single_latency_ms
         );
     }
 
@@ -196,8 +290,8 @@ fn main() {
             .unwrap_or(1)
     ));
     json.push_str(
-        "  \"note\": \"engine outputs verified bit-identical to the per-call interpreter \
-         before timing; rps = requests/second\",\n",
+        "  \"note\": \"fused-engine outputs verified bit-identical to the per-unit engine and \
+         the per-call interpreter before timing; rps = requests/second\",\n",
     );
     json.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -227,7 +321,11 @@ fn main() {
             run.interpreter_rps
         ));
         json.push_str(&format!(
-            "      \"engine_single_request_rps\": {:.4},\n",
+            "      \"engine_per_unit_single_request_rps\": {:.4},\n",
+            run.engine_per_unit_rps
+        ));
+        json.push_str(&format!(
+            "      \"engine_fused_single_request_rps\": {:.4},\n",
             run.engine_single_rps
         ));
         json.push_str(&format!(
@@ -239,8 +337,20 @@ fn main() {
             run.speedup_single()
         ));
         json.push_str(&format!(
+            "      \"speedup_fused_vs_per_unit\": {:.2},\n",
+            run.speedup_fused()
+        ));
+        json.push_str(&format!(
             "      \"speedup_batched_vs_interpreter\": {:.2},\n",
             run.speedup_batched()
+        ));
+        json.push_str(&format!(
+            "      \"parallel_single_request_p50_ms\": {:.2},\n",
+            run.parallel_single_latency_ms
+        ));
+        json.push_str(&format!(
+            "      \"parallel_single_request_threads\": {},\n",
+            run.parallel_threads
         ));
         json.push_str(&format!(
             "      \"batched_latency_p50_ms\": {:.2},\n",

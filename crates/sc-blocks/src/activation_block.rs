@@ -103,6 +103,16 @@ impl StanhBlock {
         fsm.transform(input)
     }
 
+    /// Applies one independent copy of the activation to every unit's
+    /// stream, interleaved word-by-word across units
+    /// ([`Stanh::transform_batch`]). `result[u]` is bit-exact with
+    /// [`StanhBlock::apply`] on `inputs[u]`.
+    pub fn apply_batch(&self, inputs: &[&BitStream]) -> Vec<BitStream> {
+        let fsm = Stanh::with_mode(self.states, self.mode)
+            .expect("state count validated at construction");
+        fsm.transform_batch(inputs)
+    }
+
     /// The continuous function this block approximates for an *unscaled*
     /// input `x` that was divided by `input_size` before reaching the FSM.
     ///
@@ -166,6 +176,15 @@ impl BtanhBlock {
     pub fn apply(&self, counts: &CountStream) -> BitStream {
         let mut counter = Btanh::new(self.states).expect("state count validated at construction");
         counter.transform(counts)
+    }
+
+    /// Applies one independent copy of the activation to every unit's count
+    /// stream, interleaved in 64-cycle blocks across units
+    /// ([`Btanh::transform_batch`]). `result[u]` is bit-exact with
+    /// [`BtanhBlock::apply`] on `inputs[u]`.
+    pub fn apply_batch(&self, inputs: &[&CountStream]) -> Vec<BitStream> {
+        let counter = Btanh::new(self.states).expect("state count validated at construction");
+        counter.transform_batch(inputs)
     }
 
     /// The continuous function this block approximates for an unscaled sum `x`.

@@ -20,7 +20,7 @@ use crate::inner_product::{
     WEIGHT_BANK_SEED_XOR,
 };
 use crate::pooling::{AveragePooling, HardwareMaxPooling, PoolingKind};
-use sc_core::add::{Apc, CountStream, MuxAdder};
+use sc_core::add::{Apc, CountStream, MuxAdder, MuxSelectorPlan};
 use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::error::ScError;
@@ -145,6 +145,28 @@ impl std::fmt::Display for FeatureBlockKind {
     }
 }
 
+/// Pre-drawn MUX selector plans for one SC layer at one stream length.
+///
+/// Built by [`FeatureBlock::prepare_selectors`] and replayed by
+/// [`FeatureBlock::evaluate_layer_prepared_with`]; the plans depend only on
+/// the block's seeds and the stream length, so one set serves every unit,
+/// every layer position, and every fan-out worker. Empty for APC kinds.
+#[derive(Debug, Clone)]
+pub struct LayerSelectors {
+    /// One inner-product selector plan per pool-window field (MUX kinds).
+    field_plans: Vec<MuxSelectorPlan>,
+    /// The average-pooling selector plan (`MuxAvgStanh` only).
+    avg_plan: Option<MuxSelectorPlan>,
+    stream_bits: usize,
+}
+
+impl LayerSelectors {
+    /// The stream length (in bits) the plans were drawn for.
+    pub fn stream_bits(&self) -> usize {
+        self.stream_bits
+    }
+}
+
 /// A configured feature extraction block.
 ///
 /// The block is parameterized by the receptive-field size `N` (number of
@@ -265,6 +287,15 @@ impl FeatureBlock {
         self.stream_length
     }
 
+    /// The average-pooling block used by the Avg configurations.
+    ///
+    /// Single point of truth for the pooling selector's seed derivation:
+    /// the per-call, prepared, and layer-fused paths are only bit-identical
+    /// because they all instantiate *this* block.
+    fn average_pooling(&self) -> AveragePooling {
+        AveragePooling::new(self.seed ^ 0x5151_5151)
+    }
+
     /// The activation state count selected by the joint-optimization formulas.
     pub fn activation_states(&self) -> usize {
         match (&self.stanh, &self.btanh) {
@@ -304,7 +335,7 @@ impl FeatureBlock {
                     .into_iter()
                     .collect::<Result<_, _>>()?;
                 let pooled = if self.kind == FeatureBlockKind::MuxAvgStanh {
-                    AveragePooling::new(self.seed ^ 0x5151_5151).pool_streams(&streams)?
+                    self.average_pooling().pool_streams(&streams)?
                 } else {
                     HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_streams(&streams)?
                 };
@@ -437,7 +468,7 @@ impl FeatureBlock {
                     })
                     .collect::<Result<_, _>>()?;
                 let pooled = if self.kind == FeatureBlockKind::MuxAvgStanh {
-                    AveragePooling::new(self.seed ^ 0x5151_5151).pool_streams(&streams)?
+                    self.average_pooling().pool_streams(&streams)?
                 } else {
                     HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?.pool_streams(&streams)?
                 };
@@ -459,6 +490,241 @@ impl FeatureBlock {
                 Ok(btanh.apply(&pooled))
             }
         }
+    }
+
+    /// Evaluates *all output units of one layer position* from pre-generated
+    /// operand streams in a single fused call.
+    ///
+    /// `inputs[field][lane]` are the input streams of pool-window field
+    /// `field`, shared by every unit (all units of an SC layer see the same
+    /// receptive fields through identically-wired SNG banks — the layer-level
+    /// analogue of the paper's filter-aware SRAM sharing).
+    /// `unit_weights[u][field][lane]` are unit `u`'s weight streams, exactly
+    /// what [`FeatureBlock::weight_streams`] returns for its filter.
+    ///
+    /// `result[u]` is **bit-identical** to
+    /// `self.evaluate_prepared(inputs, unit_weights[u])`, but the fused path
+    /// does the shared work once instead of once per unit:
+    ///
+    /// * MUX selector samples are drawn, fastmod-reduced and bit-sliced once
+    ///   per pool-window field into a [`MuxSelectorPlan`] that every unit
+    ///   replays (the selector LFSRs are seeded per field, not per unit);
+    /// * the average-pooling MUX selector is likewise planned once;
+    /// * APC popcounts run through the shared-input kernel
+    ///   ([`Apc::count_products_shared`]), which loads every input word once
+    ///   for all units;
+    /// * the Btanh/Stanh walks of all units are interleaved word-by-word
+    ///   ([`BtanhBlock::apply_batch`] / [`StanhBlock::apply_batch`]).
+    ///
+    /// [`StanhBlock::apply_batch`]: crate::activation_block::StanhBlock::apply_batch
+    /// [`BtanhBlock::apply_batch`]: crate::activation_block::BtanhBlock::apply_batch
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for mismatched field or lane
+    /// counts of the shared inputs or any unit's weights, and propagates
+    /// kernel errors for mismatched stream lengths.
+    pub fn evaluate_layer_prepared(
+        &self,
+        inputs: &[Vec<BitStream>],
+        unit_weights: &[&[Vec<BitStream>]],
+    ) -> Result<Vec<BitStream>, ScError> {
+        let length = inputs
+            .first()
+            .and_then(|field| field.first())
+            .map(BitStream::len)
+            .unwrap_or(self.stream_length.bits());
+        let selectors = self.prepare_selectors(length)?;
+        self.evaluate_layer_prepared_with(&selectors, inputs, unit_weights)
+    }
+
+    /// Pre-draws the selector plans shared by *every* unit and every
+    /// position of one SC layer for streams of `stream_bits` bits.
+    ///
+    /// The plans depend only on the block's seeds and the stream length —
+    /// not on the operands — so an engine evaluating a whole layer builds
+    /// them once and replays them across all positions (and all fan-out
+    /// workers) via [`FeatureBlock::evaluate_layer_prepared_with`]. APC
+    /// kinds need no selector plans; their prepared set is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidParameter`] for a zero `stream_bits`.
+    pub fn prepare_selectors(&self, stream_bits: usize) -> Result<LayerSelectors, ScError> {
+        let (field_plans, avg_plan) = match self.kind {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
+                // Selector draws are a function of the field index only, so
+                // one plan per field serves every unit at every position.
+                let field_plans: Vec<MuxSelectorPlan> = (0..self.pool_window)
+                    .map(|field| {
+                        MuxSelectorPlan::new(
+                            self.input_size,
+                            stream_bits,
+                            &mut mux_selector(self.field_seed(field)),
+                        )
+                    })
+                    .collect::<Result<_, _>>()?;
+                let avg_plan = if self.kind == FeatureBlockKind::MuxAvgStanh {
+                    Some(
+                        self.average_pooling()
+                            .selector_plan(self.pool_window, stream_bits)?,
+                    )
+                } else {
+                    None
+                };
+                (field_plans, avg_plan)
+            }
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
+                sc_core::bitstream::StreamLength::try_new(stream_bits)?;
+                (Vec::new(), None)
+            }
+        };
+        Ok(LayerSelectors {
+            field_plans,
+            avg_plan,
+            stream_bits,
+        })
+    }
+
+    /// [`FeatureBlock::evaluate_layer_prepared`] with externally-prepared
+    /// selector plans (see [`FeatureBlock::prepare_selectors`]), so the
+    /// draw + fastmod + bit-slice pass is not repeated per call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FeatureBlock::evaluate_layer_prepared`], plus
+    /// [`ScError::LengthMismatch`] for selectors prepared for a different
+    /// stream length.
+    pub fn evaluate_layer_prepared_with(
+        &self,
+        selectors: &LayerSelectors,
+        inputs: &[Vec<BitStream>],
+        unit_weights: &[&[Vec<BitStream>]],
+    ) -> Result<Vec<BitStream>, ScError> {
+        self.validate_prepared_fields("inputs", inputs)?;
+        for (unit, weights) in unit_weights.iter().enumerate() {
+            self.validate_prepared_fields("unit_weights", weights)
+                .map_err(|_| ScError::InvalidParameter {
+                    name: "unit_weights",
+                    message: format!(
+                        "unit {unit} weight streams do not match {} fields x {} lanes",
+                        self.pool_window, self.input_size
+                    ),
+                })?;
+        }
+        if unit_weights.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.kind {
+            FeatureBlockKind::MuxAvgStanh | FeatureBlockKind::MuxMaxStanh => {
+                if selectors.field_plans.len() != self.pool_window {
+                    return Err(ScError::InvalidParameter {
+                        name: "selectors",
+                        message: format!(
+                            "{} field plans do not cover {} pool-window fields",
+                            selectors.field_plans.len(),
+                            self.pool_window
+                        ),
+                    });
+                }
+                if self.kind == FeatureBlockKind::MuxAvgStanh && selectors.avg_plan.is_none() {
+                    return Err(ScError::InvalidParameter {
+                        name: "selectors",
+                        message: "average-pooling MUX plan missing (selectors prepared for a \
+                                  different block?)"
+                            .into(),
+                    });
+                }
+                let mut pooled_units = Vec::with_capacity(unit_weights.len());
+                for weights in unit_weights {
+                    let streams: Vec<BitStream> = inputs
+                        .iter()
+                        .zip(weights.iter())
+                        .zip(selectors.field_plans.iter())
+                        .map(|((xs, ws), plan)| {
+                            MuxAdder::new().sum_products_with_plan(xs, ws, plan)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    pooled_units.push(match &selectors.avg_plan {
+                        Some(plan) => self
+                            .average_pooling()
+                            .pool_streams_with_plan(&streams, plan)?,
+                        None => HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?
+                            .pool_streams(&streams)?,
+                    });
+                }
+                let stanh = self.stanh.as_ref().expect("MUX blocks carry a Stanh");
+                let refs: Vec<&BitStream> = pooled_units.iter().collect();
+                Ok(stanh.apply_batch(&refs))
+            }
+            FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
+                // counts[field][unit]: every field's popcounts for all units
+                // in one shared-input pass.
+                let counts: Vec<Vec<CountStream>> = (0..self.pool_window)
+                    .map(|field| {
+                        let field_weights: Vec<&[BitStream]> = unit_weights
+                            .iter()
+                            .map(|weights| weights[field].as_slice())
+                            .collect();
+                        Apc::new().count_products_shared(&inputs[field], &field_weights)
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Transpose to unit-major by moving the count streams (no
+                // per-unit copies of the count buffers).
+                let mut per_unit: Vec<Vec<CountStream>> = (0..unit_weights.len())
+                    .map(|_| Vec::with_capacity(self.pool_window))
+                    .collect();
+                for field_counts in counts {
+                    for (unit, stream) in field_counts.into_iter().enumerate() {
+                        per_unit[unit].push(stream);
+                    }
+                }
+                let mut pooled_units = Vec::with_capacity(unit_weights.len());
+                for unit_counts in &per_unit {
+                    pooled_units.push(if self.kind == FeatureBlockKind::ApcAvgBtanh {
+                        CountStream::merge_sum(unit_counts)?
+                    } else {
+                        HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?
+                            .pool_counts(unit_counts)?
+                    });
+                }
+                let btanh = self.btanh.as_ref().expect("APC blocks carry a Btanh");
+                let refs: Vec<&CountStream> = pooled_units.iter().collect();
+                Ok(btanh.apply_batch(&refs))
+            }
+        }
+    }
+
+    /// Validates one prepared `[field][lane]` stream set against this
+    /// block's pool window and receptive-field size.
+    fn validate_prepared_fields(
+        &self,
+        name: &'static str,
+        fields: &[Vec<BitStream>],
+    ) -> Result<(), ScError> {
+        if fields.len() != self.pool_window {
+            return Err(ScError::InvalidParameter {
+                name,
+                message: format!(
+                    "expected {} prepared fields, got {}",
+                    self.pool_window,
+                    fields.len()
+                ),
+            });
+        }
+        for (field, lanes) in fields.iter().enumerate() {
+            if lanes.len() != self.input_size {
+                return Err(ScError::InvalidParameter {
+                    name,
+                    message: format!(
+                        "field {field} has {} lanes, expected {}",
+                        lanes.len(),
+                        self.input_size
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates the block and decodes the output to a bipolar value.
@@ -732,6 +998,96 @@ mod tests {
                 assert_eq!(prepared, per_call, "{kind} at length {len}");
             }
         }
+    }
+
+    /// Input streams for `fields` through the published seed scheme.
+    fn input_streams_for(block: &FeatureBlock, fields: &[Vec<f64>]) -> Vec<Vec<BitStream>> {
+        fields
+            .iter()
+            .enumerate()
+            .map(|(i, field)| {
+                let (input_seed, _) = block.operand_bank_seeds(i);
+                sc_core::sng::SngBank::new(sc_core::sng::SngKind::Lfsr32, field.len(), input_seed)
+                    .generate_bipolar(field, block.stream_length())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layer_fused_evaluation_is_bit_exact_with_per_unit_path() {
+        // All four kinds, lengths including the non-word-multiple 127, and
+        // several units sharing the layer's input streams — the fused call
+        // must reproduce the per-unit prepared path (itself pinned to
+        // `evaluate_stream`) bit for bit, serial or parallel.
+        for kind in FeatureBlockKind::ALL {
+            for len in [100usize, 127, 256] {
+                let block = FeatureBlock::new(kind, 8, StreamLength::new(len), 77).unwrap();
+                let (fields, _) = random_case(8, 4, 4321 + len as u64);
+                let inputs = input_streams_for(&block, &fields);
+                let unit_filters: Vec<Vec<f64>> =
+                    (0..3).map(|u| random_case(8, 4, 9000 + u).1).collect();
+                let unit_streams: Vec<Vec<Vec<BitStream>>> = unit_filters
+                    .iter()
+                    .map(|filter| block.weight_streams(filter).unwrap())
+                    .collect();
+                let unit_refs: Vec<&[Vec<BitStream>]> =
+                    unit_streams.iter().map(|u| u.as_slice()).collect();
+                let fused = block.evaluate_layer_prepared(&inputs, &unit_refs).unwrap();
+                assert_eq!(fused.len(), 3);
+                for (unit, filter) in unit_filters.iter().enumerate() {
+                    let per_unit = block
+                        .evaluate_prepared(&inputs, &unit_streams[unit])
+                        .unwrap();
+                    assert_eq!(fused[unit], per_unit, "{kind} unit {unit} at length {len}");
+                    let per_call = block.evaluate_stream(&fields, filter).unwrap();
+                    assert_eq!(fused[unit], per_call, "{kind} unit {unit} vs per-call");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_fused_evaluation_is_schedule_independent() {
+        // The per-call path fans receptive fields across threads; the fused
+        // path must match it whatever the thread budget is.
+        let kind = FeatureBlockKind::ApcMaxBtanh;
+        let block = FeatureBlock::new(kind, 8, StreamLength::new(127), 3).unwrap();
+        let (fields, _) = random_case(8, 4, 555);
+        let inputs = input_streams_for(&block, &fields);
+        let filter = random_case(8, 4, 556).1;
+        let weight_streams = block.weight_streams(&filter).unwrap();
+        let refs: Vec<&[Vec<BitStream>]> = vec![weight_streams.as_slice()];
+        let fused = block.evaluate_layer_prepared(&inputs, &refs).unwrap();
+        for limit in [1usize, 4] {
+            sc_core::parallel::set_thread_limit(limit);
+            let per_call = block.evaluate_stream(&fields, &filter).unwrap();
+            sc_core::parallel::set_thread_limit(0);
+            assert_eq!(fused[0], per_call, "thread limit {limit}");
+        }
+    }
+
+    #[test]
+    fn layer_fused_evaluation_validates_shapes() {
+        let block =
+            FeatureBlock::new(FeatureBlockKind::MuxAvgStanh, 4, StreamLength::new(64), 3).unwrap();
+        let (fields, weights) = random_case(4, 4, 9);
+        let inputs = input_streams_for(&block, &fields);
+        let weight_streams = block.weight_streams(&weights).unwrap();
+        let good: Vec<&[Vec<BitStream>]> = vec![weight_streams.as_slice()];
+        // No units: valid, empty result.
+        assert!(block
+            .evaluate_layer_prepared(&inputs, &[])
+            .unwrap()
+            .is_empty());
+        // Wrong field count in the shared inputs.
+        assert!(block.evaluate_layer_prepared(&inputs[..3], &good).is_err());
+        // Wrong lane count in one unit's weights.
+        let mut short = weight_streams.clone();
+        short[1].pop();
+        let bad: Vec<&[Vec<BitStream>]> = vec![weight_streams.as_slice(), short.as_slice()];
+        assert!(block.evaluate_layer_prepared(&inputs, &bad).is_err());
+        assert!(block.evaluate_layer_prepared(&inputs, &good).is_ok());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * binary domain (inputs are [`CountStream`]s) — used after APC-based inner
 //!   product blocks, where counters are replaced by accumulators.
 
-use sc_core::add::{CountStream, MuxAdder};
+use sc_core::add::{CountStream, MuxAdder, MuxSelectorPlan};
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::error::ScError;
 use sc_core::rng::Lfsr;
@@ -66,6 +66,42 @@ impl AveragePooling {
     pub fn pool_streams(&self, inputs: &[BitStream]) -> Result<BitStream, ScError> {
         let mut selector = Lfsr::new_32((self.seed as u32) | 1);
         MuxAdder::new().sum(inputs, &mut selector)
+    }
+
+    /// Draws this block's selector samples for `lanes` streams of
+    /// `stream_bits` bits into a reusable [`MuxSelectorPlan`].
+    ///
+    /// [`AveragePooling::pool_streams_with_plan`] replays the plan
+    /// bit-identically to [`AveragePooling::pool_streams`]; every unit of a
+    /// layer re-creates the same selector LFSR, so one plan serves them all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for a zero lane count and
+    /// [`ScError::InvalidParameter`] for a zero stream length.
+    pub fn selector_plan(
+        &self,
+        lanes: usize,
+        stream_bits: usize,
+    ) -> Result<MuxSelectorPlan, ScError> {
+        let mut selector = Lfsr::new_32((self.seed as u32) | 1);
+        MuxSelectorPlan::new(lanes, stream_bits, &mut selector)
+    }
+
+    /// Pools bit-streams replaying a pre-drawn selector plan (bit-exact with
+    /// [`AveragePooling::pool_streams`] for a plan from
+    /// [`AveragePooling::selector_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] for streams not matching the plan.
+    pub fn pool_streams_with_plan(
+        &self,
+        inputs: &[BitStream],
+        plan: &MuxSelectorPlan,
+    ) -> Result<BitStream, ScError> {
+        MuxAdder::new().sum_with_plan(inputs, plan)
     }
 
     /// Pools binary count streams with an adder and truncating divider.
@@ -279,6 +315,28 @@ mod tests {
         let pooled = AveragePooling::new(3).pool_streams(&streams).unwrap();
         let expected = AveragePooling::new(3).reference(&values);
         assert!((pooled.bipolar_value() - expected).abs() < 0.06);
+    }
+
+    #[test]
+    fn average_pooling_plan_replay_is_bit_exact() {
+        let values = [0.8, -0.2, 0.4, 0.1];
+        for len in [100usize, 127, 1024] {
+            let streams: Vec<BitStream> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| stream_for(v, len, 10 + i as u64))
+                .collect();
+            let pool = AveragePooling::new(0xDEAD ^ len as u64);
+            let direct = pool.pool_streams(&streams).unwrap();
+            let plan = pool.selector_plan(streams.len(), len).unwrap();
+            let replayed = pool.pool_streams_with_plan(&streams, &plan).unwrap();
+            assert_eq!(replayed, direct, "len {len}");
+            // Replaying twice gives the same bits (the plan is immutable).
+            assert_eq!(
+                pool.pool_streams_with_plan(&streams, &plan).unwrap(),
+                direct
+            );
+        }
     }
 
     #[test]

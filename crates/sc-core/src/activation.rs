@@ -16,7 +16,7 @@
 //! configuration.
 
 use crate::add::CountStream;
-use crate::bitstream::BitStream;
+use crate::bitstream::{BitStream, StreamLength};
 use crate::error::ScError;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +114,47 @@ impl Stanh {
         input.iter().map(|bit| self.step(bit)).collect()
     }
 
+    /// Runs one independent copy of this FSM over every input stream,
+    /// interleaved word-by-word across units: all units advance through
+    /// word `w` before any unit touches word `w + 1`, so a layer's worth of
+    /// activations walks the stream buffers once front-to-back instead of
+    /// re-streaming per unit.
+    ///
+    /// Each copy is reset before processing; `result[u]` is bit-exact with
+    /// [`Stanh::transform`] on `inputs[u]`. Streams may differ in length.
+    pub fn transform_batch(&self, inputs: &[&BitStream]) -> Vec<BitStream> {
+        let mut fsms: Vec<Stanh> = inputs
+            .iter()
+            .map(|_| {
+                let mut fsm = self.clone();
+                fsm.reset();
+                fsm
+            })
+            .collect();
+        let mut outputs: Vec<BitStream> = inputs
+            .iter()
+            .map(|s| BitStream::zeros(s.stream_length()))
+            .collect();
+        let max_words = inputs.iter().map(|s| s.as_words().len()).max().unwrap_or(0);
+        for w in 0..max_words {
+            for (unit, input) in inputs.iter().enumerate() {
+                let words = input.as_words();
+                if w >= words.len() {
+                    continue;
+                }
+                let bits = (input.len() - w * 64).min(64);
+                let in_word = words[w];
+                let mut out_word = 0u64;
+                let fsm = &mut fsms[unit];
+                for bit in 0..bits {
+                    out_word |= u64::from(fsm.step((in_word >> bit) & 1 == 1)) << bit;
+                }
+                outputs[unit].words_mut()[w] = out_word;
+            }
+        }
+        outputs
+    }
+
     /// The continuous function this FSM approximates: `tanh(K·x / 2)`.
     pub fn reference(&self, x: f64) -> f64 {
         (self.states as f64 / 2.0 * x).tanh()
@@ -179,6 +220,49 @@ impl Btanh {
             .iter()
             .map(|&c| self.step(c, counts.lanes()))
             .collect()
+    }
+
+    /// Runs one independent copy of this counter over every count stream,
+    /// interleaved in 64-cycle blocks across units (the binary-domain twin
+    /// of [`Stanh::transform_batch`]): all units consume cycles
+    /// `64w..64(w+1)` before any unit consumes the next block.
+    ///
+    /// Each copy is reset before processing; `result[u]` is bit-exact with
+    /// [`Btanh::transform`] on `inputs[u]`. Streams may differ in length.
+    pub fn transform_batch(&self, inputs: &[&CountStream]) -> Vec<BitStream> {
+        let mut counters: Vec<Btanh> = inputs
+            .iter()
+            .map(|_| {
+                let mut counter = self.clone();
+                counter.reset();
+                counter
+            })
+            .collect();
+        let mut outputs: Vec<BitStream> = inputs
+            .iter()
+            .map(|c| BitStream::zeros(StreamLength::new(c.len())))
+            .collect();
+        let max_words = inputs
+            .iter()
+            .map(|c| c.len().div_ceil(64))
+            .max()
+            .unwrap_or(0);
+        for w in 0..max_words {
+            let start = w * 64;
+            for (unit, input) in inputs.iter().enumerate() {
+                if start >= input.len() {
+                    continue;
+                }
+                let end = (start + 64).min(input.len());
+                let counter = &mut counters[unit];
+                let mut out_word = 0u64;
+                for (bit, &count) in input.counts()[start..end].iter().enumerate() {
+                    out_word |= u64::from(counter.step(count, input.lanes())) << bit;
+                }
+                outputs[unit].words_mut()[w] = out_word;
+            }
+        }
+        outputs
     }
 
     /// The continuous function the counter approximates for `n` input lanes:
@@ -355,6 +439,57 @@ mod tests {
         let mut btanh = Btanh::new(4).unwrap();
         let output = btanh.transform(&counts);
         assert!(output.bipolar_value() < -0.5);
+    }
+
+    #[test]
+    fn stanh_batch_matches_per_unit_transform() {
+        let lengths = [64usize, 100, 127, 256, 1];
+        let streams: Vec<BitStream> = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                Sng::new(SngKind::Lfsr32, 70 + i as u64)
+                    .generate_bipolar(0.3 - 0.15 * i as f64, StreamLength::new(len))
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&BitStream> = streams.iter().collect();
+        for mode in [StanhMode::Standard, StanhMode::ShiftedFifth] {
+            let template = Stanh::with_mode(8, mode).unwrap();
+            let batch = template.transform_batch(&refs);
+            assert_eq!(batch.len(), streams.len());
+            for (unit, stream) in streams.iter().enumerate() {
+                let mut fsm = Stanh::with_mode(8, mode).unwrap();
+                assert_eq!(batch[unit], fsm.transform(stream), "unit {unit} {mode:?}");
+            }
+        }
+        assert!(Stanh::new(8).unwrap().transform_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn btanh_batch_matches_per_unit_transform() {
+        let counts: Vec<CountStream> = [64usize, 100, 127, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let streams: Vec<BitStream> = (0..4)
+                    .map(|lane| {
+                        Sng::new(SngKind::Lfsr32, 500 + i as u64 * 7 + lane)
+                            .generate_bipolar(0.4 - 0.2 * lane as f64, StreamLength::new(len))
+                            .unwrap()
+                    })
+                    .collect();
+                ExactParallelCounter::new().count(&streams).unwrap()
+            })
+            .collect();
+        let refs: Vec<&CountStream> = counts.iter().collect();
+        let template = Btanh::new(6).unwrap();
+        let batch = template.transform_batch(&refs);
+        for (unit, count_stream) in counts.iter().enumerate() {
+            let mut counter = Btanh::new(6).unwrap();
+            assert_eq!(batch[unit], counter.transform(count_stream), "unit {unit}");
+        }
+        assert!(template.transform_batch(&[]).is_empty());
     }
 
     #[test]

@@ -141,6 +141,61 @@ impl MuxAdder {
         Ok(out)
     }
 
+    /// Sums the input streams replaying a pre-drawn [`MuxSelectorPlan`].
+    ///
+    /// Bit-exact with [`MuxAdder::sum`] driven by the RNG the plan was built
+    /// from: the plan records exactly the per-cycle draws that call would
+    /// make.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty slice and
+    /// [`ScError::LengthMismatch`] if the lane count or stream length does
+    /// not match the plan.
+    pub fn sum_with_plan(
+        &self,
+        inputs: &[BitStream],
+        plan: &MuxSelectorPlan,
+    ) -> Result<BitStream, ScError> {
+        let len = common_length(inputs)?;
+        plan.check_operands(inputs.len(), len)?;
+        let mut out = BitStream::zeros(StreamLength::try_new(len)?);
+        let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+            *out_word = plan.select_word(w, |lane| words[lane][w]);
+        }
+        Ok(out)
+    }
+
+    /// Fused multiply-select replaying a pre-drawn [`MuxSelectorPlan`].
+    ///
+    /// Bit-exact with [`MuxAdder::sum_products`] driven by the RNG the plan
+    /// was built from; sharing one plan across the output units of a layer
+    /// amortizes the selector draw + slice pass the per-unit path repeats
+    /// per unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for empty slices and
+    /// [`ScError::LengthMismatch`] for mismatched element counts, stream
+    /// lengths, or a plan built for different operand dimensions.
+    pub fn sum_products_with_plan(
+        &self,
+        inputs: &[BitStream],
+        weights: &[BitStream],
+        plan: &MuxSelectorPlan,
+    ) -> Result<BitStream, ScError> {
+        let len = common_product_length(inputs, weights)?;
+        plan.check_operands(inputs.len(), len)?;
+        let mut out = BitStream::zeros(StreamLength::try_new(len)?);
+        let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+        let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
+        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
+            *out_word = plan.select_word(w, |lane| !(xs[lane][w] ^ ws[lane][w]));
+        }
+        Ok(out)
+    }
+
     /// The scale factor the MUX output must be multiplied by to recover the
     /// true sum (equal to the number of inputs).
     pub fn scale_factor(&self, input_count: usize) -> f64 {
@@ -226,8 +281,15 @@ impl SelectorSlicer {
     /// order) and returns the word whose bit `b` is bit `b` of
     /// `lane_word(selected_b)`.
     fn select_word(&mut self, word: usize, bits: usize, lane_word: impl Fn(usize) -> u64) -> u64 {
-        let samples = &self.samples[word * 64..word * 64 + bits];
         let mut out = 0u64;
+        self.slice_word(word, bits, |lane, mask| out |= lane_word(lane) & mask);
+        out
+    }
+
+    /// Slices the `bits` selector samples of output word `word` into per-lane
+    /// cycle masks and emits every non-zero `(lane, mask)` pair.
+    fn slice_word(&mut self, word: usize, bits: usize, mut emit: impl FnMut(usize, u64)) {
+        let samples = &self.samples[word * 64..word * 64 + bits];
         if self.masks.len() <= 64 {
             // Few lanes: branch-free slicing pass, then scan every lane.
             for (bit, &sample) in samples.iter().enumerate() {
@@ -237,7 +299,7 @@ impl SelectorSlicer {
             for lane in 0..self.masks.len() {
                 let mask = self.masks[lane];
                 if mask != 0 {
-                    out |= lane_word(lane) & mask;
+                    emit(lane, mask);
                     self.masks[lane] = 0;
                 }
             }
@@ -253,12 +315,108 @@ impl SelectorSlicer {
             }
             for &lane in &self.touched {
                 let lane = lane as usize;
-                out |= lane_word(lane) & self.masks[lane];
+                emit(lane, self.masks[lane]);
                 self.masks[lane] = 0;
             }
             self.touched.clear();
         }
+    }
+}
+
+/// Pre-drawn, reusable MUX selector masks for one stream length.
+///
+/// A layer of MUX inner-product blocks shares its selector wiring: every
+/// output unit of the layer sees the *same* selector draws because the
+/// selector LFSR is seeded per pool-window field, not per unit. The per-unit
+/// path re-draws (and re-slices) those samples for every unit; a
+/// [`MuxSelectorPlan`] runs the draw + fastmod + bit-slice pass once and
+/// replays the resulting per-word `(lane, mask)` pairs against each unit's
+/// operand words. Replaying the plan is bit-identical to re-drawing from an
+/// identically-seeded RNG, and constructing the plan consumes exactly the
+/// draws [`MuxAdder::sum`] would (one per stream cycle), leaving the RNG in
+/// the same state.
+#[derive(Debug, Clone)]
+pub struct MuxSelectorPlan {
+    lanes: usize,
+    stream_bits: usize,
+    /// Flattened `(lane, cycle-mask)` pairs; `word_starts[w]..word_starts[w+1]`
+    /// indexes the pairs of output word `w`.
+    entries: Vec<(u32, u64)>,
+    word_starts: Vec<u32>,
+}
+
+impl MuxSelectorPlan {
+    /// Draws the selector samples for a whole stream and slices them into
+    /// per-word lane masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for a zero lane count and
+    /// [`ScError::InvalidParameter`] for a zero stream length.
+    pub fn new<R: RandomSource>(
+        lanes: usize,
+        stream_bits: usize,
+        rng: &mut R,
+    ) -> Result<Self, ScError> {
+        if lanes == 0 {
+            return Err(ScError::EmptyInput);
+        }
+        StreamLength::try_new(stream_bits)?;
+        let mut slicer = SelectorSlicer::new(lanes, stream_bits, rng);
+        let words = stream_bits.div_ceil(64);
+        let mut entries = Vec::with_capacity(stream_bits.min(64 * words));
+        let mut word_starts = Vec::with_capacity(words + 1);
+        word_starts.push(0u32);
+        for w in 0..words {
+            let bits = (stream_bits - w * 64).min(64);
+            slicer.slice_word(w, bits, |lane, mask| entries.push((lane as u32, mask)));
+            word_starts.push(entries.len() as u32);
+        }
+        Ok(Self {
+            lanes,
+            stream_bits,
+            entries,
+            word_starts,
+        })
+    }
+
+    /// Number of MUX input lanes the plan selects between.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Stream length (in bits) the plan covers.
+    pub fn stream_bits(&self) -> usize {
+        self.stream_bits
+    }
+
+    /// Assembles output word `word` from `lane_word`, replaying the recorded
+    /// masks.
+    #[inline]
+    fn select_word(&self, word: usize, lane_word: impl Fn(usize) -> u64) -> u64 {
+        let start = self.word_starts[word] as usize;
+        let end = self.word_starts[word + 1] as usize;
+        let mut out = 0u64;
+        for &(lane, mask) in &self.entries[start..end] {
+            out |= lane_word(lane as usize) & mask;
+        }
         out
+    }
+
+    fn check_operands(&self, lanes: usize, len: usize) -> Result<(), ScError> {
+        if lanes != self.lanes {
+            return Err(ScError::LengthMismatch {
+                left: self.lanes,
+                right: lanes,
+            });
+        }
+        if len != self.stream_bits {
+            return Err(ScError::LengthMismatch {
+                left: self.stream_bits,
+                right: len,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -481,6 +639,62 @@ fn accumulate_product_columns(
     }
 }
 
+/// Accumulates XNOR-product columns of one shared input set against the
+/// weight sets of many output units, word-by-word: each input word is loaded
+/// once and XNOR-ed against every unit's weight word before the next word is
+/// touched. `counts[u]` receives unit `u`'s column counts; results are
+/// identical to running [`accumulate_product_columns`] once per unit.
+fn accumulate_product_columns_shared(
+    inputs: &[BitStream],
+    unit_weights: &[&[BitStream]],
+    len: usize,
+    counts: &mut [Vec<u16>],
+) {
+    let tail_bits = len % 64;
+    let last = len.div_ceil(64) - 1;
+    let mut lane_words: Vec<&[u64]> = Vec::with_capacity(unit_weights.len());
+    for (lane, x) in inputs.iter().enumerate() {
+        lane_words.clear();
+        lane_words.extend(unit_weights.iter().map(|weights| weights[lane].as_words()));
+        for (w, &a) in x.as_words().iter().enumerate() {
+            let tail_mask = if w == last && tail_bits != 0 {
+                (1u64 << tail_bits) - 1
+            } else {
+                u64::MAX
+            };
+            let base = w * 64;
+            for (unit_counts, words) in counts.iter_mut().zip(&lane_words) {
+                let mut product = !(a ^ words[w]) & tail_mask;
+                while product != 0 {
+                    let j = product.trailing_zeros() as usize;
+                    unit_counts[base + j] += 1;
+                    product &= product - 1;
+                }
+            }
+        }
+    }
+}
+
+/// Validates one shared input set against many per-unit weight sets and
+/// returns the common stream length.
+fn common_shared_product_length(
+    inputs: &[BitStream],
+    unit_weights: &[&[BitStream]],
+) -> Result<usize, ScError> {
+    if unit_weights.is_empty() {
+        return Err(ScError::EmptyInput);
+    }
+    let mut len = None;
+    for weights in unit_weights {
+        let unit_len = common_product_length(inputs, weights)?;
+        match len {
+            None => len = Some(unit_len),
+            Some(l) => debug_assert_eq!(l, unit_len, "common length is input-determined"),
+        }
+    }
+    Ok(len.expect("at least one unit"))
+}
+
 /// Validates a paired product operand set and returns the common length.
 fn common_product_length(inputs: &[BitStream], weights: &[BitStream]) -> Result<usize, ScError> {
     if inputs.is_empty() || weights.is_empty() {
@@ -561,6 +775,38 @@ impl Apc {
         accumulate_product_columns(inputs, weights, len, &mut counts);
         apply_apc_lsb(&mut counts, inputs.len());
         CountStream::new(counts, inputs.len())
+    }
+
+    /// Shared-input fused multiply-count: APC column counts of one input set
+    /// against the weight sets of many output units, accumulated
+    /// word-by-word across units (every input word is loaded once for all
+    /// units). `result[u]` is bit-exact with
+    /// `self.count_products(inputs, unit_weights[u])`.
+    ///
+    /// This is the layer-fused APC kernel: all inner-product blocks of one
+    /// SC layer position share their input streams and differ only in the
+    /// filter driving their weight streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for empty slices and
+    /// [`ScError::LengthMismatch`] for any mismatched element count or
+    /// stream length.
+    pub fn count_products_shared(
+        &self,
+        inputs: &[BitStream],
+        unit_weights: &[&[BitStream]],
+    ) -> Result<Vec<CountStream>, ScError> {
+        let len = common_shared_product_length(inputs, unit_weights)?;
+        let mut counts: Vec<Vec<u16>> = vec![vec![0u16; len]; unit_weights.len()];
+        accumulate_product_columns_shared(inputs, unit_weights, len, &mut counts);
+        counts
+            .into_iter()
+            .map(|mut unit_counts| {
+                apply_apc_lsb(&mut unit_counts, inputs.len());
+                CountStream::new(unit_counts, inputs.len())
+            })
+            .collect()
     }
 
     /// Gate-count reduction relative to the exact accumulative parallel
@@ -803,6 +1049,96 @@ mod tests {
             // The RNG must be left in the same state (same number of draws).
             assert_eq!(serial_rng.state(), sliced_rng.state());
         }
+    }
+
+    #[test]
+    fn selector_plan_replays_identically_to_direct_draws() {
+        for (lanes, len) in [(2usize, 64usize), (4, 100), (25, 127), (80, 1024)] {
+            let values: Vec<f64> = (0..lanes)
+                .map(|i| (i as f64 / lanes as f64) - 0.5)
+                .collect();
+            let xs = streams_for(&values, len, 7 + lanes as u64);
+            let ws = streams_for(&values, len, 5000 + lanes as u64);
+            let mut direct_rng = Lfsr::new_32(777);
+            let mut plan_rng = Lfsr::new_32(777);
+            let plan = MuxSelectorPlan::new(lanes, len, &mut plan_rng).unwrap();
+            // Plan construction consumes exactly the draws the direct path
+            // would, leaving the RNG in the same state.
+            let direct_sum = MuxAdder::new().sum(&xs, &mut direct_rng).unwrap();
+            assert_eq!(direct_rng.state(), plan_rng.state());
+            assert_eq!(
+                MuxAdder::new().sum_with_plan(&xs, &plan).unwrap(),
+                direct_sum,
+                "sum mismatch at lanes {lanes} len {len}"
+            );
+            let mut direct_rng = Lfsr::new_32(777);
+            let direct_products = MuxAdder::new()
+                .sum_products(&xs, &ws, &mut direct_rng)
+                .unwrap();
+            assert_eq!(
+                MuxAdder::new()
+                    .sum_products_with_plan(&xs, &ws, &plan)
+                    .unwrap(),
+                direct_products,
+                "product mismatch at lanes {lanes} len {len}"
+            );
+            // The plan is reusable: a second replay gives the same bits.
+            assert_eq!(
+                MuxAdder::new()
+                    .sum_products_with_plan(&xs, &ws, &plan)
+                    .unwrap(),
+                direct_products
+            );
+        }
+    }
+
+    #[test]
+    fn selector_plan_validates_operands() {
+        let mut rng = Lfsr::new_32(1);
+        assert!(MuxSelectorPlan::new(0, 64, &mut rng).is_err());
+        assert!(MuxSelectorPlan::new(4, 0, &mut rng).is_err());
+        let plan = MuxSelectorPlan::new(2, 64, &mut rng).unwrap();
+        assert_eq!((plan.lanes(), plan.stream_bits()), (2, 64));
+        let xs = streams_for(&[0.5, -0.5, 0.25], 64, 3);
+        // Wrong lane count.
+        assert!(MuxAdder::new().sum_with_plan(&xs, &plan).is_err());
+        // Wrong stream length.
+        let short = streams_for(&[0.5, -0.5], 32, 3);
+        assert!(MuxAdder::new().sum_with_plan(&short, &plan).is_err());
+        assert!(MuxAdder::new()
+            .sum_products_with_plan(&short, &short, &plan)
+            .is_err());
+        assert!(MuxAdder::new().sum_with_plan(&[], &plan).is_err());
+    }
+
+    #[test]
+    fn shared_count_products_matches_per_unit_kernel() {
+        for len in [100usize, 127, 512] {
+            let xs = streams_for(&[0.5, -0.25, 0.75, 0.0, -0.6], len, 5);
+            let unit_ws: Vec<Vec<BitStream>> = (0..3)
+                .map(|u| streams_for(&[-0.5, 0.25, 0.1, 0.9, 0.3], len, 900 + u * 31))
+                .collect();
+            let refs: Vec<&[BitStream]> = unit_ws.iter().map(|w| w.as_slice()).collect();
+            let shared = Apc::new().count_products_shared(&xs, &refs).unwrap();
+            assert_eq!(shared.len(), 3);
+            for (unit, counts) in shared.iter().enumerate() {
+                let per_unit = Apc::new().count_products(&xs, &unit_ws[unit]).unwrap();
+                assert_eq!(counts, &per_unit, "unit {unit} at len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_count_products_validates_inputs() {
+        let xs = streams_for(&[0.5, -0.25], 64, 5);
+        let ws = streams_for(&[0.5, -0.25], 64, 9);
+        let short = streams_for(&[0.5], 64, 9);
+        let refs: Vec<&[BitStream]> = vec![&ws, &short];
+        assert!(Apc::new().count_products_shared(&xs, &[]).is_err());
+        assert!(Apc::new().count_products_shared(&xs, &refs).is_err());
+        assert!(Apc::new()
+            .count_products_shared(&[], &[ws.as_slice()])
+            .is_err());
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that had to generate a fresh stream.
     pub misses: u64,
-    /// Number of times the cache was flushed after reaching capacity.
+    /// Number of eviction passes run after reaching capacity.
     pub flushes: u64,
+    /// Total entries removed by eviction passes (not lookups or `clear`).
+    pub evicted: u64,
     /// Streams currently held.
     pub entries: usize,
 }
@@ -48,20 +50,35 @@ impl CacheStats {
     }
 }
 
+/// One cached stream plus the generation of its last insert or hit.
+#[derive(Debug)]
+struct CacheEntry {
+    generation: u64,
+    stream: BitStream,
+}
+
 /// A bounded `(lane_seed, threshold) → BitStream` memo table.
 ///
-/// Eviction is epoch-based: when the table reaches capacity it is cleared
-/// wholesale and refills with whatever keys are hot next. This keeps the
-/// bookkeeping at a single `HashMap` operation per lookup — hot keys
-/// (saturated activations, background pixels) re-enter within a handful of
-/// evaluations, and a flush can never change any result.
+/// Eviction is generation-based: every insert *and every hit* stamps the
+/// entry with a monotonically increasing generation, and when the table
+/// reaches capacity an eviction pass drops the stale half (entries whose
+/// generation falls outside the newest `capacity / 2` touches). The previous
+/// wholesale flush emptied the table mid-request and produced a periodic
+/// hit-rate cliff — every hot key (saturated activations, background pixels)
+/// had to miss once per epoch; keeping the recently-touched half warm
+/// removes the cliff while the bookkeeping stays one `HashMap` operation per
+/// lookup plus an amortized O(1) retain per insert. Eviction can never
+/// change any result: an entry is only ever a copy of what the generator
+/// would produce for the same key.
 #[derive(Debug)]
 pub struct StreamCache {
-    map: HashMap<StreamKey, BitStream>,
+    map: HashMap<StreamKey, CacheEntry>,
     capacity: usize,
+    generation: u64,
     hits: u64,
     misses: u64,
     flushes: u64,
+    evicted: u64,
 }
 
 impl StreamCache {
@@ -70,9 +87,11 @@ impl StreamCache {
         Self {
             map: HashMap::new(),
             capacity: capacity.max(1),
+            generation: 0,
             hits: 0,
             misses: 0,
             flushes: 0,
+            evicted: 0,
         }
     }
 
@@ -100,23 +119,45 @@ impl StreamCache {
         arena: &mut StreamArena,
         fill: impl FnOnce(&mut StreamArena) -> Result<BitStream, E>,
     ) -> Result<BitStream, E> {
-        if let Some(master) = self.map.get(&key) {
-            if master.stream_length() == length {
+        if let Some(entry) = self.map.get_mut(&key) {
+            if entry.stream.stream_length() == length {
                 self.hits += 1;
+                // Refresh the entry's generation so constantly-hit keys
+                // never age into the evicted half (insertion-order-only
+                // aging would still cliff hot keys once per epoch).
+                self.generation += 1;
+                entry.generation = self.generation;
                 let mut copy = arena.take_zeroed(length);
-                copy.copy_range_from(master, 0, master.len());
+                copy.copy_range_from(&entry.stream, 0, entry.stream.len());
                 return Ok(copy);
             }
         }
         self.misses += 1;
         let stream = fill(arena)?;
         debug_assert_eq!(stream.len(), length.bits(), "fill produced a wrong length");
-        if self.map.len() >= self.capacity {
-            self.map.clear();
-            self.flushes += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            self.evict_old_half();
         }
-        self.map.insert(key, stream.clone());
+        self.generation += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                generation: self.generation,
+                stream: stream.clone(),
+            },
+        );
         Ok(stream)
+    }
+
+    /// Drops the entries outside the newest `capacity / 2` generations
+    /// (inserts and hits both count). Generations are unique per touch, so
+    /// at most `capacity / 2` entries survive.
+    fn evict_old_half(&mut self) {
+        let cutoff = self.generation.saturating_sub((self.capacity / 2) as u64);
+        let before = self.map.len();
+        self.map.retain(|_, entry| entry.generation > cutoff);
+        self.flushes += 1;
+        self.evicted += (before - self.map.len()) as u64;
     }
 
     /// Drops all cached streams (counters are kept).
@@ -130,6 +171,7 @@ impl StreamCache {
             hits: self.hits,
             misses: self.misses,
             flushes: self.flushes,
+            evicted: self.evicted,
             entries: self.map.len(),
         }
     }
@@ -187,6 +229,90 @@ mod tests {
         }
         assert!(cache.stats().flushes > 0);
         assert!(cache.stats().entries <= 2);
+    }
+
+    #[test]
+    fn eviction_keeps_the_recently_inserted_half_warm() {
+        let mut cache = StreamCache::new(8);
+        let mut arena = StreamArena::new();
+        let length = StreamLength::new(64);
+        // Fill to capacity: keys 0..8, insertion order = key order.
+        for key in 0..8u64 {
+            let got = cache
+                .get_or_generate::<()>((key, 0), length, &mut arena, |_| Ok(generate(key, 0.5, 64)))
+                .unwrap();
+            arena.recycle(got);
+        }
+        // The ninth insert triggers one eviction pass.
+        let got = cache
+            .get_or_generate::<()>((8, 0), length, &mut arena, |_| Ok(generate(8, 0.5, 64)))
+            .unwrap();
+        arena.recycle(got);
+        let stats = cache.stats();
+        assert_eq!(stats.flushes, 1);
+        // Exactly the old half (keys 0..4) was dropped, and the counter
+        // records the evicted entries, not just the pass.
+        assert_eq!(stats.evicted, 4);
+        assert_eq!(stats.entries, 5);
+        // The young half (keys 4..8) survived: re-requesting them must hit,
+        // not regenerate — this is the mid-request hit-rate cliff the
+        // wholesale flush used to cause.
+        for key in 4..8u64 {
+            let got = cache
+                .get_or_generate::<()>((key, 0), length, &mut arena, |_| {
+                    panic!("key {key} should have survived the eviction pass")
+                })
+                .unwrap();
+            assert_eq!(got, generate(key, 0.5, 64));
+            arena.recycle(got);
+        }
+    }
+
+    #[test]
+    fn constantly_hit_keys_survive_eviction_regardless_of_insert_age() {
+        // Hits refresh an entry's generation, so a hot key inserted first
+        // must outlive an eviction pass triggered by cold-key churn.
+        let mut cache = StreamCache::new(8);
+        let mut arena = StreamArena::new();
+        let length = StreamLength::new(64);
+        let mut touch = |cache: &mut StreamCache, key: u64, may_generate: bool| {
+            let got = cache
+                .get_or_generate::<()>((key, 0), length, &mut arena, |_| {
+                    assert!(may_generate, "key {key} should have been cached");
+                    Ok(generate(key, 0.5, 64))
+                })
+                .unwrap();
+            arena.recycle(got);
+        };
+        touch(&mut cache, 100, true); // the hot key, inserted first
+        for key in 0..7u64 {
+            touch(&mut cache, key, true); // cold fill to capacity
+            touch(&mut cache, 100, false); // hot key hit after every insert
+        }
+        // Churn past capacity: eviction passes must spare the hot key.
+        for key in 200..212u64 {
+            touch(&mut cache, key, true);
+            touch(&mut cache, 100, false);
+        }
+        assert!(cache.stats().flushes > 0, "churn must have evicted");
+    }
+
+    #[test]
+    fn capacity_one_cache_stays_bounded() {
+        let mut cache = StreamCache::new(1);
+        let mut arena = StreamArena::new();
+        for key in 0..5u64 {
+            let got = cache
+                .get_or_generate::<()>((key, 0), StreamLength::new(32), &mut arena, |_| {
+                    Ok(generate(key, 0.25, 32))
+                })
+                .unwrap();
+            assert_eq!(got, generate(key, 0.25, 32));
+            arena.recycle(got);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 1);
+        assert_eq!(stats.evicted, stats.flushes);
     }
 
     #[test]

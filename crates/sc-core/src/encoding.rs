@@ -141,6 +141,27 @@ pub fn clamp_unipolar(value: f64) -> f64 {
     value.clamp(0.0, 1.0)
 }
 
+/// Quantizes a bipolar value to the nearest of the `L + 1` levels a
+/// length-`L` stream can represent (`(2k − L) / L` for `k ∈ 0..=L`).
+///
+/// A decoded stream value is always one of these levels, so the function is
+/// the identity on anything that came out of a stream — quantizing *inputs*
+/// before encoding therefore changes each value by at most `1/L` (below the
+/// stream's own resolution) while collapsing the near-duplicate comparator
+/// thresholds that make stream-cache hits workload-dependent: after
+/// quantization at most `L + 1` distinct `(seed, threshold)` keys exist per
+/// SNG lane. NaN quantizes to the centre level (0), mirroring clamping.
+pub fn quantize_bipolar_levels(value: f64, stream_bits: usize) -> f64 {
+    let l = stream_bits.max(1) as f64;
+    let v = if value.is_nan() {
+        0.0
+    } else {
+        value.clamp(-1.0, 1.0)
+    };
+    let k = ((v + 1.0) / 2.0 * l).round();
+    (2.0 * k - l) / l
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +216,34 @@ mod tests {
         assert_eq!(prescale(&[]), Err(ScError::EmptyInput));
         assert!(prescale(&[f64::INFINITY]).is_err());
         assert!(prescale(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantize_maps_to_representable_levels() {
+        for l in [64usize, 127, 1024] {
+            for i in 0..=200 {
+                let v = i as f64 / 100.0 - 1.0;
+                let q = quantize_bipolar_levels(v, l);
+                // q is one of the L + 1 levels (2k - L)/L …
+                let k = (q + 1.0) / 2.0 * l as f64;
+                assert!((k - k.round()).abs() < 1e-9, "L={l} v={v} gave level {q}");
+                assert!((-1.0..=1.0).contains(&q));
+                // … within half a level of the input …
+                assert!((q - v).abs() <= 1.0 / l as f64 + 1e-12);
+                // … and quantization is idempotent.
+                assert_eq!(quantize_bipolar_levels(q, l), q);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_handles_degenerate_inputs() {
+        assert_eq!(quantize_bipolar_levels(2.0, 64), 1.0);
+        assert_eq!(quantize_bipolar_levels(-2.0, 64), -1.0);
+        assert_eq!(quantize_bipolar_levels(f64::NAN, 64), 0.0);
+        // A stream's decoded value is a fixed point: (2·13 − 127)/127.
+        let decoded = (2.0 * 13.0 - 127.0) / 127.0;
+        assert_eq!(quantize_bipolar_levels(decoded, 127), decoded);
     }
 
     #[test]

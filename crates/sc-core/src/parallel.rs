@@ -86,20 +86,43 @@ pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    parallel_map_with_state(items, init, f).0
+}
+
+/// Like [`parallel_map_with`], but hands the per-worker states back to the
+/// caller once the fan-out completes, so expensive warm state (a stream
+/// cache, a pooled arena) can be reused across fan-outs instead of rebuilt
+/// every call. The results vector is input-ordered as always; the states
+/// vector has one entry per worker that ran, in no particular order (an
+/// empty item slice runs no worker and returns no state).
+pub fn parallel_map_with_state<T, S, R, I, F>(items: &[T], init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
     let threads = max_threads().min(items.len());
     if threads <= 1 {
         let mut state = init();
-        return items
+        let results = items
             .iter()
             .enumerate()
             .map(|(i, item)| f(&mut state, i, item))
             .collect();
+        return (results, vec![state]);
     }
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
+    let states = std::sync::Mutex::new(Vec::with_capacity(threads));
     let chunk = items.len().div_ceil(threads);
     std::thread::scope(|scope| {
         let mut rest: &mut [Option<R>] = &mut results;
@@ -109,21 +132,23 @@ where
             let (head, tail) = rest.split_at_mut(take);
             rest = tail;
             let slice = &items[start..start + take];
-            let (f, init) = (&f, &init);
+            let (f, init, states) = (&f, &init, &states);
             scope.spawn(move || {
                 IN_WORKER.with(|flag| flag.set(true));
                 let mut state = init();
                 for (offset, (slot, item)) in head.iter_mut().zip(slice).enumerate() {
                     *slot = Some(f(&mut state, start + offset, item));
                 }
+                states.lock().expect("state collector").push(state);
             });
             start += take;
         }
     });
-    results
+    let results = results
         .into_iter()
         .map(|r| r.expect("worker filled every output slot"))
-        .collect()
+        .collect();
+    (results, states.into_inner().expect("state collector"))
 }
 
 /// Maps `f` over the index range `0..count` in parallel, preserving order.
@@ -186,6 +211,29 @@ mod tests {
         });
         set_thread_limit(0);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn state_variant_returns_every_worker_state() {
+        for limit in [1usize, 4] {
+            set_thread_limit(limit);
+            let items: Vec<u32> = (0..9).collect();
+            let (results, states) =
+                parallel_map_with_state(&items, Vec::<u32>::new, |scratch, _, &item| {
+                    scratch.push(item);
+                    item * 2
+                });
+            set_thread_limit(0);
+            assert_eq!(results, (0..9).map(|i| i * 2).collect::<Vec<_>>());
+            // Every item landed in exactly one returned state.
+            let mut seen: Vec<u32> = states.into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, items, "thread limit {limit}");
+        }
+        let empty: Vec<u32> = Vec::new();
+        let (results, states) = parallel_map_with_state(&empty, || 1u8, |_, _, &x| x);
+        assert!(results.is_empty());
+        assert!(states.is_empty());
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl<T> BatchQueue<T> {
             state = self.available.wait(state).expect("queue lock");
         }
         let mut batch = Vec::with_capacity(self.policy.max_batch.min(state.items.len()));
-        let deadline = Instant::now() + self.policy.max_linger;
+        // `checked_add` instead of `+`: an effectively-infinite `max_linger`
+        // (e.g. `Duration::MAX`) must mean "wait for a full batch or
+        // shutdown", not panic on `Instant` overflow.
+        let deadline = Instant::now().checked_add(self.policy.max_linger);
         loop {
             while batch.len() < self.policy.max_batch {
                 match state.items.pop_front() {
@@ -120,16 +123,28 @@ impl<T> BatchQueue<T> {
             if batch.len() >= self.policy.max_batch || state.closed {
                 break;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            // Saturating remainder: with `max_linger` zero — or a deadline
+            // that already passed while we drained — this is `Duration::ZERO`
+            // and the partial batch returns immediately instead of
+            // busy-spinning on zero-length waits or panicking on a negative
+            // `deadline - now`.
+            let remaining = match deadline {
+                Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+                None => Duration::MAX,
+            };
+            if remaining.is_zero() {
                 break;
             }
+            // Cap each wait so an unbounded linger still re-checks the
+            // shutdown flag periodically (and stays inside the range every
+            // platform's condvar timeout supports).
             let (next, timeout) = self
                 .available
-                .wait_timeout(state, deadline - now)
+                .wait_timeout(state, remaining.min(Duration::from_secs(60)))
                 .expect("queue lock");
             state = next;
-            if timeout.timed_out() && state.items.is_empty() {
+            if timeout.timed_out() && state.items.is_empty() && remaining <= Duration::from_secs(60)
+            {
                 break;
             }
         }
@@ -170,6 +185,57 @@ mod tests {
         let batch = q.pop_batch().unwrap();
         assert_eq!(batch, vec![7]);
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn zero_linger_returns_partial_batches_immediately() {
+        // Regression: with `max_linger = 0` the deadline is "already
+        // passed" the moment it is computed; the drain loop must neither
+        // busy-spin on zero-length waits nor panic on negative deadline
+        // arithmetic — it hands back whatever is queued, at once.
+        let q = queue(8, 0);
+        q.push(1);
+        q.push(2);
+        let start = Instant::now();
+        assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "zero linger must not wait"
+        );
+        // A full batch with zero linger also returns intact.
+        let q = queue(2, 0);
+        q.push(3);
+        q.push(4);
+        q.push(5);
+        assert_eq!(q.pop_batch().unwrap(), vec![3, 4]);
+        assert_eq!(q.pop_batch().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn unbounded_linger_does_not_panic_on_deadline_arithmetic() {
+        // `Instant::now() + Duration::MAX` would panic; `checked_add` must
+        // turn it into "wait for a full batch", which this full batch
+        // satisfies immediately.
+        let q = BatchQueue::new(BatchPolicy {
+            max_batch: 2,
+            max_linger: Duration::MAX,
+        });
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
+        // And shutdown still unblocks a lingering partial batch.
+        let q = Arc::new(BatchQueue::new(BatchPolicy {
+            max_batch: 8,
+            max_linger: Duration::MAX,
+        }));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(9);
+        q.close();
+        assert_eq!(consumer.join().unwrap().unwrap(), vec![9]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use sc_core::arena::StreamArena;
 use sc_core::bitstream::BitStream;
 use sc_core::cache::{CacheStats, StreamCache};
 use sc_core::encoding::{Bipolar, Encoding};
-use sc_core::parallel::parallel_map_with;
+use sc_core::parallel::{parallel_map_with, parallel_map_with_state};
 use sc_core::sng::{probability_threshold, Sng, SngBank, SngKind};
 use sc_core::ScError;
 use sc_dcnn::config::ScNetworkConfig;
@@ -55,6 +55,21 @@ pub struct EngineOptions {
     /// and fails loudly unless the logits are bit-identical. Expensive —
     /// meant for tests, bring-up, and canary replicas.
     pub verify_against_interpreter: bool,
+    /// Evaluate each plan stage through the layer-fused path
+    /// ([`FeatureBlock::evaluate_layer_prepared`]): all units of a stage
+    /// share operand streams, MUX selector plans, and batched activation
+    /// walks. Off reproduces the unit-at-a-time engine (kept as the
+    /// benchmark baseline); outputs are bit-identical either way.
+    ///
+    /// [`FeatureBlock::evaluate_layer_prepared`]: sc_blocks::feature_block::FeatureBlock::evaluate_layer_prepared
+    pub fuse_layers: bool,
+    /// Fan the units of a *single* request across `sc_core::parallel`
+    /// workers (per-worker sessions with their own stream caches). Cuts
+    /// single-request latency on multi-core machines; batched inference
+    /// already parallelizes across requests, and nested fan-outs degrade to
+    /// serial, so the two compose safely. Results are bit-identical
+    /// regardless of the thread budget.
+    pub parallel_units: bool,
 }
 
 impl Default for EngineOptions {
@@ -63,6 +78,8 @@ impl Default for EngineOptions {
             plan: PlanOptions::default(),
             cache_capacity: 1 << 16,
             verify_against_interpreter: false,
+            fuse_layers: true,
+            parallel_units: true,
         }
     }
 }
@@ -76,12 +93,45 @@ impl Default for EngineOptions {
 pub struct Session {
     arena: StreamArena,
     cache: StreamCache,
+    /// Warm sub-sessions handed to single-request unit fan-out workers and
+    /// collected back afterwards, so their caches survive across layers and
+    /// requests instead of being rebuilt cold per fan-out.
+    workers: Vec<Session>,
+    /// Whether this session participates in single-request unit fan-out at
+    /// all (see [`Session::set_unit_fan_out`]).
+    unit_fan_out: bool,
 }
 
 impl Session {
-    /// Input-stream cache counters of this session.
+    /// Input-stream cache counters of this session, aggregated over its
+    /// warm fan-out worker sessions (with unit fan-out active, most conv
+    /// input-stream traffic flows through those workers — stats that
+    /// ignored them would report near-zero activity on multi-core runs).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        for worker in &self.workers {
+            let worker_stats = worker.cache_stats();
+            stats.hits += worker_stats.hits;
+            stats.misses += worker_stats.misses;
+            stats.flushes += worker_stats.flushes;
+            stats.evicted += worker_stats.evicted;
+            stats.entries += worker_stats.entries;
+        }
+        stats
+    }
+
+    /// Enables or disables single-request unit fan-out for inferences run
+    /// through this session (default: enabled, subject to
+    /// [`EngineOptions::parallel_units`]).
+    ///
+    /// The engine's "nested fan-outs degrade to serial" guarantee only
+    /// covers `sc_core::parallel` workers; a caller that runs many sessions
+    /// on its *own* threads — like the TCP runtime's per-worker loops —
+    /// should disable fan-out to avoid oversubscribing the machine with
+    /// `workers × threads` scoped threads. Results are bit-identical either
+    /// way.
+    pub fn set_unit_fan_out(&mut self, enabled: bool) {
+        self.unit_fan_out = enabled;
     }
 }
 
@@ -162,6 +212,8 @@ impl Engine {
         Session {
             arena: StreamArena::new(),
             cache: StreamCache::new(self.options.cache_capacity),
+            workers: Vec::new(),
+            unit_fan_out: true,
         }
     }
 
@@ -246,7 +298,151 @@ impl Engine {
         &self.interpreter
     }
 
+    /// Whether single-request unit fan-out is active for a layer of
+    /// `independent_items` independent work items evaluated through
+    /// `session`.
+    fn fan_out_units(&self, session: &Session, independent_items: usize) -> bool {
+        self.options.parallel_units
+            && session.unit_fan_out
+            && independent_items > 1
+            && sc_core::parallel::max_threads() > 1
+    }
+
     fn eval_layer(
+        &self,
+        session: &mut Session,
+        layer: &PlanLayer,
+        weights: &LayerWeightStreams,
+        values: &[f64],
+    ) -> Result<Vec<f64>, ServeError> {
+        if !self.options.fuse_layers {
+            return self.eval_layer_per_unit(session, layer, weights, values);
+        }
+        match layer {
+            PlanLayer::Conv(conv) => {
+                let [filters, pooled_h, pooled_w] = conv.out_shape;
+                let positions = pooled_h * pooled_w;
+                let unit_refs: Vec<&[Vec<BitStream>]> = weights
+                    .iter()
+                    .take(filters)
+                    .map(|row| row.as_slice())
+                    .collect();
+                // Selector plans depend only on the block's seeds and the
+                // stream length: one set serves every position and every
+                // fan-out worker of this layer.
+                let selectors = conv
+                    .block
+                    .prepare_selectors(self.plan.stream_length.bits())?;
+                // One fused call per pooled position evaluates every filter:
+                // the position's input streams are generated (or cache-hit)
+                // once instead of once per filter.
+                let eval_position =
+                    |session: &mut Session, position: usize| -> Result<Vec<f64>, ServeError> {
+                        let (py, px) = (position / pooled_w, position % pooled_w);
+                        let fields = conv.gather_fields(values, py, px);
+                        let inputs = self.gather_input_streams(session, &conv.block, &fields)?;
+                        let outputs = conv
+                            .block
+                            .evaluate_layer_prepared_with(&selectors, &inputs, &unit_refs);
+                        for field in inputs {
+                            session.arena.recycle_all(field);
+                        }
+                        Ok(outputs?.iter().map(BitStream::bipolar_value).collect())
+                    };
+                let per_position: Vec<Result<Vec<f64>, ServeError>> =
+                    if self.fan_out_units(session, positions) {
+                        // Positions are independent; per-worker sessions keep
+                        // their own caches/arenas. Outputs depend only on the
+                        // position index, so the fan-out is bit-deterministic.
+                        // Workers draw warm sessions from the caller's pool
+                        // and return them afterwards, so the per-worker
+                        // caches carry hit rates across layers and requests.
+                        let pool = std::sync::Mutex::new(std::mem::take(&mut session.workers));
+                        let (results, states) = parallel_map_with_state(
+                            &(0..positions).collect::<Vec<usize>>(),
+                            || {
+                                pool.lock()
+                                    .expect("session pool")
+                                    .pop()
+                                    .unwrap_or_else(|| self.new_session())
+                            },
+                            |worker_session, _, &position| eval_position(worker_session, position),
+                        );
+                        let mut workers = pool.into_inner().expect("session pool");
+                        workers.extend(states);
+                        session.workers = workers;
+                        results
+                    } else {
+                        (0..positions)
+                            .map(|position| eval_position(session, position))
+                            .collect()
+                    };
+                // Transpose position-major results into the plan's
+                // filter-major output order.
+                let mut outputs = vec![0.0f64; filters * positions];
+                for (position, result) in per_position.into_iter().enumerate() {
+                    for (filter, value) in result?.into_iter().enumerate() {
+                        outputs[filter * positions + position] = value;
+                    }
+                }
+                Ok(outputs)
+            }
+            PlanLayer::Dense(dense) => {
+                // All units of a fully-connected layer share one receptive
+                // field: its streams are generated once for the whole layer.
+                let field = vec![values.to_vec()];
+                let inputs = self.gather_input_streams(session, &dense.block, &field)?;
+                let unit_refs: Vec<&[Vec<BitStream>]> =
+                    weights.iter().map(|row| row.as_slice()).collect();
+                // One selector-plan set for the whole layer, shared by every
+                // fan-out chunk (rebuilding it per chunk would repeat the
+                // draw + bit-slice pass once per thread).
+                let selectors = dense
+                    .block
+                    .prepare_selectors(self.plan.stream_length.bits())?;
+                let streams = if self.fan_out_units(session, unit_refs.len()) {
+                    let threads = sc_core::parallel::max_threads();
+                    let chunk_size = unit_refs.len().div_ceil(threads).max(1);
+                    let chunks: Vec<&[&[Vec<BitStream>]]> = unit_refs.chunks(chunk_size).collect();
+                    let per_chunk = parallel_map_with(
+                        &chunks,
+                        || (),
+                        |(), _, chunk| {
+                            dense
+                                .block
+                                .evaluate_layer_prepared_with(&selectors, &inputs, chunk)
+                        },
+                    );
+                    let mut streams = Vec::with_capacity(unit_refs.len());
+                    let mut error = None;
+                    for chunk in per_chunk {
+                        match chunk {
+                            Ok(chunk_streams) => streams.extend(chunk_streams),
+                            Err(e) if error.is_none() => error = Some(e),
+                            Err(_) => {}
+                        }
+                    }
+                    match error {
+                        None => Ok(streams),
+                        Some(e) => Err(e),
+                    }
+                } else {
+                    dense
+                        .block
+                        .evaluate_layer_prepared_with(&selectors, &inputs, &unit_refs)
+                };
+                for field_streams in inputs {
+                    session.arena.recycle_all(field_streams);
+                }
+                Ok(streams?.iter().map(BitStream::bipolar_value).collect())
+            }
+        }
+    }
+
+    /// The pre-fusion unit-at-a-time evaluation path (the
+    /// `fuse_layers: false` baseline the fused path is benchmarked and
+    /// property-tested against).
+    fn eval_layer_per_unit(
         &self,
         session: &mut Session,
         layer: &PlanLayer,
@@ -281,15 +477,15 @@ impl Engine {
         }
     }
 
-    /// Evaluates one feature-extraction block: cached input streams plus
-    /// pre-generated weight streams through the prepared (fused) pipeline.
-    fn eval_unit(
+    /// Generates (or serves from the session cache) the input streams of
+    /// every pool-window field, in the block's published seed scheme. The
+    /// returned buffers are arena-backed; recycle them after use.
+    fn gather_input_streams(
         &self,
         session: &mut Session,
         block: &FeatureBlock,
         fields: &[Vec<f64>],
-        weight_streams: &[Vec<BitStream>],
-    ) -> Result<f64, ServeError> {
+    ) -> Result<Vec<Vec<BitStream>>, ServeError> {
         let length = self.plan.stream_length;
         let mut inputs: Vec<Vec<BitStream>> = Vec::with_capacity(fields.len());
         for (field_index, field) in fields.iter().enumerate() {
@@ -314,6 +510,19 @@ impl Engine {
             }
             inputs.push(streams);
         }
+        Ok(inputs)
+    }
+
+    /// Evaluates one feature-extraction block: cached input streams plus
+    /// pre-generated weight streams through the prepared (fused) pipeline.
+    fn eval_unit(
+        &self,
+        session: &mut Session,
+        block: &FeatureBlock,
+        fields: &[Vec<f64>],
+        weight_streams: &[Vec<BitStream>],
+    ) -> Result<f64, ServeError> {
+        let inputs = self.gather_input_streams(session, block, fields)?;
         let output = block.evaluate_prepared(&inputs, weight_streams);
         for field in inputs {
             session.arena.recycle_all(field);
@@ -419,6 +628,90 @@ mod tests {
             .map(|img| engine.infer(&mut session, img).unwrap())
             .collect();
         assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn fused_engine_matches_per_unit_engine_bit_for_bit() {
+        for (kind, pooling, length) in [
+            (FeatureBlockKind::ApcMaxBtanh, PoolingStyle::Max, 127),
+            (FeatureBlockKind::MuxMaxStanh, PoolingStyle::Max, 100),
+        ] {
+            let network = small_network(21);
+            let config = ScNetworkConfig::new("c", vec![kind; 2], length, pooling);
+            let fused = Engine::compile(&network, &config, options()).unwrap();
+            let per_unit = Engine::compile(
+                &network,
+                &config,
+                EngineOptions {
+                    fuse_layers: false,
+                    parallel_units: false,
+                    ..options()
+                },
+            )
+            .unwrap();
+            let mut fused_session = fused.new_session();
+            let mut per_unit_session = per_unit.new_session();
+            for seed in 1..4 {
+                let image = image(seed);
+                assert_eq!(
+                    fused.infer(&mut fused_session, &image).unwrap(),
+                    per_unit.infer(&mut per_unit_session, &image).unwrap(),
+                    "{kind} L={length} image {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_request_fan_out_is_schedule_independent() {
+        let network = small_network(33);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcMaxBtanh; 2],
+            100,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(&network, &config, options()).unwrap();
+        let image = image(11);
+        sc_core::parallel::set_thread_limit(1);
+        let serial = engine.infer(&mut engine.new_session(), &image).unwrap();
+        sc_core::parallel::set_thread_limit(4);
+        let fanned = engine.infer(&mut engine.new_session(), &image).unwrap();
+        sc_core::parallel::set_thread_limit(0);
+        assert_eq!(serial, fanned);
+    }
+
+    #[test]
+    fn repeated_frames_hit_the_cache_exactly() {
+        // Quantized inputs → deterministic cache keys: replaying a frame
+        // must be served entirely from the warm cache (zero new misses).
+        let network = small_network(7);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcMaxBtanh; 2],
+            128,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(
+            &network,
+            &config,
+            EngineOptions {
+                parallel_units: false, // keep all traffic in one session
+                ..options()
+            },
+        )
+        .unwrap();
+        let mut session = engine.new_session();
+        let frame = image(5);
+        engine.infer(&mut session, &frame).unwrap();
+        let cold = session.cache_stats();
+        engine.infer(&mut session, &frame).unwrap();
+        let warm = session.cache_stats();
+        assert_eq!(
+            warm.misses, cold.misses,
+            "a repeated frame must not generate any stream"
+        );
+        assert!(warm.hits > cold.hits);
     }
 
     #[test]

@@ -143,14 +143,35 @@ fn mean_ms(sorted_us: &[u64]) -> f64 {
     total as f64 / sorted_us.len() as f64 / 1000.0
 }
 
+/// Nearest-rank index into an ascending sample list of `len` elements.
+///
+/// The rank is `⌈p·n / 100⌉`, clamped to `[1, n]` and returned zero-based.
+/// The product is formed *before* the division so a binary-unrepresentable
+/// `p/100` (e.g. `0.95`) cannot push the rank past an exact integer boundary
+/// and select the wrong sample; at small sample counts (`n = 2`, p95/p99)
+/// the rank clamps to the max sample instead of rounding to a wrong index.
+/// `p ≥ 100` always selects the max sample, `p ≤ 0` the min. Shared by
+/// [`Metrics::report`] and the serving benchmark so the indexing logic
+/// exists exactly once.
+///
+/// # Panics
+///
+/// Panics (in debug builds) for `len == 0`; callers handle empty lists.
+pub fn nearest_rank_index(len: usize, percentile: f64) -> usize {
+    debug_assert!(len > 0, "nearest rank of an empty sample list");
+    if percentile >= 100.0 {
+        return len - 1;
+    }
+    let rank = ((percentile.max(0.0) * len as f64) / 100.0).ceil() as usize;
+    rank.clamp(1, len) - 1
+}
+
 /// Nearest-rank percentile over an ascending latency list, in milliseconds.
 fn percentile_ms(sorted_us: &[u64], percentile: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
     }
-    let rank = ((percentile / 100.0) * sorted_us.len() as f64).ceil() as usize;
-    let index = rank.clamp(1, sorted_us.len()) - 1;
-    sorted_us[index] as f64 / 1000.0
+    sorted_us[nearest_rank_index(sorted_us.len(), percentile)] as f64 / 1000.0
 }
 
 #[cfg(test)]
@@ -165,6 +186,52 @@ mod tests {
         assert_eq!(percentile_ms(&us, 99.0), 99.0);
         assert_eq!(percentile_ms(&us, 100.0), 100.0);
         assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_one_sample_are_that_sample() {
+        let us = [7_000u64];
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile_ms(&us, p), 7.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn two_sample_tail_percentiles_clamp_to_the_max() {
+        // Regression: at n = 2 the p95/p99 nearest rank is ⌈1.9⌉ = ⌈1.98⌉ = 2
+        // — the max sample. A mis-rounded index here under-reports tail
+        // latency by the full min/max spread.
+        let us = [1_000u64, 9_000];
+        assert_eq!(percentile_ms(&us, 50.0), 1.0);
+        assert_eq!(percentile_ms(&us, 95.0), 9.0);
+        assert_eq!(percentile_ms(&us, 99.0), 9.0);
+        assert_eq!(percentile_ms(&us, 100.0), 9.0);
+    }
+
+    #[test]
+    fn three_sample_percentiles_pick_exact_ranks() {
+        let us = [1_000u64, 2_000, 3_000];
+        assert_eq!(percentile_ms(&us, 50.0), 2.0); // ⌈1.5⌉ = 2nd sample
+        assert_eq!(percentile_ms(&us, 95.0), 3.0); // ⌈2.85⌉ = 3rd sample
+        assert_eq!(percentile_ms(&us, 99.0), 3.0);
+        assert_eq!(percentile_ms(&us, 1.0), 1.0); // ⌈0.03⌉ clamps to 1st
+    }
+
+    #[test]
+    fn hundred_sample_percentiles_resist_float_drift() {
+        // p·n/100 lands exactly on integers for n = 100; the formula must
+        // not let float rounding bump the rank up one (e.g. p55 → 56th).
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        for p in 1..=100u64 {
+            assert_eq!(
+                percentile_ms(&us, p as f64),
+                p as f64,
+                "p{p} must select sample {p} of 100"
+            );
+        }
+        // Out-of-range percentiles degrade to min/max, never panic.
+        assert_eq!(percentile_ms(&us, -5.0), 1.0);
+        assert_eq!(percentile_ms(&us, 250.0), 100.0);
     }
 
     #[test]

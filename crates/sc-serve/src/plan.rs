@@ -198,9 +198,25 @@ impl Plan {
         Ok(())
     }
 
-    /// Clamps and widens an input image into the bipolar working domain.
+    /// Clamps, widens, and quantizes an input image into the bipolar working
+    /// domain.
+    ///
+    /// Inputs are snapped to the `L + 1` levels a length-`L` stream can
+    /// represent (`sc_core::encoding::quantize_bipolar_levels`). Decoded
+    /// layer outputs already live on that grid, so this changes each pixel
+    /// by at most `1/L` — below the stream's own resolution — while making
+    /// the engine's input-stream cache keys deterministic: at most `L + 1`
+    /// distinct comparator thresholds exist per SNG lane, and near-duplicate
+    /// pixels collapse onto the same cached stream. Both execution paths
+    /// (interpreter and compiled engine) share this function, so they remain
+    /// bit-identical.
     pub fn input_values(&self, image: &Tensor) -> Vec<f64> {
-        image.as_slice().iter().map(|&v| clamp_bipolar(v)).collect()
+        let bits = self.stream_length.bits();
+        image
+            .as_slice()
+            .iter()
+            .map(|&v| sc_core::encoding::quantize_bipolar_levels(clamp_bipolar(v), bits))
+            .collect()
     }
 }
 
@@ -473,6 +489,33 @@ mod tests {
         assert_eq!(fields[3][0], values[3 * 28 + 5]);
         // Second kernel row of field 0.
         assert_eq!(fields[0][5], values[3 * 28 + 4]);
+    }
+
+    #[test]
+    fn input_values_are_quantized_to_stream_levels() {
+        let network = tiny_lenet(3);
+        let plan = lower(
+            &network,
+            &config(FeatureBlockKind::ApcMaxBtanh, PoolingStyle::Max),
+            &PlanOptions::default(),
+        )
+        .unwrap();
+        let l = plan.stream_length.bits() as f64;
+        let image = Tensor::from_fn(&[1, 28, 28], |i| (i as f32 / 784.0) * 2.0 - 1.0);
+        let values = plan.input_values(&image);
+        for &v in &values {
+            let k = (v + 1.0) / 2.0 * l;
+            assert!(
+                (k - k.round()).abs() < 1e-9,
+                "input {v} is not on the L+1 level grid"
+            );
+        }
+        // Two pixels closer than half a level collapse onto the same level
+        // (this is what makes stream-cache keys deterministic).
+        let eps = (0.1 / l) as f32;
+        let a = Tensor::from_fn(&[1, 28, 28], |_| 0.3);
+        let b = Tensor::from_fn(&[1, 28, 28], |_| 0.3 + eps);
+        assert_eq!(plan.input_values(&a), plan.input_values(&b));
     }
 
     #[test]

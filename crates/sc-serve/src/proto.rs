@@ -64,6 +64,11 @@ fn invalid(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
+/// Overflow-checked element count of a request shape.
+fn checked_shape_product(shape: [usize; 3]) -> Option<usize> {
+    shape[0].checked_mul(shape[1])?.checked_mul(shape[2])
+}
+
 fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(invalid(format!(
@@ -104,11 +109,17 @@ pub fn write_request(
     shape: [usize; 3],
     pixels: &[f32],
 ) -> io::Result<()> {
-    let expected: usize = shape.iter().product();
+    let expected = checked_shape_product(shape)
+        .ok_or_else(|| invalid(format!("shape {shape:?} overflows the element count")))?;
     if pixels.len() != expected || shape.iter().any(|&d| d > usize::from(u16::MAX)) {
         return Err(invalid(format!(
             "shape {shape:?} does not describe {} pixels",
             pixels.len()
+        )));
+    }
+    if expected == 0 {
+        return Err(invalid(format!(
+            "shape {shape:?} describes a zero-length stream"
         )));
     }
     let mut payload = Vec::with_capacity(1 + 8 + 6 + pixels.len() * 4);
@@ -142,7 +153,15 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
         cursor.u16()? as usize,
         cursor.u16()? as usize,
     ];
-    let count: usize = shape.iter().product();
+    // Checked product: 65535³ fits a u64 but a hostile peer must not be able
+    // to rely on any platform's `usize` arithmetic wrapping.
+    let count = checked_shape_product(shape)
+        .ok_or_else(|| invalid(format!("shape {shape:?} overflows the element count")))?;
+    if count == 0 {
+        return Err(invalid(format!(
+            "shape {shape:?} declares a zero-length stream"
+        )));
+    }
     // Bound the allocation by what the (already size-capped) frame actually
     // carries before trusting the declared shape: a 19-byte frame claiming a
     // 65535³-pixel image must not drive a petabyte `Vec` reservation.
@@ -171,6 +190,15 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
     payload.extend_from_slice(&response.id().to_le_bytes());
     match response {
         Response::Ok { argmax, logits, .. } => {
+            // Reject before the `as u32` length cast can truncate: a logit
+            // count past the frame cap would otherwise serialize a frame
+            // whose declared count disagrees with its contents.
+            if logits.len() > MAX_FRAME_BYTES / 8 {
+                return Err(invalid(format!(
+                    "{} logits exceed the frame cap",
+                    logits.len()
+                )));
+            }
             payload.push(0);
             payload.extend_from_slice(&argmax.to_le_bytes());
             payload.extend_from_slice(&(logits.len() as u32).to_le_bytes());
@@ -179,6 +207,12 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
             }
         }
         Response::Err { message, .. } => {
+            if message.len() > MAX_FRAME_BYTES {
+                return Err(invalid(format!(
+                    "{}-byte error message exceeds the frame cap",
+                    message.len()
+                )));
+            }
             payload.push(1);
             payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
             payload.extend_from_slice(message.as_bytes());
@@ -335,6 +369,85 @@ mod tests {
         wire.extend_from_slice(&payload);
         let error = read_request(&mut wire.as_slice()).unwrap_err();
         assert!(error.to_string().contains("declares"), "{error}");
+    }
+
+    /// Wraps a raw payload in a length-prefixed frame.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        wire
+    }
+
+    #[test]
+    fn zero_length_streams_are_rejected_on_both_sides() {
+        // Writer side: a zero dimension means zero pixels — refuse to send.
+        let mut wire = Vec::new();
+        let error = write_request(&mut wire, 1, [0, 4, 4], &[]).unwrap_err();
+        assert!(error.to_string().contains("zero-length"), "{error}");
+        // Reader side: a hand-crafted zero-shape frame is rejected before
+        // the empty pixel vector could flow into the engine.
+        let mut payload = vec![TAG_REQUEST];
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        for dim in [0u16, 4, 4] {
+            payload.extend_from_slice(&dim.to_le_bytes());
+        }
+        let error = read_request(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("zero-length"), "{error}");
+    }
+
+    #[test]
+    fn truncated_request_payload_is_invalid_data() {
+        // A request whose frame header promises more pixels than the frame
+        // carries must fail the declared/carried cross-check, not read
+        // out of bounds or under-fill the pixel vector.
+        let mut payload = vec![TAG_REQUEST];
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        for dim in [1u16, 2, 2] {
+            payload.extend_from_slice(&dim.to_le_bytes());
+        }
+        // 4 pixels declared, only 2 serialized.
+        for pixel in [0.5f32, 0.25] {
+            payload.extend_from_slice(&pixel.to_le_bytes());
+        }
+        let error = read_request(&mut frame(&payload).as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("declares"), "{error}");
+    }
+
+    #[test]
+    fn huge_declared_response_length_is_rejected() {
+        // An Ok response declaring u32::MAX logits in a tiny frame must be
+        // stopped by the logit-count cap, not a 32-GiB allocation.
+        let mut payload = vec![TAG_RESPONSE];
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.push(0); // status ok
+        payload.extend_from_slice(&1u16.to_le_bytes()); // argmax
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // logit count
+        let error = read_response(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("cap"), "{error}");
+        // Same for an error message whose declared length exceeds the frame.
+        let mut payload = vec![TAG_RESPONSE];
+        payload.extend_from_slice(&6u64.to_le_bytes());
+        payload.push(1); // status err
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // message length
+        let error = read_response(&mut frame(&payload).as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_writer_lengths_fail_before_the_cast_truncates() {
+        // The u32 length casts on the writer side are guarded: a response
+        // larger than the frame cap errors out instead of truncating its
+        // declared length.
+        let too_many_logits = Response::Ok {
+            id: 1,
+            argmax: 0,
+            logits: vec![0.0; MAX_FRAME_BYTES / 8 + 1],
+        };
+        let mut wire = Vec::new();
+        let error = write_response(&mut wire, &too_many_logits).unwrap_err();
+        assert!(error.to_string().contains("cap"), "{error}");
+        assert!(wire.is_empty(), "nothing may hit the wire on error");
     }
 
     #[test]

@@ -99,12 +99,20 @@ pub fn spawn(
     } else {
         options.workers
     };
+    // With several plain-thread workers the machine is already saturated at
+    // request granularity; letting each worker's inferences additionally
+    // fan units across scoped threads would oversubscribe the CPU up to
+    // workers × threads (the engine's nested-fan-out guard only covers
+    // `sc_core::parallel` workers, not these threads). A single worker
+    // keeps unit fan-out: that is exactly the single-outstanding-request
+    // latency case it exists for.
+    let unit_fan_out = worker_count.max(1) == 1;
     let workers: Vec<JoinHandle<()>> = (0..worker_count.max(1))
         .map(|_| {
             let engine = Arc::clone(&engine);
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || worker_loop(&engine, &queue, &metrics))
+            std::thread::spawn(move || worker_loop(&engine, &queue, &metrics, unit_fan_out))
         })
         .collect();
 
@@ -171,8 +179,9 @@ fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
 }
 
 /// Worker loop: pulls micro-batches and runs them through a warm session.
-fn worker_loop(engine: &Engine, queue: &BatchQueue<Job>, metrics: &Metrics) {
+fn worker_loop(engine: &Engine, queue: &BatchQueue<Job>, metrics: &Metrics, unit_fan_out: bool) {
     let mut session = engine.new_session();
+    session.set_unit_fan_out(unit_fan_out);
     while let Some(batch) = queue.pop_batch() {
         for job in batch {
             let response = serve_one(engine, &mut session, &job.request);
