@@ -378,6 +378,175 @@ fn bench_apc_counts(samples: usize, iters: usize) -> Comparison {
     }
 }
 
+/// Frozen copy of the per-lane `trailing_zeros` column accumulation (the
+/// pre-CSA `accumulate_columns`), kept so the CSA comparison measures the
+/// kernel this PR replaced.
+fn per_lane_column_accumulate(streams: &[BitStream], counts: &mut [u16]) {
+    for stream in streams {
+        for (w, &word) in stream.as_words().iter().enumerate() {
+            let mut bits = word;
+            let base = w * 64;
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                counts[base + j] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Column counts through the bit-transposed CSA accumulator: word-major,
+/// lane triples through the 3:2 compressor, planes unpacked per word.
+fn csa_column_accumulate(streams: &[BitStream], len: usize, counts: &mut [u16]) {
+    let lane_words: Vec<&[u64]> = streams.iter().map(|s| s.as_words()).collect();
+    let mut scratch: Vec<u64> = vec![0; lane_words.len()];
+    for w in 0..len.div_ceil(64) {
+        let base = w * 64;
+        let span = (len - base).min(64);
+        for (slot, words) in scratch.iter_mut().zip(&lane_words) {
+            *slot = words[w];
+        }
+        sc_core::csa::accumulate_column_counts(&scratch, &mut counts[base..base + span]);
+    }
+}
+
+/// Per-cycle column counts across many lanes: the per-lane set-bit walk vs
+/// the bit-transposed CSA vertical counters.
+fn bench_csa_column_count(samples: usize, iters: usize) -> Comparison {
+    let len = 1024usize;
+    let n = 32usize;
+    let streams: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 300 + i as u64)
+                .generate_bipolar((i as f64 / n as f64) - 0.5, StreamLength::new(len))
+                .unwrap()
+        })
+        .collect();
+    let mut a = vec![0u16; len];
+    let mut b = vec![0u16; len];
+    per_lane_column_accumulate(&streams, &mut a);
+    csa_column_accumulate(&streams, len, &mut b);
+    assert_eq!(a, b, "CSA column counts must match the per-lane walk");
+    let baseline_ns = measure(samples, iters, || {
+        let mut counts = vec![0u16; len];
+        per_lane_column_accumulate(&streams, &mut counts);
+        counts
+    });
+    let optimized_ns = measure(samples, iters, || {
+        let mut counts = vec![0u16; len];
+        csa_column_accumulate(&streams, len, &mut counts);
+        counts
+    });
+    Comparison {
+        name: "apc_csa_column_count_n32_l1024",
+        description: "Parallel-counter column counts (32 lanes, 1024 bits): \
+                      per-lane trailing_zeros set-bit walk vs bit-transposed \
+                      CSA vertical counters (3:2 compressors + plane unpack)",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+/// Frozen copy of the PR-3 shared-input APC kernel (per-lane `trailing_zeros`
+/// product walk shared across units), the path the CSA kernel replaced.
+fn per_lane_shared_product_counts(
+    inputs: &[BitStream],
+    unit_weights: &[&[BitStream]],
+    len: usize,
+    counts: &mut [Vec<u16>],
+) {
+    let tail_bits = len % 64;
+    let last = len.div_ceil(64) - 1;
+    let mut lane_words: Vec<&[u64]> = Vec::with_capacity(unit_weights.len());
+    for (lane, x) in inputs.iter().enumerate() {
+        lane_words.clear();
+        lane_words.extend(unit_weights.iter().map(|weights| weights[lane].as_words()));
+        for (w, &a) in x.as_words().iter().enumerate() {
+            let tail_mask = if w == last && tail_bits != 0 {
+                (1u64 << tail_bits) - 1
+            } else {
+                u64::MAX
+            };
+            let base = w * 64;
+            for (unit_counts, words) in counts.iter_mut().zip(&lane_words) {
+                let mut product = !(a ^ words[w]) & tail_mask;
+                while product != 0 {
+                    let j = product.trailing_zeros() as usize;
+                    unit_counts[base + j] += 1;
+                    product &= product - 1;
+                }
+            }
+        }
+    }
+}
+
+/// The layer-fused shared-input APC kernel: frozen per-lane popcount walk vs
+/// the shipped CSA accumulation, 25 lanes (a 5x5 receptive field) x 8 units.
+fn bench_shared_apc_csa(samples: usize, iters: usize) -> Comparison {
+    let len = 1024usize;
+    let lanes = 25usize;
+    let units = 8usize;
+    let values = operand_values(lanes).0;
+    let inputs: Vec<BitStream> = (0..lanes)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 40 + i as u64)
+                .generate_bipolar(values[i], StreamLength::new(len))
+                .unwrap()
+        })
+        .collect();
+    let unit_ws: Vec<Vec<BitStream>> = (0..units)
+        .map(|u| {
+            (0..lanes)
+                .map(|i| {
+                    Sng::new(SngKind::Lfsr32, 4000 + (u * lanes + i) as u64)
+                        .generate_bipolar(-values[i], StreamLength::new(len))
+                        .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[BitStream]> = unit_ws.iter().map(|w| w.as_slice()).collect();
+    // The frozen walk produces the raw (pre-APC-LSB) exact counts; compare
+    // against the exact shared counts reconstructed from the CSA kernel by
+    // re-deriving them per unit with the per-unit exact kernel.
+    let mut frozen: Vec<Vec<u16>> = vec![vec![0u16; len]; units];
+    per_lane_shared_product_counts(&inputs, &refs, len, &mut frozen);
+    for (unit, ws) in unit_ws.iter().enumerate() {
+        let exact = ExactParallelCounter::new()
+            .count_products(&inputs, ws)
+            .unwrap();
+        assert_eq!(
+            frozen[unit].as_slice(),
+            exact.counts(),
+            "frozen shared walk diverged at unit {unit}"
+        );
+    }
+    let shared = Apc::new().count_products_shared(&inputs, &refs).unwrap();
+    for (unit, ws) in unit_ws.iter().enumerate() {
+        let per_unit = Apc::new().count_products(&inputs, ws).unwrap();
+        assert_eq!(
+            shared[unit], per_unit,
+            "CSA shared kernel diverged at unit {unit}"
+        );
+    }
+    let baseline_ns = measure(samples, iters, || {
+        let mut counts: Vec<Vec<u16>> = vec![vec![0u16; len]; units];
+        per_lane_shared_product_counts(&inputs, &refs, len, &mut counts);
+        counts
+    });
+    let optimized_ns = measure(samples, iters, || {
+        Apc::new().count_products_shared(&inputs, &refs).unwrap()
+    });
+    Comparison {
+        name: "apc_shared_csa_n25_u8_l1024",
+        description: "Shared-input APC multiply-count (25 lanes, 8 units, 1024 \
+                      bits): per-lane trailing_zeros product walk vs in-register \
+                      3:2 CSA compression into per-unit vertical counters",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
 fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -394,6 +563,8 @@ fn main() {
         bench_mux_block(samples, iters),
         bench_mux_selector(samples, iters),
         bench_apc_counts(samples, iters),
+        bench_csa_column_count(samples, iters),
+        bench_shared_apc_csa(samples, iters.div_ceil(4)),
     ];
 
     println!(
@@ -438,6 +609,15 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
+    // A `--quick` smoke must not replace the committed recording with its
+    // noisier low-iteration medians.
+    if quick {
+        println!(
+            "\nskipping BENCH_kernels.json write (--quick); rerun without the \
+             flag to refresh the recording"
+        );
+        return;
+    }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_kernels.json");

@@ -26,10 +26,13 @@
 //! Run with: `cargo run --release -p sc-bench --bin bench_serving`
 //! (`--quick` shrinks stream lengths and request counts for CI smoke runs;
 //! `--verify` additionally re-checks every fused inference against the
-//! interpreter while it is being timed — the CI smoke job runs
-//! `--quick --verify`).
+//! interpreter while it is being timed; `--config no1|apc|all` restricts
+//! which layer mixes run — the CI smoke jobs run `--quick --verify` and
+//! `--quick --verify --config apc`; `--allocs` prints the per-run arena
+//! reuse statistics).
 
 use sc_blocks::feature_block::FeatureBlockKind;
+use sc_core::cache::CacheStats;
 use sc_dcnn::config::ScNetworkConfig;
 use sc_nn::dataset::SyntheticDigits;
 use sc_nn::lenet::{tiny_lenet, PoolingStyle};
@@ -54,6 +57,12 @@ struct ServingRun {
     batched_p95_ms: f64,
     batched_p99_ms: f64,
     cache_hit_rate: f64,
+    /// Arena counters of the batched-phase session after its warm-up
+    /// request, aggregated over fan-out worker sessions.
+    warm_arena: sc_core::ArenaStats,
+    /// The same counters at the end of the run: the alloc deltas are the
+    /// steady-state allocations (zero when the arena pool covers the load).
+    final_arena: sc_core::ArenaStats,
 }
 
 impl ServingRun {
@@ -67,6 +76,28 @@ impl ServingRun {
 
     fn speedup_batched(&self) -> f64 {
         self.engine_batched_rps / self.interpreter_rps
+    }
+
+    /// Stream-buffer allocations after the warm-up request (zero in steady
+    /// state: every buffer comes from the arena pool).
+    fn steady_stream_allocs(&self) -> u64 {
+        self.final_arena.stream_allocs - self.warm_arena.stream_allocs
+    }
+
+    /// Count-buffer allocations after the warm-up request.
+    fn steady_count_allocs(&self) -> u64 {
+        self.final_arena.count_allocs - self.warm_arena.count_allocs
+    }
+
+    /// Fraction of stream-buffer requests served from the arena pool over
+    /// the whole batched phase (warm-up included).
+    fn stream_reuse_rate(&self) -> f64 {
+        let total = self.final_arena.stream_reuses + self.final_arena.stream_allocs;
+        if total == 0 {
+            0.0
+        } else {
+            self.final_arena.stream_reuses as f64 / total as f64
+        }
     }
 }
 
@@ -152,7 +183,10 @@ fn bench_config(
     }
     let engine_per_unit_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
 
-    // Fused engine, serial units, one request at a time, warm session.
+    // Fused engine, serial units, one request at a time, warm session. The
+    // cache counters of every fused-engine session (each aggregated over its
+    // fan-out workers) merge into one bench-wide hit rate.
+    let mut cache_totals = CacheStats::default();
     sc_core::parallel::set_thread_limit(1);
     let mut session = engine.new_session();
     let start = Instant::now();
@@ -162,6 +196,7 @@ fn bench_config(
     }
     let engine_single_rps = interpreter_requests as f64 / start.elapsed().as_secs_f64();
     sc_core::parallel::set_thread_limit(0);
+    cache_totals.merge(&session.cache_stats());
 
     // Fused engine with single-request unit fan-out: median latency of one
     // request when its layer units spread across all available workers. The
@@ -181,20 +216,34 @@ fn bench_config(
     }
     parallel_latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let parallel_single_latency_ms = percentile(&parallel_latencies_ms, 50.0);
+    cache_totals.merge(&fan_session.cache_stats());
 
-    // Fused + batched: warm session, per-request latencies recorded.
+    // Fused + batched: warm session, per-request latencies recorded. The
+    // arena counters are snapshotted after the first (warm-up) request; the
+    // steady-state alloc delta over the remaining requests should be zero.
     let mut session = engine.new_session();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(batched_requests);
+    let mut warm_arena = sc_core::ArenaStats::default();
     let start = Instant::now();
-    for image in &images[..batched_requests] {
+    for (i, image) in images[..batched_requests].iter().enumerate() {
         let begin = Instant::now();
         let result = engine.infer(&mut session, image).expect("engine inference");
         latencies_ms.push(begin.elapsed().as_secs_f64() * 1000.0);
         std::hint::black_box(result);
+        if i == 0 {
+            warm_arena = session.arena_stats();
+        }
     }
     let batched_elapsed = start.elapsed().as_secs_f64();
     let engine_batched_rps = batched_requests as f64 / batched_elapsed;
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let final_arena = session.arena_stats();
+    cache_totals.merge(&session.cache_stats());
+    let cache_hit_rate = if cache_totals.hits + cache_totals.misses == 0 {
+        0.0
+    } else {
+        cache_totals.hits as f64 / (cache_totals.hits + cache_totals.misses) as f64
+    };
 
     ServingRun {
         name: name.to_string(),
@@ -211,7 +260,9 @@ fn bench_config(
         batched_p50_ms: percentile(&latencies_ms, 50.0),
         batched_p95_ms: percentile(&latencies_ms, 95.0),
         batched_p99_ms: percentile(&latencies_ms, 99.0),
-        cache_hit_rate: session.cache_stats().hit_rate(),
+        cache_hit_rate,
+        warm_arena,
+        final_arena,
     }
 }
 
@@ -219,41 +270,92 @@ fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Which layer-mix family a benchmark run belongs to (`--config` filter).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConfigFilter {
+    /// The paper's No.1-style MUX-MUX-APC-APC mix.
+    No1,
+    /// The all-APC (accuracy-first) mix.
+    Apc,
+    /// Everything.
+    All,
+}
+
+fn config_filter() -> ConfigFilter {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--config") {
+        None => ConfigFilter::All,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("no1") => ConfigFilter::No1,
+            Some("apc") => ConfigFilter::Apc,
+            Some("all") => ConfigFilter::All,
+            other => panic!("--config expects no1|apc|all, got {other:?}"),
+        },
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let verify = std::env::args().any(|a| a == "--verify");
+    let allocs = std::env::args().any(|a| a == "--allocs");
+    let filter = config_filter();
     use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
-    let runs = if quick {
-        vec![bench_config(
-            "no1_style_l128_quick",
-            vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
-            128,
-            2,
-            4,
-            verify,
-        )]
+    let no1 = [MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh];
+    let mut runs = Vec::new();
+    if quick {
+        if filter != ConfigFilter::Apc {
+            runs.push(bench_config(
+                "no1_style_l128_quick",
+                no1.to_vec(),
+                128,
+                2,
+                4,
+                verify,
+            ));
+        }
+        if filter != ConfigFilter::No1 {
+            runs.push(bench_config(
+                "apc_max_l128_quick",
+                vec![ApcMaxBtanh; 4],
+                128,
+                2,
+                4,
+                verify,
+            ));
+        }
     } else {
-        vec![
+        if filter != ConfigFilter::Apc {
             // The acceptance configuration: tiny-LeNet at 1024-bit streams.
-            bench_config(
+            runs.push(bench_config(
                 "no1_style_l1024",
-                vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+                no1.to_vec(),
                 1024,
                 3,
                 6,
                 verify,
-            ),
-            bench_config("apc_max_l1024", vec![ApcMaxBtanh; 4], 1024, 3, 6, verify),
-            bench_config(
+            ));
+        }
+        if filter != ConfigFilter::No1 {
+            runs.push(bench_config(
+                "apc_max_l1024",
+                vec![ApcMaxBtanh; 4],
+                1024,
+                3,
+                6,
+                verify,
+            ));
+        }
+        if filter != ConfigFilter::Apc {
+            runs.push(bench_config(
                 "no1_style_l256",
-                vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+                no1.to_vec(),
                 256,
                 4,
                 12,
                 verify,
-            ),
-        ]
-    };
+            ));
+        }
+    }
 
     println!(
         "\n{:<22}{:>12}{:>12}{:>11}{:>12}{:>9}{:>9}{:>13}",
@@ -279,6 +381,22 @@ fn main() {
             run.parallel_single_latency_ms
         );
     }
+    if allocs {
+        println!("\narena reuse (batched phase):");
+        for run in &runs {
+            let stats = run.final_arena;
+            println!(
+                "{:<22} steady-state allocs: {} stream / {} count; \
+                 reuse rate {:.4}; pool {} buffers / {} words",
+                run.name,
+                run.steady_stream_allocs(),
+                run.steady_count_allocs(),
+                run.stream_reuse_rate(),
+                stats.pooled_streams + stats.pooled_counts,
+                stats.pooled_words,
+            );
+        }
+    }
 
     let mut json = String::from("{\n");
     json.push_str("  \"generated_by\": \"cargo run --release -p sc-bench --bin bench_serving\",\n");
@@ -291,7 +409,10 @@ fn main() {
     ));
     json.push_str(
         "  \"note\": \"fused-engine outputs verified bit-identical to the per-unit engine and \
-         the per-call interpreter before timing; rps = requests/second\",\n",
+         the per-call interpreter before timing; rps = requests/second; cache hit rate is \
+         aggregated across every fused-engine session of the run including fan-out worker \
+         sessions; steady-state allocs are the arena's buffer allocations after the batched \
+         phase's warm-up request (zero = the fused path reuses every stream/count buffer)\",\n",
     );
     json.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -365,8 +486,20 @@ fn main() {
             run.batched_p99_ms
         ));
         json.push_str(&format!(
-            "      \"input_stream_cache_hit_rate\": {:.4}\n",
+            "      \"input_stream_cache_hit_rate\": {:.4},\n",
             run.cache_hit_rate
+        ));
+        json.push_str(&format!(
+            "      \"steady_state_stream_allocs\": {},\n",
+            run.steady_stream_allocs()
+        ));
+        json.push_str(&format!(
+            "      \"steady_state_count_allocs\": {},\n",
+            run.steady_count_allocs()
+        ));
+        json.push_str(&format!(
+            "      \"arena_stream_reuse_rate\": {:.4}\n",
+            run.stream_reuse_rate()
         ));
         json.push_str(if i + 1 == runs.len() {
             "    }\n"
@@ -376,6 +509,16 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
+    // Only a full, unfiltered run may replace the committed recording: a
+    // `--quick` smoke or a `--config` subset would silently clobber the
+    // three-run reference with partial rows.
+    if quick || filter != ConfigFilter::All {
+        println!(
+            "\nskipping BENCH_serving.json write (partial run: --quick / --config); \
+             rerun without those flags to refresh the recording"
+        );
+        return;
+    }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_serving.json");

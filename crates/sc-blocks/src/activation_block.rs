@@ -113,6 +113,18 @@ impl StanhBlock {
         fsm.transform_batch(inputs)
     }
 
+    /// [`StanhBlock::apply_batch`] with the output stream buffers taken from
+    /// `arena` (recycle them when done). Results are identical.
+    pub fn apply_batch_with(
+        &self,
+        inputs: &[&BitStream],
+        arena: &mut sc_core::arena::StreamArena,
+    ) -> Vec<BitStream> {
+        let fsm = Stanh::with_mode(self.states, self.mode)
+            .expect("state count validated at construction");
+        fsm.transform_batch_with(inputs, arena)
+    }
+
     /// The continuous function this block approximates for an *unscaled*
     /// input `x` that was divided by `input_size` before reaching the FSM.
     ///
@@ -185,6 +197,17 @@ impl BtanhBlock {
     pub fn apply_batch(&self, inputs: &[&CountStream]) -> Vec<BitStream> {
         let counter = Btanh::new(self.states).expect("state count validated at construction");
         counter.transform_batch(inputs)
+    }
+
+    /// [`BtanhBlock::apply_batch`] with the output stream buffers taken from
+    /// `arena` (recycle them when done). Results are identical.
+    pub fn apply_batch_with(
+        &self,
+        inputs: &[&CountStream],
+        arena: &mut sc_core::arena::StreamArena,
+    ) -> Vec<BitStream> {
+        let counter = Btanh::new(self.states).expect("state count validated at construction");
+        counter.transform_batch_with(inputs, arena)
     }
 
     /// The continuous function this block approximates for an unscaled sum `x`.

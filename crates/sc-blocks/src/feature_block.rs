@@ -25,7 +25,7 @@ use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::error::ScError;
 use sc_core::parallel::parallel_map_with;
-use sc_core::sng::{SngBank, SngKind};
+use sc_core::sng::{BatchSng, SngKind};
 use serde::{Deserialize, Serialize};
 
 /// Default segment length (in bits) of the hardware-oriented max pooling.
@@ -373,7 +373,7 @@ impl FeatureBlock {
 
     /// Base seeds `(input_bank, weight_bank)` of the SNG banks feeding the
     /// inner product at pool-window index `field_index`. Individual lane
-    /// seeds follow via [`SngBank::lane_seed`].
+    /// seeds follow via [`sc_core::sng::SngBank::lane_seed`].
     pub fn operand_bank_seeds(&self, field_index: usize) -> (u64, u64) {
         let seed = self.field_seed(field_index);
         (seed, seed ^ WEIGHT_BANK_SEED_XOR)
@@ -403,11 +403,13 @@ impl FeatureBlock {
                 ),
             });
         }
+        // One batched generator (a single staged-recurrence scratch) fills
+        // every field's bank; bit-identical to per-lane `SngBank` generators.
+        let mut batch = BatchSng::new(SngKind::Lfsr32);
         (0..self.pool_window)
             .map(|field| {
                 let (_, weight_seed) = self.operand_bank_seeds(field);
-                SngBank::new(SngKind::Lfsr32, weights.len(), weight_seed)
-                    .generate_bipolar(weights, self.stream_length)
+                batch.generate_bipolar_bank(weight_seed, weights, self.stream_length)
             })
             .collect()
     }
@@ -510,9 +512,11 @@ impl FeatureBlock {
     ///   per pool-window field into a [`MuxSelectorPlan`] that every unit
     ///   replays (the selector LFSRs are seeded per field, not per unit);
     /// * the average-pooling MUX selector is likewise planned once;
-    /// * APC popcounts run through the shared-input kernel
-    ///   ([`Apc::count_products_shared`]), which loads every input word once
-    ///   for all units;
+    /// * APC popcounts run through the shared-input bit-transposed
+    ///   carry-save kernel ([`Apc::count_products_shared`]): every input
+    ///   word is loaded once for all units and compressed through in-register
+    ///   3:2 compressors into per-unit vertical counters (see
+    ///   [`sc_core::csa`]);
     /// * the Btanh/Stanh walks of all units are interleaved word-by-word
     ///   ([`BtanhBlock::apply_batch`] / [`StanhBlock::apply_batch`]).
     ///
@@ -535,7 +539,7 @@ impl FeatureBlock {
             .map(BitStream::len)
             .unwrap_or(self.stream_length.bits());
         let selectors = self.prepare_selectors(length)?;
-        self.evaluate_layer_prepared_with(&selectors, inputs, unit_weights)
+        self.evaluate_layer_prepared_with(&selectors, inputs, unit_weights, &mut StreamArena::new())
     }
 
     /// Pre-draws the selector plans shared by *every* unit and every
@@ -587,8 +591,17 @@ impl FeatureBlock {
     }
 
     /// [`FeatureBlock::evaluate_layer_prepared`] with externally-prepared
-    /// selector plans (see [`FeatureBlock::prepare_selectors`]), so the
-    /// draw + fastmod + bit-slice pass is not repeated per call.
+    /// selector plans (see [`FeatureBlock::prepare_selectors`]) and an
+    /// externally-owned [`StreamArena`], so the draw + fastmod + bit-slice
+    /// pass is not repeated per call and steady-state evaluation allocates
+    /// no stream or count buffers.
+    ///
+    /// **Arena contract**: the caller owns `arena` and threads it down; all
+    /// intermediates (per-field MUX sums, APC column counts, pooled streams)
+    /// are taken from and recycled into it before the call returns. The
+    /// returned output streams are arena-backed too — the caller recycles
+    /// them once decoded. Error paths drop in-flight buffers instead of
+    /// pooling them (an error means a caller bug, not steady state).
     ///
     /// # Errors
     ///
@@ -600,6 +613,7 @@ impl FeatureBlock {
         selectors: &LayerSelectors,
         inputs: &[Vec<BitStream>],
         unit_weights: &[&[Vec<BitStream>]],
+        arena: &mut StreamArena,
     ) -> Result<Vec<BitStream>, ScError> {
         self.validate_prepared_fields("inputs", inputs)?;
         for (unit, weights) in unit_weights.iter().enumerate() {
@@ -635,46 +649,54 @@ impl FeatureBlock {
                             .into(),
                     });
                 }
+                let length = StreamLength::try_new(selectors.stream_bits)?;
                 let mut pooled_units = Vec::with_capacity(unit_weights.len());
+                let mut field_sums: Vec<BitStream> = Vec::with_capacity(self.pool_window);
                 for weights in unit_weights {
-                    let streams: Vec<BitStream> = inputs
+                    for ((xs, ws), plan) in inputs
                         .iter()
                         .zip(weights.iter())
                         .zip(selectors.field_plans.iter())
-                        .map(|((xs, ws), plan)| {
-                            MuxAdder::new().sum_products_with_plan(xs, ws, plan)
-                        })
-                        .collect::<Result<_, _>>()?;
-                    pooled_units.push(match &selectors.avg_plan {
-                        Some(plan) => self
-                            .average_pooling()
-                            .pool_streams_with_plan(&streams, plan)?,
+                    {
+                        let mut sum = arena.take_zeroed(length);
+                        MuxAdder::new().sum_products_with_plan_into(xs, ws, plan, &mut sum)?;
+                        field_sums.push(sum);
+                    }
+                    let pooled = match &selectors.avg_plan {
+                        Some(plan) => self.average_pooling().pool_streams_with_plan_with(
+                            &field_sums,
+                            plan,
+                            arena,
+                        )?,
                         None => HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?
-                            .pool_streams(&streams)?,
-                    });
+                            .pool_streams_with(&field_sums, arena)?,
+                    };
+                    arena.recycle_all(field_sums.drain(..));
+                    pooled_units.push(pooled);
                 }
                 let stanh = self.stanh.as_ref().expect("MUX blocks carry a Stanh");
                 let refs: Vec<&BitStream> = pooled_units.iter().collect();
-                Ok(stanh.apply_batch(&refs))
+                let outputs = stanh.apply_batch_with(&refs, arena);
+                drop(refs);
+                arena.recycle_all(pooled_units);
+                Ok(outputs)
             }
             FeatureBlockKind::ApcAvgBtanh | FeatureBlockKind::ApcMaxBtanh => {
-                // counts[field][unit]: every field's popcounts for all units
-                // in one shared-input pass.
-                let counts: Vec<Vec<CountStream>> = (0..self.pool_window)
-                    .map(|field| {
-                        let field_weights: Vec<&[BitStream]> = unit_weights
-                            .iter()
-                            .map(|weights| weights[field].as_slice())
-                            .collect();
-                        Apc::new().count_products_shared(&inputs[field], &field_weights)
-                    })
-                    .collect::<Result<_, _>>()?;
-                // Transpose to unit-major by moving the count streams (no
-                // per-unit copies of the count buffers).
+                // counts transposed to unit-major as each field's shared
+                // CSA pass completes (no per-unit copies of the buffers).
                 let mut per_unit: Vec<Vec<CountStream>> = (0..unit_weights.len())
                     .map(|_| Vec::with_capacity(self.pool_window))
                     .collect();
-                for field_counts in counts {
+                for field in 0..self.pool_window {
+                    let field_weights: Vec<&[BitStream]> = unit_weights
+                        .iter()
+                        .map(|weights| weights[field].as_slice())
+                        .collect();
+                    let field_counts = Apc::new().count_products_shared_with(
+                        &inputs[field],
+                        &field_weights,
+                        arena,
+                    )?;
                     for (unit, stream) in field_counts.into_iter().enumerate() {
                         per_unit[unit].push(stream);
                     }
@@ -682,15 +704,25 @@ impl FeatureBlock {
                 let mut pooled_units = Vec::with_capacity(unit_weights.len());
                 for unit_counts in &per_unit {
                     pooled_units.push(if self.kind == FeatureBlockKind::ApcAvgBtanh {
-                        CountStream::merge_sum(unit_counts)?
+                        CountStream::merge_sum_with(unit_counts, arena)?
                     } else {
                         HardwareMaxPooling::new(DEFAULT_MAX_POOL_SEGMENT)?
-                            .pool_counts(unit_counts)?
+                            .pool_counts_with(unit_counts, arena)?
                     });
                 }
                 let btanh = self.btanh.as_ref().expect("APC blocks carry a Btanh");
                 let refs: Vec<&CountStream> = pooled_units.iter().collect();
-                Ok(btanh.apply_batch(&refs))
+                let outputs = btanh.apply_batch_with(&refs, arena);
+                drop(refs);
+                for unit_counts in per_unit {
+                    for counts in unit_counts {
+                        arena.recycle_counts(counts.into_counts());
+                    }
+                }
+                for pooled in pooled_units {
+                    arena.recycle_counts(pooled.into_counts());
+                }
+                Ok(outputs)
             }
         }
     }
@@ -1042,6 +1074,49 @@ mod tests {
                     assert_eq!(fused[unit], per_unit, "{kind} unit {unit} at length {len}");
                     let per_call = block.evaluate_stream(&fields, filter).unwrap();
                     assert_eq!(fused[unit], per_call, "{kind} unit {unit} vs per-call");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_fused_arena_path_is_bit_exact_and_allocation_free_in_steady_state() {
+        // The arena-threaded fused call must (a) reproduce the allocating
+        // path bit for bit and (b) take every stream/count buffer from the
+        // pool once the arena is warm.
+        for kind in FeatureBlockKind::ALL {
+            let block = FeatureBlock::new(kind, 8, StreamLength::new(127), 77).unwrap();
+            let (fields, _) = random_case(8, 4, 4321);
+            let inputs = input_streams_for(&block, &fields);
+            let unit_streams: Vec<Vec<Vec<BitStream>>> = (0..3)
+                .map(|u| {
+                    block
+                        .weight_streams(&random_case(8, 4, 9000 + u).1)
+                        .unwrap()
+                })
+                .collect();
+            let unit_refs: Vec<&[Vec<BitStream>]> =
+                unit_streams.iter().map(|u| u.as_slice()).collect();
+            let expected = block.evaluate_layer_prepared(&inputs, &unit_refs).unwrap();
+            let selectors = block.prepare_selectors(127).unwrap();
+            let mut arena = StreamArena::new();
+            let mut warm_allocs = 0;
+            for round in 0..3 {
+                let outputs = block
+                    .evaluate_layer_prepared_with(&selectors, &inputs, &unit_refs, &mut arena)
+                    .unwrap();
+                assert_eq!(outputs, expected, "{kind} round {round}");
+                arena.recycle_all(outputs);
+                let stats = arena.stats();
+                if round == 0 {
+                    warm_allocs = stats.total_allocs();
+                } else {
+                    assert_eq!(
+                        stats.total_allocs(),
+                        warm_allocs,
+                        "{kind}: steady-state fused evaluation must not allocate \
+                         stream or count buffers (round {round})"
+                    );
                 }
             }
         }

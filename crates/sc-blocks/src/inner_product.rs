@@ -22,7 +22,7 @@ use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::encoding::prescale;
 use sc_core::error::ScError;
 use sc_core::rng::Lfsr;
-use sc_core::sng::{SngBank, SngKind};
+use sc_core::sng::{BatchSng, SngBank, SngKind};
 use sc_core::twoline::{TwoLineAdder, TwoLineStream, TwoLineSum};
 use serde::{Deserialize, Serialize};
 
@@ -97,7 +97,9 @@ pub fn mux_selector(seed: u64) -> Lfsr {
 /// ([`Apc::count_products`], [`ExactParallelCounter::count_products`],
 /// [`MuxAdder::sum_products`]), which halves the stream traffic and removes
 /// one allocation per lane. Stream buffers come from `arena` and should be
-/// recycled into it after use.
+/// recycled into it after use; both banks are generated through one
+/// [`BatchSng`] (a single staged-recurrence scratch for all lanes), which is
+/// bit-identical to the per-lane [`SngBank`] generators it replaces.
 fn generate_operand_streams(
     inputs: &[f64],
     weights: &[f64],
@@ -114,16 +116,17 @@ fn generate_operand_streams(
             right: weights.len(),
         });
     }
-    let mut input_bank = SngBank::new(SngKind::Lfsr32, inputs.len(), seed);
-    let mut weight_bank = SngBank::new(SngKind::Lfsr32, weights.len(), seed ^ WEIGHT_BANK_SEED_XOR);
-    let input_streams = input_bank.generate_bipolar_with(inputs, length, arena)?;
-    let weight_streams = match weight_bank.generate_bipolar_with(weights, length, arena) {
-        Ok(streams) => streams,
-        Err(error) => {
-            arena.recycle_all(input_streams);
-            return Err(error);
-        }
-    };
+    let mut batch = BatchSng::new(SngKind::Lfsr32);
+    let input_streams = batch.generate_bipolar_bank_with(seed, inputs, length, arena)?;
+    let weight_streams =
+        match batch.generate_bipolar_bank_with(seed ^ WEIGHT_BANK_SEED_XOR, weights, length, arena)
+        {
+            Ok(streams) => streams,
+            Err(error) => {
+                arena.recycle_all(input_streams);
+                return Err(error);
+            }
+        };
     Ok((input_streams, weight_streams))
 }
 

@@ -16,7 +16,8 @@
 //!   product blocks, where counters are replaced by accumulators.
 
 use sc_core::add::{CountStream, MuxAdder, MuxSelectorPlan};
-use sc_core::bitstream::{BitStream, StreamLength};
+use sc_core::arena::StreamArena;
+use sc_core::bitstream::BitStream;
 use sc_core::error::ScError;
 use sc_core::rng::Lfsr;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,29 @@ impl AveragePooling {
         MuxAdder::new().sum_with_plan(inputs, plan)
     }
 
+    /// [`AveragePooling::pool_streams_with_plan`] with the output buffer
+    /// taken from `arena` (recycle it when done). Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AveragePooling::pool_streams_with_plan`].
+    pub fn pool_streams_with_plan_with(
+        &self,
+        inputs: &[BitStream],
+        plan: &MuxSelectorPlan,
+        arena: &mut StreamArena,
+    ) -> Result<BitStream, ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let mut out = arena.take_zeroed(first.stream_length());
+        match MuxAdder::new().sum_with_plan_into(inputs, plan, &mut out) {
+            Ok(()) => Ok(out),
+            Err(error) => {
+                arena.recycle(out);
+                Err(error)
+            }
+        }
+    }
+
     /// Pools binary count streams with an adder and truncating divider.
     ///
     /// # Errors
@@ -166,6 +190,39 @@ impl HardwareMaxPooling {
     /// [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn pool_streams(&self, inputs: &[BitStream]) -> Result<BitStream, ScError> {
         let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let mut output = BitStream::zeros(first.stream_length());
+        self.pool_streams_into(inputs, &mut output)?;
+        Ok(output)
+    }
+
+    /// [`HardwareMaxPooling::pool_streams`] with the output buffer taken
+    /// from `arena` (recycle it when done). Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HardwareMaxPooling::pool_streams`].
+    pub fn pool_streams_with(
+        &self,
+        inputs: &[BitStream],
+        arena: &mut StreamArena,
+    ) -> Result<BitStream, ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
+        let mut output = arena.take_zeroed(first.stream_length());
+        match self.pool_streams_into(inputs, &mut output) {
+            Ok(()) => Ok(output),
+            Err(error) => {
+                arena.recycle(output);
+                Err(error)
+            }
+        }
+    }
+
+    fn pool_streams_into(
+        &self,
+        inputs: &[BitStream],
+        output: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let first = inputs.first().ok_or(ScError::EmptyInput)?;
         let len = first.len();
         for stream in inputs {
             if stream.len() != len {
@@ -175,7 +232,6 @@ impl HardwareMaxPooling {
                 });
             }
         }
-        let mut output = BitStream::zeros(StreamLength::try_new(len)?);
         let mut selected = 0usize;
         let mut start = 0usize;
         while start < len {
@@ -197,7 +253,7 @@ impl HardwareMaxPooling {
             selected = best;
             start = end;
         }
-        Ok(output)
+        Ok(())
     }
 
     /// Pools binary count streams: identical control flow, but the per-segment
@@ -208,23 +264,42 @@ impl HardwareMaxPooling {
     /// Returns [`ScError::EmptyInput`] for an empty slice and
     /// [`ScError::LengthMismatch`] if the streams differ in length.
     pub fn pool_counts(&self, inputs: &[CountStream]) -> Result<CountStream, ScError> {
-        let first = inputs.first().ok_or(ScError::EmptyInput)?;
-        let len = first.len();
-        let lanes = first.lanes();
-        for stream in inputs {
-            if stream.len() != len {
-                return Err(ScError::LengthMismatch {
-                    left: len,
-                    right: stream.len(),
-                });
-            }
-        }
-        let mut out_counts = Vec::with_capacity(len);
+        let len = common_count_length(inputs)?;
+        self.pool_counts_into(inputs, vec![0u16; len])
+    }
+
+    /// [`HardwareMaxPooling::pool_counts`] with the output count buffer
+    /// taken from `arena`'s count pool (recycle the result's buffer via
+    /// [`CountStream::into_counts`] when done). Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HardwareMaxPooling::pool_counts`]; validation
+    /// happens before the buffer is taken, so an invalid input cannot leak
+    /// one from the pool.
+    pub fn pool_counts_with(
+        &self,
+        inputs: &[CountStream],
+        arena: &mut StreamArena,
+    ) -> Result<CountStream, ScError> {
+        let len = common_count_length(inputs)?;
+        self.pool_counts_into(inputs, arena.take_counts(len))
+    }
+
+    /// Shared body of the `pool_counts` variants over already-validated
+    /// inputs and a zeroed output buffer of the common length.
+    fn pool_counts_into(
+        &self,
+        inputs: &[CountStream],
+        mut out_counts: Vec<u16>,
+    ) -> Result<CountStream, ScError> {
+        let len = out_counts.len();
+        let lanes = inputs[0].lanes();
         let mut selected = 0usize;
         let mut start = 0usize;
         while start < len {
             let end = (start + self.segment_bits).min(len);
-            out_counts.extend_from_slice(&inputs[selected].counts()[start..end]);
+            out_counts[start..end].copy_from_slice(&inputs[selected].counts()[start..end]);
             let mut best = 0usize;
             let mut best_total = 0u64;
             for (lane, stream) in inputs.iter().enumerate() {
@@ -252,6 +327,21 @@ impl HardwareMaxPooling {
         assert!(!values.is_empty(), "max of an empty set is undefined");
         values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
+}
+
+/// Validates a count-stream operand set and returns the common length.
+fn common_count_length(inputs: &[CountStream]) -> Result<usize, ScError> {
+    let first = inputs.first().ok_or(ScError::EmptyInput)?;
+    let len = first.len();
+    for stream in inputs {
+        if stream.len() != len {
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: stream.len(),
+            });
+        }
+    }
+    Ok(len)
 }
 
 /// Software max pooling baseline: counts ones over the whole streams and
@@ -296,6 +386,7 @@ impl SoftwareMaxPooling {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_core::bitstream::StreamLength;
     use sc_core::sng::{Sng, SngKind};
 
     fn stream_for(value: f64, len: usize, seed: u64) -> BitStream {
@@ -406,6 +497,61 @@ mod tests {
             .unwrap();
         // First segment forwards lane 0 (small), afterwards lane 1 (big).
         assert_eq!(pooled.counts(), &[0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn arena_backed_pooling_matches_allocating_pooling() {
+        let values = [0.8, -0.2, 0.4, 0.1];
+        let streams: Vec<BitStream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| stream_for(v, 127, 10 + i as u64))
+            .collect();
+        let mut arena = StreamArena::new();
+        // Hardware max over streams.
+        let hw = HardwareMaxPooling::new(16).unwrap();
+        let direct = hw.pool_streams(&streams).unwrap();
+        for _ in 0..2 {
+            let pooled = hw.pool_streams_with(&streams, &mut arena).unwrap();
+            assert_eq!(pooled, direct);
+            arena.recycle(pooled);
+        }
+        assert_eq!(arena.stats().stream_allocs, 1);
+        // Average pooling over a replayed plan.
+        let avg = AveragePooling::new(77);
+        let plan = avg.selector_plan(streams.len(), 127).unwrap();
+        let direct = avg.pool_streams_with_plan(&streams, &plan).unwrap();
+        let pooled = avg
+            .pool_streams_with_plan_with(&streams, &plan, &mut arena)
+            .unwrap();
+        assert_eq!(pooled, direct);
+        arena.recycle(pooled);
+        // Hardware max over counts.
+        let counts = vec![
+            CountStream::new(vec![4u16; 9], 4).unwrap(),
+            CountStream::new(vec![1u16; 9], 4).unwrap(),
+        ];
+        let direct = hw.pool_counts(&counts).unwrap();
+        let pooled = hw.pool_counts_with(&counts, &mut arena).unwrap();
+        assert_eq!(pooled, direct);
+        arena.recycle_counts(pooled.into_counts());
+        // Error paths reject empty inputs without leaking buffers.
+        assert!(hw.pool_streams_with(&[], &mut arena).is_err());
+        assert!(hw.pool_counts_with(&[], &mut arena).is_err());
+        assert!(avg
+            .pool_streams_with_plan_with(&[], &plan, &mut arena)
+            .is_err());
+        // A mismatched-length operand set is rejected before a count buffer
+        // is taken, so the pool is untouched.
+        let before = arena.stats();
+        let short = CountStream::new(vec![1u16; 5], 4).unwrap();
+        assert!(hw
+            .pool_counts_with(&[counts[0].clone(), short], &mut arena)
+            .is_err());
+        let after = arena.stats();
+        assert_eq!(after.count_allocs, before.count_allocs);
+        assert_eq!(after.count_reuses, before.count_reuses);
+        assert_eq!(after.pooled_counts, before.pooled_counts);
     }
 
     #[test]

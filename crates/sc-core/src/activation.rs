@@ -123,6 +123,16 @@ impl Stanh {
     /// Each copy is reset before processing; `result[u]` is bit-exact with
     /// [`Stanh::transform`] on `inputs[u]`. Streams may differ in length.
     pub fn transform_batch(&self, inputs: &[&BitStream]) -> Vec<BitStream> {
+        self.transform_batch_with(inputs, &mut crate::arena::StreamArena::new())
+    }
+
+    /// [`Stanh::transform_batch`] with the output stream buffers taken from
+    /// `arena` (recycle them when done). Results are identical.
+    pub fn transform_batch_with(
+        &self,
+        inputs: &[&BitStream],
+        arena: &mut crate::arena::StreamArena,
+    ) -> Vec<BitStream> {
         let mut fsms: Vec<Stanh> = inputs
             .iter()
             .map(|_| {
@@ -133,7 +143,7 @@ impl Stanh {
             .collect();
         let mut outputs: Vec<BitStream> = inputs
             .iter()
-            .map(|s| BitStream::zeros(s.stream_length()))
+            .map(|s| arena.take_zeroed(s.stream_length()))
             .collect();
         let max_words = inputs.iter().map(|s| s.as_words().len()).max().unwrap_or(0);
         for w in 0..max_words {
@@ -230,6 +240,16 @@ impl Btanh {
     /// Each copy is reset before processing; `result[u]` is bit-exact with
     /// [`Btanh::transform`] on `inputs[u]`. Streams may differ in length.
     pub fn transform_batch(&self, inputs: &[&CountStream]) -> Vec<BitStream> {
+        self.transform_batch_with(inputs, &mut crate::arena::StreamArena::new())
+    }
+
+    /// [`Btanh::transform_batch`] with the output stream buffers taken from
+    /// `arena` (recycle them when done). Results are identical.
+    pub fn transform_batch_with(
+        &self,
+        inputs: &[&CountStream],
+        arena: &mut crate::arena::StreamArena,
+    ) -> Vec<BitStream> {
         let mut counters: Vec<Btanh> = inputs
             .iter()
             .map(|_| {
@@ -240,7 +260,7 @@ impl Btanh {
             .collect();
         let mut outputs: Vec<BitStream> = inputs
             .iter()
-            .map(|c| BitStream::zeros(StreamLength::new(c.len())))
+            .map(|c| arena.take_zeroed(StreamLength::new(c.len())))
             .collect();
         let max_words = inputs
             .iter()

@@ -14,7 +14,9 @@
 //!    relative error, Table 3) at ~40 % lower gate cost than an exact counter.
 //! 4. Two-line representation adder — see [`crate::twoline`].
 
+use crate::arena::StreamArena;
 use crate::bitstream::{BitStream, StreamLength};
+use crate::csa::VerticalCounter;
 use crate::error::ScError;
 use crate::rng::RandomSource;
 use serde::{Deserialize, Serialize};
@@ -158,13 +160,33 @@ impl MuxAdder {
         plan: &MuxSelectorPlan,
     ) -> Result<BitStream, ScError> {
         let len = common_length(inputs)?;
-        plan.check_operands(inputs.len(), len)?;
         let mut out = BitStream::zeros(StreamLength::try_new(len)?);
+        self.sum_with_plan_into(inputs, plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MuxAdder::sum_with_plan`] writing into a caller-provided stream
+    /// (typically taken from a [`StreamArena`]), so the fused layer path
+    /// allocates no output buffer. Every word of `out` is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MuxAdder::sum_with_plan`], plus
+    /// [`ScError::LengthMismatch`] if `out` has the wrong length.
+    pub fn sum_with_plan_into(
+        &self,
+        inputs: &[BitStream],
+        plan: &MuxSelectorPlan,
+        out: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let len = common_length(inputs)?;
+        plan.check_operands(inputs.len(), len)?;
+        check_output_length(out, len)?;
         let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
         for (w, out_word) in out.words_mut().iter_mut().enumerate() {
             *out_word = plan.select_word(w, |lane| words[lane][w]);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Fused multiply-select replaying a pre-drawn [`MuxSelectorPlan`].
@@ -186,14 +208,35 @@ impl MuxAdder {
         plan: &MuxSelectorPlan,
     ) -> Result<BitStream, ScError> {
         let len = common_product_length(inputs, weights)?;
-        plan.check_operands(inputs.len(), len)?;
         let mut out = BitStream::zeros(StreamLength::try_new(len)?);
+        self.sum_products_with_plan_into(inputs, weights, plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MuxAdder::sum_products_with_plan`] writing into a caller-provided
+    /// stream (typically taken from a [`StreamArena`]). Every word of `out`
+    /// is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MuxAdder::sum_products_with_plan`], plus
+    /// [`ScError::LengthMismatch`] if `out` has the wrong length.
+    pub fn sum_products_with_plan_into(
+        &self,
+        inputs: &[BitStream],
+        weights: &[BitStream],
+        plan: &MuxSelectorPlan,
+        out: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let len = common_product_length(inputs, weights)?;
+        plan.check_operands(inputs.len(), len)?;
+        check_output_length(out, len)?;
         let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
         let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
         for (w, out_word) in out.words_mut().iter_mut().enumerate() {
             *out_word = plan.select_word(w, |lane| !(xs[lane][w] ^ ws[lane][w]));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The scale factor the MUX output must be multiplied by to recover the
@@ -456,6 +499,12 @@ impl CountStream {
         &self.counts
     }
 
+    /// Consumes the stream and returns its count buffer, so it can be
+    /// recycled into a [`StreamArena`] count pool.
+    pub fn into_counts(self) -> Vec<u16> {
+        self.counts
+    }
+
     /// Number of input lanes the counts were taken over.
     pub fn lanes(&self) -> usize {
         self.lanes
@@ -496,6 +545,29 @@ impl CountStream {
     /// Returns [`ScError::EmptyInput`] if `streams` is empty and
     /// [`ScError::LengthMismatch`] if lengths differ.
     pub fn merge_sum(streams: &[CountStream]) -> Result<CountStream, ScError> {
+        let len = Self::common_merge_length(streams)?;
+        Self::merge_sum_into(streams, vec![0u16; len])
+    }
+
+    /// [`CountStream::merge_sum`] with the output count buffer taken from
+    /// `arena`'s count pool (recycle the result's buffer via
+    /// [`CountStream::into_counts`] when done). Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CountStream::merge_sum`]; validation happens
+    /// before the buffer is taken, so an invalid input cannot leak one from
+    /// the pool.
+    pub fn merge_sum_with(
+        streams: &[CountStream],
+        arena: &mut StreamArena,
+    ) -> Result<CountStream, ScError> {
+        let len = Self::common_merge_length(streams)?;
+        Self::merge_sum_into(streams, arena.take_counts(len))
+    }
+
+    /// Validates a merge operand set and returns the common length.
+    fn common_merge_length(streams: &[CountStream]) -> Result<usize, ScError> {
         let first = streams.first().ok_or(ScError::EmptyInput)?;
         let len = first.len();
         for s in streams {
@@ -506,10 +578,21 @@ impl CountStream {
                 });
             }
         }
+        Ok(len)
+    }
+
+    /// Shared body of the `merge_sum` variants: accumulates every (already
+    /// validated) stream's per-cycle counts into the zeroed `counts` buffer.
+    fn merge_sum_into(
+        streams: &[CountStream],
+        mut counts: Vec<u16>,
+    ) -> Result<CountStream, ScError> {
         let lanes = streams.iter().map(|s| s.lanes).sum();
-        let counts = (0..len)
-            .map(|i| streams.iter().map(|s| s.counts[i]).sum::<u16>())
-            .collect();
+        for s in streams {
+            for (acc, &c) in counts.iter_mut().zip(s.counts.iter()) {
+                *acc += c;
+            }
+        }
         CountStream::new(counts, lanes)
     }
 
@@ -640,37 +723,69 @@ fn accumulate_product_columns(
 }
 
 /// Accumulates XNOR-product columns of one shared input set against the
-/// weight sets of many output units, word-by-word: each input word is loaded
-/// once and XNOR-ed against every unit's weight word before the next word is
-/// touched. `counts[u]` receives unit `u`'s column counts; results are
-/// identical to running [`accumulate_product_columns`] once per unit.
+/// weight sets of many output units through bit-transposed carry-save
+/// accumulation (see [`crate::csa`]): for each word position, the input
+/// words are loaded once per lane and, held in registers, compressed into
+/// every unit's [`VerticalCounter`] — lane triples through a 3:2 compressor,
+/// the remainder through ripple half-adders — before the planes are unpacked
+/// into that word's column counts. Compared to the former per-lane
+/// `trailing_zeros` walk, the per-unit work drops from one loop iteration
+/// per *set product bit* per lane (~32 per word for bipolar-dense streams)
+/// to ~2 word operations per lane plus `⌈log₂(lanes+1)⌉` plane walks.
+///
+/// `counts[u]` receives unit `u`'s column counts; the counts are exact, so
+/// results are identical to running [`accumulate_product_columns`] once per
+/// unit (property-tested below).
 fn accumulate_product_columns_shared(
     inputs: &[BitStream],
     unit_weights: &[&[BitStream]],
     len: usize,
     counts: &mut [Vec<u16>],
 ) {
-    let tail_bits = len % 64;
-    let last = len.div_ceil(64) - 1;
-    let mut lane_words: Vec<&[u64]> = Vec::with_capacity(unit_weights.len());
-    for (lane, x) in inputs.iter().enumerate() {
-        lane_words.clear();
-        lane_words.extend(unit_weights.iter().map(|weights| weights[lane].as_words()));
-        for (w, &a) in x.as_words().iter().enumerate() {
-            let tail_mask = if w == last && tail_bits != 0 {
-                (1u64 << tail_bits) - 1
-            } else {
-                u64::MAX
-            };
-            let base = w * 64;
-            for (unit_counts, words) in counts.iter_mut().zip(&lane_words) {
-                let mut product = !(a ^ words[w]) & tail_mask;
-                while product != 0 {
-                    let j = product.trailing_zeros() as usize;
-                    unit_counts[base + j] += 1;
-                    product &= product - 1;
-                }
+    let words = len.div_ceil(64);
+    let lanes = inputs.len();
+    let input_words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+    let unit_lane_words: Vec<Vec<&[u64]>> = unit_weights
+        .iter()
+        .map(|weights| weights.iter().map(|s| s.as_words()).collect())
+        .collect();
+    let mut counters: Vec<VerticalCounter> = unit_weights
+        .iter()
+        .map(|_| VerticalCounter::new())
+        .collect();
+    for w in 0..words {
+        let base = w * 64;
+        let span = (len - base).min(64);
+        let tail_mask = if span == 64 {
+            u64::MAX
+        } else {
+            (1u64 << span) - 1
+        };
+        let mut lane = 0;
+        // Lane triples: the shared input words stay in registers across the
+        // unit loop, so each is loaded once and compressed `units` times.
+        while lane + 3 <= lanes {
+            let a0 = input_words[lane][w];
+            let a1 = input_words[lane + 1][w];
+            let a2 = input_words[lane + 2][w];
+            for (counter, lane_words) in counters.iter_mut().zip(&unit_lane_words) {
+                counter.add3(
+                    !(a0 ^ lane_words[lane][w]) & tail_mask,
+                    !(a1 ^ lane_words[lane + 1][w]) & tail_mask,
+                    !(a2 ^ lane_words[lane + 2][w]) & tail_mask,
+                );
             }
+            lane += 3;
+        }
+        while lane < lanes {
+            let a = input_words[lane][w];
+            for (counter, lane_words) in counters.iter_mut().zip(&unit_lane_words) {
+                counter.add(!(a ^ lane_words[lane][w]) & tail_mask);
+            }
+            lane += 1;
+        }
+        for (counter, unit_counts) in counters.iter_mut().zip(counts.iter_mut()) {
+            counter.drain_into(&mut unit_counts[base..base + span]);
         }
     }
 }
@@ -809,6 +924,34 @@ impl Apc {
             .collect()
     }
 
+    /// [`Apc::count_products_shared`] with the per-unit count buffers taken
+    /// from `arena`'s count pool, so steady-state layer-fused evaluation
+    /// allocates no count buffers (recycle each result's buffer via
+    /// [`CountStream::into_counts`] when done). Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Apc::count_products_shared`].
+    pub fn count_products_shared_with(
+        &self,
+        inputs: &[BitStream],
+        unit_weights: &[&[BitStream]],
+        arena: &mut StreamArena,
+    ) -> Result<Vec<CountStream>, ScError> {
+        let len = common_shared_product_length(inputs, unit_weights)?;
+        let mut counts: Vec<Vec<u16>> = (0..unit_weights.len())
+            .map(|_| arena.take_counts(len))
+            .collect();
+        accumulate_product_columns_shared(inputs, unit_weights, len, &mut counts);
+        counts
+            .into_iter()
+            .map(|mut unit_counts| {
+                apply_apc_lsb(&mut unit_counts, inputs.len());
+                CountStream::new(unit_counts, inputs.len())
+            })
+            .collect()
+    }
+
     /// Gate-count reduction relative to the exact accumulative parallel
     /// counter, as reported by the APC reference the paper cites.
     pub fn gate_saving_ratio(&self) -> f64 {
@@ -828,6 +971,17 @@ fn apply_apc_lsb(counts: &mut [u16], lanes: usize) {
         let dither = (i & 1) as u16;
         *count = ((*count & !1) + dither).min(cap);
     }
+}
+
+/// Validates a caller-provided output stream against the operand length.
+fn check_output_length(out: &BitStream, len: usize) -> Result<(), ScError> {
+    if out.len() != len {
+        return Err(ScError::LengthMismatch {
+            left: len,
+            right: out.len(),
+        });
+    }
+    Ok(())
 }
 
 fn common_length(inputs: &[BitStream]) -> Result<usize, ScError> {
@@ -1126,6 +1280,151 @@ mod tests {
                 assert_eq!(counts, &per_unit, "unit {unit} at len {len}");
             }
         }
+    }
+
+    /// Naive per-bit column-count reference: one bounds-checked `get` per
+    /// lane per cycle, no word tricks at all.
+    fn per_bit_product_counts(inputs: &[BitStream], weights: &[BitStream]) -> Vec<u16> {
+        let len = inputs[0].len();
+        (0..len)
+            .map(|t| {
+                inputs
+                    .iter()
+                    .zip(weights.iter())
+                    .filter(|(x, w)| x.get(t) == w.get(t))
+                    .count() as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csa_shared_counts_match_per_bit_reference_across_sizes() {
+        // The satellite coverage matrix: lane counts exercising every CSA
+        // shape (single lane, exact triples, triple + remainder, many
+        // planes) times stream lengths exercising word tails (including the
+        // non-word-multiple 100/127 and the paper's longest 8191).
+        for &lanes in &[1usize, 3, 7, 32, 33, 100] {
+            for &len in &[64usize, 100, 127, 1024, 8191] {
+                let values: Vec<f64> = (0..lanes)
+                    .map(|i| (i as f64 / lanes as f64) - 0.5)
+                    .collect();
+                let xs = streams_for(&values, len, 5 + lanes as u64);
+                let unit_ws: Vec<Vec<BitStream>> = (0..2)
+                    .map(|u| streams_for(&values, len, 7000 + u * 131 + lanes as u64))
+                    .collect();
+                let refs: Vec<&[BitStream]> = unit_ws.iter().map(|w| w.as_slice()).collect();
+                // Exact counts: CSA shared kernel vs the naive reference.
+                let shared = ExactParallelCounter::new();
+                let mut arena = StreamArena::new();
+                let apc_shared = Apc::new()
+                    .count_products_shared_with(&xs, &refs, &mut arena)
+                    .unwrap();
+                for (unit, ws) in unit_ws.iter().enumerate() {
+                    let naive = per_bit_product_counts(&xs, ws);
+                    let exact = shared.count_products(&xs, ws).unwrap();
+                    assert_eq!(
+                        exact.counts(),
+                        naive.as_slice(),
+                        "exact kernel vs per-bit at lanes {lanes} len {len}"
+                    );
+                    // The approximate-APC truncation applied to the naive
+                    // reference must reproduce the shared CSA kernel.
+                    let mut approx = naive.clone();
+                    apply_apc_lsb(&mut approx, lanes);
+                    assert_eq!(
+                        apc_shared[unit].counts(),
+                        approx.as_slice(),
+                        "CSA shared kernel vs truncated per-bit reference \
+                         at lanes {lanes} len {len} unit {unit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_backed_shared_counts_match_and_recycle() {
+        let xs = streams_for(&[0.5, -0.25, 0.75, 0.0, -0.6], 127, 5);
+        let unit_ws: Vec<Vec<BitStream>> = (0..3)
+            .map(|u| streams_for(&[-0.5, 0.25, 0.1, 0.9, 0.3], 127, 900 + u * 31))
+            .collect();
+        let refs: Vec<&[BitStream]> = unit_ws.iter().map(|w| w.as_slice()).collect();
+        let plain = Apc::new().count_products_shared(&xs, &refs).unwrap();
+        let mut arena = StreamArena::new();
+        for round in 0..3 {
+            let pooled = Apc::new()
+                .count_products_shared_with(&xs, &refs, &mut arena)
+                .unwrap();
+            assert_eq!(pooled, plain, "round {round}");
+            for counts in pooled {
+                arena.recycle_counts(counts.into_counts());
+            }
+        }
+        let stats = arena.stats();
+        // Round one allocates three buffers; later rounds reuse them.
+        assert_eq!(stats.count_allocs, 3);
+        assert_eq!(stats.count_reuses, 6);
+    }
+
+    #[test]
+    fn merge_sum_with_matches_allocating_merge() {
+        let a = CountStream::new(vec![2, 3, 1], 4).unwrap();
+        let b = CountStream::new(vec![3, 4, 0], 4).unwrap();
+        let mut arena = StreamArena::new();
+        let merged = CountStream::merge_sum(&[a.clone(), b.clone()]).unwrap();
+        let pooled = CountStream::merge_sum_with(&[a.clone(), b], &mut arena).unwrap();
+        assert_eq!(pooled, merged);
+        arena.recycle_counts(pooled.into_counts());
+        assert!(CountStream::merge_sum_with(&[], &mut arena).is_err());
+        let short = CountStream::new(vec![1], 4).unwrap();
+        assert!(CountStream::merge_sum_with(&[a, short], &mut arena).is_err());
+    }
+
+    #[test]
+    fn plan_into_kernels_match_allocating_kernels() {
+        let lanes = 5usize;
+        let len = 127usize;
+        let values: Vec<f64> = (0..lanes)
+            .map(|i| (i as f64 / lanes as f64) - 0.4)
+            .collect();
+        let xs = streams_for(&values, len, 31);
+        let ws = streams_for(&values, len, 5100);
+        let mut rng = Lfsr::new_32(555);
+        let plan = MuxSelectorPlan::new(lanes, len, &mut rng).unwrap();
+        let mut arena = StreamArena::new();
+        // Dirty the pooled buffer first to prove `_into` fully overwrites.
+        let mut dirty = arena.take_zeroed(StreamLength::new(len));
+        for i in 0..len {
+            dirty.set(i, true);
+        }
+        arena.recycle(dirty);
+
+        let mut out = arena.take_zeroed(StreamLength::new(len));
+        MuxAdder::new()
+            .sum_with_plan_into(&xs, &plan, &mut out)
+            .unwrap();
+        assert_eq!(out, MuxAdder::new().sum_with_plan(&xs, &plan).unwrap());
+        arena.recycle(out);
+
+        let mut out = arena.take_zeroed(StreamLength::new(len));
+        MuxAdder::new()
+            .sum_products_with_plan_into(&xs, &ws, &plan, &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            MuxAdder::new()
+                .sum_products_with_plan(&xs, &ws, &plan)
+                .unwrap()
+        );
+
+        // Wrong output length is rejected.
+        let mut short = BitStream::zeros(StreamLength::new(64));
+        assert!(MuxAdder::new()
+            .sum_with_plan_into(&xs, &plan, &mut short)
+            .is_err());
+        assert!(MuxAdder::new()
+            .sum_products_with_plan_into(&xs, &ws, &plan, &mut short)
+            .is_err());
     }
 
     #[test]

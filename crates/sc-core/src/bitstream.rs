@@ -261,6 +261,17 @@ impl BitStream {
         self.words
     }
 
+    /// Whether no bit beyond the logical length is set (the invariant every
+    /// mutation upholds; checked by the arena before pooling a buffer).
+    pub(crate) fn tail_is_masked(&self) -> bool {
+        let rem = self.len % 64;
+        rem == 0
+            || self
+                .words
+                .last()
+                .is_none_or(|last| last & !((1u64 << rem) - 1) == 0)
+    }
+
     /// Splits the stream into contiguous segments of `segment_len` bits.
     ///
     /// The final segment may be shorter if the length does not divide evenly.

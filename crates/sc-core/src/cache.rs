@@ -48,6 +48,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Merges another cache's counters into this one (used to aggregate
+    /// over fan-out worker sessions or benchmark phases). `entries` is
+    /// occupancy, not a counter: the merged value is the summed occupancy
+    /// of the constituent caches at their snapshot times.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.flushes += other.flushes;
+        self.evicted += other.evicted;
+        self.entries += other.entries;
+    }
 }
 
 /// One cached stream plus the generation of its last insert or hit.

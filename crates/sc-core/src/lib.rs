@@ -48,6 +48,7 @@ pub mod add;
 pub mod arena;
 pub mod bitstream;
 pub mod cache;
+pub mod csa;
 pub mod encoding;
 pub mod error;
 pub mod multiply;
@@ -57,7 +58,7 @@ pub mod sng;
 pub mod stats;
 pub mod twoline;
 
-pub use arena::StreamArena;
+pub use arena::{ArenaStats, StreamArena};
 pub use bitstream::{BitStream, StreamLength};
 pub use cache::StreamCache;
 pub use error::ScError;

@@ -60,6 +60,17 @@ enum Source {
 }
 
 impl Source {
+    /// The randomness source a fresh [`Sng`] of this kind and seed drives —
+    /// the single point of truth for the per-kind seed whitening, shared by
+    /// [`Sng::new`] and the batched [`BatchSng`] fill.
+    fn for_seed(kind: SngKind, seed: u64) -> Self {
+        match kind {
+            SngKind::Lfsr16 => Source::Lfsr(Lfsr::new(LfsrWidth::W16, seed as u32)),
+            SngKind::Lfsr32 => Source::Lfsr(Lfsr::new(LfsrWidth::W32, seed as u32 ^ 0x9E37_79B9)),
+            SngKind::Ideal => Source::Ideal(SoftwareRng::new(StdRng::seed_from_u64(seed))),
+        }
+    }
+
     fn next_threshold_sample(&mut self) -> u32 {
         let raw = match self {
             Source::Lfsr(lfsr) => lfsr.next_u32(),
@@ -224,13 +235,8 @@ impl std::fmt::Debug for Sng {
 impl Sng {
     /// Creates a generator of the given kind seeded with `seed`.
     pub fn new(kind: SngKind, seed: u64) -> Self {
-        let source = match kind {
-            SngKind::Lfsr16 => Source::Lfsr(Lfsr::new(LfsrWidth::W16, seed as u32)),
-            SngKind::Lfsr32 => Source::Lfsr(Lfsr::new(LfsrWidth::W32, seed as u32 ^ 0x9E37_79B9)),
-            SngKind::Ideal => Source::Ideal(SoftwareRng::new(StdRng::seed_from_u64(seed))),
-        };
         Self {
-            source,
+            source: Source::for_seed(kind, seed),
             kind,
             seed,
             scratch: Vec::new(),
@@ -388,6 +394,144 @@ impl Sng {
         values
             .iter()
             .map(|&v| self.generate_bipolar(v, length))
+            .collect()
+    }
+}
+
+/// Batched multi-stream SNG fill.
+///
+/// The per-call paths construct one [`Sng`] per lane per evaluation; each
+/// fresh generator grows its own staged-recurrence scratch buffer on first
+/// use, so a layer evaluation that misses its stream cache pays one heap
+/// allocation (plus growth) per generated stream. A [`BatchSng`] generates
+/// any number of lanes — a whole SNG bank's worth of weight or input streams
+/// for one layer — through a **single** staged-recurrence scratch that
+/// persists across calls: steady-state stream generation touches the heap
+/// only for the output buffers, which the arena-backed entry points recycle
+/// too.
+///
+/// Output is bit-exact with a fresh `Sng::new(kind, lane_seed)` per lane:
+/// the seed whitening and the sequence generation are shared code.
+#[derive(Debug)]
+pub struct BatchSng {
+    kind: SngKind,
+    /// Reused staged-recurrence byte buffer (see [`Lfsr::w32_sequence_into`]).
+    scratch: Vec<u8>,
+}
+
+impl BatchSng {
+    /// Creates a batched generator producing streams of the given SNG kind.
+    pub fn new(kind: SngKind) -> Self {
+        Self {
+            kind,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The generator kind every filled stream is drawn from.
+    pub fn kind(&self) -> SngKind {
+        self.kind
+    }
+
+    /// Fills `stream` with a fresh encoding of `probability` from the lane
+    /// generator seeded with `lane_seed`, bit-exact with
+    /// `Sng::new(self.kind(), lane_seed).generate_probability_into(..)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] if `probability` is not within
+    /// `[0, 1]`.
+    pub fn fill_probability(
+        &mut self,
+        lane_seed: u64,
+        probability: f64,
+        stream: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let threshold = probability_threshold(probability)?;
+        let bits = stream.len();
+        Source::for_seed(self.kind, lane_seed).fill_words(
+            threshold,
+            stream.words_mut(),
+            bits,
+            &mut self.scratch,
+        );
+        Ok(())
+    }
+
+    /// Fills `stream` with a bipolar encoding of `value ∈ [-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::ValueOutOfRange`] for values outside `[-1, 1]`.
+    pub fn fill_bipolar(
+        &mut self,
+        lane_seed: u64,
+        value: f64,
+        stream: &mut BitStream,
+    ) -> Result<(), ScError> {
+        let p = Bipolar::to_probability(value)?;
+        self.fill_probability(lane_seed, p, stream)
+    }
+
+    /// Generates one bipolar stream per value with the lane seeds of an
+    /// [`SngBank`] based at `base_seed`, all through this generator's shared
+    /// scratch, with the stream buffers taken from `arena`. Bit-identical to
+    /// `SngBank::new(kind, values.len(), base_seed).generate_bipolar(..)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::EmptyInput`] for an empty value slice and
+    /// [`ScError::ValueOutOfRange`] for values outside `[-1, 1]` (taken
+    /// buffers are recycled back into `arena` on error).
+    pub fn generate_bipolar_bank_with(
+        &mut self,
+        base_seed: u64,
+        values: &[f64],
+        length: StreamLength,
+        arena: &mut crate::arena::StreamArena,
+    ) -> Result<Vec<BitStream>, ScError> {
+        if values.is_empty() {
+            return Err(ScError::EmptyInput);
+        }
+        let mut streams = Vec::with_capacity(values.len());
+        for (lane, &value) in values.iter().enumerate() {
+            let mut stream = arena.take_zeroed(length);
+            match self.fill_bipolar(SngBank::lane_seed(base_seed, lane), value, &mut stream) {
+                Ok(()) => streams.push(stream),
+                Err(error) => {
+                    arena.recycle(stream);
+                    arena.recycle_all(streams);
+                    return Err(error);
+                }
+            }
+        }
+        Ok(streams)
+    }
+
+    /// Allocating variant of [`BatchSng::generate_bipolar_bank_with`] (used
+    /// by compile-time weight-stream pre-generation, where the streams live
+    /// for the engine's lifetime).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchSng::generate_bipolar_bank_with`].
+    pub fn generate_bipolar_bank(
+        &mut self,
+        base_seed: u64,
+        values: &[f64],
+        length: StreamLength,
+    ) -> Result<Vec<BitStream>, ScError> {
+        if values.is_empty() {
+            return Err(ScError::EmptyInput);
+        }
+        values
+            .iter()
+            .enumerate()
+            .map(|(lane, &value)| {
+                let mut stream = BitStream::zeros(length);
+                self.fill_bipolar(SngBank::lane_seed(base_seed, lane), value, &mut stream)?;
+                Ok(stream)
+            })
             .collect()
     }
 }
@@ -638,6 +782,55 @@ mod tests {
         assert!(sng.generate_probability_into(1.5, &mut stream).is_err());
         assert!(sng.generate_bipolar_into(-2.0, &mut stream).is_err());
         assert!(sng.generate_unipolar_into(-0.1, &mut stream).is_err());
+    }
+
+    #[test]
+    fn batch_sng_matches_per_lane_generators() {
+        for kind in [SngKind::Lfsr16, SngKind::Lfsr32, SngKind::Ideal] {
+            for bits in [63usize, 100, 127, 1024] {
+                let len = StreamLength::new(bits);
+                let values = [0.25, -0.5, 0.75, 0.0, -1.0];
+                let mut bank = SngBank::new(kind, values.len(), 91);
+                let expected = bank.generate_bipolar(&values, len).unwrap();
+                let mut batch = BatchSng::new(kind);
+                assert_eq!(batch.kind(), kind);
+                let via_batch = batch.generate_bipolar_bank(91, &values, len).unwrap();
+                assert_eq!(via_batch, expected, "{kind:?} bits={bits}");
+                // Arena-backed variant, twice, to prove the shared scratch
+                // and recycled buffers reproduce the same bits.
+                let mut arena = crate::arena::StreamArena::new();
+                for round in 0..2 {
+                    let pooled = batch
+                        .generate_bipolar_bank_with(91, &values, len, &mut arena)
+                        .unwrap();
+                    assert_eq!(pooled, expected, "{kind:?} bits={bits} round {round}");
+                    arena.recycle_all(pooled);
+                }
+                assert_eq!(arena.stats().stream_allocs, values.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sng_validates_inputs() {
+        let mut batch = BatchSng::new(SngKind::Lfsr32);
+        let mut arena = crate::arena::StreamArena::new();
+        let len = StreamLength::new(64);
+        assert_eq!(
+            batch.generate_bipolar_bank(1, &[], len),
+            Err(ScError::EmptyInput)
+        );
+        assert!(batch
+            .generate_bipolar_bank_with(1, &[], len, &mut arena)
+            .is_err());
+        // Out-of-range value mid-bank: taken buffers return to the arena.
+        assert!(batch
+            .generate_bipolar_bank_with(1, &[0.5, 2.0], len, &mut arena)
+            .is_err());
+        assert_eq!(arena.pooled(), arena.stats().stream_allocs as usize);
+        let mut stream = BitStream::zeros(len);
+        assert!(batch.fill_probability(1, f64::NAN, &mut stream).is_err());
+        assert!(batch.fill_bipolar(1, -1.5, &mut stream).is_err());
     }
 
     #[test]

@@ -32,12 +32,12 @@ use crate::error::ServeError;
 use crate::interpreter::{Inference, Interpreter};
 use crate::plan::{lower, Plan, PlanLayer, PlanOptions};
 use sc_blocks::feature_block::FeatureBlock;
-use sc_core::arena::StreamArena;
+use sc_core::arena::{ArenaStats, StreamArena};
 use sc_core::bitstream::BitStream;
 use sc_core::cache::{CacheStats, StreamCache};
 use sc_core::encoding::{Bipolar, Encoding};
 use sc_core::parallel::{parallel_map_with, parallel_map_with_state};
-use sc_core::sng::{probability_threshold, Sng, SngBank, SngKind};
+use sc_core::sng::{probability_threshold, BatchSng, SngBank, SngKind};
 use sc_core::ScError;
 use sc_dcnn::config::ScNetworkConfig;
 use sc_nn::network::Network;
@@ -93,10 +93,18 @@ impl Default for EngineOptions {
 pub struct Session {
     arena: StreamArena,
     cache: StreamCache,
+    /// Batched SNG shared by every cache miss of this session: one
+    /// staged-recurrence scratch serves all lanes of all layers, so misses
+    /// allocate nothing beyond the (arena-pooled) stream buffer.
+    sng: BatchSng,
     /// Warm sub-sessions handed to single-request unit fan-out workers and
     /// collected back afterwards, so their caches survive across layers and
     /// requests instead of being rebuilt cold per fan-out.
     workers: Vec<Session>,
+    /// Warm arenas handed to dense-layer fan-out chunk workers and collected
+    /// back afterwards (the chunk workers share the session's input streams
+    /// and need no cache of their own — only pooled buffers).
+    chunk_arenas: Vec<StreamArena>,
     /// Whether this session participates in single-request unit fan-out at
     /// all (see [`Session::set_unit_fan_out`]).
     unit_fan_out: bool,
@@ -110,12 +118,23 @@ impl Session {
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.cache.stats();
         for worker in &self.workers {
-            let worker_stats = worker.cache_stats();
-            stats.hits += worker_stats.hits;
-            stats.misses += worker_stats.misses;
-            stats.flushes += worker_stats.flushes;
-            stats.evicted += worker_stats.evicted;
-            stats.entries += worker_stats.entries;
+            stats.merge(&worker.cache_stats());
+        }
+        stats
+    }
+
+    /// Stream/count buffer reuse counters of this session's arena,
+    /// aggregated over its warm fan-out worker sessions. In steady state the
+    /// fused inference path takes every buffer from the pool: the
+    /// `stream_allocs` delta between two snapshots of a warm session is
+    /// zero.
+    pub fn arena_stats(&self) -> ArenaStats {
+        let mut stats = self.arena.stats();
+        for arena in &self.chunk_arenas {
+            stats.merge(&arena.stats());
+        }
+        for worker in &self.workers {
+            stats.merge(&worker.arena_stats());
         }
         stats
     }
@@ -212,7 +231,9 @@ impl Engine {
         Session {
             arena: StreamArena::new(),
             cache: StreamCache::new(self.options.cache_capacity),
+            sng: BatchSng::new(SngKind::Lfsr32),
             workers: Vec::new(),
+            chunk_arenas: Vec::new(),
             unit_fan_out: true,
         }
     }
@@ -341,13 +362,19 @@ impl Engine {
                         let (py, px) = (position / pooled_w, position % pooled_w);
                         let fields = conv.gather_fields(values, py, px);
                         let inputs = self.gather_input_streams(session, &conv.block, &fields)?;
-                        let outputs = conv
-                            .block
-                            .evaluate_layer_prepared_with(&selectors, &inputs, &unit_refs);
+                        let outputs = conv.block.evaluate_layer_prepared_with(
+                            &selectors,
+                            &inputs,
+                            &unit_refs,
+                            &mut session.arena,
+                        );
                         for field in inputs {
                             session.arena.recycle_all(field);
                         }
-                        Ok(outputs?.iter().map(BitStream::bipolar_value).collect())
+                        let outputs = outputs?;
+                        let values = outputs.iter().map(BitStream::bipolar_value).collect();
+                        session.arena.recycle_all(outputs);
+                        Ok(values)
                     };
                 let per_position: Vec<Result<Vec<f64>, ServeError>> =
                     if self.fan_out_units(session, positions) {
@@ -400,41 +427,71 @@ impl Engine {
                 let selectors = dense
                     .block
                     .prepare_selectors(self.plan.stream_length.bits())?;
-                let streams = if self.fan_out_units(session, unit_refs.len()) {
+                let decoded = if self.fan_out_units(session, unit_refs.len()) {
                     let threads = sc_core::parallel::max_threads();
                     let chunk_size = unit_refs.len().div_ceil(threads).max(1);
                     let chunks: Vec<&[&[Vec<BitStream>]]> = unit_refs.chunks(chunk_size).collect();
-                    let per_chunk = parallel_map_with(
+                    // Fan-out workers draw warm arenas from the session pool
+                    // and return them afterwards (mirroring the conv path's
+                    // worker-session pool), so dense fan-out stays zero-alloc
+                    // in steady state and the buffers remain visible to
+                    // `Session::arena_stats`.
+                    let pool = std::sync::Mutex::new(std::mem::take(&mut session.chunk_arenas));
+                    let (per_chunk, states) = parallel_map_with_state(
                         &chunks,
-                        || (),
-                        |(), _, chunk| {
+                        || pool.lock().expect("arena pool").pop().unwrap_or_default(),
+                        |arena, _, chunk| {
+                            // Decode inside the worker and recycle the output
+                            // buffers into the arena they were taken from:
+                            // take and recycle stay paired per worker, so no
+                            // arena net-drains (and then re-allocates) under
+                            // uneven chunk sizes or scheduling.
                             dense
                                 .block
-                                .evaluate_layer_prepared_with(&selectors, &inputs, chunk)
+                                .evaluate_layer_prepared_with(&selectors, &inputs, chunk, arena)
+                                .map(|streams| {
+                                    let decoded: Vec<f64> =
+                                        streams.iter().map(BitStream::bipolar_value).collect();
+                                    arena.recycle_all(streams);
+                                    decoded
+                                })
                         },
                     );
-                    let mut streams = Vec::with_capacity(unit_refs.len());
+                    let mut arenas = pool.into_inner().expect("arena pool");
+                    arenas.extend(states);
+                    session.chunk_arenas = arenas;
+                    let mut decoded = Vec::with_capacity(unit_refs.len());
                     let mut error = None;
                     for chunk in per_chunk {
                         match chunk {
-                            Ok(chunk_streams) => streams.extend(chunk_streams),
+                            Ok(chunk_values) => decoded.extend(chunk_values),
                             Err(e) if error.is_none() => error = Some(e),
                             Err(_) => {}
                         }
                     }
                     match error {
-                        None => Ok(streams),
+                        None => Ok(decoded),
                         Some(e) => Err(e),
                     }
                 } else {
                     dense
                         .block
-                        .evaluate_layer_prepared_with(&selectors, &inputs, &unit_refs)
+                        .evaluate_layer_prepared_with(
+                            &selectors,
+                            &inputs,
+                            &unit_refs,
+                            &mut session.arena,
+                        )
+                        .map(|streams| {
+                            let decoded = streams.iter().map(BitStream::bipolar_value).collect();
+                            session.arena.recycle_all(streams);
+                            decoded
+                        })
                 };
                 for field_streams in inputs {
                     session.arena.recycle_all(field_streams);
                 }
-                Ok(streams?.iter().map(BitStream::bipolar_value).collect())
+                Ok(decoded?)
             }
         }
     }
@@ -487,6 +544,9 @@ impl Engine {
         fields: &[Vec<f64>],
     ) -> Result<Vec<Vec<BitStream>>, ServeError> {
         let length = self.plan.stream_length;
+        let Session {
+            arena, cache, sng, ..
+        } = session;
         let mut inputs: Vec<Vec<BitStream>> = Vec::with_capacity(fields.len());
         for (field_index, field) in fields.iter().enumerate() {
             let (input_base, _) = block.operand_bank_seeds(field_index);
@@ -495,17 +555,12 @@ impl Engine {
                 let lane_seed = SngBank::lane_seed(input_base, lane);
                 let probability = Bipolar::to_probability(value)?;
                 let threshold = probability_threshold(probability)?;
-                let stream = session.cache.get_or_generate(
-                    (lane_seed, threshold),
-                    length,
-                    &mut session.arena,
-                    |arena| {
+                let stream =
+                    cache.get_or_generate((lane_seed, threshold), length, arena, |arena| {
                         let mut fresh = arena.take_zeroed(length);
-                        Sng::new(SngKind::Lfsr32, lane_seed)
-                            .generate_probability_into(probability, &mut fresh)?;
+                        sng.fill_probability(lane_seed, probability, &mut fresh)?;
                         Ok::<_, ScError>(fresh)
-                    },
-                )?;
+                    })?;
                 streams.push(stream);
             }
             inputs.push(streams);
@@ -562,6 +617,12 @@ mod tests {
                 / 255.0
         })
     }
+
+    /// `sc_core::parallel::set_thread_limit` is process-global; tests that
+    /// mutate it (or assert on stats that depend on it) serialize here so a
+    /// concurrent test cannot flip the limit mid-assertion. Result-based
+    /// tests don't need it — outputs are bit-identical at any limit.
+    static THREAD_LIMIT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn engine_matches_interpreter_bit_for_bit() {
@@ -673,6 +734,7 @@ mod tests {
         );
         let engine = Engine::compile(&network, &config, options()).unwrap();
         let image = image(11);
+        let _guard = THREAD_LIMIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         sc_core::parallel::set_thread_limit(1);
         let serial = engine.infer(&mut engine.new_session(), &image).unwrap();
         sc_core::parallel::set_thread_limit(4);
@@ -712,6 +774,83 @@ mod tests {
             "a repeated frame must not generate any stream"
         );
         assert!(warm.hits > cold.hits);
+    }
+
+    #[test]
+    fn steady_state_inference_allocates_no_stream_buffers() {
+        // Once the session arena is warm, fused inference must serve every
+        // stream and count buffer from the pool — the per-unit path's
+        // zero-alloc property, restored for the fused path by threading the
+        // session arena through `evaluate_layer_prepared_with`.
+        for kind in [FeatureBlockKind::ApcMaxBtanh, FeatureBlockKind::MuxMaxStanh] {
+            let network = small_network(13);
+            let config = ScNetworkConfig::new("c", vec![kind; 2], 128, PoolingStyle::Max);
+            let engine = Engine::compile(
+                &network,
+                &config,
+                EngineOptions {
+                    parallel_units: false, // keep all traffic in one arena
+                    ..options()
+                },
+            )
+            .unwrap();
+            let mut session = engine.new_session();
+            let frames: Vec<Tensor> = (1..4).map(image).collect();
+            // Warm-up: populate the arena pool and the stream cache.
+            for frame in &frames {
+                engine.infer(&mut session, frame).unwrap();
+            }
+            let warm = session.arena_stats();
+            for frame in &frames {
+                engine.infer(&mut session, frame).unwrap();
+            }
+            let steady = session.arena_stats();
+            assert_eq!(
+                steady.total_allocs(),
+                warm.total_allocs(),
+                "{kind:?}: steady-state inference must not allocate buffers"
+            );
+            assert!(steady.stream_reuses > warm.stream_reuses);
+        }
+    }
+
+    #[test]
+    fn fanned_out_inference_keeps_the_arena_pool_bounded() {
+        // With unit fan-out active, dense-layer chunk workers draw warm
+        // arenas from the session pool and output buffers return to them:
+        // steady state must neither allocate fresh buffers nor grow the
+        // pools (buffers leaking from the chunk arenas into the session
+        // arena would do both, one dense layer's worth per request).
+        let network = small_network(17);
+        let config = ScNetworkConfig::new(
+            "c",
+            vec![FeatureBlockKind::ApcMaxBtanh; 2],
+            64,
+            PoolingStyle::Max,
+        );
+        let engine = Engine::compile(&network, &config, options()).unwrap();
+        let mut session = engine.new_session();
+        let frame = image(3);
+        let _guard = THREAD_LIMIT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sc_core::parallel::set_thread_limit(4);
+        for _ in 0..3 {
+            engine.infer(&mut session, &frame).unwrap();
+        }
+        let warm = session.arena_stats();
+        for _ in 0..3 {
+            engine.infer(&mut session, &frame).unwrap();
+        }
+        let steady = session.arena_stats();
+        sc_core::parallel::set_thread_limit(0);
+        assert_eq!(
+            steady.total_allocs(),
+            warm.total_allocs(),
+            "steady-state fan-out inference must not allocate buffers"
+        );
+        assert_eq!(
+            steady.pooled_streams, warm.pooled_streams,
+            "steady-state fan-out inference must not grow the buffer pools"
+        );
     }
 
     #[test]
