@@ -23,13 +23,22 @@
 //! verified before anything is timed. Results land in `BENCH_serving.json`
 //! at the repo root.
 //!
+//! A **router / multi-model** phase additionally measures the scale-out
+//! path: two replica servers, each hosting `--models` compiled engines
+//! behind one listener, fronted by the replica router; closed-loop clients
+//! drive protocol-v2 traffic across all models through the router while one
+//! replica is killed mid-load. The phase asserts zero failed requests and
+//! bit-exact responses before recording throughput, and runs on full
+//! (recording) runs or when `--router` is passed.
+//!
 //! Run with: `cargo run --release -p sc-bench --bin bench_serving`
 //! (`--quick` shrinks stream lengths and request counts for CI smoke runs;
 //! `--verify` additionally re-checks every fused inference against the
 //! interpreter while it is being timed; `--config no1|apc|all` restricts
 //! which layer mixes run — the CI smoke jobs run `--quick --verify` and
 //! `--quick --verify --config apc`; `--allocs` prints the per-run arena
-//! reuse statistics).
+//! reuse statistics; `--router` forces the router phase, `--models N` sets
+//! how many engines each replica hosts).
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_core::cache::CacheStats;
@@ -37,9 +46,17 @@ use sc_dcnn::config::ScNetworkConfig;
 use sc_nn::dataset::SyntheticDigits;
 use sc_nn::lenet::{tiny_lenet, PoolingStyle};
 use sc_nn::tensor::Tensor;
+use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
 use sc_serve::interpreter::Inference;
-use std::time::Instant;
+use sc_serve::proto::{read_response, write_request_v2, Response};
+use sc_serve::router::{spawn_router, RouterOptions};
+use sc_serve::server::{spawn_multi, ServerHandle, ServerOptions};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct ServingRun {
     name: String,
@@ -266,6 +283,181 @@ fn bench_config(
     }
 }
 
+/// Result of the router / multi-model serving phase.
+struct RouterBenchRun {
+    model_names: Vec<String>,
+    stream_length: usize,
+    clients: usize,
+    total_requests: usize,
+    router_rps: f64,
+    client_p50_ms: f64,
+    client_p95_ms: f64,
+    failovers: u64,
+    failed: u64,
+    replica_forwarded: Vec<u64>,
+}
+
+/// Two multi-model replicas behind the router, driven closed-loop across
+/// every model while replica A is killed mid-load. Bit-exactness against
+/// direct engine inference and zero failed requests are *asserted* — a
+/// recording only exists for runs that survived the kill cleanly.
+fn bench_router(
+    models: usize,
+    stream_length: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> RouterBenchRun {
+    use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
+    let palette: [(&str, Vec<FeatureBlockKind>); 3] = [
+        (
+            "no1_style",
+            vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+        ),
+        ("apc_max", vec![ApcMaxBtanh; 4]),
+        ("mux_max", vec![MuxMaxStanh; 4]),
+    ];
+    let models = models.clamp(1, palette.len());
+    let network = tiny_lenet(17);
+    let engines: Vec<Arc<Engine>> = palette[..models]
+        .iter()
+        .map(|(name, kinds)| {
+            let config =
+                ScNetworkConfig::new(*name, kinds.clone(), stream_length, PoolingStyle::Max);
+            Arc::new(
+                Engine::compile(&network, &config, EngineOptions::default())
+                    .expect("engine compiles"),
+            )
+        })
+        .collect();
+    let model_names: Vec<String> = palette[..models]
+        .iter()
+        .map(|(name, _)| (*name).to_string())
+        .collect();
+
+    let replica = |engines: &[Arc<Engine>]| -> ServerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
+        spawn_multi(
+            engines.to_vec(),
+            listener,
+            ServerOptions {
+                policy: BatchPolicy {
+                    max_batch: 16,
+                    max_linger: Duration::from_millis(2),
+                },
+                workers: 0,
+            },
+        )
+        .expect("spawn replica")
+    };
+    let replica_a = replica(&engines);
+    let replica_b = replica(&engines);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let router = spawn_router(
+        listener,
+        vec![replica_a.addr(), replica_b.addr()],
+        RouterOptions {
+            health_interval: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterOptions::default()
+        },
+    )
+    .expect("spawn router");
+    let addr = router.addr();
+
+    let data = SyntheticDigits::generate(1, 5);
+    let image = data.train_images[0].clone();
+    let expected: Vec<Vec<f64>> = engines
+        .iter()
+        .map(|engine| {
+            engine
+                .infer(&mut engine.new_session(), &image)
+                .expect("direct inference")
+                .logits
+        })
+        .collect();
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|client| {
+            let image = image.clone();
+            let expected = expected.clone();
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect router");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("read timeout");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut latencies_ms = Vec::with_capacity(requests_per_client);
+                for request in 0..requests_per_client {
+                    let id = (client * requests_per_client + request) as u64;
+                    let model = (request % expected.len()) as u16;
+                    let sent = Instant::now();
+                    write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice())
+                        .expect("send");
+                    match read_response(&mut reader).expect("recv") {
+                        Some(Response::Ok {
+                            id: rid, logits, ..
+                        }) => {
+                            assert_eq!(rid, id);
+                            assert_eq!(
+                                logits,
+                                expected[usize::from(model)],
+                                "routed request {id} must be bit-exact"
+                            );
+                        }
+                        Some(Response::Err { message, .. }) => {
+                            panic!("routed request {id} failed: {message}")
+                        }
+                        None => panic!("router closed on request {id}"),
+                    }
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1000.0);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    // Kill replica A once every client has at least one answered request.
+    while completed.load(Ordering::Relaxed) < clients {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    replica_a.shutdown();
+
+    let mut latencies_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|thread| thread.join().expect("client thread"))
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let stats = router.stats();
+    let total_requests = clients * requests_per_client;
+    assert_eq!(
+        stats.failed, 0,
+        "router phase must lose no request: {stats}"
+    );
+    assert_eq!(stats.requests, total_requests as u64);
+    let replica_forwarded = stats.backends.iter().map(|b| b.forwarded).collect();
+    router.shutdown();
+    replica_b.shutdown();
+
+    RouterBenchRun {
+        model_names,
+        stream_length,
+        clients,
+        total_requests,
+        router_rps: total_requests as f64 / wall,
+        client_p50_ms: percentile(&latencies_ms, 50.0),
+        client_p95_ms: percentile(&latencies_ms, 95.0),
+        failovers: stats.failovers,
+        failed: stats.failed,
+        replica_forwarded,
+    }
+}
+
 fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -294,10 +486,22 @@ fn config_filter() -> ConfigFilter {
     }
 }
 
+/// Number of models each replica hosts in the router phase (`--models N`).
+fn models_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--models")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--models expects a count"))
+        .unwrap_or(2)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let verify = std::env::args().any(|a| a == "--verify");
     let allocs = std::env::args().any(|a| a == "--allocs");
+    let router_mode = std::env::args().any(|a| a == "--router");
+    let models = models_arg();
     let filter = config_filter();
     use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
     let no1 = [MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh];
@@ -381,6 +585,34 @@ fn main() {
             run.parallel_single_latency_ms
         );
     }
+    // Router / multi-model phase: always part of a full recording run, and
+    // forcible for smokes via `--router`.
+    let full_run = !quick && filter == ConfigFilter::All;
+    let router_run = if router_mode || full_run {
+        let (length, clients, per_client) = if quick { (128, 2, 4) } else { (256, 4, 12) };
+        println!(
+            "\nrouter phase: 2 replicas x {models} models @ L={length}, {clients} clients, \
+             replica A killed mid-load ..."
+        );
+        let run = bench_router(models, length, clients, per_client);
+        println!(
+            "router: {} requests ({} models: {}) -> {:.3} req/s, client p50 {:.2}ms p95 {:.2}ms, \
+             {} failovers, {} failed, replicas forwarded {:?}",
+            run.total_requests,
+            run.model_names.len(),
+            run.model_names.join("+"),
+            run.router_rps,
+            run.client_p50_ms,
+            run.client_p95_ms,
+            run.failovers,
+            run.failed,
+            run.replica_forwarded
+        );
+        Some(run)
+    } else {
+        None
+    };
+
     if allocs {
         println!("\narena reuse (batched phase):");
         for run in &runs {
@@ -507,7 +739,53 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    if let Some(run) = &router_run {
+        json.push_str("  \"router\": {\n");
+        json.push_str(
+            "    \"note\": \"two multi-model replicas behind the replica router; replica A \
+             killed mid-load; zero failed requests and bit-exact responses asserted before \
+             recording\",\n",
+        );
+        let names: Vec<String> = run
+            .model_names
+            .iter()
+            .map(|name| format!("\"{}\"", json_escape(name)))
+            .collect();
+        json.push_str(&format!(
+            "    \"models_per_replica\": [{}],\n",
+            names.join(", ")
+        ));
+        json.push_str(&format!("    \"stream_length\": {},\n", run.stream_length));
+        json.push_str(&format!("    \"clients\": {},\n", run.clients));
+        json.push_str(&format!(
+            "    \"total_requests\": {},\n",
+            run.total_requests
+        ));
+        json.push_str(&format!("    \"router_rps\": {:.4},\n", run.router_rps));
+        json.push_str(&format!(
+            "    \"client_latency_p50_ms\": {:.2},\n",
+            run.client_p50_ms
+        ));
+        json.push_str(&format!(
+            "    \"client_latency_p95_ms\": {:.2},\n",
+            run.client_p95_ms
+        ));
+        json.push_str(&format!("    \"failovers\": {},\n", run.failovers));
+        json.push_str(&format!("    \"failed_requests\": {},\n", run.failed));
+        json.push_str(&format!(
+            "    \"replica_forwarded\": [{}]\n",
+            run.replica_forwarded
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str("  }\n");
+    } else {
+        json.push_str("  \"router\": null\n");
+    }
+    json.push_str("}\n");
 
     // Only a full, unfiltered run may replace the committed recording: a
     // `--quick` smoke or a `--config` subset would silently clobber the

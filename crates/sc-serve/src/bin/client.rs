@@ -1,14 +1,19 @@
-//! `client`: send synthetic digit images to a running `serve` instance.
+//! `client`: send synthetic digit images to a running `serve` instance
+//! (or a `route` front — the wire protocol is identical).
 //!
 //! ```text
 //! cargo run --release -p sc-serve --bin client -- \
-//!     --addr 127.0.0.1:7878 --count 20 --seed 3
+//!     --addr 127.0.0.1:7878 --count 20 --seed 3 --model 1
 //! ```
+//!
+//! Without `--model` the client sends protocol-v1 frames (the multi-model
+//! server maps them to model 0); with `--model N` it sends v2 frames
+//! addressing model `N` of the server's registry.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sc_nn::dataset::render_digit;
-use sc_serve::proto::{read_response, write_request, Response};
+use sc_serve::proto::{read_response, write_request, write_request_v2, Response};
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::Instant;
@@ -17,6 +22,7 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut count = 10usize;
     let mut seed = 1u64;
+    let mut model: Option<u16> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -27,6 +33,7 @@ fn main() {
             "--addr" => addr = value("--addr"),
             "--count" => count = value("--count").parse().expect("count"),
             "--seed" => seed = value("--seed").parse().expect("seed"),
+            "--model" => model = Some(value("--model").parse().expect("model id")),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -40,7 +47,12 @@ fn main() {
         let digit = (id % 10) as usize;
         let image = render_digit(digit, &mut rng);
         let start = Instant::now();
-        write_request(&mut writer, id, [1, 28, 28], image.as_slice()).expect("send request");
+        match model {
+            // v1 frame: exercises the backwards-compatible path (model 0).
+            None => write_request(&mut writer, id, [1, 28, 28], image.as_slice()),
+            Some(model) => write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice()),
+        }
+        .expect("send request");
         match read_response(&mut reader).expect("read response") {
             Some(Response::Ok { argmax, logits, .. }) => {
                 let rtt = start.elapsed();

@@ -1,0 +1,85 @@
+//! `route`: front several `serve` replicas with one load-balanced address.
+//!
+//! ```text
+//! # two replicas, each serving the same model registry:
+//! cargo run --release -p sc-serve --bin serve -- --addr 127.0.0.1:7878 \
+//!     --model-config no1 --model-config apc &
+//! cargo run --release -p sc-serve --bin serve -- --addr 127.0.0.1:7879 \
+//!     --model-config no1 --model-config apc &
+//!
+//! # the router in front of them:
+//! cargo run --release -p sc-serve --bin route -- \
+//!     --addr 127.0.0.1:7900 --backends 127.0.0.1:7878,127.0.0.1:7879
+//!
+//! # clients talk to the router exactly as they would to a single server:
+//! cargo run --release -p sc-serve --bin client -- --addr 127.0.0.1:7900
+//! ```
+//!
+//! Requests go to the healthy backend with the fewest in-flight requests; a
+//! request whose backend dies mid-exchange (or refuses it while draining) is
+//! re-sent to another replica exactly once before the client sees an error.
+//! Router statistics are printed every few seconds.
+
+use sc_serve::router::{spawn_router, RouterOptions};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7900".to_string();
+    let mut backends: Vec<SocketAddr> = Vec::new();
+    let mut health_interval_ms = 200u64;
+    let mut connect_timeout_ms = 1000u64;
+    let mut exchange_timeout_ms = 30_000u64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--backends" => {
+                backends = value("--backends")
+                    .split(',')
+                    .map(|a| a.trim().parse().expect("backend address"))
+                    .collect();
+            }
+            "--health-interval-ms" => {
+                health_interval_ms = value("--health-interval-ms").parse().expect("interval")
+            }
+            "--connect-timeout-ms" => {
+                connect_timeout_ms = value("--connect-timeout-ms").parse().expect("timeout")
+            }
+            "--exchange-timeout-ms" => {
+                exchange_timeout_ms = value("--exchange-timeout-ms").parse().expect("timeout")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(
+        !backends.is_empty(),
+        "--backends takes a comma-separated list of serve replica addresses"
+    );
+
+    let listener = TcpListener::bind(&addr).expect("bind router listener");
+    let handle = spawn_router(
+        listener,
+        backends,
+        RouterOptions {
+            health_interval: Duration::from_millis(health_interval_ms),
+            connect_timeout: Duration::from_millis(connect_timeout_ms),
+            exchange_timeout: Duration::from_millis(exchange_timeout_ms),
+        },
+    )
+    .expect("spawn router");
+    println!(
+        "routing {} -> {} backends",
+        handle.addr(),
+        handle.stats().backends.len()
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_secs(5));
+        println!("{}", handle.stats());
+    }
+}

@@ -1,15 +1,22 @@
-//! `serve`: compile an SC network and serve it over TCP.
+//! `serve`: compile one or more SC networks and serve them over TCP.
 //!
 //! ```text
+//! # single model (protocol v1 clients keep working):
 //! cargo run --release -p sc-serve --bin serve -- \
 //!     --addr 127.0.0.1:7878 --config no1 --stream-length 1024 \
 //!     --max-batch 32 --linger-us 2000 --train-per-class 20 --epochs 2
+//!
+//! # multi-model: one listener, N engines; model i of a protocol-v2
+//! # request frame selects the i-th --model-config:
+//! cargo run --release -p sc-serve --bin serve -- \
+//!     --addr 127.0.0.1:7878 --model-config no1 --model-config apc
 //! ```
 //!
 //! Trains the reduced LeNet on the synthetic digit dataset (or real MNIST
-//! when built with `--features mnist` and `SC_MNIST_DIR` is set), compiles
-//! it for the chosen Table-6-style configuration, and serves inference
-//! requests, printing a metrics report every few seconds.
+//! when built with `--features mnist` and `SC_MNIST_DIR` is set) once,
+//! compiles it for every requested Table-6-style configuration, and serves
+//! inference requests, printing a metrics report every few seconds. Several
+//! `serve` replicas (same model list) can be fronted by the `route` binary.
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_dcnn::config::ScNetworkConfig;
@@ -18,14 +25,14 @@ use sc_nn::lenet::{tiny_lenet, PoolingStyle};
 use sc_nn::network::TrainingOptions;
 use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
-use sc_serve::server::{spawn, ServerOptions};
+use sc_serve::server::{spawn_multi, ServerOptions};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
     addr: String,
-    config: String,
+    model_configs: Vec<String>,
     stream_length: usize,
     max_batch: usize,
     linger_us: u64,
@@ -38,7 +45,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7878".into(),
-        config: "no1".into(),
+        model_configs: Vec::new(),
         stream_length: 1024,
         max_batch: 32,
         linger_us: 2000,
@@ -55,7 +62,9 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
-            "--config" => args.config = value("--config"),
+            // `--config` and `--model-config` are the same thing: each use
+            // appends one model to the registry, in model-id order.
+            "--config" | "--model-config" => args.model_configs.push(value(&flag)),
             "--stream-length" => {
                 args.stream_length = value("--stream-length").parse().expect("stream length")
             }
@@ -70,6 +79,9 @@ fn parse_args() -> Args {
             other => panic!("unknown flag {other}"),
         }
     }
+    if args.model_configs.is_empty() {
+        args.model_configs.push("no1".into());
+    }
     args
 }
 
@@ -81,14 +93,20 @@ fn config_for(name: &str, stream_length: usize) -> ScNetworkConfig {
         "no1" | "mux-mux-apc" => vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
         "no6" | "apc" | "apc-max" => vec![ApcMaxBtanh; 4],
         "mux" | "mux-max" => vec![MuxMaxStanh; 4],
-        other => panic!("unknown --config {other} (use no1, no6, mux)"),
+        other => panic!("unknown config {other} (use no1, no6, mux)"),
     };
     ScNetworkConfig::new(name, kinds, stream_length, PoolingStyle::Max)
 }
 
 fn main() {
     let args = parse_args();
-    let config = config_for(&args.config, args.stream_length);
+    // Resolve every configuration up front: a typo in one --model-config
+    // must fail here, not after a minutes-long training run.
+    let configs: Vec<ScNetworkConfig> = args
+        .model_configs
+        .iter()
+        .map(|name| config_for(name, args.stream_length))
+        .collect();
 
     println!(
         "training reduced LeNet ({} samples/class, {} epochs)...",
@@ -106,30 +124,39 @@ fn main() {
         },
     );
 
-    println!(
-        "compiling engine for {} (L = {})...",
-        config.layer_summary(),
-        config.stream_length
-    );
-    let engine = Engine::compile(
-        &network,
-        &config,
-        EngineOptions {
-            verify_against_interpreter: args.verify,
-            ..EngineOptions::default()
-        },
-    )
-    .expect("engine compilation");
-    println!(
-        "engine ready: {} layers, {} FEB evaluations/request, {} cached weight streams",
-        engine.plan().layers.len(),
-        engine.plan().total_units(),
-        engine.cached_weight_streams()
-    );
+    let engines: Vec<Arc<Engine>> = configs
+        .into_iter()
+        .map(|config| {
+            println!(
+                "compiling engine for {} (L = {})...",
+                config.layer_summary(),
+                config.stream_length
+            );
+            let engine = Engine::compile(
+                &network,
+                &config,
+                EngineOptions {
+                    verify_against_interpreter: args.verify,
+                    ..EngineOptions::default()
+                },
+            )
+            .expect("engine compilation");
+            Arc::new(engine)
+        })
+        .collect();
+    for (model, engine) in engines.iter().enumerate() {
+        println!(
+            "model {model} ({}): {} layers, {} FEB evaluations/request, {} cached weight streams",
+            engine.model_name(),
+            engine.plan().layers.len(),
+            engine.plan().total_units(),
+            engine.cached_weight_streams()
+        );
+    }
 
     let listener = TcpListener::bind(&args.addr).expect("bind listener");
-    let handle = spawn(
-        Arc::new(engine),
+    let handle = spawn_multi(
+        engines,
         listener,
         ServerOptions {
             policy: BatchPolicy {
@@ -140,7 +167,11 @@ fn main() {
         },
     )
     .expect("spawn server");
-    println!("listening on {}", handle.addr());
+    println!(
+        "listening on {} ({} models)",
+        handle.addr(),
+        handle.models()
+    );
 
     let metrics = handle.metrics();
     loop {

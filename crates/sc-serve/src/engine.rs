@@ -212,6 +212,12 @@ impl Engine {
         &self.plan
     }
 
+    /// Name of the configuration this engine was compiled from — the label
+    /// a multi-model server lists its registry under.
+    pub fn model_name(&self) -> &str {
+        &self.plan.config_name
+    }
+
     /// The engine's options.
     pub fn options(&self) -> &EngineOptions {
         &self.options

@@ -21,8 +21,12 @@
 //!   `verify_against_interpreter`).
 //! * [`batch`] / [`server`] / [`proto`] / [`metrics`] — the serving runtime:
 //!   a micro-batching scheduler, a std-only length-prefixed TCP protocol
-//!   (`serve` / `client` binaries), and throughput / latency-percentile
-//!   metrics.
+//!   (`serve` / `client` binaries) whose v2 frames address one of several
+//!   models hosted behind a single listener, and throughput /
+//!   latency-percentile metrics.
+//! * [`router`] — the scale-out front (`route` binary): load-balances
+//!   client requests across several `serve` replicas with health checks,
+//!   least-loaded routing, and exactly-once failover.
 //!
 //! ## Quick example
 //!
@@ -65,6 +69,7 @@ pub mod interpreter;
 pub mod metrics;
 pub mod plan;
 pub mod proto;
+pub mod router;
 pub mod server;
 
 pub use engine::{Engine, EngineOptions, Session};
@@ -80,5 +85,8 @@ pub mod prelude {
     pub use crate::interpreter::{Inference, Interpreter};
     pub use crate::metrics::{Metrics, MetricsReport};
     pub use crate::plan::{lower, Plan, PlanOptions};
-    pub use crate::server::{spawn, ServerHandle, ServerOptions};
+    pub use crate::router::{spawn_router, RouterHandle, RouterOptions, RouterStats};
+    pub use crate::server::{
+        spawn, spawn_multi, ServerHandle, ServerOptions, SHUTTING_DOWN_MESSAGE,
+    };
 }

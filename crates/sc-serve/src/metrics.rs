@@ -40,7 +40,15 @@ pub struct Metrics {
     completed: AtomicU64,
     failed: AtomicU64,
     started: Instant,
+    /// Microseconds (since `started`) of the first completion, or
+    /// [`NO_COMPLETION`] before any request completed.
+    first_completion_us: AtomicU64,
+    /// Microseconds (since `started`) of the most recent completion.
+    last_completion_us: AtomicU64,
 }
+
+/// Sentinel for "no completion recorded yet".
+const NO_COMPLETION: u64 = u64::MAX;
 
 impl Default for Metrics {
     fn default() -> Self {
@@ -56,12 +64,28 @@ impl Metrics {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             started: Instant::now(),
+            first_completion_us: AtomicU64::new(NO_COMPLETION),
+            last_completion_us: AtomicU64::new(0),
         }
     }
 
     /// Records one successfully served request.
     pub fn record(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        let now_us = self
+            .started
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX - 1)) as u64;
+        // First completion wins the race exactly once; the max keeps "last"
+        // monotone even when workers record out of order.
+        let _ = self.first_completion_us.compare_exchange(
+            NO_COMPLETION,
+            now_us,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.last_completion_us.fetch_max(now_us, Ordering::Relaxed);
         self.latencies_us
             .lock()
             .expect("metrics lock")
@@ -85,11 +109,23 @@ impl Metrics {
         latencies.sort_unstable();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let completed = self.completed.load(Ordering::Relaxed);
+        // Throughput over the first→last *completion* span, not lifetime
+        // wall-clock: dividing by `elapsed` made an idle server's rate decay
+        // toward zero while it sat between bursts. With fewer than two
+        // completions the span is degenerate (zero), so the lifetime rate is
+        // the honest fallback.
+        let first = self.first_completion_us.load(Ordering::Relaxed);
+        let last = self.last_completion_us.load(Ordering::Relaxed);
+        let throughput_rps = if completed < 2 || first == NO_COMPLETION || last <= first {
+            completed as f64 / elapsed
+        } else {
+            completed as f64 / ((last - first) as f64 / 1e6)
+        };
         MetricsReport {
             completed,
             failed: self.failed.load(Ordering::Relaxed),
             elapsed_s: elapsed,
-            throughput_rps: completed as f64 / elapsed,
+            throughput_rps,
             mean_ms: mean_ms(&latencies),
             p50_ms: percentile_ms(&latencies, 50.0),
             p95_ms: percentile_ms(&latencies, 95.0),
@@ -107,7 +143,10 @@ pub struct MetricsReport {
     pub failed: u64,
     /// Seconds since the recorder was created.
     pub elapsed_s: f64,
-    /// Completed requests per wall-clock second.
+    /// Completed requests per second, measured over the span between the
+    /// first and the most recent completion (so idle time between bursts
+    /// does not decay the rate). With fewer than two completions this falls
+    /// back to the lifetime rate.
     pub throughput_rps: f64,
     /// Mean end-to-end latency in milliseconds.
     pub mean_ms: f64,
@@ -246,6 +285,56 @@ mod tests {
         assert_eq!(state.samples[0], LATENCY_WINDOW as u64);
         assert_eq!(state.samples[99], LATENCY_WINDOW as u64 + 99);
         assert_eq!(state.samples[100], 100);
+    }
+
+    #[test]
+    fn idle_time_does_not_decay_throughput() {
+        // Regression: throughput was lifetime `completed / wall-clock`, so a
+        // server that served a burst and then sat idle reported a rate
+        // decaying toward zero. The rate must be measured over the
+        // first→last completion span and therefore survive the sleep.
+        let metrics = Metrics::new();
+        metrics.record(Duration::from_micros(10));
+        // A measurable gap between the first and last completion keeps the
+        // span well-defined on coarse clocks.
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..49 {
+            metrics.record(Duration::from_micros(10));
+        }
+        let busy = metrics.report();
+        std::thread::sleep(Duration::from_millis(300));
+        let idle = metrics.report();
+        assert_eq!(idle.completed, 50);
+        // The lifetime-based rate would have shrunk by at least the sleep
+        // (300 ms dwarfs the recording burst); the span-based rate is
+        // identical in both reports because no completion happened between
+        // them.
+        assert!(
+            (idle.throughput_rps - busy.throughput_rps).abs() < 1e-6,
+            "idle time changed throughput: {} -> {}",
+            busy.throughput_rps,
+            idle.throughput_rps
+        );
+        // Sanity: the burst took well under 300 ms, so the span-based rate
+        // must exceed what lifetime division could ever report after the
+        // sleep.
+        assert!(
+            idle.throughput_rps > 50.0 / 0.3,
+            "rate {} decayed toward the lifetime quotient",
+            idle.throughput_rps
+        );
+    }
+
+    #[test]
+    fn degenerate_completion_counts_fall_back_to_lifetime_rate() {
+        let metrics = Metrics::new();
+        assert_eq!(metrics.report().throughput_rps, 0.0);
+        metrics.record(Duration::from_millis(1));
+        // One completion: span is zero, rate falls back to lifetime and must
+        // be finite.
+        let report = metrics.report();
+        assert!(report.throughput_rps.is_finite());
+        assert!(report.throughput_rps > 0.0);
     }
 
     #[test]

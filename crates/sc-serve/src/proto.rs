@@ -4,10 +4,19 @@
 //! frame is a little-endian `u32` payload length followed by the payload.
 //!
 //! ```text
-//! request  := 0x01 id:u64 c:u16 h:u16 w:u16 pixels:[f32; c*h*w]
-//! response := 0x02 id:u64 status:u8(0=ok) argmax:u16 n:u32 logits:[f64; n]
-//!           | 0x02 id:u64 status:u8(1=err) len:u32 message:[u8; len]
+//! request v1 := 0x01 id:u64 c:u16 h:u16 w:u16 pixels:[f32; c*h*w]
+//! request v2 := 0x03 ver:u8(=2) model:u16 id:u64 c:u16 h:u16 w:u16 pixels
+//! response   := 0x02 id:u64 status:u8(0=ok) argmax:u16 n:u32 logits:[f64; n]
+//!             | 0x02 id:u64 status:u8(1=err) len:u32 message:[u8; len]
 //! ```
+//!
+//! Version 2 (multi-model serving) addresses one of several engines hosted
+//! behind a single listener. [`read_request`] accepts both versions — a v1
+//! frame maps to model 0, so old clients keep working against a multi-model
+//! server — while a v1 peer ([`read_request_v1`]) rejects a v2 frame with a
+//! clean `InvalidData` error instead of misparsing it. The version byte
+//! inside the v2 frame leaves room for later revisions without burning a new
+//! tag each time; an unknown version is likewise a clean `InvalidData`.
 //!
 //! All integers and floats are little-endian. Frames are capped at 16 MiB.
 
@@ -16,14 +25,21 @@ use std::io::{self, Read, Write};
 /// Maximum accepted frame payload (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
+/// Protocol version written by [`write_request_v2`] and the highest version
+/// [`read_request`] understands.
+pub const PROTOCOL_VERSION: u8 = 2;
+
 const TAG_REQUEST: u8 = 1;
 const TAG_RESPONSE: u8 = 2;
+const TAG_REQUEST_V2: u8 = 3;
 
 /// An inference request: a request id chosen by the client plus the image.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
+    /// Model the request addresses (always `0` for a v1 frame).
+    pub model: u16,
     /// Image shape `(channels, height, width)`.
     pub shape: [usize; 3],
     /// Row-major pixel data, `shape` elements.
@@ -65,7 +81,13 @@ fn invalid(message: impl Into<String>) -> io::Error {
 }
 
 /// Overflow-checked element count of a request shape.
-fn checked_shape_product(shape: [usize; 3]) -> Option<usize> {
+///
+/// This is the single validation point for `shape → pixel count`: both wire
+/// directions and the in-process serving path ([`crate::server`], router
+/// forwarding, benches) go through it, so a shape whose product wraps
+/// `usize` can never masquerade as a small pixel count — `65535³` overflows
+/// 32-bit `usize` and, unchecked, would wrap silently in release builds.
+pub fn checked_shape_product(shape: [usize; 3]) -> Option<usize> {
     shape[0].checked_mul(shape[1])?.checked_mul(shape[2])
 }
 
@@ -98,13 +120,10 @@ fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Serializes and sends a request frame.
-///
-/// # Errors
-///
-/// Propagates I/O failures; rejects shape/pixel mismatches.
-pub fn write_request(
-    writer: &mut impl Write,
+/// Validates a shape/pixel pair and appends the shared request body
+/// (`id shape pixels`) to `payload`.
+fn encode_request_body(
+    payload: &mut Vec<u8>,
     id: u64,
     shape: [usize; 3],
     pixels: &[f32],
@@ -122,8 +141,6 @@ pub fn write_request(
             "shape {shape:?} describes a zero-length stream"
         )));
     }
-    let mut payload = Vec::with_capacity(1 + 8 + 6 + pixels.len() * 4);
-    payload.push(TAG_REQUEST);
     payload.extend_from_slice(&id.to_le_bytes());
     for dim in shape {
         payload.extend_from_slice(&(dim as u16).to_le_bytes());
@@ -131,22 +148,75 @@ pub fn write_request(
     for pixel in pixels {
         payload.extend_from_slice(&pixel.to_le_bytes());
     }
-    write_frame(writer, &payload)
+    Ok(())
 }
 
-/// Reads one request; `Ok(None)` on clean EOF.
+/// Serializes and sends a version-1 request frame (model 0).
+///
+/// Kept as the default single-model writer: v1 frames stay byte-identical
+/// to the pre-multi-model protocol, and [`read_request`] maps them to
+/// model 0.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures; returns `InvalidData` for malformed frames.
-pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
-    let Some(payload) = read_frame(reader)? else {
-        return Ok(None);
-    };
-    let mut cursor = Cursor::new(&payload);
-    if cursor.u8()? != TAG_REQUEST {
-        return Err(invalid("expected a request frame"));
+/// Propagates I/O failures; rejects shape/pixel mismatches.
+pub fn write_request(
+    writer: &mut impl Write,
+    id: u64,
+    shape: [usize; 3],
+    pixels: &[f32],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(1 + 8 + 6 + pixels.len() * 4);
+    payload.push(TAG_REQUEST);
+    encode_request_body(&mut payload, id, shape, pixels)?;
+    write_frame(writer, &payload)
+}
+
+/// Serializes and sends a version-2 request frame addressing `model`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects shape/pixel mismatches.
+pub fn write_request_v2(
+    writer: &mut impl Write,
+    id: u64,
+    model: u16,
+    shape: [usize; 3],
+    pixels: &[f32],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(4 + 8 + 6 + pixels.len() * 4);
+    payload.push(TAG_REQUEST_V2);
+    payload.push(PROTOCOL_VERSION);
+    payload.extend_from_slice(&model.to_le_bytes());
+    encode_request_body(&mut payload, id, shape, pixels)?;
+    write_frame(writer, &payload)
+}
+
+/// Serializes and sends a parsed request, preserving its model id (the
+/// router's forwarding path). A request for model 0 is written as a v1
+/// frame — byte-identical to what a v1 client would send — so forwarding
+/// never upgrades a frame a v1-only backend could have served.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects shape/pixel mismatches.
+pub fn forward_request(writer: &mut impl Write, request: &Request) -> io::Result<()> {
+    if request.model == 0 {
+        write_request(writer, request.id, request.shape, &request.pixels)
+    } else {
+        write_request_v2(
+            writer,
+            request.id,
+            request.model,
+            request.shape,
+            &request.pixels,
+        )
     }
+}
+
+/// Parses the shared request body (`id shape pixels`) of an already
+/// tag-dispatched request frame.
+fn decode_request_body(cursor: &mut Cursor<'_>, model: u16) -> io::Result<Request> {
     let id = cursor.u64()?;
     let shape = [
         cursor.u16()? as usize,
@@ -176,7 +246,66 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
         pixels.push(f32::from_le_bytes(cursor.array::<4>()?));
     }
     cursor.finish()?;
-    Ok(Some(Request { id, shape, pixels }))
+    Ok(Request {
+        id,
+        model,
+        shape,
+        pixels,
+    })
+}
+
+/// Reads one request, v1 or v2; `Ok(None)` on clean EOF.
+///
+/// A v1 frame maps to model 0; a v2 frame carries its model id. A v2 frame
+/// declaring an unknown protocol version is `InvalidData` — the version byte
+/// is checked before anything else in the payload is trusted.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed frames.
+pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor::new(&payload);
+    match cursor.u8()? {
+        TAG_REQUEST => Ok(Some(decode_request_body(&mut cursor, 0)?)),
+        TAG_REQUEST_V2 => {
+            let version = cursor.u8()?;
+            if version != PROTOCOL_VERSION {
+                return Err(invalid(format!(
+                    "unsupported protocol version {version} (this reader speaks \
+                     {PROTOCOL_VERSION})"
+                )));
+            }
+            let model = cursor.u16()?;
+            Ok(Some(decode_request_body(&mut cursor, model)?))
+        }
+        _ => Err(invalid("expected a request frame")),
+    }
+}
+
+/// Reads one request the way a version-1 peer does: only v1 frames are
+/// accepted; a v2 frame is a clean `InvalidData` error (its tag byte is not
+/// a request tag to this reader), never a misparse.
+///
+/// Kept so cross-version behaviour stays testable from the v2 codebase: a
+/// v1 `serve` deployment behind a mixed client population fails v2 traffic
+/// loudly at the protocol layer instead of serving the wrong model.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed and v2
+/// frames.
+pub fn read_request_v1(reader: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor::new(&payload);
+    if cursor.u8()? != TAG_REQUEST {
+        return Err(invalid("expected a request frame"));
+    }
+    Ok(Some(decode_request_body(&mut cursor, 0)?))
 }
 
 /// Serializes and sends a response frame.
@@ -327,12 +456,108 @@ mod tests {
         write_request(&mut wire, 42, [1, 3, 4], &pixels).unwrap();
         let parsed = read_request(&mut wire.as_slice()).unwrap().unwrap();
         assert_eq!(parsed.id, 42);
+        assert_eq!(parsed.model, 0);
         assert_eq!(parsed.shape, [1, 3, 4]);
         assert_eq!(parsed.pixels, pixels);
         // EOF after the frame.
         let mut reader = wire.as_slice();
         let _ = read_request(&mut reader).unwrap();
         assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_request_round_trips_with_model_id() {
+        let pixels: Vec<f32> = (0..6).map(|i| i as f32 / 6.0).collect();
+        for model in [0u16, 1, 7, u16::MAX] {
+            let mut wire = Vec::new();
+            write_request_v2(&mut wire, 42, model, [1, 2, 3], &pixels).unwrap();
+            let parsed = read_request(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(parsed.id, 42);
+            assert_eq!(parsed.model, model);
+            assert_eq!(parsed.shape, [1, 2, 3]);
+            assert_eq!(parsed.pixels, pixels);
+        }
+        // The v2 writer applies the same shape validation as the v1 writer.
+        let mut wire = Vec::new();
+        assert!(write_request_v2(&mut wire, 1, 3, [0, 2, 3], &[]).is_err());
+        assert!(write_request_v2(&mut wire, 1, 3, [1, 2, 3], &[0.0; 5]).is_err());
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn v2_reader_accepts_v1_frames_as_model_zero() {
+        // Cross-version matrix, forward direction: an old client's frame is
+        // served by a multi-model server as model 0 — byte layout untouched.
+        let pixels = [0.5f32, -0.25, 0.125, 1.0];
+        let mut wire = Vec::new();
+        write_request(&mut wire, 9, [1, 2, 2], &pixels).unwrap();
+        let parsed = read_request(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(parsed.model, 0);
+        assert_eq!(parsed.id, 9);
+        assert_eq!(parsed.pixels, pixels);
+    }
+
+    #[test]
+    fn v1_reader_rejects_v2_frames_cleanly() {
+        // Cross-version matrix, reverse direction: a v1 peer must fail a v2
+        // frame with `InvalidData` — not hang, not misparse the model id as
+        // part of the request id.
+        let mut wire = Vec::new();
+        write_request_v2(&mut wire, 3, 1, [1, 2, 2], &[0.0; 4]).unwrap();
+        let error = read_request_v1(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("request frame"), "{error}");
+        // The v1 reader still accepts v1 frames and clean EOF.
+        let mut wire = Vec::new();
+        write_request(&mut wire, 4, [1, 1, 1], &[0.5]).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_request_v1(&mut reader).unwrap().unwrap().id, 4);
+        assert!(read_request_v1(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_protocol_version_is_rejected() {
+        // A v2-tagged frame with a version byte from the future must fail
+        // before any of its payload is trusted.
+        let mut wire = Vec::new();
+        write_request_v2(&mut wire, 5, 2, [1, 1, 1], &[0.25]).unwrap();
+        // Payload starts after the 4-byte length prefix: [tag, version, ...].
+        wire[5] = PROTOCOL_VERSION + 1;
+        let error = read_request(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("version"), "{error}");
+    }
+
+    #[test]
+    fn forward_request_preserves_wire_version_by_model() {
+        // Model 0 forwards as a byte-identical v1 frame; other models as v2.
+        let pixels = [0.5f32, 0.25];
+        let v0 = Request {
+            id: 11,
+            model: 0,
+            shape: [1, 1, 2],
+            pixels: pixels.to_vec(),
+        };
+        let mut forwarded = Vec::new();
+        forward_request(&mut forwarded, &v0).unwrap();
+        let mut direct = Vec::new();
+        write_request(&mut direct, 11, [1, 1, 2], &pixels).unwrap();
+        assert_eq!(forwarded, direct);
+        let v2 = Request { model: 3, ..v0 };
+        let mut forwarded = Vec::new();
+        forward_request(&mut forwarded, &v2).unwrap();
+        assert_eq!(
+            read_request(&mut forwarded.as_slice()).unwrap().unwrap(),
+            v2
+        );
+    }
+
+    #[test]
+    fn checked_shape_product_guards_overflow() {
+        assert_eq!(checked_shape_product([2, 3, 4]), Some(24));
+        assert_eq!(checked_shape_product([0, 3, 4]), Some(0));
+        assert_eq!(checked_shape_product([usize::MAX, 2, 1]), None);
+        assert_eq!(checked_shape_product([1 << 40, 1 << 40, 2]), None);
     }
 
     #[test]

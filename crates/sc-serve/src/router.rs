@@ -1,0 +1,554 @@
+//! Replica router: a load-balancing TCP front over several `serve` backends.
+//!
+//! SC-DCNN's scalability story is many network configurations sharing one
+//! substrate; operationally that means several `serve` replicas (each
+//! hosting the same engine registry) behind one address. This module is the
+//! std-only front that makes a replica set look like a single server:
+//!
+//! * **Least-loaded routing** — every request is dispatched to the healthy
+//!   backend with the fewest in-flight requests (per-backend in-flight
+//!   accounting, maintained by the forwarding path itself).
+//! * **Health checks** — a background thread probes each backend with a TCP
+//!   connect every [`RouterOptions::health_interval`]; the forwarding path
+//!   additionally marks a backend down the moment an exchange fails, so a
+//!   killed replica stops receiving traffic before the next probe.
+//! * **Exactly-once failover** — a request whose backend exchange fails
+//!   (connection refused/broken, or an explicit
+//!   [`SHUTTING_DOWN_MESSAGE`] refusal from a draining replica) is re-sent
+//!   to a *different* replica exactly once; if that also fails, the client
+//!   gets a `Response::Err` instead of a hang. This is only correct because
+//!   the serving runtime's graceful shutdown answers or refuses every
+//!   accepted request — a backend that silently dropped requests would make
+//!   the router double-serve or hang.
+//!
+//! The router is protocol-transparent: it parses requests (v1 or v2) only
+//! to learn frame boundaries, ids, and model ids, and forwards them with
+//! [`crate::proto::forward_request`], which preserves the wire version.
+//! Responses are relayed verbatim, so a routed inference is bit-exact with
+//! a direct engine call.
+//!
+//! [`SHUTTING_DOWN_MESSAGE`]: crate::server::SHUTTING_DOWN_MESSAGE
+
+use crate::proto::{
+    forward_request, read_request, read_response, write_response, Request, Response,
+};
+use crate::server::{ConnectionRegistry, SHUTTING_DOWN_MESSAGE};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Interval between background health probes of each backend.
+    pub health_interval: Duration,
+    /// Connect timeout for health probes and backend dials.
+    pub connect_timeout: Duration,
+    /// Read timeout for one backend request/response exchange. A replica
+    /// that accepts a request and then goes silent (process stopped,
+    /// packets blackholed) would otherwise block the exchange forever —
+    /// failover only helps if a hung backend eventually *errors*. Must
+    /// comfortably exceed worst-case inference latency under load.
+    pub exchange_timeout: Duration,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            health_interval: Duration::from_millis(200),
+            connect_timeout: Duration::from_secs(1),
+            exchange_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One backend replica and its live accounting.
+#[derive(Debug)]
+struct Backend {
+    addr: SocketAddr,
+    /// Last known health: updated by the probe thread and cleared by the
+    /// forwarding path on any failed exchange.
+    healthy: AtomicBool,
+    /// Requests currently awaiting a response from this backend (the
+    /// least-loaded routing key).
+    in_flight: AtomicUsize,
+    /// Requests this backend answered.
+    forwarded: AtomicU64,
+    /// Exchanges that failed on this backend and were failed over.
+    failovers: AtomicU64,
+}
+
+/// Point-in-time statistics of one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendStats {
+    /// The backend's address.
+    pub addr: SocketAddr,
+    /// Whether the backend was considered healthy at snapshot time.
+    pub healthy: bool,
+    /// Requests in flight at snapshot time.
+    pub in_flight: usize,
+    /// Requests this backend answered.
+    pub forwarded: u64,
+    /// Failed exchanges that were failed over away from this backend.
+    pub failovers: u64,
+}
+
+/// Point-in-time statistics of the router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Per-backend counters, in configuration order.
+    pub backends: Vec<BackendStats>,
+    /// Requests accepted from clients.
+    pub requests: u64,
+    /// Re-sends performed (one per failed first exchange).
+    pub failovers: u64,
+    /// Requests that failed even after the failover attempt.
+    pub failed: u64,
+}
+
+impl std::fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests, {} failovers, {} failed —",
+            self.requests, self.failovers, self.failed
+        )?;
+        for backend in &self.backends {
+            write!(
+                f,
+                " [{} {} fwd={} inflight={} failover={}]",
+                backend.addr,
+                if backend.healthy { "up" } else { "down" },
+                backend.forwarded,
+                backend.in_flight,
+                backend.failovers
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the accept loop, connection threads, and probe thread.
+#[derive(Debug)]
+struct RouterShared {
+    backends: Vec<Backend>,
+    options: RouterOptions,
+    registry: ConnectionRegistry,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    failovers: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Handle to a running router.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    health_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the router is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the router's counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            backends: self
+                .shared
+                .backends
+                .iter()
+                .map(|backend| BackendStats {
+                    addr: backend.addr,
+                    healthy: backend.healthy.load(Ordering::Relaxed),
+                    in_flight: backend.in_flight.load(Ordering::Relaxed),
+                    forwarded: backend.forwarded.load(Ordering::Relaxed),
+                    failovers: backend.failovers.load(Ordering::Relaxed),
+                })
+                .collect(),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            failovers: self.shared.failovers.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes live client connections (their in-progress
+    /// request exchanges finish first — the registry only shuts the read
+    /// side), and joins all router threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.health_thread.take() {
+            let _ = handle.join();
+        }
+        self.shared.registry.close_and_join();
+    }
+}
+
+/// Starts routing client connections on `listener` across `backends`.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an empty backend list, and propagates an I/O
+/// error if the listener's local address cannot be read.
+pub fn spawn_router(
+    listener: TcpListener,
+    backends: Vec<SocketAddr>,
+    options: RouterOptions,
+) -> io::Result<RouterHandle> {
+    if backends.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "spawn_router needs at least one backend",
+        ));
+    }
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(RouterShared {
+        backends: backends
+            .into_iter()
+            .map(|addr| Backend {
+                addr,
+                healthy: AtomicBool::new(true),
+                in_flight: AtomicUsize::new(0),
+                forwarded: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+            })
+            .collect(),
+        options,
+        registry: ConnectionRegistry::default(),
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+    });
+
+    let health_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || health_loop(&shared))
+    };
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let Ok(registered) = stream.try_clone() else {
+                            continue;
+                        };
+                        let id = shared.registry.register(registered);
+                        let shared_for_thread = Arc::clone(&shared);
+                        let thread = std::thread::spawn(move || {
+                            client_connection_loop(stream, &shared_for_thread);
+                            shared_for_thread.registry.deregister(id);
+                        });
+                        shared.registry.attach_thread(id, thread);
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+    };
+
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        health_thread: Some(health_thread),
+    })
+}
+
+/// Background health probes: one TCP connect per backend per interval.
+fn health_loop(shared: &RouterShared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            let healthy =
+                TcpStream::connect_timeout(&backend.addr, shared.options.connect_timeout).is_ok();
+            backend.healthy.store(healthy, Ordering::Relaxed);
+        }
+        // Sleep in short slices so shutdown is never blocked on a long
+        // health interval.
+        let mut remaining = shared.options.health_interval;
+        while !remaining.is_zero() && !shared.stop.load(Ordering::SeqCst) {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// A pooled connection to one backend, reused across a client connection's
+/// sequential requests.
+struct BackendConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl BackendConn {
+    fn connect(addr: SocketAddr, options: &RouterOptions) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+        // A backend that accepts the request and then goes silent must turn
+        // into a timed-out read (→ failover), not a forever-blocked client
+        // thread that would also wedge `RouterHandle::shutdown`'s join.
+        stream.set_read_timeout(Some(options.exchange_timeout))?;
+        stream.set_write_timeout(Some(options.exchange_timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+}
+
+/// Per-client loop: read a request, forward it (with failover), relay the
+/// response. Requests on one connection are handled sequentially, so each
+/// pooled backend connection carries at most one outstanding exchange.
+fn client_connection_loop(stream: TcpStream, shared: &RouterShared) {
+    // A client that stops draining its socket must not block this thread in
+    // `write_response` forever (it would also wedge shutdown's join); after
+    // the timeout the write errors and the connection closes.
+    if stream
+        .set_write_timeout(Some(shared.options.exchange_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conns: Vec<Option<BackendConn>> = (0..shared.backends.len()).map(|_| None).collect();
+    while let Ok(Some(request)) = read_request(&mut reader) {
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let response = forward_with_failover(shared, &mut conns, &request);
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+/// Whether a response is a draining replica's refusal (retriable elsewhere)
+/// rather than an application error (not retriable — a bad shape is bad on
+/// every replica).
+fn is_shutdown_refusal(response: &Response) -> bool {
+    matches!(response, Response::Err { message, .. } if message == SHUTTING_DOWN_MESSAGE)
+}
+
+/// Picks the healthy backend with the fewest in-flight requests, skipping
+/// `excluded`. When no backend looks healthy (probe results can be stale —
+/// e.g. a replica restarted a millisecond ago), the least-loaded unhealthy
+/// one is tried anyway rather than failing the request outright.
+fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize> {
+    let candidates = |healthy: bool| {
+        shared
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(index, backend)| {
+                Some(*index) != excluded && backend.healthy.load(Ordering::Relaxed) == healthy
+            })
+            .min_by_key(|(_, backend)| backend.in_flight.load(Ordering::Relaxed))
+            .map(|(index, _)| index)
+    };
+    candidates(true).or_else(|| candidates(false))
+}
+
+/// One request/response exchange against backend `index`, with in-flight
+/// accounting. Any failure poisons the pooled connection (a half-completed
+/// exchange would desynchronize every later request on it).
+fn forward_once(
+    shared: &RouterShared,
+    conns: &mut [Option<BackendConn>],
+    index: usize,
+    request: &Request,
+) -> io::Result<Response> {
+    let backend = &shared.backends[index];
+    backend.in_flight.fetch_add(1, Ordering::Relaxed);
+    let result = (|| {
+        if conns[index].is_none() {
+            conns[index] = Some(BackendConn::connect(backend.addr, &shared.options)?);
+        }
+        let conn = conns[index].as_mut().expect("connection just ensured");
+        forward_request(&mut conn.writer, request)?;
+        match read_response(&mut conn.reader)? {
+            Some(response) if response.id() == request.id => Ok(response),
+            Some(response) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "backend answered id {} for request {}",
+                    response.id(),
+                    request.id
+                ),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "backend closed mid-exchange",
+            )),
+        }
+    })();
+    backend.in_flight.fetch_sub(1, Ordering::Relaxed);
+    if result.is_err() {
+        conns[index] = None;
+    }
+    result
+}
+
+/// Forwards `request`, re-sending it to a different replica **exactly once**
+/// if the first exchange fails or is refused by a draining backend. A second
+/// failure returns an error response — the client always gets an answer.
+fn forward_with_failover(
+    shared: &RouterShared,
+    conns: &mut [Option<BackendConn>],
+    request: &Request,
+) -> Response {
+    let mut excluded = None;
+    for attempt in 0..2 {
+        let Some(index) = pick_backend(shared, excluded) else {
+            break; // every backend already failed this request
+        };
+        let backend = &shared.backends[index];
+        let failure = match forward_once(shared, conns, index, request) {
+            Ok(response) if !is_shutdown_refusal(&response) => {
+                backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                return response;
+            }
+            Ok(_refusal) => "backend is shutting down".to_string(),
+            Err(error) => error.to_string(),
+        };
+        // Mark the backend down immediately: the probe thread will restore
+        // it if it is actually alive, and meanwhile other connections stop
+        // picking it.
+        backend.healthy.store(false, Ordering::Relaxed);
+        backend.failovers.fetch_add(1, Ordering::Relaxed);
+        if attempt == 0 {
+            shared.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        excluded = Some(index);
+        let _ = failure;
+    }
+    shared.failed.fetch_add(1, Ordering::Relaxed);
+    Response::Err {
+        id: request.id,
+        message: "no replica answered this request (one failover attempted)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An address nothing is listening on (bound then immediately freed).
+    fn dead_addr() -> SocketAddr {
+        TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+    }
+
+    fn shared_with(backends: usize) -> RouterShared {
+        RouterShared {
+            backends: (0..backends)
+                .map(|_| Backend {
+                    addr: dead_addr(),
+                    healthy: AtomicBool::new(true),
+                    in_flight: AtomicUsize::new(0),
+                    forwarded: AtomicU64::new(0),
+                    failovers: AtomicU64::new(0),
+                })
+                .collect(),
+            options: RouterOptions::default(),
+            registry: ConnectionRegistry::default(),
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn pick_prefers_least_loaded_healthy_backend() {
+        let shared = shared_with(3);
+        shared.backends[0].in_flight.store(4, Ordering::Relaxed);
+        shared.backends[1].in_flight.store(1, Ordering::Relaxed);
+        shared.backends[2].in_flight.store(2, Ordering::Relaxed);
+        assert_eq!(pick_backend(&shared, None), Some(1));
+        // The excluded backend is never re-picked, even when least loaded.
+        assert_eq!(pick_backend(&shared, Some(1)), Some(2));
+        // An unhealthy backend loses to a busier healthy one...
+        shared.backends[1].healthy.store(false, Ordering::Relaxed);
+        assert_eq!(pick_backend(&shared, None), Some(2));
+        // ...but when nothing is healthy, the least-loaded one is tried
+        // anyway instead of giving up.
+        for backend in &shared.backends {
+            backend.healthy.store(false, Ordering::Relaxed);
+        }
+        assert_eq!(pick_backend(&shared, None), Some(1));
+        // A single excluded backend in a one-backend set yields nothing.
+        let single = shared_with(1);
+        assert_eq!(pick_backend(&single, Some(0)), None);
+    }
+
+    #[test]
+    fn shutdown_refusals_are_retriable_other_errors_are_not() {
+        assert!(is_shutdown_refusal(&Response::Err {
+            id: 1,
+            message: SHUTTING_DOWN_MESSAGE.to_string(),
+        }));
+        assert!(!is_shutdown_refusal(&Response::Err {
+            id: 1,
+            message: "shape [0, 0, 0] declares a zero-length stream".to_string(),
+        }));
+        assert!(!is_shutdown_refusal(&Response::Ok {
+            id: 1,
+            argmax: 0,
+            logits: vec![0.0],
+        }));
+    }
+
+    #[test]
+    fn failover_gives_up_after_one_resend_with_an_error_reply() {
+        // Two backends, neither listening: the first exchange fails, the
+        // failover exchange fails, and the client gets an error response —
+        // never a hang, never a third attempt.
+        let shared = shared_with(2);
+        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
+        let request = Request {
+            id: 42,
+            model: 0,
+            shape: [1, 1, 1],
+            pixels: vec![0.5],
+        };
+        let response = forward_with_failover(&shared, &mut conns, &request);
+        match response {
+            Response::Err { id, message } => {
+                assert_eq!(id, 42);
+                assert!(message.contains("failover"), "{message}");
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+        assert_eq!(shared.failovers.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.failed.load(Ordering::Relaxed), 1);
+        let attempts: u64 = shared
+            .backends
+            .iter()
+            .map(|b| b.failovers.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(attempts, 2, "exactly two exchanges may be attempted");
+        for backend in &shared.backends {
+            assert_eq!(backend.in_flight.load(Ordering::Relaxed), 0);
+        }
+    }
+}

@@ -8,23 +8,53 @@
 //!                        └── per-connection writer ◄── reply channel
 //! ```
 //!
-//! Each worker owns a long-lived engine [`Session`], so the input-stream
-//! cache stays warm across batches; requests are answered on their
+//! One listener serves **N compiled engines** (multi-model serving): each
+//! worker owns one long-lived [`Session`] *per model*, so every model's
+//! input-stream cache stays warm across batches regardless of how traffic
+//! interleaves. Requests address a model through the protocol-v2 `model`
+//! field; v1 frames map to model 0. Requests are answered on their
 //! connection's writer thread, so slow clients never block inference.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] guarantees that every request *accepted* (read
+//! off a socket) before the sockets close is **answered or refused, never
+//! dropped**: queued jobs are drained and served, a request that arrives
+//! after the queue closed gets an explicit [`SHUTTING_DOWN_MESSAGE`]
+//! refusal, and live connection sockets are then shut down so reader
+//! threads exit instead of leaking until their clients disconnect. A router
+//! doing failover depends on this — a silently dropped request would hang
+//! its client forever.
 //!
 //! [`Session`]: crate::engine::Session
 
 use crate::batch::{BatchPolicy, BatchQueue};
-use crate::engine::Engine;
+use crate::engine::{Engine, Session};
 use crate::metrics::Metrics;
-use crate::proto::{read_request, write_response, Request, Response};
+use crate::proto::{checked_shape_product, read_request, write_response, Request, Response};
 use sc_nn::tensor::Tensor;
+use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Error message sent for a request accepted while the server is draining.
+///
+/// The router treats a response carrying exactly this message as a refusal
+/// (retriable on another replica) rather than an application error, so the
+/// string is part of the serving contract.
+pub const SHUTTING_DOWN_MESSAGE: &str = "shutting down";
+
+/// Per-`write` timeout on connection sockets. A client that stops draining
+/// its socket stalls its writer thread in `write_response`; without a
+/// timeout that thread blocks forever and [`ServerHandle::shutdown`] — which
+/// joins connection threads — would hang on one bad client. The timeout is
+/// per write call, so arbitrarily slow-but-draining clients are unaffected;
+/// it only bounds a fully wedged socket.
+const CLIENT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Serving-runtime options.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,14 +72,94 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
+/// Tracks live connections so shutdown can close their sockets and join
+/// their threads instead of leaking readers until clients disconnect.
+///
+/// Shared by the serving runtime and the [`crate::router`] front, which has
+/// the same obligation towards its own client connections.
+#[derive(Debug, Default)]
+pub(crate) struct ConnectionRegistry {
+    entries: Mutex<HashMap<u64, ConnectionEntry>>,
+    next_id: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ConnectionEntry {
+    socket: TcpStream,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ConnectionRegistry {
+    /// Registers a connection's socket; returns the id the owning thread
+    /// deregisters with.
+    pub(crate) fn register(&self, socket: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().expect("connection registry").insert(
+            id,
+            ConnectionEntry {
+                socket,
+                thread: None,
+            },
+        );
+        id
+    }
+
+    /// Attaches the connection thread's join handle. If the connection
+    /// already deregistered itself (short-lived peer), the handle is dropped
+    /// — the thread is past all socket work and detaching it is safe.
+    pub(crate) fn attach_thread(&self, id: u64, thread: JoinHandle<()>) {
+        if let Some(entry) = self
+            .entries
+            .lock()
+            .expect("connection registry")
+            .get_mut(&id)
+        {
+            entry.thread = Some(thread);
+        }
+    }
+
+    /// Removes a connection; called by its own thread on exit.
+    pub(crate) fn deregister(&self, id: u64) {
+        self.entries
+            .lock()
+            .expect("connection registry")
+            .remove(&id);
+    }
+
+    /// Shuts down the read side of every live connection socket (unblocking
+    /// reader threads with a clean EOF while letting writers flush final
+    /// replies) and joins the connection threads.
+    pub(crate) fn close_and_join(&self) {
+        // Drain outside the join: a connection thread deregistering itself
+        // needs the same lock.
+        let entries: Vec<ConnectionEntry> = self
+            .entries
+            .lock()
+            .expect("connection registry")
+            .drain()
+            .map(|(_, entry)| entry)
+            .collect();
+        for entry in &entries {
+            let _ = entry.socket.shutdown(Shutdown::Read);
+        }
+        for entry in entries {
+            if let Some(thread) = entry.thread {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
 /// Handle to a running server.
 pub struct ServerHandle {
     addr: SocketAddr,
     queue: Arc<BatchQueue<Job>>,
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
+    registry: Arc<ConnectionRegistry>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    models: usize,
 }
 
 impl ServerHandle {
@@ -63,23 +173,42 @@ impl ServerHandle {
         Arc::clone(&self.metrics)
     }
 
-    /// Stops accepting, drains the queue, and joins the worker threads.
-    /// Connection threads exit as their clients disconnect.
+    /// Number of models (engines) this server hosts.
+    pub fn models(&self) -> usize {
+        self.models
+    }
+
+    /// Stops accepting and shuts down gracefully: every request accepted
+    /// before the sockets close is answered (queued jobs drain through the
+    /// workers) or refused with [`SHUTTING_DOWN_MESSAGE`]; then live
+    /// connection sockets are closed and all threads joined, so `shutdown`
+    /// returns without waiting for clients to disconnect (a client that
+    /// wedged its socket without draining replies delays it at most
+    /// `CLIENT_WRITE_TIMEOUT` per pending write).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Refuse new work first: queued jobs keep draining, later pushes
+        // fail and the connection loops answer them with a refusal.
         self.queue.close();
         // Unblock the accept loop with a throw-away connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        // Workers drain every queued job and send its reply before exiting.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Only now close the connection sockets: read halves shut down (so
+        // readers exit instead of leaking until clients disconnect), write
+        // halves stay open long enough for writer threads to flush the
+        // drained replies and refusals queued above.
+        self.registry.close_and_join();
     }
 }
 
-/// Starts serving `engine` on `listener` and returns immediately.
+/// Starts serving a single engine on `listener` (model 0) and returns
+/// immediately.
 ///
 /// # Errors
 ///
@@ -89,10 +218,37 @@ pub fn spawn(
     listener: TcpListener,
     options: ServerOptions,
 ) -> std::io::Result<ServerHandle> {
+    spawn_multi(vec![engine], listener, options)
+}
+
+/// Starts serving `engines` on one listener and returns immediately.
+///
+/// Engine `i` is model `i` of the protocol's v2 `model` field; v1 requests
+/// map to model 0. Each worker keeps one warm [`Session`] per model, so the
+/// per-model stream caches survive interleaved traffic.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an empty engine list, and propagates an I/O
+/// error if the listener's local address cannot be read.
+pub fn spawn_multi(
+    engines: Vec<Arc<Engine>>,
+    listener: TcpListener,
+    options: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    if engines.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "spawn_multi needs at least one engine",
+        ));
+    }
     let addr = listener.local_addr()?;
     let queue = Arc::new(BatchQueue::<Job>::new(options.policy));
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(ConnectionRegistry::default());
+    let models = engines.len();
+    let engines = Arc::new(engines);
 
     let worker_count = if options.workers == 0 {
         sc_core::parallel::max_threads()
@@ -109,16 +265,17 @@ pub fn spawn(
     let unit_fan_out = worker_count.max(1) == 1;
     let workers: Vec<JoinHandle<()>> = (0..worker_count.max(1))
         .map(|_| {
-            let engine = Arc::clone(&engine);
+            let engines = Arc::clone(&engines);
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || worker_loop(&engine, &queue, &metrics, unit_fan_out))
+            std::thread::spawn(move || worker_loop(&engines, &queue, &metrics, unit_fan_out))
         })
         .collect();
 
     let accept_thread = {
         let queue = Arc::clone(&queue);
         let stop = Arc::clone(&stop);
+        let registry = Arc::clone(&registry);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
@@ -126,8 +283,17 @@ pub fn spawn(
                 }
                 match stream {
                     Ok(stream) => {
+                        let Ok(registered) = stream.try_clone() else {
+                            continue;
+                        };
+                        let id = registry.register(registered);
                         let queue = Arc::clone(&queue);
-                        std::thread::spawn(move || connection_loop(stream, &queue));
+                        let registry_for_thread = Arc::clone(&registry);
+                        let thread = std::thread::spawn(move || {
+                            connection_loop(stream, &queue);
+                            registry_for_thread.deregister(id);
+                        });
+                        registry.attach_thread(id, thread);
                     }
                     Err(_) => continue,
                 }
@@ -140,15 +306,28 @@ pub fn spawn(
         queue,
         metrics,
         stop,
+        registry,
         accept_thread: Some(accept_thread),
         workers,
+        models,
     })
 }
 
 /// Per-connection loop: reads request frames, enqueues jobs, and ships
 /// responses back through a dedicated writer thread so inference results
 /// never wait on the socket.
+///
+/// A request that cannot be enqueued (the server is draining) is answered
+/// with an explicit [`SHUTTING_DOWN_MESSAGE`] refusal — an accepted request
+/// is never dropped on the floor, which is what lets a router fail it over
+/// to another replica instead of leaving the client blocked forever.
 fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
+    if stream
+        .set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))
+        .is_err()
+    {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -163,13 +342,20 @@ fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
     });
     let mut reader = BufReader::new(stream);
     while let Ok(Some(request)) = read_request(&mut reader) {
+        let id = request.id;
         let job = Job {
             request,
             enqueued: Instant::now(),
             reply: reply_tx.clone(),
         };
         if !queue.push(job) {
-            break; // server shutting down
+            // Server draining: refuse instead of dropping, and keep reading
+            // so every request this client already pipelined gets its own
+            // refusal until shutdown closes the socket.
+            let _ = reply_tx.send(Response::Err {
+                id,
+                message: SHUTTING_DOWN_MESSAGE.to_string(),
+            });
         }
     }
     // Dropping the last sender ends the writer thread once pending replies
@@ -178,13 +364,25 @@ fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
     let _ = writer.join();
 }
 
-/// Worker loop: pulls micro-batches and runs them through a warm session.
-fn worker_loop(engine: &Engine, queue: &BatchQueue<Job>, metrics: &Metrics, unit_fan_out: bool) {
-    let mut session = engine.new_session();
-    session.set_unit_fan_out(unit_fan_out);
+/// Worker loop: pulls micro-batches and runs them through one warm session
+/// per model.
+fn worker_loop(
+    engines: &[Arc<Engine>],
+    queue: &BatchQueue<Job>,
+    metrics: &Metrics,
+    unit_fan_out: bool,
+) {
+    let mut sessions: Vec<Session> = engines
+        .iter()
+        .map(|engine| {
+            let mut session = engine.new_session();
+            session.set_unit_fan_out(unit_fan_out);
+            session
+        })
+        .collect();
     while let Some(batch) = queue.pop_batch() {
         for job in batch {
-            let response = serve_one(engine, &mut session, &job.request);
+            let response = serve_one(engines, &mut sessions, &job.request);
             if matches!(response, Response::Err { .. }) {
                 metrics.record_failure();
             } else {
@@ -195,8 +393,25 @@ fn worker_loop(engine: &Engine, queue: &BatchQueue<Job>, metrics: &Metrics, unit
     }
 }
 
-fn serve_one(engine: &Engine, session: &mut crate::engine::Session, request: &Request) -> Response {
-    let expected: usize = request.shape.iter().product();
+/// Serves one request against the engine registry.
+///
+/// Validation happens here for *every* path a request can take into the
+/// engines — TCP, router forwarding, in-process benches — and the element
+/// count goes through [`checked_shape_product`], the protocol's single
+/// overflow-checked validation point. An unchecked `shape.iter().product()`
+/// wraps in release builds: an adversarial shape like `[2^32, 2^32, 4]`
+/// would alias a small pixel count on 64-bit and pass the length check.
+pub(crate) fn serve_one(
+    engines: &[Arc<Engine>],
+    sessions: &mut [Session],
+    request: &Request,
+) -> Response {
+    let Some(expected) = checked_shape_product(request.shape) else {
+        return Response::Err {
+            id: request.id,
+            message: format!("shape {:?} overflows the element count", request.shape),
+        };
+    };
     if request.pixels.len() != expected {
         return Response::Err {
             id: request.id,
@@ -207,8 +422,21 @@ fn serve_one(engine: &Engine, session: &mut crate::engine::Session, request: &Re
             ),
         };
     }
+    let model = usize::from(request.model);
+    let Some(engine) = engines.get(model) else {
+        // An unknown model id is a per-request error reply, never a
+        // disconnect: the connection (and the router in front of it) keeps
+        // serving the models that do exist.
+        return Response::Err {
+            id: request.id,
+            message: format!(
+                "unknown model {model} (this server hosts {} models)",
+                engines.len()
+            ),
+        };
+    };
     let image = Tensor::from_vec(request.pixels.clone(), &request.shape);
-    match engine.infer(session, &image) {
+    match engine.infer(&mut sessions[model], &image) {
         Ok(inference) => Response::Ok {
             id: request.id,
             argmax: inference.argmax.min(usize::from(u16::MAX)) as u16,
@@ -218,5 +446,152 @@ fn serve_one(engine: &Engine, session: &mut crate::engine::Session, request: &Re
             id: request.id,
             message: error.to_string(),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use crate::plan::PlanOptions;
+    use sc_blocks::feature_block::FeatureBlockKind;
+    use sc_dcnn::config::ScNetworkConfig;
+    use sc_nn::layers::Dense;
+    use sc_nn::lenet::PoolingStyle;
+    use sc_nn::network::Network;
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let mut network = Network::new("unit");
+        network.push(Box::new(Dense::new(4, 2, seed)));
+        let config = ScNetworkConfig::new(
+            "unit",
+            vec![FeatureBlockKind::ApcMaxBtanh],
+            64,
+            PoolingStyle::Max,
+        );
+        Engine::compile(
+            &network,
+            &config,
+            EngineOptions {
+                plan: PlanOptions {
+                    input_shape: [1, 2, 2],
+                    base_seed: seed,
+                },
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn request(id: u64, model: u16, shape: [usize; 3], pixels: Vec<f32>) -> Request {
+        Request {
+            id,
+            model,
+            shape,
+            pixels,
+        }
+    }
+
+    #[test]
+    fn serve_one_rejects_overflowing_shapes() {
+        // Regression: `shape.iter().product()` wraps in release builds, so
+        // an adversarial shape reaching the engine through a non-proto path
+        // (router forwarding, in-process bench) could alias a small pixel
+        // count. `[max, max, max]` wraps to 0x...01 ≠ 4, which the old check
+        // would reject by luck — `[1 << 32, 1 << 32, 4]` wraps to exactly 0
+        // on 64-bit... use a shape whose wrapped product *equals* the pixel
+        // count to prove the checked path is what rejects it.
+        let engines = vec![Arc::new(tiny_engine(7))];
+        let mut sessions = vec![engines[0].new_session()];
+        // (1 << 32) * (1 << 32) wraps to 0 on 64-bit; * 4 stays 0 — so with
+        // zero pixels the unchecked length comparison would pass and the
+        // bogus shape would reach `Tensor::from_vec`.
+        let huge = request(1, 0, [1 << 32, 1 << 32, 4], Vec::new());
+        match serve_one(&engines, &mut sessions, &huge) {
+            Response::Err { id, message } => {
+                assert_eq!(id, 1);
+                assert!(message.contains("overflows"), "{message}");
+            }
+            other => panic!("expected an overflow rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_one_rejects_unknown_models_per_request() {
+        let engines = vec![Arc::new(tiny_engine(9))];
+        let mut sessions = vec![engines[0].new_session()];
+        let unknown = request(2, 5, [1, 2, 2], vec![0.0; 4]);
+        match serve_one(&engines, &mut sessions, &unknown) {
+            Response::Err { id, message } => {
+                assert_eq!(id, 2);
+                assert!(message.contains("unknown model 5"), "{message}");
+                assert!(message.contains("1 models"), "{message}");
+            }
+            other => panic!("expected an unknown-model error, got {other:?}"),
+        }
+        // The same connection state still serves the model that exists.
+        let ok = request(3, 0, [1, 2, 2], vec![0.25; 4]);
+        assert!(matches!(
+            serve_one(&engines, &mut sessions, &ok),
+            Response::Ok { id: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn serve_one_dispatches_by_model_id() {
+        // Two engines with different seeds produce different logits for the
+        // same pixels; the model id must select between them.
+        let engines = vec![Arc::new(tiny_engine(11)), Arc::new(tiny_engine(23))];
+        let mut sessions: Vec<Session> = engines.iter().map(|e| e.new_session()).collect();
+        let pixels = vec![0.5f32, -0.25, 0.75, 0.125];
+        let on_model =
+            |engines: &[Arc<Engine>], sessions: &mut [Session], model: u16| match serve_one(
+                engines,
+                sessions,
+                &request(u64::from(model), model, [1, 2, 2], pixels.clone()),
+            ) {
+                Response::Ok { logits, .. } => logits,
+                Response::Err { message, .. } => panic!("model {model} failed: {message}"),
+            };
+        let logits0 = on_model(&engines, &mut sessions, 0);
+        let logits1 = on_model(&engines, &mut sessions, 1);
+        let mut direct0 = engines[0].new_session();
+        let expected0 = engines[0]
+            .infer(&mut direct0, &Tensor::from_vec(pixels.clone(), &[1, 2, 2]))
+            .unwrap();
+        assert_eq!(logits0, expected0.logits, "model 0 must use engine 0");
+        assert_ne!(logits0, logits1, "models must not alias");
+    }
+
+    #[test]
+    fn refused_request_gets_a_shutdown_reply_not_silence() {
+        // Regression for the shutdown drop: a request read off the socket
+        // after the queue closed must be answered with an explicit refusal —
+        // the old code `break`ed silently and the client blocked in
+        // `read_response` forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let queue = Arc::new(BatchQueue::<Job>::new(BatchPolicy::default()));
+        queue.close(); // the server is already draining
+        let accept = std::thread::spawn(move || listener.accept().unwrap().0);
+        let client = TcpStream::connect(addr).unwrap();
+        let server_side = accept.join().unwrap();
+        let conn = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || connection_loop(server_side, &queue))
+        };
+        let mut writer = client.try_clone().unwrap();
+        crate::proto::write_request(&mut writer, 77, [1, 2, 2], &[0.0; 4]).unwrap();
+        let mut reader = BufReader::new(client);
+        match crate::proto::read_response(&mut reader).unwrap().unwrap() {
+            Response::Err { id, message } => {
+                assert_eq!(id, 77);
+                assert_eq!(message, SHUTTING_DOWN_MESSAGE);
+            }
+            other => panic!("expected a shutdown refusal, got {other:?}"),
+        }
+        drop(writer);
+        drop(reader);
+        conn.join().unwrap();
     }
 }

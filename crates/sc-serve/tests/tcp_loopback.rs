@@ -11,14 +11,14 @@ use sc_nn::tensor::Tensor;
 use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
 use sc_serve::plan::PlanOptions;
-use sc_serve::proto::{read_response, write_request, Response};
-use sc_serve::server::{spawn, ServerOptions};
+use sc_serve::proto::{read_response, write_request, write_request_v2, Response};
+use sc_serve::server::{spawn, spawn_multi, ServerOptions, SHUTTING_DOWN_MESSAGE};
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn quick_engine() -> Engine {
+fn engine_with_seed(base_seed: u64) -> Engine {
     let mut network = Network::new("loopback");
     network.push(Box::new(Dense::new(16, 4, 3)));
     let config = ScNetworkConfig::new(
@@ -33,12 +33,16 @@ fn quick_engine() -> Engine {
         EngineOptions {
             plan: PlanOptions {
                 input_shape: [1, 4, 4],
-                base_seed: 44,
+                base_seed,
             },
             ..EngineOptions::default()
         },
     )
     .unwrap()
+}
+
+fn quick_engine() -> Engine {
+    engine_with_seed(44)
 }
 
 fn test_image(seed: u32) -> Tensor {
@@ -110,4 +114,176 @@ fn loopback_round_trip_matches_direct_inference() {
     drop(writer);
     drop(reader);
     handle.shutdown();
+}
+
+#[test]
+fn multi_model_listener_serves_v1_and_v2_traffic() {
+    // Two engines with different seed schemes produce different logits for
+    // the same pixels, so the test can prove the model id actually selects.
+    let engines = vec![
+        Arc::new(engine_with_seed(44)),
+        Arc::new(engine_with_seed(77)),
+    ];
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = spawn_multi(
+        engines.clone(),
+        listener,
+        ServerOptions {
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_linger: Duration::from_millis(1),
+            },
+            workers: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(handle.models(), 2);
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let image = test_image(5);
+
+    // v1 frame → model 0; v2 frames address models explicitly.
+    write_request(&mut writer, 0, [1, 4, 4], image.as_slice()).unwrap();
+    write_request_v2(&mut writer, 1, 0, [1, 4, 4], image.as_slice()).unwrap();
+    write_request_v2(&mut writer, 2, 1, [1, 4, 4], image.as_slice()).unwrap();
+    // Unknown model id: an error reply, not a disconnect.
+    write_request_v2(&mut writer, 3, 9, [1, 4, 4], image.as_slice()).unwrap();
+    // The connection must still serve real models after the bad request.
+    write_request_v2(&mut writer, 4, 1, [1, 4, 4], image.as_slice()).unwrap();
+
+    let mut responses = Vec::new();
+    for _ in 0..5 {
+        responses.push(read_response(&mut reader).unwrap().expect("response"));
+    }
+    responses.sort_by_key(Response::id);
+
+    let expected: Vec<_> = engines
+        .iter()
+        .map(|engine| engine.infer(&mut engine.new_session(), &image).unwrap())
+        .collect();
+    for (id, model) in [(0usize, 0usize), (1, 0), (2, 1), (4, 1)] {
+        match &responses[id] {
+            Response::Ok { logits, .. } => {
+                assert_eq!(
+                    logits, &expected[model].logits,
+                    "request {id} (model {model})"
+                );
+            }
+            Response::Err { message, .. } => panic!("request {id} failed: {message}"),
+        }
+    }
+    assert_ne!(
+        expected[0].logits, expected[1].logits,
+        "the two models must be distinguishable for this test to mean anything"
+    );
+    match &responses[3] {
+        Response::Err { message, .. } => {
+            assert!(message.contains("unknown model 9"), "{message}");
+        }
+        other => panic!("expected an unknown-model error, got {other:?}"),
+    }
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_answers_in_flight_requests_and_returns() {
+    // Regression for the shutdown drop: a request that is already queued
+    // (the worker is lingering for a fuller batch) when `shutdown()` is
+    // called must still be answered, and `shutdown()` must return without
+    // waiting for the client to disconnect.
+    let engine = Arc::new(quick_engine());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = spawn(
+        Arc::clone(&engine),
+        listener,
+        ServerOptions {
+            policy: BatchPolicy {
+                max_batch: 8,
+                // Long linger: without shutdown breaking the wait, the reply
+                // would take 10 s — the test would time out if drain relied
+                // on the linger expiring.
+                max_linger: Duration::from_secs(10),
+            },
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let image = test_image(9);
+    let expected = engine.infer(&mut engine.new_session(), &image).unwrap();
+    let client = {
+        let image = image.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            write_request(&mut writer, 1, [1, 4, 4], image.as_slice()).unwrap();
+            // Blocks here until the drain answers; the old runtime would
+            // hang forever if the request fell into the closed queue.
+            let response = read_response(&mut reader).unwrap().expect("answer");
+            // After shutdown the socket is closed: clean EOF, not a hang.
+            let eof = read_response(&mut reader).unwrap();
+            (response, eof)
+        })
+    };
+    // Let the request reach the queue (the worker lingers on it).
+    std::thread::sleep(Duration::from_millis(150));
+    handle.shutdown();
+    let (response, eof) = client.join().unwrap();
+    match response {
+        Response::Ok { id, logits, .. } => {
+            assert_eq!(id, 1);
+            assert_eq!(
+                logits, expected.logits,
+                "drained reply must be a real answer"
+            );
+        }
+        Response::Err { message, .. } => {
+            // Acceptable only as an explicit refusal — never silence. (With
+            // the 150 ms head start the request is normally already queued
+            // and gets served; a heavily loaded machine may race it into
+            // the refusal window instead.)
+            assert_eq!(message, SHUTTING_DOWN_MESSAGE);
+        }
+    }
+    assert!(eof.is_none(), "shutdown must close the connection socket");
+}
+
+#[test]
+fn shutdown_closes_idle_connections_instead_of_leaking_readers() {
+    // A connection with no request in flight used to keep its reader thread
+    // alive until the client chose to disconnect; shutdown must close the
+    // socket (the client observes clean EOF promptly) and join the thread.
+    let engine = Arc::new(quick_engine());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = spawn(Arc::clone(&engine), listener, ServerOptions::default()).unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    // Bound the wait: if the server never closes the socket, this test must
+    // fail with a timeout error rather than hang the suite.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let image = test_image(2);
+    write_request(&mut writer, 7, [1, 4, 4], image.as_slice()).unwrap();
+    assert!(matches!(
+        read_response(&mut reader).unwrap().expect("response"),
+        Response::Ok { id: 7, .. }
+    ));
+
+    // The client is idle (not sending, not disconnecting). shutdown() must
+    // return anyway, and the client's next read must see EOF, not block.
+    handle.shutdown();
+    assert!(
+        read_response(&mut reader).unwrap().is_none(),
+        "the server must have closed the socket"
+    );
 }
