@@ -7,6 +7,13 @@
 //! trade-off: a worker popping the queue receives up to `max_batch` requests,
 //! waiting at most `max_linger` after the first pending request for more to
 //! accumulate.
+//!
+//! The queue also implements admission control: `max_queue` caps the number
+//! of waiting requests, and [`BatchQueue::push`] *sheds* (refuses with
+//! [`PushRefusal::Full`]) instead of queueing unboundedly. Queue depth is
+//! latency — a request admitted behind a long backlog would only come back
+//! after its deadline anyway, so refusing early keeps tail latency of the
+//! accepted traffic predictable under overload.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -19,6 +26,9 @@ pub struct BatchPolicy {
     pub max_batch: usize,
     /// Maximum time a pending request waits for company.
     pub max_linger: Duration,
+    /// Maximum requests waiting in the queue before `push` sheds (floored
+    /// at one).
+    pub max_queue: usize,
 }
 
 impl Default for BatchPolicy {
@@ -26,8 +36,19 @@ impl Default for BatchPolicy {
         Self {
             max_batch: 32,
             max_linger: Duration::from_millis(2),
+            max_queue: 1024,
         }
     }
+}
+
+/// Why [`BatchQueue::push`] refused a request (the request is dropped; the
+/// caller owns answering the client with the matching typed error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRefusal {
+    /// The queue is shutting down.
+    Closed,
+    /// The queue is at `max_queue` depth — shed under overload.
+    Full,
 }
 
 #[derive(Debug)]
@@ -57,6 +78,7 @@ impl<T> BatchQueue<T> {
             policy: BatchPolicy {
                 max_batch: policy.max_batch.max(1),
                 max_linger: policy.max_linger,
+                max_queue: policy.max_queue.max(1),
             },
         }
     }
@@ -66,17 +88,25 @@ impl<T> BatchQueue<T> {
         self.policy
     }
 
-    /// Enqueues a request. Returns `false` (dropping the request) if the
-    /// queue has been closed.
-    pub fn push(&self, item: T) -> bool {
+    /// Enqueues a request, or refuses it (dropping the item) when the queue
+    /// is closed or already `max_queue` deep.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRefusal::Closed`] during shutdown, [`PushRefusal::Full`] when
+    /// admission control sheds the request.
+    pub fn push(&self, item: T) -> Result<(), PushRefusal> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
-            return false;
+            return Err(PushRefusal::Closed);
+        }
+        if state.items.len() >= self.policy.max_queue {
+            return Err(PushRefusal::Full);
         }
         state.items.push_back(item);
         drop(state);
         self.available.notify_one();
-        true
+        Ok(())
     }
 
     /// Number of requests currently waiting.
@@ -161,6 +191,7 @@ mod tests {
         BatchQueue::new(BatchPolicy {
             max_batch,
             max_linger: Duration::from_millis(linger_ms),
+            ..BatchPolicy::default()
         })
     }
 
@@ -168,7 +199,7 @@ mod tests {
     fn full_batch_returns_without_lingering() {
         let q = queue(3, 10_000);
         for i in 0..5 {
-            assert!(q.push(i));
+            assert!(q.push(i).is_ok());
         }
         let start = Instant::now();
         assert_eq!(q.pop_batch().unwrap(), vec![0, 1, 2]);
@@ -180,7 +211,7 @@ mod tests {
     #[test]
     fn linger_caps_the_wait_for_a_partial_batch() {
         let q = queue(8, 20);
-        q.push(7);
+        q.push(7).unwrap();
         let start = Instant::now();
         let batch = q.pop_batch().unwrap();
         assert_eq!(batch, vec![7]);
@@ -194,8 +225,8 @@ mod tests {
         // busy-spin on zero-length waits nor panic on negative deadline
         // arithmetic — it hands back whatever is queued, at once.
         let q = queue(8, 0);
-        q.push(1);
-        q.push(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
         let start = Instant::now();
         assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
         assert!(
@@ -204,9 +235,9 @@ mod tests {
         );
         // A full batch with zero linger also returns intact.
         let q = queue(2, 0);
-        q.push(3);
-        q.push(4);
-        q.push(5);
+        q.push(3).unwrap();
+        q.push(4).unwrap();
+        q.push(5).unwrap();
         assert_eq!(q.pop_batch().unwrap(), vec![3, 4]);
         assert_eq!(q.pop_batch().unwrap(), vec![5]);
     }
@@ -219,21 +250,23 @@ mod tests {
         let q = BatchQueue::new(BatchPolicy {
             max_batch: 2,
             max_linger: Duration::MAX,
+            ..BatchPolicy::default()
         });
-        q.push(1);
-        q.push(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
         assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
         // And shutdown still unblocks a lingering partial batch.
         let q = Arc::new(BatchQueue::new(BatchPolicy {
             max_batch: 8,
             max_linger: Duration::MAX,
+            ..BatchPolicy::default()
         }));
         let consumer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop_batch())
         };
         std::thread::sleep(Duration::from_millis(20));
-        q.push(9);
+        q.push(9).unwrap();
         q.close();
         assert_eq!(consumer.join().unwrap().unwrap(), vec![9]);
     }
@@ -241,9 +274,9 @@ mod tests {
     #[test]
     fn close_drains_then_stops() {
         let q = queue(4, 1);
-        q.push(1);
+        q.push(1).unwrap();
         q.close();
-        assert!(!q.push(2), "closed queue must reject pushes");
+        assert_eq!(q.push(2), Err(PushRefusal::Closed));
         assert_eq!(q.pop_batch().unwrap(), vec![1]);
         assert!(q.pop_batch().is_none());
     }
@@ -256,17 +289,41 @@ mod tests {
             std::thread::spawn(move || q.pop_batch())
         };
         std::thread::sleep(Duration::from_millis(20));
-        q.push(9);
-        q.push(10);
+        q.push(9).unwrap();
+        q.push(10).unwrap();
         let batch = consumer.join().unwrap().unwrap();
         assert_eq!(batch, vec![9, 10]);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_growing() {
+        let q = BatchQueue::new(BatchPolicy {
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            max_queue: 2,
+        });
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushRefusal::Full));
+        assert_eq!(q.len(), 2, "a shed push must not grow the queue");
+        // Draining reopens admission.
+        assert_eq!(q.pop_batch().unwrap(), vec![1, 2]);
+        q.push(4).unwrap();
+        // `max_queue` is floored at one, never zero (which would refuse
+        // everything forever).
+        let q = BatchQueue::new(BatchPolicy {
+            max_queue: 0,
+            ..BatchPolicy::default()
+        });
+        q.push(9).unwrap();
+        assert_eq!(q.push(10), Err(PushRefusal::Full));
     }
 
     #[test]
     fn is_empty_reflects_queue_state() {
         let q = queue(1, 1);
         assert!(q.is_empty());
-        q.push(1);
+        q.push(1).unwrap();
         assert!(!q.is_empty());
         assert_eq!(q.policy().max_batch, 1);
     }

@@ -3,26 +3,47 @@
 //!
 //! ```text
 //! cargo run --release -p sc-serve --bin client -- \
-//!     --addr 127.0.0.1:7878 --count 20 --seed 3 --model 1
+//!     --addr 127.0.0.1:7878 --count 20 --seed 3 --model 1 --deadline-ms 250
 //! ```
 //!
 //! Without `--model` the client sends protocol-v1 frames (the multi-model
 //! server maps them to model 0); with `--model N` it sends v2 frames
-//! addressing model `N` of the server's registry.
+//! addressing model `N` of the server's registry; with `--deadline-ms` it
+//! sends v3 frames carrying a per-request latency budget.
+//!
+//! Exit codes distinguish failure classes for scripting:
+//!
+//! | code | meaning                                                       |
+//! |------|---------------------------------------------------------------|
+//! | 0    | every request answered `Ok`                                   |
+//! | 1    | transport failure (connect/read/write error, early close)     |
+//! | 2    | at least one application error (`APP_ERROR`)                  |
+//! | 3    | at least one retriable refusal (`OVERLOADED`/`SHUTTING_DOWN`) |
+//! | 4    | at least one `DEADLINE_EXCEEDED`                              |
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sc_nn::dataset::render_digit;
-use sc_serve::proto::{read_response, write_request, write_request_v2, Response};
+use sc_serve::proto::{
+    read_response, write_request, write_request_v2, write_request_v3, ErrorCode, Response,
+};
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::time::Instant;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-fn main() {
+const EXIT_TRANSPORT: u8 = 1;
+const EXIT_APP_ERROR: u8 = 2;
+const EXIT_RETRIABLE: u8 = 3;
+const EXIT_DEADLINE: u8 = 4;
+
+fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut count = 10usize;
     let mut seed = 1u64;
     let mut model: Option<u16> = None;
+    let mut deadline_ms = 0u32;
+    let mut socket_timeout_ms = 10_000u64;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -34,27 +55,73 @@ fn main() {
             "--count" => count = value("--count").parse().expect("count"),
             "--seed" => seed = value("--seed").parse().expect("seed"),
             "--model" => model = Some(value("--model").parse().expect("model id")),
+            "--deadline-ms" => deadline_ms = value("--deadline-ms").parse().expect("deadline ms"),
+            "--socket-timeout-ms" => {
+                socket_timeout_ms = value("--socket-timeout-ms").parse().expect("timeout ms");
+            }
             other => panic!("unknown flag {other}"),
         }
     }
 
-    let stream = TcpStream::connect(&addr).expect("connect");
+    // A hung server must surface as a typed transport failure, not an
+    // indefinitely blocked client: every socket op carries a timeout. The
+    // read timeout also covers the per-request deadline (plus slack for the
+    // reply to travel), so a deadline-bearing request can never outwait its
+    // own budget by much.
+    let socket_timeout = Duration::from_millis(socket_timeout_ms.max(1));
+    let read_timeout = if deadline_ms > 0 {
+        socket_timeout.min(Duration::from_millis(u64::from(deadline_ms) + 250))
+    } else {
+        socket_timeout
+    };
+    let stream = match TcpStream::connect(&addr) {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("connect to {addr} failed: {error}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .expect("set read timeout");
+    stream
+        .set_write_timeout(Some(socket_timeout))
+        .expect("set write timeout");
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = BufReader::new(stream);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut correct = 0usize;
+    // Worst failure class seen across the run, reported as the exit code.
+    let mut exit = 0u8;
     for id in 0..count as u64 {
         let digit = (id % 10) as usize;
         let image = render_digit(digit, &mut rng);
         let start = Instant::now();
-        match model {
-            // v1 frame: exercises the backwards-compatible path (model 0).
-            None => write_request(&mut writer, id, [1, 28, 28], image.as_slice()),
-            Some(model) => write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice()),
+        let sent = if deadline_ms > 0 {
+            // v3 frame: budgeted request (model defaults to 0).
+            write_request_v3(
+                &mut writer,
+                id,
+                model.unwrap_or(0),
+                deadline_ms,
+                [1, 28, 28],
+                image.as_slice(),
+            )
+        } else {
+            match model {
+                // v1 frame: exercises the backwards-compatible path (model 0).
+                None => write_request(&mut writer, id, [1, 28, 28], image.as_slice()),
+                Some(model) => {
+                    write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice())
+                }
+            }
+        };
+        if let Err(error) = sent {
+            eprintln!("#{id}: send failed: {error}");
+            return ExitCode::from(EXIT_TRANSPORT);
         }
-        .expect("send request");
-        match read_response(&mut reader).expect("read response") {
-            Some(Response::Ok { argmax, logits, .. }) => {
+        match read_response(&mut reader) {
+            Ok(Some(Response::Ok { argmax, logits, .. })) => {
                 let rtt = start.elapsed();
                 let hit = usize::from(argmax) == digit;
                 correct += usize::from(hit);
@@ -65,10 +132,21 @@ fn main() {
                     logits.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 );
             }
-            Some(Response::Err { message, .. }) => println!("#{id}: server error: {message}"),
-            None => {
+            Ok(Some(Response::Err { code, message, .. })) => {
+                println!("#{id}: server error [{code}]: {message}");
+                exit = exit.max(match code {
+                    ErrorCode::DeadlineExceeded => EXIT_DEADLINE,
+                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => EXIT_RETRIABLE,
+                    ErrorCode::App => EXIT_APP_ERROR,
+                });
+            }
+            Ok(None) => {
                 println!("server closed the connection");
-                break;
+                return ExitCode::from(EXIT_TRANSPORT);
+            }
+            Err(error) => {
+                eprintln!("#{id}: read failed: {error}");
+                return ExitCode::from(EXIT_TRANSPORT);
             }
         }
     }
@@ -76,4 +154,5 @@ fn main() {
         "{correct}/{count} predictions matched the rendered digit (SC accuracy depends on the \
          configuration and training budget)"
     );
+    ExitCode::from(exit)
 }

@@ -30,6 +30,10 @@ fn main() {
     let mut health_interval_ms = 200u64;
     let mut connect_timeout_ms = 1000u64;
     let mut exchange_timeout_ms = 30_000u64;
+    let mut probe_timeout_ms = 500u64;
+    let mut breaker_threshold = 3u32;
+    let mut breaker_cooldown_ms = 1000u64;
+    let mut retry_budget = 8u32;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -53,6 +57,16 @@ fn main() {
             "--exchange-timeout-ms" => {
                 exchange_timeout_ms = value("--exchange-timeout-ms").parse().expect("timeout")
             }
+            "--probe-timeout-ms" => {
+                probe_timeout_ms = value("--probe-timeout-ms").parse().expect("timeout")
+            }
+            "--breaker-threshold" => {
+                breaker_threshold = value("--breaker-threshold").parse().expect("threshold")
+            }
+            "--breaker-cooldown-ms" => {
+                breaker_cooldown_ms = value("--breaker-cooldown-ms").parse().expect("cooldown")
+            }
+            "--retry-budget" => retry_budget = value("--retry-budget").parse().expect("budget"),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -69,6 +83,11 @@ fn main() {
             health_interval: Duration::from_millis(health_interval_ms),
             connect_timeout: Duration::from_millis(connect_timeout_ms),
             exchange_timeout: Duration::from_millis(exchange_timeout_ms),
+            probe_timeout: Duration::from_millis(probe_timeout_ms),
+            breaker_threshold,
+            breaker_cooldown: Duration::from_millis(breaker_cooldown_ms),
+            retry_budget,
+            ..RouterOptions::default()
         },
     )
     .expect("spawn router");

@@ -36,6 +36,9 @@ struct Args {
     stream_length: usize,
     max_batch: usize,
     linger_us: u64,
+    max_queue: usize,
+    idle_timeout_ms: u64,
+    slow_ms: u64,
     workers: usize,
     train_per_class: usize,
     epochs: usize,
@@ -49,6 +52,9 @@ fn parse_args() -> Args {
         stream_length: 1024,
         max_batch: 32,
         linger_us: 2000,
+        max_queue: 1024,
+        idle_timeout_ms: 60_000,
+        slow_ms: 0,
         workers: 0,
         train_per_class: 20,
         epochs: 2,
@@ -70,6 +76,13 @@ fn parse_args() -> Args {
             }
             "--max-batch" => args.max_batch = value("--max-batch").parse().expect("max batch"),
             "--linger-us" => args.linger_us = value("--linger-us").parse().expect("linger"),
+            "--max-queue" => args.max_queue = value("--max-queue").parse().expect("max queue"),
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = value("--idle-timeout-ms").parse().expect("idle timeout")
+            }
+            // Artificial per-request compute delay: the fault-injection
+            // harness's "slow replica" mode.
+            "--slow-ms" => args.slow_ms = value("--slow-ms").parse().expect("slow ms"),
             "--workers" => args.workers = value("--workers").parse().expect("workers"),
             "--train-per-class" => {
                 args.train_per_class = value("--train-per-class").parse().expect("count")
@@ -162,8 +175,11 @@ fn main() {
             policy: BatchPolicy {
                 max_batch: args.max_batch,
                 max_linger: Duration::from_micros(args.linger_us),
+                max_queue: args.max_queue,
             },
             workers: args.workers,
+            idle_timeout: Duration::from_millis(args.idle_timeout_ms),
+            compute_delay: Duration::from_millis(args.slow_ms),
         },
     )
     .expect("spawn server");

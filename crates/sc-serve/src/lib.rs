@@ -25,8 +25,12 @@
 //!   models hosted behind a single listener, and throughput /
 //!   latency-percentile metrics.
 //! * [`router`] — the scale-out front (`route` binary): load-balances
-//!   client requests across several `serve` replicas with health checks,
-//!   least-loaded routing, and exactly-once failover.
+//!   client requests across several `serve` replicas with ping-based health
+//!   checks, least-loaded routing, per-backend circuit breakers, and
+//!   deadline-aware, retry-budgeted failover.
+//! * [`fault`] — deterministic fault injection (delay / stall / drop /
+//!   truncate / corrupt) as a stream wrapper and a TCP proxy, powering the
+//!   chaos test suite that proves the stack degrades gracefully.
 //!
 //! ## Quick example
 //!
@@ -65,6 +69,7 @@
 pub mod batch;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod interpreter;
 pub mod metrics;
 pub mod plan;
@@ -79,12 +84,14 @@ pub use plan::{Plan, PlanOptions};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::batch::{BatchPolicy, BatchQueue};
+    pub use crate::batch::{BatchPolicy, BatchQueue, PushRefusal};
     pub use crate::engine::{Engine, EngineOptions, Session};
     pub use crate::error::ServeError;
+    pub use crate::fault::{FaultKind, FaultProxy, FaultyStream};
     pub use crate::interpreter::{Inference, Interpreter};
     pub use crate::metrics::{Metrics, MetricsReport};
     pub use crate::plan::{lower, Plan, PlanOptions};
+    pub use crate::proto::ErrorCode;
     pub use crate::router::{spawn_router, RouterHandle, RouterOptions, RouterStats};
     pub use crate::server::{
         spawn, spawn_multi, ServerHandle, ServerOptions, SHUTTING_DOWN_MESSAGE,

@@ -39,6 +39,8 @@ pub struct Metrics {
     latencies_us: Mutex<LatencyRing>,
     completed: AtomicU64,
     failed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
     started: Instant,
     /// Microseconds (since `started`) of the first completion, or
     /// [`NO_COMPLETION`] before any request completed.
@@ -63,6 +65,8 @@ impl Metrics {
             latencies_us: Mutex::new(LatencyRing::default()),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             started: Instant::now(),
             first_completion_us: AtomicU64::new(NO_COMPLETION),
             last_completion_us: AtomicU64::new(0),
@@ -97,6 +101,20 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one request shed by admission control (`OVERLOADED`).
+    ///
+    /// Shed requests are counted separately from failures: they are the
+    /// overload protection *working*, not the server malfunctioning.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request dropped because its deadline had already passed
+    /// when a worker picked it up (`DEADLINE_EXCEEDED`).
+    pub fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Produces a snapshot report: lifetime counters/throughput, latency
     /// percentiles over the most recent [`LATENCY_WINDOW`] samples.
     pub fn report(&self) -> MetricsReport {
@@ -124,6 +142,8 @@ impl Metrics {
         MetricsReport {
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             elapsed_s: elapsed,
             throughput_rps,
             mean_ms: mean_ms(&latencies),
@@ -141,6 +161,10 @@ pub struct MetricsReport {
     pub completed: u64,
     /// Requests that failed.
     pub failed: u64,
+    /// Requests shed by admission control (answered `OVERLOADED`).
+    pub shed: u64,
+    /// Requests dropped past their deadline (answered `DEADLINE_EXCEEDED`).
+    pub expired: u64,
     /// Seconds since the recorder was created.
     pub elapsed_s: f64,
     /// Completed requests per second, measured over the span between the
@@ -162,9 +186,12 @@ impl std::fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ok / {} failed in {:.2}s — {:.1} req/s, latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms",
+            "{} ok / {} failed / {} shed / {} expired in {:.2}s — {:.1} req/s, latency p50 \
+             {:.2}ms p95 {:.2}ms p99 {:.2}ms",
             self.completed,
             self.failed,
+            self.shed,
+            self.expired,
             self.elapsed_s,
             self.throughput_rps,
             self.p50_ms,
@@ -344,9 +371,15 @@ mod tests {
             metrics.record(Duration::from_millis(ms));
         }
         metrics.record_failure();
+        metrics.record_shed();
+        metrics.record_shed();
+        metrics.record_expired();
         let report = metrics.report();
         assert_eq!(report.completed, 4);
         assert_eq!(report.failed, 1);
+        assert_eq!(report.shed, 2);
+        assert_eq!(report.expired, 1);
+        assert!(report.to_string().contains("2 shed"));
         assert!((report.mean_ms - 2.5).abs() < 0.01);
         assert!(report.throughput_rps > 0.0);
         assert!(report.to_string().contains("4 ok"));

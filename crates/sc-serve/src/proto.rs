@@ -6,17 +6,29 @@
 //! ```text
 //! request v1 := 0x01 id:u64 c:u16 h:u16 w:u16 pixels:[f32; c*h*w]
 //! request v2 := 0x03 ver:u8(=2) model:u16 id:u64 c:u16 h:u16 w:u16 pixels
+//! request v3 := 0x03 ver:u8(=3) model:u16 deadline_ms:u32 id:u64 c:u16 h:u16 w:u16 pixels
 //! response   := 0x02 id:u64 status:u8(0=ok) argmax:u16 n:u32 logits:[f64; n]
-//!             | 0x02 id:u64 status:u8(1=err) len:u32 message:[u8; len]
+//!             | 0x02 id:u64 status:u8(err code) len:u32 message:[u8; len]
+//! ping       := 0x04 nonce:u64
+//! pong       := 0x05 nonce:u64
 //! ```
 //!
 //! Version 2 (multi-model serving) addresses one of several engines hosted
-//! behind a single listener. [`read_request`] accepts both versions — a v1
-//! frame maps to model 0, so old clients keep working against a multi-model
-//! server — while a v1 peer ([`read_request_v1`]) rejects a v2 frame with a
-//! clean `InvalidData` error instead of misparsing it. The version byte
-//! inside the v2 frame leaves room for later revisions without burning a new
-//! tag each time; an unknown version is likewise a clean `InvalidData`.
+//! behind a single listener. Version 3 (overload protection) additionally
+//! carries an optional `deadline_ms` latency budget — `0` means "no
+//! deadline", and v1/v2 frames map to it — and pairs with the typed,
+//! retriable error statuses ([`ErrorCode::Overloaded`],
+//! [`ErrorCode::DeadlineExceeded`], [`ErrorCode::ShuttingDown`]). A ping
+//! frame is the health probe: answered directly by a server's connection
+//! reader, it proves the accept loop and connection threads are alive — a
+//! TCP connect only proves the kernel's listen backlog is.
+//!
+//! [`read_request`] accepts every version — old clients keep working against
+//! a new server — while a v1 peer ([`read_request_v1`]) rejects a v2/v3
+//! frame with a clean `InvalidData` error instead of misparsing it. The
+//! version byte inside the 0x03 frame leaves room for later revisions
+//! without burning a new tag each time; an unknown version is likewise a
+//! clean `InvalidData`.
 //!
 //! All integers and floats are little-endian. Frames are capped at 16 MiB.
 
@@ -25,13 +37,19 @@ use std::io::{self, Read, Write};
 /// Maximum accepted frame payload (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
-/// Protocol version written by [`write_request_v2`] and the highest version
+/// Protocol version written by [`write_request_v3`] and the highest version
 /// [`read_request`] understands.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// The multi-model protocol revision (no deadline field), still written by
+/// [`write_request_v2`] and accepted by [`read_request`].
+pub const PROTOCOL_VERSION_V2: u8 = 2;
 
 const TAG_REQUEST: u8 = 1;
 const TAG_RESPONSE: u8 = 2;
 const TAG_REQUEST_V2: u8 = 3;
+const TAG_PING: u8 = 4;
+const TAG_PONG: u8 = 5;
 
 /// An inference request: a request id chosen by the client plus the image.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,10 +58,77 @@ pub struct Request {
     pub id: u64,
     /// Model the request addresses (always `0` for a v1 frame).
     pub model: u16,
+    /// Remaining end-to-end latency budget in milliseconds; `0` means "no
+    /// deadline" (and is what v1/v2 frames map to). A server drops a request
+    /// whose budget expired before compute and answers
+    /// [`ErrorCode::DeadlineExceeded`]; a router decrements the budget
+    /// across hops and never retries past it.
+    pub deadline_ms: u32,
     /// Image shape `(channels, height, width)`.
     pub shape: [usize; 3],
     /// Row-major pixel data, `shape` elements.
     pub pixels: Vec<f32>,
+}
+
+/// Typed failure classification carried in a response's status byte.
+///
+/// The retriable codes are the overload-protection contract: a router (or a
+/// client) may re-send a request refused with [`ErrorCode::Overloaded`] or
+/// [`ErrorCode::ShuttingDown`] to another replica, while an
+/// [`ErrorCode::App`] error (bad shape, unknown model) is bad on every
+/// replica and a [`ErrorCode::DeadlineExceeded`] refusal has no budget left
+/// to retry with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Application-level failure; retrying elsewhere cannot help.
+    App,
+    /// The replica shed the request at admission (queue depth cap) —
+    /// retriable on a less-loaded replica or later.
+    Overloaded,
+    /// The request's `deadline_ms` budget expired before compute.
+    DeadlineExceeded,
+    /// The replica is draining for shutdown — retriable on another replica.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire status byte of this code (`0` is reserved for `Ok`).
+    fn status(self) -> u8 {
+        match self {
+            ErrorCode::App => 1,
+            ErrorCode::Overloaded => 2,
+            ErrorCode::DeadlineExceeded => 3,
+            ErrorCode::ShuttingDown => 4,
+        }
+    }
+
+    fn from_status(status: u8) -> Option<Self> {
+        match status {
+            1 => Some(ErrorCode::App),
+            2 => Some(ErrorCode::Overloaded),
+            3 => Some(ErrorCode::DeadlineExceeded),
+            4 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+
+    /// Whether a request refused with this code may be answered successfully
+    /// somewhere else (or later) — i.e. the failure describes the serving
+    /// plane's state, not the request itself.
+    pub fn is_retriable(self) -> bool {
+        !matches!(self, ErrorCode::App)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::App => "APP_ERROR",
+            ErrorCode::Overloaded => "OVERLOADED",
+            ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+        })
+    }
 }
 
 /// An inference response.
@@ -62,6 +147,8 @@ pub enum Response {
     Err {
         /// Echoed request id.
         id: u64,
+        /// Typed failure classification (drives retry decisions).
+        code: ErrorCode,
         /// Human-readable failure description.
         message: String,
     },
@@ -74,6 +161,37 @@ impl Response {
             Response::Ok { id, .. } | Response::Err { id, .. } => *id,
         }
     }
+
+    /// Builds an application-level (non-retriable) error response.
+    pub fn app_err(id: u64, message: impl Into<String>) -> Self {
+        Response::Err {
+            id,
+            code: ErrorCode::App,
+            message: message.into(),
+        }
+    }
+
+    /// The error code, if this is an error response.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Response::Ok { .. } => None,
+            Response::Err { code, .. } => Some(*code),
+        }
+    }
+}
+
+/// One frame a server's connection reader can receive: an inference request
+/// or a health-probe ping (answered at connection level, bypassing the
+/// compute queue — the probe checks liveness, not capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// An inference request (any protocol version).
+    Request(Request),
+    /// A health probe; the peer expects a pong echoing the nonce.
+    Ping {
+        /// Probe correlation nonce, echoed in the pong.
+        nonce: u64,
+    },
 }
 
 fn invalid(message: impl Into<String>) -> io::Error {
@@ -186,22 +304,57 @@ pub fn write_request_v2(
 ) -> io::Result<()> {
     let mut payload = Vec::with_capacity(4 + 8 + 6 + pixels.len() * 4);
     payload.push(TAG_REQUEST_V2);
-    payload.push(PROTOCOL_VERSION);
+    payload.push(PROTOCOL_VERSION_V2);
     payload.extend_from_slice(&model.to_le_bytes());
     encode_request_body(&mut payload, id, shape, pixels)?;
     write_frame(writer, &payload)
 }
 
-/// Serializes and sends a parsed request, preserving its model id (the
-/// router's forwarding path). A request for model 0 is written as a v1
-/// frame — byte-identical to what a v1 client would send — so forwarding
-/// never upgrades a frame a v1-only backend could have served.
+/// Serializes and sends a version-3 request frame addressing `model` with a
+/// `deadline_ms` latency budget (`0` = no deadline).
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects shape/pixel mismatches.
+pub fn write_request_v3(
+    writer: &mut impl Write,
+    id: u64,
+    model: u16,
+    deadline_ms: u32,
+    shape: [usize; 3],
+    pixels: &[f32],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(8 + 8 + 6 + pixels.len() * 4);
+    payload.push(TAG_REQUEST_V2);
+    payload.push(PROTOCOL_VERSION);
+    payload.extend_from_slice(&model.to_le_bytes());
+    payload.extend_from_slice(&deadline_ms.to_le_bytes());
+    encode_request_body(&mut payload, id, shape, pixels)?;
+    write_frame(writer, &payload)
+}
+
+/// Serializes and sends a parsed request, preserving its wire version. A
+/// deadline-free request for model 0 is written as a v1 frame —
+/// byte-identical to what a v1 client would send — and a deadline-free
+/// request for another model as v2, so forwarding never upgrades a frame an
+/// older backend could have served. A request carrying a deadline needs the
+/// v3 layout (the budget — typically already decremented by the forwarding
+/// hop — must survive the hop).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; rejects shape/pixel mismatches.
 pub fn forward_request(writer: &mut impl Write, request: &Request) -> io::Result<()> {
-    if request.model == 0 {
+    if request.deadline_ms != 0 {
+        write_request_v3(
+            writer,
+            request.id,
+            request.model,
+            request.deadline_ms,
+            request.shape,
+            &request.pixels,
+        )
+    } else if request.model == 0 {
         write_request(writer, request.id, request.shape, &request.pixels)
     } else {
         write_request_v2(
@@ -214,9 +367,56 @@ pub fn forward_request(writer: &mut impl Write, request: &Request) -> io::Result
     }
 }
 
+/// Sends a health-probe ping carrying `nonce`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_ping(writer: &mut impl Write, nonce: u64) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(TAG_PING);
+    payload.extend_from_slice(&nonce.to_le_bytes());
+    write_frame(writer, &payload)
+}
+
+/// Sends the pong answering a health-probe ping.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_pong(writer: &mut impl Write, nonce: u64) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(TAG_PONG);
+    payload.extend_from_slice(&nonce.to_le_bytes());
+    write_frame(writer, &payload)
+}
+
+/// Reads one pong frame and returns its nonce; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for anything that is not
+/// a pong frame.
+pub fn read_pong(reader: &mut impl Read) -> io::Result<Option<u64>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor::new(&payload);
+    if cursor.u8()? != TAG_PONG {
+        return Err(invalid("expected a pong frame"));
+    }
+    let nonce = cursor.u64()?;
+    cursor.finish()?;
+    Ok(Some(nonce))
+}
+
 /// Parses the shared request body (`id shape pixels`) of an already
 /// tag-dispatched request frame.
-fn decode_request_body(cursor: &mut Cursor<'_>, model: u16) -> io::Result<Request> {
+fn decode_request_body(
+    cursor: &mut Cursor<'_>,
+    model: u16,
+    deadline_ms: u32,
+) -> io::Result<Request> {
     let id = cursor.u64()?;
     let shape = [
         cursor.u16()? as usize,
@@ -249,39 +449,76 @@ fn decode_request_body(cursor: &mut Cursor<'_>, model: u16) -> io::Result<Reques
     Ok(Request {
         id,
         model,
+        deadline_ms,
         shape,
         pixels,
     })
 }
 
-/// Reads one request, v1 or v2; `Ok(None)` on clean EOF.
+/// Reads one message — a request of any version, or a health-probe ping;
+/// `Ok(None)` on clean EOF.
 ///
-/// A v1 frame maps to model 0; a v2 frame carries its model id. A v2 frame
-/// declaring an unknown protocol version is `InvalidData` — the version byte
-/// is checked before anything else in the payload is trusted.
+/// A v1 frame maps to model 0; v2 carries a model id; v3 additionally a
+/// deadline budget (v1/v2 map to "no deadline"). A versioned frame
+/// declaring an unknown protocol version is `InvalidData` — the version
+/// byte is checked before anything else in the payload is trusted.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; returns `InvalidData` for malformed frames.
-pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
+pub fn read_message(reader: &mut impl Read) -> io::Result<Option<Message>> {
     let Some(payload) = read_frame(reader)? else {
         return Ok(None);
     };
     let mut cursor = Cursor::new(&payload);
     match cursor.u8()? {
-        TAG_REQUEST => Ok(Some(decode_request_body(&mut cursor, 0)?)),
+        TAG_REQUEST => Ok(Some(Message::Request(decode_request_body(
+            &mut cursor,
+            0,
+            0,
+        )?))),
         TAG_REQUEST_V2 => {
             let version = cursor.u8()?;
-            if version != PROTOCOL_VERSION {
+            if version != PROTOCOL_VERSION_V2 && version != PROTOCOL_VERSION {
                 return Err(invalid(format!(
                     "unsupported protocol version {version} (this reader speaks \
-                     {PROTOCOL_VERSION})"
+                     {PROTOCOL_VERSION_V2} and {PROTOCOL_VERSION})"
                 )));
             }
             let model = cursor.u16()?;
-            Ok(Some(decode_request_body(&mut cursor, model)?))
+            let deadline_ms = if version >= PROTOCOL_VERSION {
+                cursor.u32()?
+            } else {
+                0
+            };
+            Ok(Some(Message::Request(decode_request_body(
+                &mut cursor,
+                model,
+                deadline_ms,
+            )?)))
+        }
+        TAG_PING => {
+            let nonce = cursor.u64()?;
+            cursor.finish()?;
+            Ok(Some(Message::Ping { nonce }))
         }
         _ => Err(invalid("expected a request frame")),
+    }
+}
+
+/// Reads one request, any version; `Ok(None)` on clean EOF.
+///
+/// A ping frame is `InvalidData` to this reader — callers that also answer
+/// health probes use [`read_message`].
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed frames.
+pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
+    match read_message(reader)? {
+        None => Ok(None),
+        Some(Message::Request(request)) => Ok(Some(request)),
+        Some(Message::Ping { .. }) => Err(invalid("expected a request frame, got a ping")),
     }
 }
 
@@ -305,7 +542,7 @@ pub fn read_request_v1(reader: &mut impl Read) -> io::Result<Option<Request>> {
     if cursor.u8()? != TAG_REQUEST {
         return Err(invalid("expected a request frame"));
     }
-    Ok(Some(decode_request_body(&mut cursor, 0)?))
+    Ok(Some(decode_request_body(&mut cursor, 0, 0)?))
 }
 
 /// Serializes and sends a response frame.
@@ -335,14 +572,14 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
                 payload.extend_from_slice(&logit.to_le_bytes());
             }
         }
-        Response::Err { message, .. } => {
+        Response::Err { code, message, .. } => {
             if message.len() > MAX_FRAME_BYTES {
                 return Err(invalid(format!(
                     "{}-byte error message exceeds the frame cap",
                     message.len()
                 )));
             }
-            payload.push(1);
+            payload.push(code.status());
             payload.extend_from_slice(&(message.len() as u32).to_le_bytes());
             payload.extend_from_slice(message.as_bytes());
         }
@@ -377,14 +614,16 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
             }
             Response::Ok { id, argmax, logits }
         }
-        1 => {
+        status => {
+            let Some(code) = ErrorCode::from_status(status) else {
+                return Err(invalid(format!("unknown response status {status}")));
+            };
             let length = cursor.u32()? as usize;
             let bytes = cursor.bytes(length)?;
             let message = String::from_utf8(bytes.to_vec())
                 .map_err(|_| invalid("error message is not UTF-8"))?;
-            Response::Err { id, message }
+            Response::Err { id, code, message }
         }
-        other => return Err(invalid(format!("unknown response status {other}"))),
     };
     cursor.finish()?;
     Ok(Some(response))
@@ -529,12 +768,14 @@ mod tests {
     }
 
     #[test]
-    fn forward_request_preserves_wire_version_by_model() {
-        // Model 0 forwards as a byte-identical v1 frame; other models as v2.
+    fn forward_request_preserves_wire_version_by_model_and_deadline() {
+        // Deadline-free model 0 forwards as a byte-identical v1 frame; other
+        // deadline-free models as v2; any deadline forces the v3 layout.
         let pixels = [0.5f32, 0.25];
         let v0 = Request {
             id: 11,
             model: 0,
+            deadline_ms: 0,
             shape: [1, 1, 2],
             pixels: pixels.to_vec(),
         };
@@ -543,13 +784,121 @@ mod tests {
         let mut direct = Vec::new();
         write_request(&mut direct, 11, [1, 1, 2], &pixels).unwrap();
         assert_eq!(forwarded, direct);
-        let v2 = Request { model: 3, ..v0 };
+        let v2 = Request {
+            model: 3,
+            ..v0.clone()
+        };
         let mut forwarded = Vec::new();
         forward_request(&mut forwarded, &v2).unwrap();
         assert_eq!(
             read_request(&mut forwarded.as_slice()).unwrap().unwrap(),
             v2
         );
+        // A deadline survives forwarding even for model 0 (v3 layout).
+        let with_deadline = Request {
+            deadline_ms: 250,
+            ..v0
+        };
+        let mut forwarded = Vec::new();
+        forward_request(&mut forwarded, &with_deadline).unwrap();
+        let mut direct = Vec::new();
+        write_request_v3(&mut direct, 11, 0, 250, [1, 1, 2], &pixels).unwrap();
+        assert_eq!(forwarded, direct);
+        assert_eq!(
+            read_request(&mut forwarded.as_slice()).unwrap().unwrap(),
+            with_deadline
+        );
+    }
+
+    #[test]
+    fn v3_request_round_trips_deadline_and_model() {
+        let pixels: Vec<f32> = (0..4).map(|i| i as f32 / 4.0).collect();
+        for (model, deadline_ms) in [(0u16, 0u32), (1, 1), (7, 5_000), (u16::MAX, u32::MAX)] {
+            let mut wire = Vec::new();
+            write_request_v3(&mut wire, 21, model, deadline_ms, [1, 2, 2], &pixels).unwrap();
+            let parsed = read_request(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(parsed.id, 21);
+            assert_eq!(parsed.model, model);
+            assert_eq!(parsed.deadline_ms, deadline_ms);
+            assert_eq!(parsed.pixels, pixels);
+        }
+        // v1/v2 frames map to "no deadline".
+        let mut wire = Vec::new();
+        write_request_v2(&mut wire, 4, 2, [1, 2, 2], &pixels).unwrap();
+        assert_eq!(
+            read_request(&mut wire.as_slice())
+                .unwrap()
+                .unwrap()
+                .deadline_ms,
+            0
+        );
+        // A v1 peer rejects a v3 frame as cleanly as it rejects v2.
+        let mut wire = Vec::new();
+        write_request_v3(&mut wire, 5, 0, 100, [1, 2, 2], &pixels).unwrap();
+        let error = read_request_v1(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn ping_pong_round_trips_and_stays_separate_from_requests() {
+        let mut wire = Vec::new();
+        write_ping(&mut wire, 0xDEAD_BEEF).unwrap();
+        match read_message(&mut wire.as_slice()).unwrap().unwrap() {
+            Message::Ping { nonce } => assert_eq!(nonce, 0xDEAD_BEEF),
+            other => panic!("expected a ping, got {other:?}"),
+        }
+        // The request-only reader refuses pings instead of misparsing them.
+        let error = read_request(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("ping"), "{error}");
+        // Pong side.
+        let mut wire = Vec::new();
+        write_pong(&mut wire, 99).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_pong(&mut reader).unwrap(), Some(99));
+        assert_eq!(read_pong(&mut reader).unwrap(), None);
+        // A pong is not a valid message on the request side.
+        assert!(read_message(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify_retriability() {
+        for code in [
+            ErrorCode::App,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+        ] {
+            let response = Response::Err {
+                id: 6,
+                code,
+                message: format!("{code}"),
+            };
+            let mut wire = Vec::new();
+            write_response(&mut wire, &response).unwrap();
+            let parsed = read_response(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(parsed, response);
+            assert_eq!(parsed.error_code(), Some(code));
+        }
+        assert!(!ErrorCode::App.is_retriable());
+        assert!(ErrorCode::Overloaded.is_retriable());
+        assert!(ErrorCode::DeadlineExceeded.is_retriable());
+        assert!(ErrorCode::ShuttingDown.is_retriable());
+        assert_eq!(
+            Response::Ok {
+                id: 1,
+                argmax: 0,
+                logits: vec![]
+            }
+            .error_code(),
+            None
+        );
+        // Status bytes from the future are a clean error.
+        let mut payload = vec![TAG_RESPONSE];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(9); // unknown status
+        let error = read_response(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("status"), "{error}");
     }
 
     #[test]
@@ -567,10 +916,7 @@ mod tests {
             argmax: 3,
             logits: vec![0.25, -0.5, 0.125],
         };
-        let err = Response::Err {
-            id: 8,
-            message: "bad shape".into(),
-        };
+        let err = Response::app_err(8, "bad shape");
         let mut wire = Vec::new();
         write_response(&mut wire, &ok).unwrap();
         write_response(&mut wire, &err).unwrap();
@@ -690,5 +1036,102 @@ mod tests {
         assert!(read_request(&mut &truncated[..]).is_err());
         // Request parsed as response.
         assert!(read_response(&mut ok_wire.as_slice()).is_err());
+    }
+
+    /// One valid frame of each wire version plus a response, used as fuzz
+    /// seeds below.
+    fn fuzz_seed_frames() -> Vec<(&'static str, Vec<u8>)> {
+        let pixels = [0.5f32, -0.25, 0.125, 1.0];
+        let mut v1 = Vec::new();
+        write_request(&mut v1, 3, [1, 2, 2], &pixels).unwrap();
+        let mut v2 = Vec::new();
+        write_request_v2(&mut v2, 4, 1, [1, 2, 2], &pixels).unwrap();
+        let mut v3 = Vec::new();
+        write_request_v3(&mut v3, 5, 1, 750, [1, 2, 2], &pixels).unwrap();
+        let mut ok = Vec::new();
+        write_response(
+            &mut ok,
+            &Response::Ok {
+                id: 6,
+                argmax: 2,
+                logits: vec![0.5, -1.0, 0.25],
+            },
+        )
+        .unwrap();
+        let mut err = Vec::new();
+        write_response(
+            &mut err,
+            &Response::Err {
+                id: 7,
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        )
+        .unwrap();
+        vec![
+            ("v1 request", v1),
+            ("v2 request", v2),
+            ("v3 request", v3),
+            ("ok response", ok),
+            ("err response", err),
+        ]
+    }
+
+    /// Feeds `wire` to every frame reader; each must return promptly with
+    /// `Ok` or a typed error — a panic fails the test, a hang would trip the
+    /// harness timeout. Pure in-memory readers cannot block, so termination
+    /// of this call *is* the no-hang assertion.
+    fn assert_clean_parse(label: &str, wire: &[u8]) {
+        for (side, result) in [
+            ("read_request", read_request(&mut &wire[..]).map(|_| ())),
+            (
+                "read_request_v1",
+                read_request_v1(&mut &wire[..]).map(|_| ()),
+            ),
+            ("read_message", read_message(&mut &wire[..]).map(|_| ())),
+            ("read_response", read_response(&mut &wire[..]).map(|_| ())),
+            ("read_pong", read_pong(&mut &wire[..]).map(|_| ())),
+        ] {
+            if let Err(error) = result {
+                assert!(
+                    !matches!(error.kind(), io::ErrorKind::OutOfMemory),
+                    "{label}/{side}: allocation blow-up: {error}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_clean_typed_error() {
+        // Every prefix of a valid frame must parse as clean EOF (when the
+        // cut lands exactly on a frame boundary, i.e. length 0 here) or a
+        // typed error — never a panic, wild allocation, or misparse.
+        for (label, wire) in fuzz_seed_frames() {
+            for cut in 0..wire.len() {
+                assert_clean_parse(&format!("{label} cut at {cut}"), &wire[..cut]);
+            }
+            // Zero-byte input is clean EOF on all readers.
+            assert!(read_request(&mut &wire[..0]).unwrap().is_none());
+            assert!(read_response(&mut &wire[..0]).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_a_reader() {
+        // Deterministic fuzz: flip every bit position of every byte of each
+        // seed frame (8x coverage of single-byte corruption per offset) and
+        // require all readers to return. Corruptions inside float payloads
+        // may legitimately parse as different-but-valid frames; the protocol
+        // has no checksum (see ROADMAP), so this test asserts safety
+        // (no panic/hang/blow-up), not detection.
+        for (label, wire) in fuzz_seed_frames() {
+            for offset in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut corrupt = wire.clone();
+                    corrupt[offset] ^= 1 << bit;
+                    assert_clean_parse(&format!("{label} byte {offset} bit {bit}"), &corrupt);
+                }
+            }
+        }
     }
 }

@@ -8,37 +8,48 @@
 //! * **Least-loaded routing** — every request is dispatched to the healthy
 //!   backend with the fewest in-flight requests (per-backend in-flight
 //!   accounting, maintained by the forwarding path itself).
-//! * **Health checks** — a background thread probes each backend with a TCP
-//!   connect every [`RouterOptions::health_interval`]; the forwarding path
-//!   additionally marks a backend down the moment an exchange fails, so a
-//!   killed replica stops receiving traffic before the next probe.
-//! * **Exactly-once failover** — a request whose backend exchange fails
-//!   (connection refused/broken, or an explicit
-//!   [`SHUTTING_DOWN_MESSAGE`] refusal from a draining replica) is re-sent
-//!   to a *different* replica exactly once; if that also fails, the client
-//!   gets a `Response::Err` instead of a hang. This is only correct because
-//!   the serving runtime's graceful shutdown answers or refuses every
-//!   accepted request — a backend that silently dropped requests would make
-//!   the router double-serve or hang.
+//! * **Health checks** — a background thread probes each backend every
+//!   [`RouterOptions::health_interval`] with a tiny ping/pong exchange (not
+//!   a bare TCP connect: a hung replica whose accept queue still accepts
+//!   would pass a connect probe while serving nothing); the forwarding path
+//!   additionally marks a backend down the moment an exchange fails.
+//! * **Circuit breakers** — each backend carries a breaker that trips after
+//!   [`RouterOptions::breaker_threshold`] consecutive exchange failures,
+//!   rejects traffic for [`RouterOptions::breaker_cooldown`], then half-opens
+//!   to let a trial request through; a success closes it, a failure re-trips.
+//!   This keeps a flapping replica from eating one timeout per request.
+//! * **Budgeted failover** — a request whose exchange fails (or is refused
+//!   by a draining/overloaded replica) is re-sent to a different replica,
+//!   but retries draw from a shared token-bucket *retry budget*
+//!   ([`RouterOptions::retry_budget`]) with exponential backoff and
+//!   deterministic per-request jitter — under a correlated failure the
+//!   router degrades to fast typed errors instead of amplifying the load.
+//!   If the request carries a protocol-v3 deadline, the remaining budget is
+//!   decremented across hops and a request is never retried past it. On
+//!   give-up the client gets a typed retriable `Response::Err` instead of a
+//!   hang. This is only correct because the serving runtime's graceful
+//!   shutdown answers or refuses every accepted request — a backend that
+//!   silently dropped requests would make the router double-serve or hang.
 //!
-//! The router is protocol-transparent: it parses requests (v1 or v2) only
-//! to learn frame boundaries, ids, and model ids, and forwards them with
-//! [`crate::proto::forward_request`], which preserves the wire version.
-//! Responses are relayed verbatim, so a routed inference is bit-exact with
-//! a direct engine call.
+//! The router is protocol-transparent: it parses requests (v1/v2/v3) only
+//! to learn frame boundaries, ids, model ids, and deadlines, and forwards
+//! them with [`crate::proto::forward_request`], which preserves the wire
+//! version. Responses are relayed verbatim, so a routed inference is
+//! bit-exact with a direct engine call.
 //!
 //! [`SHUTTING_DOWN_MESSAGE`]: crate::server::SHUTTING_DOWN_MESSAGE
 
 use crate::proto::{
-    forward_request, read_request, read_response, write_response, Request, Response,
+    forward_request, read_message, read_pong, read_response, write_ping, write_pong,
+    write_response, ErrorCode, Message, Request, Response,
 };
 use crate::server::{ConnectionRegistry, SHUTTING_DOWN_MESSAGE};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Router configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +64,25 @@ pub struct RouterOptions {
     /// failover only helps if a hung backend eventually *errors*. Must
     /// comfortably exceed worst-case inference latency under load.
     pub exchange_timeout: Duration,
+    /// Read/write timeout for one health ping/pong exchange. Much shorter
+    /// than `exchange_timeout`: a probe carries no compute.
+    pub probe_timeout: Duration,
+    /// Consecutive exchange failures that trip a backend's circuit breaker
+    /// (floored at one).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker rejects traffic before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Capacity of the shared retry token bucket; every retry (second and
+    /// later attempt of any request) takes one token. Zero disables retries.
+    pub retry_budget: u32,
+    /// Time to refill one retry token.
+    pub retry_refill: Duration,
+    /// Base delay of the exponential retry backoff (doubled per extra
+    /// attempt, plus deterministic per-request jitter).
+    pub retry_backoff: Duration,
+    /// Maximum exchange attempts per request, first try included (floored
+    /// at one).
+    pub max_attempts: u32,
 }
 
 impl Default for RouterOptions {
@@ -61,6 +91,148 @@ impl Default for RouterOptions {
             health_interval: Duration::from_millis(200),
             connect_timeout: Duration::from_secs(1),
             exchange_timeout: Duration::from_secs(30),
+            probe_timeout: Duration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            retry_budget: 8,
+            retry_refill: Duration::from_millis(250),
+            retry_backoff: Duration::from_millis(25),
+            max_attempts: 2,
+        }
+    }
+}
+
+/// Per-backend circuit breaker.
+///
+/// `Closed` passes traffic and counts consecutive failures; at
+/// `threshold` it trips to `Open`, which rejects every request until
+/// `cooldown` elapses; then `HalfOpen` admits trial traffic — one success
+/// closes the breaker, one failure re-trips it. Rejecting at the router is
+/// what converts "every request eats a full exchange timeout against a dead
+/// replica" into "requests route around it instantly".
+#[derive(Debug)]
+struct CircuitBreaker {
+    state: Mutex<BreakerState>,
+    threshold: u32,
+    cooldown: Duration,
+    /// Closed→Open transitions over the breaker's lifetime.
+    trips: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+impl CircuitBreaker {
+    fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+            threshold: threshold.max(1),
+            cooldown,
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a request may be sent to this backend right now. An `Open`
+    /// breaker whose cooldown has elapsed transitions to `HalfOpen` and
+    /// admits the caller as a trial.
+    fn allow(&self) -> bool {
+        let mut state = self.state.lock().expect("breaker lock");
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful exchange: the breaker closes and the
+    /// consecutive-failure count resets.
+    fn on_success(&self) {
+        *self.state.lock().expect("breaker lock") = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Records a failed exchange: increments the consecutive-failure count
+    /// and trips at the threshold; a half-open trial failure re-trips
+    /// immediately.
+    fn on_failure(&self) {
+        let mut state = self.state.lock().expect("breaker lock");
+        let tripped = match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    true
+                } else {
+                    *state = BreakerState::Closed { failures };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => true,
+            BreakerState::Open { .. } => false,
+        };
+        if tripped {
+            *state = BreakerState::Open {
+                until: Instant::now() + self.cooldown,
+            };
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        matches!(
+            *self.state.lock().expect("breaker lock"),
+            BreakerState::Open { .. }
+        )
+    }
+}
+
+/// Shared token bucket bounding the router's total retry rate.
+///
+/// Each retry (not first attempts) takes one token; tokens refill at one
+/// per `refill`. Under a correlated backend failure this caps retry
+/// amplification: once the bucket is dry, requests fail fast with a typed
+/// `OVERLOADED` instead of doubling the load on whatever still stands.
+#[derive(Debug)]
+struct RetryBudget {
+    /// `(tokens, last_refill)` — fractional tokens make refill math exact.
+    state: Mutex<(f64, Instant)>,
+    capacity: f64,
+    refill: Duration,
+}
+
+impl RetryBudget {
+    fn new(capacity: u32, refill: Duration) -> Self {
+        Self {
+            state: Mutex::new((f64::from(capacity), Instant::now())),
+            capacity: f64::from(capacity),
+            refill,
+        }
+    }
+
+    /// Takes one retry token if available.
+    fn try_take(&self) -> bool {
+        let mut state = self.state.lock().expect("retry budget lock");
+        let (ref mut tokens, ref mut last) = *state;
+        let now = Instant::now();
+        if !self.refill.is_zero() {
+            *tokens = (*tokens
+                + now.duration_since(*last).as_secs_f64() / self.refill.as_secs_f64())
+            .min(self.capacity);
+        }
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
@@ -77,8 +249,23 @@ struct Backend {
     in_flight: AtomicUsize,
     /// Requests this backend answered.
     forwarded: AtomicU64,
-    /// Exchanges that failed on this backend and were failed over.
+    /// Exchanges that failed (or were refused) on this backend and were
+    /// failed over.
     failovers: AtomicU64,
+    breaker: CircuitBreaker,
+}
+
+impl Backend {
+    fn new(addr: SocketAddr, options: &RouterOptions) -> Self {
+        Self {
+            addr,
+            healthy: AtomicBool::new(true),
+            in_flight: AtomicUsize::new(0),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            breaker: CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown),
+        }
+    }
 }
 
 /// Point-in-time statistics of one backend.
@@ -94,6 +281,10 @@ pub struct BackendStats {
     pub forwarded: u64,
     /// Failed exchanges that were failed over away from this backend.
     pub failovers: u64,
+    /// Whether the backend's circuit breaker was open at snapshot time.
+    pub breaker_open: bool,
+    /// Times the backend's breaker tripped over the router's lifetime.
+    pub breaker_trips: u64,
 }
 
 /// Point-in-time statistics of the router.
@@ -103,28 +294,39 @@ pub struct RouterStats {
     pub backends: Vec<BackendStats>,
     /// Requests accepted from clients.
     pub requests: u64,
-    /// Re-sends performed (one per failed first exchange).
+    /// Re-sends performed (counted once per request that needed any).
     pub failovers: u64,
-    /// Requests that failed even after the failover attempt.
+    /// Requests that failed even after failover (answered with a typed
+    /// error, never dropped).
     pub failed: u64,
+    /// Requests whose deadline expired at the router (answered
+    /// `DEADLINE_EXCEEDED`).
+    pub expired: u64,
 }
 
 impl std::fmt::Display for RouterStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests, {} failovers, {} failed —",
-            self.requests, self.failovers, self.failed
+            "{} requests, {} failovers, {} failed, {} expired —",
+            self.requests, self.failovers, self.failed, self.expired
         )?;
         for backend in &self.backends {
             write!(
                 f,
-                " [{} {} fwd={} inflight={} failover={}]",
+                " [{} {} fwd={} inflight={} failover={} trips={}]",
                 backend.addr,
-                if backend.healthy { "up" } else { "down" },
+                if backend.breaker_open {
+                    "breaker-open"
+                } else if backend.healthy {
+                    "up"
+                } else {
+                    "down"
+                },
                 backend.forwarded,
                 backend.in_flight,
-                backend.failovers
+                backend.failovers,
+                backend.breaker_trips
             )?;
         }
         Ok(())
@@ -137,10 +339,14 @@ struct RouterShared {
     backends: Vec<Backend>,
     options: RouterOptions,
     registry: ConnectionRegistry,
+    retry_budget: RetryBudget,
     stop: AtomicBool,
     requests: AtomicU64,
     failovers: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
+    /// Monotone nonce source for health-probe pings.
+    probe_nonce: AtomicU64,
 }
 
 /// Handle to a running router.
@@ -170,11 +376,14 @@ impl RouterHandle {
                     in_flight: backend.in_flight.load(Ordering::Relaxed),
                     forwarded: backend.forwarded.load(Ordering::Relaxed),
                     failovers: backend.failovers.load(Ordering::Relaxed),
+                    breaker_open: backend.breaker.is_open(),
+                    breaker_trips: backend.breaker.trips.load(Ordering::Relaxed),
                 })
                 .collect(),
             requests: self.shared.requests.load(Ordering::Relaxed),
             failovers: self.shared.failovers.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -216,20 +425,17 @@ pub fn spawn_router(
     let shared = Arc::new(RouterShared {
         backends: backends
             .into_iter()
-            .map(|addr| Backend {
-                addr,
-                healthy: AtomicBool::new(true),
-                in_flight: AtomicUsize::new(0),
-                forwarded: AtomicU64::new(0),
-                failovers: AtomicU64::new(0),
-            })
+            .map(|addr| Backend::new(addr, &options))
             .collect(),
+        retry_budget: RetryBudget::new(options.retry_budget, options.retry_refill),
         options,
         registry: ConnectionRegistry::default(),
         stop: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         failovers: AtomicU64::new(0),
         failed: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
+        probe_nonce: AtomicU64::new(1),
     });
 
     let health_thread = {
@@ -271,12 +477,42 @@ pub fn spawn_router(
     })
 }
 
-/// Background health probes: one TCP connect per backend per interval.
+/// One health probe: connect, ping, expect the matching pong within
+/// `probe_timeout`.
+///
+/// The ping travels the backend's real serving path (accept loop → reader
+/// thread → writer thread), so a replica that is hung-but-accepting — its
+/// listen queue still completes TCP handshakes while no thread reads — now
+/// fails the probe instead of passing a bare connect check.
+fn probe_backend(addr: SocketAddr, options: &RouterOptions, nonce: u64) -> bool {
+    let Ok(stream) = TcpStream::connect_timeout(&addr, options.connect_timeout) else {
+        return false;
+    };
+    if stream
+        .set_read_timeout(Some(options.probe_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(options.probe_timeout))
+            .is_err()
+    {
+        return false;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return false;
+    };
+    if write_ping(&mut writer, nonce).is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    matches!(read_pong(&mut reader), Ok(Some(answered)) if answered == nonce)
+}
+
+/// Background health probes: one ping/pong per backend per interval.
 fn health_loop(shared: &RouterShared) {
     while !shared.stop.load(Ordering::SeqCst) {
         for backend in &shared.backends {
-            let healthy =
-                TcpStream::connect_timeout(&backend.addr, shared.options.connect_timeout).is_ok();
+            let nonce = shared.probe_nonce.fetch_add(1, Ordering::Relaxed);
+            let healthy = probe_backend(backend.addr, &shared.options, nonce);
             backend.healthy.store(healthy, Ordering::Relaxed);
         }
         // Sleep in short slices so shutdown is never blocked on a long
@@ -314,8 +550,9 @@ impl BackendConn {
 }
 
 /// Per-client loop: read a request, forward it (with failover), relay the
-/// response. Requests on one connection are handled sequentially, so each
-/// pooled backend connection carries at most one outstanding exchange.
+/// response; pings are answered on the spot. Requests on one connection are
+/// handled sequentially, so each pooled backend connection carries at most
+/// one outstanding exchange.
 fn client_connection_loop(stream: TcpStream, shared: &RouterShared) {
     // A client that stops draining its socket must not block this thread in
     // `write_response` forever (it would also wedge shutdown's join); after
@@ -331,26 +568,49 @@ fn client_connection_loop(stream: TcpStream, shared: &RouterShared) {
     };
     let mut reader = BufReader::new(stream);
     let mut conns: Vec<Option<BackendConn>> = (0..shared.backends.len()).map(|_| None).collect();
-    while let Ok(Some(request)) = read_request(&mut reader) {
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let response = forward_with_failover(shared, &mut conns, &request);
-        if write_response(&mut writer, &response).is_err() {
-            break;
+    while let Ok(Some(message)) = read_message(&mut reader) {
+        match message {
+            Message::Request(request) => {
+                let arrival = Instant::now();
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let response = forward_with_failover(shared, &mut conns, &request, arrival);
+                if write_response(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            Message::Ping { nonce } => {
+                if write_pong(&mut writer, nonce).is_err() {
+                    break;
+                }
+            }
         }
     }
 }
 
-/// Whether a response is a draining replica's refusal (retriable elsewhere)
-/// rather than an application error (not retriable — a bad shape is bad on
-/// every replica).
-fn is_shutdown_refusal(response: &Response) -> bool {
-    matches!(response, Response::Err { message, .. } if message == SHUTTING_DOWN_MESSAGE)
+/// Classifies a backend response: `Some(code)` for refusals the router may
+/// act on (retriable elsewhere, or deadline-expired), `None` for answers to
+/// relay as-is (`Ok`, and application errors — a bad shape is bad on every
+/// replica).
+///
+/// A plain-`App` response carrying exactly [`SHUTTING_DOWN_MESSAGE`] is
+/// honored as a shutdown refusal for wire compatibility with pre-v3
+/// replicas, which had no status byte for it.
+fn refusal_code(response: &Response) -> Option<ErrorCode> {
+    match response {
+        Response::Err { code, message, .. } => match code {
+            ErrorCode::App if message == SHUTTING_DOWN_MESSAGE => Some(ErrorCode::ShuttingDown),
+            ErrorCode::App => None,
+            other => Some(*other),
+        },
+        Response::Ok { .. } => None,
+    }
 }
 
-/// Picks the healthy backend with the fewest in-flight requests, skipping
-/// `excluded`. When no backend looks healthy (probe results can be stale —
-/// e.g. a replica restarted a millisecond ago), the least-loaded unhealthy
-/// one is tried anyway rather than failing the request outright.
+/// Picks the healthy backend (breaker permitting) with the fewest in-flight
+/// requests, skipping `excluded`. When no backend looks healthy (probe
+/// results can be stale — e.g. a replica restarted a millisecond ago), the
+/// least-loaded breaker-permitted unhealthy one is tried anyway rather than
+/// failing the request outright.
 fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize> {
     let candidates = |healthy: bool| {
         shared
@@ -358,7 +618,9 @@ fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize>
             .iter()
             .enumerate()
             .filter(|(index, backend)| {
-                Some(*index) != excluded && backend.healthy.load(Ordering::Relaxed) == healthy
+                Some(*index) != excluded
+                    && backend.healthy.load(Ordering::Relaxed) == healthy
+                    && backend.breaker.allow()
             })
             .min_by_key(|(_, backend)| backend.in_flight.load(Ordering::Relaxed))
             .map(|(index, _)| index)
@@ -369,11 +631,17 @@ fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize>
 /// One request/response exchange against backend `index`, with in-flight
 /// accounting. Any failure poisons the pooled connection (a half-completed
 /// exchange would desynchronize every later request on it).
+///
+/// With a deadline, the per-read socket timeout is tightened to the
+/// remaining budget (plus slack for the reply to cross the wire) so a slow
+/// backend cannot hold the exchange past the point where the answer stopped
+/// mattering.
 fn forward_once(
     shared: &RouterShared,
     conns: &mut [Option<BackendConn>],
     index: usize,
     request: &Request,
+    deadline: Option<Instant>,
 ) -> io::Result<Response> {
     let backend = &shared.backends[index];
     backend.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -382,6 +650,17 @@ fn forward_once(
             conns[index] = Some(BackendConn::connect(backend.addr, &shared.options)?);
         }
         let conn = conns[index].as_mut().expect("connection just ensured");
+        // Pooled connections persist across requests with different
+        // deadlines, so the exchange timeout is re-derived per request.
+        let timeout = match deadline {
+            Some(deadline) => deadline
+                .saturating_duration_since(Instant::now())
+                .saturating_add(Duration::from_millis(50))
+                .min(shared.options.exchange_timeout),
+            None => shared.options.exchange_timeout,
+        };
+        conn.writer
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
         forward_request(&mut conn.writer, request)?;
         match read_response(&mut conn.reader)? {
             Some(response) if response.id() == request.id => Ok(response),
@@ -406,43 +685,133 @@ fn forward_once(
     result
 }
 
-/// Forwards `request`, re-sending it to a different replica **exactly once**
-/// if the first exchange fails or is refused by a draining backend. A second
-/// failure returns an error response — the client always gets an answer.
+/// Deterministic per-request jitter in `[0, cap)`, keyed on the request id
+/// and attempt number (SplitMix64). Spreads correlated retries without a
+/// random source, so chaos runs replay identically.
+fn retry_jitter(id: u64, attempt: u32, cap: Duration) -> Duration {
+    let bits = crate::fault::splitmix64(id ^ (u64::from(attempt) << 32));
+    cap.mul_f64((bits >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Forwards `request` with deadline-aware, budget-governed failover.
+///
+/// Failed or refused exchanges are retried on a different replica up to
+/// `max_attempts`, where each retry must take a token from the shared
+/// [`RetryBudget`] and waits out an exponential backoff (with deterministic
+/// jitter) first. A request carrying a deadline is never retried past it:
+/// the remaining budget is re-derived before every attempt, forwarded to
+/// the backend in the hop's `deadline_ms`, and bounds the backoff sleep.
+/// Every outcome is an answer — relay, typed `DEADLINE_EXCEEDED`, or typed
+/// retriable `OVERLOADED` on give-up; the client never hangs.
 fn forward_with_failover(
     shared: &RouterShared,
     conns: &mut [Option<BackendConn>],
     request: &Request,
+    arrival: Instant,
 ) -> Response {
+    let deadline = (request.deadline_ms > 0)
+        .then(|| arrival + Duration::from_millis(u64::from(request.deadline_ms)));
     let mut excluded = None;
-    for attempt in 0..2 {
+    let mut last_failure = String::from("no backend available");
+    for attempt in 0..shared.options.max_attempts.max(1) {
+        let remaining = deadline.map(|deadline| deadline.saturating_duration_since(Instant::now()));
+        if remaining.is_some_and(|remaining| remaining.is_zero()) {
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            return Response::Err {
+                id: request.id,
+                code: ErrorCode::DeadlineExceeded,
+                message: format!(
+                    "deadline of {} ms exhausted at the router (last failure: {last_failure})",
+                    request.deadline_ms
+                ),
+            };
+        }
+        if attempt > 0 {
+            if !shared.retry_budget.try_take() {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                return Response::Err {
+                    id: request.id,
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "retry budget exhausted after failover attempt (last failure: \
+                         {last_failure})"
+                    ),
+                };
+            }
+            let base = shared
+                .options
+                .retry_backoff
+                .saturating_mul(1 << (attempt - 1).min(16));
+            let mut backoff = base + retry_jitter(request.id, attempt, base);
+            if let Some(remaining) = remaining {
+                backoff = backoff.min(remaining);
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
         let Some(index) = pick_backend(shared, excluded) else {
-            break; // every backend already failed this request
+            break; // nothing left to try (all excluded or breaker-open)
         };
         let backend = &shared.backends[index];
-        let failure = match forward_once(shared, conns, index, request) {
-            Ok(response) if !is_shutdown_refusal(&response) => {
-                backend.forwarded.fetch_add(1, Ordering::Relaxed);
-                return response;
+        // Decrement the deadline across the hop so the backend sees only
+        // what is left of the client's budget, not the original figure.
+        let hop = match deadline {
+            Some(deadline) => {
+                let left = deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_millis()
+                    .min(u128::from(u32::MAX)) as u32;
+                Request {
+                    deadline_ms: left.max(1),
+                    ..request.clone()
+                }
             }
-            Ok(_refusal) => "backend is shutting down".to_string(),
-            Err(error) => error.to_string(),
+            None => request.clone(),
         };
-        // Mark the backend down immediately: the probe thread will restore
-        // it if it is actually alive, and meanwhile other connections stop
-        // picking it.
-        backend.healthy.store(false, Ordering::Relaxed);
+        match forward_once(shared, conns, index, &hop, deadline) {
+            Ok(response) => match refusal_code(&response) {
+                None => {
+                    backend.breaker.on_success();
+                    backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                    return response;
+                }
+                // The backend already burned the deadline; retrying cannot
+                // beat it. Relay the typed expiry as-is.
+                Some(ErrorCode::DeadlineExceeded) => {
+                    backend.breaker.on_success();
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                    return response;
+                }
+                // Overloaded / shutting down: the replica is alive and
+                // answering — a refusal is its overload protection working,
+                // so no breaker penalty and no health demotion; just try
+                // elsewhere.
+                Some(code) => {
+                    backend.breaker.on_success();
+                    last_failure = format!("backend refused: {code}");
+                }
+            },
+            Err(error) => {
+                // A transport failure is what the breaker exists for; also
+                // mark the backend down immediately so other connections
+                // stop picking it before the next probe.
+                backend.breaker.on_failure();
+                backend.healthy.store(false, Ordering::Relaxed);
+                last_failure = error.to_string();
+            }
+        }
         backend.failovers.fetch_add(1, Ordering::Relaxed);
         if attempt == 0 {
             shared.failovers.fetch_add(1, Ordering::Relaxed);
         }
         excluded = Some(index);
-        let _ = failure;
     }
     shared.failed.fetch_add(1, Ordering::Relaxed);
     Response::Err {
         id: request.id,
-        message: "no replica answered this request (one failover attempted)".to_string(),
+        code: ErrorCode::Overloaded,
+        message: format!("no replica answered this request after failover ({last_failure})"),
     }
 }
 
@@ -458,23 +827,34 @@ mod tests {
             .unwrap()
     }
 
-    fn shared_with(backends: usize) -> RouterShared {
+    fn shared_with_options(backends: usize, options: RouterOptions) -> RouterShared {
         RouterShared {
             backends: (0..backends)
-                .map(|_| Backend {
-                    addr: dead_addr(),
-                    healthy: AtomicBool::new(true),
-                    in_flight: AtomicUsize::new(0),
-                    forwarded: AtomicU64::new(0),
-                    failovers: AtomicU64::new(0),
-                })
+                .map(|_| Backend::new(dead_addr(), &options))
                 .collect(),
-            options: RouterOptions::default(),
+            retry_budget: RetryBudget::new(options.retry_budget, options.retry_refill),
+            options,
             registry: ConnectionRegistry::default(),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            probe_nonce: AtomicU64::new(1),
+        }
+    }
+
+    fn shared_with(backends: usize) -> RouterShared {
+        shared_with_options(backends, RouterOptions::default())
+    }
+
+    fn request(id: u64, deadline_ms: u32) -> Request {
+        Request {
+            id,
+            model: 0,
+            deadline_ms,
+            shape: [1, 1, 1],
+            pixels: vec![0.5],
         }
     }
 
@@ -502,39 +882,138 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_refusals_are_retriable_other_errors_are_not() {
-        assert!(is_shutdown_refusal(&Response::Err {
-            id: 1,
-            message: SHUTTING_DOWN_MESSAGE.to_string(),
-        }));
-        assert!(!is_shutdown_refusal(&Response::Err {
-            id: 1,
-            message: "shape [0, 0, 0] declares a zero-length stream".to_string(),
-        }));
-        assert!(!is_shutdown_refusal(&Response::Ok {
-            id: 1,
-            argmax: 0,
-            logits: vec![0.0],
-        }));
+    fn pick_skips_backends_with_open_breakers() {
+        let shared = shared_with_options(
+            2,
+            RouterOptions {
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_secs(60),
+                ..RouterOptions::default()
+            },
+        );
+        shared.backends[0].breaker.on_failure();
+        assert!(shared.backends[0].breaker.is_open());
+        assert_eq!(pick_backend(&shared, None), Some(1));
+        shared.backends[1].breaker.on_failure();
+        assert_eq!(
+            pick_backend(&shared, None),
+            None,
+            "all breakers open must yield no candidate, not a panic"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_recovers() {
+        let breaker = CircuitBreaker::new(2, Duration::from_millis(30));
+        assert!(breaker.allow());
+        breaker.on_failure();
+        assert!(
+            breaker.allow(),
+            "one failure below threshold keeps it closed"
+        );
+        breaker.on_failure();
+        assert!(breaker.is_open());
+        assert!(!breaker.allow(), "an open breaker rejects traffic");
+        assert_eq!(breaker.trips.load(Ordering::Relaxed), 1);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            breaker.allow(),
+            "cooldown elapsed: half-open admits a trial"
+        );
+        assert!(!breaker.is_open());
+        // A half-open trial failure re-trips immediately (no threshold).
+        breaker.on_failure();
+        assert!(breaker.is_open());
+        assert_eq!(breaker.trips.load(Ordering::Relaxed), 2);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(breaker.allow());
+        breaker.on_success();
+        assert!(!breaker.is_open());
+        assert!(breaker.allow(), "a successful trial closes the breaker");
+        // Consecutive-failure count reset: one new failure stays closed.
+        breaker.on_failure();
+        assert!(!breaker.is_open());
+    }
+
+    #[test]
+    fn retry_budget_drains_and_refills() {
+        let budget = RetryBudget::new(2, Duration::from_millis(25));
+        assert!(budget.try_take());
+        assert!(budget.try_take());
+        assert!(!budget.try_take(), "an empty bucket must refuse");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(budget.try_take(), "tokens refill over time");
+        // Zero capacity disables retries outright.
+        let none = RetryBudget::new(0, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!none.try_take(), "capacity caps the refill");
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_bounded() {
+        let cap = Duration::from_millis(40);
+        let a = retry_jitter(7, 1, cap);
+        assert_eq!(a, retry_jitter(7, 1, cap), "same key, same jitter");
+        assert_ne!(
+            retry_jitter(7, 1, cap),
+            retry_jitter(8, 1, cap),
+            "different requests must spread"
+        );
+        for id in 0..64 {
+            assert!(retry_jitter(id, 1, cap) < cap);
+        }
+    }
+
+    #[test]
+    fn refusal_codes_classify_retriability() {
+        // Typed refusals (v3 replicas).
+        for code in [ErrorCode::Overloaded, ErrorCode::ShuttingDown] {
+            let refusal = Response::Err {
+                id: 1,
+                code,
+                message: "busy".into(),
+            };
+            assert_eq!(refusal_code(&refusal), Some(code));
+        }
+        // Legacy shutdown refusal: App code, contract message.
+        assert_eq!(
+            refusal_code(&Response::Err {
+                id: 1,
+                code: ErrorCode::App,
+                message: SHUTTING_DOWN_MESSAGE.to_string(),
+            }),
+            Some(ErrorCode::ShuttingDown)
+        );
+        // Application errors and successes are relayed, not retried.
+        assert_eq!(
+            refusal_code(&Response::app_err(
+                1,
+                "shape [0, 0, 0] declares a zero-length stream"
+            )),
+            None
+        );
+        assert_eq!(
+            refusal_code(&Response::Ok {
+                id: 1,
+                argmax: 0,
+                logits: vec![0.0],
+            }),
+            None
+        );
     }
 
     #[test]
     fn failover_gives_up_after_one_resend_with_an_error_reply() {
         // Two backends, neither listening: the first exchange fails, the
-        // failover exchange fails, and the client gets an error response —
-        // never a hang, never a third attempt.
+        // failover exchange fails, and the client gets a typed retriable
+        // error response — never a hang, never a third attempt.
         let shared = shared_with(2);
         let mut conns: Vec<Option<BackendConn>> = vec![None, None];
-        let request = Request {
-            id: 42,
-            model: 0,
-            shape: [1, 1, 1],
-            pixels: vec![0.5],
-        };
-        let response = forward_with_failover(&shared, &mut conns, &request);
+        let response = forward_with_failover(&shared, &mut conns, &request(42, 0), Instant::now());
         match response {
-            Response::Err { id, message } => {
+            Response::Err { id, code, message } => {
                 assert_eq!(id, 42);
+                assert_eq!(code, ErrorCode::Overloaded, "give-up must be retriable");
                 assert!(message.contains("failover"), "{message}");
             }
             other => panic!("expected an error reply, got {other:?}"),
@@ -550,5 +1029,59 @@ mod tests {
         for backend in &shared.backends {
             assert_eq!(backend.in_flight.load(Ordering::Relaxed), 0);
         }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_fast_with_a_typed_error() {
+        let shared = shared_with_options(
+            2,
+            RouterOptions {
+                retry_budget: 0,
+                ..RouterOptions::default()
+            },
+        );
+        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
+        let start = Instant::now();
+        let response = forward_with_failover(&shared, &mut conns, &request(7, 0), Instant::now());
+        match response {
+            Response::Err { code, message, .. } => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert!(message.contains("retry budget"), "{message}");
+            }
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "no-budget failure must not wait out backoffs"
+        );
+        let attempts: u64 = shared
+            .backends
+            .iter()
+            .map(|b| b.failovers.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(attempts, 1, "without budget there is no second exchange");
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_any_exchange() {
+        let shared = shared_with(2);
+        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
+        // Arrival 50 ms in the past, 10 ms budget: already expired.
+        let arrival = Instant::now() - Duration::from_millis(50);
+        let response = forward_with_failover(&shared, &mut conns, &request(9, 10), arrival);
+        match response {
+            Response::Err { id, code, .. } => {
+                assert_eq!(id, 9);
+                assert_eq!(code, ErrorCode::DeadlineExceeded);
+            }
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
+        assert_eq!(shared.expired.load(Ordering::Relaxed), 1);
+        let attempts: u64 = shared
+            .backends
+            .iter()
+            .map(|b| b.failovers.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(attempts, 0, "an expired request must not touch a backend");
     }
 }

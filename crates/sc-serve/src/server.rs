@@ -26,20 +26,39 @@
 //! doing failover depends on this — a silently dropped request would hang
 //! its client forever.
 //!
+//! ## Overload protection
+//!
+//! The same answer-or-refuse contract holds under load: when the batch
+//! queue reaches its `max_queue` depth, new requests are *shed* with a
+//! retriable [`ErrorCode::Overloaded`] reply instead of queueing unboundedly
+//! (queue depth is tail latency). Requests may carry a protocol-v3
+//! `deadline_ms` budget; a worker that picks up an already-expired request
+//! skips the inference and answers [`ErrorCode::DeadlineExceeded`] — compute
+//! spent on an answer the client stopped waiting for would only delay the
+//! requests still inside their budget. Both events are counted in
+//! [`Metrics`] (`shed` / `expired`). Connections also enforce an idle-read
+//! timeout so a client that connects and never writes cannot pin a reader
+//! thread forever, and answer protocol pings on the connection thread so
+//! health probes measure serving-plane liveness without touching the
+//! compute queue.
+//!
 //! [`Session`]: crate::engine::Session
 
-use crate::batch::{BatchPolicy, BatchQueue};
+use crate::batch::{BatchPolicy, BatchQueue, PushRefusal};
 use crate::engine::{Engine, Session};
 use crate::metrics::Metrics;
-use crate::proto::{checked_shape_product, read_request, write_response, Request, Response};
+use crate::proto::{
+    checked_shape_product, read_message, write_pong, write_response, ErrorCode, Message, Request,
+    Response,
+};
 use sc_nn::tensor::Tensor;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Error message sent for a request accepted while the server is draining.
 ///
@@ -57,19 +76,47 @@ pub const SHUTTING_DOWN_MESSAGE: &str = "shutting down";
 const CLIENT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Serving-runtime options.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerOptions {
-    /// Micro-batch formation policy.
+    /// Micro-batch formation policy (including the `max_queue` admission
+    /// cap).
     pub policy: BatchPolicy,
     /// Number of inference workers (`0` = `sc_core::parallel::max_threads()`).
     pub workers: usize,
+    /// How long a connection may sit idle (no bytes from the client) before
+    /// the server closes it. Zero disables the idle timeout.
+    pub idle_timeout: Duration,
+    /// Artificial per-request compute delay — the "slow replica" mode used
+    /// by the fault-injection harness and chaos tests. Zero (the default)
+    /// means no delay.
+    pub compute_delay: Duration,
 }
 
-/// One queued request with its arrival time and reply path.
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            policy: BatchPolicy::default(),
+            workers: 0,
+            idle_timeout: Duration::from_secs(60),
+            compute_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// What a connection's writer thread ships back to its client.
+enum Reply {
+    Response(Response),
+    Pong(u64),
+}
+
+/// One queued request with its arrival time, deadline, and reply path.
 struct Job {
     request: Request,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    /// Absolute deadline derived from the request's `deadline_ms` budget at
+    /// arrival (`None` = no deadline).
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Reply>,
 }
 
 /// Tracks live connections so shutdown can close their sockets and join
@@ -268,12 +315,16 @@ pub fn spawn_multi(
             let engines = Arc::clone(&engines);
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || worker_loop(&engines, &queue, &metrics, unit_fan_out))
+            let compute_delay = options.compute_delay;
+            std::thread::spawn(move || {
+                worker_loop(&engines, &queue, &metrics, unit_fan_out, compute_delay);
+            })
         })
         .collect();
 
     let accept_thread = {
         let queue = Arc::clone(&queue);
+        let metrics = Arc::clone(&metrics);
         let stop = Arc::clone(&stop);
         let registry = Arc::clone(&registry);
         std::thread::spawn(move || {
@@ -288,9 +339,10 @@ pub fn spawn_multi(
                         };
                         let id = registry.register(registered);
                         let queue = Arc::clone(&queue);
+                        let metrics = Arc::clone(&metrics);
                         let registry_for_thread = Arc::clone(&registry);
                         let thread = std::thread::spawn(move || {
-                            connection_loop(stream, &queue);
+                            connection_loop(stream, &queue, &metrics, options.idle_timeout);
                             registry_for_thread.deregister(id);
                         });
                         registry.attach_thread(id, thread);
@@ -313,49 +365,144 @@ pub fn spawn_multi(
     })
 }
 
+/// Counts bytes handed to the parser, so a read timeout can be classified:
+/// zero bytes consumed during the failed parse attempt means the connection
+/// was *idle* (safe to retry the read); any progress means the client
+/// stalled *mid-frame* (the partial bytes are unrecoverable — close).
+struct CountingReader<R> {
+    inner: R,
+    consumed: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed += n as u64;
+        Ok(n)
+    }
+}
+
+/// Whether an I/O error is a socket read/write timeout (`WouldBlock` on
+/// Unix, `TimedOut` on Windows).
+fn is_timeout(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Per-connection loop: reads request frames, enqueues jobs, and ships
 /// responses back through a dedicated writer thread so inference results
 /// never wait on the socket.
 ///
-/// A request that cannot be enqueued (the server is draining) is answered
-/// with an explicit [`SHUTTING_DOWN_MESSAGE`] refusal — an accepted request
-/// is never dropped on the floor, which is what lets a router fail it over
-/// to another replica instead of leaving the client blocked forever.
-fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
+/// Every accepted frame is answered, never dropped: a request the queue
+/// refuses is answered [`ErrorCode::Overloaded`] (admission shed, counted in
+/// [`Metrics`]) or [`ErrorCode::ShuttingDown`] with
+/// [`SHUTTING_DOWN_MESSAGE`] (drain) — which is what lets a router fail it
+/// over instead of leaving the client blocked forever. Pings are answered
+/// on the spot. With a non-zero `idle_timeout`, the socket read blocks in
+/// short slices; a client that is idle past the budget — or stalls
+/// mid-frame for one slice — is disconnected instead of pinning this thread
+/// forever.
+fn connection_loop(
+    stream: TcpStream,
+    queue: &BatchQueue<Job>,
+    metrics: &Metrics,
+    idle_timeout: Duration,
+) {
     if stream
         .set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))
         .is_err()
     {
         return;
     }
+    // Read in short slices so idleness is re-checked without a wake-up
+    // channel; the slice also bounds how long a *mid-frame* stall can hold
+    // the thread.
+    let slice = idle_timeout.clamp(Duration::from_millis(10), Duration::from_millis(250));
+    if !idle_timeout.is_zero() && stream.set_read_timeout(Some(slice)).is_err() {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
     let writer = std::thread::spawn(move || {
         let mut write_half = write_half;
-        while let Ok(response) = reply_rx.recv() {
-            if write_response(&mut write_half, &response).is_err() {
+        while let Ok(reply) = reply_rx.recv() {
+            let written = match reply {
+                Reply::Response(response) => write_response(&mut write_half, &response),
+                Reply::Pong(nonce) => write_pong(&mut write_half, nonce),
+            };
+            if written.is_err() {
                 break;
             }
         }
     });
-    let mut reader = BufReader::new(stream);
-    while let Ok(Some(request)) = read_request(&mut reader) {
-        let id = request.id;
-        let job = Job {
-            request,
-            enqueued: Instant::now(),
-            reply: reply_tx.clone(),
-        };
-        if !queue.push(job) {
-            // Server draining: refuse instead of dropping, and keep reading
-            // so every request this client already pipelined gets its own
-            // refusal until shutdown closes the socket.
-            let _ = reply_tx.send(Response::Err {
-                id,
-                message: SHUTTING_DOWN_MESSAGE.to_string(),
-            });
+    let mut reader = CountingReader {
+        inner: BufReader::new(stream),
+        consumed: 0,
+    };
+    let mut last_activity = Instant::now();
+    loop {
+        let before = reader.consumed;
+        match read_message(&mut reader) {
+            Ok(Some(Message::Request(request))) => {
+                last_activity = Instant::now();
+                let id = request.id;
+                let enqueued = Instant::now();
+                let deadline = (request.deadline_ms > 0)
+                    .then(|| enqueued + Duration::from_millis(u64::from(request.deadline_ms)));
+                let job = Job {
+                    request,
+                    enqueued,
+                    deadline,
+                    reply: reply_tx.clone(),
+                };
+                let refusal = match queue.push(job) {
+                    Ok(()) => continue,
+                    // Admission shed: answer a retriable OVERLOADED instead
+                    // of queueing into latency the client will not accept.
+                    Err(PushRefusal::Full) => {
+                        metrics.record_shed();
+                        Response::Err {
+                            id,
+                            code: ErrorCode::Overloaded,
+                            message: "server overloaded: request queue is full".to_string(),
+                        }
+                    }
+                    // Server draining: refuse instead of dropping, and keep
+                    // reading so every request this client already pipelined
+                    // gets its own refusal until shutdown closes the socket.
+                    Err(PushRefusal::Closed) => Response::Err {
+                        id,
+                        code: ErrorCode::ShuttingDown,
+                        message: SHUTTING_DOWN_MESSAGE.to_string(),
+                    },
+                };
+                let _ = reply_tx.send(Reply::Response(refusal));
+            }
+            // Health probes are answered on the connection thread — they
+            // measure serving-plane liveness (accept loop, reader, writer),
+            // deliberately not queue depth; overload is signaled by typed
+            // shed replies, and must not mark a replica dead.
+            Ok(Some(Message::Ping { nonce })) => {
+                last_activity = Instant::now();
+                let _ = reply_tx.send(Reply::Pong(nonce));
+            }
+            Ok(None) => break, // clean EOF
+            Err(error) if is_timeout(&error) => {
+                if reader.consumed != before {
+                    // The client stalled mid-frame; the partially-read frame
+                    // cannot be resumed. Close rather than misparse.
+                    break;
+                }
+                if idle_timeout.is_zero() || last_activity.elapsed() < idle_timeout {
+                    continue;
+                }
+                break; // idle past the budget
+            }
+            Err(_) => break, // malformed frame or hard I/O error
         }
     }
     // Dropping the last sender ends the writer thread once pending replies
@@ -366,11 +513,20 @@ fn connection_loop(stream: TcpStream, queue: &BatchQueue<Job>) {
 
 /// Worker loop: pulls micro-batches and runs them through one warm session
 /// per model.
+///
+/// A job whose deadline already passed is answered
+/// [`ErrorCode::DeadlineExceeded`] without touching the engine: the client
+/// has stopped waiting, and spending compute on it would only push the
+/// still-in-budget requests behind it past *their* deadlines. The
+/// `compute_delay` sleep (the fault harness's "slow replica" mode) runs
+/// before the deadline check so an injected slowdown expires deadlines the
+/// way a genuinely slow replica would.
 fn worker_loop(
     engines: &[Arc<Engine>],
     queue: &BatchQueue<Job>,
     metrics: &Metrics,
     unit_fan_out: bool,
+    compute_delay: Duration,
 ) {
     let mut sessions: Vec<Session> = engines
         .iter()
@@ -382,13 +538,30 @@ fn worker_loop(
         .collect();
     while let Some(batch) = queue.pop_batch() {
         for job in batch {
+            if !compute_delay.is_zero() {
+                std::thread::sleep(compute_delay);
+            }
+            if let Some(deadline) = job.deadline {
+                if Instant::now() >= deadline {
+                    metrics.record_expired();
+                    let _ = job.reply.send(Reply::Response(Response::Err {
+                        id: job.request.id,
+                        code: ErrorCode::DeadlineExceeded,
+                        message: format!(
+                            "deadline of {} ms exceeded before compute started",
+                            job.request.deadline_ms
+                        ),
+                    }));
+                    continue;
+                }
+            }
             let response = serve_one(engines, &mut sessions, &job.request);
             if matches!(response, Response::Err { .. }) {
                 metrics.record_failure();
             } else {
                 metrics.record(job.enqueued.elapsed());
             }
-            let _ = job.reply.send(response);
+            let _ = job.reply.send(Reply::Response(response));
         }
     }
 }
@@ -407,33 +580,33 @@ pub(crate) fn serve_one(
     request: &Request,
 ) -> Response {
     let Some(expected) = checked_shape_product(request.shape) else {
-        return Response::Err {
-            id: request.id,
-            message: format!("shape {:?} overflows the element count", request.shape),
-        };
+        return Response::app_err(
+            request.id,
+            format!("shape {:?} overflows the element count", request.shape),
+        );
     };
     if request.pixels.len() != expected {
-        return Response::Err {
-            id: request.id,
-            message: format!(
+        return Response::app_err(
+            request.id,
+            format!(
                 "shape {:?} does not match {} pixels",
                 request.shape,
                 request.pixels.len()
             ),
-        };
+        );
     }
     let model = usize::from(request.model);
     let Some(engine) = engines.get(model) else {
         // An unknown model id is a per-request error reply, never a
         // disconnect: the connection (and the router in front of it) keeps
         // serving the models that do exist.
-        return Response::Err {
-            id: request.id,
-            message: format!(
+        return Response::app_err(
+            request.id,
+            format!(
                 "unknown model {model} (this server hosts {} models)",
                 engines.len()
             ),
-        };
+        );
     };
     let image = Tensor::from_vec(request.pixels.clone(), &request.shape);
     match engine.infer(&mut sessions[model], &image) {
@@ -442,10 +615,7 @@ pub(crate) fn serve_one(
             argmax: inference.argmax.min(usize::from(u16::MAX)) as u16,
             logits: inference.logits,
         },
-        Err(error) => Response::Err {
-            id: request.id,
-            message: error.to_string(),
-        },
+        Err(error) => Response::app_err(request.id, error.to_string()),
     }
 }
 
@@ -487,6 +657,7 @@ mod tests {
         Request {
             id,
             model,
+            deadline_ms: 0,
             shape,
             pixels,
         }
@@ -508,7 +679,7 @@ mod tests {
         // bogus shape would reach `Tensor::from_vec`.
         let huge = request(1, 0, [1 << 32, 1 << 32, 4], Vec::new());
         match serve_one(&engines, &mut sessions, &huge) {
-            Response::Err { id, message } => {
+            Response::Err { id, message, .. } => {
                 assert_eq!(id, 1);
                 assert!(message.contains("overflows"), "{message}");
             }
@@ -522,7 +693,7 @@ mod tests {
         let mut sessions = vec![engines[0].new_session()];
         let unknown = request(2, 5, [1, 2, 2], vec![0.0; 4]);
         match serve_one(&engines, &mut sessions, &unknown) {
-            Response::Err { id, message } => {
+            Response::Err { id, message, .. } => {
                 assert_eq!(id, 2);
                 assert!(message.contains("unknown model 5"), "{message}");
                 assert!(message.contains("1 models"), "{message}");
@@ -576,16 +747,21 @@ mod tests {
         let accept = std::thread::spawn(move || listener.accept().unwrap().0);
         let client = TcpStream::connect(addr).unwrap();
         let server_side = accept.join().unwrap();
+        let metrics = Arc::new(Metrics::new());
         let conn = {
             let queue = Arc::clone(&queue);
-            std::thread::spawn(move || connection_loop(server_side, &queue))
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                connection_loop(server_side, &queue, &metrics, Duration::from_secs(5));
+            })
         };
         let mut writer = client.try_clone().unwrap();
         crate::proto::write_request(&mut writer, 77, [1, 2, 2], &[0.0; 4]).unwrap();
         let mut reader = BufReader::new(client);
         match crate::proto::read_response(&mut reader).unwrap().unwrap() {
-            Response::Err { id, message } => {
+            Response::Err { id, code, message } => {
                 assert_eq!(id, 77);
+                assert_eq!(code, ErrorCode::ShuttingDown);
                 assert_eq!(message, SHUTTING_DOWN_MESSAGE);
             }
             other => panic!("expected a shutdown refusal, got {other:?}"),

@@ -62,8 +62,10 @@ fn loopback_round_trip_matches_direct_inference() {
             policy: BatchPolicy {
                 max_batch: 4,
                 max_linger: Duration::from_millis(1),
+                ..BatchPolicy::default()
             },
             workers: 2,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -99,7 +101,7 @@ fn loopback_round_trip_matches_direct_inference() {
     // reply instead of killing the connection.
     write_request(&mut writer, 99, [1, 2, 2], &[0.0; 4]).unwrap();
     match read_response(&mut reader).unwrap().expect("error response") {
-        Response::Err { id, message } => {
+        Response::Err { id, message, .. } => {
             assert_eq!(id, 99);
             assert!(message.contains("expects"), "unexpected message: {message}");
         }
@@ -132,8 +134,10 @@ fn multi_model_listener_serves_v1_and_v2_traffic() {
             policy: BatchPolicy {
                 max_batch: 4,
                 max_linger: Duration::from_millis(1),
+                ..BatchPolicy::default()
             },
             workers: 1,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -208,8 +212,10 @@ fn shutdown_answers_in_flight_requests_and_returns() {
                 // would take 10 s — the test would time out if drain relied
                 // on the linger expiring.
                 max_linger: Duration::from_secs(10),
+                ..BatchPolicy::default()
             },
             workers: 1,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -286,4 +292,75 @@ fn shutdown_closes_idle_connections_instead_of_leaking_readers() {
         read_response(&mut reader).unwrap().is_none(),
         "the server must have closed the socket"
     );
+}
+
+#[test]
+fn idle_read_timeout_reclaims_silent_connections_but_spares_active_ones() {
+    // A client that connects and then never writes must not pin a reader
+    // thread forever: after `idle_timeout` of zero progress the server
+    // closes the socket (the client observes clean EOF). A connection that
+    // keeps issuing requests — even spaced wider than one internal read
+    // slice — stays up, because activity resets the idle clock.
+    let engine = Arc::new(quick_engine());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = spawn(
+        Arc::clone(&engine),
+        listener,
+        ServerOptions {
+            idle_timeout: Duration::from_millis(300),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Active connection: requests 150 ms apart survive the 300 ms budget.
+    let active = TcpStream::connect(handle.addr()).unwrap();
+    active
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut active_writer = active.try_clone().unwrap();
+    let mut active_reader = BufReader::new(active);
+
+    // Silent connection: never writes a byte.
+    let silent = TcpStream::connect(handle.addr()).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut silent_reader = BufReader::new(silent);
+
+    let image = test_image(3);
+    for id in 0..4u64 {
+        write_request(&mut active_writer, id, [1, 4, 4], image.as_slice()).unwrap();
+        assert!(
+            matches!(
+                read_response(&mut active_reader)
+                    .unwrap()
+                    .expect("response"),
+                Response::Ok { .. }
+            ),
+            "active connection must keep being served while the idle one ages out"
+        );
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // 4 × 150 ms have passed — double the idle budget — so the silent
+    // connection must be gone by now. The bounded client read turns a
+    // misbehaving (never-closing) server into a test failure, not a hang.
+    assert!(
+        read_response(&mut silent_reader).unwrap().is_none(),
+        "the server must close a connection that stays idle past idle_timeout"
+    );
+
+    // The active connection is still healthy after the reaping.
+    write_request(&mut active_writer, 99, [1, 4, 4], image.as_slice()).unwrap();
+    assert!(matches!(
+        read_response(&mut active_reader)
+            .unwrap()
+            .expect("response"),
+        Response::Ok { id: 99, .. }
+    ));
+
+    drop(active_writer);
+    drop(active_reader);
+    handle.shutdown();
 }

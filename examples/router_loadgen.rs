@@ -13,8 +13,14 @@
 //! * zero failed requests (failover absorbed the kill),
 //! * every answer bit-exact with a direct in-process engine call.
 //!
+//! With `--fault stall|drop|corrupt` the kill is replaced by deterministic
+//! fault injection: replica A sits behind a [`FaultProxy`] mangling its
+//! responses, and the run asserts the router absorbs the fault class with
+//! zero silent losses (typed retriable errors are tolerated and counted;
+//! hangs and unexplained disconnects are not).
+//!
 //! Run with: `cargo run --release --example router_loadgen`
-//! (flags: `--clients N --requests N --stream-length L`)
+//! (flags: `--clients N --requests N --stream-length L --fault CLASS`)
 
 use sc_dcnn_repro::blocks::feature_block::FeatureBlockKind;
 use sc_dcnn_repro::dcnn::config::ScNetworkConfig;
@@ -22,6 +28,7 @@ use sc_dcnn_repro::nn::dataset::SyntheticDigits;
 use sc_dcnn_repro::nn::lenet::{tiny_lenet, PoolingStyle};
 use sc_dcnn_repro::serve::batch::BatchPolicy;
 use sc_dcnn_repro::serve::engine::{Engine, EngineOptions};
+use sc_dcnn_repro::serve::fault::{FaultKind, FaultProxy};
 use sc_dcnn_repro::serve::proto::{read_response, write_request_v2, Response};
 use sc_dcnn_repro::serve::router::{spawn_router, RouterOptions};
 use sc_dcnn_repro::serve::server::{spawn_multi, ServerHandle, ServerOptions};
@@ -40,6 +47,15 @@ fn arg(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn arg_str(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 fn replica(engines: &[Arc<Engine>], max_batch: usize) -> ServerHandle {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
     spawn_multi(
@@ -49,8 +65,10 @@ fn replica(engines: &[Arc<Engine>], max_batch: usize) -> ServerHandle {
             policy: BatchPolicy {
                 max_batch,
                 max_linger: Duration::from_millis(2),
+                ..BatchPolicy::default()
             },
             workers: 0,
+            ..ServerOptions::default()
         },
     )
     .expect("spawn replica")
@@ -61,6 +79,20 @@ fn main() {
     let requests_per_client = arg("--requests", 8);
     let stream_length = arg("--stream-length", 256);
     let max_batch = arg("--max-batch", 16);
+    let fault_mode = arg_str("--fault", "none");
+    let fault = match fault_mode.as_str() {
+        "none" => None,
+        // Responses go silent mid-exchange; bounded by the exchange timeout.
+        "stall" => Some(FaultKind::Stall {
+            after: 0,
+            limit: Duration::from_secs(5),
+        }),
+        // Responses are dropped on the floor (clean close, no bytes).
+        "drop" => Some(FaultKind::Drop { after: 0 }),
+        // Every response frame's tag byte is flipped.
+        "corrupt" => Some(FaultKind::Corrupt { every_frames: 1 }),
+        other => panic!("unknown --fault {other} (expected none|stall|drop|corrupt)"),
+    };
 
     // One trained network, two Table-6-style deployments of it: the model
     // registry every replica hosts.
@@ -96,28 +128,57 @@ fn main() {
 
     let replica_a = replica(&engines, max_batch);
     let replica_b = replica(&engines, max_batch);
+    // In fault mode replica A is reached only through the fault proxy;
+    // replica B stays pristine so failover always has a good target.
+    let proxy = fault.map(|fault| FaultProxy::spawn(replica_a.addr(), fault, 0x10AD).unwrap());
+    let backend_a = proxy
+        .as_ref()
+        .map_or_else(|| replica_a.addr(), FaultProxy::addr);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
     let router = spawn_router(
         listener,
-        vec![replica_a.addr(), replica_b.addr()],
-        RouterOptions {
-            health_interval: Duration::from_millis(50),
-            connect_timeout: Duration::from_millis(500),
-            ..RouterOptions::default()
+        vec![backend_a, replica_b.addr()],
+        if fault.is_some() {
+            RouterOptions {
+                health_interval: Duration::from_millis(50),
+                connect_timeout: Duration::from_millis(500),
+                // Bound faulted exchanges (generous enough for replica B's
+                // real compute) and stop hammering the faulty replica after
+                // its first transport failure.
+                exchange_timeout: Duration::from_secs(2),
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_secs(30),
+                ..RouterOptions::default()
+            }
+        } else {
+            RouterOptions {
+                health_interval: Duration::from_millis(50),
+                connect_timeout: Duration::from_millis(500),
+                ..RouterOptions::default()
+            }
         },
     )
     .expect("spawn router");
     let addr = router.addr();
     println!(
         "router {addr} -> replicas {} / {}; {} models per replica",
-        replica_a.addr(),
+        backend_a,
         replica_b.addr(),
         replica_a.models()
     );
-    println!(
-        "driving {clients} closed-loop clients x {requests_per_client} requests, killing \
-         replica A mid-load\n"
-    );
+    match fault {
+        None => println!(
+            "driving {clients} closed-loop clients x {requests_per_client} requests, killing \
+             replica A mid-load\n"
+        ),
+        Some(fault) => println!(
+            "driving {clients} closed-loop clients x {requests_per_client} requests with \
+             {fault:?} injected in front of replica A\n"
+        ),
+    }
+    // The kill path consumes the handle mid-run; the fault path keeps it
+    // alive until teardown.
+    let mut replica_a = Some(replica_a);
 
     // Reference answers for bit-exactness: one image, both models.
     let data = SyntheticDigits::generate(1, 5);
@@ -133,12 +194,15 @@ fn main() {
         .collect();
 
     let completed = Arc::new(AtomicUsize::new(0));
+    let refused = Arc::new(AtomicUsize::new(0));
+    let fault_injected = fault.is_some();
     let start = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|client| {
             let image = image.clone();
             let expected = expected.clone();
             let completed = Arc::clone(&completed);
+            let refused = Arc::clone(&refused);
             std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect router");
                 stream
@@ -163,6 +227,15 @@ fn main() {
                                  direct engine call"
                             );
                         }
+                        // Under injected faults a typed *retriable* refusal
+                        // is an acceptable answer (overload protection at
+                        // work) — silence or an unexplained error is not.
+                        Some(Response::Err { code, message, .. })
+                            if fault_injected && code.is_retriable() =>
+                        {
+                            println!("request {id} refused [{code}]: {message}");
+                            refused.fetch_add(1, Ordering::Relaxed);
+                        }
                         Some(Response::Err { message, .. }) => {
                             panic!("request {id} failed: {message}")
                         }
@@ -174,40 +247,69 @@ fn main() {
         })
         .collect();
 
-    // Kill replica A once every client has at least one answered request —
-    // deterministic even for tiny CI workloads.
-    while completed.load(Ordering::Relaxed) < clients {
-        std::thread::sleep(Duration::from_millis(5));
+    if fault.is_none() {
+        // Kill replica A once every client has at least one answered
+        // request — deterministic even for tiny CI workloads.
+        while completed.load(Ordering::Relaxed) < clients {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        println!(
+            "killing replica A after {} answered requests ...",
+            completed.load(Ordering::Relaxed)
+        );
+        replica_a.take().expect("replica A handle").shutdown();
     }
-    println!(
-        "killing replica A after {} answered requests ...",
-        completed.load(Ordering::Relaxed)
-    );
-    replica_a.shutdown();
 
     for thread in threads {
         thread.join().expect("client thread");
     }
     let wall = start.elapsed();
     let total = clients * requests_per_client;
+    let refusals = refused.load(Ordering::Relaxed);
     let stats = router.stats();
 
     println!(
-        "client view : {total} requests in {:.2}s -> {:.2} req/s, all bit-exact",
+        "client view : {total} requests in {:.2}s -> {:.2} req/s ({refusals} typed refusals, \
+         rest bit-exact)",
         wall.as_secs_f64(),
         total as f64 / wall.as_secs_f64()
     );
     println!("router view : {stats}");
     println!("replica B   : {}", replica_b.metrics().report());
     assert_eq!(
-        stats.failed, 0,
-        "no request may fail across the replica kill"
+        completed.load(Ordering::Relaxed),
+        total,
+        "every request must be answered — zero silent losses"
     );
+    assert_eq!(
+        stats.failed as usize, refusals,
+        "router-side failures and client-side typed refusals must agree"
+    );
+    if fault.is_none() {
+        assert_eq!(
+            stats.failed, 0,
+            "no request may fail across the replica kill"
+        );
+    }
     assert_eq!(stats.requests, total as u64);
 
     // Graceful teardown: the surviving replica drains, the router closes
     // its client connections, everything joins.
     router.shutdown();
+    if let Some(proxy) = proxy {
+        proxy.shutdown();
+    }
+    if let Some(replica_a) = replica_a {
+        replica_a.shutdown();
+    }
     replica_b.shutdown();
-    println!("\nrouter smoke passed: 0 dropped, 0 failed, bit-exact across a replica kill");
+    match fault {
+        None => {
+            println!("\nrouter smoke passed: 0 dropped, 0 failed, bit-exact across a replica kill")
+        }
+        Some(fault) => println!(
+            "\nrouter chaos smoke passed: 0 silent losses, {refusals} typed refusals, \
+             bit-exact under {fault:?}"
+        ),
+    }
 }

@@ -65,8 +65,10 @@ fn main() {
             policy: BatchPolicy {
                 max_batch,
                 max_linger: Duration::from_millis(2),
+                ..BatchPolicy::default()
             },
             workers: 0,
+            ..ServerOptions::default()
         },
     )
     .expect("spawn server");
