@@ -300,6 +300,13 @@ struct RouterBenchRun {
     failovers: u64,
     failed: u64,
     replica_forwarded: Vec<u64>,
+    /// Per-stage latency percentiles, merged across both replicas' stage
+    /// histograms (the log-linear histograms are mergeable by design — this
+    /// is the fleet-wide view a scraper would compute).
+    stage_queue_p50_ms: f64,
+    stage_queue_p99_ms: f64,
+    stage_compute_p50_ms: f64,
+    stage_compute_p99_ms: f64,
 }
 
 /// Two multi-model replicas behind the router, driven closed-loop across
@@ -428,6 +435,10 @@ fn bench_router(
         })
         .collect();
 
+    // Stage histograms outlive the handles (shared `Arc<Metrics>`), so the
+    // killed replica's spans still count toward the merged view.
+    let replica_metrics = [replica_a.metrics(), replica_b.metrics()];
+
     // Kill replica A once every client has at least one answered request.
     while completed.load(Ordering::Relaxed) < clients {
         std::thread::sleep(Duration::from_millis(2));
@@ -451,6 +462,17 @@ fn bench_router(
     router.shutdown();
     replica_b.shutdown();
 
+    // Fleet-wide per-stage percentiles: merge both replicas' histograms the
+    // way a scraper aggregating worker endpoints would.
+    use sc_serve::metrics::Stage;
+    let merged_queue = sc_core::LogHistogram::new();
+    let merged_compute = sc_core::LogHistogram::new();
+    for metrics in &replica_metrics {
+        merged_queue.merge(metrics.stages().get(Stage::QueueWait));
+        merged_compute.merge(metrics.stages().get(Stage::Compute));
+    }
+    let ms = |hist: &sc_core::LogHistogram, p: f64| hist.value_at_percentile(p) as f64 / 1000.0;
+
     RouterBenchRun {
         model_names,
         stream_length,
@@ -462,6 +484,10 @@ fn bench_router(
         failovers: stats.failovers,
         failed: stats.failed,
         replica_forwarded,
+        stage_queue_p50_ms: ms(&merged_queue, 50.0),
+        stage_queue_p99_ms: ms(&merged_queue, 99.0),
+        stage_compute_p50_ms: ms(&merged_compute, 50.0),
+        stage_compute_p99_ms: ms(&merged_compute, 99.0),
     }
 }
 
@@ -734,6 +760,14 @@ fn main() {
             run.failed,
             run.replica_forwarded
         );
+        println!(
+            "stages (merged across replicas): queue-wait p50 {:.3}ms p99 {:.3}ms, \
+             compute p50 {:.3}ms p99 {:.3}ms",
+            run.stage_queue_p50_ms,
+            run.stage_queue_p99_ms,
+            run.stage_compute_p50_ms,
+            run.stage_compute_p99_ms
+        );
         Some(run)
     } else {
         None
@@ -934,6 +968,33 @@ fn main() {
         json.push_str("  },\n");
     } else {
         json.push_str("  \"router\": null,\n");
+    }
+    if let Some(run) = &router_run {
+        json.push_str("  \"stages\": {\n");
+        json.push_str(
+            "    \"note\": \"per-stage serving latency during the router phase, merged across \
+             both replicas' log-linear stage histograms (the same aggregation a scraper of the \
+             per-replica /metrics endpoints would compute)\",\n",
+        );
+        json.push_str(&format!(
+            "    \"queue_wait_p50_ms\": {:.3},\n",
+            run.stage_queue_p50_ms
+        ));
+        json.push_str(&format!(
+            "    \"queue_wait_p99_ms\": {:.3},\n",
+            run.stage_queue_p99_ms
+        ));
+        json.push_str(&format!(
+            "    \"compute_p50_ms\": {:.3},\n",
+            run.stage_compute_p50_ms
+        ));
+        json.push_str(&format!(
+            "    \"compute_p99_ms\": {:.3}\n",
+            run.stage_compute_p99_ms
+        ));
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"stages\": null,\n");
     }
     if let Some(run) = &overload_run {
         json.push_str("  \"overload\": {\n");

@@ -1,0 +1,495 @@
+//! Log-linear (HDR-style) latency histogram.
+//!
+//! A [`LogHistogram`] covers the full `u64` value range with a fixed number
+//! of buckets by combining two classic ideas:
+//!
+//! * **logarithmic ranges** — each power-of-two range `[2^k, 2^(k+1))` gets
+//!   the same number of buckets, so nanoseconds and minutes coexist in one
+//!   recorder without configuration;
+//! * **linear sub-buckets** — inside a range, buckets are equal width, so
+//!   the worst-case relative quantization error is bounded by
+//!   `1 / SUB_BUCKETS` (~3.1% with 32 sub-buckets) at every magnitude.
+//!
+//! Buckets are plain `AtomicU64` counters: recording is lock-free (a few
+//! relaxed atomic adds), so any number of worker threads can record into one
+//! shared histogram without a mutex on the hot path, and histograms from
+//! different workers or replicas [`merge`](LogHistogram::merge) by adding
+//! bucket counts. Percentiles are *count-preserving*: the nearest-rank walk
+//! over bucket counts lands in exactly the bucket holding the rank-th
+//! smallest recorded value, so a histogram percentile is always within one
+//! bucket width of the exact-sample percentile.
+//!
+//! The serving runtime records end-to-end and per-stage latencies here; the
+//! benchmark harness reuses the same type so reported percentiles come from
+//! one implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two range (`2^SUB_BITS`).
+const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets per power-of-two range.
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` range: values below
+/// `2 * SUB_BUCKETS` get unit-width buckets, and each of the remaining
+/// `63 - SUB_BITS` ranges contributes `SUB_BUCKETS` buckets.
+const BUCKETS: usize = ((63 - SUB_BITS as usize) + 2) * SUB_BUCKETS as usize;
+
+/// Sentinel stored in `min` while no value has been recorded.
+const NO_MIN: u64 = u64::MAX;
+
+/// Bucket index of `value` (total order preserving: `a <= b` implies
+/// `index(a) <= index(b)`).
+fn bucket_index(value: u64) -> usize {
+    if value < 2 * SUB_BUCKETS {
+        return value as usize;
+    }
+    // Highest set bit is at least SUB_BITS + 1 here.
+    let msb = 63 - value.leading_zeros();
+    let width_bits = msb - SUB_BITS;
+    ((width_bits as usize) << SUB_BITS) + (value >> width_bits) as usize
+}
+
+/// Smallest value mapping to bucket `index` (the inverse of
+/// [`bucket_index`], up to quantization).
+fn bucket_low(index: usize) -> u64 {
+    if index < (2 * SUB_BUCKETS) as usize {
+        return index as u64;
+    }
+    let quotient = (index >> SUB_BITS) as u32; // = msb - SUB_BITS + 1
+    let remainder = (index as u64) & (SUB_BUCKETS - 1);
+    (SUB_BUCKETS + remainder) << (quotient - 1)
+}
+
+/// Width of bucket `index` (all values in `[low, low + width)` share it).
+fn bucket_width(index: usize) -> u64 {
+    if index < (2 * SUB_BUCKETS) as usize {
+        return 1;
+    }
+    1 << ((index >> SUB_BITS) as u32 - 1)
+}
+
+/// A mergeable, lock-free log-linear histogram of `u64` values.
+///
+/// See the [module docs](self) for the design. All methods take `&self`;
+/// recording and merging use relaxed atomics only. Reads
+/// ([`value_at_percentile`](Self::value_at_percentile) etc.) are snapshots:
+/// concurrent recording may make `count`/`sum` and the bucket walk disagree
+/// by in-flight samples, which is harmless for monitoring.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(NO_MIN),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free: a handful of relaxed atomic updates.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Smallest recorded value (`0` when empty).
+    pub fn min(&self) -> u64 {
+        let min = self.min.load(Ordering::Relaxed);
+        if min == NO_MIN {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Largest recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / count as f64
+    }
+
+    /// Nearest-rank percentile at bucket resolution.
+    ///
+    /// Returns the lower bound of the bucket containing the rank-th
+    /// smallest recorded value (rank `⌈p·n/100⌉`, clamped to `[1, n]`),
+    /// clamped into `[min, max]` so single-sample and extreme percentiles
+    /// report exact recorded values. The result is always within one bucket
+    /// width of the exact-sample percentile. Returns `0` when empty;
+    /// `p ≥ 100` returns the exact maximum.
+    pub fn value_at_percentile(&self, percentile: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        if percentile >= 100.0 {
+            return self.max();
+        }
+        let rank = ((percentile.max(0.0) * count as f64) / 100.0).ceil() as u64;
+        let rank = rank.clamp(1, count);
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_low(index).clamp(self.min(), self.max());
+            }
+        }
+        // Racing recorders can leave `count` ahead of the bucket the sample
+        // lands in; the honest answer for a tail rank is the maximum.
+        self.max()
+    }
+
+    /// Several percentiles computed from one frozen snapshot of the bucket
+    /// counts.
+    ///
+    /// Under concurrent recording, consecutive
+    /// [`value_at_percentile`](Self::value_at_percentile) calls each observe
+    /// a *different* histogram, so derived invariants (p99 ≥ p50) can
+    /// flicker across a report. This snapshots the buckets once, derives the
+    /// rank from the snapshot's own total, and answers every requested
+    /// percentile from that same frozen population — within one call,
+    /// a higher percentile can never report a smaller value.
+    #[must_use]
+    pub fn percentiles<const N: usize>(&self, percentiles: [f64; N]) -> [u64; N] {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|bucket| bucket.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let mut out = [0u64; N];
+        if total == 0 {
+            return out;
+        }
+        let (min, max) = (self.min(), self.max());
+        for (slot, &percentile) in out.iter_mut().zip(percentiles.iter()) {
+            if percentile >= 100.0 {
+                *slot = max;
+                continue;
+            }
+            let rank = ((percentile.max(0.0) * total as f64) / 100.0).ceil() as u64;
+            let rank = rank.clamp(1, total);
+            let mut cumulative = 0u64;
+            *slot = max;
+            for (index, &count) in counts.iter().enumerate() {
+                cumulative += count;
+                if cumulative >= rank {
+                    *slot = bucket_low(index).clamp(min, max);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds every count of `other` into `self` (bucket-wise), preserving
+    /// totals, min, and max. Merging per-worker or per-replica histograms
+    /// yields the same buckets as recording the concatenated samples.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let delta = theirs.load(Ordering::Relaxed);
+            if delta != 0 {
+                mine.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Non-empty buckets as `(lower_bound, width, count)` triples, in value
+    /// order — the raw material for exporters and tests.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then(|| (bucket_low(index), bucket_width(index), count))
+            })
+            .collect()
+    }
+
+    /// Largest quantization error possible for `value`: the width of the
+    /// bucket it falls into. Exposed so tests (and doc examples) can assert
+    /// the "within one bucket width" contract without re-deriving the
+    /// bucket layout.
+    #[must_use]
+    pub fn bucket_width_of(value: u64) -> u64 {
+        bucket_width(bucket_index(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 64-bit generator for property tests (SplitMix64).
+    fn mix(state: u64) -> u64 {
+        let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Exact nearest-rank percentile over raw samples (the convention the
+    /// histogram must match at bucket resolution).
+    fn exact_percentile(sorted: &[u64], percentile: f64) -> u64 {
+        if percentile >= 100.0 {
+            return *sorted.last().unwrap();
+        }
+        let rank = ((percentile.max(0.0) * sorted.len() as f64) / 100.0).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_invertible() {
+        // Every bucket boundary and its neighbors, across all magnitudes.
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|exponent| {
+                [0u64, 1, 2].map(|offset| (1u64 << exponent).saturating_add(offset))
+            })
+            .collect();
+        values.sort_unstable();
+        let mut previous = 0usize;
+        for value in values {
+            let index = bucket_index(value);
+            assert!(index >= previous, "index must be monotone at {value}");
+            previous = index;
+            let low = bucket_low(index);
+            let width = bucket_width(index);
+            assert!(
+                low <= value && (value - low) < width,
+                "value {value} outside its bucket [{low}, {low}+{width})"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Small values get exact (unit-width) buckets.
+        for value in 0..64u64 {
+            assert_eq!(bucket_low(bucket_index(value)), value);
+            assert_eq!(bucket_width(bucket_index(value)), 1);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_bucket_resolution() {
+        for exponent in 6..63u32 {
+            let value = (1u64 << exponent) + (1u64 << (exponent - 1));
+            let width = bucket_width(bucket_index(value));
+            assert!(
+                (width as f64) / (value as f64) <= 1.0 / SUB_BUCKETS as f64 + 1e-12,
+                "width {width} too coarse for {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.value_at_percentile(50.0), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        // A single sample is every percentile — exactly, even in a wide
+        // bucket (min/max clamping).
+        let value = 1_234_567_890;
+        hist.record(value);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(hist.value_at_percentile(p), value, "p{p}");
+        }
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), value);
+    }
+
+    #[test]
+    fn percentiles_match_exact_samples_within_one_bucket_width() {
+        // Values spanning nanoseconds to minutes (recorded as ns), three
+        // distributions: uniform-log, heavy-tailed, and boundary-heavy.
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_add(1);
+            mix(state)
+        };
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 0..4000u64 {
+            let magnitude = next() % 36; // 2^0 .. 2^35 ns (~1 ns .. ~34 s)
+            let base = 1u64 << magnitude;
+            samples.push(base + next() % base.max(1));
+            if i % 7 == 0 {
+                // Exact power-of-two boundary values.
+                samples.push(base);
+            }
+            if i % 11 == 0 {
+                // Minutes-scale tail.
+                samples.push(60_000_000_000 + next() % 120_000_000_000);
+            }
+        }
+        let hist = LogHistogram::new();
+        for &sample in &samples {
+            hist.record(sample);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [0.1, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9] {
+            let exact = exact_percentile(&sorted, p);
+            let estimated = hist.value_at_percentile(p);
+            let width = LogHistogram::bucket_width_of(exact);
+            assert!(
+                estimated.abs_diff(exact) < width,
+                "p{p}: estimate {estimated} not within one bucket width ({width}) of exact {exact}"
+            );
+        }
+        assert_eq!(hist.value_at_percentile(100.0), *sorted.last().unwrap());
+        assert_eq!(hist.min(), sorted[0]);
+        assert_eq!(hist.count(), sorted.len() as u64);
+    }
+
+    #[test]
+    fn merge_is_associative_and_count_preserving() {
+        // merge(worker histograms) == histogram of the concatenated samples,
+        // whichever way the merges associate.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_add(1);
+            mix(state)
+        };
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..500).map(|_| next() % 10_000_000).collect())
+            .collect();
+        let hists: Vec<LogHistogram> = parts
+            .iter()
+            .map(|part| {
+                let hist = LogHistogram::new();
+                for &value in part {
+                    hist.record(value);
+                }
+                hist
+            })
+            .collect();
+
+        let left = LogHistogram::new(); // (a ∪ b) ∪ c
+        left.merge(&hists[0]);
+        left.merge(&hists[1]);
+        left.merge(&hists[2]);
+        let bc = LogHistogram::new(); // a ∪ (b ∪ c)
+        bc.merge(&hists[1]);
+        bc.merge(&hists[2]);
+        let right = LogHistogram::new();
+        right.merge(&hists[0]);
+        right.merge(&bc);
+        let direct = LogHistogram::new(); // recording the concatenation
+        for part in &parts {
+            for &value in part {
+                direct.record(value);
+            }
+        }
+
+        for reference in [&right, &direct] {
+            assert_eq!(left.count(), reference.count());
+            assert_eq!(left.sum(), reference.sum());
+            assert_eq!(left.min(), reference.min());
+            assert_eq!(left.max(), reference.max());
+            assert_eq!(left.nonzero_buckets(), reference.nonzero_buckets());
+            for p in [1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(
+                    left.value_at_percentile(p),
+                    reference.value_at_percentile(p),
+                    "p{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_percentiles_match_single_calls_when_quiescent() {
+        let hist = LogHistogram::new();
+        assert_eq!(hist.percentiles([50.0, 99.0]), [0, 0]);
+        let mut state = 41u64;
+        for _ in 0..2000 {
+            state = state.wrapping_add(1);
+            hist.record(mix(state) % 50_000_000);
+        }
+        let [p50, p95, p99, p100] = hist.percentiles([50.0, 95.0, 99.0, 100.0]);
+        // Without concurrent recorders the frozen-snapshot walk and the live
+        // walk see identical buckets.
+        assert_eq!(p50, hist.value_at_percentile(50.0));
+        assert_eq!(p95, hist.value_at_percentile(95.0));
+        assert_eq!(p99, hist.value_at_percentile(99.0));
+        assert_eq!(p100, hist.max());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let hist = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|thread| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        hist.record(thread * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(hist.count(), 40_000);
+        let bucket_total: u64 = hist
+            .nonzero_buckets()
+            .iter()
+            .map(|&(_, _, count)| count)
+            .sum();
+        assert_eq!(bucket_total, 40_000, "no recorded sample may be lost");
+    }
+}

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod csa;
 pub mod encoding;
 pub mod error;
+pub mod hist;
 pub mod multiply;
 pub mod parallel;
 pub mod rng;
@@ -62,6 +63,7 @@ pub use arena::{ArenaStats, StreamArena};
 pub use bitstream::{BitStream, StreamLength};
 pub use cache::StreamCache;
 pub use error::ScError;
+pub use hist::LogHistogram;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use crate::cache::StreamCache;
     pub use crate::encoding::{Bipolar, Encoding, Unipolar};
     pub use crate::error::ScError;
+    pub use crate::hist::LogHistogram;
     pub use crate::multiply;
     pub use crate::parallel;
     pub use crate::rng::Lfsr;

@@ -1,0 +1,206 @@
+//! Std-only TCP admin endpoint serving a [`MetricsRegistry`].
+//!
+//! A minimal HTTP/1.0 responder — enough for `curl`, a Prometheus scraper,
+//! or the loadgen examples; no external HTTP stack. Two paths:
+//!
+//! * `GET /metrics` — Prometheus text exposition format
+//!   (`text/plain; version=0.0.4`)
+//! * `GET /metrics.json` — the same samples as a JSON document
+//!
+//! Anything else answers `404`. Connections are handled one at a time with
+//! short read/write timeouts: a scrape is a few kilobytes and the registry
+//! gather is cheap, so a single-threaded accept loop cannot be starved in
+//! any way that matters, and a stalled scraper cannot pin the listener.
+
+use crate::obs::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket timeout; a scrape either completes quickly or the
+/// connection is dropped.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running admin listener. Dropping the handle without calling
+/// [`AdminHandle::shutdown`] leaks the accept thread until process exit —
+/// call `shutdown` in anything that outlives a test.
+#[derive(Debug)]
+pub struct AdminHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AdminHandle {
+    /// The bound admin address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Spawns the admin endpoint on `listener`, serving `registry`.
+pub fn spawn_admin(listener: TcpListener, registry: Arc<MetricsRegistry>) -> AdminHandle {
+    let addr = listener
+        .local_addr()
+        .expect("admin listener has no address");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("sc-admin".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Serve inline; see module docs for why one-at-a-time is fine.
+                let _ = serve_connection(stream, &registry);
+            }
+        })
+        .expect("spawn admin thread");
+    AdminHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    }
+}
+
+/// Reads one request line, writes one response, closes.
+fn serve_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        Some("/metrics.json") => ("200 OK", "application/json", registry.render_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parses the path out of an HTTP request line (`GET /metrics HTTP/1.1`).
+/// Drains the whole header block (up to the blank line) so closing the
+/// socket after the response sends FIN, not RST — a close with unread bytes
+/// in the receive buffer resets the connection under the scraper.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut header = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while header.len() < 8192 && !header.ends_with(b"\r\n\r\n") && !header.ends_with(b"\n\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => header.push(byte[0]),
+            Err(e) => return Err(e),
+        }
+    }
+    let header = String::from_utf8_lossy(&header);
+    let line = header.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next();
+    let path = parts.next();
+    if method != Some("GET") {
+        return Ok(None);
+    }
+    Ok(path.map(|p| p.to_string()))
+}
+
+/// Fetches `path` from the admin endpoint at `addr` and returns the response
+/// body. A plain-TCP HTTP/1.0 client for tests, examples, and the loadgen —
+/// the production scraper is whatever speaks Prometheus.
+///
+/// # Errors
+///
+/// Propagates connection/read errors; a non-`200` status is an
+/// [`std::io::ErrorKind::InvalidData`] error.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: sc-admin\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed admin response",
+        ));
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("admin returned {status_line}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::Sample;
+
+    fn registry_with_gauge() -> Arc<MetricsRegistry> {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(|out| out.push(Sample::gauge("admin_test_gauge", vec![], 42.0)));
+        registry
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn_admin(listener, registry_with_gauge());
+        let text = scrape(handle.addr(), "/metrics").unwrap();
+        assert!(
+            text.contains("# TYPE admin_test_gauge gauge\nadmin_test_gauge 42\n"),
+            "{text}"
+        );
+        let json = scrape(handle.addr(), "/metrics.json").unwrap();
+        assert!(json.contains("\"name\":\"admin_test_gauge\""), "{json}");
+        assert!(json.contains("\"value\":42"), "{json}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_an_error_and_listener_survives() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let handle = spawn_admin(listener, registry_with_gauge());
+        let err = scrape(handle.addr(), "/nope").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A garbage request must not take the listener down either.
+        {
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        }
+        let text = scrape(handle.addr(), "/metrics").unwrap();
+        assert!(text.contains("admin_test_gauge"));
+        handle.shutdown();
+    }
+}

@@ -18,14 +18,19 @@
 //! Requests go to the healthy backend with the fewest in-flight requests; a
 //! request whose backend dies mid-exchange (or refuses it while draining) is
 //! re-sent to another replica exactly once before the client sees an error.
-//! Router statistics are printed every few seconds.
+//! Router statistics are printed every few seconds. `--admin-addr
+//! 127.0.0.1:9900` exposes the same live scrape endpoint the `serve` binary
+//! has (`/metrics`, `/metrics.json`) with per-backend health, breaker, and
+//! retry-budget gauges.
 
+use sc_serve::admin::spawn_admin;
 use sc_serve::router::{spawn_router, RouterOptions};
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7900".to_string();
+    let mut admin_addr: Option<String> = None;
     let mut backends: Vec<SocketAddr> = Vec::new();
     let mut health_interval_ms = 200u64;
     let mut connect_timeout_ms = 1000u64;
@@ -42,6 +47,7 @@ fn main() {
         };
         match flag.as_str() {
             "--addr" => addr = value("--addr"),
+            "--admin-addr" => admin_addr = Some(value("--admin-addr")),
             "--backends" => {
                 backends = value("--backends")
                     .split(',')
@@ -96,6 +102,13 @@ fn main() {
         handle.addr(),
         handle.stats().backends.len()
     );
+    if let Some(admin_addr) = &admin_addr {
+        let admin_listener = TcpListener::bind(admin_addr).expect("bind admin listener");
+        let admin = spawn_admin(admin_listener, handle.registry());
+        println!("admin endpoint on http://{}/metrics", admin.addr());
+        // Lives as long as the process; there is no graceful-exit path.
+        std::mem::forget(admin);
+    }
 
     loop {
         std::thread::sleep(Duration::from_secs(5));

@@ -17,21 +17,29 @@
 //! compiles it for every requested Table-6-style configuration, and serves
 //! inference requests, printing a metrics report every few seconds. Several
 //! `serve` replicas (same model list) can be fronted by the `route` binary.
+//!
+//! Observability: `--admin-addr 127.0.0.1:9878` exposes a live scrape
+//! endpoint (`/metrics` Prometheus text, `/metrics.json`); `--trace-log
+//! trace.jsonl --trace-sample 64 --trace-seed 7` writes a deterministic
+//! 1-in-64 sampled JSONL request trace with per-stage latency breakdowns.
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_dcnn::config::ScNetworkConfig;
 use sc_nn::dataset::SyntheticDigits;
 use sc_nn::lenet::{tiny_lenet, PoolingStyle};
 use sc_nn::network::TrainingOptions;
+use sc_serve::admin::spawn_admin;
 use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
-use sc_serve::server::{spawn_multi, ServerOptions};
+use sc_serve::obs::{TraceLog, TraceSampler};
+use sc_serve::server::{spawn_multi_observed, ServerOptions};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
     addr: String,
+    admin_addr: Option<String>,
     model_configs: Vec<String>,
     stream_length: usize,
     max_batch: usize,
@@ -43,11 +51,15 @@ struct Args {
     train_per_class: usize,
     epochs: usize,
     verify: bool,
+    trace_log: Option<String>,
+    trace_sample: u64,
+    trace_seed: u64,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7878".into(),
+        admin_addr: None,
         model_configs: Vec::new(),
         stream_length: 1024,
         max_batch: 32,
@@ -59,6 +71,9 @@ fn parse_args() -> Args {
         train_per_class: 20,
         epochs: 2,
         verify: false,
+        trace_log: None,
+        trace_sample: 64,
+        trace_seed: 0x0B5E_7041,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -68,6 +83,15 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr"),
+            // Observability: a live scrape endpoint (Prometheus text at
+            // /metrics, JSON at /metrics.json) on a second listener.
+            "--admin-addr" => args.admin_addr = Some(value("--admin-addr")),
+            // Sampled JSONL request traces (one line per sampled request).
+            "--trace-log" => args.trace_log = Some(value("--trace-log")),
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample").parse().expect("trace sample")
+            }
+            "--trace-seed" => args.trace_seed = value("--trace-seed").parse().expect("trace seed"),
             // `--config` and `--model-config` are the same thing: each use
             // appends one model to the registry, in model-id order.
             "--config" | "--model-config" => args.model_configs.push(value(&flag)),
@@ -167,8 +191,13 @@ fn main() {
         );
     }
 
+    let trace = args.trace_log.as_deref().map(|path| {
+        let sampler = TraceSampler::new(args.trace_seed, args.trace_sample);
+        TraceLog::to_file(sampler, std::path::Path::new(path)).expect("create trace log")
+    });
+
     let listener = TcpListener::bind(&args.addr).expect("bind listener");
-    let handle = spawn_multi(
+    let handle = spawn_multi_observed(
         engines,
         listener,
         ServerOptions {
@@ -181,6 +210,7 @@ fn main() {
             idle_timeout: Duration::from_millis(args.idle_timeout_ms),
             compute_delay: Duration::from_millis(args.slow_ms),
         },
+        trace,
     )
     .expect("spawn server");
     println!(
@@ -188,6 +218,14 @@ fn main() {
         handle.addr(),
         handle.models()
     );
+    if let Some(admin_addr) = &args.admin_addr {
+        let admin_listener = TcpListener::bind(admin_addr).expect("bind admin listener");
+        let admin = spawn_admin(admin_listener, handle.registry());
+        println!("admin endpoint on http://{}/metrics", admin.addr());
+        // The admin endpoint lives as long as the process; the handle is
+        // deliberately leaked (there is no graceful-exit path below).
+        std::mem::forget(admin);
+    }
 
     let metrics = handle.metrics();
     loop {

@@ -108,6 +108,10 @@ pub struct Session {
     /// Whether this session participates in single-request unit fan-out at
     /// all (see [`Session::set_unit_fan_out`]).
     unit_fan_out: bool,
+    /// Nanoseconds spent in input-stream cache lookup/fill since the last
+    /// [`Session::take_cache_fill`] — the serving runtime drains this per
+    /// request into the `cache_fill` stage histogram.
+    cache_fill_ns: u64,
 }
 
 impl Session {
@@ -151,6 +155,19 @@ impl Session {
     /// way.
     pub fn set_unit_fan_out(&mut self, enabled: bool) {
         self.unit_fan_out = enabled;
+    }
+
+    /// Drains the time spent in input-stream cache lookup/fill since the
+    /// last call, aggregated over this session's warm fan-out workers (where
+    /// most conv input-stream traffic flows on multi-core runs). The serving
+    /// runtime calls this once per request to attribute the `cache_fill`
+    /// stage span; resetting keeps successive requests independent.
+    pub fn take_cache_fill(&mut self) -> std::time::Duration {
+        let mut total = std::mem::take(&mut self.cache_fill_ns);
+        for worker in &mut self.workers {
+            total += worker.take_cache_fill().as_nanos() as u64;
+        }
+        std::time::Duration::from_nanos(total)
     }
 }
 
@@ -241,6 +258,7 @@ impl Engine {
             workers: Vec::new(),
             chunk_arenas: Vec::new(),
             unit_fan_out: true,
+            cache_fill_ns: 0,
         }
     }
 
@@ -549,6 +567,7 @@ impl Engine {
         block: &FeatureBlock,
         fields: &[Vec<f64>],
     ) -> Result<Vec<Vec<BitStream>>, ServeError> {
+        let started = std::time::Instant::now();
         let length = self.plan.stream_length;
         let Session {
             arena, cache, sng, ..
@@ -571,6 +590,7 @@ impl Engine {
             }
             inputs.push(streams);
         }
+        session.cache_fill_ns += started.elapsed().as_nanos() as u64;
         Ok(inputs)
     }
 

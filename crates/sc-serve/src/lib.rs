@@ -31,6 +31,11 @@
 //! * [`fault`] — deterministic fault injection (delay / stall / drop /
 //!   truncate / corrupt) as a stream wrapper and a TCP proxy, powering the
 //!   chaos test suite that proves the stack degrades gracefully.
+//! * [`obs`] / [`admin`] — the observability plane: a process-wide
+//!   [`obs::MetricsRegistry`] (request counters, latency and per-stage
+//!   histograms, queue depth, cache/arena and router state) served live by
+//!   a std-only `/metrics` admin endpoint in Prometheus text format, plus a
+//!   deterministic sampled JSONL request-trace log.
 //!
 //! ## Quick example
 //!
@@ -66,12 +71,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admin;
 pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod interpreter;
 pub mod metrics;
+pub mod obs;
 pub mod plan;
 pub mod proto;
 pub mod router;
@@ -84,16 +91,21 @@ pub use plan::{Plan, PlanOptions};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
+    pub use crate::admin::{scrape, spawn_admin, AdminHandle};
     pub use crate::batch::{BatchPolicy, BatchQueue, PushRefusal};
     pub use crate::engine::{Engine, EngineOptions, Session};
     pub use crate::error::ServeError;
     pub use crate::fault::{FaultKind, FaultProxy, FaultyStream};
     pub use crate::interpreter::{Inference, Interpreter};
-    pub use crate::metrics::{Metrics, MetricsReport};
+    pub use crate::metrics::{Metrics, MetricsReport, Stage};
+    pub use crate::obs::{MetricsRegistry, TraceLog, TraceSampler};
     pub use crate::plan::{lower, Plan, PlanOptions};
     pub use crate::proto::ErrorCode;
-    pub use crate::router::{spawn_router, RouterHandle, RouterOptions, RouterStats};
+    pub use crate::router::{
+        spawn_router, spawn_router_observed, RouterHandle, RouterOptions, RouterStats,
+    };
     pub use crate::server::{
-        spawn, spawn_multi, ServerHandle, ServerOptions, SHUTTING_DOWN_MESSAGE,
+        spawn, spawn_multi, spawn_multi_observed, ServerHandle, ServerOptions,
+        SHUTTING_DOWN_MESSAGE,
     };
 }

@@ -1,42 +1,100 @@
-//! Serving metrics: throughput and latency percentiles.
+//! Serving metrics: throughput, latency percentiles, and per-stage spans.
+//!
+//! End-to-end and per-stage latencies are recorded into lock-free
+//! [`LogHistogram`]s (see [`sc_core::hist`]): recording is a few relaxed
+//! atomic adds, [`Metrics::report`] walks a fixed number of buckets instead
+//! of sorting a sample ring under a mutex, and percentiles cover the
+//! recorder's *whole lifetime* — the old 64k sample window silently biased
+//! them toward recent traffic. Histograms merge across workers and replicas,
+//! which is how a fleet-level report is assembled from per-process scrapes.
 
+use sc_core::hist::LogHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Number of most-recent latency samples kept for percentile estimation.
+/// One stage of a request's journey through the serving runtime.
 ///
-/// The window bounds both memory and the cost of the sort in
-/// [`Metrics::report`] regardless of how long the server runs; 64k samples
-/// is plenty for stable p99 estimates.
-pub const LATENCY_WINDOW: usize = 1 << 16;
-
-/// Fixed-size ring of the most recent latency samples (microseconds).
-#[derive(Debug, Default)]
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
+/// Each stage gets its own latency histogram in [`Metrics`], so a latency
+/// budget can be attributed: time spent waiting for a worker
+/// ([`QueueWait`](Stage::QueueWait)), waiting behind batchmates
+/// ([`Linger`](Stage::Linger)), generating or fetching SNG input streams
+/// ([`CacheFill`](Stage::CacheFill)), computing ([`Compute`](Stage::Compute)),
+/// and shipping the reply bytes ([`WriteBack`](Stage::WriteBack)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Enqueue → the worker pops the batch containing the request (includes
+    /// micro-batch formation linger inside the queue).
+    QueueWait,
+    /// Batch pop → this request's compute starts (waiting behind earlier
+    /// batchmates, plus any injected compute delay).
+    Linger,
+    /// Time inside the engine spent acquiring input bit-streams (stream
+    /// cache lookups plus SNG fills on miss); a sub-span of
+    /// [`Compute`](Stage::Compute).
+    CacheFill,
+    /// The engine inference call itself.
+    Compute,
+    /// Handing the serialized response to the client socket.
+    WriteBack,
 }
 
-impl LatencyRing {
-    fn push(&mut self, value: u64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(value);
-        } else {
-            self.samples[self.next] = value;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::QueueWait,
+        Stage::Linger,
+        Stage::CacheFill,
+        Stage::Compute,
+        Stage::WriteBack,
+    ];
+
+    /// Stable label used in metric names, trace events, and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Linger => "linger",
+            Stage::CacheFill => "cache_fill",
+            Stage::Compute => "compute",
+            Stage::WriteBack => "write_back",
         }
     }
 }
 
-/// Thread-safe recorder of per-request latencies and completion counts.
+/// One latency histogram (microseconds) per [`Stage`].
+#[derive(Debug, Default)]
+pub struct StageSet {
+    queue_wait: LogHistogram,
+    linger: LogHistogram,
+    cache_fill: LogHistogram,
+    compute: LogHistogram,
+    write_back: LogHistogram,
+}
+
+impl StageSet {
+    /// The histogram of one stage.
+    pub fn get(&self, stage: Stage) -> &LogHistogram {
+        match stage {
+            Stage::QueueWait => &self.queue_wait,
+            Stage::Linger => &self.linger,
+            Stage::CacheFill => &self.cache_fill,
+            Stage::Compute => &self.compute,
+            Stage::WriteBack => &self.write_back,
+        }
+    }
+}
+
+/// Thread-safe recorder of per-request latencies, stage spans, and
+/// completion counts.
 ///
-/// Counters cover the recorder's whole lifetime; latency percentiles are
-/// computed over the most recent [`LATENCY_WINDOW`] samples, so a
-/// long-running server neither grows memory nor slows its reports.
+/// Counters and percentiles both cover the recorder's whole lifetime; the
+/// histogram bounds memory regardless of how long the server runs.
 #[derive(Debug)]
 pub struct Metrics {
-    latencies_us: Mutex<LatencyRing>,
+    /// End-to-end latency of completed requests, microseconds.
+    latency_us: LogHistogram,
+    /// Per-stage spans, microseconds.
+    stages: StageSet,
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
@@ -52,6 +110,11 @@ pub struct Metrics {
 /// Sentinel for "no completion recorded yet".
 const NO_COMPLETION: u64 = u64::MAX;
 
+/// Clamps a duration to whole microseconds in `u64`.
+pub(crate) fn as_micros(duration: Duration) -> u64 {
+    duration.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 impl Default for Metrics {
     fn default() -> Self {
         Self::new()
@@ -62,7 +125,8 @@ impl Metrics {
     /// Creates an empty recorder; throughput is measured from this instant.
     pub fn new() -> Self {
         Self {
-            latencies_us: Mutex::new(LatencyRing::default()),
+            latency_us: LogHistogram::new(),
+            stages: StageSet::default(),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -73,7 +137,7 @@ impl Metrics {
         }
     }
 
-    /// Records one successfully served request.
+    /// Records one successfully served request. Lock-free.
     pub fn record(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         let now_us = self
@@ -90,10 +154,12 @@ impl Metrics {
             Ordering::Relaxed,
         );
         self.last_completion_us.fetch_max(now_us, Ordering::Relaxed);
-        self.latencies_us
-            .lock()
-            .expect("metrics lock")
-            .push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.latency_us.record(as_micros(latency));
+    }
+
+    /// Records one stage span of a request. Lock-free.
+    pub fn record_stage(&self, stage: Stage, span: Duration) {
+        self.stages.get(stage).record(as_micros(span));
     }
 
     /// Records one failed request.
@@ -115,16 +181,40 @@ impl Metrics {
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Produces a snapshot report: lifetime counters/throughput, latency
-    /// percentiles over the most recent [`LATENCY_WINDOW`] samples.
+    /// The lifetime end-to-end latency histogram (microseconds).
+    pub fn latency(&self) -> &LogHistogram {
+        &self.latency_us
+    }
+
+    /// The per-stage span histograms (microseconds).
+    pub fn stages(&self) -> &StageSet {
+        &self.stages
+    }
+
+    /// Requests served successfully so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests failed so far.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests expired before compute so far.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Produces a snapshot report: lifetime counters, throughput, and
+    /// latency percentiles, all computed in O(histogram buckets) without
+    /// blocking concurrent recorders.
     pub fn report(&self) -> MetricsReport {
-        let mut latencies = self
-            .latencies_us
-            .lock()
-            .expect("metrics lock")
-            .samples
-            .clone();
-        latencies.sort_unstable();
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let completed = self.completed.load(Ordering::Relaxed);
         // Throughput over the first→last *completion* span, not lifetime
@@ -139,6 +229,10 @@ impl Metrics {
         } else {
             completed as f64 / ((last - first) as f64 / 1e6)
         };
+        // One frozen bucket snapshot for all three percentiles: separate
+        // `value_at_percentile` calls racing live recorders could report
+        // p99 < p50 within one report.
+        let [p50, p95, p99] = self.latency_us.percentiles([50.0, 95.0, 99.0]);
         MetricsReport {
             completed,
             failed: self.failed.load(Ordering::Relaxed),
@@ -146,10 +240,10 @@ impl Metrics {
             expired: self.expired.load(Ordering::Relaxed),
             elapsed_s: elapsed,
             throughput_rps,
-            mean_ms: mean_ms(&latencies),
-            p50_ms: percentile_ms(&latencies, 50.0),
-            p95_ms: percentile_ms(&latencies, 95.0),
-            p99_ms: percentile_ms(&latencies, 99.0),
+            mean_ms: self.latency_us.mean() / 1000.0,
+            p50_ms: p50 as f64 / 1000.0,
+            p95_ms: p95 as f64 / 1000.0,
+            p99_ms: p99 as f64 / 1000.0,
         }
     }
 }
@@ -174,7 +268,7 @@ pub struct MetricsReport {
     pub throughput_rps: f64,
     /// Mean end-to-end latency in milliseconds.
     pub mean_ms: f64,
-    /// Median latency in milliseconds.
+    /// Median latency in milliseconds (lifetime, bucket resolution).
     pub p50_ms: f64,
     /// 95th-percentile latency in milliseconds.
     pub p95_ms: f64,
@@ -201,14 +295,6 @@ impl std::fmt::Display for MetricsReport {
     }
 }
 
-fn mean_ms(sorted_us: &[u64]) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let total: u64 = sorted_us.iter().sum();
-    total as f64 / sorted_us.len() as f64 / 1000.0
-}
-
 /// Nearest-rank index into an ascending sample list of `len` elements.
 ///
 /// The rank is `⌈p·n / 100⌉`, clamped to `[1, n]` and returned zero-based.
@@ -216,9 +302,10 @@ fn mean_ms(sorted_us: &[u64]) -> f64 {
 /// `p/100` (e.g. `0.95`) cannot push the rank past an exact integer boundary
 /// and select the wrong sample; at small sample counts (`n = 2`, p95/p99)
 /// the rank clamps to the max sample instead of rounding to a wrong index.
-/// `p ≥ 100` always selects the max sample, `p ≤ 0` the min. Shared by
-/// [`Metrics::report`] and the serving benchmark so the indexing logic
-/// exists exactly once.
+/// `p ≥ 100` always selects the max sample, `p ≤ 0` the min. The serving
+/// benchmark's exact-sample baseline path uses this directly;
+/// [`LogHistogram::value_at_percentile`] follows the same rank convention at
+/// bucket resolution, so the two report comparable figures.
 ///
 /// # Panics
 ///
@@ -232,17 +319,19 @@ pub fn nearest_rank_index(len: usize, percentile: f64) -> usize {
     rank.clamp(1, len) - 1
 }
 
-/// Nearest-rank percentile over an ascending latency list, in milliseconds.
-fn percentile_ms(sorted_us: &[u64], percentile: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    sorted_us[nearest_rank_index(sorted_us.len(), percentile)] as f64 / 1000.0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Exact nearest-rank percentile over an ascending list, in ms.
+    fn percentile_ms(sorted_us: &[u64], percentile: f64) -> f64 {
+        if sorted_us.is_empty() {
+            return 0.0;
+        }
+        sorted_us[nearest_rank_index(sorted_us.len(), percentile)] as f64 / 1000.0
+    }
 
     #[test]
     fn percentiles_use_nearest_rank() {
@@ -301,17 +390,77 @@ mod tests {
     }
 
     #[test]
-    fn latency_window_is_bounded() {
-        let ring = Mutex::new(LatencyRing::default());
-        for i in 0..(LATENCY_WINDOW as u64 + 100) {
-            ring.lock().unwrap().push(i);
+    fn report_percentiles_track_the_histogram() {
+        // Lifetime accuracy: every sample counts, not a recent window. Small
+        // latencies (< 64 µs) land in unit-width buckets, so the report is
+        // exact here.
+        let metrics = Metrics::new();
+        for us in 1..=50u64 {
+            metrics.record(Duration::from_micros(us));
         }
-        let state = ring.lock().unwrap();
-        assert_eq!(state.samples.len(), LATENCY_WINDOW);
-        // The oldest samples were overwritten by the newest.
-        assert_eq!(state.samples[0], LATENCY_WINDOW as u64);
-        assert_eq!(state.samples[99], LATENCY_WINDOW as u64 + 99);
-        assert_eq!(state.samples[100], 100);
+        let report = metrics.report();
+        assert_eq!(report.completed, 50);
+        assert_eq!(report.p50_ms, 0.025);
+        assert_eq!(report.p95_ms, 0.048);
+        assert_eq!(report.p99_ms, 0.050);
+    }
+
+    #[test]
+    fn stage_spans_land_in_their_own_histograms() {
+        let metrics = Metrics::new();
+        metrics.record_stage(Stage::QueueWait, Duration::from_micros(10));
+        metrics.record_stage(Stage::QueueWait, Duration::from_micros(20));
+        metrics.record_stage(Stage::Compute, Duration::from_micros(40));
+        let stages = metrics.stages();
+        assert_eq!(stages.get(Stage::QueueWait).count(), 2);
+        assert_eq!(stages.get(Stage::Compute).count(), 1);
+        assert_eq!(stages.get(Stage::Compute).max(), 40);
+        assert_eq!(stages.get(Stage::WriteBack).count(), 0);
+        // Every stage has a distinct, stable label.
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn reporting_during_load_does_not_stall_recording() {
+        // Regression: `report()` used to clone and sort a 64k ring under the
+        // same mutex `record()` needed, so a scrape could stall the worker
+        // hot path. Recording is now lock-free: a recorder thread must make
+        // continuous progress while reports hammer the same recorder.
+        let metrics = Arc::new(Metrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let recorder = {
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut recorded = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    metrics.record(Duration::from_micros(recorded % 10_000));
+                    metrics.record_stage(Stage::Compute, Duration::from_micros(recorded % 1_000));
+                    recorded += 1;
+                }
+                recorded
+            })
+        };
+        let start = Instant::now();
+        let mut reports = 0u64;
+        while start.elapsed() < Duration::from_millis(200) {
+            let report = metrics.report();
+            assert!(report.p99_ms >= report.p50_ms);
+            reports += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let recorded = recorder.join().unwrap();
+        assert!(reports > 0);
+        // 200 ms of lock-free recording comfortably clears this bar even on
+        // a loaded CI machine; a recorder serialized behind report's old
+        // clone-and-sort would not.
+        assert!(
+            recorded > 10_000,
+            "recording stalled during reports: only {recorded} samples"
+        );
+        assert_eq!(metrics.completed(), metrics.latency().count());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //!
 //! [`SHUTTING_DOWN_MESSAGE`]: crate::server::SHUTTING_DOWN_MESSAGE
 
+use crate::obs::{MetricsRegistry, Sample, SampleKind, TraceEvent, TraceLog};
 use crate::proto::{
     forward_request, read_message, read_pong, read_response, write_ping, write_pong,
     write_response, ErrorCode, Message, Request, Response,
@@ -235,6 +236,22 @@ impl RetryBudget {
             false
         }
     }
+
+    /// Current token level after applying pending refill, without taking a
+    /// token. The observability gauge: a level pinned near zero under load
+    /// means the router is in fail-fast mode.
+    fn level(&self) -> f64 {
+        let mut state = self.state.lock().expect("retry budget lock");
+        let (ref mut tokens, ref mut last) = *state;
+        let now = Instant::now();
+        if !self.refill.is_zero() {
+            *tokens = (*tokens
+                + now.duration_since(*last).as_secs_f64() / self.refill.as_secs_f64())
+            .min(self.capacity);
+        }
+        *last = now;
+        *tokens
+    }
 }
 
 /// One backend replica and its live accounting.
@@ -347,12 +364,41 @@ struct RouterShared {
     expired: AtomicU64,
     /// Monotone nonce source for health-probe pings.
     probe_nonce: AtomicU64,
+    /// Optional sampled request-trace sink (one `route` event per sampled
+    /// request).
+    trace: Option<TraceLog>,
+}
+
+/// Snapshot of a shared router state's counters — the one source both
+/// [`RouterHandle::stats`] and the metrics registry read, so the `Display`
+/// report and the scrape endpoint can never disagree.
+fn stats_of(shared: &RouterShared) -> RouterStats {
+    RouterStats {
+        backends: shared
+            .backends
+            .iter()
+            .map(|backend| BackendStats {
+                addr: backend.addr,
+                healthy: backend.healthy.load(Ordering::Relaxed),
+                in_flight: backend.in_flight.load(Ordering::Relaxed),
+                forwarded: backend.forwarded.load(Ordering::Relaxed),
+                failovers: backend.failovers.load(Ordering::Relaxed),
+                breaker_open: backend.breaker.is_open(),
+                breaker_trips: backend.breaker.trips.load(Ordering::Relaxed),
+            })
+            .collect(),
+        requests: shared.requests.load(Ordering::Relaxed),
+        failovers: shared.failovers.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        expired: shared.expired.load(Ordering::Relaxed),
+    }
 }
 
 /// Handle to a running router.
 pub struct RouterHandle {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
+    metrics_registry: Arc<MetricsRegistry>,
     accept_thread: Option<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
 }
@@ -365,26 +411,15 @@ impl RouterHandle {
 
     /// Snapshot of the router's counters.
     pub fn stats(&self) -> RouterStats {
-        RouterStats {
-            backends: self
-                .shared
-                .backends
-                .iter()
-                .map(|backend| BackendStats {
-                    addr: backend.addr,
-                    healthy: backend.healthy.load(Ordering::Relaxed),
-                    in_flight: backend.in_flight.load(Ordering::Relaxed),
-                    forwarded: backend.forwarded.load(Ordering::Relaxed),
-                    failovers: backend.failovers.load(Ordering::Relaxed),
-                    breaker_open: backend.breaker.is_open(),
-                    breaker_trips: backend.breaker.trips.load(Ordering::Relaxed),
-                })
-                .collect(),
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            failovers: self.shared.failovers.load(Ordering::Relaxed),
-            failed: self.shared.failed.load(Ordering::Relaxed),
-            expired: self.shared.expired.load(Ordering::Relaxed),
-        }
+        stats_of(&self.shared)
+    }
+
+    /// The router's metric registry: request outcomes under the same
+    /// `sc_requests_total` family the server emits, plus router-only
+    /// failover/retry-budget metrics and per-backend state. Hand this to
+    /// [`crate::admin::spawn_admin`] to expose a live scrape endpoint.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics_registry)
     }
 
     /// Stops accepting, closes live client connections (their in-progress
@@ -415,6 +450,23 @@ pub fn spawn_router(
     backends: Vec<SocketAddr>,
     options: RouterOptions,
 ) -> io::Result<RouterHandle> {
+    spawn_router_observed(listener, backends, options, None)
+}
+
+/// [`spawn_router`] with an optional sampled request-trace log: each sampled
+/// request emits one JSONL `route` event with its outcome and end-to-end
+/// router latency.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an empty backend list, and propagates an I/O
+/// error if the listener's local address cannot be read.
+pub fn spawn_router_observed(
+    listener: TcpListener,
+    backends: Vec<SocketAddr>,
+    options: RouterOptions,
+    trace: Option<TraceLog>,
+) -> io::Result<RouterHandle> {
     if backends.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -436,7 +488,82 @@ pub fn spawn_router(
         failed: AtomicU64::new(0),
         expired: AtomicU64::new(0),
         probe_nonce: AtomicU64::new(1),
+        trace,
     });
+
+    let metrics_registry = Arc::new(MetricsRegistry::new());
+    {
+        let shared = Arc::clone(&shared);
+        metrics_registry.register(move |out| {
+            let stats = stats_of(&shared);
+            // Same family and outcome labels as the serving runtime, so one
+            // dashboard reads both planes. The router never computes, so
+            // `ok` is what it accepted minus what it failed or expired, and
+            // `shed` is always zero (admission control lives on replicas).
+            for (outcome, value) in [
+                (
+                    "ok",
+                    stats
+                        .requests
+                        .saturating_sub(stats.failed)
+                        .saturating_sub(stats.expired),
+                ),
+                ("failed", stats.failed),
+                ("shed", 0),
+                ("expired", stats.expired),
+            ] {
+                out.push(Sample::counter(
+                    "sc_requests_total",
+                    vec![("outcome", outcome.to_string())],
+                    value as f64,
+                ));
+            }
+            out.push(Sample::counter(
+                "sc_router_failovers_total",
+                vec![],
+                stats.failovers as f64,
+            ));
+            out.push(Sample::gauge(
+                "sc_retry_budget_level",
+                vec![],
+                shared.retry_budget.level(),
+            ));
+            // Family-major order: the exposition format wants one `# TYPE`
+            // per family, so all backends' samples of a family go together.
+            type BackendField = (&'static str, SampleKind, fn(&BackendStats) -> f64);
+            const BACKEND_FIELDS: [BackendField; 6] = [
+                ("sc_backend_healthy", SampleKind::Gauge, |b| {
+                    f64::from(u8::from(b.healthy))
+                }),
+                ("sc_backend_breaker_open", SampleKind::Gauge, |b| {
+                    f64::from(u8::from(b.breaker_open))
+                }),
+                ("sc_backend_in_flight", SampleKind::Gauge, |b| {
+                    b.in_flight as f64
+                }),
+                ("sc_backend_forwarded_total", SampleKind::Counter, |b| {
+                    b.forwarded as f64
+                }),
+                ("sc_backend_failovers_total", SampleKind::Counter, |b| {
+                    b.failovers as f64
+                }),
+                ("sc_backend_breaker_trips_total", SampleKind::Counter, |b| {
+                    b.breaker_trips as f64
+                }),
+            ];
+            for (name, kind, value_of) in BACKEND_FIELDS {
+                for backend in &stats.backends {
+                    out.push(Sample {
+                        name,
+                        suffix: "",
+                        kind,
+                        labels: vec![("backend", backend.addr.to_string())],
+                        value: value_of(backend),
+                    });
+                }
+            }
+        });
+    }
 
     let health_thread = {
         let shared = Arc::clone(&shared);
@@ -472,6 +599,7 @@ pub fn spawn_router(
     Ok(RouterHandle {
         addr,
         shared,
+        metrics_registry,
         accept_thread: Some(accept_thread),
         health_thread: Some(health_thread),
     })
@@ -574,6 +702,30 @@ fn client_connection_loop(stream: TcpStream, shared: &RouterShared) {
                 let arrival = Instant::now();
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let response = forward_with_failover(shared, &mut conns, &request, arrival);
+                if let Some(trace) = &shared.trace {
+                    // The router sees no engine stages — its trace records
+                    // outcome and the time a request spent in the routing
+                    // plane (including failover backoffs).
+                    let outcome = match &response {
+                        Response::Ok { .. } => "ok",
+                        Response::Err { code, .. } => match code {
+                            ErrorCode::DeadlineExceeded => "expired",
+                            ErrorCode::Overloaded | ErrorCode::ShuttingDown => "refused",
+                            ErrorCode::App => "failed",
+                        },
+                    };
+                    trace.emit(&TraceEvent {
+                        kind: "route",
+                        id: request.id,
+                        model: request.model,
+                        outcome,
+                        queue_us: 0,
+                        linger_us: 0,
+                        cache_fill_us: 0,
+                        compute_us: 0,
+                        total_us: crate::metrics::as_micros(arrival.elapsed()),
+                    });
+                }
                 if write_response(&mut writer, &response).is_err() {
                     break;
                 }
@@ -841,6 +993,7 @@ mod tests {
             failed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             probe_nonce: AtomicU64::new(1),
+            trace: None,
         }
     }
 

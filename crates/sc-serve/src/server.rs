@@ -46,7 +46,11 @@
 
 use crate::batch::{BatchPolicy, BatchQueue, PushRefusal};
 use crate::engine::{Engine, Session};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Stage};
+use crate::obs::{
+    register_engine_metrics, register_request_metrics, MetricsRegistry, Sample, TraceEvent,
+    TraceLog, WorkerStatsSlots,
+};
 use crate::proto::{
     checked_shape_product, read_message, write_pong, write_response, ErrorCode, Message, Request,
     Response,
@@ -202,6 +206,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     queue: Arc<BatchQueue<Job>>,
     metrics: Arc<Metrics>,
+    metrics_registry: Arc<MetricsRegistry>,
     stop: Arc<AtomicBool>,
     registry: Arc<ConnectionRegistry>,
     accept_thread: Option<JoinHandle<()>>,
@@ -218,6 +223,13 @@ impl ServerHandle {
     /// Shared serving metrics.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The server's metric registry: request counters, latency and
+    /// per-stage summaries, queue depth, and cache/arena stats. Hand this to
+    /// [`crate::admin::spawn_admin`] to expose a live scrape endpoint.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics_registry)
     }
 
     /// Number of models (engines) this server hosts.
@@ -283,6 +295,25 @@ pub fn spawn_multi(
     listener: TcpListener,
     options: ServerOptions,
 ) -> std::io::Result<ServerHandle> {
+    spawn_multi_observed(engines, listener, options, None)
+}
+
+/// [`spawn_multi`] with an optional sampled request-trace log.
+///
+/// Sampled requests emit one JSONL [`TraceEvent`] each — stage breakdown
+/// (queue-wait / linger / cache-fill / compute) for served requests, a
+/// compute-free `refused` event for shed or draining refusals.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for an empty engine list, and propagates an I/O
+/// error if the listener's local address cannot be read.
+pub fn spawn_multi_observed(
+    engines: Vec<Arc<Engine>>,
+    listener: TcpListener,
+    options: ServerOptions,
+    trace: Option<TraceLog>,
+) -> std::io::Result<ServerHandle> {
     if engines.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -310,23 +341,51 @@ pub fn spawn_multi(
     // keeps unit fan-out: that is exactly the single-outstanding-request
     // latency case it exists for.
     let unit_fan_out = worker_count.max(1) == 1;
+    let worker_slots = Arc::new(WorkerStatsSlots::new(worker_count.max(1)));
     let workers: Vec<JoinHandle<()>> = (0..worker_count.max(1))
-        .map(|_| {
+        .map(|index| {
             let engines = Arc::clone(&engines);
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let compute_delay = options.compute_delay;
+            let slots = Arc::clone(&worker_slots);
+            let trace = trace.clone();
             std::thread::spawn(move || {
-                worker_loop(&engines, &queue, &metrics, unit_fan_out, compute_delay);
+                worker_loop(
+                    &engines,
+                    &queue,
+                    &metrics,
+                    unit_fan_out,
+                    compute_delay,
+                    &slots,
+                    index,
+                    trace.as_ref(),
+                );
             })
         })
         .collect();
+
+    let metrics_registry = Arc::new(MetricsRegistry::new());
+    register_request_metrics(&metrics_registry, Arc::clone(&metrics));
+    {
+        let queue = Arc::clone(&queue);
+        metrics_registry.register(move |out| {
+            out.push(Sample::gauge("sc_queue_depth", vec![], queue.len() as f64));
+        });
+    }
+    {
+        metrics_registry.register(move |out| {
+            out.push(Sample::gauge("sc_models", vec![], models as f64));
+        });
+    }
+    register_engine_metrics(&metrics_registry, Arc::clone(&worker_slots));
 
     let accept_thread = {
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(&metrics);
         let stop = Arc::clone(&stop);
         let registry = Arc::clone(&registry);
+        let trace = trace.clone();
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
@@ -341,8 +400,15 @@ pub fn spawn_multi(
                         let queue = Arc::clone(&queue);
                         let metrics = Arc::clone(&metrics);
                         let registry_for_thread = Arc::clone(&registry);
+                        let trace = trace.clone();
                         let thread = std::thread::spawn(move || {
-                            connection_loop(stream, &queue, &metrics, options.idle_timeout);
+                            connection_loop(
+                                stream,
+                                &queue,
+                                &metrics,
+                                options.idle_timeout,
+                                trace.as_ref(),
+                            );
                             registry_for_thread.deregister(id);
                         });
                         registry.attach_thread(id, thread);
@@ -357,6 +423,7 @@ pub fn spawn_multi(
         addr,
         queue,
         metrics,
+        metrics_registry,
         stop,
         registry,
         accept_thread: Some(accept_thread),
@@ -407,8 +474,9 @@ fn is_timeout(error: &std::io::Error) -> bool {
 fn connection_loop(
     stream: TcpStream,
     queue: &BatchQueue<Job>,
-    metrics: &Metrics,
+    metrics: &Arc<Metrics>,
     idle_timeout: Duration,
+    trace: Option<&TraceLog>,
 ) {
     if stream
         .set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))
@@ -427,13 +495,18 @@ fn connection_loop(
         return;
     };
     let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let writer_metrics = Arc::clone(metrics);
     let writer = std::thread::spawn(move || {
         let mut write_half = write_half;
         while let Ok(reply) = reply_rx.recv() {
+            let write_started = Instant::now();
             let written = match reply {
                 Reply::Response(response) => write_response(&mut write_half, &response),
                 Reply::Pong(nonce) => write_pong(&mut write_half, nonce),
             };
+            // The write-back span is the socket-side cost of shipping the
+            // reply — the one stage that happens off the worker threads.
+            writer_metrics.record_stage(Stage::WriteBack, write_started.elapsed());
             if written.is_err() {
                 break;
             }
@@ -450,6 +523,7 @@ fn connection_loop(
             Ok(Some(Message::Request(request))) => {
                 last_activity = Instant::now();
                 let id = request.id;
+                let model = request.model;
                 let enqueued = Instant::now();
                 let deadline = (request.deadline_ms > 0)
                     .then(|| enqueued + Duration::from_millis(u64::from(request.deadline_ms)));
@@ -480,6 +554,21 @@ fn connection_loop(
                         message: SHUTTING_DOWN_MESSAGE.to_string(),
                     },
                 };
+                // A refused request never reaches a worker, so it records
+                // no compute span — the trace shows an all-zero breakdown.
+                if let Some(trace) = trace {
+                    trace.emit(&TraceEvent {
+                        kind: "serve",
+                        id,
+                        model,
+                        outcome: "refused",
+                        queue_us: 0,
+                        linger_us: 0,
+                        cache_fill_us: 0,
+                        compute_us: 0,
+                        total_us: crate::metrics::as_micros(enqueued.elapsed()),
+                    });
+                }
                 let _ = reply_tx.send(Reply::Response(refusal));
             }
             // Health probes are answered on the connection thread — they
@@ -521,12 +610,16 @@ fn connection_loop(
 /// `compute_delay` sleep (the fault harness's "slow replica" mode) runs
 /// before the deadline check so an injected slowdown expires deadlines the
 /// way a genuinely slow replica would.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     engines: &[Arc<Engine>],
     queue: &BatchQueue<Job>,
     metrics: &Metrics,
     unit_fan_out: bool,
     compute_delay: Duration,
+    slots: &WorkerStatsSlots,
+    worker_index: usize,
+    trace: Option<&TraceLog>,
 ) {
     let mut sessions: Vec<Session> = engines
         .iter()
@@ -537,13 +630,32 @@ fn worker_loop(
         })
         .collect();
     while let Some(batch) = queue.pop_batch() {
+        // Everything in this batch stopped queueing the moment it was
+        // popped; time spent after this point (delays, earlier batch
+        // members' compute) is per-job *linger*, not queue wait.
+        let popped = Instant::now();
         for job in batch {
+            let queue_wait = popped.saturating_duration_since(job.enqueued);
+            metrics.record_stage(Stage::QueueWait, queue_wait);
             if !compute_delay.is_zero() {
                 std::thread::sleep(compute_delay);
             }
             if let Some(deadline) = job.deadline {
                 if Instant::now() >= deadline {
                     metrics.record_expired();
+                    if let Some(trace) = trace {
+                        trace.emit(&TraceEvent {
+                            kind: "serve",
+                            id: job.request.id,
+                            model: job.request.model,
+                            outcome: "expired",
+                            queue_us: crate::metrics::as_micros(queue_wait),
+                            linger_us: crate::metrics::as_micros(popped.elapsed()),
+                            cache_fill_us: 0,
+                            compute_us: 0,
+                            total_us: crate::metrics::as_micros(job.enqueued.elapsed()),
+                        });
+                    }
                     let _ = job.reply.send(Reply::Response(Response::Err {
                         id: job.request.id,
                         code: ErrorCode::DeadlineExceeded,
@@ -555,14 +667,50 @@ fn worker_loop(
                     continue;
                 }
             }
+            let compute_started = Instant::now();
+            let linger = compute_started.saturating_duration_since(popped);
+            metrics.record_stage(Stage::Linger, linger);
             let response = serve_one(engines, &mut sessions, &job.request);
-            if matches!(response, Response::Err { .. }) {
+            let compute = compute_started.elapsed();
+            metrics.record_stage(Stage::Compute, compute);
+            // Only the session this request's model used accumulated any
+            // cache-fill time; draining all of them attributes it without
+            // re-deriving the model→session mapping here.
+            let cache_fill: Duration = sessions
+                .iter_mut()
+                .map(crate::engine::Session::take_cache_fill)
+                .sum();
+            metrics.record_stage(Stage::CacheFill, cache_fill);
+            let failed = matches!(response, Response::Err { .. });
+            if failed {
                 metrics.record_failure();
             } else {
                 metrics.record(job.enqueued.elapsed());
             }
+            if let Some(trace) = trace {
+                trace.emit(&TraceEvent {
+                    kind: "serve",
+                    id: job.request.id,
+                    model: job.request.model,
+                    outcome: if failed { "failed" } else { "ok" },
+                    queue_us: crate::metrics::as_micros(queue_wait),
+                    linger_us: crate::metrics::as_micros(linger),
+                    cache_fill_us: crate::metrics::as_micros(cache_fill),
+                    compute_us: crate::metrics::as_micros(compute),
+                    total_us: crate::metrics::as_micros(job.enqueued.elapsed()),
+                });
+            }
             let _ = job.reply.send(Reply::Response(response));
         }
+        // Publish this worker's engine stats once per batch — cheap, and at
+        // most one batch stale at scrape time.
+        let mut cache = sc_core::cache::CacheStats::default();
+        let mut arena = sc_core::arena::ArenaStats::default();
+        for session in &sessions {
+            cache.merge(&session.cache_stats());
+            arena.merge(&session.arena_stats());
+        }
+        slots.publish(worker_index, cache, arena);
     }
 }
 
@@ -752,7 +900,7 @@ mod tests {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
-                connection_loop(server_side, &queue, &metrics, Duration::from_secs(5));
+                connection_loop(server_side, &queue, &metrics, Duration::from_secs(5), None);
             })
         };
         let mut writer = client.try_clone().unwrap();

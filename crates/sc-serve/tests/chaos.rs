@@ -11,6 +11,13 @@
 //!
 //! All fault scheduling and retry jitter derive from SplitMix64 seeds, so
 //! failures replay identically.
+//!
+//! When debugging a failure here against a live stack, start the replicas
+//! and router with `--admin-addr` and scrape `/metrics`: the
+//! `sc_requests_total{outcome=...}` counters, per-backend breaker gauges,
+//! and `sc_stage_latency_seconds` histograms expose the same shed /
+//! expiry / failover accounting these tests assert on (see
+//! `sc_serve::obs` and `tests/obs.rs`).
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_dcnn::config::ScNetworkConfig;

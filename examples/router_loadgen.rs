@@ -26,6 +26,7 @@ use sc_dcnn_repro::blocks::feature_block::FeatureBlockKind;
 use sc_dcnn_repro::dcnn::config::ScNetworkConfig;
 use sc_dcnn_repro::nn::dataset::SyntheticDigits;
 use sc_dcnn_repro::nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_dcnn_repro::serve::admin::{scrape, spawn_admin};
 use sc_dcnn_repro::serve::batch::BatchPolicy;
 use sc_dcnn_repro::serve::engine::{Engine, EngineOptions};
 use sc_dcnn_repro::serve::fault::{FaultKind, FaultProxy};
@@ -37,6 +38,19 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Extracts the value of the exposition sample whose line starts with
+/// `prefix` (metric name plus rendered labels).
+fn metric_value(exposition: &str, prefix: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix(prefix)
+                .filter(|rest| rest.starts_with(' '))
+                .map(|rest| rest.trim().parse().expect("sample value"))
+        })
+        .unwrap_or_else(|| panic!("no sample {prefix} in scrape"))
+}
 
 fn arg(name: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -159,6 +173,12 @@ fn main() {
         },
     )
     .expect("spawn router");
+    // Live admin endpoint on the router: scraped mid-load and at the end,
+    // and cross-checked against the clients' own totals.
+    let admin = spawn_admin(
+        TcpListener::bind("127.0.0.1:0").expect("bind admin"),
+        router.registry(),
+    );
     let addr = router.addr();
     println!(
         "router {addr} -> replicas {} / {}; {} models per replica",
@@ -247,12 +267,22 @@ fn main() {
         })
         .collect();
 
+    // Once every client has at least one answered request, the load is
+    // provably in flight: scrape the live admin endpoint mid-load.
+    while completed.load(Ordering::Relaxed) < clients {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mid = scrape(admin.addr(), "/metrics").expect("mid-load scrape");
+    println!(
+        "mid-load scrape: {} ok / {} failed so far via http://{}/metrics",
+        metric_value(&mid, "sc_requests_total{outcome=\"ok\"}"),
+        metric_value(&mid, "sc_requests_total{outcome=\"failed\"}"),
+        admin.addr()
+    );
+
     if fault.is_none() {
-        // Kill replica A once every client has at least one answered
-        // request — deterministic even for tiny CI workloads.
-        while completed.load(Ordering::Relaxed) < clients {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // Kill replica A — deterministic even for tiny CI workloads since
+        // every client already has an answered request.
         println!(
             "killing replica A after {} answered requests ...",
             completed.load(Ordering::Relaxed)
@@ -293,8 +323,28 @@ fn main() {
     }
     assert_eq!(stats.requests, total as u64);
 
+    // The final scrape must account for every client-observed request: the
+    // metrics plane loses nothing between the wire and the endpoint.
+    let text = scrape(admin.addr(), "/metrics").expect("final scrape");
+    let scraped_ok = metric_value(&text, "sc_requests_total{outcome=\"ok\"}");
+    let scraped_failed = metric_value(&text, "sc_requests_total{outcome=\"failed\"}");
+    let scraped_expired = metric_value(&text, "sc_requests_total{outcome=\"expired\"}");
+    println!(
+        "final scrape : {scraped_ok} ok / {scraped_failed} failed / {scraped_expired} expired"
+    );
+    assert_eq!(
+        (scraped_ok + scraped_failed + scraped_expired) as usize,
+        total,
+        "scraped outcomes must sum to the client total"
+    );
+    assert_eq!(
+        scraped_failed as usize, refusals,
+        "scraped failures must match client-side typed refusals"
+    );
+
     // Graceful teardown: the surviving replica drains, the router closes
     // its client connections, everything joins.
+    admin.shutdown();
     router.shutdown();
     if let Some(proxy) = proxy {
         proxy.shutdown();
