@@ -31,6 +31,12 @@
 //! bit-exact responses before recording throughput, and runs on full
 //! (recording) runs or when `--router` is passed.
 //!
+//! A **concurrency** phase (same gating) walks a closed-loop connection
+//! ladder (64 → 256 → 1024 connections on full runs) through the hedged
+//! router over two replicas — the event-loop scalability measurement. Zero
+//! lost requests and bit-exact answers are asserted at every rung before
+//! throughput, latency percentiles, and the hedge rate are recorded.
+//!
 //! An **overload** phase (same gating) bursts a pipelined load into one
 //! worker behind a depth-capped queue and records the shed rate and the
 //! accepted requests' tail latency, asserting zero silent losses: every
@@ -491,6 +497,175 @@ fn bench_router(
     }
 }
 
+/// Result of one rung of the concurrency ladder: N closed-loop connections
+/// through the (hedged) router.
+struct ConcurrencyBenchRun {
+    connections: usize,
+    total_requests: usize,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hedges: u64,
+    hedge_wins: u64,
+    failed: u64,
+}
+
+impl ConcurrencyBenchRun {
+    fn hedge_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.hedges as f64 / self.total_requests as f64
+        }
+    }
+}
+
+/// Drives `connections` concurrent closed-loop clients through a hedged
+/// router over two replicas — the event-loop scalability measurement. Every
+/// request must be answered `Ok` and bit-exact (asserted), so a recording
+/// implies zero lost requests at every rung of the ladder.
+fn bench_concurrency(stream_length: usize, ladder: &[(usize, usize)]) -> Vec<ConcurrencyBenchRun> {
+    use FeatureBlockKind::ApcMaxBtanh;
+    let config = ScNetworkConfig::new(
+        "concurrency",
+        vec![ApcMaxBtanh; 4],
+        stream_length,
+        PoolingStyle::Max,
+    );
+    let network = tiny_lenet(17);
+    let engine = Arc::new(
+        Engine::compile(&network, &config, EngineOptions::default()).expect("engine compiles"),
+    );
+    let replica = || -> ServerHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
+        spawn_multi(
+            vec![Arc::clone(&engine)],
+            listener,
+            ServerOptions {
+                policy: BatchPolicy {
+                    max_batch: 16,
+                    max_linger: Duration::from_millis(2),
+                    // Headroom over the deepest rung: a closed-loop client
+                    // holds one request in flight, so the queue never sees
+                    // more than `connections` — sheds would dirty the
+                    // zero-lost-requests contract.
+                    max_queue: 4096,
+                },
+                workers: 0,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("spawn replica")
+    };
+    let replica_a = replica();
+    let replica_b = replica();
+
+    let data = SyntheticDigits::generate(1, 5);
+    let image = data.train_images[0].clone();
+    let expected = engine
+        .infer(&mut engine.new_session(), &image)
+        .expect("direct inference")
+        .logits;
+
+    let runs: Vec<ConcurrencyBenchRun> = ladder
+        .iter()
+        .map(|&(connections, per_connection)| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+            let router = spawn_router(
+                listener,
+                vec![replica_a.addr(), replica_b.addr()],
+                RouterOptions {
+                    health_interval: Duration::from_millis(100),
+                    connect_timeout: Duration::from_secs(2),
+                    exchange_timeout: Duration::from_secs(120),
+                    hedge: true,
+                    hedge_delay: Duration::from_millis(50),
+                    ..RouterOptions::default()
+                },
+            )
+            .expect("spawn router");
+            let addr = router.addr();
+            let start = Instant::now();
+            let threads: Vec<_> = (0..connections)
+                .map(|client| {
+                    let image = image.clone();
+                    let expected = expected.clone();
+                    // Small stacks: at 1024 connections the default 8 MiB
+                    // per thread is pure waste for a socket-bound loop.
+                    std::thread::Builder::new()
+                        .stack_size(128 * 1024)
+                        .spawn(move || {
+                            // The connect storm can overrun the listen
+                            // backlog; retry instead of failing the rung.
+                            let stream = (0..10)
+                                .find_map(|_| {
+                                    TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()
+                                })
+                                .expect("connect router");
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(300)))
+                                .expect("read timeout");
+                            let mut writer = stream.try_clone().expect("clone");
+                            let mut reader = BufReader::new(stream);
+                            let mut latencies_ms = Vec::with_capacity(per_connection);
+                            for request in 0..per_connection {
+                                let id = (client * per_connection + request) as u64;
+                                let sent = Instant::now();
+                                write_request_v2(&mut writer, id, 0, [1, 28, 28], image.as_slice())
+                                    .expect("send");
+                                match read_response(&mut reader).expect("recv") {
+                                    Some(Response::Ok {
+                                        id: rid, logits, ..
+                                    }) => {
+                                        assert_eq!(rid, id);
+                                        assert_eq!(
+                                            logits, expected,
+                                            "request {id} must stay bit-exact at scale"
+                                        );
+                                    }
+                                    Some(Response::Err { message, .. }) => {
+                                        panic!("request {id} failed: {message}")
+                                    }
+                                    None => panic!("router closed on request {id}"),
+                                }
+                                latencies_ms.push(sent.elapsed().as_secs_f64() * 1000.0);
+                            }
+                            latencies_ms
+                        })
+                        .expect("spawn load thread")
+                })
+                .collect();
+            let mut latencies_ms: Vec<f64> = threads
+                .into_iter()
+                .flat_map(|thread| thread.join().expect("load thread"))
+                .collect();
+            let wall = start.elapsed().as_secs_f64();
+            latencies_ms.sort_by(|a, b| a.total_cmp(b));
+            let stats = router.stats();
+            let total_requests = connections * per_connection;
+            assert_eq!(
+                stats.failed, 0,
+                "{connections}-connection rung must lose nothing: {stats}"
+            );
+            assert_eq!(stats.requests, total_requests as u64);
+            router.shutdown();
+            ConcurrencyBenchRun {
+                connections,
+                total_requests,
+                rps: total_requests as f64 / wall,
+                p50_ms: percentile(&latencies_ms, 50.0),
+                p99_ms: percentile(&latencies_ms, 99.0),
+                hedges: stats.hedges,
+                hedge_wins: stats.hedge_wins,
+                failed: stats.failed,
+            }
+        })
+        .collect();
+    replica_a.shutdown();
+    replica_b.shutdown();
+    runs
+}
+
 /// Result of the overload phase: a pipelined burst into a depth-capped
 /// queue, measuring what admission control sheds and what the accepted
 /// traffic's tail latency looks like *while* shedding.
@@ -773,6 +948,40 @@ fn main() {
         None
     };
 
+    // Concurrency ladder: the event-loop scalability measurement — N
+    // closed-loop connections through the hedged router, zero lost requests
+    // asserted at every rung. Same gating as the router phase.
+    let concurrency_runs = if router_mode || full_run {
+        let (length, ladder): (usize, &[(usize, usize)]) = if quick {
+            (128, &[(8, 4), (32, 2)])
+        } else {
+            (128, &[(64, 8), (256, 2), (1024, 1)])
+        };
+        println!(
+            "\nconcurrency phase: 2 replicas @ L={length}, hedged router, ladder {:?} ...",
+            ladder.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+        );
+        let runs = bench_concurrency(length, ladder);
+        for run in &runs {
+            println!(
+                "concurrency {:>5}: {} requests -> {:.3} req/s, p50 {:.2}ms p99 {:.2}ms, \
+                 {} hedges ({} won, {:.1}% of requests), {} failed",
+                run.connections,
+                run.total_requests,
+                run.rps,
+                run.p50_ms,
+                run.p99_ms,
+                run.hedges,
+                run.hedge_wins,
+                run.hedge_rate() * 100.0,
+                run.failed
+            );
+        }
+        runs
+    } else {
+        Vec::new()
+    };
+
     // Overload phase: rides along with the router phase (full recording
     // runs, or forced smokes).
     let overload_run = if router_mode || full_run {
@@ -995,6 +1204,42 @@ fn main() {
         json.push_str("  },\n");
     } else {
         json.push_str("  \"stages\": null,\n");
+    }
+    if concurrency_runs.is_empty() {
+        json.push_str("  \"concurrency\": null,\n");
+    } else {
+        json.push_str("  \"concurrency\": {\n");
+        json.push_str(
+            "    \"note\": \"closed-loop connection ladder through the hedged router over two \
+             replicas; every request asserted answered Ok and bit-exact before recording (zero \
+             lost requests at every rung); hedge rate = hedges / requests\",\n",
+        );
+        json.push_str("    \"rungs\": [\n");
+        for (i, run) in concurrency_runs.iter().enumerate() {
+            json.push_str("      {\n");
+            json.push_str(&format!("        \"connections\": {},\n", run.connections));
+            json.push_str(&format!(
+                "        \"total_requests\": {},\n",
+                run.total_requests
+            ));
+            json.push_str(&format!("        \"throughput_rps\": {:.4},\n", run.rps));
+            json.push_str(&format!("        \"latency_p50_ms\": {:.2},\n", run.p50_ms));
+            json.push_str(&format!("        \"latency_p99_ms\": {:.2},\n", run.p99_ms));
+            json.push_str(&format!("        \"hedges\": {},\n", run.hedges));
+            json.push_str(&format!("        \"hedge_wins\": {},\n", run.hedge_wins));
+            json.push_str(&format!(
+                "        \"hedge_rate\": {:.4},\n",
+                run.hedge_rate()
+            ));
+            json.push_str(&format!("        \"failed_requests\": {}\n", run.failed));
+            json.push_str(if i + 1 == concurrency_runs.len() {
+                "      }\n"
+            } else {
+                "      },\n"
+            });
+        }
+        json.push_str("    ]\n");
+        json.push_str("  },\n");
     }
     if let Some(run) = &overload_run {
         json.push_str("  \"overload\": {\n");

@@ -11,6 +11,11 @@
 //! addressing model `N` of the server's registry; with `--deadline-ms` it
 //! sends v3 frames carrying a per-request latency budget.
 //!
+//! `--concurrency N` opens N connections on N threads and splits `--count`
+//! across them — the smoke-test shape for the event-loop server, whose whole
+//! point is owning many concurrent sockets with one I/O thread. Counts are
+//! aggregated and the exit code is the worst any connection saw.
+//!
 //! Exit codes distinguish failure classes for scripting:
 //!
 //! | code | meaning                                                       |
@@ -37,6 +42,106 @@ const EXIT_APP_ERROR: u8 = 2;
 const EXIT_RETRIABLE: u8 = 3;
 const EXIT_DEADLINE: u8 = 4;
 
+/// Everything one connection needs to run its share of the request load.
+#[derive(Clone)]
+struct RunConfig {
+    addr: String,
+    model: Option<u16>,
+    deadline_ms: u32,
+    socket_timeout: Duration,
+    read_timeout: Duration,
+    /// Per-request result lines are printed only single-connection runs;
+    /// a 1k-connection smoke would drown in them.
+    verbose: bool,
+}
+
+/// Runs requests `ids` on one fresh connection. Returns how many answers
+/// were both `Ok` and the right digit, how many were `Ok` at all, and the
+/// worst failure class seen (0 = clean).
+fn run_connection(config: &RunConfig, ids: std::ops::Range<u64>, seed: u64) -> (usize, usize, u8) {
+    let stream = match TcpStream::connect(&config.addr) {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("connect to {} failed: {error}", config.addr);
+            return (0, 0, EXIT_TRANSPORT);
+        }
+    };
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .expect("set read timeout");
+    stream
+        .set_write_timeout(Some(config.socket_timeout))
+        .expect("set write timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0usize;
+    let mut answered = 0usize;
+    // Worst failure class seen on this connection.
+    let mut exit = 0u8;
+    for id in ids {
+        let digit = (id % 10) as usize;
+        let image = render_digit(digit, &mut rng);
+        let start = Instant::now();
+        let sent = if config.deadline_ms > 0 {
+            // v3 frame: budgeted request (model defaults to 0).
+            write_request_v3(
+                &mut writer,
+                id,
+                config.model.unwrap_or(0),
+                config.deadline_ms,
+                [1, 28, 28],
+                image.as_slice(),
+            )
+        } else {
+            match config.model {
+                // v1 frame: exercises the backwards-compatible path (model 0).
+                None => write_request(&mut writer, id, [1, 28, 28], image.as_slice()),
+                Some(model) => {
+                    write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice())
+                }
+            }
+        };
+        if let Err(error) = sent {
+            eprintln!("#{id}: send failed: {error}");
+            return (correct, answered, EXIT_TRANSPORT);
+        }
+        match read_response(&mut reader) {
+            Ok(Some(Response::Ok { argmax, logits, .. })) => {
+                answered += 1;
+                let rtt = start.elapsed();
+                let hit = usize::from(argmax) == digit;
+                correct += usize::from(hit);
+                if config.verbose {
+                    println!(
+                        "#{id}: digit {digit} -> predicted {argmax} ({}) in {:.2}ms, top logit {:.3}",
+                        if hit { "ok" } else { "miss" },
+                        rtt.as_secs_f64() * 1000.0,
+                        logits.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                    );
+                }
+            }
+            Ok(Some(Response::Err { code, message, .. })) => {
+                println!("#{id}: server error [{code}]: {message}");
+                exit = exit.max(match code {
+                    ErrorCode::DeadlineExceeded => EXIT_DEADLINE,
+                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => EXIT_RETRIABLE,
+                    ErrorCode::App => EXIT_APP_ERROR,
+                });
+            }
+            Ok(None) => {
+                println!("server closed the connection");
+                return (correct, answered, EXIT_TRANSPORT.max(exit));
+            }
+            Err(error) => {
+                eprintln!("#{id}: read failed: {error}");
+                return (correct, answered, EXIT_TRANSPORT.max(exit));
+            }
+        }
+    }
+    (correct, answered, exit)
+}
+
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut count = 10usize;
@@ -44,6 +149,7 @@ fn main() -> ExitCode {
     let mut model: Option<u16> = None;
     let mut deadline_ms = 0u32;
     let mut socket_timeout_ms = 10_000u64;
+    let mut concurrency = 1usize;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -59,9 +165,11 @@ fn main() -> ExitCode {
             "--socket-timeout-ms" => {
                 socket_timeout_ms = value("--socket-timeout-ms").parse().expect("timeout ms");
             }
+            "--concurrency" => concurrency = value("--concurrency").parse().expect("concurrency"),
             other => panic!("unknown flag {other}"),
         }
     }
+    let concurrency = concurrency.clamp(1, count.max(1));
 
     // A hung server must surface as a typed transport failure, not an
     // indefinitely blocked client: every socket op carries a timeout. The
@@ -74,85 +182,48 @@ fn main() -> ExitCode {
     } else {
         socket_timeout
     };
-    let stream = match TcpStream::connect(&addr) {
-        Ok(stream) => stream,
-        Err(error) => {
-            eprintln!("connect to {addr} failed: {error}");
-            return ExitCode::from(EXIT_TRANSPORT);
-        }
+    let config = RunConfig {
+        addr,
+        model,
+        deadline_ms,
+        socket_timeout,
+        read_timeout,
+        verbose: concurrency == 1,
     };
-    stream
-        .set_read_timeout(Some(read_timeout))
-        .expect("set read timeout");
-    stream
-        .set_write_timeout(Some(socket_timeout))
-        .expect("set write timeout");
-    let mut writer = stream.try_clone().expect("clone stream");
-    let mut reader = BufReader::new(stream);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut correct = 0usize;
-    // Worst failure class seen across the run, reported as the exit code.
-    let mut exit = 0u8;
-    for id in 0..count as u64 {
-        let digit = (id % 10) as usize;
-        let image = render_digit(digit, &mut rng);
-        let start = Instant::now();
-        let sent = if deadline_ms > 0 {
-            // v3 frame: budgeted request (model defaults to 0).
-            write_request_v3(
-                &mut writer,
-                id,
-                model.unwrap_or(0),
-                deadline_ms,
-                [1, 28, 28],
-                image.as_slice(),
-            )
-        } else {
-            match model {
-                // v1 frame: exercises the backwards-compatible path (model 0).
-                None => write_request(&mut writer, id, [1, 28, 28], image.as_slice()),
-                Some(model) => {
-                    write_request_v2(&mut writer, id, model, [1, 28, 28], image.as_slice())
-                }
-            }
-        };
-        if let Err(error) = sent {
-            eprintln!("#{id}: send failed: {error}");
-            return ExitCode::from(EXIT_TRANSPORT);
+
+    let started = Instant::now();
+    let (correct, answered, exit) = if concurrency == 1 {
+        run_connection(&config, 0..count as u64, seed)
+    } else {
+        // Contiguous id ranges per connection: ids stay globally unique (the
+        // per-request result lines stay attributable) and the split covers
+        // exactly `count` requests, remainder on the first connections.
+        let per = count / concurrency;
+        let remainder = count % concurrency;
+        let mut workers = Vec::with_capacity(concurrency);
+        let mut next_id = 0u64;
+        for worker in 0..concurrency {
+            let share = per + usize::from(worker < remainder);
+            let ids = next_id..next_id + share as u64;
+            next_id = ids.end;
+            let config = config.clone();
+            let seed = seed.wrapping_add(worker as u64);
+            workers.push(std::thread::spawn(move || {
+                run_connection(&config, ids, seed)
+            }));
         }
-        match read_response(&mut reader) {
-            Ok(Some(Response::Ok { argmax, logits, .. })) => {
-                let rtt = start.elapsed();
-                let hit = usize::from(argmax) == digit;
-                correct += usize::from(hit);
-                println!(
-                    "#{id}: digit {digit} -> predicted {argmax} ({}) in {:.2}ms, top logit {:.3}",
-                    if hit { "ok" } else { "miss" },
-                    rtt.as_secs_f64() * 1000.0,
-                    logits.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-                );
-            }
-            Ok(Some(Response::Err { code, message, .. })) => {
-                println!("#{id}: server error [{code}]: {message}");
-                exit = exit.max(match code {
-                    ErrorCode::DeadlineExceeded => EXIT_DEADLINE,
-                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => EXIT_RETRIABLE,
-                    ErrorCode::App => EXIT_APP_ERROR,
-                });
-            }
-            Ok(None) => {
-                println!("server closed the connection");
-                return ExitCode::from(EXIT_TRANSPORT);
-            }
-            Err(error) => {
-                eprintln!("#{id}: read failed: {error}");
-                return ExitCode::from(EXIT_TRANSPORT);
-            }
-        }
-    }
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("client worker panicked"))
+            .fold((0, 0, 0u8), |(c, a, e), (wc, wa, we)| {
+                (c + wc, a + wa, e.max(we))
+            })
+    };
     println!(
-        "{correct}/{count} predictions matched the rendered digit (SC accuracy depends on the \
-         configuration and training budget)"
+        "{answered}/{count} requests answered Ok across {concurrency} connection(s) in {:.2}s; \
+         {correct} predictions matched the rendered digit (SC accuracy depends on the \
+         configuration and training budget)",
+        started.elapsed().as_secs_f64()
     );
     ExitCode::from(exit)
 }

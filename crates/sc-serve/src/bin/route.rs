@@ -21,7 +21,11 @@
 //! Router statistics are printed every few seconds. `--admin-addr
 //! 127.0.0.1:9900` exposes the same live scrape endpoint the `serve` binary
 //! has (`/metrics`, `/metrics.json`) with per-backend health, breaker, and
-//! retry-budget gauges.
+//! retry-budget gauges. `--hedge` enables hedged requests: a request still
+//! unanswered after the observed p99 of winning exchanges (`--hedge-delay-ms`
+//! until enough samples exist) is also sent to a second replica and the
+//! first answer wins; hedges draw from the same `--retry-budget` as
+//! failover retries.
 
 use sc_serve::admin::spawn_admin;
 use sc_serve::router::{spawn_router, RouterOptions};
@@ -39,6 +43,8 @@ fn main() {
     let mut breaker_threshold = 3u32;
     let mut breaker_cooldown_ms = 1000u64;
     let mut retry_budget = 8u32;
+    let mut hedge = false;
+    let mut hedge_delay_ms = 20u64;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -73,6 +79,10 @@ fn main() {
                 breaker_cooldown_ms = value("--breaker-cooldown-ms").parse().expect("cooldown")
             }
             "--retry-budget" => retry_budget = value("--retry-budget").parse().expect("budget"),
+            "--hedge" => hedge = true,
+            "--hedge-delay-ms" => {
+                hedge_delay_ms = value("--hedge-delay-ms").parse().expect("delay")
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -93,6 +103,8 @@ fn main() {
             breaker_threshold,
             breaker_cooldown: Duration::from_millis(breaker_cooldown_ms),
             retry_budget,
+            hedge,
+            hedge_delay: Duration::from_millis(hedge_delay_ms),
             ..RouterOptions::default()
         },
     )

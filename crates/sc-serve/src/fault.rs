@@ -13,15 +13,17 @@
 //!   arrive intact and every observed failure is attributable to the
 //!   injected response fault.
 //!
-//! The corruption fault is frame-aware: it flips the top bit of the first
-//! payload byte (the tag/status byte) of every Nth length-prefixed frame.
-//! The wire protocol carries no checksum, so corrupting an arbitrary
-//! payload byte could silently alter logits — flipping the tag instead
-//! guarantees the receiver *detects* the corruption (`InvalidData`) and the
-//! router fails over, which is the contract the chaos tests assert.
-//! Arbitrary-position corruption safety (no panic, no hang, no wild
-//! allocation) is covered by the fuzz-style tests in [`crate::proto`];
-//! checksummed frames are a ROADMAP follow-up.
+//! The corruption faults are frame-aware. [`FaultKind::Corrupt`] flips the
+//! top bit of the first payload byte (the tag/status byte) of every Nth
+//! length-prefixed frame — detectable by any receiver, checksummed or not.
+//! [`FaultKind::CorruptPayload`] flips a seeded-random bit of a
+//! seeded-random payload byte (the CRC32 trailer included), which only a
+//! checksummed protocol can detect: since every frame carries a CRC32
+//! trailer, the receiver reports `InvalidData` and the router fails over
+//! instead of silently serving altered logits — the contract the chaos
+//! tests assert for both fault kinds. Arbitrary-position corruption safety
+//! (no panic, no hang, no wild allocation) is covered by the fuzz-style
+//! tests in [`crate::proto`].
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -92,39 +94,78 @@ pub enum FaultKind {
         /// Corruption period in frames (floored at one).
         every_frames: u32,
     },
+    /// Flip one seeded-random bit of one seeded-random payload byte (the
+    /// CRC32 trailer included) of every `every_frames`-th frame — the
+    /// bit-rot class only a checksummed protocol can detect.
+    CorruptPayload {
+        /// Corruption period in frames (floored at one).
+        every_frames: u32,
+    },
+}
+
+/// Which payload byte of a selected frame gets flipped.
+#[derive(Debug, Clone, Copy)]
+enum CorruptMode {
+    /// The first payload byte (the tag/status byte): invalid to any
+    /// receiver, checksummed or not.
+    Tag,
+    /// A seeded-random byte anywhere in the payload, CRC trailer included:
+    /// detected only because frames carry a CRC32 trailer.
+    AnyByte,
 }
 
 /// Tracks length-prefixed frame boundaries in a byte stream so corruption
-/// can target the first payload byte (tag/status) of chosen frames.
+/// can target a chosen payload byte of chosen frames.
 #[derive(Debug, Default)]
 struct FrameTracker {
     header: [u8; 4],
     header_filled: usize,
+    payload_len: usize,
     payload_remaining: usize,
-    at_first_payload_byte: bool,
     frames_seen: u64,
+    /// `(payload offset, xor mask)` of the flip in the current frame, if
+    /// this frame was selected.
+    flip: Option<(usize, u8)>,
 }
 
 impl FrameTracker {
-    /// Advances over `chunk`, flipping the tag byte of every
-    /// `every_frames`-th frame in place.
-    fn corrupt(&mut self, chunk: &mut [u8], every_frames: u64) {
+    /// Advances over `chunk`, flipping one byte of every `every_frames`-th
+    /// frame in place. The flip target is chosen at header completion —
+    /// once per frame regardless of how the stream is chunked — so the
+    /// mutation is deterministic under any read fragmentation.
+    fn corrupt(
+        &mut self,
+        chunk: &mut [u8],
+        every_frames: u64,
+        mode: CorruptMode,
+        rng: &mut DeterministicRng,
+    ) {
         for byte in chunk.iter_mut() {
-            if self.payload_remaining == 0 && !self.at_first_payload_byte {
+            if self.payload_remaining == 0 {
                 self.header[self.header_filled] = *byte;
                 self.header_filled += 1;
                 if self.header_filled == 4 {
                     self.header_filled = 0;
-                    self.payload_remaining = u32::from_le_bytes(self.header) as usize;
-                    self.at_first_payload_byte = self.payload_remaining > 0;
+                    self.payload_len = u32::from_le_bytes(self.header) as usize;
+                    self.payload_remaining = self.payload_len;
+                    self.frames_seen += 1;
+                    self.flip = (self.payload_len > 0
+                        && self.frames_seen.is_multiple_of(every_frames))
+                    .then(|| match mode {
+                        CorruptMode::Tag => (0, 0x80),
+                        CorruptMode::AnyByte => {
+                            let offset = (rng.next_u64() % self.payload_len as u64) as usize;
+                            let mask = 1u8 << (rng.next_u64() % 8);
+                            (offset, mask)
+                        }
+                    });
                 }
             } else {
-                if self.at_first_payload_byte {
-                    self.frames_seen += 1;
-                    if self.frames_seen.is_multiple_of(every_frames) {
-                        *byte ^= 0x80;
+                let offset = self.payload_len - self.payload_remaining;
+                if let Some((target, mask)) = self.flip {
+                    if offset == target {
+                        *byte ^= mask;
                     }
-                    self.at_first_payload_byte = false;
                 }
                 self.payload_remaining -= 1;
             }
@@ -219,7 +260,21 @@ impl<S> FaultyStream<S> {
                 Verdict::CutAfter(after.saturating_sub(self.relayed))
             }
             FaultKind::Corrupt { every_frames } => {
-                self.tracker.corrupt(chunk, u64::from(every_frames.max(1)));
+                self.tracker.corrupt(
+                    chunk,
+                    u64::from(every_frames.max(1)),
+                    CorruptMode::Tag,
+                    &mut self.rng,
+                );
+                Verdict::Forward
+            }
+            FaultKind::CorruptPayload { every_frames } => {
+                self.tracker.corrupt(
+                    chunk,
+                    u64::from(every_frames.max(1)),
+                    CorruptMode::AnyByte,
+                    &mut self.rng,
+                );
                 Verdict::Forward
             }
         }
@@ -499,6 +554,54 @@ mod tests {
         let mut reader = &received[..];
         assert!(read_response(&mut reader).unwrap().is_some(), "frame 1 ok");
         assert!(read_response(&mut reader).is_err(), "frame 2 detected");
+    }
+
+    #[test]
+    fn corrupt_payload_flips_one_seeded_bit_and_the_crc_catches_it() {
+        let mut wire = frame_bytes();
+        wire.extend_from_slice(&frame_bytes());
+        let frame_len = wire.len() / 2;
+        let (enabled, stop) = flags();
+        let mut faulty = FaultyStream::new(
+            &wire[..],
+            FaultKind::CorruptPayload { every_frames: 2 },
+            1,
+            enabled,
+            stop,
+        );
+        let mut received = Vec::new();
+        faulty.read_to_end(&mut received).unwrap();
+        assert_eq!(received.len(), wire.len());
+        // Frame 1 intact; frame 2 differs in exactly one bit of one
+        // payload byte (never the length header).
+        assert_eq!(received[..frame_len], wire[..frame_len]);
+        assert_eq!(
+            received[frame_len..frame_len + 4],
+            wire[frame_len..frame_len + 4]
+        );
+        let flipped: Vec<usize> = (frame_len..wire.len())
+            .filter(|&i| received[i] != wire[i])
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte must differ");
+        let i = flipped[0];
+        assert_eq!((received[i] ^ wire[i]).count_ones(), 1, "exactly one bit");
+        // The CRC trailer makes the corruption a typed detection, wherever
+        // the bit landed (payload or the trailer itself).
+        let mut reader = &received[..];
+        assert!(read_response(&mut reader).unwrap().is_some(), "frame 1 ok");
+        assert!(read_response(&mut reader).is_err(), "frame 2 detected");
+        // Same seed, same stream → same flip: the fault is replayable.
+        let (enabled, stop) = flags();
+        let mut replay = FaultyStream::new(
+            &wire[..],
+            FaultKind::CorruptPayload { every_frames: 2 },
+            1,
+            enabled,
+            stop,
+        );
+        let mut again = Vec::new();
+        replay.read_to_end(&mut again).unwrap();
+        assert_eq!(again, received);
     }
 
     #[test]

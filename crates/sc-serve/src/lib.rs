@@ -73,6 +73,7 @@
 
 pub mod admin;
 pub mod batch;
+pub mod crc32;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -81,6 +82,7 @@ pub mod metrics;
 pub mod obs;
 pub mod plan;
 pub mod proto;
+pub mod reactor;
 pub mod router;
 pub mod server;
 

@@ -1,17 +1,25 @@
-//! Replica router: a load-balancing TCP front over several `serve` backends.
+//! Replica router: an event-loop TCP front over several `serve` backends.
 //!
 //! SC-DCNN's scalability story is many network configurations sharing one
 //! substrate; operationally that means several `serve` replicas (each
 //! hosting the same engine registry) behind one address. This module is the
 //! std-only front that makes a replica set look like a single server:
 //!
+//! * **Event-loop I/O** — one nonblocking I/O thread owns the listener,
+//!   every client socket, and one **multiplexed channel per replica**
+//!   through a [`crate::reactor::Poller`]. Requests from any number of
+//!   clients interleave on a replica's single channel; the router rewrites
+//!   request ids to channel-unique internal ids on the way out and
+//!   correlates responses back by id, so a slow exchange never
+//!   head-of-line-blocks the channel the way per-client pooled connections
+//!   serialized their owner's requests.
 //! * **Least-loaded routing** — every request is dispatched to the healthy
 //!   backend with the fewest in-flight requests (per-backend in-flight
-//!   accounting, maintained by the forwarding path itself).
+//!   accounting, maintained by the dispatch path itself).
 //! * **Health checks** — a background thread probes each backend every
 //!   [`RouterOptions::health_interval`] with a tiny ping/pong exchange (not
 //!   a bare TCP connect: a hung replica whose accept queue still accepts
-//!   would pass a connect probe while serving nothing); the forwarding path
+//!   would pass a connect probe while serving nothing); the dispatch path
 //!   additionally marks a backend down the moment an exchange fails.
 //! * **Circuit breakers** — each backend carries a breaker that trips after
 //!   [`RouterOptions::breaker_threshold`] consecutive exchange failures,
@@ -30,27 +38,55 @@
 //!   hang. This is only correct because the serving runtime's graceful
 //!   shutdown answers or refuses every accepted request — a backend that
 //!   silently dropped requests would make the router double-serve or hang.
+//! * **Hedged requests** — with [`RouterOptions::hedge`] enabled, a request
+//!   still unanswered after the hedge delay (the observed p99 of winning
+//!   exchanges, [`RouterOptions::hedge_delay`] until enough samples exist)
+//!   is *also* sent to a second replica; the first answer wins and the
+//!   loser is cancelled by ignoring its late response. Hedges draw from the
+//!   same retry budget as failover, so a sitewide slowdown cannot double
+//!   the offered load. Multiplexed channels are what make this affordable:
+//!   a hedge is one extra frame on an existing channel, not a new
+//!   connection.
 //!
 //! The router is protocol-transparent: it parses requests (v1/v2/v3) only
 //! to learn frame boundaries, ids, model ids, and deadlines, and forwards
 //! them with [`crate::proto::forward_request`], which preserves the wire
-//! version. Responses are relayed verbatim, so a routed inference is
-//! bit-exact with a direct engine call.
+//! version. Response payloads are relayed with only the id rewritten back,
+//! so a routed inference is bit-exact with a direct engine call.
 //!
 //! [`SHUTTING_DOWN_MESSAGE`]: crate::server::SHUTTING_DOWN_MESSAGE
 
 use crate::obs::{MetricsRegistry, Sample, SampleKind, TraceEvent, TraceLog};
 use crate::proto::{
-    forward_request, read_message, read_pong, read_response, write_ping, write_pong,
-    write_response, ErrorCode, Message, Request, Response,
+    decode_message, decode_response, forward_request, read_pong, write_ping, write_pong,
+    write_response, ErrorCode, FrameDecoder, Message, Request, Response,
 };
-use crate::server::{ConnectionRegistry, SHUTTING_DOWN_MESSAGE};
-use std::io::{self, BufReader};
+use crate::server::{is_would_block, SHUTTING_DOWN_MESSAGE};
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Event-loop tick: the granularity of retry, hedge, and exchange-timeout
+/// timers when no socket activity wakes the loop earlier. Finer than the
+/// serving plane's tick because hedge delays are tens of milliseconds.
+const TICK: Duration = Duration::from_millis(5);
+
+/// Reserved poller token for the listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Reserved poller token for the shutdown waker.
+const TOKEN_WAKE: u64 = 1;
+/// Backend channel `i` lives at token `TOKEN_FIRST_CHANNEL + i`; client
+/// tokens start right after the channel range.
+const TOKEN_FIRST_CHANNEL: u64 = 2;
+
+/// Winning-exchange latencies kept for the p99 hedge-delay estimate.
+const LATENCY_WINDOW: usize = 256;
+/// How many new samples between p99 recomputations (a sort of the window).
+const LATENCY_RECOMPUTE: u64 = 16;
 
 /// Router configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,11 +95,13 @@ pub struct RouterOptions {
     pub health_interval: Duration,
     /// Connect timeout for health probes and backend dials.
     pub connect_timeout: Duration,
-    /// Read timeout for one backend request/response exchange. A replica
-    /// that accepts a request and then goes silent (process stopped,
-    /// packets blackholed) would otherwise block the exchange forever —
-    /// failover only helps if a hung backend eventually *errors*. Must
-    /// comfortably exceed worst-case inference latency under load.
+    /// Budget for one backend request/response exchange. A replica that
+    /// accepts a request and then goes silent (process stopped, packets
+    /// blackholed) would otherwise hold the exchange forever — failover
+    /// only helps if a hung backend eventually *fails*. An exchange that
+    /// overruns this kills the whole channel (a silent replica cannot be
+    /// trusted with the other requests multiplexed on it). Must comfortably
+    /// exceed worst-case inference latency under load.
     pub exchange_timeout: Duration,
     /// Read/write timeout for one health ping/pong exchange. Much shorter
     /// than `exchange_timeout`: a probe carries no compute.
@@ -74,7 +112,8 @@ pub struct RouterOptions {
     /// How long a tripped breaker rejects traffic before half-opening.
     pub breaker_cooldown: Duration,
     /// Capacity of the shared retry token bucket; every retry (second and
-    /// later attempt of any request) takes one token. Zero disables retries.
+    /// later attempt of any request) and every hedge takes one token. Zero
+    /// disables both.
     pub retry_budget: u32,
     /// Time to refill one retry token.
     pub retry_refill: Duration,
@@ -82,8 +121,16 @@ pub struct RouterOptions {
     /// attempt, plus deterministic per-request jitter).
     pub retry_backoff: Duration,
     /// Maximum exchange attempts per request, first try included (floored
-    /// at one).
+    /// at one). A hedge counts as an attempt.
     pub max_attempts: u32,
+    /// Send a hedge to a second replica when a request is still unanswered
+    /// after the hedge delay. Off by default: hedging trades extra load for
+    /// tail latency, which is a deployment decision.
+    pub hedge: bool,
+    /// Cold-start hedge delay, used until the router has observed enough
+    /// winning exchanges to estimate their p99 (which then becomes the
+    /// delay, clamped to `[1ms, exchange_timeout]`).
+    pub hedge_delay: Duration,
 }
 
 impl Default for RouterOptions {
@@ -99,6 +146,8 @@ impl Default for RouterOptions {
             retry_refill: Duration::from_millis(250),
             retry_backoff: Duration::from_millis(25),
             max_attempts: 2,
+            hedge: false,
+            hedge_delay: Duration::from_millis(20),
         }
     }
 }
@@ -195,10 +244,10 @@ impl CircuitBreaker {
     }
 }
 
-/// Shared token bucket bounding the router's total retry rate.
+/// Shared token bucket bounding the router's total retry (and hedge) rate.
 ///
-/// Each retry (not first attempts) takes one token; tokens refill at one
-/// per `refill`. Under a correlated backend failure this caps retry
+/// Each retry and each hedge takes one token; tokens refill at one per
+/// `refill`. Under a correlated backend failure this caps retry
 /// amplification: once the bucket is dry, requests fail fast with a typed
 /// `OVERLOADED` instead of doubling the load on whatever still stands.
 #[derive(Debug)]
@@ -259,7 +308,7 @@ impl RetryBudget {
 struct Backend {
     addr: SocketAddr,
     /// Last known health: updated by the probe thread and cleared by the
-    /// forwarding path on any failed exchange.
+    /// dispatch path on any failed exchange.
     healthy: AtomicBool,
     /// Requests currently awaiting a response from this backend (the
     /// least-loaded routing key).
@@ -319,14 +368,18 @@ pub struct RouterStats {
     /// Requests whose deadline expired at the router (answered
     /// `DEADLINE_EXCEEDED`).
     pub expired: u64,
+    /// Hedge sends performed (a second replica raced for a slow request).
+    pub hedges: u64,
+    /// Hedged requests whose hedge arm answered first.
+    pub hedge_wins: u64,
 }
 
 impl std::fmt::Display for RouterStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests, {} failovers, {} failed, {} expired —",
-            self.requests, self.failovers, self.failed, self.expired
+            "{} requests, {} failovers, {} failed, {} expired, {} hedges ({} won) —",
+            self.requests, self.failovers, self.failed, self.expired, self.hedges, self.hedge_wins
         )?;
         for backend in &self.backends {
             write!(
@@ -350,18 +403,19 @@ impl std::fmt::Display for RouterStats {
     }
 }
 
-/// State shared by the accept loop, connection threads, and probe thread.
+/// State shared by the I/O thread, probe thread, and the handle.
 #[derive(Debug)]
 struct RouterShared {
     backends: Vec<Backend>,
     options: RouterOptions,
-    registry: ConnectionRegistry,
     retry_budget: RetryBudget,
     stop: AtomicBool,
     requests: AtomicU64,
     failovers: AtomicU64,
     failed: AtomicU64,
     expired: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
     /// Monotone nonce source for health-probe pings.
     probe_nonce: AtomicU64,
     /// Optional sampled request-trace sink (one `route` event per sampled
@@ -391,6 +445,8 @@ fn stats_of(shared: &RouterShared) -> RouterStats {
         failovers: shared.failovers.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
         expired: shared.expired.load(Ordering::Relaxed),
+        hedges: shared.hedges.load(Ordering::Relaxed),
+        hedge_wins: shared.hedge_wins.load(Ordering::Relaxed),
     }
 }
 
@@ -399,7 +455,8 @@ pub struct RouterHandle {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
     metrics_registry: Arc<MetricsRegistry>,
-    accept_thread: Option<JoinHandle<()>>,
+    waker: crate::reactor::Waker,
+    io_thread: Option<JoinHandle<()>>,
     health_thread: Option<JoinHandle<()>>,
 }
 
@@ -416,26 +473,25 @@ impl RouterHandle {
 
     /// The router's metric registry: request outcomes under the same
     /// `sc_requests_total` family the server emits, plus router-only
-    /// failover/retry-budget metrics and per-backend state. Hand this to
-    /// [`crate::admin::spawn_admin`] to expose a live scrape endpoint.
+    /// failover/hedge/retry-budget metrics and per-backend state. Hand this
+    /// to [`crate::admin::spawn_admin`] to expose a live scrape endpoint.
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.metrics_registry)
     }
 
-    /// Stops accepting, closes live client connections (their in-progress
-    /// request exchanges finish first — the registry only shuts the read
-    /// side), and joins all router threads.
+    /// Stops accepting, stops reading from live client connections, lets
+    /// their in-progress exchanges resolve (bounded by the exchange timeout
+    /// and the attempt cap), flushes the final replies, and joins the
+    /// router threads.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throw-away connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
+        self.waker.wake();
+        if let Some(handle) = self.io_thread.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.health_thread.take() {
             let _ = handle.join();
         }
-        self.shared.registry.close_and_join();
     }
 }
 
@@ -443,8 +499,8 @@ impl RouterHandle {
 ///
 /// # Errors
 ///
-/// Returns `InvalidInput` for an empty backend list, and propagates an I/O
-/// error if the listener's local address cannot be read.
+/// Returns `InvalidInput` for an empty backend list, and propagates I/O
+/// errors from reactor setup (nonblocking mode, poller registration).
 pub fn spawn_router(
     listener: TcpListener,
     backends: Vec<SocketAddr>,
@@ -459,8 +515,8 @@ pub fn spawn_router(
 ///
 /// # Errors
 ///
-/// Returns `InvalidInput` for an empty backend list, and propagates an I/O
-/// error if the listener's local address cannot be read.
+/// Returns `InvalidInput` for an empty backend list, and propagates I/O
+/// errors from reactor setup (nonblocking mode, poller registration).
 pub fn spawn_router_observed(
     listener: TcpListener,
     backends: Vec<SocketAddr>,
@@ -481,12 +537,13 @@ pub fn spawn_router_observed(
             .collect(),
         retry_budget: RetryBudget::new(options.retry_budget, options.retry_refill),
         options,
-        registry: ConnectionRegistry::default(),
         stop: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         failovers: AtomicU64::new(0),
         failed: AtomicU64::new(0),
         expired: AtomicU64::new(0),
+        hedges: AtomicU64::new(0),
+        hedge_wins: AtomicU64::new(0),
         probe_nonce: AtomicU64::new(1),
         trace,
     });
@@ -522,6 +579,16 @@ pub fn spawn_router_observed(
                 "sc_router_failovers_total",
                 vec![],
                 stats.failovers as f64,
+            ));
+            out.push(Sample::counter(
+                "sc_router_hedges_total",
+                vec![],
+                stats.hedges as f64,
+            ));
+            out.push(Sample::counter(
+                "sc_router_hedge_wins_total",
+                vec![],
+                stats.hedge_wins as f64,
             ));
             out.push(Sample::gauge(
                 "sc_retry_budget_level",
@@ -570,37 +637,15 @@ pub fn spawn_router_observed(
         std::thread::spawn(move || health_loop(&shared))
     };
 
-    let accept_thread = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        let Ok(registered) = stream.try_clone() else {
-                            continue;
-                        };
-                        let id = shared.registry.register(registered);
-                        let shared_for_thread = Arc::clone(&shared);
-                        let thread = std::thread::spawn(move || {
-                            client_connection_loop(stream, &shared_for_thread);
-                            shared_for_thread.registry.deregister(id);
-                        });
-                        shared.registry.attach_thread(id, thread);
-                    }
-                    Err(_) => continue,
-                }
-            }
-        })
-    };
+    let (io, waker) = RouterIo::build(listener, Arc::clone(&shared))?;
+    let io_thread = std::thread::spawn(move || io.run());
 
     Ok(RouterHandle {
         addr,
         shared,
         metrics_registry,
-        accept_thread: Some(accept_thread),
+        waker,
+        io_thread: Some(io_thread),
         health_thread: Some(health_thread),
     })
 }
@@ -608,10 +653,12 @@ pub fn spawn_router_observed(
 /// One health probe: connect, ping, expect the matching pong within
 /// `probe_timeout`.
 ///
-/// The ping travels the backend's real serving path (accept loop → reader
-/// thread → writer thread), so a replica that is hung-but-accepting — its
-/// listen queue still completes TCP handshakes while no thread reads — now
-/// fails the probe instead of passing a bare connect check.
+/// The ping travels the backend's real serving path (accept → event loop →
+/// write path), so a replica that is hung-but-accepting — its listen queue
+/// still completes TCP handshakes while nothing reads — fails the probe
+/// instead of passing a bare connect check. Probes stay on their own
+/// short-lived blocking connections, off the request channels: a probe must
+/// measure the replica even (especially) when the channel to it is wedged.
 fn probe_backend(addr: SocketAddr, options: &RouterOptions, nonce: u64) -> bool {
     let Ok(stream) = TcpStream::connect_timeout(&addr, options.connect_timeout) else {
         return false;
@@ -654,91 +701,6 @@ fn health_loop(shared: &RouterShared) {
     }
 }
 
-/// A pooled connection to one backend, reused across a client connection's
-/// sequential requests.
-struct BackendConn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl BackendConn {
-    fn connect(addr: SocketAddr, options: &RouterOptions) -> io::Result<Self> {
-        let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
-        // A backend that accepts the request and then goes silent must turn
-        // into a timed-out read (→ failover), not a forever-blocked client
-        // thread that would also wedge `RouterHandle::shutdown`'s join.
-        stream.set_read_timeout(Some(options.exchange_timeout))?;
-        stream.set_write_timeout(Some(options.exchange_timeout))?;
-        let writer = stream.try_clone()?;
-        Ok(Self {
-            writer,
-            reader: BufReader::new(stream),
-        })
-    }
-}
-
-/// Per-client loop: read a request, forward it (with failover), relay the
-/// response; pings are answered on the spot. Requests on one connection are
-/// handled sequentially, so each pooled backend connection carries at most
-/// one outstanding exchange.
-fn client_connection_loop(stream: TcpStream, shared: &RouterShared) {
-    // A client that stops draining its socket must not block this thread in
-    // `write_response` forever (it would also wedge shutdown's join); after
-    // the timeout the write errors and the connection closes.
-    if stream
-        .set_write_timeout(Some(shared.options.exchange_timeout))
-        .is_err()
-    {
-        return;
-    }
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut conns: Vec<Option<BackendConn>> = (0..shared.backends.len()).map(|_| None).collect();
-    while let Ok(Some(message)) = read_message(&mut reader) {
-        match message {
-            Message::Request(request) => {
-                let arrival = Instant::now();
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                let response = forward_with_failover(shared, &mut conns, &request, arrival);
-                if let Some(trace) = &shared.trace {
-                    // The router sees no engine stages — its trace records
-                    // outcome and the time a request spent in the routing
-                    // plane (including failover backoffs).
-                    let outcome = match &response {
-                        Response::Ok { .. } => "ok",
-                        Response::Err { code, .. } => match code {
-                            ErrorCode::DeadlineExceeded => "expired",
-                            ErrorCode::Overloaded | ErrorCode::ShuttingDown => "refused",
-                            ErrorCode::App => "failed",
-                        },
-                    };
-                    trace.emit(&TraceEvent {
-                        kind: "route",
-                        id: request.id,
-                        model: request.model,
-                        outcome,
-                        queue_us: 0,
-                        linger_us: 0,
-                        cache_fill_us: 0,
-                        compute_us: 0,
-                        total_us: crate::metrics::as_micros(arrival.elapsed()),
-                    });
-                }
-                if write_response(&mut writer, &response).is_err() {
-                    break;
-                }
-            }
-            Message::Ping { nonce } => {
-                if write_pong(&mut writer, nonce).is_err() {
-                    break;
-                }
-            }
-        }
-    }
-}
-
 /// Classifies a backend response: `Some(code)` for refusals the router may
 /// act on (retriable elsewhere, or deadline-expired), `None` for answers to
 /// relay as-is (`Ok`, and application errors — a bad shape is bad on every
@@ -759,18 +721,18 @@ fn refusal_code(response: &Response) -> Option<ErrorCode> {
 }
 
 /// Picks the healthy backend (breaker permitting) with the fewest in-flight
-/// requests, skipping `excluded`. When no backend looks healthy (probe
-/// results can be stale — e.g. a replica restarted a millisecond ago), the
-/// least-loaded breaker-permitted unhealthy one is tried anyway rather than
-/// failing the request outright.
-fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize> {
+/// requests, skipping `excluded` (the backends this request already tried).
+/// When no backend looks healthy (probe results can be stale — e.g. a
+/// replica restarted a millisecond ago), the least-loaded breaker-permitted
+/// unhealthy one is tried anyway rather than failing the request outright.
+fn pick_backend(shared: &RouterShared, excluded: &[usize]) -> Option<usize> {
     let candidates = |healthy: bool| {
         shared
             .backends
             .iter()
             .enumerate()
             .filter(|(index, backend)| {
-                Some(*index) != excluded
+                !excluded.contains(index)
                     && backend.healthy.load(Ordering::Relaxed) == healthy
                     && backend.breaker.allow()
             })
@@ -778,63 +740,6 @@ fn pick_backend(shared: &RouterShared, excluded: Option<usize>) -> Option<usize>
             .map(|(index, _)| index)
     };
     candidates(true).or_else(|| candidates(false))
-}
-
-/// One request/response exchange against backend `index`, with in-flight
-/// accounting. Any failure poisons the pooled connection (a half-completed
-/// exchange would desynchronize every later request on it).
-///
-/// With a deadline, the per-read socket timeout is tightened to the
-/// remaining budget (plus slack for the reply to cross the wire) so a slow
-/// backend cannot hold the exchange past the point where the answer stopped
-/// mattering.
-fn forward_once(
-    shared: &RouterShared,
-    conns: &mut [Option<BackendConn>],
-    index: usize,
-    request: &Request,
-    deadline: Option<Instant>,
-) -> io::Result<Response> {
-    let backend = &shared.backends[index];
-    backend.in_flight.fetch_add(1, Ordering::Relaxed);
-    let result = (|| {
-        if conns[index].is_none() {
-            conns[index] = Some(BackendConn::connect(backend.addr, &shared.options)?);
-        }
-        let conn = conns[index].as_mut().expect("connection just ensured");
-        // Pooled connections persist across requests with different
-        // deadlines, so the exchange timeout is re-derived per request.
-        let timeout = match deadline {
-            Some(deadline) => deadline
-                .saturating_duration_since(Instant::now())
-                .saturating_add(Duration::from_millis(50))
-                .min(shared.options.exchange_timeout),
-            None => shared.options.exchange_timeout,
-        };
-        conn.writer
-            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
-        forward_request(&mut conn.writer, request)?;
-        match read_response(&mut conn.reader)? {
-            Some(response) if response.id() == request.id => Ok(response),
-            Some(response) => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "backend answered id {} for request {}",
-                    response.id(),
-                    request.id
-                ),
-            )),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "backend closed mid-exchange",
-            )),
-        }
-    })();
-    backend.in_flight.fetch_sub(1, Ordering::Relaxed);
-    if result.is_err() {
-        conns[index] = None;
-    }
-    result
 }
 
 /// Deterministic per-request jitter in `[0, cap)`, keyed on the request id
@@ -845,131 +750,1111 @@ fn retry_jitter(id: u64, attempt: u32, cap: Duration) -> Duration {
     cap.mul_f64((bits >> 11) as f64 / (1u64 << 53) as f64)
 }
 
-/// Forwards `request` with deadline-aware, budget-governed failover.
-///
-/// Failed or refused exchanges are retried on a different replica up to
-/// `max_attempts`, where each retry must take a token from the shared
-/// [`RetryBudget`] and waits out an exponential backoff (with deterministic
-/// jitter) first. A request carrying a deadline is never retried past it:
-/// the remaining budget is re-derived before every attempt, forwarded to
-/// the backend in the hop's `deadline_ms`, and bounds the backoff sleep.
-/// Every outcome is an answer — relay, typed `DEADLINE_EXCEEDED`, or typed
-/// retriable `OVERLOADED` on give-up; the client never hangs.
-fn forward_with_failover(
-    shared: &RouterShared,
-    conns: &mut [Option<BackendConn>],
-    request: &Request,
-    arrival: Instant,
-) -> Response {
-    let deadline = (request.deadline_ms > 0)
-        .then(|| arrival + Duration::from_millis(u64::from(request.deadline_ms)));
-    let mut excluded = None;
-    let mut last_failure = String::from("no backend available");
-    for attempt in 0..shared.options.max_attempts.max(1) {
-        let remaining = deadline.map(|deadline| deadline.saturating_duration_since(Instant::now()));
-        if remaining.is_some_and(|remaining| remaining.is_zero()) {
-            shared.expired.fetch_add(1, Ordering::Relaxed);
-            return Response::Err {
-                id: request.id,
-                code: ErrorCode::DeadlineExceeded,
-                message: format!(
-                    "deadline of {} ms exhausted at the router (last failure: {last_failure})",
-                    request.deadline_ms
-                ),
-            };
+/// Overwrites a response's id — the inverse of the internal-id rewrite a
+/// request got on its way to a backend channel.
+fn set_response_id(response: &mut Response, id: u64) {
+    match response {
+        Response::Ok { id: slot, .. } | Response::Err { id: slot, .. } => *slot = id,
+    }
+}
+
+/// Ring of winning-exchange latencies feeding the adaptive hedge delay.
+/// Plain state on the I/O thread — no locking, because only that thread
+/// records and reads it.
+#[derive(Debug)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    cursor: usize,
+    recorded: u64,
+    p99_us: Option<u64>,
+}
+
+impl LatencyWindow {
+    fn new() -> Self {
+        Self {
+            samples: Vec::with_capacity(LATENCY_WINDOW),
+            cursor: 0,
+            recorded: 0,
+            p99_us: None,
         }
-        if attempt > 0 {
-            if !shared.retry_budget.try_take() {
-                shared.failed.fetch_add(1, Ordering::Relaxed);
-                return Response::Err {
-                    id: request.id,
+    }
+
+    fn record(&mut self, latency: Duration) {
+        let micros = crate::metrics::as_micros(latency);
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.cursor] = micros;
+            self.cursor = (self.cursor + 1) % LATENCY_WINDOW;
+        }
+        self.recorded += 1;
+        // Recompute on a cadence instead of per sample: the sort is O(n log
+        // n) over a small window, but the hedge delay doesn't need to move
+        // sample-by-sample.
+        if self.recorded.is_multiple_of(LATENCY_RECOMPUTE) {
+            let mut sorted = self.samples.clone();
+            sorted.sort_unstable();
+            let index = (sorted.len() * 99 / 100).min(sorted.len() - 1);
+            self.p99_us = Some(sorted[index]);
+        }
+    }
+}
+
+/// One client connection: resumable frame decoding in, a partially-flushed
+/// output buffer out, and a count of answers still owed.
+struct ClientConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    out_offset: usize,
+    /// Last moment a write made progress while output was pending.
+    last_write_progress: Instant,
+    /// The read side is done (client EOF, protocol error, or router drain);
+    /// the connection lives on only to flush owed replies.
+    read_open: bool,
+    /// Admitted requests whose answers have not been written back yet.
+    owed: usize,
+    /// Interest currently registered with the poller.
+    interest: crate::reactor::Interest,
+}
+
+impl ClientConn {
+    fn pending_output(&self) -> bool {
+        self.out_offset < self.outbuf.len()
+    }
+
+    fn desired_interest(&self) -> crate::reactor::Interest {
+        use crate::reactor::Interest;
+        match (self.read_open, self.pending_output()) {
+            (true, true) => Interest::ReadWrite,
+            (true, false) => Interest::Read,
+            (false, _) => Interest::Write,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        !self.read_open && self.owed == 0 && !self.pending_output()
+    }
+}
+
+/// One multiplexed channel to a backend: every client's requests to that
+/// replica travel here, correlated by internal wire ids.
+struct Channel {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbuf: Vec<u8>,
+    out_offset: usize,
+    last_write_progress: Instant,
+    interest: crate::reactor::Interest,
+}
+
+impl Channel {
+    fn pending_output(&self) -> bool {
+        self.out_offset < self.outbuf.len()
+    }
+
+    fn desired_interest(&self) -> crate::reactor::Interest {
+        use crate::reactor::Interest;
+        if self.pending_output() {
+            Interest::ReadWrite
+        } else {
+            Interest::Read
+        }
+    }
+}
+
+/// One outstanding exchange of a request on one backend.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    backend: usize,
+    sent_at: Instant,
+    /// When this exchange is declared failed if still unanswered.
+    timeout_at: Instant,
+    /// The timeout was capped by the request's deadline rather than the
+    /// full exchange budget: on expiry only this arm fails (the backend is
+    /// slow for *this* deadline, not necessarily hung), where a full
+    /// exchange-timeout overrun kills the whole channel.
+    deadline_capped: bool,
+    /// This arm is a hedge (second concurrent send), not the primary.
+    hedge: bool,
+}
+
+/// A client request the router has admitted but not yet answered.
+struct PendingRequest {
+    /// Token of the owning client connection.
+    client: u64,
+    /// The request with its original client-assigned id and deadline (the
+    /// wire id is rewritten per arm at dispatch and restored).
+    request: Request,
+    arrival: Instant,
+    deadline: Option<Instant>,
+    /// Exchange attempts made (connect failures included, hedges included).
+    attempts: u32,
+    /// Backends this request already tried — never re-picked.
+    tried: Vec<usize>,
+    /// Outstanding exchanges, keyed by internal wire id.
+    arms: Vec<(u64, Arm)>,
+    /// A failover retry is scheduled for this moment.
+    retry_at: Option<Instant>,
+    /// A hedge fires at this moment if the request is still unanswered.
+    hedge_at: Option<Instant>,
+    /// `shared.failovers` counts once per request that needed any re-send.
+    failover_counted: bool,
+    last_failure: String,
+}
+
+/// The router's event loop: listener, clients, and backend channels on one
+/// poller; retry/hedge/timeout timers checked every tick.
+struct RouterIo {
+    poller: crate::reactor::Poller,
+    listener: Option<TcpListener>,
+    wake_rx: crate::reactor::WakeReceiver,
+    shared: Arc<RouterShared>,
+    clients: HashMap<u64, ClientConn>,
+    channels: Vec<Option<Channel>>,
+    requests: HashMap<u64, PendingRequest>,
+    /// internal wire id → pending-request key, for response correlation.
+    arm_index: HashMap<u64, u64>,
+    next_client_token: u64,
+    next_request_key: u64,
+    /// Channel-unique wire ids; starts at 1 so a zeroed frame never matches.
+    next_internal_id: u64,
+    latency: LatencyWindow,
+    /// Read scratch shared across sockets.
+    scratch: Vec<u8>,
+}
+
+impl RouterIo {
+    fn build(
+        listener: TcpListener,
+        shared: Arc<RouterShared>,
+    ) -> io::Result<(Self, crate::reactor::Waker)> {
+        use crate::reactor::{Interest, Poller, Waker};
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        let (waker, wake_rx) = Waker::pair()?;
+        poller.register(&listener, TOKEN_LISTENER, Interest::Read)?;
+        poller.register(wake_rx.socket(), TOKEN_WAKE, Interest::Read)?;
+        let backends = shared.backends.len();
+        Ok((
+            Self {
+                poller,
+                listener: Some(listener),
+                wake_rx,
+                shared,
+                clients: HashMap::new(),
+                channels: (0..backends).map(|_| None).collect(),
+                requests: HashMap::new(),
+                arm_index: HashMap::new(),
+                next_client_token: TOKEN_FIRST_CHANNEL + backends as u64,
+                next_request_key: 0,
+                next_internal_id: 1,
+                latency: LatencyWindow::new(),
+                scratch: vec![0; 64 << 10],
+            },
+            waker,
+        ))
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<crate::reactor::Event> = Vec::new();
+        let channel_tokens = TOKEN_FIRST_CHANNEL + self.shared.backends.len() as u64;
+        loop {
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
+                // A broken poller cannot route; drop everything so clients
+                // see clean disconnects instead of a wedged router.
+                return;
+            }
+            if events.iter().any(|event| event.token == TOKEN_WAKE) {
+                self.wake_rx.drain();
+            }
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {}
+                    token if token < channel_tokens => {
+                        let backend = (token - TOKEN_FIRST_CHANNEL) as usize;
+                        if event.readable {
+                            self.channel_readable(backend);
+                        }
+                        if event.writable {
+                            self.flush_channel(backend);
+                        }
+                    }
+                    token => {
+                        if event.readable {
+                            self.client_readable(token);
+                        }
+                        if event.writable {
+                            self.flush_client(token);
+                            self.drop_if_finished(token);
+                        }
+                    }
+                }
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                // Drain mode: stop accepting and stop reading; pending
+                // requests keep resolving (bounded by the exchange timeout
+                // and attempt cap) and their final replies flush.
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.poller.deregister(&listener, TOKEN_LISTENER);
+                }
+                for client in self.clients.values_mut() {
+                    client.read_open = false;
+                }
+                let finished: Vec<u64> = self
+                    .clients
+                    .iter()
+                    .filter(|(_, client)| client.finished())
+                    .map(|(&token, _)| token)
+                    .collect();
+                for token in finished {
+                    self.drop_client(token);
+                }
+            }
+            self.process_timers();
+            self.reconcile_interest();
+            if self.shared.stop.load(Ordering::SeqCst)
+                && self.requests.is_empty()
+                && self.clients.is_empty()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Accepts until the listener runs dry.
+    fn accept_ready(&mut self) {
+        use crate::reactor::Interest;
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Replies are written as whole frames; Nagle would add
+                    // delayed-ACK latency to every small response.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_client_token;
+                    self.next_client_token += 1;
+                    if self
+                        .poller
+                        .register(&stream, token, Interest::Read)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.clients.insert(
+                        token,
+                        ClientConn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            outbuf: Vec::new(),
+                            out_offset: 0,
+                            last_write_progress: Instant::now(),
+                            read_open: true,
+                            owed: 0,
+                            interest: Interest::Read,
+                        },
+                    );
+                }
+                Err(error) if is_would_block(&error) => return,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                // Transient accept errors (aborted handshakes, fd pressure):
+                // skip this readiness round rather than spinning.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads everything a client socket has and admits complete requests.
+    fn client_readable(&mut self, token: u64) {
+        let mut messages: Vec<Message> = Vec::new();
+        {
+            let Some(client) = self.clients.get_mut(&token) else {
+                return;
+            };
+            if !client.read_open {
+                return;
+            }
+            'read: loop {
+                match client.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        // Clean EOF (possibly a half-close): stop reading
+                        // but keep flushing replies the client is owed.
+                        client.read_open = false;
+                        break;
+                    }
+                    Ok(bytes) => {
+                        let mut slice = &self.scratch[..bytes];
+                        while !slice.is_empty() {
+                            match client.decoder.feed(slice) {
+                                Ok(consumed) => slice = &slice[consumed..],
+                                Err(_) => {
+                                    // Unrecoverable framing (bad length or
+                                    // checksum): the stream cannot be
+                                    // resynchronized; stop reading.
+                                    client.read_open = false;
+                                    break 'read;
+                                }
+                            }
+                            if let Some(payload) = client.decoder.frame() {
+                                match decode_message(payload) {
+                                    Ok(message) => messages.push(message),
+                                    Err(_) => {
+                                        client.read_open = false;
+                                        client.decoder.take_frame();
+                                        break 'read;
+                                    }
+                                }
+                                client.decoder.take_frame();
+                            }
+                        }
+                    }
+                    Err(error) if is_would_block(&error) => break,
+                    Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        client.read_open = false;
+                        break;
+                    }
+                }
+            }
+        }
+        for message in messages {
+            match message {
+                Message::Request(request) => self.admit(token, request),
+                // Health probes are answered on the I/O thread: they
+                // measure routing-plane liveness, not backend state.
+                Message::Ping { nonce } => {
+                    if let Some(client) = self.clients.get_mut(&token) {
+                        let _ = write_pong(&mut client.outbuf, nonce);
+                    }
+                }
+            }
+        }
+        self.flush_client(token);
+        self.drop_if_finished(token);
+    }
+
+    /// Registers one client request and dispatches its first exchange.
+    fn admit(&mut self, token: u64, request: Request) {
+        let Some(client) = self.clients.get_mut(&token) else {
+            // The client died earlier in this batch; with no socket to
+            // answer on, routing the request would be pure waste.
+            return;
+        };
+        client.owed += 1;
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let arrival = Instant::now();
+        let deadline = (request.deadline_ms > 0)
+            .then(|| arrival + Duration::from_millis(u64::from(request.deadline_ms)));
+        let key = self.next_request_key;
+        self.next_request_key += 1;
+        self.requests.insert(
+            key,
+            PendingRequest {
+                client: token,
+                request,
+                arrival,
+                deadline,
+                attempts: 0,
+                tried: Vec::new(),
+                arms: Vec::new(),
+                retry_at: None,
+                hedge_at: None,
+                failover_counted: false,
+                last_failure: String::from("no backend available"),
+            },
+        );
+        self.dispatch(key, false);
+    }
+
+    /// The adaptive hedge delay: observed p99 of winning exchanges once
+    /// enough samples exist, the configured cold-start value before.
+    fn hedge_delay(&self) -> Duration {
+        match self.latency.p99_us {
+            Some(micros) => Duration::from_micros(micros).clamp(
+                Duration::from_millis(1),
+                self.shared.options.exchange_timeout,
+            ),
+            None => self.shared.options.hedge_delay,
+        }
+    }
+
+    /// One exchange attempt: pick a backend, ensure its channel, write the
+    /// frame with a rewritten internal id, and arm the timeout. Returns
+    /// whether an arm was actually sent. `hedge` attempts fail silently
+    /// (the primary arm is still racing); primary attempts answer the
+    /// client on dead ends.
+    fn dispatch(&mut self, key: u64, hedge: bool) -> bool {
+        let now = Instant::now();
+        let options = self.shared.options;
+        let hedge_delay = self.hedge_delay();
+        let Some(req) = self.requests.get_mut(&key) else {
+            return false;
+        };
+        if !hedge {
+            req.retry_at = None;
+        }
+        let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
+        if remaining.is_some_and(|r| r.is_zero()) {
+            if hedge {
+                return false;
+            }
+            let id = req.request.id;
+            let message = format!(
+                "deadline of {} ms exhausted at the router (last failure: {})",
+                req.request.deadline_ms, req.last_failure
+            );
+            self.shared.expired.fetch_add(1, Ordering::Relaxed);
+            self.answer(
+                key,
+                Response::Err {
+                    id,
+                    code: ErrorCode::DeadlineExceeded,
+                    message,
+                },
+            );
+            return false;
+        }
+        let Some(req) = self.requests.get_mut(&key) else {
+            return false;
+        };
+        let Some(index) = pick_backend(&self.shared, &req.tried) else {
+            if hedge {
+                return false;
+            }
+            let id = req.request.id;
+            let message = format!(
+                "no replica answered this request after failover ({})",
+                req.last_failure
+            );
+            self.shared.failed.fetch_add(1, Ordering::Relaxed);
+            self.answer(
+                key,
+                Response::Err {
+                    id,
+                    code: ErrorCode::Overloaded,
+                    message,
+                },
+            );
+            return false;
+        };
+        req.attempts += 1;
+        req.tried.push(index);
+        if self.channels[index].is_none() {
+            match self.connect_channel(index) {
+                Ok(channel) => self.channels[index] = Some(channel),
+                Err(error) => {
+                    self.fail_exchange(key, index, &error.to_string());
+                    return false;
+                }
+            }
+        }
+        let internal = self.next_internal_id;
+        self.next_internal_id += 1;
+        {
+            let req = self.requests.get_mut(&key).expect("pending request");
+            let channel = self.channels[index].as_mut().expect("channel just ensured");
+            // Forward with the id rewritten to a channel-unique internal id
+            // and the deadline decremented to what is left of the client's
+            // budget; both fields are restored right after so the eventual
+            // answer (and any retry) still carries the client's view. The
+            // in-place swap avoids cloning the pixel payload per attempt.
+            let hop_deadline_ms = match remaining {
+                Some(left) => (left.as_millis().min(u128::from(u32::MAX)) as u32).max(1),
+                None => 0,
+            };
+            let original_id = req.request.id;
+            let original_deadline = req.request.deadline_ms;
+            req.request.id = internal;
+            req.request.deadline_ms = hop_deadline_ms;
+            let _ = forward_request(&mut channel.outbuf, &req.request);
+            req.request.id = original_id;
+            req.request.deadline_ms = original_deadline;
+            let timeout = match remaining {
+                Some(left) => options
+                    .exchange_timeout
+                    .min(left + Duration::from_millis(50)),
+                None => options.exchange_timeout,
+            };
+            req.arms.push((
+                internal,
+                Arm {
+                    backend: index,
+                    sent_at: now,
+                    timeout_at: now + timeout,
+                    deadline_capped: timeout < options.exchange_timeout,
+                    hedge,
+                },
+            ));
+            self.arm_index.insert(internal, key);
+            self.shared.backends[index]
+                .in_flight
+                .fetch_add(1, Ordering::Relaxed);
+            // Arm the hedge on the first exchange only: one primary, at
+            // most one hedge, and never past the deadline or attempt cap.
+            if options.hedge
+                && !hedge
+                && req.hedge_at.is_none()
+                && self.shared.backends.len() > 1
+                && req.attempts < options.max_attempts.max(1)
+            {
+                let fire_at = now + hedge_delay;
+                if req.deadline.is_none_or(|deadline| fire_at < deadline) {
+                    req.hedge_at = Some(fire_at);
+                }
+            }
+        }
+        self.flush_channel(index);
+        true
+    }
+
+    /// Dials a backend and registers the channel. The connect itself is
+    /// blocking (bounded by `connect_timeout`) — the deliberate trade of a
+    /// std-only reactor without connect-progress polling: a refused dial
+    /// fails in microseconds on loopback, and a blackholed one stalls the
+    /// loop at most once per breaker cooldown.
+    fn connect_channel(&mut self, index: usize) -> io::Result<Channel> {
+        use crate::reactor::Interest;
+        let addr = self.shared.backends[index].addr;
+        let stream = TcpStream::connect_timeout(&addr, self.shared.options.connect_timeout)?;
+        // Many small frames from many clients multiplex here; Nagle would
+        // batch them against the delayed-ACK clock.
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        self.poller
+            .register(&stream, TOKEN_FIRST_CHANNEL + index as u64, Interest::Read)?;
+        Ok(Channel {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbuf: Vec::new(),
+            out_offset: 0,
+            last_write_progress: Instant::now(),
+            interest: Interest::Read,
+        })
+    }
+
+    /// Reads everything a channel has and resolves answered arms; any
+    /// transport or framing failure kills the whole channel.
+    fn channel_readable(&mut self, index: usize) {
+        let mut responses: Vec<Response> = Vec::new();
+        let mut failure: Option<String> = None;
+        {
+            let Some(channel) = self.channels[index].as_mut() else {
+                return;
+            };
+            'read: loop {
+                match channel.stream.read(&mut self.scratch) {
+                    Ok(0) => {
+                        failure = Some(String::from("backend closed the channel"));
+                        break;
+                    }
+                    Ok(bytes) => {
+                        let mut slice = &self.scratch[..bytes];
+                        while !slice.is_empty() {
+                            match channel.decoder.feed(slice) {
+                                Ok(consumed) => slice = &slice[consumed..],
+                                Err(error) => {
+                                    // Corrupt or misframed bytes: nothing
+                                    // after this point on the stream can be
+                                    // trusted or even re-delimited.
+                                    failure = Some(format!("channel framing error: {error}"));
+                                    break 'read;
+                                }
+                            }
+                            if let Some(payload) = channel.decoder.frame() {
+                                match decode_response(payload) {
+                                    Ok(response) => responses.push(response),
+                                    Err(error) => {
+                                        failure =
+                                            Some(format!("malformed backend response: {error}"));
+                                        channel.decoder.take_frame();
+                                        break 'read;
+                                    }
+                                }
+                                channel.decoder.take_frame();
+                            }
+                        }
+                    }
+                    Err(error) if is_would_block(&error) => break,
+                    Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                    Err(error) => {
+                        failure = Some(error.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        for response in responses {
+            self.resolve_arm(response);
+        }
+        if let Some(error) = failure {
+            self.fail_channel(index, &error);
+        }
+    }
+
+    /// Correlates one backend response to its arm and settles it. A
+    /// response whose internal id is unknown is a cancelled hedge loser (or
+    /// an exchange the router already timed out) — dropped by design.
+    fn resolve_arm(&mut self, response: Response) {
+        let internal = response.id();
+        let Some(key) = self.arm_index.remove(&internal) else {
+            return;
+        };
+        let arm = {
+            let Some(req) = self.requests.get_mut(&key) else {
+                return;
+            };
+            let Some(position) = req.arms.iter().position(|(id, _)| *id == internal) else {
+                return;
+            };
+            req.arms.remove(position).1
+        };
+        let backend = &self.shared.backends[arm.backend];
+        backend.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match refusal_code(&response) {
+            None => {
+                backend.breaker.on_success();
+                backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                self.latency.record(arm.sent_at.elapsed());
+                if arm.hedge {
+                    self.shared.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                self.answer(key, response);
+            }
+            // The backend already burned the deadline; retrying cannot beat
+            // it. Relay the typed expiry as-is.
+            Some(ErrorCode::DeadlineExceeded) => {
+                backend.breaker.on_success();
+                self.shared.expired.fetch_add(1, Ordering::Relaxed);
+                self.answer(key, response);
+            }
+            // Overloaded / shutting down: the replica is alive and
+            // answering — a refusal is its overload protection working, so
+            // no breaker penalty and no health demotion; just try elsewhere
+            // (unless another arm is still racing).
+            Some(code) => {
+                backend.breaker.on_success();
+                backend.failovers.fetch_add(1, Ordering::Relaxed);
+                let req = self.requests.get_mut(&key).expect("pending request");
+                req.last_failure = format!("backend refused: {code}");
+                if !req.failover_counted {
+                    req.failover_counted = true;
+                    self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                if req.arms.is_empty() {
+                    self.schedule_failover(key);
+                }
+            }
+        }
+    }
+
+    /// Books one failed exchange against a backend (breaker, health,
+    /// failover counters, `last_failure`) and, if the request has no arm
+    /// still racing, moves it to the failover schedule. Used for connect
+    /// failures (no arm existed yet) and by [`Self::fail_arm`].
+    fn fail_exchange(&mut self, key: u64, index: usize, failure: &str) {
+        let backend = &self.shared.backends[index];
+        backend.breaker.on_failure();
+        backend.healthy.store(false, Ordering::Relaxed);
+        backend.failovers.fetch_add(1, Ordering::Relaxed);
+        let Some(req) = self.requests.get_mut(&key) else {
+            return;
+        };
+        req.last_failure = failure.to_string();
+        if !req.failover_counted {
+            req.failover_counted = true;
+            self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        if req.arms.is_empty() {
+            self.schedule_failover(key);
+        }
+    }
+
+    /// Fails one outstanding arm (timeout or channel death).
+    fn fail_arm(&mut self, key: u64, internal: u64, failure: &str) {
+        self.arm_index.remove(&internal);
+        let arm = {
+            let Some(req) = self.requests.get_mut(&key) else {
+                return;
+            };
+            let Some(position) = req.arms.iter().position(|(id, _)| *id == internal) else {
+                return;
+            };
+            req.arms.remove(position).1
+        };
+        self.shared.backends[arm.backend]
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        self.fail_exchange(key, arm.backend, failure);
+    }
+
+    /// Kills a backend channel and fails every arm multiplexed on it. The
+    /// nuclear option is deliberate: after a timeout or framing failure the
+    /// stream's remaining bytes cannot be attributed to exchanges safely,
+    /// and the breaker-recovery path depends on the next request dialing a
+    /// fresh connection.
+    fn fail_channel(&mut self, index: usize, failure: &str) {
+        if let Some(channel) = self.channels[index].take() {
+            let _ = self
+                .poller
+                .deregister(&channel.stream, TOKEN_FIRST_CHANNEL + index as u64);
+        }
+        let doomed: Vec<(u64, u64)> = self
+            .requests
+            .iter()
+            .flat_map(|(&key, req)| {
+                req.arms
+                    .iter()
+                    .filter(|(_, arm)| arm.backend == index)
+                    .map(move |(internal, _)| (key, *internal))
+            })
+            .collect();
+        for (key, internal) in doomed {
+            self.fail_arm(key, internal, failure);
+        }
+    }
+
+    /// Decides what happens to a request whose every arm has failed:
+    /// deadline expiry, attempt-cap or budget give-up (all answered,
+    /// typed), or a scheduled backoff retry.
+    fn schedule_failover(&mut self, key: u64) {
+        enum Plan {
+            Expired(Response),
+            Failed(Response),
+            Scheduled,
+        }
+        let now = Instant::now();
+        let options = self.shared.options;
+        let plan = {
+            let Some(req) = self.requests.get_mut(&key) else {
+                return;
+            };
+            req.hedge_at = None;
+            let remaining = req.deadline.map(|d| d.saturating_duration_since(now));
+            if remaining.is_some_and(|r| r.is_zero()) {
+                Plan::Expired(Response::Err {
+                    id: req.request.id,
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!(
+                        "deadline of {} ms exhausted at the router (last failure: {})",
+                        req.request.deadline_ms, req.last_failure
+                    ),
+                })
+            } else if req.attempts >= options.max_attempts.max(1) {
+                Plan::Failed(Response::Err {
+                    id: req.request.id,
                     code: ErrorCode::Overloaded,
                     message: format!(
-                        "retry budget exhausted after failover attempt (last failure: \
-                         {last_failure})"
+                        "no replica answered this request after failover ({})",
+                        req.last_failure
                     ),
-                };
+                })
+            } else if !self.shared.retry_budget.try_take() {
+                Plan::Failed(Response::Err {
+                    id: req.request.id,
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "retry budget exhausted after failover attempt (last failure: {})",
+                        req.last_failure
+                    ),
+                })
+            } else {
+                let attempt = req.attempts.max(1);
+                let base = options
+                    .retry_backoff
+                    .saturating_mul(1 << (attempt - 1).min(16));
+                let mut backoff = base + retry_jitter(req.request.id, attempt, base);
+                if let Some(remaining) = remaining {
+                    backoff = backoff.min(remaining);
+                }
+                req.retry_at = Some(now + backoff);
+                Plan::Scheduled
             }
-            let base = shared
-                .options
-                .retry_backoff
-                .saturating_mul(1 << (attempt - 1).min(16));
-            let mut backoff = base + retry_jitter(request.id, attempt, base);
-            if let Some(remaining) = remaining {
-                backoff = backoff.min(remaining);
-            }
-            if !backoff.is_zero() {
-                std::thread::sleep(backoff);
-            }
-        }
-        let Some(index) = pick_backend(shared, excluded) else {
-            break; // nothing left to try (all excluded or breaker-open)
         };
-        let backend = &shared.backends[index];
-        // Decrement the deadline across the hop so the backend sees only
-        // what is left of the client's budget, not the original figure.
-        let hop = match deadline {
-            Some(deadline) => {
-                let left = deadline
-                    .saturating_duration_since(Instant::now())
-                    .as_millis()
-                    .min(u128::from(u32::MAX)) as u32;
-                Request {
-                    deadline_ms: left.max(1),
-                    ..request.clone()
-                }
+        match plan {
+            Plan::Expired(response) => {
+                self.shared.expired.fetch_add(1, Ordering::Relaxed);
+                self.answer(key, response);
             }
-            None => request.clone(),
-        };
-        match forward_once(shared, conns, index, &hop, deadline) {
-            Ok(response) => match refusal_code(&response) {
-                None => {
-                    backend.breaker.on_success();
-                    backend.forwarded.fetch_add(1, Ordering::Relaxed);
-                    return response;
-                }
-                // The backend already burned the deadline; retrying cannot
-                // beat it. Relay the typed expiry as-is.
-                Some(ErrorCode::DeadlineExceeded) => {
-                    backend.breaker.on_success();
-                    shared.expired.fetch_add(1, Ordering::Relaxed);
-                    return response;
-                }
-                // Overloaded / shutting down: the replica is alive and
-                // answering — a refusal is its overload protection working,
-                // so no breaker penalty and no health demotion; just try
-                // elsewhere.
-                Some(code) => {
-                    backend.breaker.on_success();
-                    last_failure = format!("backend refused: {code}");
-                }
-            },
-            Err(error) => {
-                // A transport failure is what the breaker exists for; also
-                // mark the backend down immediately so other connections
-                // stop picking it before the next probe.
-                backend.breaker.on_failure();
-                backend.healthy.store(false, Ordering::Relaxed);
-                last_failure = error.to_string();
+            Plan::Failed(response) => {
+                self.shared.failed.fetch_add(1, Ordering::Relaxed);
+                self.answer(key, response);
             }
+            Plan::Scheduled => {}
         }
-        backend.failovers.fetch_add(1, Ordering::Relaxed);
-        if attempt == 0 {
-            shared.failovers.fetch_add(1, Ordering::Relaxed);
-        }
-        excluded = Some(index);
     }
-    shared.failed.fetch_add(1, Ordering::Relaxed);
-    Response::Err {
-        id: request.id,
-        code: ErrorCode::Overloaded,
-        message: format!("no replica answered this request after failover ({last_failure})"),
+
+    /// Settles a request: releases any arms still racing (their late
+    /// responses will be ignored), rewrites the response id back to the
+    /// client's, emits the trace event, and queues the reply on the owning
+    /// client connection.
+    fn answer(&mut self, key: u64, mut response: Response) {
+        let Some(mut req) = self.requests.remove(&key) else {
+            return;
+        };
+        for (internal, arm) in req.arms.drain(..) {
+            self.arm_index.remove(&internal);
+            self.shared.backends[arm.backend]
+                .in_flight
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        set_response_id(&mut response, req.request.id);
+        if let Some(trace) = &self.shared.trace {
+            // The router sees no engine stages — its trace records outcome
+            // and the time a request spent in the routing plane (including
+            // failover backoffs and hedge delays).
+            let outcome = match &response {
+                Response::Ok { .. } => "ok",
+                Response::Err { code, .. } => match code {
+                    ErrorCode::DeadlineExceeded => "expired",
+                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => "refused",
+                    ErrorCode::App => "failed",
+                },
+            };
+            trace.emit(&TraceEvent {
+                kind: "route",
+                id: req.request.id,
+                model: req.request.model,
+                outcome,
+                queue_us: 0,
+                linger_us: 0,
+                cache_fill_us: 0,
+                compute_us: 0,
+                total_us: crate::metrics::as_micros(req.arrival.elapsed()),
+            });
+        }
+        let token = req.client;
+        if let Some(client) = self.clients.get_mut(&token) {
+            client.owed = client.owed.saturating_sub(1);
+            let _ = write_response(&mut client.outbuf, &response);
+        }
+        self.flush_client(token);
+        self.drop_if_finished(token);
+    }
+
+    /// Pushes a channel's pending output; failure kills the channel.
+    fn flush_channel(&mut self, index: usize) {
+        let mut failure: Option<String> = None;
+        {
+            let Some(channel) = self.channels[index].as_mut() else {
+                return;
+            };
+            while channel.pending_output() {
+                match channel.stream.write(&channel.outbuf[channel.out_offset..]) {
+                    Ok(0) => {
+                        failure = Some(String::from("backend stopped accepting bytes"));
+                        break;
+                    }
+                    Ok(bytes) => {
+                        channel.out_offset += bytes;
+                        channel.last_write_progress = Instant::now();
+                    }
+                    Err(error) if is_would_block(&error) => break,
+                    Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                    Err(error) => {
+                        failure = Some(error.to_string());
+                        break;
+                    }
+                }
+            }
+            if !channel.pending_output() {
+                channel.outbuf.clear();
+                channel.out_offset = 0;
+                channel.last_write_progress = Instant::now();
+            }
+        }
+        if let Some(error) = failure {
+            self.fail_channel(index, &error);
+        }
+    }
+
+    /// Pushes a client's pending output; tolerates `WouldBlock` (write
+    /// interest keeps the poller watching).
+    fn flush_client(&mut self, token: u64) {
+        let Some(client) = self.clients.get_mut(&token) else {
+            return;
+        };
+        while client.pending_output() {
+            match client.stream.write(&client.outbuf[client.out_offset..]) {
+                Ok(0) => {
+                    client.read_open = false;
+                    client.outbuf.clear();
+                    client.out_offset = 0;
+                    break;
+                }
+                Ok(bytes) => {
+                    client.out_offset += bytes;
+                    client.last_write_progress = Instant::now();
+                }
+                Err(error) if is_would_block(&error) => break,
+                Err(error) if error.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Broken pipe: the replies are undeliverable. The
+                    // connection lingers until its in-flight requests
+                    // resolve (their answers are then discarded here).
+                    client.read_open = false;
+                    client.outbuf.clear();
+                    client.out_offset = 0;
+                    break;
+                }
+            }
+        }
+        if !client.pending_output() {
+            client.outbuf.clear();
+            client.out_offset = 0;
+            client.last_write_progress = Instant::now();
+        }
+    }
+
+    /// Fires due timers: channel write stalls, arm timeouts, scheduled
+    /// failover retries, hedges, and client write stalls.
+    fn process_timers(&mut self) {
+        let now = Instant::now();
+        let exchange_timeout = self.shared.options.exchange_timeout;
+        let max_attempts = self.shared.options.max_attempts.max(1);
+
+        // A channel making zero write progress for the whole exchange
+        // budget is as dead as one that never answers.
+        let stalled: Vec<usize> = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter_map(|(index, channel)| {
+                channel.as_ref().and_then(|channel| {
+                    (channel.pending_output()
+                        && now.saturating_duration_since(channel.last_write_progress)
+                            >= exchange_timeout)
+                        .then_some(index)
+                })
+            })
+            .collect();
+        for index in stalled {
+            self.fail_channel(index, "backend stopped draining the channel");
+        }
+
+        let mut capped: Vec<(u64, u64)> = Vec::new();
+        let mut dead_channels: Vec<usize> = Vec::new();
+        for (&key, req) in &self.requests {
+            for (internal, arm) in &req.arms {
+                if now >= arm.timeout_at {
+                    if arm.deadline_capped {
+                        capped.push((key, *internal));
+                    } else if !dead_channels.contains(&arm.backend) {
+                        dead_channels.push(arm.backend);
+                    }
+                }
+            }
+        }
+        for index in dead_channels {
+            self.fail_channel(index, "backend exchange timed out");
+        }
+        for (key, internal) in capped {
+            self.fail_arm(key, internal, "deadline-capped exchange timed out");
+        }
+
+        let retries: Vec<u64> = self
+            .requests
+            .iter()
+            .filter_map(|(&key, req)| req.retry_at.is_some_and(|at| now >= at).then_some(key))
+            .collect();
+        for key in retries {
+            self.dispatch(key, false);
+        }
+
+        let hedges: Vec<u64> = self
+            .requests
+            .iter()
+            .filter_map(|(&key, req)| req.hedge_at.is_some_and(|at| now >= at).then_some(key))
+            .collect();
+        for key in hedges {
+            let eligible = match self.requests.get_mut(&key) {
+                Some(req) => {
+                    req.hedge_at = None;
+                    !req.arms.is_empty() && req.attempts < max_attempts
+                }
+                None => false,
+            };
+            // A hedge is load the client didn't ask for twice; it pays from
+            // the same budget as retries so a sitewide slowdown cannot
+            // double the offered load.
+            if eligible && self.shared.retry_budget.try_take() && self.dispatch(key, true) {
+                self.shared.hedges.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let wedged: Vec<u64> = self
+            .clients
+            .iter()
+            .filter(|(_, client)| {
+                client.pending_output()
+                    && now.saturating_duration_since(client.last_write_progress) >= exchange_timeout
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in wedged {
+            if let Some(client) = self.clients.get_mut(&token) {
+                // Zero write progress for the whole budget: the client is
+                // wedged, its buffered replies are undeliverable.
+                client.outbuf.clear();
+                client.out_offset = 0;
+                client.read_open = false;
+            }
+            self.drop_if_finished(token);
+        }
+    }
+
+    /// Brings every socket's registered poller interest in line with its
+    /// state.
+    fn reconcile_interest(&mut self) {
+        for (&token, client) in &mut self.clients {
+            let desired = client.desired_interest();
+            if desired != client.interest
+                && self
+                    .poller
+                    .reregister(&client.stream, token, desired)
+                    .is_ok()
+            {
+                client.interest = desired;
+            }
+        }
+        for (index, channel) in self.channels.iter_mut().enumerate() {
+            let Some(channel) = channel.as_mut() else {
+                continue;
+            };
+            let desired = channel.desired_interest();
+            if desired != channel.interest
+                && self
+                    .poller
+                    .reregister(&channel.stream, TOKEN_FIRST_CHANNEL + index as u64, desired)
+                    .is_ok()
+            {
+                channel.interest = desired;
+            }
+        }
+    }
+
+    fn drop_if_finished(&mut self, token: u64) {
+        if self.clients.get(&token).is_some_and(ClientConn::finished) {
+            self.drop_client(token);
+        }
+    }
+
+    fn drop_client(&mut self, token: u64) {
+        if let Some(client) = self.clients.remove(&token) {
+            let _ = self.poller.deregister(&client.stream, token);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{read_response, write_request, write_request_v3};
 
     /// An address nothing is listening on (bound then immediately freed).
     fn dead_addr() -> SocketAddr {
@@ -986,12 +1871,13 @@ mod tests {
                 .collect(),
             retry_budget: RetryBudget::new(options.retry_budget, options.retry_refill),
             options,
-            registry: ConnectionRegistry::default(),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
             probe_nonce: AtomicU64::new(1),
             trace: None,
         }
@@ -1001,14 +1887,17 @@ mod tests {
         shared_with_options(backends, RouterOptions::default())
     }
 
-    fn request(id: u64, deadline_ms: u32) -> Request {
-        Request {
-            id,
-            model: 0,
-            deadline_ms,
-            shape: [1, 1, 1],
-            pixels: vec![0.5],
+    /// Options for give-up tests: no health probes racing the assertions.
+    fn quiet_options() -> RouterOptions {
+        RouterOptions {
+            health_interval: Duration::from_secs(60),
+            connect_timeout: Duration::from_millis(500),
+            ..RouterOptions::default()
         }
+    }
+
+    fn spawn_over(backends: Vec<SocketAddr>, options: RouterOptions) -> RouterHandle {
+        spawn_router(TcpListener::bind("127.0.0.1:0").unwrap(), backends, options).unwrap()
     }
 
     #[test]
@@ -1017,21 +1906,21 @@ mod tests {
         shared.backends[0].in_flight.store(4, Ordering::Relaxed);
         shared.backends[1].in_flight.store(1, Ordering::Relaxed);
         shared.backends[2].in_flight.store(2, Ordering::Relaxed);
-        assert_eq!(pick_backend(&shared, None), Some(1));
-        // The excluded backend is never re-picked, even when least loaded.
-        assert_eq!(pick_backend(&shared, Some(1)), Some(2));
+        assert_eq!(pick_backend(&shared, &[]), Some(1));
+        // An excluded backend is never re-picked, even when least loaded.
+        assert_eq!(pick_backend(&shared, &[1]), Some(2));
         // An unhealthy backend loses to a busier healthy one...
         shared.backends[1].healthy.store(false, Ordering::Relaxed);
-        assert_eq!(pick_backend(&shared, None), Some(2));
+        assert_eq!(pick_backend(&shared, &[]), Some(2));
         // ...but when nothing is healthy, the least-loaded one is tried
         // anyway instead of giving up.
         for backend in &shared.backends {
             backend.healthy.store(false, Ordering::Relaxed);
         }
-        assert_eq!(pick_backend(&shared, None), Some(1));
-        // A single excluded backend in a one-backend set yields nothing.
+        assert_eq!(pick_backend(&shared, &[]), Some(1));
+        // A fully excluded set yields nothing.
         let single = shared_with(1);
-        assert_eq!(pick_backend(&single, Some(0)), None);
+        assert_eq!(pick_backend(&single, &[0]), None);
     }
 
     #[test]
@@ -1046,10 +1935,10 @@ mod tests {
         );
         shared.backends[0].breaker.on_failure();
         assert!(shared.backends[0].breaker.is_open());
-        assert_eq!(pick_backend(&shared, None), Some(1));
+        assert_eq!(pick_backend(&shared, &[]), Some(1));
         shared.backends[1].breaker.on_failure();
         assert_eq!(
-            pick_backend(&shared, None),
+            pick_backend(&shared, &[]),
             None,
             "all breakers open must yield no candidate, not a panic"
         );
@@ -1156,14 +2045,32 @@ mod tests {
     }
 
     #[test]
+    fn latency_window_tracks_p99_of_recent_samples() {
+        let mut window = LatencyWindow::new();
+        assert_eq!(window.p99_us, None, "no estimate before any recompute");
+        for _ in 0..15 {
+            window.record(Duration::from_millis(2));
+        }
+        assert_eq!(window.p99_us, None, "recompute cadence not reached yet");
+        window.record(Duration::from_millis(50));
+        let p99 = window.p99_us.expect("recompute at the cadence");
+        assert_eq!(p99, 50_000, "one outlier in sixteen is the p99");
+    }
+
+    #[test]
     fn failover_gives_up_after_one_resend_with_an_error_reply() {
         // Two backends, neither listening: the first exchange fails, the
         // failover exchange fails, and the client gets a typed retriable
         // error response — never a hang, never a third attempt.
-        let shared = shared_with(2);
-        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
-        let response = forward_with_failover(&shared, &mut conns, &request(42, 0), Instant::now());
-        match response {
+        let router = spawn_over(vec![dead_addr(), dead_addr()], quiet_options());
+        let stream = TcpStream::connect(router.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        write_request(&mut writer, 42, [1, 1, 1], &[0.5]).unwrap();
+        let mut reader = BufReader::new(stream);
+        match read_response(&mut reader).unwrap().expect("typed reply") {
             Response::Err { id, code, message } => {
                 assert_eq!(id, 42);
                 assert_eq!(code, ErrorCode::Overloaded, "give-up must be retriable");
@@ -1171,32 +2078,35 @@ mod tests {
             }
             other => panic!("expected an error reply, got {other:?}"),
         }
-        assert_eq!(shared.failovers.load(Ordering::Relaxed), 1);
-        assert_eq!(shared.failed.load(Ordering::Relaxed), 1);
-        let attempts: u64 = shared
-            .backends
-            .iter()
-            .map(|b| b.failovers.load(Ordering::Relaxed))
-            .sum();
+        let stats = router.stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.failed, 1);
+        let attempts: u64 = stats.backends.iter().map(|b| b.failovers).sum();
         assert_eq!(attempts, 2, "exactly two exchanges may be attempted");
-        for backend in &shared.backends {
-            assert_eq!(backend.in_flight.load(Ordering::Relaxed), 0);
+        for backend in &stats.backends {
+            assert_eq!(backend.in_flight, 0);
         }
+        router.shutdown();
     }
 
     #[test]
     fn exhausted_retry_budget_fails_fast_with_a_typed_error() {
-        let shared = shared_with_options(
-            2,
+        let router = spawn_over(
+            vec![dead_addr(), dead_addr()],
             RouterOptions {
                 retry_budget: 0,
-                ..RouterOptions::default()
+                ..quiet_options()
             },
         );
-        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
+        let stream = TcpStream::connect(router.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
         let start = Instant::now();
-        let response = forward_with_failover(&shared, &mut conns, &request(7, 0), Instant::now());
-        match response {
+        write_request(&mut writer, 7, [1, 1, 1], &[0.5]).unwrap();
+        let mut reader = BufReader::new(stream);
+        match read_response(&mut reader).unwrap().expect("typed reply") {
             Response::Err { code, message, .. } => {
                 assert_eq!(code, ErrorCode::Overloaded);
                 assert!(message.contains("retry budget"), "{message}");
@@ -1207,34 +2117,43 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "no-budget failure must not wait out backoffs"
         );
-        let attempts: u64 = shared
-            .backends
-            .iter()
-            .map(|b| b.failovers.load(Ordering::Relaxed))
-            .sum();
+        let stats = router.stats();
+        let attempts: u64 = stats.backends.iter().map(|b| b.failovers).sum();
         assert_eq!(attempts, 1, "without budget there is no second exchange");
+        router.shutdown();
     }
 
     #[test]
-    fn expired_deadline_is_answered_without_any_exchange() {
-        let shared = shared_with(2);
-        let mut conns: Vec<Option<BackendConn>> = vec![None, None];
-        // Arrival 50 ms in the past, 10 ms budget: already expired.
-        let arrival = Instant::now() - Duration::from_millis(50);
-        let response = forward_with_failover(&shared, &mut conns, &request(9, 10), arrival);
-        match response {
+    fn deadline_bounds_a_silent_backend_and_answers_expired() {
+        // A backend that accepts (kernel backlog) but never answers: the
+        // deadline-capped arm times out, the failover finds the deadline
+        // spent, and the client gets a typed DEADLINE_EXCEEDED — in bounded
+        // time, not after the 30 s exchange budget.
+        let silent = TcpListener::bind("127.0.0.1:0").unwrap();
+        let router = spawn_over(vec![silent.local_addr().unwrap()], quiet_options());
+        let stream = TcpStream::connect(router.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let start = Instant::now();
+        write_request_v3(&mut writer, 9, 0, 100, [1, 1, 1], &[0.5]).unwrap();
+        let mut reader = BufReader::new(stream);
+        match read_response(&mut reader).unwrap().expect("typed reply") {
             Response::Err { id, code, .. } => {
                 assert_eq!(id, 9);
                 assert_eq!(code, ErrorCode::DeadlineExceeded);
             }
             other => panic!("expected a deadline error, got {other:?}"),
         }
-        assert_eq!(shared.expired.load(Ordering::Relaxed), 1);
-        let attempts: u64 = shared
-            .backends
-            .iter()
-            .map(|b| b.failovers.load(Ordering::Relaxed))
-            .sum();
-        assert_eq!(attempts, 0, "an expired request must not touch a backend");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline must bound the exchange, took {:?}",
+            start.elapsed()
+        );
+        let stats = router.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.failed, 0);
+        router.shutdown();
     }
 }

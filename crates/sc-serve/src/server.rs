@@ -1,19 +1,31 @@
-//! TCP serving runtime: connections → micro-batches → engine workers.
+//! TCP serving runtime: event-loop I/O front → micro-batches → engine
+//! workers.
 //!
 //! Architecture (all std threads, no external dependencies):
 //!
 //! ```text
-//! accept thread ──► per-connection reader ──► BatchQueue ──► worker 0..N
-//!                        │                                      │
-//!                        └── per-connection writer ◄── reply channel
+//!            ┌────────────── one I/O thread ──────────────┐
+//! sockets ──►│ reactor poll → per-connection state machine │──► BatchQueue ──► worker 0..N
+//!            │   (read → parse → enqueue → write-back)     │◄── completion queue + waker
+//!            └─────────────────────────────────────────────┘
 //! ```
+//!
+//! A single nonblocking I/O thread owns the listener and every client
+//! socket through a [`crate::reactor::Poller`]; each connection is a small
+//! state machine (resumable [`FrameDecoder`] in, partially-flushed output
+//! buffer out) instead of a pair of parked OS threads. Workers return
+//! responses through a completion queue and a [`crate::reactor::Waker`];
+//! the I/O thread serializes them into the owning connection's output
+//! buffer. One process therefore scales to thousands of concurrent
+//! connections with a constant thread count.
 //!
 //! One listener serves **N compiled engines** (multi-model serving): each
 //! worker owns one long-lived [`Session`] *per model*, so every model's
 //! input-stream cache stays warm across batches regardless of how traffic
 //! interleaves. Requests address a model through the protocol-v2 `model`
-//! field; v1 frames map to model 0. Requests are answered on their
-//! connection's writer thread, so slow clients never block inference.
+//! field; v1 frames map to model 0. A slow client never blocks inference:
+//! its responses accumulate in its output buffer (bounded by the write
+//! timeout), not on a worker.
 //!
 //! ## Graceful shutdown
 //!
@@ -21,10 +33,9 @@
 //! off a socket) before the sockets close is **answered or refused, never
 //! dropped**: queued jobs are drained and served, a request that arrives
 //! after the queue closed gets an explicit [`SHUTTING_DOWN_MESSAGE`]
-//! refusal, and live connection sockets are then shut down so reader
-//! threads exit instead of leaking until their clients disconnect. A router
-//! doing failover depends on this — a silently dropped request would hang
-//! its client forever.
+//! refusal, and connection sockets close only after their final replies
+//! flush (bounded by the write timeout). A router doing failover depends on
+//! this — a silently dropped request would hang its client forever.
 //!
 //! ## Overload protection
 //!
@@ -33,16 +44,15 @@
 //! retriable [`ErrorCode::Overloaded`] reply instead of queueing unboundedly
 //! (queue depth is tail latency). Requests may carry a protocol-v3
 //! `deadline_ms` budget; a worker that picks up an already-expired request
-//! skips the inference and answers [`ErrorCode::DeadlineExceeded`] — compute
-//! spent on an answer the client stopped waiting for would only delay the
-//! requests still inside their budget. Both events are counted in
-//! [`Metrics`] (`shed` / `expired`). Connections also enforce an idle-read
-//! timeout so a client that connects and never writes cannot pin a reader
-//! thread forever, and answer protocol pings on the connection thread so
-//! health probes measure serving-plane liveness without touching the
-//! compute queue.
+//! skips the inference and answers [`ErrorCode::DeadlineExceeded`]. Both
+//! events are counted in [`Metrics`] (`shed` / `expired`). The I/O thread
+//! also enforces an idle-read timeout (a client that connects and never
+//! writes is reaped), closes connections that stall mid-frame, and answers
+//! protocol pings directly so health probes measure serving-plane liveness
+//! without touching the compute queue.
 //!
 //! [`Session`]: crate::engine::Session
+//! [`FrameDecoder`]: crate::proto::FrameDecoder
 
 use crate::batch::{BatchPolicy, BatchQueue, PushRefusal};
 use crate::engine::{Engine, Session};
@@ -52,15 +62,16 @@ use crate::obs::{
     TraceLog, WorkerStatsSlots,
 };
 use crate::proto::{
-    checked_shape_product, read_message, write_pong, write_response, ErrorCode, Message, Request,
-    Response,
+    checked_shape_product, decode_message, write_pong, write_response, ErrorCode, FrameDecoder,
+    Message, Request, Response,
 };
+use crate::reactor::{Event, Interest, Poller, WakeReceiver, Waker};
 use sc_nn::tensor::Tensor;
 use std::collections::HashMap;
-use std::io::{BufReader, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,13 +82,24 @@ use std::time::{Duration, Instant};
 /// string is part of the serving contract.
 pub const SHUTTING_DOWN_MESSAGE: &str = "shutting down";
 
-/// Per-`write` timeout on connection sockets. A client that stops draining
-/// its socket stalls its writer thread in `write_response`; without a
-/// timeout that thread blocks forever and [`ServerHandle::shutdown`] — which
-/// joins connection threads — would hang on one bad client. The timeout is
-/// per write call, so arbitrarily slow-but-draining clients are unaffected;
-/// it only bounds a fully wedged socket.
-const CLIENT_WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// How long a connection with pending output may make zero write progress
+/// before it is closed. A client that stops draining its socket accumulates
+/// replies in its output buffer; without this bound a wedged client would
+/// pin its buffered replies (and delay shutdown's final flush) forever. The
+/// timeout is progress-based, so arbitrarily slow-but-draining clients are
+/// unaffected.
+const CLIENT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Event-loop tick: the granularity at which idle/stall/write timeouts are
+/// checked when no socket activity wakes the loop earlier.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Reserved poller token for the listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Reserved poller token for the completion-queue waker.
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to a client connection.
+const TOKEN_FIRST_CONN: u64 = 2;
 
 /// Serving-runtime options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,98 +129,56 @@ impl Default for ServerOptions {
     }
 }
 
-/// What a connection's writer thread ships back to its client.
-enum Reply {
-    Response(Response),
-    Pong(u64),
+/// Completion queue: workers push finished responses here and kick the I/O
+/// thread, which serializes them into the owning connection's output buffer.
+pub(crate) struct Completions {
+    pending: Mutex<Vec<(u64, Response)>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn new(waker: Waker) -> Self {
+        Self {
+            pending: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    fn push(&self, token: u64, response: Response) {
+        self.pending
+            .lock()
+            .expect("completion queue")
+            .push((token, response));
+        self.waker.wake();
+    }
+
+    fn drain(&self, into: &mut Vec<(u64, Response)>) {
+        into.clear();
+        std::mem::swap(&mut *self.pending.lock().expect("completion queue"), into);
+    }
+}
+
+/// A worker's path back to the connection that owns a request.
+#[derive(Clone)]
+pub(crate) struct ReplySink {
+    token: u64,
+    completions: Arc<Completions>,
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, response: Response) {
+        self.completions.push(self.token, response);
+    }
 }
 
 /// One queued request with its arrival time, deadline, and reply path.
-struct Job {
+pub(crate) struct Job {
     request: Request,
     enqueued: Instant,
     /// Absolute deadline derived from the request's `deadline_ms` budget at
     /// arrival (`None` = no deadline).
     deadline: Option<Instant>,
-    reply: mpsc::Sender<Reply>,
-}
-
-/// Tracks live connections so shutdown can close their sockets and join
-/// their threads instead of leaking readers until clients disconnect.
-///
-/// Shared by the serving runtime and the [`crate::router`] front, which has
-/// the same obligation towards its own client connections.
-#[derive(Debug, Default)]
-pub(crate) struct ConnectionRegistry {
-    entries: Mutex<HashMap<u64, ConnectionEntry>>,
-    next_id: AtomicU64,
-}
-
-#[derive(Debug)]
-struct ConnectionEntry {
-    socket: TcpStream,
-    thread: Option<JoinHandle<()>>,
-}
-
-impl ConnectionRegistry {
-    /// Registers a connection's socket; returns the id the owning thread
-    /// deregisters with.
-    pub(crate) fn register(&self, socket: TcpStream) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().expect("connection registry").insert(
-            id,
-            ConnectionEntry {
-                socket,
-                thread: None,
-            },
-        );
-        id
-    }
-
-    /// Attaches the connection thread's join handle. If the connection
-    /// already deregistered itself (short-lived peer), the handle is dropped
-    /// — the thread is past all socket work and detaching it is safe.
-    pub(crate) fn attach_thread(&self, id: u64, thread: JoinHandle<()>) {
-        if let Some(entry) = self
-            .entries
-            .lock()
-            .expect("connection registry")
-            .get_mut(&id)
-        {
-            entry.thread = Some(thread);
-        }
-    }
-
-    /// Removes a connection; called by its own thread on exit.
-    pub(crate) fn deregister(&self, id: u64) {
-        self.entries
-            .lock()
-            .expect("connection registry")
-            .remove(&id);
-    }
-
-    /// Shuts down the read side of every live connection socket (unblocking
-    /// reader threads with a clean EOF while letting writers flush final
-    /// replies) and joins the connection threads.
-    pub(crate) fn close_and_join(&self) {
-        // Drain outside the join: a connection thread deregistering itself
-        // needs the same lock.
-        let entries: Vec<ConnectionEntry> = self
-            .entries
-            .lock()
-            .expect("connection registry")
-            .drain()
-            .map(|(_, entry)| entry)
-            .collect();
-        for entry in &entries {
-            let _ = entry.socket.shutdown(Shutdown::Read);
-        }
-        for entry in entries {
-            if let Some(thread) = entry.thread {
-                let _ = thread.join();
-            }
-        }
-    }
+    reply: ReplySink,
 }
 
 /// Handle to a running server.
@@ -208,8 +188,9 @@ pub struct ServerHandle {
     metrics: Arc<Metrics>,
     metrics_registry: Arc<MetricsRegistry>,
     stop: Arc<AtomicBool>,
-    registry: Arc<ConnectionRegistry>,
-    accept_thread: Option<JoinHandle<()>>,
+    halt: Arc<AtomicBool>,
+    waker: Arc<Completions>,
+    io_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     models: usize,
 }
@@ -239,30 +220,27 @@ impl ServerHandle {
 
     /// Stops accepting and shuts down gracefully: every request accepted
     /// before the sockets close is answered (queued jobs drain through the
-    /// workers) or refused with [`SHUTTING_DOWN_MESSAGE`]; then live
-    /// connection sockets are closed and all threads joined, so `shutdown`
-    /// returns without waiting for clients to disconnect (a client that
-    /// wedged its socket without draining replies delays it at most
-    /// `CLIENT_WRITE_TIMEOUT` per pending write).
+    /// workers) or refused with [`SHUTTING_DOWN_MESSAGE`]; then connection
+    /// sockets close once their final replies flush, so `shutdown` returns
+    /// without waiting for clients to disconnect (a client that wedged its
+    /// socket without draining replies delays it at most the write timeout).
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
         // Refuse new work first: queued jobs keep draining, later pushes
-        // fail and the connection loops answer them with a refusal.
+        // fail and the event loop answers them with a refusal.
+        self.stop.store(true, Ordering::SeqCst);
         self.queue.close();
-        // Unblock the accept loop with a throw-away connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        // Workers drain every queued job and send its reply before exiting.
+        self.waker.waker.wake();
+        // Workers drain every queued job and push its reply before exiting.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // Only now close the connection sockets: read halves shut down (so
-        // readers exit instead of leaking until clients disconnect), write
-        // halves stay open long enough for writer threads to flush the
-        // drained replies and refusals queued above.
-        self.registry.close_and_join();
+        // Only now tell the I/O thread to finish: every completion is in
+        // the queue, so it can flush final replies and close the sockets.
+        self.halt.store(true, Ordering::SeqCst);
+        self.waker.waker.wake();
+        if let Some(io) = self.io_thread.take() {
+            let _ = io.join();
+        }
     }
 }
 
@@ -289,7 +267,8 @@ pub fn spawn(
 /// # Errors
 ///
 /// Returns `InvalidInput` for an empty engine list, and propagates an I/O
-/// error if the listener's local address cannot be read.
+/// error if the listener cannot be switched to nonblocking mode or
+/// registered with the reactor.
 pub fn spawn_multi(
     engines: Vec<Arc<Engine>>,
     listener: TcpListener,
@@ -306,8 +285,8 @@ pub fn spawn_multi(
 ///
 /// # Errors
 ///
-/// Returns `InvalidInput` for an empty engine list, and propagates an I/O
-/// error if the listener's local address cannot be read.
+/// Returns `InvalidInput` for an empty engine list, and propagates I/O
+/// errors from reactor setup.
 pub fn spawn_multi_observed(
     engines: Vec<Arc<Engine>>,
     listener: TcpListener,
@@ -324,7 +303,7 @@ pub fn spawn_multi_observed(
     let queue = Arc::new(BatchQueue::<Job>::new(options.policy));
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
-    let registry = Arc::new(ConnectionRegistry::default());
+    let halt = Arc::new(AtomicBool::new(false));
     let models = engines.len();
     let engines = Arc::new(engines);
 
@@ -380,44 +359,16 @@ pub fn spawn_multi_observed(
     }
     register_engine_metrics(&metrics_registry, Arc::clone(&worker_slots));
 
-    let accept_thread = {
-        let queue = Arc::clone(&queue);
-        let metrics = Arc::clone(&metrics);
-        let stop = Arc::clone(&stop);
-        let registry = Arc::clone(&registry);
-        let trace = trace.clone();
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        let Ok(registered) = stream.try_clone() else {
-                            continue;
-                        };
-                        let id = registry.register(registered);
-                        let queue = Arc::clone(&queue);
-                        let metrics = Arc::clone(&metrics);
-                        let registry_for_thread = Arc::clone(&registry);
-                        let trace = trace.clone();
-                        let thread = std::thread::spawn(move || {
-                            connection_loop(
-                                stream,
-                                &queue,
-                                &metrics,
-                                options.idle_timeout,
-                                trace.as_ref(),
-                            );
-                            registry_for_thread.deregister(id);
-                        });
-                        registry.attach_thread(id, thread);
-                    }
-                    Err(_) => continue,
-                }
-            }
-        })
-    };
+    let (io_loop, completions) = IoLoop::build(
+        listener,
+        Arc::clone(&queue),
+        Arc::clone(&metrics),
+        options.idle_timeout,
+        trace,
+        Arc::clone(&stop),
+        Arc::clone(&halt),
+    )?;
+    let io_thread = std::thread::spawn(move || io_loop.run());
 
     Ok(ServerHandle {
         addr,
@@ -425,103 +376,293 @@ pub fn spawn_multi_observed(
         metrics,
         metrics_registry,
         stop,
-        registry,
-        accept_thread: Some(accept_thread),
+        halt,
+        waker: completions,
+        io_thread: Some(io_thread),
         workers,
         models,
     })
 }
 
-/// Counts bytes handed to the parser, so a read timeout can be classified:
-/// zero bytes consumed during the failed parse attempt means the connection
-/// was *idle* (safe to retry the read); any progress means the client
-/// stalled *mid-frame* (the partial bytes are unrecoverable — close).
-struct CountingReader<R> {
-    inner: R,
-    consumed: u64,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.consumed += n as u64;
-        Ok(n)
-    }
-}
-
-/// Whether an I/O error is a socket read/write timeout (`WouldBlock` on
-/// Unix, `TimedOut` on Windows).
-fn is_timeout(error: &std::io::Error) -> bool {
+/// Whether an I/O error means "the socket isn't ready" rather than "the
+/// socket is broken". Shared with the router's event loop, which follows
+/// the same nonblocking read/write discipline.
+pub(crate) fn is_would_block(error: &std::io::Error) -> bool {
     matches!(
         error.kind(),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
     )
 }
 
-/// Per-connection loop: reads request frames, enqueues jobs, and ships
-/// responses back through a dedicated writer thread so inference results
-/// never wait on the socket.
-///
-/// Every accepted frame is answered, never dropped: a request the queue
-/// refuses is answered [`ErrorCode::Overloaded`] (admission shed, counted in
-/// [`Metrics`]) or [`ErrorCode::ShuttingDown`] with
-/// [`SHUTTING_DOWN_MESSAGE`] (drain) — which is what lets a router fail it
-/// over instead of leaving the client blocked forever. Pings are answered
-/// on the spot. With a non-zero `idle_timeout`, the socket read blocks in
-/// short slices; a client that is idle past the budget — or stalls
-/// mid-frame for one slice — is disconnected instead of pinning this thread
-/// forever.
-fn connection_loop(
+/// Per-connection state machine: resumable frame decoding in, a
+/// partially-flushed output buffer out.
+struct Conn {
     stream: TcpStream,
-    queue: &BatchQueue<Job>,
-    metrics: &Arc<Metrics>,
+    decoder: FrameDecoder,
+    /// Serialized-but-unflushed replies; `out_offset` marks the flushed
+    /// prefix.
+    outbuf: Vec<u8>,
+    out_offset: usize,
+    /// Last moment bytes arrived from the client (idle/stall clock).
+    last_activity: Instant,
+    /// Last moment a write made progress while output was pending.
+    last_write_progress: Instant,
+    /// Requests handed to the compute queue whose replies are still owed.
+    in_flight: usize,
+    /// The read side is done (client EOF, idle reap, protocol error, or
+    /// server drain); the connection lives on only to flush owed replies.
+    read_open: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn pending_output(&self) -> bool {
+        self.out_offset < self.outbuf.len()
+    }
+
+    /// The interest this connection currently needs.
+    fn desired_interest(&self) -> Interest {
+        match (self.read_open, self.pending_output()) {
+            (true, true) => Interest::ReadWrite,
+            (true, false) => Interest::Read,
+            (false, _) => Interest::Write,
+        }
+    }
+
+    /// Whether the connection has nothing left to do and can be dropped.
+    fn finished(&self) -> bool {
+        !self.read_open && self.in_flight == 0 && !self.pending_output()
+    }
+}
+
+/// The event-loop I/O front.
+struct IoLoop {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: WakeReceiver,
+    completions: Arc<Completions>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    queue: Arc<BatchQueue<Job>>,
+    metrics: Arc<Metrics>,
     idle_timeout: Duration,
-    trace: Option<&TraceLog>,
-) {
-    if stream
-        .set_write_timeout(Some(CLIENT_WRITE_TIMEOUT))
-        .is_err()
-    {
-        return;
+    trace: Option<TraceLog>,
+    stop: Arc<AtomicBool>,
+    halt: Arc<AtomicBool>,
+    /// Read scratch shared across connections.
+    scratch: Vec<u8>,
+}
+
+impl IoLoop {
+    fn build(
+        listener: TcpListener,
+        queue: Arc<BatchQueue<Job>>,
+        metrics: Arc<Metrics>,
+        idle_timeout: Duration,
+        trace: Option<TraceLog>,
+        stop: Arc<AtomicBool>,
+        halt: Arc<AtomicBool>,
+    ) -> std::io::Result<(Self, Arc<Completions>)> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        let (waker, wake_rx) = Waker::pair()?;
+        poller.register(&listener, TOKEN_LISTENER, Interest::Read)?;
+        poller.register(wake_rx.socket(), TOKEN_WAKE, Interest::Read)?;
+        let completions = Arc::new(Completions::new(waker));
+        Ok((
+            Self {
+                poller,
+                listener: Some(listener),
+                wake_rx,
+                completions: Arc::clone(&completions),
+                conns: HashMap::new(),
+                next_token: TOKEN_FIRST_CONN,
+                queue,
+                metrics,
+                idle_timeout,
+                trace,
+                stop,
+                halt,
+                scratch: vec![0; 64 << 10],
+            },
+            completions,
+        ))
     }
-    // Read in short slices so idleness is re-checked without a wake-up
-    // channel; the slice also bounds how long a *mid-frame* stall can hold
-    // the thread.
-    let slice = idle_timeout.clamp(Duration::from_millis(10), Duration::from_millis(250));
-    if !idle_timeout.is_zero() && stream.set_read_timeout(Some(slice)).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-    let writer_metrics = Arc::clone(metrics);
-    let writer = std::thread::spawn(move || {
-        let mut write_half = write_half;
-        while let Ok(reply) = reply_rx.recv() {
-            let write_started = Instant::now();
-            let written = match reply {
-                Reply::Response(response) => write_response(&mut write_half, &response),
-                Reply::Pong(nonce) => write_pong(&mut write_half, nonce),
-            };
-            // The write-back span is the socket-side cost of shipping the
-            // reply — the one stage that happens off the worker threads.
-            writer_metrics.record_stage(Stage::WriteBack, write_started.elapsed());
-            if written.is_err() {
-                break;
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut finished: Vec<(u64, Response)> = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
+                // A broken poller cannot serve; drop everything so clients
+                // see clean disconnects instead of a wedged server.
+                return;
+            }
+            let drained_wake = events.iter().any(|event| event.token == TOKEN_WAKE);
+            if drained_wake {
+                self.wake_rx.drain();
+            }
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {}
+                    token => {
+                        if event.readable {
+                            self.read_ready(token);
+                        }
+                        if event.writable {
+                            self.flush_conn(token);
+                        }
+                    }
+                }
+            }
+            // Worker completions → owning connection's output buffer.
+            self.completions.drain(&mut finished);
+            for (token, response) in finished.drain(..) {
+                self.complete(token, response);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                // Drain mode: no new connections. (In-flight connections
+                // keep being read; the closed queue turns their requests
+                // into SHUTTING_DOWN refusals.)
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.poller.deregister(&listener, TOKEN_LISTENER);
+                }
+            }
+            if self.halt.load(Ordering::SeqCst) {
+                // Final flush: the workers are gone and every owed reply is
+                // in the output buffers. Stop reading, flush, close.
+                for conn in self.conns.values_mut() {
+                    conn.read_open = false;
+                    conn.in_flight = 0;
+                }
+            }
+            self.enforce_timeouts();
+            self.reconcile_interest();
+            if self.halt.load(Ordering::SeqCst) && self.conns.is_empty() {
+                return;
             }
         }
-    });
-    let mut reader = CountingReader {
-        inner: BufReader::new(stream),
-        consumed: 0,
-    };
-    let mut last_activity = Instant::now();
-    loop {
-        let before = reader.consumed;
-        match read_message(&mut reader) {
-            Ok(Some(Message::Request(request))) => {
-                last_activity = Instant::now();
+    }
+
+    /// Accepts until the listener runs dry.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(&stream, token, Interest::Read)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let now = Instant::now();
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            outbuf: Vec::new(),
+                            out_offset: 0,
+                            last_activity: now,
+                            last_write_progress: now,
+                            in_flight: 0,
+                            read_open: true,
+                            interest: Interest::Read,
+                        },
+                    );
+                }
+                Err(error) if is_would_block(&error) => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+                // Transient accept errors (aborted handshakes, fd pressure):
+                // skip this readiness round rather than spinning.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads everything the socket has, feeding the resumable decoder and
+    /// dispatching completed frames.
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.read_open {
+            return;
+        }
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Clean EOF (possibly a half-close): stop reading but
+                    // keep flushing replies the client is still owed.
+                    conn.read_open = false;
+                    break;
+                }
+                Ok(bytes) => {
+                    conn.last_activity = Instant::now();
+                    let mut slice = &self.scratch[..bytes];
+                    while !slice.is_empty() {
+                        match conn.decoder.feed(slice) {
+                            Ok(consumed) => slice = &slice[consumed..],
+                            Err(_) => {
+                                // Unrecoverable framing (bad length or
+                                // checksum): answer nothing for this frame —
+                                // it cannot be attributed to a request id
+                                // safely — and stop reading.
+                                conn.read_open = false;
+                                break;
+                            }
+                        }
+                        if conn.decoder.frame().is_some() {
+                            Self::dispatch_frame(
+                                conn,
+                                token,
+                                &self.queue,
+                                &self.metrics,
+                                &self.completions,
+                                self.trace.as_ref(),
+                            );
+                            conn.decoder.take_frame();
+                        }
+                    }
+                    if !conn.read_open {
+                        break;
+                    }
+                }
+                Err(error) if is_would_block(&error) => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.read_open = false;
+                    break;
+                }
+            }
+        }
+        self.flush_conn(token);
+        self.drop_if_finished(token);
+    }
+
+    /// Handles one complete frame sitting in `conn`'s decoder.
+    fn dispatch_frame(
+        conn: &mut Conn,
+        token: u64,
+        queue: &BatchQueue<Job>,
+        metrics: &Metrics,
+        completions: &Arc<Completions>,
+        trace: Option<&TraceLog>,
+    ) {
+        let payload = conn.decoder.frame().expect("complete frame");
+        match decode_message(payload) {
+            Ok(Message::Request(request)) => {
                 let id = request.id;
                 let model = request.model;
                 let enqueued = Instant::now();
@@ -531,10 +672,16 @@ fn connection_loop(
                     request,
                     enqueued,
                     deadline,
-                    reply: reply_tx.clone(),
+                    reply: ReplySink {
+                        token,
+                        completions: Arc::clone(completions),
+                    },
                 };
                 let refusal = match queue.push(job) {
-                    Ok(()) => continue,
+                    Ok(()) => {
+                        conn.in_flight += 1;
+                        return;
+                    }
                     // Admission shed: answer a retriable OVERLOADED instead
                     // of queueing into latency the client will not accept.
                     Err(PushRefusal::Full) => {
@@ -569,35 +716,145 @@ fn connection_loop(
                         total_us: crate::metrics::as_micros(enqueued.elapsed()),
                     });
                 }
-                let _ = reply_tx.send(Reply::Response(refusal));
+                let _ = write_response(&mut conn.outbuf, &refusal);
             }
-            // Health probes are answered on the connection thread — they
-            // measure serving-plane liveness (accept loop, reader, writer),
+            // Health probes are answered on the I/O thread — they measure
+            // serving-plane liveness (accept loop, event loop, write path),
             // deliberately not queue depth; overload is signaled by typed
             // shed replies, and must not mark a replica dead.
-            Ok(Some(Message::Ping { nonce })) => {
-                last_activity = Instant::now();
-                let _ = reply_tx.send(Reply::Pong(nonce));
+            Ok(Message::Ping { nonce }) => {
+                let _ = write_pong(&mut conn.outbuf, nonce);
             }
-            Ok(None) => break, // clean EOF
-            Err(error) if is_timeout(&error) => {
-                if reader.consumed != before {
-                    // The client stalled mid-frame; the partially-read frame
-                    // cannot be resumed. Close rather than misparse.
-                    break;
-                }
-                if idle_timeout.is_zero() || last_activity.elapsed() < idle_timeout {
-                    continue;
-                }
-                break; // idle past the budget
+            Err(_) => {
+                // Malformed payload behind a valid checksum: protocol
+                // violation; stop reading this connection.
+                conn.read_open = false;
             }
-            Err(_) => break, // malformed frame or hard I/O error
         }
     }
-    // Dropping the last sender ends the writer thread once pending replies
-    // (still held by queued jobs) are delivered or dropped.
-    drop(reply_tx);
-    let _ = writer.join();
+
+    /// Serializes a worker's response into the owning connection's output
+    /// buffer and pushes bytes out.
+    fn complete(&mut self, token: u64, response: Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            // The connection died while its request computed; the answer
+            // has nowhere to go.
+            return;
+        };
+        let write_started = Instant::now();
+        conn.in_flight = conn.in_flight.saturating_sub(1);
+        let _ = write_response(&mut conn.outbuf, &response);
+        self.flush_conn(token);
+        // The write-back span is the socket-side cost of shipping the
+        // reply — the one stage that happens off the worker threads.
+        self.metrics
+            .record_stage(Stage::WriteBack, write_started.elapsed());
+        self.drop_if_finished(token);
+    }
+
+    /// Pushes pending output; tolerates `WouldBlock` (write interest keeps
+    /// the poller watching).
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.pending_output() {
+            match conn.stream.write(&conn.outbuf[conn.out_offset..]) {
+                Ok(0) => {
+                    conn.read_open = false;
+                    conn.outbuf.clear();
+                    conn.out_offset = 0;
+                    break;
+                }
+                Ok(bytes) => {
+                    conn.out_offset += bytes;
+                    conn.last_write_progress = Instant::now();
+                }
+                Err(error) if is_would_block(&error) => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Broken pipe: the replies are undeliverable.
+                    conn.read_open = false;
+                    conn.outbuf.clear();
+                    conn.out_offset = 0;
+                    break;
+                }
+            }
+        }
+        if !conn.pending_output() {
+            conn.outbuf.clear();
+            conn.out_offset = 0;
+            conn.last_write_progress = Instant::now();
+        }
+    }
+
+    /// Applies idle, mid-frame-stall, and write-progress timeouts.
+    fn enforce_timeouts(&mut self) {
+        let now = Instant::now();
+        let idle = self.idle_timeout;
+        // A client that stalls mid-frame cannot be resumed; it is cut after
+        // a short budget (the old per-read slice), not the full idle window.
+        let stall = if idle.is_zero() {
+            None
+        } else {
+            Some(idle.clamp(Duration::from_millis(10), Duration::from_millis(250)))
+        };
+        let mut doomed: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if conn.read_open && !idle.is_zero() {
+                let quiet = now.saturating_duration_since(conn.last_activity);
+                let budget = if conn.decoder.mid_frame() {
+                    stall.expect("stall budget exists when idle timeout set")
+                } else {
+                    idle
+                };
+                if quiet >= budget {
+                    conn.read_open = false;
+                }
+            }
+            if conn.pending_output()
+                && now.saturating_duration_since(conn.last_write_progress) >= CLIENT_WRITE_TIMEOUT
+            {
+                // Zero write progress for the whole budget: the client is
+                // wedged, its buffered replies are undeliverable.
+                conn.outbuf.clear();
+                conn.out_offset = 0;
+                conn.read_open = false;
+                conn.in_flight = 0;
+            }
+            if conn.finished() {
+                doomed.push(token);
+            }
+        }
+        for token in doomed {
+            self.drop_conn(token);
+        }
+    }
+
+    /// Brings each connection's registered poller interest in line with its
+    /// state.
+    fn reconcile_interest(&mut self) {
+        for (&token, conn) in &mut self.conns {
+            let desired = conn.desired_interest();
+            if desired != conn.interest
+                && self.poller.reregister(&conn.stream, token, desired).is_ok()
+            {
+                conn.interest = desired;
+            }
+        }
+    }
+
+    fn drop_if_finished(&mut self, token: u64) {
+        if self.conns.get(&token).is_some_and(Conn::finished) {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(&conn.stream, token);
+        }
+    }
 }
 
 /// Worker loop: pulls micro-batches and runs them through one warm session
@@ -656,14 +913,14 @@ fn worker_loop(
                             total_us: crate::metrics::as_micros(job.enqueued.elapsed()),
                         });
                     }
-                    let _ = job.reply.send(Reply::Response(Response::Err {
+                    job.reply.send(Response::Err {
                         id: job.request.id,
                         code: ErrorCode::DeadlineExceeded,
                         message: format!(
                             "deadline of {} ms exceeded before compute started",
                             job.request.deadline_ms
                         ),
-                    }));
+                    });
                     continue;
                 }
             }
@@ -700,7 +957,7 @@ fn worker_loop(
                     total_us: crate::metrics::as_micros(job.enqueued.elapsed()),
                 });
             }
-            let _ = job.reply.send(Reply::Response(response));
+            job.reply.send(response);
         }
         // Publish this worker's engine stats once per batch — cheap, and at
         // most one batch stale at scrape time.
@@ -777,6 +1034,7 @@ mod tests {
     use sc_nn::layers::Dense;
     use sc_nn::lenet::PoolingStyle;
     use sc_nn::network::Network;
+    use std::io::BufReader;
 
     fn tiny_engine(seed: u64) -> Engine {
         let mut network = Network::new("unit");
@@ -886,23 +1144,28 @@ mod tests {
     fn refused_request_gets_a_shutdown_reply_not_silence() {
         // Regression for the shutdown drop: a request read off the socket
         // after the queue closed must be answered with an explicit refusal —
-        // the old code `break`ed silently and the client blocked in
-        // `read_response` forever.
+        // a silent drop would leave the client blocked in `read_response`
+        // forever. Exercised against the real event loop with a pre-closed
+        // queue (the draining state).
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let queue = Arc::new(BatchQueue::<Job>::new(BatchPolicy::default()));
         queue.close(); // the server is already draining
-        let accept = std::thread::spawn(move || listener.accept().unwrap().0);
-        let client = TcpStream::connect(addr).unwrap();
-        let server_side = accept.join().unwrap();
         let metrics = Arc::new(Metrics::new());
-        let conn = {
-            let queue = Arc::clone(&queue);
-            let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || {
-                connection_loop(server_side, &queue, &metrics, Duration::from_secs(5), None);
-            })
-        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let halt = Arc::new(AtomicBool::new(false));
+        let (io_loop, completions) = IoLoop::build(
+            listener,
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Duration::from_secs(5),
+            None,
+            Arc::clone(&stop),
+            Arc::clone(&halt),
+        )
+        .unwrap();
+        let io = std::thread::spawn(move || io_loop.run());
+        let client = TcpStream::connect(addr).unwrap();
         let mut writer = client.try_clone().unwrap();
         crate::proto::write_request(&mut writer, 77, [1, 2, 2], &[0.0; 4]).unwrap();
         let mut reader = BufReader::new(client);
@@ -916,6 +1179,8 @@ mod tests {
         }
         drop(writer);
         drop(reader);
-        conn.join().unwrap();
+        halt.store(true, Ordering::SeqCst);
+        completions.waker.wake();
+        io.join().unwrap();
     }
 }

@@ -236,11 +236,20 @@ fn truncated_response_fails_over_bit_exact() {
 
 #[test]
 fn corrupted_response_fails_over_bit_exact() {
-    // Every response frame's tag byte is flipped — reliably detectable
-    // without checksums. (Arbitrary-position corruption survives parsing
-    // only because this protocol has no payload checksum; that hardening
-    // is tracked in the roadmap.)
+    // Every response frame's tag byte is flipped — detectable by any
+    // receiver, checksummed or not.
     transport_fault_scenario(FaultKind::Corrupt { every_frames: 1 }, 0xFACADE);
+}
+
+#[test]
+fn corrupted_payload_byte_fails_over_bit_exact() {
+    // Every response frame has one seeded-random *bit* flipped anywhere in
+    // its payload — logits bytes or the CRC32 trailer itself. Only the
+    // frame checksum makes this detectable: without it, a flipped logits
+    // byte would parse cleanly and serve a silently wrong answer. The
+    // scenario asserts zero requests fail and every answer is bit-exact,
+    // i.e. zero silent corruption.
+    transport_fault_scenario(FaultKind::CorruptPayload { every_frames: 1 }, 0x10C0_FFEE);
 }
 
 #[test]
@@ -455,6 +464,124 @@ fn overload_sheds_typed_errors_and_loses_nothing() {
     drop(writer);
     drop(reader);
     handle.shutdown();
+}
+
+#[test]
+fn hedged_request_wins_on_a_slow_replica() {
+    // Replica A answers correctly but ~200 ms late (a degraded-but-alive
+    // replica: no transport failure, so failover never fires). With hedging
+    // on, a request parked on A is re-sent to fast replica B after the
+    // hedge delay; B's answer wins, A's late answer is cancelled by being
+    // ignored, and the client sees low latency with a bit-exact result.
+    let engine = engine_with_seed(44);
+    let replica_a = quick_replica(&engine);
+    let replica_b = quick_replica(&engine);
+    let proxy = FaultProxy::spawn(
+        replica_a.addr(),
+        FaultKind::Delay(Duration::from_millis(200)),
+        0x4ED6E,
+    )
+    .unwrap();
+    let router = router_over(
+        vec![proxy.addr(), replica_b.addr()],
+        RouterOptions {
+            health_interval: Duration::from_millis(100),
+            connect_timeout: Duration::from_millis(500),
+            exchange_timeout: Duration::from_secs(2),
+            probe_timeout: Duration::from_secs(1),
+            retry_budget: 32,
+            hedge: true,
+            hedge_delay: Duration::from_millis(30),
+            ..RouterOptions::default()
+        },
+    );
+
+    let (mut writer, mut reader) = connect(router.addr());
+    // Least-loaded routing ties toward backend 0 (the slow one), so every
+    // sequential request parks on A first and must be rescued by its hedge.
+    assert_all_ok_bit_exact(&mut writer, &mut reader, &engine, 0..10);
+
+    let stats = router.stats();
+    assert_eq!(stats.requests, 10);
+    assert_eq!(stats.failed, 0, "hedging must not fail requests: {stats}");
+    assert_eq!(stats.expired, 0);
+    assert_eq!(
+        stats.failovers, 0,
+        "a slow-but-correct replica is not a failover: {stats}"
+    );
+    assert!(stats.hedges >= 1, "hedges must fire: {stats}");
+    assert!(
+        stats.hedge_wins >= 1,
+        "the fast replica's answer must win at least once: {stats}"
+    );
+    assert!(
+        stats.backends[1].forwarded >= 1,
+        "hedge wins land on replica B: {stats}"
+    );
+
+    drop(writer);
+    drop(reader);
+    router.shutdown();
+    proxy.shutdown();
+    replica_a.shutdown();
+    replica_b.shutdown();
+}
+
+#[test]
+fn hedging_beats_failover_only_on_a_slow_replica() {
+    // The acceptance case for hedging: same degraded topology (A slow but
+    // correct, B fast), measured twice. Failover-only leaves every request
+    // waiting out A's full delay — slowness is not a failure, so nothing
+    // ever fails over. Hedging cuts the wait to roughly the hedge delay.
+    let engine = engine_with_seed(44);
+    let replica_a = quick_replica(&engine);
+    let replica_b = quick_replica(&engine);
+    let proxy = FaultProxy::spawn(
+        replica_a.addr(),
+        FaultKind::Delay(Duration::from_millis(200)),
+        0xAB5_1DE,
+    )
+    .unwrap();
+    let common = RouterOptions {
+        health_interval: Duration::from_millis(100),
+        connect_timeout: Duration::from_millis(500),
+        exchange_timeout: Duration::from_secs(2),
+        probe_timeout: Duration::from_secs(1),
+        retry_budget: 32,
+        hedge_delay: Duration::from_millis(30),
+        ..RouterOptions::default()
+    };
+    let mean_latency = |options: RouterOptions| {
+        let router = router_over(vec![proxy.addr(), replica_b.addr()], options);
+        let (mut writer, mut reader) = connect(router.addr());
+        let started = std::time::Instant::now();
+        assert_all_ok_bit_exact(&mut writer, &mut reader, &engine, 0..6);
+        let elapsed = started.elapsed();
+        let stats = router.stats();
+        assert_eq!(stats.failed, 0, "{stats}");
+        drop(writer);
+        drop(reader);
+        router.shutdown();
+        elapsed / 6
+    };
+
+    let unhedged = mean_latency(RouterOptions {
+        hedge: false,
+        ..common
+    });
+    let hedged = mean_latency(RouterOptions {
+        hedge: true,
+        ..common
+    });
+    // ~200 ms vs ~30-40 ms leaves a wide margin; 3x absorbs scheduler noise.
+    assert!(
+        hedged * 3 < unhedged,
+        "hedging must beat failover-only on a slow replica: hedged {hedged:?} vs unhedged {unhedged:?}"
+    );
+
+    proxy.shutdown();
+    replica_a.shutdown();
+    replica_b.shutdown();
 }
 
 #[test]
