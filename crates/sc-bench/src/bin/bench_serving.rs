@@ -42,6 +42,12 @@
 //! accepted requests' tail latency, asserting zero silent losses: every
 //! offered request is answered — bit-exact or a typed `OVERLOADED`.
 //!
+//! A **cold-start** phase (same gating) times the two replica boot paths to
+//! a serving-ready engine: the storeless path (`serve --config`: train the
+//! network, then lower + compile) against the plan-store path (`serve
+//! --load-plan`: deserialize + deterministic weight-stream regeneration).
+//! Bit-exactness between the two engines is asserted before recording.
+//!
 //! Run with: `cargo run --release -p sc-bench --bin bench_serving`
 //! (`--quick` shrinks stream lengths and request counts for CI smoke runs;
 //! `--verify` additionally re-checks every fused inference against the
@@ -56,10 +62,12 @@ use sc_core::cache::CacheStats;
 use sc_dcnn::config::ScNetworkConfig;
 use sc_nn::dataset::SyntheticDigits;
 use sc_nn::lenet::{tiny_lenet, PoolingStyle};
+use sc_nn::network::TrainingOptions;
 use sc_nn::tensor::Tensor;
 use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
 use sc_serve::interpreter::Inference;
+use sc_serve::plan_store::{load_plan, save_plan};
 use sc_serve::proto::{read_response, write_request_v2, Response};
 use sc_serve::router::{spawn_router, RouterOptions};
 use sc_serve::server::{spawn_multi, ServerHandle, ServerOptions};
@@ -785,6 +793,95 @@ fn bench_overload(stream_length: usize, offered: u64) -> OverloadBenchRun {
     }
 }
 
+/// Result of the cold-start phase: both replica boot paths timed to a
+/// serving-ready engine.
+struct ColdStartBenchRun {
+    stream_length: usize,
+    /// The storeless boot (`serve --config`): train the network, then
+    /// lower + compile. Training is part of the cost — without the store
+    /// the weights have to come from somewhere on every restart.
+    train_compile_ms: f64,
+    /// The plan-store boot (`serve --load-plan`): decode the CRC-guarded
+    /// file and regenerate the weight streams deterministically.
+    plan_load_ms: f64,
+    /// Size of the plan-store file on disk (seeds + shapes + quantized
+    /// weights, not bulk streams).
+    plan_bytes: u64,
+}
+
+impl ColdStartBenchRun {
+    fn speedup(&self) -> f64 {
+        self.train_compile_ms / self.plan_load_ms
+    }
+}
+
+/// Times the storeless boot against the plan-store boot at the same stream
+/// length and asserts the two resulting engines are bit-exact before
+/// anything is recorded — the rolling-upgrade path depends on a restarted
+/// replica being indistinguishable from the one it replaces.
+fn bench_cold_start(
+    stream_length: usize,
+    train_per_class: usize,
+    epochs: usize,
+) -> ColdStartBenchRun {
+    use FeatureBlockKind::{ApcMaxBtanh, MuxMaxStanh};
+    let config = ScNetworkConfig::new(
+        "cold_start",
+        vec![MuxMaxStanh, MuxMaxStanh, ApcMaxBtanh, ApcMaxBtanh],
+        stream_length,
+        PoolingStyle::Max,
+    );
+
+    // Path A: the storeless boot, exactly what `serve --config` does on
+    // every start.
+    let start = Instant::now();
+    let data = SyntheticDigits::load_or_generate(train_per_class, 17);
+    let mut network = tiny_lenet(17);
+    network.train(
+        &data.train_images,
+        &data.train_labels,
+        &TrainingOptions {
+            epochs,
+            learning_rate: 0.08,
+            ..Default::default()
+        },
+    );
+    let compiled =
+        Engine::compile(&network, &config, EngineOptions::default()).expect("engine compiles");
+    let train_compile_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // Persist, then path B: the `serve --load-plan` boot.
+    let dir = std::env::temp_dir().join(format!("sc-bench-cold-start-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("plan dir");
+    let path = dir.join("model-0.scp");
+    save_plan(&path, compiled.plan(), compiled.options().plan.base_seed).expect("save plan");
+    let plan_bytes = std::fs::metadata(&path).expect("plan size").len();
+    let start = Instant::now();
+    let loaded = load_plan(&path).expect("load plan");
+    let options = loaded.engine_options();
+    let restored = Engine::from_plan(loaded.plan, options).expect("engine from plan");
+    let plan_load_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let image = data.train_images[0].clone();
+    assert_eq!(
+        compiled
+            .infer(&mut compiled.new_session(), &image)
+            .expect("compiled inference"),
+        restored
+            .infer(&mut restored.new_session(), &image)
+            .expect("restored inference"),
+        "plan-store cold start must be bit-exact with the freshly compiled engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ColdStartBenchRun {
+        stream_length,
+        train_compile_ms,
+        plan_load_ms,
+        plan_bytes,
+    }
+}
+
 fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -1000,6 +1097,29 @@ fn main() {
             run.shed_rate() * 100.0,
             run.accepted_p50_ms,
             run.accepted_p99_ms
+        );
+        Some(run)
+    } else {
+        None
+    };
+
+    // Cold-start phase: the plan-store boot vs the storeless boot — the
+    // restart cost a rolling upgrade pays per replica. Same gating as the
+    // router phase.
+    let cold_start_run = if router_mode || full_run {
+        let (length, per_class, epochs) = if quick { (128, 4, 1) } else { (1024, 20, 2) };
+        println!(
+            "\ncold-start phase: train+compile vs plan-store load @ L={length} \
+             ({per_class} samples/class, {epochs} epochs) ..."
+        );
+        let run = bench_cold_start(length, per_class, epochs);
+        println!(
+            "cold start: train+compile {:.0}ms, plan-store load {:.1}ms -> {:.1}x faster \
+             ({} plan bytes, bit-exact)",
+            run.train_compile_ms,
+            run.plan_load_ms,
+            run.speedup(),
+            run.plan_bytes
         );
         Some(run)
     } else {
@@ -1263,9 +1383,29 @@ fn main() {
             run.accepted_p99_ms
         ));
         json.push_str("    \"silent_losses\": 0\n");
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"overload\": null,\n");
+    }
+    if let Some(run) = &cold_start_run {
+        json.push_str("  \"cold_start\": {\n");
+        json.push_str(
+            "    \"note\": \"time to a serving-ready engine: the storeless boot (train + lower \
+             + compile, what `serve --config` does on every start) vs the plan-store boot \
+             (`serve --load-plan`: decode the CRC-guarded file + regenerate weight streams \
+             deterministically); the two engines asserted bit-exact before recording\",\n",
+        );
+        json.push_str(&format!("    \"stream_length\": {},\n", run.stream_length));
+        json.push_str(&format!(
+            "    \"train_compile_ms\": {:.1},\n",
+            run.train_compile_ms
+        ));
+        json.push_str(&format!("    \"plan_load_ms\": {:.2},\n", run.plan_load_ms));
+        json.push_str(&format!("    \"plan_file_bytes\": {},\n", run.plan_bytes));
+        json.push_str(&format!("    \"speedup\": {:.1}\n", run.speedup()));
         json.push_str("  }\n");
     } else {
-        json.push_str("  \"overload\": null\n");
+        json.push_str("  \"cold_start\": null\n");
     }
     json.push_str("}\n");
 

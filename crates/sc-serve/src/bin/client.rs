@@ -16,21 +16,30 @@
 //! point is owning many concurrent sockets with one I/O thread. Counts are
 //! aggregated and the exit code is the worst any connection saw.
 //!
+//! `--admin OP` switches the client into fleet-operations mode: it sends
+//! one protocol-v4 admin frame and prints the replica's status snapshot.
+//! `OP` is `status`, `drain`, `unload:MODEL`, or `load:MODEL:PATH` (PATH is
+//! a compiled plan-store file on the *replica's* filesystem). Mutating ops
+//! are authenticated by locality — the replica only honors them from
+//! loopback peers, so aim `--addr` at the replica itself, not the router.
+//!
 //! Exit codes distinguish failure classes for scripting:
 //!
 //! | code | meaning                                                       |
 //! |------|---------------------------------------------------------------|
-//! | 0    | every request answered `Ok`                                   |
+//! | 0    | every request answered `Ok` (admin mode: op accepted)         |
 //! | 1    | transport failure (connect/read/write error, early close)     |
-//! | 2    | at least one application error (`APP_ERROR`)                  |
-//! | 3    | at least one retriable refusal (`OVERLOADED`/`SHUTTING_DOWN`) |
+//! | 2    | at least one application error (`APP_ERROR`; admin refusal)   |
+//! | 3    | at least one retriable refusal (`OVERLOADED`/`SHUTTING_DOWN`/ |
+//! |      | `MODEL_UNAVAILABLE`)                                          |
 //! | 4    | at least one `DEADLINE_EXCEEDED`                              |
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sc_nn::dataset::render_digit;
 use sc_serve::proto::{
-    read_response, write_request, write_request_v2, write_request_v3, ErrorCode, Response,
+    read_admin_response, read_response, write_admin, write_request, write_request_v2,
+    write_request_v3, AdminOp, ErrorCode, Response,
 };
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -125,7 +134,9 @@ fn run_connection(config: &RunConfig, ids: std::ops::Range<u64>, seed: u64) -> (
                 println!("#{id}: server error [{code}]: {message}");
                 exit = exit.max(match code {
                     ErrorCode::DeadlineExceeded => EXIT_DEADLINE,
-                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => EXIT_RETRIABLE,
+                    ErrorCode::Overloaded
+                    | ErrorCode::ShuttingDown
+                    | ErrorCode::ModelUnavailable => EXIT_RETRIABLE,
                     ErrorCode::App => EXIT_APP_ERROR,
                 });
             }
@@ -142,6 +153,85 @@ fn run_connection(config: &RunConfig, ids: std::ops::Range<u64>, seed: u64) -> (
     (correct, answered, exit)
 }
 
+/// Parses the `--admin` operation grammar: `status`, `drain`,
+/// `unload:MODEL`, `load:MODEL:PATH`.
+fn parse_admin_op(spec: &str) -> AdminOp {
+    match spec {
+        "status" => AdminOp::Status,
+        "drain" => AdminOp::Drain,
+        other => {
+            if let Some(model) = other.strip_prefix("unload:") {
+                AdminOp::UnloadModel {
+                    model: model.parse().expect("unload model id"),
+                }
+            } else if let Some(rest) = other.strip_prefix("load:") {
+                let (model, path) = rest
+                    .split_once(':')
+                    .expect("--admin load needs load:MODEL:PATH");
+                AdminOp::LoadModel {
+                    model: model.parse().expect("load model id"),
+                    path: path.to_string(),
+                }
+            } else {
+                panic!("unknown --admin op {other} (status | drain | unload:ID | load:ID:PATH)")
+            }
+        }
+    }
+}
+
+/// Sends one admin frame and prints the replica's status snapshot.
+fn run_admin(addr: &str, op: AdminOp, socket_timeout: Duration) -> ExitCode {
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("connect to {addr} failed: {error}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    stream
+        .set_read_timeout(Some(socket_timeout))
+        .expect("set read timeout");
+    stream
+        .set_write_timeout(Some(socket_timeout))
+        .expect("set write timeout");
+    let mut writer = stream.try_clone().expect("clone stream");
+    if let Err(error) = write_admin(&mut writer, &op) {
+        eprintln!("admin send failed: {error}");
+        return ExitCode::from(EXIT_TRANSPORT);
+    }
+    let mut reader = BufReader::new(stream);
+    match read_admin_response(&mut reader) {
+        Ok(Some(response)) => {
+            println!(
+                "{} generation={} draining={} models={:?}{}{}",
+                if response.ok { "ok" } else { "refused" },
+                response.generation,
+                response.draining,
+                response.models,
+                if response.message.is_empty() {
+                    ""
+                } else {
+                    ": "
+                },
+                response.message
+            );
+            if response.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_APP_ERROR)
+            }
+        }
+        Ok(None) => {
+            eprintln!("server closed the connection before answering");
+            ExitCode::from(EXIT_TRANSPORT)
+        }
+        Err(error) => {
+            eprintln!("admin read failed: {error}");
+            ExitCode::from(EXIT_TRANSPORT)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut count = 10usize;
@@ -150,6 +240,7 @@ fn main() -> ExitCode {
     let mut deadline_ms = 0u32;
     let mut socket_timeout_ms = 10_000u64;
     let mut concurrency = 1usize;
+    let mut admin: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -166,8 +257,16 @@ fn main() -> ExitCode {
                 socket_timeout_ms = value("--socket-timeout-ms").parse().expect("timeout ms");
             }
             "--concurrency" => concurrency = value("--concurrency").parse().expect("concurrency"),
+            "--admin" => admin = Some(value("--admin")),
             other => panic!("unknown flag {other}"),
         }
+    }
+    if let Some(spec) = admin {
+        return run_admin(
+            &addr,
+            parse_admin_op(&spec),
+            Duration::from_millis(socket_timeout_ms.max(1)),
+        );
     }
     let concurrency = concurrency.clamp(1, count.max(1));
 

@@ -22,6 +22,13 @@
 //! endpoint (`/metrics` Prometheus text, `/metrics.json`); `--trace-log
 //! trace.jsonl --trace-sample 64 --trace-seed 7` writes a deterministic
 //! 1-in-64 sampled JSONL request trace with per-stage latency breakdowns.
+//!
+//! Cold-start path: `--save-plans DIR` writes every compiled engine to
+//! `DIR/model-<i>.scp` (the versioned, CRC-guarded plan-store format);
+//! `--load-plan FILE` (repeatable, one model per use) boots straight from
+//! such files — deserialize + deterministic weight-stream regeneration, no
+//! training or lowering. A replica restarted this way is bit-exact with the
+//! one that saved the plan.
 
 use sc_blocks::feature_block::FeatureBlockKind;
 use sc_dcnn::config::ScNetworkConfig;
@@ -32,7 +39,8 @@ use sc_serve::admin::spawn_admin;
 use sc_serve::batch::BatchPolicy;
 use sc_serve::engine::{Engine, EngineOptions};
 use sc_serve::obs::{TraceLog, TraceSampler};
-use sc_serve::server::{spawn_multi_observed, ServerOptions};
+use sc_serve::plan_store::{load_plan, save_plan};
+use sc_serve::server::{bind_reusable, spawn_multi_observed, ServerOptions};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +49,8 @@ struct Args {
     addr: String,
     admin_addr: Option<String>,
     model_configs: Vec<String>,
+    save_plans: Option<String>,
+    load_plans: Vec<String>,
     stream_length: usize,
     max_batch: usize,
     linger_us: u64,
@@ -61,6 +71,8 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7878".into(),
         admin_addr: None,
         model_configs: Vec::new(),
+        save_plans: None,
+        load_plans: Vec::new(),
         stream_length: 1024,
         max_batch: 32,
         linger_us: 2000,
@@ -95,6 +107,9 @@ fn parse_args() -> Args {
             // `--config` and `--model-config` are the same thing: each use
             // appends one model to the registry, in model-id order.
             "--config" | "--model-config" => args.model_configs.push(value(&flag)),
+            // Cold-start plumbing: persist compiled plans / boot from them.
+            "--save-plans" => args.save_plans = Some(value("--save-plans")),
+            "--load-plan" => args.load_plans.push(value("--load-plan")),
             "--stream-length" => {
                 args.stream_length = value("--stream-length").parse().expect("stream length")
             }
@@ -116,7 +131,10 @@ fn parse_args() -> Args {
             other => panic!("unknown flag {other}"),
         }
     }
-    if args.model_configs.is_empty() {
+    if !args.load_plans.is_empty() && !args.model_configs.is_empty() {
+        panic!("--load-plan and --model-config are mutually exclusive: a plan file already fixes its configuration");
+    }
+    if args.model_configs.is_empty() && args.load_plans.is_empty() {
         args.model_configs.push("no1".into());
     }
     args
@@ -137,50 +155,81 @@ fn config_for(name: &str, stream_length: usize) -> ScNetworkConfig {
 
 fn main() {
     let args = parse_args();
-    // Resolve every configuration up front: a typo in one --model-config
-    // must fail here, not after a minutes-long training run.
-    let configs: Vec<ScNetworkConfig> = args
-        .model_configs
-        .iter()
-        .map(|name| config_for(name, args.stream_length))
-        .collect();
+    let engines: Vec<Arc<Engine>> = if args.load_plans.is_empty() {
+        // Resolve every configuration up front: a typo in one --model-config
+        // must fail here, not after a minutes-long training run.
+        let configs: Vec<ScNetworkConfig> = args
+            .model_configs
+            .iter()
+            .map(|name| config_for(name, args.stream_length))
+            .collect();
 
-    println!(
-        "training reduced LeNet ({} samples/class, {} epochs)...",
-        args.train_per_class, args.epochs
-    );
-    let data = SyntheticDigits::load_or_generate(args.train_per_class, 17);
-    let mut network = tiny_lenet(17);
-    network.train(
-        &data.train_images,
-        &data.train_labels,
-        &TrainingOptions {
-            epochs: args.epochs,
-            learning_rate: 0.08,
-            ..Default::default()
-        },
-    );
+        println!(
+            "training reduced LeNet ({} samples/class, {} epochs)...",
+            args.train_per_class, args.epochs
+        );
+        let data = SyntheticDigits::load_or_generate(args.train_per_class, 17);
+        let mut network = tiny_lenet(17);
+        network.train(
+            &data.train_images,
+            &data.train_labels,
+            &TrainingOptions {
+                epochs: args.epochs,
+                learning_rate: 0.08,
+                ..Default::default()
+            },
+        );
 
-    let engines: Vec<Arc<Engine>> = configs
-        .into_iter()
-        .map(|config| {
+        configs
+            .into_iter()
+            .map(|config| {
+                println!(
+                    "compiling engine for {} (L = {})...",
+                    config.layer_summary(),
+                    config.stream_length
+                );
+                let engine = Engine::compile(
+                    &network,
+                    &config,
+                    EngineOptions {
+                        verify_against_interpreter: args.verify,
+                        ..EngineOptions::default()
+                    },
+                )
+                .expect("engine compilation");
+                Arc::new(engine)
+            })
+            .collect()
+    } else {
+        // Cold start from the plan store: no training, no lowering — just
+        // deserialize + deterministic weight-stream regeneration.
+        args.load_plans
+            .iter()
+            .map(|path| {
+                println!("loading compiled plan from {path}...");
+                let loaded = load_plan(std::path::Path::new(path))
+                    .unwrap_or_else(|error| panic!("load plan {path}: {error}"));
+                let mut options = loaded.engine_options();
+                options.verify_against_interpreter = args.verify;
+                let engine = Engine::from_plan(loaded.plan, options)
+                    .unwrap_or_else(|error| panic!("engine from plan {path}: {error}"));
+                Arc::new(engine)
+            })
+            .collect()
+    };
+    if let Some(dir) = &args.save_plans {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).expect("create plan-store directory");
+        for (model, engine) in engines.iter().enumerate() {
+            let path = dir.join(format!("model-{model}.scp"));
+            save_plan(&path, engine.plan(), engine.options().plan.base_seed)
+                .unwrap_or_else(|error| panic!("save plan {}: {error}", path.display()));
             println!(
-                "compiling engine for {} (L = {})...",
-                config.layer_summary(),
-                config.stream_length
+                "saved compiled plan for model {model} to {}",
+                path.display()
             );
-            let engine = Engine::compile(
-                &network,
-                &config,
-                EngineOptions {
-                    verify_against_interpreter: args.verify,
-                    ..EngineOptions::default()
-                },
-            )
-            .expect("engine compilation");
-            Arc::new(engine)
-        })
-        .collect();
+        }
+    }
     for (model, engine) in engines.iter().enumerate() {
         println!(
             "model {model} ({}): {} layers, {} FEB evaluations/request, {} cached weight streams",
@@ -196,7 +245,16 @@ fn main() {
         TraceLog::to_file(sampler, std::path::Path::new(path)).expect("create trace log")
     });
 
-    let listener = TcpListener::bind(&args.addr).expect("bind listener");
+    // `SO_REUSEADDR` before bind: a restarted replica (the rolling-upgrade
+    // path) must reclaim its advertised address through the previous
+    // incarnation's lingering TIME_WAIT connections instead of waiting out
+    // the kernel timer. Non-socket-address strings fall back to a plain
+    // resolving bind.
+    let listener = match args.addr.parse::<std::net::SocketAddr>() {
+        Ok(addr) => bind_reusable(addr),
+        Err(_) => TcpListener::bind(&args.addr),
+    }
+    .expect("bind listener");
     let handle = spawn_multi_observed(
         engines,
         listener,

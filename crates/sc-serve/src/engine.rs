@@ -175,6 +175,29 @@ impl Session {
 /// row is a convolution filter or a fully-connected unit.
 type LayerWeightStreams = Vec<Vec<Vec<BitStream>>>;
 
+/// Pre-generates every layer's weight bit-streams from the plan's block
+/// seeds (shared by [`Engine::compile`] and [`Engine::from_plan`]; the
+/// streams are a pure function of the plan, which is what lets the plan
+/// store omit them).
+fn generate_weight_streams(plan: &Plan) -> Result<Vec<LayerWeightStreams>, ServeError> {
+    plan.layers
+        .iter()
+        .map(|layer| match layer {
+            PlanLayer::Conv(conv) => conv
+                .filters
+                .iter()
+                .map(|filter| conv.block.weight_streams(filter))
+                .collect::<Result<LayerWeightStreams, _>>(),
+            PlanLayer::Dense(dense) => dense
+                .units
+                .iter()
+                .map(|unit| dense.block.weight_streams(unit))
+                .collect::<Result<LayerWeightStreams, _>>(),
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(ServeError::from)
+}
+
 /// A compiled, immutable SC inference engine.
 ///
 /// The engine itself is `Sync`: all mutable state lives in [`Session`]s, so
@@ -199,23 +222,27 @@ impl Engine {
         config: &ScNetworkConfig,
         options: EngineOptions,
     ) -> Result<Self, ServeError> {
-        let plan = Arc::new(lower(network, config, &options.plan)?);
-        let weights = plan
-            .layers
-            .iter()
-            .map(|layer| match layer {
-                PlanLayer::Conv(conv) => conv
-                    .filters
-                    .iter()
-                    .map(|filter| conv.block.weight_streams(filter))
-                    .collect::<Result<LayerWeightStreams, _>>(),
-                PlanLayer::Dense(dense) => dense
-                    .units
-                    .iter()
-                    .map(|unit| dense.block.weight_streams(unit))
-                    .collect::<Result<LayerWeightStreams, _>>(),
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let plan = lower(network, config, &options.plan)?;
+        Self::from_plan(plan, options)
+    }
+
+    /// Builds an engine directly from an already-lowered [`Plan`] — the
+    /// cold-start path of [`crate::plan_store`], which skips training and
+    /// lowering entirely. Weight bit-streams are regenerated here from the
+    /// plan's block seeds, so the resulting engine is bit-exact with one
+    /// [`Engine::compile`] produced from the same network and options.
+    ///
+    /// `options.plan` is recorded for introspection but does not influence
+    /// the build (the plan is already lowered); pass the values the plan was
+    /// originally lowered under, e.g. via
+    /// [`crate::plan_store::LoadedPlan::engine_options`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors from weight-stream pre-generation.
+    pub fn from_plan(plan: Plan, options: EngineOptions) -> Result<Self, ServeError> {
+        let plan = Arc::new(plan);
+        let weights = generate_weight_streams(&plan)?;
         Ok(Self {
             interpreter: Interpreter::new(Arc::clone(&plan)),
             plan,

@@ -81,6 +81,7 @@ pub mod interpreter;
 pub mod metrics;
 pub mod obs;
 pub mod plan;
+pub mod plan_store;
 pub mod proto;
 pub mod reactor;
 pub mod router;
@@ -102,12 +103,13 @@ pub mod prelude {
     pub use crate::metrics::{Metrics, MetricsReport, Stage};
     pub use crate::obs::{MetricsRegistry, TraceLog, TraceSampler};
     pub use crate::plan::{lower, Plan, PlanOptions};
+    pub use crate::plan_store::{load_plan, save_plan, LoadedPlan};
     pub use crate::proto::ErrorCode;
     pub use crate::router::{
         spawn_router, spawn_router_observed, RouterHandle, RouterOptions, RouterStats,
     };
     pub use crate::server::{
-        spawn, spawn_multi, spawn_multi_observed, ServerHandle, ServerOptions,
-        SHUTTING_DOWN_MESSAGE,
+        bind_reusable, spawn, spawn_multi, spawn_multi_observed, ModelRegistry, ServerHandle,
+        ServerOptions, SHUTTING_DOWN_MESSAGE,
     };
 }

@@ -1,0 +1,592 @@
+//! A versioned, CRC-guarded on-disk format for compiled [`Plan`]s.
+//!
+//! A cold replica start without this module is a *recompile*: train (or
+//! reload) the network, lower it, and regenerate every weight bit-stream.
+//! The expensive part of that pipeline is entirely deterministic — weight
+//! streams are a pure function of `(layer seed, weight value, stream
+//! length)` — so the store keeps only the irreducible inputs:
+//!
+//! * the seed scheme (`base_seed`; per-layer seeds derive via
+//!   [`crate::plan::layer_seed`]),
+//! * the structural shapes (layer kinds, conv/dense geometry), and
+//! * the clamped, quantized weights themselves.
+//!
+//! Bulk bit-streams are **not** stored: [`crate::engine::Engine::from_plan`]
+//! regenerates them bit-identically on load, which is still several times
+//! faster than the full train+lower+generate pipeline and keeps store files
+//! small.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! store   := magic body crc32(magic body):u32
+//! magic   := "SCP1"
+//! body    := base_seed:u64 stream_bits:u32 input_shape:u32[3]
+//!            name_len:u16 name:bytes layer_count:u16 layer*
+//! layer   := 0x01 kind:u8 conv | 0x02 kind:u8 dense
+//! conv    := in_shape:u32[3] out_shape:u32[3] kernel:u32
+//!            filters:u16 weights_per_filter:u32 weight:f64bits[...]
+//! dense   := input_size:u32 units:u16 weights_per_unit:u32
+//!            weight:f64bits[...]
+//! ```
+//!
+//! All integers are little-endian; weights travel as IEEE-754 bit patterns.
+//! The trailing CRC-32 (same vendored [`crate::crc32`] the wire protocol
+//! uses) guards the whole file including the magic, so truncation and bit
+//! flips both surface as typed [`ServeError::Invalid`] errors — never a
+//! panic, never a garbage engine. Decoding validates every count against the
+//! bytes actually present *before* allocating, mirroring the
+//! [`crate::proto`] parser's discipline, and re-checks the structural
+//! invariants the lowering guarantees (shape chaining, weight ranges) so a
+//! logically-corrupt file that happens to checksum cleanly is still
+//! rejected.
+
+use crate::engine::EngineOptions;
+use crate::error::ServeError;
+use crate::plan::{layer_seed, ConvPlanLayer, DensePlanLayer, Plan, PlanLayer, PlanOptions};
+use sc_blocks::feature_block::{FeatureBlock, FeatureBlockKind};
+use sc_core::bitstream::StreamLength;
+use std::path::Path;
+
+/// Magic + version prefix of a store file ("SCP" + format version digit).
+pub const MAGIC: [u8; 4] = *b"SCP1";
+
+/// Layer tag for a lowered convolution group.
+const TAG_CONV: u8 = 1;
+/// Layer tag for a lowered fully-connected group.
+const TAG_DENSE: u8 = 2;
+
+/// Caps a store's structural counts so a corrupt-but-checksummed file (or a
+/// hand-crafted hostile one) cannot demand absurd allocations.
+const MAX_NAME_BYTES: usize = 1024;
+const MAX_LAYERS: usize = 1024;
+const MAX_ROWS: usize = 1 << 16;
+const MAX_WEIGHTS_PER_ROW: usize = 1 << 20;
+
+/// A plan deserialized from a store file, together with the seed scheme it
+/// was compiled under.
+#[derive(Debug, Clone)]
+pub struct LoadedPlan {
+    /// The reconstructed execution plan (blocks rebuilt from the stored
+    /// seeds, bit-identical to the original lowering's).
+    pub plan: Plan,
+    /// The base seed the plan's per-layer block seeds derive from.
+    pub base_seed: u64,
+}
+
+impl LoadedPlan {
+    /// Engine options whose lowering fields match this plan — the natural
+    /// companion for [`crate::engine::Engine::from_plan`], which records
+    /// them for introspection (`engine.options().plan.base_seed`).
+    pub fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            plan: PlanOptions {
+                input_shape: self.plan.input_shape,
+                base_seed: self.base_seed,
+            },
+            ..EngineOptions::default()
+        }
+    }
+}
+
+/// Serializes a plan (plus the base seed it was lowered under) into the
+/// store format, CRC trailer included.
+pub fn encode_plan(plan: &Plan, base_seed: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&base_seed.to_le_bytes());
+    out.extend_from_slice(&(plan.stream_length.bits() as u32).to_le_bytes());
+    for dim in plan.input_shape {
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+    }
+    let name = plan.config_name.as_bytes();
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(plan.layers.len() as u16).to_le_bytes());
+    for layer in &plan.layers {
+        match layer {
+            PlanLayer::Conv(conv) => {
+                out.push(TAG_CONV);
+                out.push(kind_code(conv.block.kind()));
+                for dim in conv.in_shape.iter().chain(conv.out_shape.iter()) {
+                    out.extend_from_slice(&(*dim as u32).to_le_bytes());
+                }
+                out.extend_from_slice(&(conv.kernel as u32).to_le_bytes());
+                push_rows(&mut out, &conv.filters);
+            }
+            PlanLayer::Dense(dense) => {
+                out.push(TAG_DENSE);
+                out.push(kind_code(dense.block.kind()));
+                out.extend_from_slice(&(dense.input_size as u32).to_le_bytes());
+                push_rows(&mut out, &dense.units);
+            }
+        }
+    }
+    let crc = crate::crc32::checksum(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Writes [`encode_plan`]'s bytes to `path` (via a same-directory temporary
+/// file + rename, so a crash mid-write never leaves a torn store behind).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on filesystem failures.
+pub fn save_plan(path: &Path, plan: &Plan, base_seed: u64) -> Result<(), ServeError> {
+    let bytes = encode_plan(plan, base_seed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Parses a store file's bytes back into a plan.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Invalid`] for anything structurally wrong — bad
+/// magic, unsupported version, CRC mismatch, truncation, counts that don't
+/// match the bytes present, out-of-range weights, or layer shapes that don't
+/// chain — and [`ServeError::Sc`] for an unusable stream length.
+pub fn decode_plan(bytes: &[u8]) -> Result<LoadedPlan, ServeError> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(invalid("file too short to be a plan store"));
+    }
+    if bytes[..3] != MAGIC[..3] {
+        return Err(invalid("bad magic (not a plan store file)"));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(invalid("unsupported plan store version"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte CRC trailer"));
+    let computed = crate::crc32::checksum(body);
+    if stored != computed {
+        return Err(invalid(&format!(
+            "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    let mut reader = Reader {
+        bytes: &body[MAGIC.len()..],
+    };
+    let base_seed = reader.u64()?;
+    let stream_bits = reader.u32()? as usize;
+    let stream_length = StreamLength::try_new(stream_bits).map_err(ServeError::from)?;
+    let input_shape = reader.shape3()?;
+    let name_len = reader.u16()? as usize;
+    if name_len > MAX_NAME_BYTES {
+        return Err(invalid("configuration name too long"));
+    }
+    let name = reader.bytes(name_len)?;
+    let config_name =
+        String::from_utf8(name.to_vec()).map_err(|_| invalid("configuration name is not UTF-8"))?;
+    let layer_count = reader.u16()? as usize;
+    if layer_count == 0 || layer_count > MAX_LAYERS {
+        return Err(invalid("layer count out of range"));
+    }
+    let mut layers = Vec::with_capacity(layer_count);
+    // Element count flowing out of the previous layer; the store must chain
+    // exactly the way `lower` built it.
+    let mut flow: usize = input_shape.iter().product();
+    for index in 0..layer_count {
+        let tag = reader.u8()?;
+        let kind = decode_kind(reader.u8()?)?;
+        let seed = layer_seed(base_seed, index);
+        let layer = match tag {
+            TAG_CONV => {
+                let conv = decode_conv(&mut reader, kind, stream_length, seed, index, flow)?;
+                flow = conv.out_shape.iter().product();
+                PlanLayer::Conv(conv)
+            }
+            TAG_DENSE => {
+                let dense = decode_dense(&mut reader, kind, stream_length, seed, index, flow)?;
+                flow = dense.units.len();
+                PlanLayer::Dense(dense)
+            }
+            other => return Err(invalid(&format!("unknown layer tag {other}"))),
+        };
+        layers.push(layer);
+    }
+    if reader.remaining() != 0 {
+        return Err(invalid("trailing bytes after the last layer"));
+    }
+    Ok(LoadedPlan {
+        plan: Plan {
+            layers,
+            stream_length,
+            input_shape,
+            config_name,
+        },
+        base_seed,
+    })
+}
+
+/// Reads and parses a store file.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] on read failures plus everything
+/// [`decode_plan`] rejects.
+pub fn load_plan(path: &Path) -> Result<LoadedPlan, ServeError> {
+    let bytes = std::fs::read(path)?;
+    decode_plan(&bytes)
+}
+
+fn invalid(message: &str) -> ServeError {
+    ServeError::Invalid(format!("plan store: {message}"))
+}
+
+/// Stable on-disk code of a block kind (its index in
+/// [`FeatureBlockKind::ALL`], the paper's order).
+fn kind_code(kind: FeatureBlockKind) -> u8 {
+    FeatureBlockKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL") as u8
+}
+
+fn decode_kind(code: u8) -> Result<FeatureBlockKind, ServeError> {
+    FeatureBlockKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| invalid(&format!("unknown feature-block kind code {code}")))
+}
+
+/// Appends a rectangular `rows × weights_per_row` weight table.
+fn push_rows(out: &mut Vec<u8>, rows: &[Vec<f64>]) {
+    out.extend_from_slice(&(rows.len() as u16).to_le_bytes());
+    let per_row = rows.first().map_or(0, Vec::len);
+    out.extend_from_slice(&(per_row as u32).to_le_bytes());
+    for row in rows {
+        debug_assert_eq!(row.len(), per_row, "weight tables are rectangular");
+        for &weight in row {
+            out.extend_from_slice(&weight.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Reads a weight table back, validating counts against the bytes present
+/// *before* allocating and every weight against the bipolar range.
+fn read_rows(reader: &mut Reader<'_>, layer: usize) -> Result<Vec<Vec<f64>>, ServeError> {
+    let rows = reader.u16()? as usize;
+    let per_row = reader.u32()? as usize;
+    if rows == 0 || rows > MAX_ROWS {
+        return Err(invalid(&format!("layer {layer}: row count out of range")));
+    }
+    if per_row == 0 || per_row > MAX_WEIGHTS_PER_ROW {
+        return Err(invalid(&format!(
+            "layer {layer}: weights-per-row out of range"
+        )));
+    }
+    let needed = rows
+        .checked_mul(per_row)
+        .and_then(|w| w.checked_mul(8))
+        .ok_or_else(|| invalid(&format!("layer {layer}: weight table size overflows")))?;
+    if needed > reader.remaining() {
+        return Err(invalid(&format!(
+            "layer {layer}: weight table larger than the bytes remaining"
+        )));
+    }
+    (0..rows)
+        .map(|_| {
+            (0..per_row)
+                .map(|_| {
+                    let weight = f64::from_bits(reader.u64()?);
+                    if !weight.is_finite() || !(-1.0..=1.0).contains(&weight) {
+                        return Err(invalid(&format!(
+                            "layer {layer}: weight {weight} outside the bipolar range"
+                        )));
+                    }
+                    Ok(weight)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn decode_conv(
+    reader: &mut Reader<'_>,
+    kind: FeatureBlockKind,
+    stream_length: StreamLength,
+    seed: u64,
+    layer: usize,
+    flow: usize,
+) -> Result<ConvPlanLayer, ServeError> {
+    let in_shape = reader.shape3()?;
+    let out_shape = reader.shape3()?;
+    let kernel = reader.u32()? as usize;
+    let [channels, height, width] = in_shape;
+    if channels * height * width != flow {
+        return Err(invalid(&format!(
+            "layer {layer}: input shape {in_shape:?} does not chain from the previous layer"
+        )));
+    }
+    if kernel == 0 || height < kernel || width < kernel {
+        return Err(invalid(&format!(
+            "layer {layer}: kernel {kernel} does not fit a {height}x{width} input"
+        )));
+    }
+    // The lowering only emits 2x2-poolable geometries; re-derive and compare.
+    let (pre_h, pre_w) = (height - kernel + 1, width - kernel + 1);
+    if pre_h % 2 != 0 || pre_w % 2 != 0 || out_shape[1] != pre_h / 2 || out_shape[2] != pre_w / 2 {
+        return Err(invalid(&format!(
+            "layer {layer}: output shape {out_shape:?} inconsistent with input {in_shape:?} \
+             and kernel {kernel}"
+        )));
+    }
+    let filters = read_rows(reader, layer)?;
+    if filters.len() != out_shape[0] {
+        return Err(invalid(&format!(
+            "layer {layer}: {} filters but output shape claims {}",
+            filters.len(),
+            out_shape[0]
+        )));
+    }
+    if filters[0].len() != channels * kernel * kernel {
+        return Err(invalid(&format!(
+            "layer {layer}: filter length {} does not match {channels} channels x {kernel}^2",
+            filters[0].len()
+        )));
+    }
+    let block =
+        FeatureBlock::with_pool_window(kind, channels * kernel * kernel, 4, stream_length, seed)?;
+    Ok(ConvPlanLayer {
+        block,
+        in_shape,
+        out_shape,
+        kernel,
+        filters,
+    })
+}
+
+fn decode_dense(
+    reader: &mut Reader<'_>,
+    kind: FeatureBlockKind,
+    stream_length: StreamLength,
+    seed: u64,
+    layer: usize,
+    flow: usize,
+) -> Result<DensePlanLayer, ServeError> {
+    let input_size = reader.u32()? as usize;
+    if input_size != flow {
+        return Err(invalid(&format!(
+            "layer {layer}: dense input size {input_size} does not chain from the previous layer"
+        )));
+    }
+    let units = read_rows(reader, layer)?;
+    if units[0].len() != input_size {
+        return Err(invalid(&format!(
+            "layer {layer}: unit length {} does not match input size {input_size}",
+            units[0].len()
+        )));
+    }
+    let block = FeatureBlock::with_pool_window(kind, input_size, 1, stream_length, seed)?;
+    Ok(DensePlanLayer {
+        block,
+        input_size,
+        units,
+    })
+}
+
+/// Bounds-checked little-endian reader over the store body (the local twin
+/// of the wire parser's cursor: every primitive read is a typed error on
+/// truncation, never a slice panic).
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn bytes(&mut self, count: usize) -> Result<&'a [u8], ServeError> {
+        if self.bytes.len() < count {
+            return Err(invalid("truncated (field extends past the end)"));
+        }
+        let (taken, rest) = self.bytes.split_at(count);
+        self.bytes = rest;
+        Ok(taken)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn shape3(&mut self) -> Result<[usize; 3], ServeError> {
+        let mut shape = [0usize; 3];
+        for dim in &mut shape {
+            let value = self.u32()? as usize;
+            if value == 0 || value > u32::MAX as usize {
+                return Err(invalid("zero shape dimension"));
+            }
+            *dim = value;
+        }
+        Ok(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use sc_dcnn::config::ScNetworkConfig;
+    use sc_nn::lenet::PoolingStyle;
+    use sc_nn::network::Network;
+    use sc_nn::tensor::Tensor;
+
+    /// A conv+pool(+tanh)+dense network matching `kind`'s pooling style.
+    fn network_for(kind: FeatureBlockKind, seed: u64) -> Network {
+        let mut network = Network::new("store-test");
+        network.push(Box::new(sc_nn::layers::Conv2d::new(1, 2, 3, seed)));
+        if kind.uses_max_pooling() {
+            network.push(Box::new(sc_nn::layers::MaxPool2::new()));
+        } else {
+            network.push(Box::new(sc_nn::layers::AvgPool2::new()));
+        }
+        network.push(Box::new(sc_nn::layers::Tanh::new()));
+        network.push(Box::new(sc_nn::layers::Dense::new(2 * 3 * 3, 4, seed + 1)));
+        network
+    }
+
+    fn compile(kind: FeatureBlockKind, seed: u64) -> Engine {
+        let pooling = if kind.uses_max_pooling() {
+            PoolingStyle::Max
+        } else {
+            PoolingStyle::Average
+        };
+        let config = ScNetworkConfig::new("store", vec![kind; 2], 64, pooling);
+        let options = EngineOptions {
+            plan: PlanOptions {
+                input_shape: [1, 8, 8],
+                base_seed: 29,
+            },
+            ..EngineOptions::default()
+        };
+        Engine::compile(&network_for(kind, seed), &config, options).unwrap()
+    }
+
+    fn image(seed: u32) -> Tensor {
+        Tensor::from_fn(&[1, 8, 8], |i| {
+            (((i as u32).wrapping_mul(seed.wrapping_mul(2_654_435_761) | 1) >> 16) % 255) as f32
+                / 255.0
+        })
+    }
+
+    #[test]
+    fn round_trip_serves_bit_exactly_for_every_block_kind() {
+        for kind in FeatureBlockKind::ALL {
+            let fresh = compile(kind, 5);
+            let bytes = encode_plan(fresh.plan(), fresh.options().plan.base_seed);
+            let loaded = decode_plan(&bytes).unwrap();
+            assert_eq!(loaded.base_seed, 29);
+            assert_eq!(loaded.plan.config_name, fresh.plan().config_name);
+            let cold = Engine::from_plan(loaded.plan.clone(), loaded.engine_options()).unwrap();
+            let mut fresh_session = fresh.new_session();
+            let mut cold_session = cold.new_session();
+            for seed in 1..4 {
+                let image = image(seed);
+                assert_eq!(
+                    fresh.infer(&mut fresh_session, &image).unwrap(),
+                    cold.infer(&mut cold_session, &image).unwrap(),
+                    "{kind} image {seed}: deserialized plan must serve bit-exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip_through_save_and_load() {
+        let engine = compile(FeatureBlockKind::ApcMaxBtanh, 9);
+        let dir = std::env::temp_dir().join(format!("sc-plan-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.scp");
+        save_plan(&path, engine.plan(), 29).unwrap();
+        let loaded = load_plan(&path).unwrap();
+        assert_eq!(loaded.base_seed, 29);
+        assert_eq!(loaded.plan.layers.len(), engine.plan().layers.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_clean_typed_error() {
+        let engine = compile(FeatureBlockKind::MuxMaxStanh, 7);
+        let bytes = encode_plan(engine.plan(), 29);
+        for len in 0..bytes.len() {
+            match decode_plan(&bytes[..len]) {
+                Err(ServeError::Invalid(_)) | Err(ServeError::Sc(_)) => {}
+                other => panic!("truncation to {len} bytes must be typed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let engine = compile(FeatureBlockKind::ApcAvgBtanh, 3);
+        let bytes = encode_plan(engine.plan(), 29);
+        for offset in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[offset] ^= 1 << bit;
+                match decode_plan(&corrupt) {
+                    Err(ServeError::Invalid(_)) | Err(ServeError::Sc(_)) => {}
+                    other => panic!("flip at byte {offset} bit {bit} must be typed, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logically_corrupt_but_checksummed_files_are_rejected() {
+        let engine = compile(FeatureBlockKind::ApcMaxBtanh, 11);
+        // Re-checksum a body whose layer count was inflated: the CRC passes,
+        // the structural validation must still refuse it.
+        let bytes = encode_plan(engine.plan(), 29);
+        let mut body = bytes[..bytes.len() - 4].to_vec();
+        // layer_count lives right after magic + seed + bits + shape + name.
+        let name_len = engine.plan().config_name.len();
+        let layer_count_at = 4 + 8 + 4 + 12 + 2 + name_len;
+        body[layer_count_at] = 0xFF;
+        let crc = crate::crc32::checksum(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode_plan(&body), Err(ServeError::Invalid(_))));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_distinct_errors() {
+        let engine = compile(FeatureBlockKind::ApcMaxBtanh, 13);
+        let mut bytes = encode_plan(engine.plan(), 29);
+        bytes[0] = b'X';
+        let magic = decode_plan(&bytes).unwrap_err().to_string();
+        assert!(magic.contains("magic"), "{magic}");
+        let mut versioned = encode_plan(engine.plan(), 29);
+        versioned[3] = b'9';
+        // Keep the CRC honest so the version check is what fires.
+        let end = versioned.len() - 4;
+        let crc = crate::crc32::checksum(&versioned[..end]);
+        versioned[end..].copy_from_slice(&crc.to_le_bytes());
+        let version = decode_plan(&versioned).unwrap_err().to_string();
+        assert!(version.contains("version"), "{version}");
+    }
+}

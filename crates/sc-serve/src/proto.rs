@@ -17,6 +17,13 @@
 //!             | 0x02 id:u64 status:u8(err code) len:u32 message:[u8; len]
 //! ping       := 0x04 nonce:u64
 //! pong       := 0x05 nonce:u64
+//! admin      := 0x06 op:u8(1=load 2=unload 3=drain 4=status) body
+//!   load     := model:u16 len:u16 path:[u8; len]
+//!   unload   := model:u16
+//!   drain    := (empty)
+//!   status   := (empty)
+//! admin resp := 0x07 ok:u8 draining:u8 generation:u64
+//!               n:u16 models:[u16; n] len:u16 message:[u8; len]
 //! ```
 //!
 //! Version 2 (multi-model serving) addresses one of several engines hosted
@@ -28,6 +35,19 @@
 //! frame is the health probe: answered directly by a server's connection
 //! reader, it proves the accept loop and connection threads are alive — a
 //! TCP connect only proves the kernel's listen backlog is.
+//!
+//! Version 4 (fleet membership) adds the admin frames: a replica's model
+//! registry becomes mutable at runtime ([`AdminOp::LoadModel`] /
+//! [`AdminOp::UnloadModel`]), a replica can be drained ahead of a restart
+//! ([`AdminOp::Drain`]), and [`AdminOp::Status`] reports the registry —
+//! every admin response carries the full model set plus a monotonically
+//! increasing registry generation, so a router learns fleet membership from
+//! any admin exchange (it piggybacks a status on each health probe). Admin
+//! frames are **authenticated by locality**: a server only honours mutating
+//! ops from loopback peers; `status` is read-only and allowed remotely.
+//! The paired [`ErrorCode::ModelUnavailable`] status is the typed, retriable
+//! "this replica does not host that model" refusal heterogeneous replica
+//! sets produce.
 //!
 //! [`read_request`] accepts every version — old clients keep working against
 //! a new server — while a v1 peer ([`read_request_v1`]) rejects a v2/v3
@@ -66,6 +86,73 @@ const TAG_RESPONSE: u8 = 2;
 const TAG_REQUEST_V2: u8 = 3;
 const TAG_PING: u8 = 4;
 const TAG_PONG: u8 = 5;
+const TAG_ADMIN: u8 = 6;
+const TAG_ADMIN_RESPONSE: u8 = 7;
+
+const ADMIN_OP_LOAD: u8 = 1;
+const ADMIN_OP_UNLOAD: u8 = 2;
+const ADMIN_OP_DRAIN: u8 = 3;
+const ADMIN_OP_STATUS: u8 = 4;
+
+/// Cap on a load-model path length (fits comfortably in the u16 length
+/// field; a longer path is a malformed frame, not a real filesystem).
+const MAX_ADMIN_PATH_BYTES: usize = 4096;
+
+/// A protocol-v4 fleet-administration operation.
+///
+/// Carried in a `0x06` frame on the same connection inference requests use
+/// and handled directly on the server's event loop. Mutating ops (`load` /
+/// `unload` / `drain`) are authenticated by locality — honoured only from
+/// loopback peers; [`AdminOp::Status`] is read-only and answered for anyone
+/// (the router's health probes depend on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Load a plan-store file into registry slot `model` (creating or
+    /// replacing the slot) and bump the registry generation.
+    LoadModel {
+        /// Registry slot to (re)populate.
+        model: u16,
+        /// Server-local path of the plan-store file to deserialize.
+        path: String,
+    },
+    /// Empty registry slot `model` and bump the registry generation.
+    UnloadModel {
+        /// Registry slot to empty.
+        model: u16,
+    },
+    /// Stop admitting new inference requests (in-flight work still answers);
+    /// the step before a graceful restart.
+    Drain,
+    /// Report the registry: hosted model set, generation, drain state.
+    Status,
+}
+
+impl AdminOp {
+    /// Whether this op changes server state (and therefore requires a
+    /// loopback peer).
+    pub fn mutates(&self) -> bool {
+        !matches!(self, AdminOp::Status)
+    }
+}
+
+/// A server's answer to any [`AdminOp`].
+///
+/// Every admin response — not just `status` — carries the full registry
+/// snapshot, so one exchange is enough for an operator or a router to learn
+/// a replica's membership state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminResponse {
+    /// Whether the op succeeded (`status` always succeeds).
+    pub ok: bool,
+    /// Whether the replica is draining (refusing new inference admissions).
+    pub draining: bool,
+    /// Registry generation; bumps on every successful load/unload/drain.
+    pub generation: u64,
+    /// Model ids currently hosted, ascending.
+    pub models: Vec<u16>,
+    /// Failure description when `ok` is false, empty otherwise.
+    pub message: String,
+}
 
 /// An inference request: a request id chosen by the client plus the image.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,11 +176,11 @@ pub struct Request {
 /// Typed failure classification carried in a response's status byte.
 ///
 /// The retriable codes are the overload-protection contract: a router (or a
-/// client) may re-send a request refused with [`ErrorCode::Overloaded`] or
-/// [`ErrorCode::ShuttingDown`] to another replica, while an
-/// [`ErrorCode::App`] error (bad shape, unknown model) is bad on every
-/// replica and a [`ErrorCode::DeadlineExceeded`] refusal has no budget left
-/// to retry with.
+/// client) may re-send a request refused with [`ErrorCode::Overloaded`],
+/// [`ErrorCode::ShuttingDown`], or [`ErrorCode::ModelUnavailable`] to
+/// another replica, while an [`ErrorCode::App`] error (bad shape) is bad on
+/// every replica and a [`ErrorCode::DeadlineExceeded`] refusal has no budget
+/// left to retry with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// Application-level failure; retrying elsewhere cannot help.
@@ -105,6 +192,10 @@ pub enum ErrorCode {
     DeadlineExceeded,
     /// The replica is draining for shutdown — retriable on another replica.
     ShuttingDown,
+    /// The replica does not host the requested model — retriable on a
+    /// replica that does (heterogeneous replica sets make this a routine
+    /// routing signal, not an application error).
+    ModelUnavailable,
 }
 
 impl ErrorCode {
@@ -115,6 +206,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => 2,
             ErrorCode::DeadlineExceeded => 3,
             ErrorCode::ShuttingDown => 4,
+            ErrorCode::ModelUnavailable => 5,
         }
     }
 
@@ -124,6 +216,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::Overloaded),
             3 => Some(ErrorCode::DeadlineExceeded),
             4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::ModelUnavailable),
             _ => None,
         }
     }
@@ -143,6 +236,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Overloaded => "OVERLOADED",
             ErrorCode::DeadlineExceeded => "DEADLINE_EXCEEDED",
             ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::ModelUnavailable => "MODEL_UNAVAILABLE",
         })
     }
 }
@@ -208,6 +302,8 @@ pub enum Message {
         /// Probe correlation nonce, echoed in the pong.
         nonce: u64,
     },
+    /// A fleet-administration op; the peer expects an [`AdminResponse`].
+    Admin(AdminOp),
 }
 
 fn invalid(message: impl Into<String>) -> io::Error {
@@ -590,6 +686,161 @@ pub fn decode_pong(payload: &[u8]) -> io::Result<u64> {
     Ok(nonce)
 }
 
+/// Serializes and sends a protocol-v4 admin frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects a load path longer than the cap.
+pub fn write_admin(writer: &mut impl Write, op: &AdminOp) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(8);
+    payload.push(TAG_ADMIN);
+    match op {
+        AdminOp::LoadModel { model, path } => {
+            if path.len() > MAX_ADMIN_PATH_BYTES {
+                return Err(invalid(format!(
+                    "{}-byte plan path exceeds the cap",
+                    path.len()
+                )));
+            }
+            payload.push(ADMIN_OP_LOAD);
+            payload.extend_from_slice(&model.to_le_bytes());
+            payload.extend_from_slice(&(path.len() as u16).to_le_bytes());
+            payload.extend_from_slice(path.as_bytes());
+        }
+        AdminOp::UnloadModel { model } => {
+            payload.push(ADMIN_OP_UNLOAD);
+            payload.extend_from_slice(&model.to_le_bytes());
+        }
+        AdminOp::Drain => payload.push(ADMIN_OP_DRAIN),
+        AdminOp::Status => payload.push(ADMIN_OP_STATUS),
+    }
+    write_frame(writer, &payload)
+}
+
+/// Parses an admin frame payload (as yielded by a [`FrameDecoder`]); the
+/// shared parser behind [`decode_message`]'s admin arm.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed frames.
+pub fn decode_admin(payload: &[u8]) -> io::Result<AdminOp> {
+    let mut cursor = Cursor::new(payload);
+    if cursor.u8()? != TAG_ADMIN {
+        return Err(invalid("expected an admin frame"));
+    }
+    let op = decode_admin_body(&mut cursor)?;
+    cursor.finish()?;
+    Ok(op)
+}
+
+fn decode_admin_body(cursor: &mut Cursor<'_>) -> io::Result<AdminOp> {
+    match cursor.u8()? {
+        ADMIN_OP_LOAD => {
+            let model = cursor.u16()?;
+            let length = cursor.u16()? as usize;
+            if length > MAX_ADMIN_PATH_BYTES {
+                return Err(invalid("plan path length exceeds the cap"));
+            }
+            let bytes = cursor.bytes(length)?;
+            let path =
+                String::from_utf8(bytes.to_vec()).map_err(|_| invalid("plan path is not UTF-8"))?;
+            Ok(AdminOp::LoadModel { model, path })
+        }
+        ADMIN_OP_UNLOAD => Ok(AdminOp::UnloadModel {
+            model: cursor.u16()?,
+        }),
+        ADMIN_OP_DRAIN => Ok(AdminOp::Drain),
+        ADMIN_OP_STATUS => Ok(AdminOp::Status),
+        other => Err(invalid(format!("unknown admin op {other}"))),
+    }
+}
+
+/// Serializes and sends the answer to an admin frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects a message longer than the frame cap.
+pub fn write_admin_response(writer: &mut impl Write, response: &AdminResponse) -> io::Result<()> {
+    if response.message.len() > MAX_FRAME_BYTES / 2 {
+        return Err(invalid(format!(
+            "{}-byte admin message exceeds the frame cap",
+            response.message.len()
+        )));
+    }
+    let mut payload = Vec::with_capacity(16 + 2 * response.models.len() + response.message.len());
+    payload.push(TAG_ADMIN_RESPONSE);
+    payload.push(u8::from(response.ok));
+    payload.push(u8::from(response.draining));
+    payload.extend_from_slice(&response.generation.to_le_bytes());
+    payload.extend_from_slice(&(response.models.len() as u16).to_le_bytes());
+    for model in &response.models {
+        payload.extend_from_slice(&model.to_le_bytes());
+    }
+    payload.extend_from_slice(&(response.message.len() as u16).to_le_bytes());
+    payload.extend_from_slice(response.message.as_bytes());
+    write_frame(writer, &payload)
+}
+
+/// Reads one admin response; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` for malformed frames.
+pub fn read_admin_response(reader: &mut impl Read) -> io::Result<Option<AdminResponse>> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    Ok(Some(decode_admin_response(&payload)?))
+}
+
+/// Parses an admin-response frame payload (as yielded by a
+/// [`FrameDecoder`]).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed frames.
+pub fn decode_admin_response(payload: &[u8]) -> io::Result<AdminResponse> {
+    let mut cursor = Cursor::new(payload);
+    if cursor.u8()? != TAG_ADMIN_RESPONSE {
+        return Err(invalid("expected an admin response frame"));
+    }
+    let ok = decode_bool(cursor.u8()?)?;
+    let draining = decode_bool(cursor.u8()?)?;
+    let generation = cursor.u64()?;
+    let count = cursor.u16()? as usize;
+    // The count is bounded by its u16 field, but still cross-check it
+    // against the bytes actually present before allocating.
+    if count * 2 > cursor.remaining() {
+        return Err(invalid(format!(
+            "admin response declares {count} models but the frame is shorter"
+        )));
+    }
+    let mut models = Vec::with_capacity(count);
+    for _ in 0..count {
+        models.push(cursor.u16()?);
+    }
+    let length = cursor.u16()? as usize;
+    let bytes = cursor.bytes(length)?;
+    let message =
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("admin message is not UTF-8"))?;
+    cursor.finish()?;
+    Ok(AdminResponse {
+        ok,
+        draining,
+        generation,
+        models,
+        message,
+    })
+}
+
+fn decode_bool(byte: u8) -> io::Result<bool> {
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(invalid(format!("flag byte {other} is not a boolean"))),
+    }
+}
+
 /// Parses the shared request body (`id shape pixels`) of an already
 /// tag-dispatched request frame.
 fn decode_request_body(
@@ -635,8 +886,8 @@ fn decode_request_body(
     })
 }
 
-/// Reads one message — a request of any version, or a health-probe ping;
-/// `Ok(None)` on clean EOF.
+/// Reads one message — a request of any version, a health-probe ping, or an
+/// admin frame; `Ok(None)` on clean EOF.
 ///
 /// A v1 frame maps to model 0; v2 carries a model id; v3 additionally a
 /// deadline budget (v1/v2 map to "no deadline"). A versioned frame
@@ -654,8 +905,8 @@ pub fn read_message(reader: &mut impl Read) -> io::Result<Option<Message>> {
 }
 
 /// Parses a request-side frame payload (as yielded by a [`FrameDecoder`]):
-/// a request of any version, or a health-probe ping. Version semantics match
-/// [`read_message`] exactly — the two share this parser.
+/// a request of any version, a health-probe ping, or an admin frame. Version
+/// semantics match [`read_message`] exactly — the two share this parser.
 ///
 /// # Errors
 ///
@@ -689,6 +940,11 @@ pub fn decode_message(payload: &[u8]) -> io::Result<Message> {
             cursor.finish()?;
             Ok(Message::Ping { nonce })
         }
+        TAG_ADMIN => {
+            let op = decode_admin_body(&mut cursor)?;
+            cursor.finish()?;
+            Ok(Message::Admin(op))
+        }
         _ => Err(invalid("expected a request frame")),
     }
 }
@@ -706,6 +962,7 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
         None => Ok(None),
         Some(Message::Request(request)) => Ok(Some(request)),
         Some(Message::Ping { .. }) => Err(invalid("expected a request frame, got a ping")),
+        Some(Message::Admin(_)) => Err(invalid("expected a request frame, got an admin frame")),
     }
 }
 
@@ -1063,12 +1320,125 @@ mod tests {
     }
 
     #[test]
+    fn admin_ops_round_trip_through_the_message_reader() {
+        let ops = [
+            AdminOp::LoadModel {
+                model: 3,
+                path: "/var/lib/sc/model-3.scp".into(),
+            },
+            AdminOp::UnloadModel { model: 1 },
+            AdminOp::Drain,
+            AdminOp::Status,
+        ];
+        for op in &ops {
+            let mut wire = Vec::new();
+            write_admin(&mut wire, op).unwrap();
+            match read_message(&mut wire.as_slice()).unwrap().unwrap() {
+                Message::Admin(parsed) => assert_eq!(&parsed, op),
+                other => panic!("expected an admin frame, got {other:?}"),
+            }
+            assert_eq!(
+                decode_admin(&wire[4..wire.len() - FRAME_CRC_BYTES]).unwrap(),
+                *op
+            );
+            // The request-only reader refuses admin frames with a typed
+            // error instead of misparsing them.
+            let error = read_request(&mut wire.as_slice()).unwrap_err();
+            assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        }
+        assert!(AdminOp::Drain.mutates());
+        assert!(AdminOp::UnloadModel { model: 0 }.mutates());
+        assert!(!AdminOp::Status.mutates());
+        // An unknown op byte is a clean typed error.
+        let payload = [TAG_ADMIN, 9];
+        let error = read_message(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("admin op"), "{error}");
+        // An oversized load path is refused on the writer side.
+        let mut wire = Vec::new();
+        let error = write_admin(
+            &mut wire,
+            &AdminOp::LoadModel {
+                model: 0,
+                path: "p".repeat(MAX_ADMIN_PATH_BYTES + 1),
+            },
+        )
+        .unwrap_err();
+        assert!(error.to_string().contains("cap"), "{error}");
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn admin_responses_round_trip_and_reject_corruption() {
+        let responses = [
+            AdminResponse {
+                ok: true,
+                draining: false,
+                generation: 0,
+                models: vec![],
+                message: String::new(),
+            },
+            AdminResponse {
+                ok: false,
+                draining: true,
+                generation: u64::MAX,
+                models: vec![0, 2, 65535],
+                message: "plan store: checksum mismatch".into(),
+            },
+        ];
+        for response in &responses {
+            let mut wire = Vec::new();
+            write_admin_response(&mut wire, response).unwrap();
+            let parsed = read_admin_response(&mut wire.as_slice()).unwrap().unwrap();
+            assert_eq!(&parsed, response);
+        }
+        // Clean EOF.
+        assert!(read_admin_response(&mut [].as_slice()).unwrap().is_none());
+        // A declared model count larger than the frame is rejected before
+        // allocation, and a non-boolean flag byte is typed.
+        let mut payload = vec![TAG_ADMIN_RESPONSE, 1, 0];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&u16::MAX.to_le_bytes());
+        let error = read_admin_response(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("models"), "{error}");
+        let mut payload = vec![TAG_ADMIN_RESPONSE, 2, 0];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        let error = read_admin_response(&mut frame(&payload).as_slice()).unwrap_err();
+        assert!(error.to_string().contains("boolean"), "{error}");
+        // Single-bit corruption of an admin exchange is always detected by
+        // the readers that accept those frames.
+        let mut op_wire = Vec::new();
+        write_admin(&mut op_wire, &AdminOp::Status).unwrap();
+        let mut resp_wire = Vec::new();
+        write_admin_response(&mut resp_wire, &responses[1]).unwrap();
+        for (label, wire, check) in [
+            ("admin op", &op_wire, true),
+            ("admin response", &resp_wire, false),
+        ] {
+            for offset in 0..wire.len() {
+                for bit in 0..8 {
+                    let mut corrupt = wire.clone();
+                    corrupt[offset] ^= 1 << bit;
+                    let detected = if check {
+                        read_message(&mut corrupt.as_slice()).is_err()
+                    } else {
+                        read_admin_response(&mut corrupt.as_slice()).is_err()
+                    };
+                    assert!(detected, "{label} byte {offset} bit {bit} not detected");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn error_codes_round_trip_and_classify_retriability() {
         for code in [
             ErrorCode::App,
             ErrorCode::Overloaded,
             ErrorCode::DeadlineExceeded,
             ErrorCode::ShuttingDown,
+            ErrorCode::ModelUnavailable,
         ] {
             let response = Response::Err {
                 id: 6,
@@ -1085,6 +1455,7 @@ mod tests {
         assert!(ErrorCode::Overloaded.is_retriable());
         assert!(ErrorCode::DeadlineExceeded.is_retriable());
         assert!(ErrorCode::ShuttingDown.is_retriable());
+        assert!(ErrorCode::ModelUnavailable.is_retriable());
         assert_eq!(
             Response::Ok {
                 id: 1,
@@ -1270,12 +1641,35 @@ mod tests {
             },
         )
         .unwrap();
+        let mut admin = Vec::new();
+        write_admin(
+            &mut admin,
+            &AdminOp::LoadModel {
+                model: 2,
+                path: "/tmp/model.scp".into(),
+            },
+        )
+        .unwrap();
+        let mut admin_resp = Vec::new();
+        write_admin_response(
+            &mut admin_resp,
+            &AdminResponse {
+                ok: true,
+                draining: false,
+                generation: 3,
+                models: vec![0, 1, 2],
+                message: String::new(),
+            },
+        )
+        .unwrap();
         vec![
             ("v1 request", v1),
             ("v2 request", v2),
             ("v3 request", v3),
             ("ok response", ok),
             ("err response", err),
+            ("admin load", admin),
+            ("admin response", admin_resp),
         ]
     }
 
@@ -1293,6 +1687,10 @@ mod tests {
             ("read_message", read_message(&mut &wire[..]).map(|_| ())),
             ("read_response", read_response(&mut &wire[..]).map(|_| ())),
             ("read_pong", read_pong(&mut &wire[..]).map(|_| ())),
+            (
+                "read_admin_response",
+                read_admin_response(&mut &wire[..]).map(|_| ()),
+            ),
         ] {
             if let Err(error) = result {
                 assert!(

@@ -58,8 +58,9 @@
 
 use crate::obs::{MetricsRegistry, Sample, SampleKind, TraceEvent, TraceLog};
 use crate::proto::{
-    decode_message, decode_response, forward_request, read_pong, write_ping, write_pong,
-    write_response, ErrorCode, FrameDecoder, Message, Request, Response,
+    decode_message, decode_response, forward_request, read_admin_response, read_pong, write_admin,
+    write_admin_response, write_ping, write_pong, write_response, AdminOp, AdminResponse,
+    ErrorCode, FrameDecoder, Message, Request, Response,
 };
 use crate::server::{is_would_block, SHUTTING_DOWN_MESSAGE};
 use std::collections::HashMap;
@@ -319,6 +320,16 @@ struct Backend {
     /// failed over.
     failovers: AtomicU64,
     breaker: CircuitBreaker,
+    /// The model ids this backend advertised in its last admin status
+    /// exchange (piggybacked on the health probe). `None` = never learned;
+    /// the router then assumes the backend hosts everything, because
+    /// refusing traffic on bootstrap ignorance would turn a router restart
+    /// into an outage — a wrong guess costs one typed, retriable
+    /// `MODEL_UNAVAILABLE` refusal and the next probe corrects it.
+    models: Mutex<Option<Vec<u16>>>,
+    /// The backend's registry generation from the same status exchange.
+    /// Replica generations start at 1, so 0 means "never observed".
+    registry_generation: AtomicU64,
 }
 
 impl Backend {
@@ -330,12 +341,24 @@ impl Backend {
             forwarded: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             breaker: CircuitBreaker::new(options.breaker_threshold, options.breaker_cooldown),
+            models: Mutex::new(None),
+            registry_generation: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this backend is believed to host `model` (unknown set =
+    /// assume yes; see the `models` field).
+    fn hosts(&self, model: u16) -> bool {
+        self.models
+            .lock()
+            .expect("backend model set")
+            .as_ref()
+            .is_none_or(|models| models.contains(&model))
     }
 }
 
 /// Point-in-time statistics of one backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendStats {
     /// The backend's address.
     pub addr: SocketAddr,
@@ -351,6 +374,12 @@ pub struct BackendStats {
     pub breaker_open: bool,
     /// Times the backend's breaker tripped over the router's lifetime.
     pub breaker_trips: u64,
+    /// The model ids the backend advertised on its last status exchange
+    /// (`None` = never learned; the router assumes it hosts everything).
+    pub models: Option<Vec<u16>>,
+    /// The backend's registry generation at the last status exchange
+    /// (0 = never observed; replica generations start at 1).
+    pub registry_generation: u64,
 }
 
 /// Point-in-time statistics of the router.
@@ -439,6 +468,8 @@ fn stats_of(shared: &RouterShared) -> RouterStats {
                 failovers: backend.failovers.load(Ordering::Relaxed),
                 breaker_open: backend.breaker.is_open(),
                 breaker_trips: backend.breaker.trips.load(Ordering::Relaxed),
+                models: backend.models.lock().expect("backend model set").clone(),
+                registry_generation: backend.registry_generation.load(Ordering::Relaxed),
             })
             .collect(),
         requests: shared.requests.load(Ordering::Relaxed),
@@ -598,7 +629,7 @@ pub fn spawn_router_observed(
             // Family-major order: the exposition format wants one `# TYPE`
             // per family, so all backends' samples of a family go together.
             type BackendField = (&'static str, SampleKind, fn(&BackendStats) -> f64);
-            const BACKEND_FIELDS: [BackendField; 6] = [
+            const BACKEND_FIELDS: [BackendField; 8] = [
                 ("sc_backend_healthy", SampleKind::Gauge, |b| {
                     f64::from(u8::from(b.healthy))
                 }),
@@ -616,6 +647,17 @@ pub fn spawn_router_observed(
                 }),
                 ("sc_backend_breaker_trips_total", SampleKind::Counter, |b| {
                     b.breaker_trips as f64
+                }),
+                // Fleet state mirrored from replica status exchanges, under
+                // the serve-side naming convention (`sc_models` /
+                // `sc_registry_generation` there, per-backend here). A
+                // model count of -1 means the set was never learned;
+                // generation 0 means never observed.
+                ("sc_backend_models", SampleKind::Gauge, |b| {
+                    b.models.as_ref().map_or(-1.0, |models| models.len() as f64)
+                }),
+                ("sc_backend_registry_generation", SampleKind::Gauge, |b| {
+                    b.registry_generation as f64
                 }),
             ];
             for (name, kind, value_of) in BACKEND_FIELDS {
@@ -651,7 +693,9 @@ pub fn spawn_router_observed(
 }
 
 /// One health probe: connect, ping, expect the matching pong within
-/// `probe_timeout`.
+/// `probe_timeout` — then piggyback an admin status exchange on the same
+/// connection to learn the replica's model set, registry generation, and
+/// drain state.
 ///
 /// The ping travels the backend's real serving path (accept → event loop →
 /// write path), so a replica that is hung-but-accepting — its listen queue
@@ -659,9 +703,17 @@ pub fn spawn_router_observed(
 /// instead of passing a bare connect check. Probes stay on their own
 /// short-lived blocking connections, off the request channels: a probe must
 /// measure the replica even (especially) when the channel to it is wedged.
-fn probe_backend(addr: SocketAddr, options: &RouterOptions, nonce: u64) -> bool {
+///
+/// A replica that answers the ping but not the status exchange (a pre-v4
+/// build) is still healthy — it just keeps its `None` model set, so the
+/// router keeps assuming it hosts everything.
+fn probe_backend(
+    addr: SocketAddr,
+    options: &RouterOptions,
+    nonce: u64,
+) -> (bool, Option<AdminResponse>) {
     let Ok(stream) = TcpStream::connect_timeout(&addr, options.connect_timeout) else {
-        return false;
+        return (false, None);
     };
     if stream
         .set_read_timeout(Some(options.probe_timeout))
@@ -670,24 +722,47 @@ fn probe_backend(addr: SocketAddr, options: &RouterOptions, nonce: u64) -> bool 
             .set_write_timeout(Some(options.probe_timeout))
             .is_err()
     {
-        return false;
+        return (false, None);
     }
     let Ok(mut writer) = stream.try_clone() else {
-        return false;
+        return (false, None);
     };
     if write_ping(&mut writer, nonce).is_err() {
-        return false;
+        return (false, None);
     }
     let mut reader = BufReader::new(stream);
-    matches!(read_pong(&mut reader), Ok(Some(answered)) if answered == nonce)
+    if !matches!(read_pong(&mut reader), Ok(Some(answered)) if answered == nonce) {
+        return (false, None);
+    }
+    if write_admin(&mut writer, &AdminOp::Status).is_err() {
+        return (true, None);
+    }
+    match read_admin_response(&mut reader) {
+        Ok(Some(status)) => (true, Some(status)),
+        _ => (true, None),
+    }
 }
 
-/// Background health probes: one ping/pong per backend per interval.
+/// Background health probes: one ping/pong + status per backend per
+/// interval.
 fn health_loop(shared: &RouterShared) {
     while !shared.stop.load(Ordering::SeqCst) {
         for backend in &shared.backends {
             let nonce = shared.probe_nonce.fetch_add(1, Ordering::Relaxed);
-            let healthy = probe_backend(backend.addr, &shared.options, nonce);
+            let (mut healthy, status) = probe_backend(backend.addr, &shared.options, nonce);
+            if let Some(status) = status {
+                backend
+                    .registry_generation
+                    .store(status.generation, Ordering::Relaxed);
+                *backend.models.lock().expect("backend model set") = Some(status.models);
+                // A draining replica refuses every new request; routing to
+                // it only burns failover attempts. Demote it — unhealthy
+                // backends are still the fallback when nothing else stands,
+                // and the answer-or-refuse contract keeps that lossless.
+                if status.draining {
+                    healthy = false;
+                }
+            }
             backend.healthy.store(healthy, Ordering::Relaxed);
         }
         // Sleep in short slices so shutdown is never blocked on a long
@@ -720,12 +795,18 @@ fn refusal_code(response: &Response) -> Option<ErrorCode> {
     }
 }
 
-/// Picks the healthy backend (breaker permitting) with the fewest in-flight
-/// requests, skipping `excluded` (the backends this request already tried).
-/// When no backend looks healthy (probe results can be stale — e.g. a
-/// replica restarted a millisecond ago), the least-loaded breaker-permitted
-/// unhealthy one is tried anyway rather than failing the request outright.
-fn pick_backend(shared: &RouterShared, excluded: &[usize]) -> Option<usize> {
+/// Picks the healthy backend (breaker permitting) believed to host `model`
+/// with the fewest in-flight requests, skipping `excluded` (the backends
+/// this request already tried). When no backend looks healthy (probe
+/// results can be stale — e.g. a replica restarted a millisecond ago), the
+/// least-loaded breaker-permitted unhealthy one is tried anyway rather than
+/// failing the request outright.
+///
+/// The model filter is what routes by model id over a heterogeneous
+/// replica set: backends advertise their model sets on status exchanges,
+/// and one that lacks the requested model is never picked (unless its set
+/// was never learned — see [`Backend::hosts`]).
+fn pick_backend(shared: &RouterShared, excluded: &[usize], model: u16) -> Option<usize> {
     let candidates = |healthy: bool| {
         shared
             .backends
@@ -735,6 +816,7 @@ fn pick_backend(shared: &RouterShared, excluded: &[usize]) -> Option<usize> {
                 !excluded.contains(index)
                     && backend.healthy.load(Ordering::Relaxed) == healthy
                     && backend.breaker.allow()
+                    && backend.hosts(model)
             })
             .min_by_key(|(_, backend)| backend.in_flight.load(Ordering::Relaxed))
             .map(|(index, _)| index)
@@ -901,6 +983,11 @@ struct PendingRequest {
     /// `shared.failovers` counts once per request that needed any re-send.
     failover_counted: bool,
     last_failure: String,
+    /// The typed code of the most recent backend *refusal* (`None` after a
+    /// transport failure). A give-up caused by every replica refusing
+    /// `MODEL_UNAVAILABLE` must surface that code to the client, not a
+    /// generic `OVERLOADED`.
+    last_refusal: Option<ErrorCode>,
 }
 
 /// The router's event loop: listener, clients, and backend channels on one
@@ -1133,6 +1220,28 @@ impl RouterIo {
                         let _ = write_pong(&mut client.outbuf, nonce);
                     }
                 }
+                // The router is not a replica: it has no model registry to
+                // mutate, and admin frames are deliberately *not* proxied —
+                // mutating ops are authenticated by locality on the
+                // replica, and a router relay would launder a remote peer
+                // into a loopback one. A typed failure keeps the operator's
+                // client from hanging and tells them where to aim.
+                Message::Admin(_) => {
+                    if let Some(client) = self.clients.get_mut(&token) {
+                        let _ = write_admin_response(
+                            &mut client.outbuf,
+                            &AdminResponse {
+                                ok: false,
+                                draining: false,
+                                generation: 0,
+                                models: Vec::new(),
+                                message: "admin frames are not routed; connect to the replica \
+                                          directly"
+                                    .to_string(),
+                            },
+                        );
+                    }
+                }
             }
         }
         self.flush_client(token);
@@ -1167,6 +1276,7 @@ impl RouterIo {
                 hedge_at: None,
                 failover_counted: false,
                 last_failure: String::from("no backend available"),
+                last_refusal: None,
             },
         );
         self.dispatch(key, false);
@@ -1223,24 +1333,37 @@ impl RouterIo {
         let Some(req) = self.requests.get_mut(&key) else {
             return false;
         };
-        let Some(index) = pick_backend(&self.shared, &req.tried) else {
+        let model = req.request.model;
+        let Some(index) = pick_backend(&self.shared, &req.tried, model) else {
             if hedge {
                 return false;
             }
             let id = req.request.id;
-            let message = format!(
-                "no replica answered this request after failover ({})",
-                req.last_failure
-            );
+            // No candidate left. Distinguish "the fleet does not host this
+            // model" (typed MODEL_UNAVAILABLE — retrying cannot help until
+            // an operator loads it somewhere) from "the hosting replicas
+            // are down/refusing" (retriable OVERLOADED).
+            let hosted_anywhere = self.shared.backends.iter().any(|b| b.hosts(model));
+            let (code, message) =
+                if !hosted_anywhere || req.last_refusal == Some(ErrorCode::ModelUnavailable) {
+                    (
+                        ErrorCode::ModelUnavailable,
+                        format!(
+                            "model {model} is not hosted by any replica ({})",
+                            req.last_failure
+                        ),
+                    )
+                } else {
+                    (
+                        ErrorCode::Overloaded,
+                        format!(
+                            "no replica answered this request after failover ({})",
+                            req.last_failure
+                        ),
+                    )
+                };
             self.shared.failed.fetch_add(1, Ordering::Relaxed);
-            self.answer(
-                key,
-                Response::Err {
-                    id,
-                    code: ErrorCode::Overloaded,
-                    message,
-                },
-            );
+            self.answer(key, Response::Err { id, code, message });
             return false;
         };
         req.attempts += 1;
@@ -1433,15 +1556,17 @@ impl RouterIo {
                 self.shared.expired.fetch_add(1, Ordering::Relaxed);
                 self.answer(key, response);
             }
-            // Overloaded / shutting down: the replica is alive and
-            // answering — a refusal is its overload protection working, so
-            // no breaker penalty and no health demotion; just try elsewhere
-            // (unless another arm is still racing).
+            // Overloaded / shutting down / model unavailable: the replica
+            // is alive and answering — a refusal is its admission control
+            // (or an honest "I don't host that") working, so no breaker
+            // penalty and no health demotion; just try elsewhere (unless
+            // another arm is still racing).
             Some(code) => {
                 backend.breaker.on_success();
                 backend.failovers.fetch_add(1, Ordering::Relaxed);
                 let req = self.requests.get_mut(&key).expect("pending request");
                 req.last_failure = format!("backend refused: {code}");
+                req.last_refusal = Some(code);
                 if !req.failover_counted {
                     req.failover_counted = true;
                     self.shared.failovers.fetch_add(1, Ordering::Relaxed);
@@ -1466,6 +1591,7 @@ impl RouterIo {
             return;
         };
         req.last_failure = failure.to_string();
+        req.last_refusal = None;
         if !req.failover_counted {
             req.failover_counted = true;
             self.shared.failovers.fetch_add(1, Ordering::Relaxed);
@@ -1546,9 +1672,17 @@ impl RouterIo {
                     ),
                 })
             } else if req.attempts >= options.max_attempts.max(1) {
+                // A give-up whose last word from a replica was "I don't
+                // host that model" keeps the typed MODEL_UNAVAILABLE code;
+                // everything else is the generic retriable give-up.
+                let code = if req.last_refusal == Some(ErrorCode::ModelUnavailable) {
+                    ErrorCode::ModelUnavailable
+                } else {
+                    ErrorCode::Overloaded
+                };
                 Plan::Failed(Response::Err {
                     id: req.request.id,
-                    code: ErrorCode::Overloaded,
+                    code,
                     message: format!(
                         "no replica answered this request after failover ({})",
                         req.last_failure
@@ -1612,7 +1746,9 @@ impl RouterIo {
                 Response::Ok { .. } => "ok",
                 Response::Err { code, .. } => match code {
                     ErrorCode::DeadlineExceeded => "expired",
-                    ErrorCode::Overloaded | ErrorCode::ShuttingDown => "refused",
+                    ErrorCode::Overloaded
+                    | ErrorCode::ShuttingDown
+                    | ErrorCode::ModelUnavailable => "refused",
                     ErrorCode::App => "failed",
                 },
             };
@@ -1906,21 +2042,47 @@ mod tests {
         shared.backends[0].in_flight.store(4, Ordering::Relaxed);
         shared.backends[1].in_flight.store(1, Ordering::Relaxed);
         shared.backends[2].in_flight.store(2, Ordering::Relaxed);
-        assert_eq!(pick_backend(&shared, &[]), Some(1));
+        assert_eq!(pick_backend(&shared, &[], 0), Some(1));
         // An excluded backend is never re-picked, even when least loaded.
-        assert_eq!(pick_backend(&shared, &[1]), Some(2));
+        assert_eq!(pick_backend(&shared, &[1], 0), Some(2));
         // An unhealthy backend loses to a busier healthy one...
         shared.backends[1].healthy.store(false, Ordering::Relaxed);
-        assert_eq!(pick_backend(&shared, &[]), Some(2));
+        assert_eq!(pick_backend(&shared, &[], 0), Some(2));
         // ...but when nothing is healthy, the least-loaded one is tried
         // anyway instead of giving up.
         for backend in &shared.backends {
             backend.healthy.store(false, Ordering::Relaxed);
         }
-        assert_eq!(pick_backend(&shared, &[]), Some(1));
+        assert_eq!(pick_backend(&shared, &[], 0), Some(1));
         // A fully excluded set yields nothing.
         let single = shared_with(1);
-        assert_eq!(pick_backend(&single, &[0]), None);
+        assert_eq!(pick_backend(&single, &[0], 0), None);
+    }
+
+    #[test]
+    fn pick_routes_by_advertised_model_set() {
+        let shared = shared_with(3);
+        // Heterogeneous fleet: backend 0 hosts {0, 1}, backend 1 hosts
+        // {1, 2}, backend 2 never answered a status exchange (unknown set).
+        *shared.backends[0].models.lock().unwrap() = Some(vec![0, 1]);
+        *shared.backends[1].models.lock().unwrap() = Some(vec![1, 2]);
+        shared.backends[0].in_flight.store(1, Ordering::Relaxed);
+        shared.backends[1].in_flight.store(2, Ordering::Relaxed);
+        shared.backends[2].in_flight.store(0, Ordering::Relaxed);
+        // The unknown-set backend is assumed to host everything, so the
+        // least-loaded tie goes to it; exclude it to see the advertised
+        // sets drive the choice.
+        assert_eq!(pick_backend(&shared, &[2], 0), Some(0));
+        assert_eq!(pick_backend(&shared, &[2], 2), Some(1));
+        // Model 1 is on both: least-loaded wins.
+        assert_eq!(pick_backend(&shared, &[2], 1), Some(0));
+        // A model no advertised set contains still reaches the unknown-set
+        // backend (bootstrap must not black-hole), and nothing once that is
+        // excluded too.
+        assert_eq!(pick_backend(&shared, &[], 9), Some(2));
+        assert_eq!(pick_backend(&shared, &[2], 9), None);
+        assert!(shared.backends[2].hosts(9), "unknown set assumes hosting");
+        assert!(!shared.backends[0].hosts(9));
     }
 
     #[test]
@@ -1935,10 +2097,10 @@ mod tests {
         );
         shared.backends[0].breaker.on_failure();
         assert!(shared.backends[0].breaker.is_open());
-        assert_eq!(pick_backend(&shared, &[]), Some(1));
+        assert_eq!(pick_backend(&shared, &[], 0), Some(1));
         shared.backends[1].breaker.on_failure();
         assert_eq!(
-            pick_backend(&shared, &[]),
+            pick_backend(&shared, &[], 0),
             None,
             "all breakers open must yield no candidate, not a panic"
         );

@@ -62,16 +62,16 @@ use crate::obs::{
     TraceLog, WorkerStatsSlots,
 };
 use crate::proto::{
-    checked_shape_product, decode_message, write_pong, write_response, ErrorCode, FrameDecoder,
-    Message, Request, Response,
+    checked_shape_product, decode_message, write_admin_response, write_pong, write_response,
+    AdminOp, AdminResponse, ErrorCode, FrameDecoder, Message, Request, Response,
 };
 use crate::reactor::{Event, Interest, Poller, WakeReceiver, Waker};
 use sc_nn::tensor::Tensor;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -125,6 +125,129 @@ impl Default for ServerOptions {
             workers: 0,
             idle_timeout: Duration::from_secs(60),
             compute_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The mutable model registry behind one listener: which engines this
+/// replica hosts, right now.
+///
+/// Protocol-v4 admin frames mutate it at runtime (load-model /
+/// unload-model / drain), so a replica's model set is fleet state, not a
+/// process constant. Every mutation bumps a monotonically increasing
+/// **generation** under the slot write lock:
+///
+/// * workers snapshot the slots once and re-snapshot only when the
+///   generation moved, keeping warm [`Session`]s for every engine that
+///   survived (`Arc::ptr_eq`) — steady-state serving never takes the lock
+///   per request;
+/// * routers learn the generation (and model set) from admin status
+///   exchanges on health probes and can skip reconciliation when it has
+///   not moved.
+///
+/// Generations start at 1 so `0` is free to mean "never observed" on the
+/// router side. A **draining** replica refuses new requests with a
+/// retriable [`ErrorCode::ShuttingDown`] while still answering pings and
+/// admin status — the drain half of a zero-loss rolling restart.
+pub struct ModelRegistry {
+    slots: RwLock<Vec<Option<Arc<Engine>>>>,
+    generation: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl ModelRegistry {
+    /// Registry hosting `engines`, engine `i` as model `i`, at generation 1.
+    pub fn new(engines: Vec<Arc<Engine>>) -> Self {
+        Self {
+            slots: RwLock::new(engines.into_iter().map(Some).collect()),
+            generation: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Consistent view: the generation together with the slots it
+    /// describes. Mutators bump the generation while still holding the
+    /// write lock, so a snapshot never pairs new slots with a stale
+    /// generation.
+    pub fn snapshot(&self) -> (u64, Vec<Option<Arc<Engine>>>) {
+        let slots = self.slots.read().expect("model registry");
+        (self.generation.load(Ordering::SeqCst), slots.clone())
+    }
+
+    /// Current registry generation (monotonic, starts at 1).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Whether this replica is draining (refusing new requests).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Sorted ids of the models currently hosted.
+    pub fn models(&self) -> Vec<u16> {
+        let slots = self.slots.read().expect("model registry");
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|_| id as u16))
+            .collect()
+    }
+
+    /// Number of models currently hosted.
+    pub fn model_count(&self) -> usize {
+        let slots = self.slots.read().expect("model registry");
+        slots.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Installs `engine` as `model`, growing the slot table if needed.
+    /// Replacing a hosted model is allowed (that is what a weight refresh
+    /// is). Bumps the generation.
+    pub fn load(&self, model: u16, engine: Arc<Engine>) {
+        let mut slots = self.slots.write().expect("model registry");
+        let index = usize::from(model);
+        if slots.len() <= index {
+            slots.resize(index + 1, None);
+        }
+        slots[index] = Some(engine);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Removes `model` from the registry. Bumps the generation on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the model if it is not currently hosted.
+    pub fn unload(&self, model: u16) -> Result<(), String> {
+        let mut slots = self.slots.write().expect("model registry");
+        match slots.get_mut(usize::from(model)) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.generation.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            _ => Err(format!("model {model} is not hosted by this replica")),
+        }
+    }
+
+    /// Enters drain mode: new requests are refused with a retriable
+    /// [`ErrorCode::ShuttingDown`] while in-flight work finishes. Bumps the
+    /// generation so routers notice on their next status exchange.
+    pub fn drain(&self) {
+        let _slots = self.slots.write().expect("model registry");
+        self.draining.store(true, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The admin-status snapshot every admin response carries.
+    pub(crate) fn admin_response(&self, ok: bool, message: String) -> AdminResponse {
+        let (generation, _) = self.snapshot();
+        AdminResponse {
+            ok,
+            draining: self.draining(),
+            generation,
+            models: self.models(),
+            message,
         }
     }
 }
@@ -192,7 +315,7 @@ pub struct ServerHandle {
     waker: Arc<Completions>,
     io_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    models: usize,
+    registry: Arc<ModelRegistry>,
 }
 
 impl ServerHandle {
@@ -213,9 +336,17 @@ impl ServerHandle {
         Arc::clone(&self.metrics_registry)
     }
 
-    /// Number of models (engines) this server hosts.
+    /// Number of models (engines) this server hosts right now. Admin
+    /// load/unload frames change this at runtime.
     pub fn models(&self) -> usize {
-        self.models
+        self.registry.model_count()
+    }
+
+    /// The live model registry behind this server — the same one admin
+    /// frames mutate. In-process tests and tooling can drive
+    /// load/unload/drain through it directly.
+    pub fn model_registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// Stops accepting and shuts down gracefully: every request accepted
@@ -242,6 +373,91 @@ impl ServerHandle {
             let _ = io.join();
         }
     }
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR` set *before* the bind.
+///
+/// The rolling-upgrade path needs this: when a replica restarts, its old
+/// incarnation's connections linger in `TIME_WAIT` on the same local port,
+/// and a plain [`TcpListener::bind`] to the advertised address fails with
+/// `AddrInUse` until the kernel's 2·MSL timer expires — minutes, not the
+/// sub-second rejoin the fleet expects. `SO_REUSEADDR` must be set on the
+/// raw socket before `bind`, which std's listener API cannot express, so
+/// this drops to the same direct-syscall level as the reactor's epoll
+/// backend (std already links libc on every unix target).
+///
+/// # Errors
+///
+/// Propagates the failing syscall's `errno` as an [`std::io::Error`]
+/// (`socket` / `setsockopt` / `bind` / `listen`).
+#[cfg(target_os = "linux")]
+pub fn bind_reusable(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // `sockaddr_in` / `sockaddr_in6`, laid out by hand: family in host
+    // order, port and address in network order.
+    let (domain, sockaddr): (i32, Vec<u8>) = match addr {
+        SocketAddr::V4(v4) => {
+            let mut raw = vec![0u8; 16];
+            raw[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            raw[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            raw[4..8].copy_from_slice(&v4.ip().octets());
+            (AF_INET, raw)
+        }
+        SocketAddr::V6(v6) => {
+            let mut raw = vec![0u8; 28];
+            raw[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            raw[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            raw[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            raw[8..24].copy_from_slice(&v6.ip().octets());
+            raw[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            (AF_INET6, raw)
+        }
+    };
+
+    unsafe {
+        let fd = socket(domain, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one,
+            std::mem::size_of::<i32>() as u32,
+        ) < 0
+            || bind(fd, sockaddr.as_ptr(), sockaddr.len() as u32) < 0
+            || listen(fd, 128) < 0
+        {
+            let error = std::io::Error::last_os_error();
+            let _ = close(fd);
+            return Err(error);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Portable fallback: a plain bind. Non-Linux platforms may need to wait
+/// out `TIME_WAIT` when rebinding a just-vacated address.
+#[cfg(not(target_os = "linux"))]
+pub fn bind_reusable(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
 }
 
 /// Starts serving a single engine on `listener` (model 0) and returns
@@ -304,8 +520,7 @@ pub fn spawn_multi_observed(
     let metrics = Arc::new(Metrics::new());
     let stop = Arc::new(AtomicBool::new(false));
     let halt = Arc::new(AtomicBool::new(false));
-    let models = engines.len();
-    let engines = Arc::new(engines);
+    let registry = Arc::new(ModelRegistry::new(engines));
 
     let worker_count = if options.workers == 0 {
         sc_core::parallel::max_threads()
@@ -323,7 +538,7 @@ pub fn spawn_multi_observed(
     let worker_slots = Arc::new(WorkerStatsSlots::new(worker_count.max(1)));
     let workers: Vec<JoinHandle<()>> = (0..worker_count.max(1))
         .map(|index| {
-            let engines = Arc::clone(&engines);
+            let registry = Arc::clone(&registry);
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let compute_delay = options.compute_delay;
@@ -331,7 +546,7 @@ pub fn spawn_multi_observed(
             let trace = trace.clone();
             std::thread::spawn(move || {
                 worker_loop(
-                    &engines,
+                    &registry,
                     &queue,
                     &metrics,
                     unit_fan_out,
@@ -353,8 +568,27 @@ pub fn spawn_multi_observed(
         });
     }
     {
+        // Live fleet-state gauges: the registry is mutable at runtime, so
+        // these read it at scrape time instead of freezing spawn-time
+        // values. The router exports the same families per backend
+        // (`sc_backend_models` / `sc_backend_registry_generation`).
+        let registry = Arc::clone(&registry);
         metrics_registry.register(move |out| {
-            out.push(Sample::gauge("sc_models", vec![], models as f64));
+            out.push(Sample::gauge(
+                "sc_models",
+                vec![],
+                registry.model_count() as f64,
+            ));
+            out.push(Sample::gauge(
+                "sc_registry_generation",
+                vec![],
+                registry.generation() as f64,
+            ));
+            out.push(Sample::gauge(
+                "sc_draining",
+                vec![],
+                f64::from(u8::from(registry.draining())),
+            ));
         });
     }
     register_engine_metrics(&metrics_registry, Arc::clone(&worker_slots));
@@ -363,6 +597,7 @@ pub fn spawn_multi_observed(
         listener,
         Arc::clone(&queue),
         Arc::clone(&metrics),
+        Arc::clone(&registry),
         options.idle_timeout,
         trace,
         Arc::clone(&stop),
@@ -380,7 +615,7 @@ pub fn spawn_multi_observed(
         waker: completions,
         io_thread: Some(io_thread),
         workers,
-        models,
+        registry,
     })
 }
 
@@ -398,6 +633,12 @@ pub(crate) fn is_would_block(error: &std::io::Error) -> bool {
 /// partially-flushed output buffer out.
 struct Conn {
     stream: TcpStream,
+    /// Whether the peer connected from a loopback address, captured at
+    /// accept time. Mutating admin ops (load / unload / drain) are
+    /// authenticated by locality: only an operator on the replica's own
+    /// host may change its model set. Status stays open to remote peers —
+    /// the router's health probes depend on it.
+    peer_is_loopback: bool,
     decoder: FrameDecoder,
     /// Serialized-but-unflushed replies; `out_offset` marks the flushed
     /// prefix.
@@ -446,6 +687,7 @@ struct IoLoop {
     next_token: u64,
     queue: Arc<BatchQueue<Job>>,
     metrics: Arc<Metrics>,
+    registry: Arc<ModelRegistry>,
     idle_timeout: Duration,
     trace: Option<TraceLog>,
     stop: Arc<AtomicBool>,
@@ -455,10 +697,12 @@ struct IoLoop {
 }
 
 impl IoLoop {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         listener: TcpListener,
         queue: Arc<BatchQueue<Job>>,
         metrics: Arc<Metrics>,
+        registry: Arc<ModelRegistry>,
         idle_timeout: Duration,
         trace: Option<TraceLog>,
         stop: Arc<AtomicBool>,
@@ -480,6 +724,7 @@ impl IoLoop {
                 next_token: TOKEN_FIRST_CONN,
                 queue,
                 metrics,
+                registry,
                 idle_timeout,
                 trace,
                 stop,
@@ -553,10 +798,11 @@ impl IoLoop {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
+                    let peer_is_loopback = peer.ip().is_loopback();
                     let token = self.next_token;
                     self.next_token += 1;
                     if self
@@ -571,6 +817,7 @@ impl IoLoop {
                         token,
                         Conn {
                             stream,
+                            peer_is_loopback,
                             decoder: FrameDecoder::new(),
                             outbuf: Vec::new(),
                             out_offset: 0,
@@ -629,6 +876,7 @@ impl IoLoop {
                                 token,
                                 &self.queue,
                                 &self.metrics,
+                                &self.registry,
                                 &self.completions,
                                 self.trace.as_ref(),
                             );
@@ -652,11 +900,13 @@ impl IoLoop {
     }
 
     /// Handles one complete frame sitting in `conn`'s decoder.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_frame(
         conn: &mut Conn,
         token: u64,
         queue: &BatchQueue<Job>,
         metrics: &Metrics,
+        registry: &ModelRegistry,
         completions: &Arc<Completions>,
         trace: Option<&TraceLog>,
     ) {
@@ -668,38 +918,57 @@ impl IoLoop {
                 let enqueued = Instant::now();
                 let deadline = (request.deadline_ms > 0)
                     .then(|| enqueued + Duration::from_millis(u64::from(request.deadline_ms)));
-                let job = Job {
-                    request,
-                    enqueued,
-                    deadline,
-                    reply: ReplySink {
-                        token,
-                        completions: Arc::clone(completions),
-                    },
-                };
-                let refusal = match queue.push(job) {
-                    Ok(()) => {
-                        conn.in_flight += 1;
-                        return;
-                    }
-                    // Admission shed: answer a retriable OVERLOADED instead
-                    // of queueing into latency the client will not accept.
-                    Err(PushRefusal::Full) => {
-                        metrics.record_shed();
-                        Response::Err {
-                            id,
-                            code: ErrorCode::Overloaded,
-                            message: "server overloaded: request queue is full".to_string(),
-                        }
-                    }
-                    // Server draining: refuse instead of dropping, and keep
-                    // reading so every request this client already pipelined
-                    // gets its own refusal until shutdown closes the socket.
-                    Err(PushRefusal::Closed) => Response::Err {
+                let refusal = if registry.draining() {
+                    // Admin-initiated drain: the queue is still open (the
+                    // workers are finishing in-flight jobs), but new work is
+                    // refused with the same retriable contract as shutdown
+                    // so the router fails it over instead of waiting.
+                    Some(Response::Err {
                         id,
                         code: ErrorCode::ShuttingDown,
                         message: SHUTTING_DOWN_MESSAGE.to_string(),
-                    },
+                    })
+                } else {
+                    None
+                };
+                let refusal = if let Some(refusal) = refusal {
+                    refusal
+                } else {
+                    let job = Job {
+                        request,
+                        enqueued,
+                        deadline,
+                        reply: ReplySink {
+                            token,
+                            completions: Arc::clone(completions),
+                        },
+                    };
+                    match queue.push(job) {
+                        Ok(()) => {
+                            conn.in_flight += 1;
+                            return;
+                        }
+                        // Admission shed: answer a retriable OVERLOADED
+                        // instead of queueing into latency the client will
+                        // not accept.
+                        Err(PushRefusal::Full) => {
+                            metrics.record_shed();
+                            Response::Err {
+                                id,
+                                code: ErrorCode::Overloaded,
+                                message: "server overloaded: request queue is full".to_string(),
+                            }
+                        }
+                        // Server draining: refuse instead of dropping, and
+                        // keep reading so every request this client already
+                        // pipelined gets its own refusal until shutdown
+                        // closes the socket.
+                        Err(PushRefusal::Closed) => Response::Err {
+                            id,
+                            code: ErrorCode::ShuttingDown,
+                            message: SHUTTING_DOWN_MESSAGE.to_string(),
+                        },
+                    }
                 };
                 // A refused request never reaches a worker, so it records
                 // no compute span — the trace shows an all-zero breakdown.
@@ -724,6 +993,58 @@ impl IoLoop {
             // shed replies, and must not mark a replica dead.
             Ok(Message::Ping { nonce }) => {
                 let _ = write_pong(&mut conn.outbuf, nonce);
+            }
+            // Protocol-v4 admin frames mutate the model registry at
+            // runtime. They are handled on the event loop: inference
+            // traffic keeps flowing through the workers while a model
+            // loads, at the cost of stalling frame I/O for the load's
+            // duration — acceptable because a plan-store load is a
+            // deserialize + weight-stream regeneration, not a training run.
+            Ok(Message::Admin(op)) => {
+                let response = if op.mutates() && !conn.peer_is_loopback {
+                    // Authenticated by locality: a remote peer may observe
+                    // (Status) but never mutate. The refusal is a typed
+                    // admin response, not a disconnect, so a misconfigured
+                    // operator sees *why*.
+                    registry.admin_response(
+                        false,
+                        "admin refused: mutating ops require a loopback peer".to_string(),
+                    )
+                } else {
+                    match op {
+                        AdminOp::LoadModel { model, path } => {
+                            match crate::plan_store::load_plan(std::path::Path::new(&path))
+                                .and_then(|loaded| {
+                                    let options = loaded.engine_options();
+                                    Engine::from_plan(loaded.plan, options)
+                                }) {
+                                Ok(engine) => {
+                                    let name = engine.model_name().to_string();
+                                    registry.load(model, Arc::new(engine));
+                                    registry.admin_response(
+                                        true,
+                                        format!("loaded {name:?} as model {model}"),
+                                    )
+                                }
+                                Err(error) => {
+                                    registry.admin_response(false, format!("load failed: {error}"))
+                                }
+                            }
+                        }
+                        AdminOp::UnloadModel { model } => match registry.unload(model) {
+                            Ok(()) => {
+                                registry.admin_response(true, format!("unloaded model {model}"))
+                            }
+                            Err(message) => registry.admin_response(false, message),
+                        },
+                        AdminOp::Drain => {
+                            registry.drain();
+                            registry.admin_response(true, "draining".to_string())
+                        }
+                        AdminOp::Status => registry.admin_response(true, String::new()),
+                    }
+                };
+                let _ = write_admin_response(&mut conn.outbuf, &response);
             }
             Err(_) => {
                 // Malformed payload behind a valid checksum: protocol
@@ -857,6 +1178,59 @@ impl IoLoop {
     }
 }
 
+/// One worker's registry view: the engines of a registry generation plus a
+/// warm [`Session`] per hosted model.
+///
+/// `refresh` is the cheap steady-state path: one atomic generation read per
+/// batch, and only when the generation moved does it re-snapshot the slots
+/// — keeping the warm session of every engine that survived the change
+/// (`Arc::ptr_eq`), so loading model 3 never cools model 0's cache.
+struct WorkerModels {
+    generation: u64,
+    engines: Vec<Option<Arc<Engine>>>,
+    sessions: Vec<Option<Session>>,
+}
+
+impl WorkerModels {
+    fn new(registry: &ModelRegistry, unit_fan_out: bool) -> Self {
+        let mut models = Self {
+            generation: 0,
+            engines: Vec::new(),
+            sessions: Vec::new(),
+        };
+        models.refresh(registry, unit_fan_out);
+        models
+    }
+
+    fn refresh(&mut self, registry: &ModelRegistry, unit_fan_out: bool) {
+        if registry.generation() == self.generation {
+            return;
+        }
+        let (generation, engines) = registry.snapshot();
+        let mut sessions: Vec<Option<Session>> = Vec::with_capacity(engines.len());
+        for (slot, engine) in engines.iter().enumerate() {
+            let kept = match (engine, self.engines.get(slot)) {
+                (Some(new), Some(Some(old))) if Arc::ptr_eq(new, old) => {
+                    self.sessions.get_mut(slot).and_then(Option::take)
+                }
+                _ => None,
+            };
+            sessions.push(match (engine, kept) {
+                (Some(_), Some(session)) => Some(session),
+                (Some(engine), None) => {
+                    let mut session = engine.new_session();
+                    session.set_unit_fan_out(unit_fan_out);
+                    Some(session)
+                }
+                (None, _) => None,
+            });
+        }
+        self.generation = generation;
+        self.engines = engines;
+        self.sessions = sessions;
+    }
+}
+
 /// Worker loop: pulls micro-batches and runs them through one warm session
 /// per model.
 ///
@@ -869,7 +1243,7 @@ impl IoLoop {
 /// way a genuinely slow replica would.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    engines: &[Arc<Engine>],
+    registry: &ModelRegistry,
     queue: &BatchQueue<Job>,
     metrics: &Metrics,
     unit_fan_out: bool,
@@ -878,15 +1252,11 @@ fn worker_loop(
     worker_index: usize,
     trace: Option<&TraceLog>,
 ) {
-    let mut sessions: Vec<Session> = engines
-        .iter()
-        .map(|engine| {
-            let mut session = engine.new_session();
-            session.set_unit_fan_out(unit_fan_out);
-            session
-        })
-        .collect();
+    let mut models = WorkerModels::new(registry, unit_fan_out);
     while let Some(batch) = queue.pop_batch() {
+        // Pick up admin-driven registry changes at batch granularity: one
+        // atomic load when nothing changed, a slot re-snapshot when it did.
+        models.refresh(registry, unit_fan_out);
         // Everything in this batch stopped queueing the moment it was
         // popped; time spent after this point (delays, earlier batch
         // members' compute) is per-job *linger*, not queue wait.
@@ -927,14 +1297,16 @@ fn worker_loop(
             let compute_started = Instant::now();
             let linger = compute_started.saturating_duration_since(popped);
             metrics.record_stage(Stage::Linger, linger);
-            let response = serve_one(engines, &mut sessions, &job.request);
+            let response = serve_one(&models.engines, &mut models.sessions, &job.request);
             let compute = compute_started.elapsed();
             metrics.record_stage(Stage::Compute, compute);
             // Only the session this request's model used accumulated any
             // cache-fill time; draining all of them attributes it without
             // re-deriving the model→session mapping here.
-            let cache_fill: Duration = sessions
+            let cache_fill: Duration = models
+                .sessions
                 .iter_mut()
+                .flatten()
                 .map(crate::engine::Session::take_cache_fill)
                 .sum();
             metrics.record_stage(Stage::CacheFill, cache_fill);
@@ -963,7 +1335,7 @@ fn worker_loop(
         // most one batch stale at scrape time.
         let mut cache = sc_core::cache::CacheStats::default();
         let mut arena = sc_core::arena::ArenaStats::default();
-        for session in &sessions {
+        for session in models.sessions.iter().flatten() {
             cache.merge(&session.cache_stats());
             arena.merge(&session.arena_stats());
         }
@@ -980,8 +1352,8 @@ fn worker_loop(
 /// wraps in release builds: an adversarial shape like `[2^32, 2^32, 4]`
 /// would alias a small pixel count on 64-bit and pass the length check.
 pub(crate) fn serve_one(
-    engines: &[Arc<Engine>],
-    sessions: &mut [Session],
+    engines: &[Option<Arc<Engine>>],
+    sessions: &mut [Option<Session>],
     request: &Request,
 ) -> Response {
     let Some(expected) = checked_shape_product(request.shape) else {
@@ -1001,20 +1373,24 @@ pub(crate) fn serve_one(
         );
     }
     let model = usize::from(request.model);
-    let Some(engine) = engines.get(model) else {
-        // An unknown model id is a per-request error reply, never a
-        // disconnect: the connection (and the router in front of it) keeps
-        // serving the models that do exist.
-        return Response::app_err(
-            request.id,
-            format!(
-                "unknown model {model} (this server hosts {} models)",
-                engines.len()
-            ),
-        );
+    let Some(engine) = engines.get(model).and_then(Option::as_ref) else {
+        // A model this replica does not host is a *typed, retriable*
+        // refusal, never a disconnect and never an opaque app error: over a
+        // heterogeneous replica set the router retries the request on a
+        // backend whose advertised model set contains it, and only a fleet
+        // with no such backend turns this into a client-visible failure.
+        let hosted = engines.iter().filter(|slot| slot.is_some()).count();
+        return Response::Err {
+            id: request.id,
+            code: ErrorCode::ModelUnavailable,
+            message: format!("model {model} is not hosted by this replica ({hosted} hosted)"),
+        };
     };
+    let session = sessions[model]
+        .as_mut()
+        .expect("a hosted model has a session");
     let image = Tensor::from_vec(request.pixels.clone(), &request.shape);
-    match engine.infer(&mut sessions[model], &image) {
+    match engine.infer(session, &image) {
         Ok(inference) => Response::Ok {
             id: request.id,
             argmax: inference.argmax.min(usize::from(u16::MAX)) as u16,
@@ -1078,8 +1454,8 @@ mod tests {
         // would reject by luck — `[1 << 32, 1 << 32, 4]` wraps to exactly 0
         // on 64-bit... use a shape whose wrapped product *equals* the pixel
         // count to prove the checked path is what rejects it.
-        let engines = vec![Arc::new(tiny_engine(7))];
-        let mut sessions = vec![engines[0].new_session()];
+        let engines = vec![Some(Arc::new(tiny_engine(7)))];
+        let mut sessions = vec![engines[0].as_ref().map(|e| e.new_session())];
         // (1 << 32) * (1 << 32) wraps to 0 on 64-bit; * 4 stays 0 — so with
         // zero pixels the unchecked length comparison would pass and the
         // bogus shape would reach `Tensor::from_vec`.
@@ -1094,17 +1470,34 @@ mod tests {
     }
 
     #[test]
-    fn serve_one_rejects_unknown_models_per_request() {
-        let engines = vec![Arc::new(tiny_engine(9))];
-        let mut sessions = vec![engines[0].new_session()];
-        let unknown = request(2, 5, [1, 2, 2], vec![0.0; 4]);
-        match serve_one(&engines, &mut sessions, &unknown) {
-            Response::Err { id, message, .. } => {
-                assert_eq!(id, 2);
-                assert!(message.contains("unknown model 5"), "{message}");
-                assert!(message.contains("1 models"), "{message}");
+    fn serve_one_refuses_unhosted_models_with_a_typed_retriable_code() {
+        let engines = vec![Some(Arc::new(tiny_engine(9))), None];
+        let mut sessions: Vec<Option<Session>> = engines
+            .iter()
+            .map(|slot| slot.as_ref().map(|e| e.new_session()))
+            .collect();
+        // Model 5 is beyond the slot table; model 1 is an unloaded hole.
+        // Both must produce MODEL_UNAVAILABLE — a retriable refusal the
+        // router fails over on — never an opaque app error.
+        for (id, model) in [(2u64, 5u16), (4, 1)] {
+            let unknown = request(id, model, [1, 2, 2], vec![0.0; 4]);
+            match serve_one(&engines, &mut sessions, &unknown) {
+                Response::Err {
+                    id: got,
+                    code,
+                    message,
+                } => {
+                    assert_eq!(got, id);
+                    assert_eq!(code, ErrorCode::ModelUnavailable);
+                    assert!(code.is_retriable(), "MODEL_UNAVAILABLE must be retriable");
+                    assert!(
+                        message.contains(&format!("model {model} is not hosted")),
+                        "{message}"
+                    );
+                    assert!(message.contains("1 hosted"), "{message}");
+                }
+                other => panic!("expected a model-unavailable refusal, got {other:?}"),
             }
-            other => panic!("expected an unknown-model error, got {other:?}"),
         }
         // The same connection state still serves the model that exists.
         let ok = request(3, 0, [1, 2, 2], vec![0.25; 4]);
@@ -1115,25 +1508,69 @@ mod tests {
     }
 
     #[test]
+    fn registry_mutations_bump_the_generation_and_keep_ptr_identity() {
+        let registry = ModelRegistry::new(vec![Arc::new(tiny_engine(3))]);
+        assert_eq!(registry.generation(), 1);
+        assert_eq!(registry.models(), vec![0]);
+
+        // Worker view: warm sessions survive an unrelated load.
+        let mut view = WorkerModels::new(&registry, false);
+        let engine0 = view.engines[0].as_ref().unwrap().clone();
+
+        registry.load(2, Arc::new(tiny_engine(5)));
+        assert_eq!(registry.generation(), 2);
+        assert_eq!(registry.models(), vec![0, 2]);
+        assert_eq!(registry.model_count(), 2);
+        view.refresh(&registry, false);
+        assert!(
+            Arc::ptr_eq(view.engines[0].as_ref().unwrap(), &engine0),
+            "loading model 2 must not rebuild model 0"
+        );
+        assert!(view.engines[1].is_none() && view.sessions[1].is_none());
+        assert!(view.sessions[2].is_some());
+
+        registry.unload(0).unwrap();
+        assert_eq!(registry.generation(), 3);
+        assert_eq!(registry.models(), vec![2]);
+        assert!(registry.unload(0).is_err(), "double unload is an error");
+        assert_eq!(registry.generation(), 3, "failed unload must not bump");
+        view.refresh(&registry, false);
+        assert!(view.engines[0].is_none() && view.sessions[0].is_none());
+
+        assert!(!registry.draining());
+        registry.drain();
+        assert!(registry.draining());
+        assert_eq!(registry.generation(), 4, "drain is a visible change");
+    }
+
+    #[test]
     fn serve_one_dispatches_by_model_id() {
         // Two engines with different seeds produce different logits for the
         // same pixels; the model id must select between them.
-        let engines = vec![Arc::new(tiny_engine(11)), Arc::new(tiny_engine(23))];
-        let mut sessions: Vec<Session> = engines.iter().map(|e| e.new_session()).collect();
+        let engines = vec![
+            Some(Arc::new(tiny_engine(11))),
+            Some(Arc::new(tiny_engine(23))),
+        ];
+        let mut sessions: Vec<Option<Session>> = engines
+            .iter()
+            .map(|slot| slot.as_ref().map(|e| e.new_session()))
+            .collect();
         let pixels = vec![0.5f32, -0.25, 0.75, 0.125];
-        let on_model =
-            |engines: &[Arc<Engine>], sessions: &mut [Session], model: u16| match serve_one(
-                engines,
-                sessions,
-                &request(u64::from(model), model, [1, 2, 2], pixels.clone()),
-            ) {
-                Response::Ok { logits, .. } => logits,
-                Response::Err { message, .. } => panic!("model {model} failed: {message}"),
-            };
+        let on_model = |engines: &[Option<Arc<Engine>>],
+                        sessions: &mut [Option<Session>],
+                        model: u16| match serve_one(
+            engines,
+            sessions,
+            &request(u64::from(model), model, [1, 2, 2], pixels.clone()),
+        ) {
+            Response::Ok { logits, .. } => logits,
+            Response::Err { message, .. } => panic!("model {model} failed: {message}"),
+        };
         let logits0 = on_model(&engines, &mut sessions, 0);
         let logits1 = on_model(&engines, &mut sessions, 1);
-        let mut direct0 = engines[0].new_session();
-        let expected0 = engines[0]
+        let engine0 = engines[0].as_ref().unwrap();
+        let mut direct0 = engine0.new_session();
+        let expected0 = engine0
             .infer(&mut direct0, &Tensor::from_vec(pixels.clone(), &[1, 2, 2]))
             .unwrap();
         assert_eq!(logits0, expected0.logits, "model 0 must use engine 0");
@@ -1154,10 +1591,12 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let stop = Arc::new(AtomicBool::new(false));
         let halt = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(ModelRegistry::new(vec![Arc::new(tiny_engine(1))]));
         let (io_loop, completions) = IoLoop::build(
             listener,
             Arc::clone(&queue),
             Arc::clone(&metrics),
+            registry,
             Duration::from_secs(5),
             None,
             Arc::clone(&stop),

@@ -124,15 +124,41 @@ fn routed_requests_are_bit_exact_with_direct_inference() {
         }
     }
 
-    // An unknown model is an application error: forwarded to the client
-    // as-is, NOT retried on the other replica (it would fail there too).
+    // Wait for the router to learn both replicas' model sets from status
+    // exchanges, so the model-7 request below is deterministic: the model
+    // filter rejects every backend up front instead of racing the probes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router
+        .stats()
+        .backends
+        .iter()
+        .any(|backend| backend.models.is_none())
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "router never learned the replicas' model sets"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for backend in router.stats().backends {
+        assert_eq!(backend.models, Some(vec![0, 1]));
+        assert!(
+            backend.registry_generation >= 1,
+            "replica generations start at 1"
+        );
+    }
+
+    // A model no replica hosts is a typed MODEL_UNAVAILABLE refusal: the
+    // router's model filter rejects every backend without burning an
+    // exchange, and the client sees the code, not a generic overload.
     write_request_v2(&mut writer, 99, 7, [1, 4, 4], images[0].as_slice()).unwrap();
     match read_response(&mut reader).unwrap().expect("response") {
-        Response::Err { id, message, .. } => {
+        Response::Err { id, code, message } => {
             assert_eq!(id, 99);
-            assert!(message.contains("unknown model 7"), "{message}");
+            assert_eq!(code, sc_serve::proto::ErrorCode::ModelUnavailable);
+            assert!(message.contains("model 7"), "{message}");
         }
-        other => panic!("expected an unknown-model error, got {other:?}"),
+        other => panic!("expected a model-unavailable refusal, got {other:?}"),
     }
     let stats = router.stats();
     assert_eq!(stats.requests, 7);
@@ -140,7 +166,10 @@ fn routed_requests_are_bit_exact_with_direct_inference() {
         stats.failovers, 0,
         "healthy replicas must not trigger failover"
     );
-    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.failed, 1,
+        "the unhosted-model request is the one failure"
+    );
 
     drop(writer);
     drop(reader);

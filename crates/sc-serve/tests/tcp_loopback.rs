@@ -183,10 +183,11 @@ fn multi_model_listener_serves_v1_and_v2_traffic() {
         "the two models must be distinguishable for this test to mean anything"
     );
     match &responses[3] {
-        Response::Err { message, .. } => {
-            assert!(message.contains("unknown model 9"), "{message}");
+        Response::Err { code, message, .. } => {
+            assert_eq!(*code, sc_serve::proto::ErrorCode::ModelUnavailable);
+            assert!(message.contains("model 9 is not hosted"), "{message}");
         }
-        other => panic!("expected an unknown-model error, got {other:?}"),
+        other => panic!("expected a model-unavailable refusal, got {other:?}"),
     }
 
     drop(writer);
