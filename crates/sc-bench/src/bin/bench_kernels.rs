@@ -7,12 +7,13 @@
 //!
 //! Run with: `cargo run --release -p sc-bench --bin bench_kernels`
 
-use sc_core::add::{Apc, ExactParallelCounter, MuxAdder};
+use sc_core::add::{Apc, ExactParallelCounter, MuxAdder, MuxSelectorPlan};
 use sc_core::arena::StreamArena;
 use sc_core::bitstream::{BitStream, StreamLength};
 use sc_core::multiply;
 use sc_core::rng::Lfsr;
 use sc_core::sng::{Sng, SngBank, SngKind};
+use sc_core::{force_backend, Backend};
 use std::time::Instant;
 
 /// Frozen copy of the seed revision's 32-bit LFSR step (popcount parity),
@@ -447,6 +448,84 @@ fn bench_csa_column_count(samples: usize, iters: usize) -> Comparison {
     }
 }
 
+/// Frozen copy of the per-unit `accumulate_product_columns` this PR ported
+/// onto the CSA vertical-counter accumulator: XNOR per word, then a
+/// `trailing_zeros` walk over the set product bits of every lane.
+fn frozen_per_unit_product_walk(
+    inputs: &[BitStream],
+    weights: &[BitStream],
+    len: usize,
+    counts: &mut [u16],
+) {
+    let tail_bits = len % 64;
+    let last = len.div_ceil(64) - 1;
+    for (x, wt) in inputs.iter().zip(weights.iter()) {
+        for (w, (&a, &b)) in x.as_words().iter().zip(wt.as_words().iter()).enumerate() {
+            let mut product = !(a ^ b);
+            if w == last && tail_bits != 0 {
+                product &= (1u64 << tail_bits) - 1;
+            }
+            let base = w * 64;
+            while product != 0 {
+                let j = product.trailing_zeros() as usize;
+                counts[base + j] += 1;
+                product &= product - 1;
+            }
+        }
+    }
+}
+
+/// The per-unit APC multiply-count: the frozen `trailing_zeros` product walk
+/// (the pre-CSA `Apc::count_products` body) vs the shipped vertical-counter
+/// accumulation behind [`ExactParallelCounter::count_products`].
+fn bench_per_unit_apc_csa(samples: usize, iters: usize) -> Comparison {
+    let len = 1024usize;
+    let n = 32usize;
+    let (values, wvalues) = operand_values(n);
+    let xs: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 60 + i as u64)
+                .generate_bipolar(values[i], StreamLength::new(len))
+                .unwrap()
+        })
+        .collect();
+    let ws: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 6000 + i as u64)
+                .generate_bipolar(wvalues[i], StreamLength::new(len))
+                .unwrap()
+        })
+        .collect();
+    let mut frozen = vec![0u16; len];
+    frozen_per_unit_product_walk(&xs, &ws, len, &mut frozen);
+    let csa = ExactParallelCounter::new()
+        .count_products(&xs, &ws)
+        .unwrap();
+    assert_eq!(
+        frozen.as_slice(),
+        csa.counts(),
+        "CSA per-unit kernel must match the frozen product walk"
+    );
+    let baseline_ns = measure(samples, iters, || {
+        let mut counts = vec![0u16; len];
+        frozen_per_unit_product_walk(&xs, &ws, len, &mut counts);
+        counts
+    });
+    let optimized_ns = measure(samples, iters, || {
+        ExactParallelCounter::new()
+            .count_products(&xs, &ws)
+            .unwrap()
+    });
+    Comparison {
+        name: "apc_per_unit_csa_n32_l1024",
+        description: "Per-unit APC multiply-count (32 lanes, 1024 bits): \
+                      per-lane trailing_zeros product walk vs XNOR super-words \
+                      compressed into CSA vertical counters",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
 /// Frozen copy of the PR-3 shared-input APC kernel (per-lane `trailing_zeros`
 /// product walk shared across units), the path the CSA kernel replaced.
 fn per_lane_shared_product_counts(
@@ -547,6 +626,202 @@ fn bench_shared_apc_csa(samples: usize, iters: usize) -> Comparison {
     }
 }
 
+/// One kernel timed once per available word backend (see `sc_core::word`).
+/// All backends are bit-identical, so the rows differ only in throughput.
+struct BackendMatrixRow {
+    kernel: &'static str,
+    description: &'static str,
+    /// `(backend, median ns)` in the order of `available_backends()`.
+    timings: Vec<(Backend, f64)>,
+}
+
+impl BackendMatrixRow {
+    fn scalar_ns(&self) -> f64 {
+        self.timings
+            .iter()
+            .find(|(b, _)| *b == Backend::Scalar)
+            .map(|&(_, ns)| ns)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn speedup(&self, backend: Backend) -> Option<f64> {
+        self.timings
+            .iter()
+            .find(|(b, _)| *b == backend)
+            .map(|&(_, ns)| self.scalar_ns() / ns)
+    }
+}
+
+/// Every backend this build + machine can run, scalar first.
+fn available_backends() -> Vec<Backend> {
+    let mut list = vec![Backend::Scalar];
+    list.extend(
+        Backend::ALL
+            .into_iter()
+            .filter(|b| *b != Backend::Scalar && b.is_available()),
+    );
+    list.sort_by_key(|b| match b {
+        Backend::Scalar => 0,
+        Backend::Wide => 1,
+        Backend::Avx2 => 2,
+        Backend::Neon => 3,
+    });
+    list
+}
+
+/// Times `f` once per available backend, pinning the process-wide kernel
+/// backend around each measurement and restoring the best one afterwards.
+fn measure_per_backend<R>(
+    kernel: &'static str,
+    description: &'static str,
+    samples: usize,
+    iters: usize,
+    mut f: impl FnMut() -> R,
+) -> BackendMatrixRow {
+    let timings = available_backends()
+        .into_iter()
+        .map(|backend| {
+            assert!(force_backend(backend), "backend {backend} vanished");
+            (backend, measure(samples, iters, &mut f))
+        })
+        .collect();
+    force_backend(sc_core::word::best_available_backend());
+    BackendMatrixRow {
+        kernel,
+        description,
+        timings,
+    }
+}
+
+/// Per-backend timings of the five widened kernel families, each through its
+/// public dispatching entry point (the same calls the serving engine makes).
+fn backend_matrix(samples: usize, iters: usize) -> Vec<BackendMatrixRow> {
+    let len = StreamLength::new(1024);
+    let n = 32usize;
+    let (values, wvalues) = operand_values(n);
+    let xs: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 70 + i as u64)
+                .generate_bipolar(values[i], len)
+                .unwrap()
+        })
+        .collect();
+    let ws: Vec<BitStream> = (0..n)
+        .map(|i| {
+            Sng::new(SngKind::Lfsr32, 7000 + i as u64)
+                .generate_bipolar(wvalues[i], len)
+                .unwrap()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+
+    // (1) Staged-GF(2) SNG comparator fill.
+    let mut sng = Sng::new(SngKind::Lfsr32, 7);
+    let mut stream = BitStream::zeros(StreamLength::new(8192));
+    rows.push(measure_per_backend(
+        "sng_comparator_fill_l8192",
+        "SNG comparator fill (LFSR32, 8192 bits): batched sequence window \
+         compared against the threshold one super-word at a time",
+        samples,
+        iters,
+        move || sng.generate_probability_into(0.685, &mut stream).unwrap(),
+    ));
+
+    // (2) Fused XNOR + popcount inner-product reduction.
+    {
+        let xs = xs.clone();
+        let ws = ws.clone();
+        rows.push(measure_per_backend(
+            "xnor_popcount_n32_l1024",
+            "Fused XNOR/popcount inner product (32 lanes, 1024 bits): \
+             per-lane xnor_count reduction",
+            samples,
+            iters * 4,
+            move || -> usize { xs.iter().zip(&ws).map(|(x, w)| x.xnor_count(w)).sum() },
+        ));
+    }
+
+    // (3) Bit-sliced MUX selector plan replay (fused multiply-select).
+    {
+        let xs = xs.clone();
+        let ws = ws.clone();
+        let mut selector = Lfsr::new_32(77);
+        let plan = MuxSelectorPlan::new(n, len.bits(), &mut selector).unwrap();
+        let mut out = BitStream::zeros(len);
+        rows.push(measure_per_backend(
+            "mux_plan_replay_n32_l1024",
+            "MUX selector plan replay (32 lanes, 1024 bits): chunk-grouped \
+             masked ORs over XNOR product super-words",
+            samples,
+            iters * 4,
+            move || {
+                MuxAdder::new()
+                    .sum_products_with_plan_into(&xs, &ws, &plan, &mut out)
+                    .unwrap()
+            },
+        ));
+    }
+
+    // (4) CSA vertical-counter product accumulation (shared-input layer form).
+    {
+        let lanes = 25usize;
+        let units = 8usize;
+        let lane_values = operand_values(lanes).0;
+        let inputs: Vec<BitStream> = (0..lanes)
+            .map(|i| {
+                Sng::new(SngKind::Lfsr32, 40 + i as u64)
+                    .generate_bipolar(lane_values[i], len)
+                    .unwrap()
+            })
+            .collect();
+        let unit_ws: Vec<Vec<BitStream>> = (0..units)
+            .map(|u| {
+                (0..lanes)
+                    .map(|i| {
+                        Sng::new(SngKind::Lfsr32, 4000 + (u * lanes + i) as u64)
+                            .generate_bipolar(-lane_values[i], len)
+                            .unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        rows.push(measure_per_backend(
+            "csa_shared_apc_n25_u8_l1024",
+            "Shared-input CSA multiply-count (25 lanes, 8 units, 1024 bits): \
+             3:2 compression of product super-words into per-unit vertical \
+             counters",
+            samples,
+            iters,
+            move || {
+                let refs: Vec<&[BitStream]> = unit_ws.iter().map(|w| w.as_slice()).collect();
+                Apc::new().count_products_shared(&inputs, &refs).unwrap()
+            },
+        ));
+    }
+
+    // (5) Word-interleaved Stanh FSM batch walk.
+    {
+        let stanh = sc_core::activation::Stanh::new(8).unwrap();
+        let inputs = xs.clone();
+        let mut arena = StreamArena::new();
+        rows.push(measure_per_backend(
+            "stanh_batch_n32_l1024",
+            "Stanh FSM batch walk (32 units, 8 states, 1024 bits): \
+             lane-parallel saturating counters over word groups",
+            samples,
+            iters,
+            move || {
+                let refs: Vec<&BitStream> = inputs.iter().collect();
+                let outputs = stanh.transform_batch_with(&refs, &mut arena);
+                arena.recycle_all(outputs);
+            },
+        ));
+    }
+
+    rows
+}
+
 fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -564,6 +839,7 @@ fn main() {
         bench_mux_selector(samples, iters),
         bench_apc_counts(samples, iters),
         bench_csa_column_count(samples, iters),
+        bench_per_unit_apc_csa(samples, iters),
         bench_shared_apc_csa(samples, iters.div_ceil(4)),
     ];
 
@@ -581,8 +857,36 @@ fn main() {
         );
     }
 
+    let backends = available_backends();
+    println!(
+        "\nPer-backend kernel matrix (backends: {}) ...\n",
+        backends
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let matrix = backend_matrix(samples, iters);
+    print!("{:<30}", "kernel");
+    for backend in &backends {
+        print!("{:>14}", backend.name());
+    }
+    println!("{:>22}", "best speedup vs scalar");
+    for row in &matrix {
+        print!("{:<30}", row.kernel);
+        for &(_, ns) in &row.timings {
+            print!("{ns:>11.0} ns");
+        }
+        let best = row
+            .timings
+            .iter()
+            .map(|&(_, ns)| row.scalar_ns() / ns)
+            .fold(f64::NAN, f64::max);
+        println!("{best:>21.2}x");
+    }
+
     let mut json = String::from("{\n");
-    json.push_str("  \"generated_by\": \"cargo run --release -p sc-bench --bin bench_kernels\",\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p sc-bench --features simd --bin bench_kernels\",\n");
     json.push_str(&format!(
         "  \"threads_available\": {},\n",
         std::thread::available_parallelism()
@@ -607,7 +911,51 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"kernel_backends\": {\n    \"note\": \"the same five kernels \
+         timed once per word backend via force_backend; every backend is \
+         bit-identical to scalar, speedups are scalar_ns / backend_ns\",\n",
+    );
+    json.push_str(&format!(
+        "    \"available\": [{}],\n",
+        backends
+            .iter()
+            .map(|b| format!("\"{}\"", b.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in matrix.iter().enumerate() {
+        json.push_str("      {\n");
+        json.push_str(&format!(
+            "        \"kernel\": \"{}\",\n",
+            json_escape(row.kernel)
+        ));
+        json.push_str(&format!(
+            "        \"description\": \"{}\",\n",
+            json_escape(row.description)
+        ));
+        for &(backend, ns) in &row.timings {
+            json.push_str(&format!("        \"{}_ns\": {:.1},\n", backend.name(), ns));
+        }
+        let mut speedups: Vec<String> = Vec::new();
+        for &(backend, _) in &row.timings {
+            if backend != Backend::Scalar {
+                if let Some(s) = row.speedup(backend) {
+                    speedups.push(format!("        \"{}_speedup\": {:.2}", backend.name(), s));
+                }
+            }
+        }
+        json.push_str(&speedups.join(",\n"));
+        json.push('\n');
+        json.push_str(if i + 1 == matrix.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     // A `--quick` smoke must not replace the committed recording with its
     // noisier low-iteration medians.

@@ -13,6 +13,13 @@
 //! | `MuxMaxStanh` | MUX | hardware max | re-designed Stanh (Eq. 2) | cheap, medium accuracy |
 //! | `ApcAvgBtanh` | APC | average | Btanh (Eq. 3) | accurate, higher area/energy |
 //! | `ApcMaxBtanh` | APC | hardware max | Btanh | most accurate, most expensive |
+//!
+//! Every hot kernel a feature block evaluates — SNG comparator fills, fused
+//! XNOR/popcount reductions, MUX selector replay, CSA vertical-counter
+//! accumulation, and the Stanh/Btanh FSM batch walks — is word-generic and
+//! dispatches to the active [`sc_core::word`] backend (scalar, portable
+//! super-word, or SIMD). Backends are bit-identical, so block outputs do not
+//! depend on which one serves them.
 
 use crate::activation_block::{ActivationKind, BtanhBlock, StanhBlock};
 use crate::inner_product::{

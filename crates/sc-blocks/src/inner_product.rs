@@ -13,6 +13,12 @@
 //! | [`ApcInnerProduct`] | approximate parallel counter | binary count stream | none |
 //! | [`ExactCounterInnerProduct`] | exact parallel counter | binary count stream | none |
 //! | [`TwoLineInnerProduct`] | two-line adder chain | two-line stream | none (overflows) |
+//!
+//! The blocks themselves are width-agnostic: the XNOR/popcount reductions,
+//! MUX selector replays, and CSA column accumulators they call dispatch
+//! through the word-generic kernel layer ([`sc_core::word`]), so the same
+//! block code runs on the scalar, portable super-word, or SIMD backend —
+//! with bit-identical results on each.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

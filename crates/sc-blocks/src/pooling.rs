@@ -14,6 +14,11 @@
 //!   product blocks;
 //! * binary domain (inputs are [`CountStream`]s) — used after APC-based inner
 //!   product blocks, where counters are replaced by accumulators.
+//!
+//! The MUX average-pooling path replays precomputed selector plans
+//! ([`MuxSelectorPlan`]) whose masked-OR inner loop dispatches through the
+//! word-generic kernel layer ([`sc_core::word`]); segment counting in the
+//! hardware max path rides the same backend-dispatched popcount kernel.
 
 use sc_core::add::{CountStream, MuxAdder, MuxSelectorPlan};
 use sc_core::arena::StreamArena;

@@ -18,6 +18,7 @@
 use crate::add::CountStream;
 use crate::bitstream::{BitStream, StreamLength};
 use crate::error::ScError;
+use crate::word::{dispatch_word_kernel, Word};
 use serde::{Deserialize, Serialize};
 
 /// Output threshold mode for the [`Stanh`] FSM.
@@ -133,35 +134,12 @@ impl Stanh {
         inputs: &[&BitStream],
         arena: &mut crate::arena::StreamArena,
     ) -> Vec<BitStream> {
-        let mut fsms: Vec<Stanh> = inputs
-            .iter()
-            .map(|_| {
-                let mut fsm = self.clone();
-                fsm.reset();
-                fsm
-            })
-            .collect();
         let mut outputs: Vec<BitStream> = inputs
             .iter()
             .map(|s| arena.take_zeroed(s.stream_length()))
             .collect();
-        let max_words = inputs.iter().map(|s| s.as_words().len()).max().unwrap_or(0);
-        for w in 0..max_words {
-            for (unit, input) in inputs.iter().enumerate() {
-                let words = input.as_words();
-                if w >= words.len() {
-                    continue;
-                }
-                let bits = (input.len() - w * 64).min(64);
-                let in_word = words[w];
-                let mut out_word = 0u64;
-                let fsm = &mut fsms[unit];
-                for bit in 0..bits {
-                    out_word |= u64::from(fsm.step((in_word >> bit) & 1 == 1)) << bit;
-                }
-                outputs[unit].words_mut()[w] = out_word;
-            }
-        }
+        let threshold = self.mode.threshold(self.states);
+        stanh_batch_words(inputs, &mut outputs, self.states, threshold);
         outputs
     }
 
@@ -250,38 +228,11 @@ impl Btanh {
         inputs: &[&CountStream],
         arena: &mut crate::arena::StreamArena,
     ) -> Vec<BitStream> {
-        let mut counters: Vec<Btanh> = inputs
-            .iter()
-            .map(|_| {
-                let mut counter = self.clone();
-                counter.reset();
-                counter
-            })
-            .collect();
         let mut outputs: Vec<BitStream> = inputs
             .iter()
             .map(|c| arena.take_zeroed(StreamLength::new(c.len())))
             .collect();
-        let max_words = inputs
-            .iter()
-            .map(|c| c.len().div_ceil(64))
-            .max()
-            .unwrap_or(0);
-        for w in 0..max_words {
-            let start = w * 64;
-            for (unit, input) in inputs.iter().enumerate() {
-                if start >= input.len() {
-                    continue;
-                }
-                let end = (start + 64).min(input.len());
-                let counter = &mut counters[unit];
-                let mut out_word = 0u64;
-                for (bit, &count) in input.counts()[start..end].iter().enumerate() {
-                    out_word |= u64::from(counter.step(count, input.lanes())) << bit;
-                }
-                outputs[unit].words_mut()[w] = out_word;
-            }
-        }
+        btanh_batch_words(inputs, &mut outputs, self.states);
         outputs
     }
 
@@ -289,6 +240,254 @@ impl Btanh {
     /// `tanh(n·x / 2)` where `x` is the mean of the summed bipolar inputs.
     pub fn reference(&self, lanes: usize, mean_input: f64) -> f64 {
         (lanes as f64 * mean_input / 2.0).tanh()
+    }
+}
+
+fn stanh_batch_words(
+    inputs: &[&BitStream],
+    outputs: &mut [BitStream],
+    states: usize,
+    threshold: usize,
+) {
+    dispatch_word_kernel!(
+        stanh_batch_words_impl,
+        act_avx2::stanh_batch_avx2,
+        (inputs, outputs, states, threshold)
+    )
+}
+
+fn btanh_batch_words(inputs: &[&CountStream], outputs: &mut [BitStream], states: usize) {
+    dispatch_word_kernel!(
+        btanh_batch_words_impl,
+        act_avx2::btanh_batch_avx2,
+        (inputs, outputs, states)
+    )
+}
+
+/// Word-generic batch Stanh: groups of `LANES` equal-length units walk their
+/// streams with the FSM states held as super-word lanes (the per-bit update
+/// is `state = clamp(state ± 1, 0, K−1)`, which maps to a compare/blend
+/// chain); remaining units — the tail group, or all units once a group with
+/// mixed lengths is hit — take the word-interleaved scalar walk. Each unit's
+/// output is bit-exact with [`Stanh::transform`] either way.
+#[inline(always)]
+fn stanh_batch_words_impl<W: Word>(
+    inputs: &[&BitStream],
+    outputs: &mut [BitStream],
+    states: usize,
+    threshold: usize,
+) {
+    let mut unit = 0;
+    if W::LANES > 1 {
+        while unit + W::LANES <= inputs.len() {
+            let len = inputs[unit].len();
+            if !(1..W::LANES).all(|l| inputs[unit + l].len() == len) {
+                break;
+            }
+            stanh_unit_group::<W>(
+                &inputs[unit..unit + W::LANES],
+                &mut outputs[unit..unit + W::LANES],
+                states,
+                threshold,
+                len,
+            );
+            unit += W::LANES;
+        }
+    }
+    // Scalar walk for the remaining units, word-interleaved as before.
+    let rest = &inputs[unit..];
+    if rest.is_empty() {
+        return;
+    }
+    let mut unit_states: Vec<i64> = vec![states as i64 / 2; rest.len()];
+    let max_words = rest.iter().map(|s| s.as_words().len()).max().unwrap_or(0);
+    for w in 0..max_words {
+        for (u, input) in rest.iter().enumerate() {
+            let words = input.as_words();
+            if w >= words.len() {
+                continue;
+            }
+            let bits = (input.len() - w * 64).min(64);
+            let in_word = words[w];
+            let mut out_word = 0u64;
+            let mut state = unit_states[u];
+            for bit in 0..bits {
+                let delta = if (in_word >> bit) & 1 == 1 { 1 } else { -1 };
+                state = (state + delta).clamp(0, states as i64 - 1);
+                out_word |= u64::from(state >= threshold as i64) << bit;
+            }
+            unit_states[u] = state;
+            outputs[unit + u].words_mut()[w] = out_word;
+        }
+    }
+}
+
+/// One wide group of the batch Stanh walk: `LANES` units advance in
+/// lock-step, one FSM state per super-word lane.
+#[inline(always)]
+fn stanh_unit_group<W: Word>(
+    inputs: &[&BitStream],
+    outputs: &mut [BitStream],
+    states: usize,
+    threshold: usize,
+    len: usize,
+) {
+    let words = len.div_ceil(64);
+    let mut state = W::splat_i64(states as i64 / 2);
+    let top = W::splat_i64(states as i64 - 1);
+    let zero = W::zero();
+    let one = W::splat(1);
+    let minus_one = W::splat_i64(-1);
+    let plus_one = W::splat_i64(1);
+    // `state >= threshold` as a lane compare: `state > threshold − 1`.
+    let out_threshold = W::splat_i64(threshold as i64 - 1);
+    let mut lane_words = [0u64; 4];
+    let mut out_lanes = [0u64; 4];
+    for w in 0..words {
+        for (l, s) in inputs.iter().enumerate() {
+            lane_words[l] = s.as_words()[w];
+        }
+        let in_word = W::load(&lane_words);
+        let bits = ((len - w * 64).min(64)) as u32;
+        let mut out = W::zero();
+        for bit in 0..bits {
+            let input_mask = in_word.shr(bit).and(one).cmp_gt_i64(zero);
+            state = state.add_i64(minus_one.blend(plus_one, input_mask));
+            state = state.blend(top, state.cmp_gt_i64(top));
+            state = state.blend(zero, zero.cmp_gt_i64(state));
+            out = out.or(state.cmp_gt_i64(out_threshold).and(one).shl(bit));
+        }
+        out.store(&mut out_lanes);
+        for (l, o) in outputs.iter_mut().enumerate() {
+            o.words_mut()[w] = out_lanes[l];
+        }
+    }
+}
+
+/// Word-generic batch Btanh, the binary-domain twin of
+/// [`stanh_batch_words_impl`]: groups of `LANES` units with equal length and
+/// lane count walk their count streams with the counter states as super-word
+/// lanes; remaining units take the 64-cycle-block scalar walk. Each unit's
+/// output is bit-exact with [`Btanh::transform`] either way.
+#[inline(always)]
+fn btanh_batch_words_impl<W: Word>(
+    inputs: &[&CountStream],
+    outputs: &mut [BitStream],
+    states: usize,
+) {
+    let mut unit = 0;
+    if W::LANES > 1 {
+        while unit + W::LANES <= inputs.len() {
+            let len = inputs[unit].len();
+            let lanes = inputs[unit].lanes();
+            if !(1..W::LANES)
+                .all(|l| inputs[unit + l].len() == len && inputs[unit + l].lanes() == lanes)
+            {
+                break;
+            }
+            btanh_unit_group::<W>(
+                &inputs[unit..unit + W::LANES],
+                &mut outputs[unit..unit + W::LANES],
+                states,
+                lanes,
+                len,
+            );
+            unit += W::LANES;
+        }
+    }
+    let rest = &inputs[unit..];
+    if rest.is_empty() {
+        return;
+    }
+    let mut unit_states: Vec<i64> = vec![states as i64 / 2; rest.len()];
+    let max_words = rest.iter().map(|c| c.len().div_ceil(64)).max().unwrap_or(0);
+    for w in 0..max_words {
+        let start = w * 64;
+        for (u, input) in rest.iter().enumerate() {
+            if start >= input.len() {
+                continue;
+            }
+            let end = (start + 64).min(input.len());
+            let lanes = input.lanes() as i64;
+            let mut out_word = 0u64;
+            let mut state = unit_states[u];
+            for (bit, &count) in input.counts()[start..end].iter().enumerate() {
+                let delta = 2 * i64::from(count) - lanes;
+                state = (state + delta).clamp(0, states as i64 - 1);
+                out_word |= u64::from(state >= states as i64 / 2) << bit;
+            }
+            unit_states[u] = state;
+            outputs[unit + u].words_mut()[w] = out_word;
+        }
+    }
+}
+
+/// One wide group of the batch Btanh walk: per cycle the `LANES` units'
+/// counts are gathered into lanes and the saturating update
+/// `state = clamp(state + 2·count − n, 0, K−1)` runs across all units.
+#[inline(always)]
+fn btanh_unit_group<W: Word>(
+    inputs: &[&CountStream],
+    outputs: &mut [BitStream],
+    states: usize,
+    lanes: usize,
+    len: usize,
+) {
+    let words = len.div_ceil(64);
+    let mut state = W::splat_i64(states as i64 / 2);
+    let top = W::splat_i64(states as i64 - 1);
+    let zero = W::zero();
+    let one = W::splat(1);
+    let neg_lanes = W::splat_i64(-(lanes as i64));
+    let out_threshold = W::splat_i64(states as i64 / 2 - 1);
+    let mut lane_counts = [0u64; 4];
+    let mut out_lanes = [0u64; 4];
+    for w in 0..words {
+        let start = w * 64;
+        let bits = ((len - start).min(64)) as u32;
+        let mut out = W::zero();
+        for bit in 0..bits {
+            let t = start + bit as usize;
+            for (l, c) in inputs.iter().enumerate() {
+                lane_counts[l] = u64::from(c.counts()[t]);
+            }
+            let count = W::load(&lane_counts);
+            state = state.add_i64(count.add_i64(count).add_i64(neg_lanes));
+            state = state.blend(top, state.cmp_gt_i64(top));
+            state = state.blend(zero, zero.cmp_gt_i64(state));
+            out = out.or(state.cmp_gt_i64(out_threshold).and(one).shl(bit));
+        }
+        out.store(&mut out_lanes);
+        for (l, o) in outputs.iter_mut().enumerate() {
+            o.words_mut()[w] = out_lanes[l];
+        }
+    }
+}
+
+/// Concrete AVX2 entry points: `#[target_feature]` wrappers over the
+/// `#[inline(always)]` generic kernels (see [`crate::word`]).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod act_avx2 {
+    use super::*;
+    use crate::word::WAvx2;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn stanh_batch_avx2(
+        inputs: &[&BitStream],
+        outputs: &mut [BitStream],
+        states: usize,
+        threshold: usize,
+    ) {
+        stanh_batch_words_impl::<WAvx2>(inputs, outputs, states, threshold)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn btanh_batch_avx2(
+        inputs: &[&CountStream],
+        outputs: &mut [BitStream],
+        states: usize,
+    ) {
+        btanh_batch_words_impl::<WAvx2>(inputs, outputs, states)
     }
 }
 
@@ -510,6 +709,72 @@ mod tests {
             assert_eq!(batch[unit], counter.transform(count_stream), "unit {unit}");
         }
         assert!(template.transform_batch(&[]).is_empty());
+    }
+
+    /// Every super-word backend of the batch activation walks must match the
+    /// scalar backend bit-for-bit, across unit counts that exercise both the
+    /// wide groups and the scalar remainder, thresholds of both modes, and
+    /// ragged stream tails.
+    #[test]
+    fn activation_batches_bit_exact_across_backends() {
+        fn check<W: Word>(backend: &str) {
+            for &len in &[100usize, 127, 1024] {
+                // 9 units: at least one wide group plus a remainder for
+                // every backend lane width.
+                let streams: Vec<BitStream> = (0..9)
+                    .map(|i| {
+                        Sng::new(SngKind::Lfsr32, 70 + i as u64)
+                            .generate_bipolar(0.4 - 0.09 * i as f64, StreamLength::new(len))
+                            .unwrap()
+                    })
+                    .collect();
+                let refs: Vec<&BitStream> = streams.iter().collect();
+                for threshold in [4usize, 1] {
+                    let mut expected: Vec<BitStream> = streams
+                        .iter()
+                        .map(|s| BitStream::zeros(s.stream_length()))
+                        .collect();
+                    let mut got = expected.clone();
+                    stanh_batch_words_impl::<u64>(&refs, &mut expected, 8, threshold);
+                    stanh_batch_words_impl::<W>(&refs, &mut got, 8, threshold);
+                    assert_eq!(
+                        got, expected,
+                        "{backend} stanh len {len} threshold {threshold}"
+                    );
+                }
+                let counts: Vec<CountStream> = (0..9)
+                    .map(|u| {
+                        let lanes: Vec<BitStream> = (0..4)
+                            .map(|lane| {
+                                Sng::new(SngKind::Lfsr32, 500 + u as u64 * 7 + lane)
+                                    .generate_bipolar(
+                                        0.4 - 0.2 * lane as f64,
+                                        StreamLength::new(len),
+                                    )
+                                    .unwrap()
+                            })
+                            .collect();
+                        ExactParallelCounter::new().count(&lanes).unwrap()
+                    })
+                    .collect();
+                let count_refs: Vec<&CountStream> = counts.iter().collect();
+                let mut expected: Vec<BitStream> = counts
+                    .iter()
+                    .map(|c| BitStream::zeros(StreamLength::new(c.len())))
+                    .collect();
+                let mut got = expected.clone();
+                btanh_batch_words_impl::<u64>(&count_refs, &mut expected, 6);
+                btanh_batch_words_impl::<W>(&count_refs, &mut got, 6);
+                assert_eq!(got, expected, "{backend} btanh len {len}");
+            }
+        }
+        check::<crate::word::W4>("wide");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::word::Backend::Avx2.is_available() {
+            check::<crate::word::WAvx2>("avx2");
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        check::<crate::word::WNeon>("neon");
     }
 
     #[test]

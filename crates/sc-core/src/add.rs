@@ -16,10 +16,16 @@
 
 use crate::arena::StreamArena;
 use crate::bitstream::{BitStream, StreamLength};
-use crate::csa::VerticalCounter;
+use crate::csa::{VerticalCounter, WideVerticalCounter};
 use crate::error::ScError;
 use crate::rng::RandomSource;
+use crate::word::{dispatch_word_kernel, Word};
 use serde::{Deserialize, Serialize};
+
+/// Words per chunk of the plan's chunk-grouped wide replay entries. All
+/// super-word backends have `LANES` dividing this, so a chunk replays in
+/// `WIDE_CHUNK / LANES` full-width passes.
+const WIDE_CHUNK: usize = 4;
 
 /// OR-gate adder: bitwise OR over all input streams.
 ///
@@ -183,9 +189,7 @@ impl MuxAdder {
         plan.check_operands(inputs.len(), len)?;
         check_output_length(out, len)?;
         let words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
-        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
-            *out_word = plan.select_word(w, |lane| words[lane][w]);
-        }
+        plan_sum_words(plan, &words, out.words_mut());
         Ok(())
     }
 
@@ -233,9 +237,7 @@ impl MuxAdder {
         check_output_length(out, len)?;
         let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
         let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
-        for (w, out_word) in out.words_mut().iter_mut().enumerate() {
-            *out_word = plan.select_word(w, |lane| !(xs[lane][w] ^ ws[lane][w]));
-        }
+        plan_products_words(plan, &xs, &ws, out.words_mut());
         Ok(())
     }
 
@@ -386,6 +388,13 @@ pub struct MuxSelectorPlan {
     /// indexes the pairs of output word `w`.
     entries: Vec<(u32, u64)>,
     word_starts: Vec<u32>,
+    /// The same masks regrouped for super-word replay: per chunk of
+    /// [`WIDE_CHUNK`] consecutive output words, one entry per lane the chunk
+    /// selects, carrying that lane's mask for each word of the chunk
+    /// (`chunk_starts[c]..chunk_starts[c+1]` indexes chunk `c`). Words past
+    /// the last full chunk replay through the flat `entries`.
+    wide_entries: Vec<(u32, [u64; WIDE_CHUNK])>,
+    chunk_starts: Vec<u32>,
 }
 
 impl MuxSelectorPlan {
@@ -415,11 +424,43 @@ impl MuxSelectorPlan {
             slicer.slice_word(w, bits, |lane, mask| entries.push((lane as u32, mask)));
             word_starts.push(entries.len() as u32);
         }
+        // Regroup the flat per-word entries by lane within each full chunk
+        // of WIDE_CHUNK words, so the super-word replay loads one operand
+        // super-word per touched lane per chunk instead of one word per
+        // touched lane per word. A slot map keeps the grouping linear in the
+        // entry count. Tail words (and word counts below one chunk) keep
+        // replaying through the flat entries.
+        let chunks = words / WIDE_CHUNK;
+        let mut wide_entries: Vec<(u32, [u64; WIDE_CHUNK])> = Vec::new();
+        let mut chunk_starts = Vec::with_capacity(chunks + 1);
+        chunk_starts.push(0u32);
+        let mut slots = vec![u32::MAX; lanes];
+        for c in 0..chunks {
+            let chunk_start = wide_entries.len();
+            for j in 0..WIDE_CHUNK {
+                let w = c * WIDE_CHUNK + j;
+                let span = word_starts[w] as usize..word_starts[w + 1] as usize;
+                for &(lane, mask) in &entries[span] {
+                    let slot = &mut slots[lane as usize];
+                    if *slot == u32::MAX {
+                        *slot = wide_entries.len() as u32;
+                        wide_entries.push((lane, [0u64; WIDE_CHUNK]));
+                    }
+                    wide_entries[*slot as usize].1[j] = mask;
+                }
+            }
+            for &(lane, _) in &wide_entries[chunk_start..] {
+                slots[lane as usize] = u32::MAX;
+            }
+            chunk_starts.push(wide_entries.len() as u32);
+        }
         Ok(Self {
             lanes,
             stream_bits,
             entries,
             word_starts,
+            wide_entries,
+            chunk_starts,
         })
     }
 
@@ -460,6 +501,139 @@ impl MuxSelectorPlan {
             });
         }
         Ok(())
+    }
+}
+
+/// Replays a plan into `out`: full chunks through the chunk-grouped wide
+/// entries (`fetch(lane, w)` loads a lane's operand super-word at word
+/// offset `w`), trailing words through the flat per-word entries
+/// (`fetch_word(lane, w)` loads a single operand word). The scalar backend
+/// (`LANES == 1`) takes the flat path for every word, which is exactly the
+/// pre-refactor replay loop.
+///
+/// Bit-exact with the flat replay for any backend: each output bit is
+/// selected from exactly one lane, so the masked ORs commute, and a lane's
+/// chunk masks are the same bits its per-word masks carry.
+#[inline(always)]
+fn replay_plan<W: Word>(
+    plan: &MuxSelectorPlan,
+    out: &mut [u64],
+    fetch: impl Fn(usize, usize) -> W,
+    fetch_word: impl Fn(usize, usize) -> u64,
+) {
+    let mut w = 0usize;
+    if W::LANES > 1 {
+        let chunks = plan.chunk_starts.len() - 1;
+        for c in 0..chunks {
+            let span = plan.chunk_starts[c] as usize..plan.chunk_starts[c + 1] as usize;
+            let entries = &plan.wide_entries[span];
+            let base = c * WIDE_CHUNK;
+            let mut s = 0;
+            while s < WIDE_CHUNK {
+                let mut acc = W::zero();
+                for &(lane, masks) in entries {
+                    acc = acc.or(W::load(&masks[s..]).and(fetch(lane as usize, base + s)));
+                }
+                acc.store(&mut out[base + s..base + s + W::LANES]);
+                s += W::LANES;
+            }
+        }
+        w = chunks * WIDE_CHUNK;
+    }
+    while w < out.len() {
+        out[w] = plan.select_word(w, |lane| fetch_word(lane, w));
+        w += 1;
+    }
+}
+
+/// [`MuxAdder::sum_with_plan_into`]'s word kernel, generic over the
+/// super-word backend.
+#[inline(always)]
+fn plan_sum_words_impl<W: Word>(plan: &MuxSelectorPlan, words: &[&[u64]], out: &mut [u64]) {
+    replay_plan::<W>(
+        plan,
+        out,
+        |lane, w| W::load(&words[lane][w..]),
+        |lane, w| words[lane][w],
+    );
+}
+
+/// [`MuxAdder::sum_products_with_plan_into`]'s word kernel: the fetched
+/// operand is the XNOR product super-word. The beyond-stream tail bits an
+/// XNOR raises (both operands store zero there) are killed by the selector
+/// masks, which never select past the stream length.
+#[inline(always)]
+fn plan_products_words_impl<W: Word>(
+    plan: &MuxSelectorPlan,
+    xs: &[&[u64]],
+    ws: &[&[u64]],
+    out: &mut [u64],
+) {
+    replay_plan::<W>(
+        plan,
+        out,
+        |lane, w| W::load(&xs[lane][w..]).xor(W::load(&ws[lane][w..])).not(),
+        |lane, w| !(xs[lane][w] ^ ws[lane][w]),
+    );
+}
+
+fn plan_sum_words(plan: &MuxSelectorPlan, words: &[&[u64]], out: &mut [u64]) {
+    dispatch_word_kernel!(
+        plan_sum_words_impl,
+        mux_avx2::plan_sum_avx2,
+        (plan, words, out)
+    )
+}
+
+fn plan_products_words(plan: &MuxSelectorPlan, xs: &[&[u64]], ws: &[&[u64]], out: &mut [u64]) {
+    dispatch_word_kernel!(
+        plan_products_words_impl,
+        mux_avx2::plan_products_avx2,
+        (plan, xs, ws, out)
+    )
+}
+
+/// Concrete AVX2 entry points: `#[target_feature]` wrappers over the
+/// `#[inline(always)]` generic kernels, so the intrinsics inline into one
+/// AVX2-compiled body per kernel (see [`crate::word`]).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod mux_avx2 {
+    use super::*;
+    use crate::word::WAvx2;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn plan_sum_avx2(plan: &MuxSelectorPlan, words: &[&[u64]], out: &mut [u64]) {
+        plan_sum_words_impl::<WAvx2>(plan, words, out)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn plan_products_avx2(
+        plan: &MuxSelectorPlan,
+        xs: &[&[u64]],
+        ws: &[&[u64]],
+        out: &mut [u64],
+    ) {
+        plan_products_words_impl::<WAvx2>(plan, xs, ws, out)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn product_columns_avx2(
+        inputs: &[&[u64]],
+        weights: &[&[u64]],
+        len: usize,
+        counts: &mut [u16],
+    ) {
+        accumulate_product_columns_impl::<WAvx2>(inputs, weights, len, counts)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn product_columns_shared_avx2(
+        inputs: &[&[u64]],
+        unit_lane_words: &[Vec<&[u64]>],
+        len: usize,
+        counts: &mut [Vec<u16>],
+    ) {
+        accumulate_product_columns_shared_impl::<WAvx2>(inputs, unit_lane_words, len, counts)
     }
 }
 
@@ -697,29 +871,95 @@ fn accumulate_columns(words: &[u64], counts: &mut [u16]) {
     }
 }
 
-/// Accumulates XNOR-product columns for every lane pair into `counts`.
+/// Accumulates XNOR-product columns for every lane pair into `counts`
+/// through carry-save accumulation (see [`crate::csa`]), replacing the
+/// former per-lane `trailing_zeros` walk: bipolar product streams are
+/// ~half ones, so the walk cost one loop iteration per set bit (~32 per
+/// word per lane) where the compressor costs ~2 word operations per lane
+/// plus one plane unpack per word position.
 fn accumulate_product_columns(
     inputs: &[BitStream],
     weights: &[BitStream],
     len: usize,
     counts: &mut [u16],
 ) {
-    let tail_bits = len % 64;
-    let last = len.div_ceil(64) - 1;
-    for (x, wt) in inputs.iter().zip(weights.iter()) {
-        for (w, (&a, &b)) in x.as_words().iter().zip(wt.as_words().iter()).enumerate() {
-            let mut product = !(a ^ b);
-            if w == last && tail_bits != 0 {
-                product &= (1u64 << tail_bits) - 1;
+    let xs: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
+    let ws: Vec<&[u64]> = weights.iter().map(|s| s.as_words()).collect();
+    dispatch_word_kernel!(
+        accumulate_product_columns_impl,
+        mux_avx2::product_columns_avx2,
+        (&xs, &ws, len, counts)
+    )
+}
+
+/// Word-generic body of [`accumulate_product_columns`]: full groups of
+/// `LANES` word positions compress through a [`WideVerticalCounter`], the
+/// remaining words (including the ragged tail, masked to the stream length)
+/// through the scalar counter.
+#[inline(always)]
+fn accumulate_product_columns_impl<W: Word>(
+    inputs: &[&[u64]],
+    weights: &[&[u64]],
+    len: usize,
+    counts: &mut [u16],
+) {
+    let lanes = inputs.len();
+    let full_words = len / 64;
+    let mut w = 0usize;
+    if W::LANES > 1 {
+        let mut counter = WideVerticalCounter::<W>::new();
+        while w + W::LANES <= full_words {
+            let mut lane = 0;
+            while lane + 3 <= lanes {
+                counter.add3(
+                    product_super_word::<W>(inputs[lane], weights[lane], w),
+                    product_super_word::<W>(inputs[lane + 1], weights[lane + 1], w),
+                    product_super_word::<W>(inputs[lane + 2], weights[lane + 2], w),
+                );
+                lane += 3;
             }
-            let base = w * 64;
-            while product != 0 {
-                let j = product.trailing_zeros() as usize;
-                counts[base + j] += 1;
-                product &= product - 1;
+            while lane < lanes {
+                counter.add(product_super_word::<W>(inputs[lane], weights[lane], w));
+                lane += 1;
             }
+            counter.drain_into(&mut counts[w * 64..(w + W::LANES) * 64]);
+            w += W::LANES;
         }
     }
+    let words = len.div_ceil(64);
+    let mut counter = VerticalCounter::new();
+    while w < words {
+        let base = w * 64;
+        let span = (len - base).min(64);
+        let tail_mask = if span == 64 {
+            u64::MAX
+        } else {
+            (1u64 << span) - 1
+        };
+        let mut lane = 0;
+        while lane + 3 <= lanes {
+            counter.add3(
+                !(inputs[lane][w] ^ weights[lane][w]) & tail_mask,
+                !(inputs[lane + 1][w] ^ weights[lane + 1][w]) & tail_mask,
+                !(inputs[lane + 2][w] ^ weights[lane + 2][w]) & tail_mask,
+            );
+            lane += 3;
+        }
+        while lane < lanes {
+            counter.add(!(inputs[lane][w] ^ weights[lane][w]) & tail_mask);
+            lane += 1;
+        }
+        counter.drain_into(&mut counts[base..base + span]);
+        w += 1;
+    }
+}
+
+/// XNOR product super-word of one lane at word offset `w`. Full words only:
+/// the beyond-stream bits an XNOR raises in a tail word (both operands
+/// store zero there) never reach this path.
+#[inline(always)]
+fn product_super_word<W: Word>(x: &[u64], wt: &[u64], w: usize) -> W {
+    W::load(&x[w..]).xor(W::load(&wt[w..])).not()
 }
 
 /// Accumulates XNOR-product columns of one shared input set against the
@@ -742,18 +982,74 @@ fn accumulate_product_columns_shared(
     len: usize,
     counts: &mut [Vec<u16>],
 ) {
-    let words = len.div_ceil(64);
-    let lanes = inputs.len();
     let input_words: Vec<&[u64]> = inputs.iter().map(|s| s.as_words()).collect();
     let unit_lane_words: Vec<Vec<&[u64]>> = unit_weights
         .iter()
         .map(|weights| weights.iter().map(|s| s.as_words()).collect())
         .collect();
-    let mut counters: Vec<VerticalCounter> = unit_weights
+    dispatch_word_kernel!(
+        accumulate_product_columns_shared_impl,
+        mux_avx2::product_columns_shared_avx2,
+        (&input_words, &unit_lane_words, len, counts)
+    )
+}
+
+/// Word-generic body of [`accumulate_product_columns_shared`]: full groups
+/// of `LANES` word positions compress through per-unit
+/// [`WideVerticalCounter`]s, the remaining words (including the ragged tail,
+/// masked to the stream length) through per-unit scalar counters.
+#[inline(always)]
+fn accumulate_product_columns_shared_impl<W: Word>(
+    input_words: &[&[u64]],
+    unit_lane_words: &[Vec<&[u64]>],
+    len: usize,
+    counts: &mut [Vec<u16>],
+) {
+    let lanes = input_words.len();
+    let full_words = len / 64;
+    let mut w = 0usize;
+    if W::LANES > 1 {
+        let mut counters: Vec<WideVerticalCounter<W>> = unit_lane_words
+            .iter()
+            .map(|_| WideVerticalCounter::new())
+            .collect();
+        while w + W::LANES <= full_words {
+            let mut lane = 0;
+            // Lane triples: the shared input super-words stay in registers
+            // across the unit loop, so each is loaded once and compressed
+            // `units` times.
+            while lane + 3 <= lanes {
+                let a0 = W::load(&input_words[lane][w..]);
+                let a1 = W::load(&input_words[lane + 1][w..]);
+                let a2 = W::load(&input_words[lane + 2][w..]);
+                for (counter, lane_words) in counters.iter_mut().zip(unit_lane_words) {
+                    counter.add3(
+                        a0.xor(W::load(&lane_words[lane][w..])).not(),
+                        a1.xor(W::load(&lane_words[lane + 1][w..])).not(),
+                        a2.xor(W::load(&lane_words[lane + 2][w..])).not(),
+                    );
+                }
+                lane += 3;
+            }
+            while lane < lanes {
+                let a = W::load(&input_words[lane][w..]);
+                for (counter, lane_words) in counters.iter_mut().zip(unit_lane_words) {
+                    counter.add(a.xor(W::load(&lane_words[lane][w..])).not());
+                }
+                lane += 1;
+            }
+            for (counter, unit_counts) in counters.iter_mut().zip(counts.iter_mut()) {
+                counter.drain_into(&mut unit_counts[w * 64..(w + W::LANES) * 64]);
+            }
+            w += W::LANES;
+        }
+    }
+    let words = len.div_ceil(64);
+    let mut counters: Vec<VerticalCounter> = unit_lane_words
         .iter()
         .map(|_| VerticalCounter::new())
         .collect();
-    for w in 0..words {
+    while w < words {
         let base = w * 64;
         let span = (len - base).min(64);
         let tail_mask = if span == 64 {
@@ -768,7 +1064,7 @@ fn accumulate_product_columns_shared(
             let a0 = input_words[lane][w];
             let a1 = input_words[lane + 1][w];
             let a2 = input_words[lane + 2][w];
-            for (counter, lane_words) in counters.iter_mut().zip(&unit_lane_words) {
+            for (counter, lane_words) in counters.iter_mut().zip(unit_lane_words) {
                 counter.add3(
                     !(a0 ^ lane_words[lane][w]) & tail_mask,
                     !(a1 ^ lane_words[lane + 1][w]) & tail_mask,
@@ -779,7 +1075,7 @@ fn accumulate_product_columns_shared(
         }
         while lane < lanes {
             let a = input_words[lane][w];
-            for (counter, lane_words) in counters.iter_mut().zip(&unit_lane_words) {
+            for (counter, lane_words) in counters.iter_mut().zip(unit_lane_words) {
                 counter.add(!(a ^ lane_words[lane][w]) & tail_mask);
             }
             lane += 1;
@@ -787,6 +1083,7 @@ fn accumulate_product_columns_shared(
         for (counter, unit_counts) in counters.iter_mut().zip(counts.iter_mut()) {
             counter.drain_into(&mut unit_counts[base..base + span]);
         }
+        w += 1;
     }
 }
 
@@ -1425,6 +1722,103 @@ mod tests {
         assert!(MuxAdder::new()
             .sum_products_with_plan_into(&xs, &ws, &plan, &mut short)
             .is_err());
+    }
+
+    /// Every super-word backend must replay a selector plan bit-for-bit
+    /// like the scalar (flat per-word) path, for both the sum and the fused
+    /// product kernels, across ragged lengths and lane counts.
+    #[test]
+    fn plan_replay_bit_exact_across_backends() {
+        fn check<W: Word>(backend: &str) {
+            for &(lanes, len) in &[
+                (1usize, 100usize),
+                (3, 127),
+                (7, 1024),
+                (32, 8191),
+                (33, 320),
+                (100, 257),
+            ] {
+                let values: Vec<f64> = (0..lanes)
+                    .map(|i| (i as f64 / lanes as f64) - 0.5)
+                    .collect();
+                let xs = streams_for(&values, len, 31 + lanes as u64);
+                let ws = streams_for(&values, len, 9100 + lanes as u64);
+                let mut rng = Lfsr::new_32(4242 + lanes as u32);
+                let plan = MuxSelectorPlan::new(lanes, len, &mut rng).unwrap();
+                let xw: Vec<&[u64]> = xs.iter().map(|s| s.as_words()).collect();
+                let ww: Vec<&[u64]> = ws.iter().map(|s| s.as_words()).collect();
+                let words = len.div_ceil(64);
+                let mut reference = vec![0u64; words];
+                let mut got = vec![u64::MAX; words];
+                plan_sum_words_impl::<u64>(&plan, &xw, &mut reference);
+                plan_sum_words_impl::<W>(&plan, &xw, &mut got);
+                assert_eq!(got, reference, "{backend} sum lanes {lanes} len {len}");
+                let mut reference = vec![0u64; words];
+                let mut got = vec![u64::MAX; words];
+                plan_products_words_impl::<u64>(&plan, &xw, &ww, &mut reference);
+                plan_products_words_impl::<W>(&plan, &xw, &ww, &mut got);
+                assert_eq!(got, reference, "{backend} products lanes {lanes} len {len}");
+            }
+        }
+        check::<crate::word::W4>("wide");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::word::Backend::Avx2.is_available() {
+            check::<crate::word::WAvx2>("avx2");
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        check::<crate::word::WNeon>("neon");
+    }
+
+    /// Every super-word backend of the CSA product-column kernels (per-unit
+    /// and shared) must match the scalar backend exactly, which the
+    /// per-bit-reference tests elsewhere anchor to ground truth.
+    #[test]
+    fn product_columns_bit_exact_across_backends() {
+        fn check<W: Word>(backend: &str) {
+            for &lanes in &[1usize, 3, 7, 32, 33, 100] {
+                for &len in &[100usize, 127, 1024, 8191] {
+                    let values: Vec<f64> = (0..lanes)
+                        .map(|i| (i as f64 / lanes as f64) - 0.5)
+                        .collect();
+                    let xs = streams_for(&values, len, 5 + lanes as u64);
+                    let unit_ws: Vec<Vec<BitStream>> = (0..2)
+                        .map(|u| streams_for(&values, len, 7000 + u * 131 + lanes as u64))
+                        .collect();
+                    let xw: Vec<&[u64]> = xs.iter().map(|s| s.as_words()).collect();
+                    let unit_words: Vec<Vec<&[u64]>> = unit_ws
+                        .iter()
+                        .map(|ws| ws.iter().map(|s| s.as_words()).collect())
+                        .collect();
+                    let mut reference = vec![0u16; len];
+                    let mut got = vec![0u16; len];
+                    accumulate_product_columns_impl::<u64>(
+                        &xw,
+                        &unit_words[0],
+                        len,
+                        &mut reference,
+                    );
+                    accumulate_product_columns_impl::<W>(&xw, &unit_words[0], len, &mut got);
+                    assert_eq!(got, reference, "{backend} per-unit lanes {lanes} len {len}");
+                    let mut reference = vec![vec![0u16; len]; 2];
+                    let mut got = vec![vec![0u16; len]; 2];
+                    accumulate_product_columns_shared_impl::<u64>(
+                        &xw,
+                        &unit_words,
+                        len,
+                        &mut reference,
+                    );
+                    accumulate_product_columns_shared_impl::<W>(&xw, &unit_words, len, &mut got);
+                    assert_eq!(got, reference, "{backend} shared lanes {lanes} len {len}");
+                }
+            }
+        }
+        check::<crate::word::W4>("wide");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::word::Backend::Avx2.is_available() {
+            check::<crate::word::WAvx2>("avx2");
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        check::<crate::word::WNeon>("neon");
     }
 
     #[test]

@@ -7,9 +7,112 @@
 //! logical length are always kept at zero.
 
 use crate::error::ScError;
+use crate::word::{dispatch_word_kernel, Word};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+
+/// Sum of population counts over a word buffer, generic over the kernel
+/// backend. Lane accumulators stay vector-shaped until one final horizontal
+/// reduction; integer addition is associative, so every backend returns the
+/// exact same total.
+#[inline(always)]
+fn popcount_words_impl<W: Word>(words: &[u64]) -> u64 {
+    let mut acc = W::zero();
+    let mut chunks = words.chunks_exact(W::LANES);
+    for chunk in &mut chunks {
+        acc = W::load(chunk).popcount_accumulate(acc);
+    }
+    let mut total = acc.horizontal_sum();
+    for &w in chunks.remainder() {
+        total += u64::from(w.count_ones());
+    }
+    total
+}
+
+/// Fused AND + popcount over paired word buffers (the unipolar
+/// multiplier-accumulator inner loop), generic over the kernel backend.
+#[inline(always)]
+fn and_popcount_impl<W: Word>(a: &[u64], b: &[u64]) -> u64 {
+    let mut acc = W::zero();
+    let mut a_chunks = a.chunks_exact(W::LANES);
+    let mut b_chunks = b.chunks_exact(W::LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        acc = W::load(ca).and(W::load(cb)).popcount_accumulate(acc);
+    }
+    let mut total = acc.horizontal_sum();
+    for (&wa, &wb) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += u64::from((wa & wb).count_ones());
+    }
+    total
+}
+
+/// Fused XOR + popcount over paired word buffers (the bipolar
+/// multiplier-accumulator inner loop counts *agreements* as
+/// `len - xor_popcount`), generic over the kernel backend.
+#[inline(always)]
+fn xor_popcount_impl<W: Word>(a: &[u64], b: &[u64]) -> u64 {
+    let mut acc = W::zero();
+    let mut a_chunks = a.chunks_exact(W::LANES);
+    let mut b_chunks = b.chunks_exact(W::LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        acc = W::load(ca).xor(W::load(cb)).popcount_accumulate(acc);
+    }
+    let mut total = acc.horizontal_sum();
+    for (&wa, &wb) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += u64::from((wa ^ wb).count_ones());
+    }
+    total
+}
+
+/// Concrete `#[target_feature]` entry points for the popcount kernels; see
+/// the dispatch macro in [`crate::word`] for why these exist.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod popcount_avx2 {
+    use super::*;
+    use crate::word::WAvx2;
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn popcount_words_avx2(words: &[u64]) -> u64 {
+        popcount_words_impl::<WAvx2>(words)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn and_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+        and_popcount_impl::<WAvx2>(a, b)
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+        xor_popcount_impl::<WAvx2>(a, b)
+    }
+}
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use popcount_avx2::{and_popcount_avx2, popcount_words_avx2, xor_popcount_avx2};
+
+/// Backend-dispatched sum of population counts over a word buffer.
+pub(crate) fn popcount_words(words: &[u64]) -> u64 {
+    dispatch_word_kernel!(popcount_words_impl, popcount_words_avx2, (words))
+}
+
+/// Backend-dispatched fused AND + popcount over paired word buffers.
+fn and_popcount_words(a: &[u64], b: &[u64]) -> u64 {
+    dispatch_word_kernel!(and_popcount_impl, and_popcount_avx2, (a, b))
+}
+
+/// Backend-dispatched fused XOR + popcount over paired word buffers.
+fn xor_popcount_words(a: &[u64], b: &[u64]) -> u64 {
+    dispatch_word_kernel!(xor_popcount_impl, xor_popcount_avx2, (a, b))
+}
 
 /// A validated stochastic bit-stream length.
 ///
@@ -206,7 +309,7 @@ impl BitStream {
 
     /// Number of ones in the stream.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        popcount_words(&self.words) as usize
     }
 
     /// Number of zeros in the stream.
@@ -410,11 +513,7 @@ impl BitStream {
             "bit-stream length mismatch: {} vs {}",
             self.len, other.len
         );
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(&a, &b)| (a & b).count_ones() as usize)
-            .sum()
+        and_popcount_words(&self.words, &other.words) as usize
     }
 
     /// Fused XNOR + popcount: the number of cycles where the streams agree,
@@ -433,13 +532,7 @@ impl BitStream {
         );
         // XNOR turns the (zero) tail bits into ones, so count XOR instead
         // and subtract: |XNOR| = len - |XOR|, and XOR keeps the tail zeroed.
-        let differing: usize = self
-            .words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
-            .sum();
-        self.len - differing
+        self.len - xor_popcount_words(&self.words, &other.words) as usize
     }
 
     /// In-place OR into `acc`: `acc |= self`, allocation-free.
@@ -842,6 +935,45 @@ mod tests {
                 "XNOR mismatch at len {len}"
             );
         }
+    }
+
+    /// Every wide popcount backend must agree bit-for-bit with the scalar
+    /// `u64` reference on ragged-tail lengths (the acceptance contract of
+    /// the `Word` kernel layer).
+    #[test]
+    fn popcount_kernels_bit_exact_across_backends() {
+        use crate::word::W4;
+        fn check<W: Word>(backend: &str) {
+            for len in [1usize, 100, 127, 1024, 8191] {
+                let mut lfsr_a = crate::rng::Lfsr::new_32(91);
+                let mut lfsr_b = crate::rng::Lfsr::new_32(92);
+                let a: BitStream = (0..len).map(|_| lfsr_a.step() & 1 == 1).collect();
+                let b: BitStream = (0..len).map(|_| lfsr_b.step() & 1 == 1).collect();
+                let (aw, bw) = (a.as_words(), b.as_words());
+                assert_eq!(
+                    popcount_words_impl::<W>(aw),
+                    popcount_words_impl::<u64>(aw),
+                    "{backend} popcount at len {len}"
+                );
+                assert_eq!(
+                    and_popcount_impl::<W>(aw, bw),
+                    and_popcount_impl::<u64>(aw, bw),
+                    "{backend} and+popcount at len {len}"
+                );
+                assert_eq!(
+                    xor_popcount_impl::<W>(aw, bw),
+                    xor_popcount_impl::<u64>(aw, bw),
+                    "{backend} xor+popcount at len {len}"
+                );
+            }
+        }
+        check::<W4>("wide");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::word::Backend::Avx2.is_available() {
+            check::<crate::word::WAvx2>("avx2");
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        check::<crate::word::WNeon>("neon");
     }
 
     #[test]

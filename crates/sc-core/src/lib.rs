@@ -58,12 +58,14 @@ pub mod rng;
 pub mod sng;
 pub mod stats;
 pub mod twoline;
+pub mod word;
 
 pub use arena::{ArenaStats, StreamArena};
 pub use bitstream::{BitStream, StreamLength};
 pub use cache::StreamCache;
 pub use error::ScError;
 pub use hist::LogHistogram;
+pub use word::{active_backend, force_backend, Backend};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {

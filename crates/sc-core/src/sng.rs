@@ -11,6 +11,7 @@ use crate::bitstream::{BitStream, StreamLength};
 use crate::encoding::{Bipolar, Encoding, Unipolar};
 use crate::error::ScError;
 use crate::rng::{Lfsr, LfsrWidth, RandomSource, SoftwareRng};
+use crate::word::{dispatch_word_kernel, Word};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -145,34 +146,7 @@ fn fill_words_lfsr32_batched(
             *word = 0;
         }
     } else {
-        for (w, out_word) in words.iter_mut().enumerate().take(batch_words) {
-            let t0 = w * 64;
-            // One 128-bit window covers sequence bits `t0-15 .. t0+63`
-            // (buffer bit offset `t0+17`); plane `j` — sample bit `j` of
-            // the 64 samples — is that window shifted so its bit `i`
-            // equals sequence bit `t0+i-j`. For the first word the plane
-            // reads reach into the 32 virtual seed bits of the buffer.
-            let base = t0 + 32 - 15;
-            let byte = base / 8;
-            let shift = (base % 8) as u32;
-            let window =
-                u128::from_le_bytes(seq[byte..byte + 16].try_into().expect("16 bytes")) >> shift;
-            let mut lt = 0u64;
-            let mut eq = u64::MAX;
-            // `lt` is final once the threshold's lowest set bit has been
-            // processed: below it every threshold bit is zero, which only
-            // narrows `eq`.
-            for j in (threshold.trailing_zeros()..16).rev() {
-                let plane = (window >> (15 - j)) as u64;
-                if (threshold >> j) & 1 == 1 {
-                    lt |= eq & !plane;
-                    eq &= plane;
-                } else {
-                    eq &= !plane;
-                }
-            }
-            *out_word = lt;
-        }
+        comparator_fill(seq, threshold, words, batch_words);
     }
 
     // Tail: remaining bits (< 64) run serially from the resynced state.
@@ -184,6 +158,125 @@ fn fill_words_lfsr32_batched(
         }
         words[batch_words] = tail_word;
     }
+}
+
+/// Extracts the 128-bit sequence window of output word `w`: sequence bits
+/// `w·64 − 15 .. w·64 + 63` (buffer bit offset `w·64 + 17`). For the first
+/// word the window reaches into the 32 virtual seed bits of the buffer.
+#[inline(always)]
+fn sequence_window(seq: &[u8], w: usize) -> u128 {
+    let base = w * 64 + 32 - 15;
+    let byte = base / 8;
+    let shift = (base % 8) as u32;
+    u128::from_le_bytes(seq[byte..byte + 16].try_into().expect("16 bytes")) >> shift
+}
+
+/// Bit-sliced threshold comparator over the staged GF(2) sequence buffer,
+/// generic over the kernel backend: evaluates `sample < threshold` for
+/// `64 · W::LANES` samples per iteration of the outer loop.
+///
+/// Per group of [`Word::LANES`] output words, each lane's 128-bit window is
+/// extracted exactly as in the scalar reference; plane `j` — sample bit `j`
+/// of the 64 samples of a word — is the window shifted right by `15 − j`,
+/// which for the whole group is two uniform lane shifts and an OR. The
+/// `lt`/`eq` comparator recurrence then runs in whole-word lane operations.
+/// `lt` is final once the threshold's lowest set bit has been processed:
+/// below it every threshold bit is zero, which only narrows `eq`.
+#[inline(always)]
+fn comparator_fill_impl<W: Word>(
+    seq: &[u8],
+    threshold: u32,
+    words: &mut [u64],
+    batch_words: usize,
+) {
+    debug_assert!((1..=0xFFFF).contains(&threshold));
+    let low_bit = threshold.trailing_zeros();
+    let mut w = 0;
+    if W::LANES > 1 {
+        let mut lo_lanes = [0u64; 4];
+        let mut hi_lanes = [0u64; 4];
+        while w + W::LANES <= batch_words {
+            for (lane, (lo, hi)) in lo_lanes.iter_mut().zip(hi_lanes.iter_mut()).enumerate() {
+                if lane == W::LANES {
+                    break;
+                }
+                let window = sequence_window(seq, w + lane);
+                *lo = window as u64;
+                // Only the low 15 bits of the window's upper half ever feed
+                // a plane (shifted left by ≥ 49), so the bits past the
+                // 16-byte read being zero is immaterial.
+                *hi = (window >> 64) as u64;
+            }
+            let lo = W::load(&lo_lanes);
+            let hi = W::load(&hi_lanes);
+            let mut lt = W::zero();
+            let mut eq = W::splat(u64::MAX);
+            for j in (low_bit..16).rev() {
+                let s = 15 - j;
+                let plane = if s == 0 {
+                    lo
+                } else {
+                    lo.shr(s).or(hi.shl(64 - s))
+                };
+                if (threshold >> j) & 1 == 1 {
+                    lt = lt.or(eq.andnot(plane));
+                    eq = eq.and(plane);
+                } else {
+                    eq = eq.andnot(plane);
+                }
+            }
+            lt.store(&mut words[w..w + W::LANES]);
+            w += W::LANES;
+        }
+    }
+    // Remaining words (all of them for the scalar backend): the reference
+    // single-word loop.
+    for out_word in words.iter_mut().take(batch_words).skip(w) {
+        let window = sequence_window(seq, w);
+        let mut lt = 0u64;
+        let mut eq = u64::MAX;
+        for j in (low_bit..16).rev() {
+            let plane = (window >> (15 - j)) as u64;
+            if (threshold >> j) & 1 == 1 {
+                lt |= eq & !plane;
+                eq &= plane;
+            } else {
+                eq &= !plane;
+            }
+        }
+        *out_word = lt;
+        w += 1;
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod comparator_avx2 {
+    use super::*;
+    use crate::word::WAvx2;
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn comparator_fill_avx2(
+        seq: &[u8],
+        threshold: u32,
+        words: &mut [u64],
+        batch_words: usize,
+    ) {
+        comparator_fill_impl::<WAvx2>(seq, threshold, words, batch_words)
+    }
+}
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use comparator_avx2::comparator_fill_avx2;
+
+/// Backend-dispatched bit-sliced comparator fill.
+fn comparator_fill(seq: &[u8], threshold: u32, words: &mut [u64], batch_words: usize) {
+    dispatch_word_kernel!(
+        comparator_fill_impl,
+        comparator_fill_avx2,
+        (seq, threshold, words, batch_words)
+    )
 }
 
 /// Word-at-a-time comparator fill: draws one 16-bit threshold sample per bit
@@ -758,6 +851,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Every wide comparator backend must agree bit-for-bit with the scalar
+    /// `u64` reference, across thresholds exercising every branch of the
+    /// bit-sliced `lt`/`eq` recurrence and word counts leaving ragged
+    /// super-word groups.
+    #[test]
+    fn comparator_fill_bit_exact_across_backends() {
+        use crate::word::W4;
+        fn check<W: Word>(backend: &str) {
+            for &bits in &[128usize, 1024, 8128] {
+                for &threshold in &[1u32, 2, 0x0007, 0x00FF, 0x8000, 0xABCD, 0xFFFF] {
+                    let mut lfsr = Lfsr::new(LfsrWidth::W32, 0x00C0_FFEE ^ threshold);
+                    let mut seq = Vec::new();
+                    lfsr.w32_sequence_into(bits, &mut seq);
+                    let batch_words = bits / 64;
+                    let mut reference = vec![0u64; batch_words];
+                    comparator_fill_impl::<u64>(&seq, threshold, &mut reference, batch_words);
+                    let mut wide = vec![0u64; batch_words];
+                    comparator_fill_impl::<W>(&seq, threshold, &mut wide, batch_words);
+                    assert_eq!(
+                        wide, reference,
+                        "{backend} threshold {threshold:#x} bits {bits}"
+                    );
+                }
+            }
+        }
+        check::<W4>("wide");
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::word::Backend::Avx2.is_available() {
+            check::<crate::word::WAvx2>("avx2");
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        check::<crate::word::WNeon>("neon");
     }
 
     #[test]

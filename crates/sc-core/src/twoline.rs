@@ -145,6 +145,13 @@ impl TwoLineAdder {
 
     /// Adds two two-line streams.
     ///
+    /// The carry chain is serial by construction, but the walk is word-wise:
+    /// each iteration loads the four operand words (two magnitudes, two
+    /// signs) once, extracts trits by register shifts, and assembles the
+    /// output words in registers — no per-bit bounds-checked `get`/`set`
+    /// calls. Bit-exact with the per-bit walk it replaces (property-tested
+    /// below).
+    ///
     /// # Errors
     ///
     /// Returns [`ScError::LengthMismatch`] if the streams differ in length.
@@ -155,29 +162,42 @@ impl TwoLineAdder {
                 right: b.len(),
             });
         }
-        let length = StreamLength::try_new(a.len())?;
+        let len = a.len();
+        let length = StreamLength::try_new(len)?;
         let mut magnitude = BitStream::zeros(length);
         let mut sign = BitStream::zeros(length);
+        let a_mag = a.magnitude.as_words();
+        let a_sign = a.sign.as_words();
+        let b_mag = b.magnitude.as_words();
+        let b_sign = b.sign.as_words();
         let mut carry: i32 = 0;
         let mut saturated = 0usize;
-        for i in 0..a.len() {
-            let total = i32::from(a.trit(i)) + i32::from(b.trit(i)) + carry;
-            let out = total.clamp(-1, 1);
-            let mut residue = total - out;
-            if residue > 1 {
-                residue = 1;
-                saturated += 1;
-            } else if residue < -1 {
-                residue = -1;
-                saturated += 1;
-            }
-            carry = residue;
-            if out != 0 {
-                magnitude.set(i, true);
-                if out < 0 {
-                    sign.set(i, true);
+        for w in 0..len.div_ceil(64) {
+            let (am, asn) = (a_mag[w], a_sign[w]);
+            let (bm, bsn) = (b_mag[w], b_sign[w]);
+            let bits = (len - w * 64).min(64);
+            let mut out_mag = 0u64;
+            let mut out_sign = 0u64;
+            for bit in 0..bits {
+                // trit = m·(1 − 2s): 0 without magnitude, else ±1 by sign.
+                let ta = ((am >> bit) & 1) as i32 * (1 - 2 * ((asn >> bit) & 1) as i32);
+                let tb = ((bm >> bit) & 1) as i32 * (1 - 2 * ((bsn >> bit) & 1) as i32);
+                let total = ta + tb + carry;
+                let out = total.clamp(-1, 1);
+                let mut residue = total - out;
+                if residue > 1 {
+                    residue = 1;
+                    saturated += 1;
+                } else if residue < -1 {
+                    residue = -1;
+                    saturated += 1;
                 }
+                carry = residue;
+                out_mag |= u64::from(out != 0) << bit;
+                out_sign |= u64::from(out < 0) << bit;
             }
+            magnitude.words_mut()[w] = out_mag;
+            sign.words_mut()[w] = out_sign;
         }
         Ok(TwoLineSum {
             stream: TwoLineStream::new(magnitude, sign)?,
@@ -280,6 +300,56 @@ mod tests {
             sum.saturated_cycles > 0,
             "expected overflow cycles for a sum of 4.8"
         );
+    }
+
+    /// Frozen per-bit reference of the pre-word-walk adder, pinning the
+    /// word-wise implementation bit-for-bit (including the saturation
+    /// count) across ragged lengths.
+    #[test]
+    fn word_walk_add_matches_per_bit_reference() {
+        fn per_bit_add(a: &TwoLineStream, b: &TwoLineStream) -> (TwoLineStream, usize) {
+            let length = StreamLength::new(a.len());
+            let mut magnitude = BitStream::zeros(length);
+            let mut sign = BitStream::zeros(length);
+            let mut carry: i32 = 0;
+            let mut saturated = 0usize;
+            for i in 0..a.len() {
+                let total = i32::from(a.trit(i)) + i32::from(b.trit(i)) + carry;
+                let out = total.clamp(-1, 1);
+                let mut residue = total - out;
+                if residue > 1 {
+                    residue = 1;
+                    saturated += 1;
+                } else if residue < -1 {
+                    residue = -1;
+                    saturated += 1;
+                }
+                carry = residue;
+                if out != 0 {
+                    magnitude.set(i, true);
+                    if out < 0 {
+                        sign.set(i, true);
+                    }
+                }
+            }
+            (TwoLineStream::new(magnitude, sign).unwrap(), saturated)
+        }
+        for &len in &[1usize, 63, 64, 100, 127, 1024] {
+            for &(va, vb) in &[(0.3f64, 0.25f64), (-0.8, -0.7), (0.9, 0.9), (-0.5, 0.5)] {
+                let length = StreamLength::new(len);
+                let mut rng_a = Lfsr::new_32(11 + len as u32);
+                let mut rng_b = Lfsr::new_32(23 + len as u32);
+                let a = TwoLineStream::encode(va, length, &mut rng_a).unwrap();
+                let b = TwoLineStream::encode(vb, length, &mut rng_b).unwrap();
+                let (expected, expected_saturated) = per_bit_add(&a, &b);
+                let sum = TwoLineAdder::new().add(&a, &b).unwrap();
+                assert_eq!(sum.stream, expected, "len {len} ({va}, {vb})");
+                assert_eq!(
+                    sum.saturated_cycles, expected_saturated,
+                    "saturation count at len {len} ({va}, {vb})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -272,9 +272,10 @@ fn main() {
     )
     .expect("spawn server");
     println!(
-        "listening on {} ({} models)",
+        "listening on {} ({} models, {} kernel backend)",
         handle.addr(),
-        handle.models()
+        handle.models(),
+        sc_core::active_backend()
     );
     if let Some(admin_addr) = &args.admin_addr {
         let admin_listener = TcpListener::bind(admin_addr).expect("bind admin listener");

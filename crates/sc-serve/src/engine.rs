@@ -267,6 +267,13 @@ impl Engine {
         &self.options
     }
 
+    /// The SC kernel backend every fused layer kernel under this engine
+    /// dispatches to (process-wide; see `sc_core::word`). All backends are
+    /// bit-identical, so this only affects throughput, never outputs.
+    pub fn kernel_backend(&self) -> sc_core::Backend {
+        sc_core::active_backend()
+    }
+
     /// Total number of pre-generated weight streams held by the engine.
     pub fn cached_weight_streams(&self) -> usize {
         self.weights
@@ -693,6 +700,45 @@ mod tests {
         assert!(engine.cached_weight_streams() > 0);
         // The dense layer guarantees cache hits (shared inputs across units).
         assert!(session.cache_stats().hits > 0);
+    }
+
+    /// End-to-end kernel-backend bit-exactness: the scalar reference and
+    /// the widest available backend (the portable super-word without the
+    /// `simd` feature, AVX2/NEON with it) must serve bit-identical
+    /// inferences through the full fused path — SNG comparator fills, fused
+    /// XNOR/count and MUX-plan kernels, CSA compression, and the batch
+    /// activation walks — for every feature-block family. `force_backend`
+    /// is process-global, but all backends are bit-identical, so concurrent
+    /// tests cannot observe a behaviour change.
+    #[test]
+    fn kernel_backends_serve_bit_identical_inferences() {
+        let best = sc_core::word::best_available_backend();
+        let images: Vec<Tensor> = (1..5).map(image).collect();
+        let mut per_backend: Vec<Vec<Inference>> = Vec::new();
+        for backend in [sc_core::Backend::Scalar, best] {
+            assert!(sc_core::force_backend(backend));
+            let mut outputs = Vec::new();
+            // Both max-pooling families (the helper network pools with
+            // MaxPool2): between them they drive every widened kernel —
+            // MUX plans + Stanh, APC/CSA counts + Btanh, plus the shared
+            // SNG fills and popcounts.
+            for kind in [FeatureBlockKind::ApcMaxBtanh, FeatureBlockKind::MuxMaxStanh] {
+                let network = small_network(3);
+                let config = ScNetworkConfig::new("c", vec![kind; 2], 128, PoolingStyle::Max);
+                let engine = Engine::compile(&network, &config, options()).unwrap();
+                assert_eq!(engine.kernel_backend(), backend);
+                let mut session = engine.new_session();
+                for image in &images {
+                    outputs.push(engine.infer(&mut session, image).unwrap());
+                }
+            }
+            per_backend.push(outputs);
+        }
+        assert!(sc_core::force_backend(best));
+        assert_eq!(
+            per_backend[0], per_backend[1],
+            "scalar and {best} backends disagree"
+        );
     }
 
     #[test]
